@@ -1,0 +1,549 @@
+(* Reproduction harness for every table and figure in the paper's
+   evaluation (§5), plus the §4.3 replacement-policy study and bechamel
+   micro-benchmarks of the simulator's kernels.
+
+     dune exec bench/main.exe               # everything
+     dune exec bench/main.exe -- --quick    # small scales (CI-sized)
+     dune exec bench/main.exe -- --table 2 --only go,gcc
+     dune exec bench/main.exe -- --figure 7
+     dune exec bench/main.exe -- --ablation gc
+
+   Absolute times are host-dependent; the paper's claims reproduced here
+   are the RATIOS (memoization speedup, FastSim vs SimpleScalar) and the
+   memoization statistics; see EXPERIMENTS.md. *)
+
+let quick = ref false
+let repeat = ref 1
+let only : string list ref = ref []
+let sections : string list ref = ref []
+
+let add_section s () = sections := s :: !sections
+
+let speclist =
+  [ ("--quick", Arg.Set quick, " use small (test) workload scales");
+    ("--repeat", Arg.Set_int repeat, "N time each engine N times, keep the best");
+    ( "--only",
+      Arg.String (fun s -> only := String.split_on_char ',' s),
+      "W,W,... restrict to the named workloads" );
+    ( "--table",
+      Arg.Int (fun n -> add_section (Printf.sprintf "table%d" n) ()),
+      "N reproduce Table N (1-5)" );
+    ( "--figure",
+      Arg.Int (fun n -> add_section (Printf.sprintf "figure%d" n) ()),
+      "N reproduce Figure N (7)" );
+    ( "--ablation",
+      Arg.String (fun s -> add_section ("ablation-" ^ s) ()),
+      "gc|bpred|cache|approx|width|inputs run an ablation study" );
+    ("--micro", Arg.Unit (add_section "micro"), " bechamel micro-benchmarks") ]
+
+let usage =
+  "main.exe [--quick] [--table N] [--figure 7] [--ablation X] [--micro]"
+
+let wanted section =
+  match !sections with [] -> true | l -> List.mem section l
+
+let workloads () =
+  let all = Workloads.Suite.all in
+  match !only with
+  | [] -> all
+  | names ->
+    List.filter
+      (fun (w : Workloads.Workload.t) ->
+        List.mem w.name names || List.mem w.short names)
+      all
+
+let scale_of (w : Workloads.Workload.t) =
+  if !quick then w.test_scale else w.default_scale
+
+let time_best f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to max 1 !repeat do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  match !result with Some r -> (r, !best) | None -> assert false
+
+(* ---------------------------------------------------------------- *)
+(* One full measurement per workload, shared by Tables 2, 3, 4, 5.  *)
+
+type row = {
+  w : Workloads.Workload.t;
+  insts : int;
+  t_prog : float;
+  t_slow : float;
+  slow : Fastsim.Sim.result;
+  t_fast : float;
+  fast : Fastsim.Sim.result;
+  t_base : float;
+  base : Baseline.result;
+}
+
+let measure_row (w : Workloads.Workload.t) =
+  let prog = w.build (scale_of w) in
+  let (_, _, insts), t_prog =
+    time_best (fun () -> Fastsim.Sim.functional prog)
+  in
+  let slow, t_slow = time_best (fun () -> Fastsim.Sim.slow_sim prog) in
+  let fast, t_fast = time_best (fun () -> Fastsim.Sim.fast_sim prog) in
+  let base, t_base = time_best (fun () -> Baseline.run prog) in
+  assert (slow.Fastsim.Sim.cycles = fast.Fastsim.Sim.cycles);
+  assert (slow.Fastsim.Sim.retired = fast.Fastsim.Sim.retired);
+  { w; insts; t_prog; t_slow; slow; t_fast; fast; t_base; base }
+
+let rows : row list Lazy.t =
+  lazy
+    (List.map
+       (fun w ->
+         Printf.eprintf "  measuring %s...\n%!" w.Workloads.Workload.name;
+         measure_row w)
+       (workloads ()))
+
+let line = String.make 78 '-'
+let header title = Printf.printf "\n%s\n%s\n%s\n" line title line
+
+(* ---------------------------------------------------------------- *)
+
+let table1 () =
+  header "Table 1: processor model parameters (configuration)";
+  let p = Uarch.Params.default in
+  Printf.printf "Decode %d instructions per cycle.\n" p.decode_width;
+  Printf.printf
+    "%d integer ALUs, %d FPUs, and %d load/store address adder(s).\n"
+    p.int_units p.fp_units p.mem_units;
+  Printf.printf "%d physical integer registers, %d physical FP registers.\n"
+    p.phys_int_regs p.phys_fp_regs;
+  Printf.printf "2-bit/512-entry branch history table for prediction.\n";
+  Printf.printf
+    "Speculation through up to %d conditional branches; %d-entry active \
+     list.\n"
+    p.max_spec_branches p.active_list;
+  Printf.printf "Integer/FP/address queues: %d/%d/%d entries.\n" p.int_queue
+    p.fp_queue p.addr_queue;
+  let c = Cachesim.Config.default in
+  Printf.printf "Non-blocking L1 and L2 data caches, %d MSHRs each.\n"
+    c.l1_mshrs;
+  Printf.printf "%d KByte %d-way set associative write-through L1.\n"
+    (c.l1_size / 1024) c.l1_ways;
+  Printf.printf "%d MByte %d-way set associative write-back L2.\n"
+    (c.l2_size / 1024 / 1024) c.l2_ways;
+  Printf.printf "%d byte wide, split transaction bus.\n" c.bus_width
+
+let table2 () =
+  header
+    "Table 2: SlowSim/FastSim slowdowns vs functional execution, and the \
+     memoization speedup (paper: 4.9x-11.9x)";
+  Printf.printf "%-14s %9s %9s %9s %10s\n" "Benchmark" "Prog (s)" "SlowSim/"
+    "FastSim/" "Slow/Fast";
+  List.iter
+    (fun r ->
+      Printf.printf "%-14s %9.2f %9.1f %9.1f %10.2f\n"
+        r.w.Workloads.Workload.name r.t_prog
+        (r.t_slow /. r.t_prog)
+        (r.t_fast /. r.t_prog)
+        (r.t_slow /. r.t_fast))
+    (Lazy.force rows)
+
+let table3 () =
+  header
+    "Table 3: simulated cycles/instructions and simulation rates (paper: \
+     FastSim 8.5x-14.7x SimpleScalar)";
+  Printf.printf "%-14s %11s %11s %9s %9s %9s %9s\n" "Benchmark" "cycles"
+    "insts" "SS Ki/s" "Slow Ki/s" "Fast Ki/s" "Fast/SS";
+  List.iter
+    (fun r ->
+      let kips t = float_of_int r.slow.Fastsim.Sim.retired /. t /. 1000. in
+      let base_kips =
+        float_of_int r.base.Baseline.retired /. r.t_base /. 1000.
+      in
+      Printf.printf "%-14s %11.3e %11.3e %9.1f %9.1f %9.1f %9.2f\n"
+        r.w.Workloads.Workload.name
+        (float_of_int r.slow.Fastsim.Sim.cycles)
+        (float_of_int r.slow.Fastsim.Sim.retired)
+        base_kips (kips r.t_slow) (kips r.t_fast)
+        (kips r.t_fast /. base_kips))
+    (Lazy.force rows)
+
+let table4 () =
+  header
+    "Table 4: instructions simulated in detail vs replayed (paper: \
+     detailed fraction 0.001%-0.311%)";
+  Printf.printf "%-14s %12s %12s %14s\n" "Benchmark" "Detailed" "Replay"
+    "Detailed/Total";
+  List.iter
+    (fun r ->
+      match r.fast.Fastsim.Sim.memo with
+      | None -> ()
+      | Some m ->
+        Printf.printf "%-14s %12.2e %12.2e %13.3f%%\n"
+          r.w.Workloads.Workload.name
+          (float_of_int m.Memo.Stats.detailed_retired)
+          (float_of_int m.Memo.Stats.replayed_retired)
+          (100. *. Memo.Stats.detailed_fraction m))
+    (Lazy.force rows)
+
+let table5 () =
+  header
+    "Table 5: memoization measurements (paper: 3.4-4.9 actions/config; \
+     long replay chains)";
+  Printf.printf "%-14s %9s %9s %9s %8s %8s %10s %12s\n" "Benchmark"
+    "Cache(KB)" "Configs" "Actions" "Act/Cfg" "Cyc/Cfg" "AvgChain"
+    "MaxChain";
+  List.iter
+    (fun r ->
+      match (r.fast.Fastsim.Sim.memo, r.fast.Fastsim.Sim.pcache) with
+      | Some m, Some p ->
+        let groups = max 1 m.Memo.Stats.groups_replayed in
+        Printf.printf "%-14s %9.1f %9d %9d %8.1f %8.1f %10.0f %12d\n"
+          r.w.Workloads.Workload.name
+          (float_of_int p.Memo.Pcache.peak_modeled_bytes /. 1024.)
+          p.Memo.Pcache.static_configs p.Memo.Pcache.static_actions
+          (float_of_int m.Memo.Stats.actions_replayed /. float_of_int groups)
+          (float_of_int m.Memo.Stats.replayed_cycles /. float_of_int groups)
+          (Memo.Stats.avg_chain m) m.Memo.Stats.chain_max
+      | _ -> ())
+    (Lazy.force rows)
+
+(* ---------------------------------------------------------------- *)
+
+let figure7 () =
+  header
+    "Figure 7: memoization speedup vs p-action cache budget, flush-on-full \
+     policy (paper: most benchmarks tolerate a 10x reduction)";
+  let budgets = [ 1024; 2048; 4096; 8192; 16384; 32768; 65536 ] in
+  Printf.printf "%-14s" "Benchmark";
+  List.iter
+    (fun b -> Printf.printf "%8s" (Printf.sprintf "%dK" (b / 1024)))
+    budgets;
+  Printf.printf "%8s\n" "unltd";
+  List.iter
+    (fun r ->
+      let prog = r.w.Workloads.Workload.build (scale_of r.w) in
+      Printf.printf "%-14s%!" r.w.Workloads.Workload.name;
+      List.iter
+        (fun budget ->
+          let _, t =
+            time_best (fun () ->
+                Fastsim.Sim.fast_sim
+                  ~policy:(Memo.Pcache.Flush_on_full budget) prog)
+          in
+          Printf.printf "%8.2f%!" (r.t_slow /. t))
+        budgets;
+      Printf.printf "%8.2f\n" (r.t_slow /. r.t_fast))
+    (Lazy.force rows)
+
+let ablation_gc () =
+  header
+    "Ablation (paper 4.3/5): replacement policies at tight budgets (paper: \
+     copying/generational GC no better than flush-on-full)";
+  Printf.printf "%-14s %-22s %9s %7s %7s %9s\n" "Benchmark" "Policy"
+    "time (s)" "colls" "flushes" "speedup";
+  List.iter
+    (fun r ->
+      let prog = r.w.Workloads.Workload.build (scale_of r.w) in
+      let budget =
+        max 2048
+          ((match r.fast.Fastsim.Sim.pcache with
+           | Some p -> p.Memo.Pcache.peak_modeled_bytes
+           | None -> 65536)
+          / 4)
+      in
+      List.iter
+        (fun (name, policy) ->
+          let res, t =
+            time_best (fun () -> Fastsim.Sim.fast_sim ~policy prog)
+          in
+          let colls, flushes =
+            match res.Fastsim.Sim.pcache with
+            | Some p ->
+              ( p.Memo.Pcache.minor_collections + p.Memo.Pcache.full_collections,
+                p.Memo.Pcache.flushes )
+            | None -> (0, 0)
+          in
+          Printf.printf "%-14s %-22s %9.2f %7d %7d %9.2f\n"
+            r.w.Workloads.Workload.name
+            (Printf.sprintf "%s@%dK" name (budget / 1024))
+            t colls flushes (r.t_slow /. t))
+        [ ("flush-on-full", Memo.Pcache.Flush_on_full budget);
+          ("copying-gc", Memo.Pcache.Copying_gc budget);
+          ( "generational-gc",
+            Memo.Pcache.Generational_gc
+              { nursery = budget / 4; total = budget } ) ])
+    (Lazy.force rows)
+
+let ablation_bpred () =
+  header
+    "Ablation: branch predictor vs memoization (mispredictions diversify \
+     configurations and outcome edges)";
+  Printf.printf "%-14s %-10s %11s %9s %9s %9s\n" "Benchmark" "Predictor"
+    "cycles" "wrongpath" "configs" "speedup";
+  List.iter
+    (fun r ->
+      let prog = r.w.Workloads.Workload.build (scale_of r.w) in
+      List.iter
+        (fun (name, predictor) ->
+          let slow, t_slow =
+            time_best (fun () -> Fastsim.Sim.slow_sim ~predictor prog)
+          in
+          let fast, t_fast =
+            time_best (fun () -> Fastsim.Sim.fast_sim ~predictor prog)
+          in
+          assert (slow.Fastsim.Sim.cycles = fast.Fastsim.Sim.cycles);
+          let configs =
+            match fast.Fastsim.Sim.pcache with
+            | Some p -> p.Memo.Pcache.static_configs
+            | None -> 0
+          in
+          Printf.printf "%-14s %-10s %11d %9d %9d %9.2f\n"
+            r.w.Workloads.Workload.name name fast.Fastsim.Sim.cycles
+            fast.Fastsim.Sim.wrong_path_insts configs (t_slow /. t_fast))
+        [ ("2bit+ras", Fastsim.Sim.Standard);
+          ("not-taken", Fastsim.Sim.Not_taken);
+          ("taken", Fastsim.Sim.Taken) ])
+    (Lazy.force rows)
+
+let ablation_cache () =
+  header
+    "Ablation: cache size vs memoization (smaller caches create more \
+     latency outcomes, widening the action graph)";
+  Printf.printf "%-14s %-8s %11s %9s %9s %9s\n" "Benchmark" "Cache" "cycles"
+    "l1 misses" "actions" "speedup";
+  List.iter
+    (fun r ->
+      let prog = r.w.Workloads.Workload.build (scale_of r.w) in
+      List.iter
+        (fun (name, cache_config) ->
+          let slow, t_slow =
+            time_best (fun () -> Fastsim.Sim.slow_sim ~cache_config prog)
+          in
+          let fast, t_fast =
+            time_best (fun () -> Fastsim.Sim.fast_sim ~cache_config prog)
+          in
+          assert (slow.Fastsim.Sim.cycles = fast.Fastsim.Sim.cycles);
+          let actions =
+            match fast.Fastsim.Sim.pcache with
+            | Some p -> p.Memo.Pcache.static_actions
+            | None -> 0
+          in
+          Printf.printf "%-14s %-8s %11d %9d %9d %9.2f\n"
+            r.w.Workloads.Workload.name name fast.Fastsim.Sim.cycles
+            fast.Fastsim.Sim.cache.Cachesim.Hierarchy.l1_misses actions
+            (t_slow /. t_fast))
+        [ ("default", Cachesim.Config.default);
+          ("tiny", Cachesim.Config.tiny) ])
+    (Lazy.force rows)
+
+let ablation_inputs () =
+  header
+    "Ablation (beyond the paper): does a p-action cache built on one INPUT \
+     accelerate a different input of the same program? (configurations \
+     reference code, not data)";
+  Printf.printf "%-14s %-18s %9s %12s %9s\n" "Benchmark" "run" "time (s)"
+    "detailed%" "configs";
+  let experiments =
+    [ ("099.go",
+       (fun seed -> Workloads.Kernels_int.go ~data_seed:seed 200));
+      ("129.compress",
+       (fun seed -> Workloads.Kernels_int.compress ~data_seed:seed 2));
+      ("101.tomcatv",
+       (fun seed -> Workloads.Kernels_fp.tomcatv ~data_seed:seed 30)) ]
+  in
+  List.iter
+    (fun (name, build) ->
+      let prog_a = build 1111 and prog_b = build 9999 in
+      let pc = Memo.Pcache.create () in
+      let report label (res : Fastsim.Sim.result) t =
+        match (res.Fastsim.Sim.memo, res.Fastsim.Sim.pcache) with
+        | Some m, Some p ->
+          Printf.printf "%-14s %-18s %9.2f %11.3f%% %9d\n" name label t
+            (100. *. Memo.Stats.detailed_fraction m)
+            p.Memo.Pcache.static_configs
+        | _ -> ()
+      in
+      let a, ta = time_best (fun () -> Fastsim.Sim.fast_sim ~pcache:pc prog_a) in
+      report "input A (cold)" a ta;
+      let b, tb = time_best (fun () -> Fastsim.Sim.fast_sim ~pcache:pc prog_b) in
+      report "input B (shared)" b tb;
+      let pc2 = Memo.Pcache.create () in
+      let c, tc =
+        time_best (fun () -> Fastsim.Sim.fast_sim ~pcache:pc2 prog_b)
+      in
+      report "input B (cold)" c tc)
+    experiments
+
+let ablation_width () =
+  header
+    "Ablation: machine width (the iQ abstraction \"can be easily adapted\" \
+     -- paper 4.1; same engines, different processor)";
+  let machines =
+    [ ("4-wide (paper)", Uarch.Params.default);
+      ( "2-wide",
+        { Uarch.Params.default with
+          Uarch.Params.fetch_width = 2;
+          decode_width = 2;
+          retire_width = 2;
+          int_units = 1;
+          fp_units = 1 } );
+      ( "8-wide",
+        { Uarch.Params.default with
+          Uarch.Params.fetch_width = 8;
+          decode_width = 8;
+          retire_width = 8;
+          int_units = 4;
+          fp_units = 4;
+          mem_units = 2;
+          active_list = 64;
+          int_queue = 32;
+          fp_queue = 32;
+          addr_queue = 32;
+          phys_int_regs = 96;
+          phys_fp_regs = 96 } ) ]
+  in
+  Printf.printf "%-14s %-14s %11s %7s %9s\n" "Benchmark" "Machine" "cycles"
+    "IPC" "speedup";
+  List.iter
+    (fun r ->
+      let prog = r.w.Workloads.Workload.build (scale_of r.w) in
+      List.iter
+        (fun (name, params) ->
+          let slow, t_slow =
+            time_best (fun () -> Fastsim.Sim.slow_sim ~params prog)
+          in
+          let fast, t_fast =
+            time_best (fun () -> Fastsim.Sim.fast_sim ~params prog)
+          in
+          assert (slow.Fastsim.Sim.cycles = fast.Fastsim.Sim.cycles);
+          Printf.printf "%-14s %-14s %11d %7.2f %9.2f\n"
+            r.w.Workloads.Workload.name name slow.Fastsim.Sim.cycles
+            (float_of_int slow.Fastsim.Sim.retired
+            /. float_of_int slow.Fastsim.Sim.cycles)
+            (t_slow /. t_fast))
+        machines)
+    (Lazy.force rows)
+
+let ablation_approx () =
+  header
+    "Ablation (paper 2, Pai et al.): in-order approximation vs \
+     cycle-accurate OOO -- the error is not a constant factor across \
+     workloads, so a fast approximate model cannot rank designs";
+  Printf.printf "%-14s %12s %12s %9s %9s\n" "Benchmark" "OOO cycles"
+    "in-order" "ratio" "time (s)";
+  List.iter
+    (fun r ->
+      let prog = r.w.Workloads.Workload.build (scale_of r.w) in
+      let a, t = time_best (fun () -> Baseline.Inorder.run prog) in
+      Printf.printf "%-14s %12d %12d %9.2f %9.2f\n"
+        r.w.Workloads.Workload.name r.slow.Fastsim.Sim.cycles
+        a.Baseline.Inorder.cycles
+        (float_of_int a.Baseline.Inorder.cycles
+        /. float_of_int r.slow.Fastsim.Sim.cycles)
+        t)
+    (Lazy.force rows)
+
+(* ---------------------------------------------------------------- *)
+(* Bechamel micro-benchmarks of the engine's kernels.                *)
+
+let micro () =
+  header "Micro-benchmarks (bechamel, ns per call)";
+  let open Bechamel in
+  let prog = (Workloads.Suite.find "go").build 2 in
+  (* a mid-run snapshot to exercise encode/decode on a busy pipeline *)
+  let busy_key =
+    let pred = Bpred.standard ~prog () in
+    let emu = Emu.Emulator.create ~predictor:pred prog in
+    let cache = Cachesim.Hierarchy.create () in
+    let oracle : Uarch.Oracle.t =
+      { cache_load =
+          (fun ~now ->
+            let l = Emu.Emulator.pop_load emu in
+            Cachesim.Hierarchy.load cache ~now ~addr:l.Emu.Emulator.l_addr);
+        cache_store =
+          (fun ~now ->
+            let s = Emu.Emulator.pop_store emu in
+            Cachesim.Hierarchy.store cache ~now ~addr:s.Emu.Emulator.s_addr);
+        fetch_control =
+          (fun () ->
+            match Emu.Emulator.next_event emu with
+            | Emu.Emulator.Cond { taken; predicted_taken; _ } ->
+              Uarch.Oracle.C_cond
+                { taken; mispredicted = taken <> predicted_taken }
+            | Emu.Emulator.Indirect { target; predicted; _ } ->
+              Uarch.Oracle.C_indirect { target; hit = predicted = Some target }
+            | _ -> Uarch.Oracle.C_stalled);
+        rollback =
+          (fun ~index -> ignore (Emu.Emulator.rollback_to emu ~index : int)) }
+    in
+    let uarch = Uarch.Detailed.create prog in
+    for i = 0 to 49 do
+      ignore
+        (Uarch.Detailed.step_cycle uarch ~now:i oracle
+          : Uarch.Detailed.cycle_result)
+    done;
+    Uarch.Detailed.snapshot uarch
+  in
+  let fetch_state, iq = Uarch.Snapshot.decode prog ~capacity:32 busy_key in
+  let hierarchy = Cachesim.Hierarchy.create () in
+  let clock = ref 0 in
+  let pcache = Memo.Pcache.create () in
+  ignore (Memo.Pcache.intern pcache busy_key : Memo.Action.config);
+  let tests =
+    Test.make_grouped ~name:"fastsim"
+      [ Test.make ~name:"snapshot-encode"
+          (Staged.stage (fun () ->
+               Sys.opaque_identity
+                 (Uarch.Snapshot.encode ~fetch:fetch_state iq)));
+        Test.make ~name:"snapshot-decode"
+          (Staged.stage (fun () ->
+               Sys.opaque_identity
+                 (Uarch.Snapshot.decode prog ~capacity:32 busy_key)));
+        Test.make ~name:"pcache-intern"
+          (Staged.stage (fun () ->
+               Sys.opaque_identity (Memo.Pcache.intern pcache busy_key)));
+        Test.make ~name:"cache-load"
+          (Staged.stage (fun () ->
+               incr clock;
+               Sys.opaque_identity
+                 (Cachesim.Hierarchy.load hierarchy ~now:!clock
+                    ~addr:(!clock * 4096 land 0xfffff))));
+        Test.make ~name:"functional-run-2k-insts"
+          (Staged.stage (fun () ->
+               Sys.opaque_identity
+                 (Emu.Emulator.run_functional ~max_insts:2000 prog))) ]
+  in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.4) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-32s %12.1f ns/call\n" name est
+      | Some _ | None -> Printf.printf "%-32s (no estimate)\n" name)
+    results
+
+let () =
+  Arg.parse (Arg.align speclist)
+    (fun a -> raise (Arg.Bad ("unknown " ^ a)))
+    usage;
+  Printf.printf "FastSim evaluation harness%s: %d workloads, repeat=%d\n%!"
+    (if !quick then " (quick)" else "")
+    (List.length (workloads ()))
+    !repeat;
+  if wanted "table1" then table1 ();
+  if wanted "table2" then table2 ();
+  if wanted "table3" then table3 ();
+  if wanted "table4" then table4 ();
+  if wanted "table5" then table5 ();
+  if wanted "figure7" then figure7 ();
+  if wanted "ablation-gc" then ablation_gc ();
+  if wanted "ablation-bpred" then ablation_bpred ();
+  if wanted "ablation-cache" then ablation_cache ();
+  if wanted "ablation-approx" then ablation_approx ();
+  if wanted "ablation-width" then ablation_width ();
+  if wanted "ablation-inputs" then ablation_inputs ();
+  if wanted "micro" then micro ()

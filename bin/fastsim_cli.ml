@@ -1,0 +1,335 @@
+(* fastsim: command-line front end.
+
+     fastsim list                         all workloads
+     fastsim run go --engine fast         simulate a workload
+     fastsim run gcc --engine all --scale 50
+     fastsim disasm perl                  disassemble a workload *)
+
+open Cmdliner
+
+let workload_conv =
+  let parse s =
+    match Workloads.Suite.find s with
+    | w -> Ok w
+    | exception Not_found ->
+      Error (`Msg (Printf.sprintf "unknown workload %S (try `fastsim list')" s))
+  in
+  let print ppf (w : Workloads.Workload.t) = Format.fprintf ppf "%s" w.name in
+  Arg.conv (parse, print)
+
+let workload_arg =
+  Arg.(
+    required
+    & pos 0 (some workload_conv) None
+    & info [] ~docv:"WORKLOAD" ~doc:"Workload name, e.g. go or 099.go.")
+
+let scale_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "scale" ] ~docv:"N" ~doc:"Iteration scale (default: per-workload).")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("fast", `Fast); ("slow", `Slow); ("baseline", `Baseline);
+                  ("functional", `Functional); ("all", `All) ])
+        `Fast
+    & info [ "engine"; "e" ] ~docv:"ENGINE"
+        ~doc:
+          "Simulation engine: $(b,fast) (memoized), $(b,slow) (detailed \
+           every cycle), $(b,baseline) (SimpleScalar-style), \
+           $(b,functional), or $(b,all).")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:
+          "P-action cache policy: $(b,unbounded), $(b,flush:BYTES), \
+           $(b,copy:BYTES), or $(b,gen:NURSERY:TOTAL).")
+
+let predictor_arg =
+  Arg.(
+    value
+    & opt (enum [ ("standard", Fastsim.Sim.Standard);
+                  ("not-taken", Fastsim.Sim.Not_taken);
+                  ("taken", Fastsim.Sim.Taken) ])
+        Fastsim.Sim.Standard
+    & info [ "predictor" ] ~docv:"PRED"
+        ~doc:"Branch predictor: $(b,standard), $(b,not-taken), $(b,taken).")
+
+let tiny_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "tiny-cache" ] ~doc:"Use the tiny cache configuration.")
+
+let save_pcache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-pcache" ] ~docv:"FILE"
+        ~doc:"After a fast run, persist the p-action cache to $(docv).")
+
+let load_pcache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "load-pcache" ] ~docv:"FILE"
+        ~doc:
+          "Warm-start the fast engine from a p-action cache saved by a \
+           previous run of the same workload and scale.")
+
+let parse_policy = function
+  | None -> Ok Memo.Pcache.Unbounded
+  | Some s -> (
+    match String.split_on_char ':' s with
+    | [ "unbounded" ] -> Ok Memo.Pcache.Unbounded
+    | [ "flush"; n ] -> Ok (Memo.Pcache.Flush_on_full (int_of_string n))
+    | [ "copy"; n ] -> Ok (Memo.Pcache.Copying_gc (int_of_string n))
+    | [ "gen"; n; t ] ->
+      Ok
+        (Memo.Pcache.Generational_gc
+           { nursery = int_of_string n; total = int_of_string t })
+    | _ -> Error (`Msg (Printf.sprintf "bad policy %S" s)))
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let print_result name (r : Fastsim.Sim.result) t =
+  Printf.printf "%s: %d cycles, %d retired (IPC %.2f) in %.2fs (%.0f Kinst/s)\n"
+    name r.cycles r.retired
+    (float_of_int r.retired /. float_of_int r.cycles)
+    t
+    (float_of_int r.retired /. t /. 1000.);
+  Printf.printf
+    "  branches: %d cond (%.1f%% mispredicted), %d indirect (%d misfetched), \
+     %d wrong-path insts\n"
+    r.branches.conditionals
+    (100.
+    *. float_of_int r.branches.mispredicted
+    /. float_of_int (max 1 r.branches.conditionals))
+    r.branches.indirects r.branches.misfetched r.wrong_path_insts;
+  Printf.printf "  cache: %d/%d L1, %d/%d L2 hits/misses\n" r.cache.l1_hits
+    r.cache.l1_misses r.cache.l2_hits r.cache.l2_misses;
+  let mix = r.retired_by_class in
+  Printf.printf "  mix:";
+  List.iter
+    (fun fu ->
+      let n = mix.(Isa.Instr.fu_index fu) in
+      if n > 0 then
+        Printf.printf " %s %.1f%%" (Isa.Instr.fu_name fu)
+          (100. *. float_of_int n /. float_of_int r.retired))
+    [ Isa.Instr.Fu_int_alu; Fu_int_mul; Fu_int_div; Fu_fp_add; Fu_fp_mul;
+      Fu_fp_div; Fu_fp_sqrt; Fu_mem; Fu_branch ];
+  print_newline ();
+  match (r.memo, r.pcache) with
+  | Some m, Some p ->
+    Printf.printf
+      "  memo: %.3f%% detailed, %d configs, %d actions, %.1f KB peak, \
+       avg chain %.0f\n"
+      (100. *. Memo.Stats.detailed_fraction m)
+      p.static_configs p.static_actions
+      (float_of_int p.peak_modeled_bytes /. 1024.)
+      (Memo.Stats.avg_chain m)
+  | _ -> ()
+
+let run_cmd =
+  let run (w : Workloads.Workload.t) scale engine policy predictor tiny
+      save_pcache load_pcache =
+    match parse_policy policy with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok policy ->
+      let scale = Option.value scale ~default:w.default_scale in
+      let prog = w.build scale in
+      let cache_config =
+        if tiny then Some Cachesim.Config.tiny else None
+      in
+      Printf.printf "%s (scale %d): %s\n" w.name scale w.description;
+      let run_fast () =
+        let pcache =
+          match load_pcache with
+          | Some path ->
+            Printf.printf "warm-starting from %s\n" path;
+            Memo.Persist.load_file ~program:prog path
+          | None -> Memo.Pcache.create ~policy ()
+        in
+        let r, t =
+          time (fun () ->
+              Fastsim.Sim.fast_sim ?cache_config ~pcache ~predictor prog)
+        in
+        print_result "FastSim" r t;
+        (match save_pcache with
+         | Some path ->
+           Memo.Persist.save_file pcache ~program:prog path;
+           Printf.printf "p-action cache saved to %s\n" path
+         | None -> ());
+        r
+      in
+      let run_slow () =
+        let r, t =
+          time (fun () -> Fastsim.Sim.slow_sim ?cache_config ~predictor prog)
+        in
+        print_result "SlowSim" r t;
+        (r, t)
+      in
+      let run_base () =
+        let r, t = time (fun () -> Baseline.run ?cache_config prog) in
+        Printf.printf
+          "SimpleScalar-style: %d cycles, %d retired in %.2fs (%.0f \
+           Kinst/s), %d mispredicts\n"
+          r.Baseline.cycles r.Baseline.retired t
+          (float_of_int r.Baseline.retired /. t /. 1000.)
+          r.Baseline.mispredicts
+      in
+      (match engine with
+       | `Fast -> ignore (run_fast () : Fastsim.Sim.result)
+       | `Slow -> ignore (run_slow () : Fastsim.Sim.result * float)
+       | `Baseline -> run_base ()
+       | `Functional ->
+         let (_, _, n), t = time (fun () -> Fastsim.Sim.functional prog) in
+         Printf.printf "functional: %d instructions in %.2fs\n" n t
+       | `All ->
+         let slow, t_slow = run_slow () in
+         let fast = run_fast () in
+         run_base ();
+         assert (slow.Fastsim.Sim.cycles = fast.Fastsim.Sim.cycles);
+         Printf.printf "memoization speedup: effectively identical results, \
+                        see times above (slow %.2fs)\n" t_slow);
+      0
+  in
+  let doc = "simulate a workload" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ workload_arg $ scale_arg $ engine_arg $ policy_arg
+      $ predictor_arg $ tiny_cache_arg $ save_pcache_arg $ load_pcache_arg)
+
+let list_cmd =
+  let list () =
+    List.iter
+      (fun (w : Workloads.Workload.t) ->
+        Printf.printf "%-14s %-8s %s\n" w.name
+          (match w.category with
+           | Workloads.Workload.Integer -> "int"
+           | Workloads.Workload.Floating -> "fp")
+          w.description)
+      Workloads.Suite.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"list the benchmark workloads")
+    Term.(const list $ const ())
+
+let disasm_cmd =
+  let disasm (w : Workloads.Workload.t) scale =
+    let scale = Option.value scale ~default:w.test_scale in
+    let prog = w.build scale in
+    Format.printf "%a" Isa.Program.pp_listing prog;
+    0
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"disassemble a workload's program")
+    Term.(const disasm $ workload_arg $ scale_arg)
+
+let asm_cmd =
+  let asm file engine =
+    let source =
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    match Isa.Parse.program source with
+    | exception Isa.Parse.Error { line; message } ->
+      Printf.eprintf "%s:%d: %s\n" file line message;
+      1
+    | exception Isa.Asm.Error m ->
+      Printf.eprintf "%s: %s\n" file m;
+      1
+    | prog -> (
+      match engine with
+      | `Functional ->
+        let (st, _, n), t = time (fun () -> Fastsim.Sim.functional prog) in
+        Printf.printf "functional: %d instructions in %.3fs\n" n t;
+        Printf.printf "  r1-r9: ";
+        for r = 1 to 9 do
+          Printf.printf "%d " (Emu.Arch_state.get_i st r)
+        done;
+        print_newline ();
+        0
+      | `Fast ->
+        let r, t = time (fun () -> Fastsim.Sim.fast_sim prog) in
+        print_result "FastSim" r t;
+        0
+      | `Slow ->
+        let r, t = time (fun () -> Fastsim.Sim.slow_sim prog) in
+        print_result "SlowSim" r t;
+        0
+      | `Baseline ->
+        let r, t = time (fun () -> Baseline.run prog) in
+        Printf.printf "baseline: %d cycles, %d retired in %.3fs\n"
+          r.Baseline.cycles r.Baseline.retired t;
+        0
+      | `All ->
+        let s, ts = time (fun () -> Fastsim.Sim.slow_sim prog) in
+        print_result "SlowSim" s ts;
+        let f, tf = time (fun () -> Fastsim.Sim.fast_sim prog) in
+        print_result "FastSim" f tf;
+        assert (s.Fastsim.Sim.cycles = f.Fastsim.Sim.cycles);
+        0)
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE.s" ~doc:"Assembly source file.")
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"assemble and simulate a textual assembly file")
+    Term.(const asm $ file_arg $ engine_arg)
+
+let trace_cmd =
+  let trace (w : Workloads.Workload.t) scale from count =
+    let scale = Option.value scale ~default:w.test_scale in
+    let prog = w.build scale in
+    Printf.printf "%s (scale %d): pipeline trace, cycles %d..%d\n" w.name
+      scale from
+      (from + count - 1);
+    let upto = from + count in
+    let observer cycle uarch (r : Uarch.Detailed.cycle_result) =
+      if cycle >= from && cycle < upto then begin
+        Printf.printf "\n=== cycle %d: retired %d, %d interaction(s)\n"
+          cycle r.Uarch.Detailed.retired r.Uarch.Detailed.interactions;
+        Format.printf "%a@?" Uarch.Detailed.dump uarch
+      end
+    in
+    (try
+       ignore
+         (Fastsim.Sim.slow_sim ~max_cycles:(upto + 1_000_000) ~observer prog
+           : Fastsim.Sim.result)
+     with Fastsim.Sim.Deadlock _ -> ());
+    0
+  in
+  let from_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "from" ] ~docv:"CYCLE" ~doc:"First cycle to print.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "cycles"; "n" ] ~docv:"N" ~doc:"Number of cycles to print.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"print a cycle-by-cycle pipeline trace (detailed simulation)")
+    Term.(const trace $ workload_arg $ scale_arg $ from_arg $ count_arg)
+
+let () =
+  let doc = "FastSim: out-of-order processor simulation with memoization" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "fastsim" ~doc)
+          [ run_cmd; list_cmd; disasm_cmd; asm_cmd; trace_cmd ]))

@@ -1,0 +1,157 @@
+(* Memo explorer: watch fast-forwarding work. Runs a workload with
+   memoization, then dumps the p-action cache's structure — the
+   configurations (compressed pipeline snapshots) and their action chains,
+   the graph of Figure 5/6 in the paper.
+
+     dune exec examples/memo_explorer.exe -- [workload] [scale] *)
+
+let dump_chain ppf first =
+  let rec go depth node =
+    let pad = String.make (2 * depth) ' ' in
+    match node with
+    | Memo.Action.N_load ln ->
+      Format.fprintf ppf "%sCacheLoad\n" pad;
+      List.iter
+        (fun (lat, next) ->
+          Format.fprintf ppf "%s  latency=%d ->\n" pad lat;
+          go (depth + 2) next)
+        ln.Memo.Action.l_edges
+    | Memo.Action.N_store next ->
+      Format.fprintf ppf "%sCacheStore\n" pad;
+      go depth next
+    | Memo.Action.N_ctl cn ->
+      Format.fprintf ppf "%sFetchControl\n" pad;
+      List.iter
+        (fun (out, next) ->
+          (match out with
+           | Uarch.Oracle.C_cond { taken; mispredicted } ->
+             Format.fprintf ppf "%s  cond %s%s ->\n" pad
+               (if taken then "taken" else "not-taken")
+               (if mispredicted then " (mispredicted)" else "")
+           | Uarch.Oracle.C_indirect { target; hit } ->
+             Format.fprintf ppf "%s  indirect 0x%x%s ->\n" pad target
+               (if hit then "" else " (misfetch)")
+           | Uarch.Oracle.C_stalled ->
+             Format.fprintf ppf "%s  stalled ->\n" pad);
+          go (depth + 2) next)
+        cn.Memo.Action.c_edges
+    | Memo.Action.N_rollback (i, next) ->
+      Format.fprintf ppf "%sRollback bQ[%d]\n" pad i;
+      go depth next
+    | Memo.Action.N_halt -> Format.fprintf ppf "%sHalt\n" pad
+    | Memo.Action.N_goto g ->
+      Format.fprintf ppf "%sGoto config (%d entries)\n" pad
+        (Uarch.Snapshot.entry_count g.Memo.Action.target.Memo.Action.cfg_key)
+  in
+  go 1 first
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "perl" in
+  let w = Workloads.Suite.find name in
+  let scale =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2)
+    else w.test_scale
+  in
+  let prog = w.build scale in
+  Printf.printf "workload %s (scale %d): %s\n\n" w.name scale w.description;
+  (* Run memoized simulation, but keep the p-action cache for inspection by
+     rebuilding the run here with the driver's own pieces. *)
+  let fast = Fastsim.Sim.fast_sim prog in
+  Printf.printf "simulated %d cycles, %d instructions retired\n" fast.cycles
+    fast.retired;
+  (match (fast.memo, fast.pcache) with
+   | Some m, Some p ->
+     Printf.printf "p-action cache: %d configurations, %d actions, %.1f KB\n"
+       p.static_configs p.static_actions
+       (float_of_int p.peak_modeled_bytes /. 1024.);
+     Printf.printf
+       "dynamic: %d actions replayed over %d configuration visits\n"
+       m.actions_replayed m.groups_replayed;
+     Printf.printf "  (%.1f actions/config, avg chain %.0f, max chain %d)\n"
+       (float_of_int m.actions_replayed
+       /. float_of_int (max 1 m.groups_replayed))
+       (Memo.Stats.avg_chain m) m.chain_max
+   | _ -> ());
+  (* Show the first cycles of detailed simulation and the structure that
+     gets recorded, by re-running a few steps by hand. *)
+  print_endline "\n--- first detailed cycles (pipeline dumps) ---";
+  let pred = Bpred.standard ~prog () in
+  let emu = Emu.Emulator.create ~predictor:pred prog in
+  let cache = Cachesim.Hierarchy.create () in
+  let oracle : Uarch.Oracle.t =
+    { cache_load =
+        (fun ~now ->
+          let l = Emu.Emulator.pop_load emu in
+          Cachesim.Hierarchy.load cache ~now ~addr:l.Emu.Emulator.l_addr);
+      cache_store =
+        (fun ~now ->
+          let s = Emu.Emulator.pop_store emu in
+          Cachesim.Hierarchy.store cache ~now ~addr:s.Emu.Emulator.s_addr);
+      fetch_control =
+        (fun () ->
+          match Emu.Emulator.next_event emu with
+          | Emu.Emulator.Cond { taken; predicted_taken; _ } ->
+            Uarch.Oracle.C_cond
+              { taken; mispredicted = taken <> predicted_taken }
+          | Emu.Emulator.Indirect { target; predicted; _ } ->
+            Uarch.Oracle.C_indirect { target; hit = predicted = Some target }
+          | _ -> Uarch.Oracle.C_stalled);
+      rollback =
+        (fun ~index -> ignore (Emu.Emulator.rollback_to emu ~index : int)) }
+  in
+  let uarch = Uarch.Detailed.create prog in
+  let pcache = Memo.Pcache.create () in
+  let items = ref [] and silent = ref 0 and retired = ref 0 in
+  let cfg = ref (Memo.Pcache.intern pcache (Uarch.Detailed.snapshot uarch)) in
+  (* record the first few groups *)
+  let shown = ref 0 in
+  let cycle = ref 0 in
+  while !shown < 3 && not (Uarch.Detailed.halted uarch) do
+    let wrapped =
+      { oracle with
+        Uarch.Oracle.cache_load =
+          (fun ~now ->
+            let lat = oracle.Uarch.Oracle.cache_load ~now in
+            items := Memo.Action.I_load lat :: !items;
+            lat);
+        cache_store =
+          (fun ~now ->
+            oracle.Uarch.Oracle.cache_store ~now;
+            items := Memo.Action.I_store :: !items);
+        fetch_control =
+          (fun () ->
+            let out = oracle.Uarch.Oracle.fetch_control () in
+            items := Memo.Action.I_ctl out :: !items;
+            out) }
+    in
+    let r = Uarch.Detailed.step_cycle uarch ~now:!cycle wrapped in
+    incr cycle;
+    retired := !retired + r.Uarch.Detailed.retired;
+    if r.Uarch.Detailed.interactions > 0 then begin
+      let key = Uarch.Detailed.snapshot uarch in
+      ignore
+        (Memo.Pcache.merge_group pcache !cfg ~silent:!silent
+           ~retired:!retired ~classes:[||]
+           ~items:(List.rev !items)
+           ~terminal:(Memo.Action.T_goto key)
+          : Memo.Action.config option);
+      Printf.printf
+        "\ngroup %d: config (%d entries, %d modeled bytes), %d silent \
+         cycles, %d retired, chain:\n"
+        !shown
+        (Uarch.Snapshot.entry_count !cfg.Memo.Action.cfg_key)
+        (Uarch.Snapshot.modeled_bytes !cfg.Memo.Action.cfg_key)
+        !silent !retired;
+      (match !cfg.Memo.Action.cfg_group with
+       | Some g -> dump_chain Format.std_formatter g.Memo.Action.g_first
+       | None -> ());
+      Format.printf "pipeline after this group:\n%a" Uarch.Detailed.dump
+        uarch;
+      cfg := Memo.Pcache.intern pcache key;
+      items := [];
+      silent := 0;
+      retired := 0;
+      incr shown
+    end
+    else incr silent
+  done

@@ -1,0 +1,56 @@
+(* Policy sweep: a miniature of the paper's Figure 7. Sweeps the p-action
+   cache budget for one workload under all three replacement policies and
+   prints the resulting memoization speedup curve.
+
+     dune exec examples/policy_sweep.exe -- [workload] [scale] *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "compress" in
+  let w = Workloads.Suite.find name in
+  let scale =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2)
+    else max 1 (w.default_scale / 4)
+  in
+  let prog = w.build scale in
+  Printf.printf "workload %s (scale %d)\n" w.name scale;
+  let slow, t_slow = time (fun () -> Fastsim.Sim.slow_sim prog) in
+  let fast, t_fast = time (fun () -> Fastsim.Sim.fast_sim prog) in
+  assert (slow.cycles = fast.cycles);
+  let natural =
+    match fast.pcache with
+    | Some p -> p.peak_modeled_bytes
+    | None -> 0
+  in
+  Printf.printf
+    "SlowSim %.2fs; unbounded FastSim %.2fs (%.2fx); natural p-action size \
+     %.1f KB\n\n"
+    t_slow t_fast (t_slow /. t_fast)
+    (float_of_int natural /. 1024.);
+  Printf.printf "%10s %14s %14s %16s\n" "budget" "flush-on-full"
+    "copying-gc" "generational-gc";
+  let budgets =
+    List.filter (fun b -> b <= max 4096 natural)
+      [ 512; 1024; 2048; 4096; 8192; 16384; 32768; 65536; 131072 ]
+  in
+  List.iter
+    (fun budget ->
+      let speedup policy =
+        let r, t = time (fun () -> Fastsim.Sim.fast_sim ~policy prog) in
+        assert (r.Fastsim.Sim.cycles = slow.cycles);
+        t_slow /. t
+      in
+      Printf.printf "%9dK %14.2f %14.2f %16.2f\n" (budget / 1024)
+        (speedup (Memo.Pcache.Flush_on_full budget))
+        (speedup (Memo.Pcache.Copying_gc budget))
+        (speedup
+           (Memo.Pcache.Generational_gc
+              { nursery = max 512 (budget / 4); total = budget })))
+    budgets;
+  print_endline
+    "\n(cycle counts are identical in every cell: policies trade time for \
+     memory, never accuracy)"

@@ -1,0 +1,427 @@
+exception Fault = Emu.Emulator.Fault
+exception Deadlock of string
+
+type result = {
+  cycles : int;
+  retired : int;
+  wrong_path_insts : int;
+  mispredicts : int;
+  cache : Cachesim.Hierarchy.stats;
+  final_state : Emu.Arch_state.t;
+}
+
+type ustate = U_waiting | U_issued of int | U_complete
+
+type uop = {
+  q_id : int;
+  q_addr : int;
+  q_insn : Isa.Instr.t;
+  q_fu : Isa.Instr.fu_class;
+  mutable q_state : ustate;
+  q_srcs : int list;  (* RUU ids of in-flight producers at dispatch time *)
+  q_is_load : bool;
+  q_is_store : bool;
+  q_mem_addr : int;   (* effective address, -1 for non-memory ops *)
+  q_mem_width : int;
+  mutable q_mispredict : bool;  (* unrepaired conditional misprediction *)
+  q_ind_misfetch : bool;        (* indirect jump the front end missed *)
+  q_is_halt : bool;
+  q_rename : (int array * int array) option;
+      (* rename-table snapshot for misprediction recovery *)
+}
+
+type t = {
+  prog : Isa.Program.t;
+  emu : Emu.Emulator.t;
+  cache : Cachesim.Hierarchy.t;
+  ruu : uop option array;
+  lsq_size : int;
+  fetch_width : int;
+  commit_width : int;
+  mutable oldest : int;
+  mutable next : int;
+  rename_i : int array;
+  rename_f : int array;
+  mutable fetch_stall : int;  (* uop id fetch waits on, -1 if none *)
+  mutable fetch_wedged : bool;
+  mutable fetch_halted : bool;
+  mutable cycle : int;
+  mutable retired : int;
+  mutable squashed : int;
+  mutable mispredicts : int;
+  mutable halted : bool;
+}
+
+let cap t = Array.length t.ruu
+let size t = t.next - t.oldest
+let slot t id = id mod cap t
+
+let entry t id =
+  match t.ruu.(slot t id) with Some u -> u | None -> assert false
+
+let in_ruu t id = id >= t.oldest && id < t.next
+
+let iter_ruu f t =
+  for id = t.oldest to t.next - 1 do
+    f (entry t id)
+  done
+
+let lsq_count t =
+  let n = ref 0 in
+  iter_ruu (fun u -> if u.q_is_load || u.q_is_store then incr n) t;
+  !n
+
+let src_ready t id = (not (in_ruu t id)) || (entry t id).q_state = U_complete
+
+let commit_hook : (uop -> unit) option ref = ref None
+
+(* ---- commit ---- *)
+
+let commit t =
+  let k = ref 0 and continue_ = ref true in
+  while !continue_ && !k < t.commit_width && size t > 0 do
+    let u = entry t t.oldest in
+    if u.q_state = U_complete then begin
+      t.ruu.(slot t t.oldest) <- None;
+      t.oldest <- t.oldest + 1;
+      t.retired <- t.retired + 1;
+      (match !commit_hook with Some f -> f u | None -> ());
+      incr k;
+      (match Isa.Instr.dest u.q_insn with
+       | Some (Isa.Instr.Dint r) ->
+         if t.rename_i.(r) = u.q_id then t.rename_i.(r) <- -1
+       | Some (Isa.Instr.Dfloat r) ->
+         if t.rename_f.(r) = u.q_id then t.rename_f.(r) <- -1
+       | None -> ());
+      if u.q_is_halt then begin
+        t.halted <- true;
+        continue_ := false
+      end
+    end
+    else continue_ := false
+  done
+
+(* ---- misprediction recovery ---- *)
+
+let recover t (u : uop) =
+  t.mispredicts <- t.mispredicts + 1;
+  let index = ref 0 in
+  for id = t.oldest to u.q_id - 1 do
+    if (entry t id).q_mispredict then incr index
+  done;
+  u.q_mispredict <- false;
+  ignore (Emu.Emulator.rollback_to t.emu ~index:!index : int);
+  for id = u.q_id + 1 to t.next - 1 do
+    t.ruu.(slot t id) <- None;
+    t.squashed <- t.squashed + 1
+  done;
+  t.next <- u.q_id + 1;
+  (match u.q_rename with
+   | Some (ri, rf) ->
+     Array.blit ri 0 t.rename_i 0 (Array.length ri);
+     Array.blit rf 0 t.rename_f 0 (Array.length rf)
+   | None -> assert false);
+  (* Entries naming squashed uops are stale (they were renamed after the
+     snapshot was taken only if younger). *)
+  Array.iteri
+    (fun r id -> if id >= t.next then t.rename_i.(r) <- -1)
+    t.rename_i;
+  Array.iteri
+    (fun r id -> if id >= t.next then t.rename_f.(r) <- -1)
+    t.rename_f;
+  if t.fetch_stall >= t.next then t.fetch_stall <- -1;
+  t.fetch_wedged <- false;
+  t.fetch_halted <- false
+
+(* ---- writeback ---- *)
+
+let writeback t =
+  let id = ref t.oldest in
+  while !id < t.next do
+    let u = entry t !id in
+    (match u.q_state with
+     | U_issued n when n > 1 -> u.q_state <- U_issued (n - 1)
+     | U_issued _ ->
+       u.q_state <- U_complete;
+       if u.q_is_store then
+         Cachesim.Hierarchy.store t.cache ~now:t.cycle ~addr:u.q_mem_addr;
+       if u.q_mispredict then recover t u
+       else if u.q_ind_misfetch && t.fetch_stall = u.q_id then
+         t.fetch_stall <- -1
+     | U_waiting | U_complete -> ());
+    incr id
+  done
+
+(* ---- issue ---- *)
+
+let overlaps a1 w1 a2 w2 = a1 < a2 + w2 && a2 < a1 + w1
+
+let issue t =
+  let int_issued = ref 0 and fp_issued = ref 0 and mem_issued = ref 0 in
+  let div_busy = ref false and fpdiv_busy = ref false in
+  iter_ruu
+    (fun u ->
+      match u.q_state, u.q_fu with
+      | U_issued _, Isa.Instr.Fu_int_div -> div_busy := true
+      | U_issued _, (Isa.Instr.Fu_fp_div | Isa.Instr.Fu_fp_sqrt) ->
+        fpdiv_busy := true
+      | _ -> ())
+    t;
+  for id = t.oldest to t.next - 1 do
+    let u = entry t id in
+    if u.q_state = U_waiting && List.for_all (src_ready t) u.q_srcs then begin
+      let unit_free =
+        match u.q_fu with
+        | Isa.Instr.Fu_int_alu | Fu_branch | Fu_int_mul -> !int_issued < 2
+        | Fu_int_div -> !int_issued < 2 && not !div_busy
+        | Fu_fp_add | Fu_fp_mul -> !fp_issued < 2
+        | Fu_fp_div | Fu_fp_sqrt -> !fp_issued < 2 && not !fpdiv_busy
+        | Fu_mem -> !mem_issued < 1
+        | Fu_none -> false
+      in
+      if unit_free then
+        if u.q_is_load then begin
+          (* Address-based disambiguation against older stores. *)
+          let blocked = ref false and forwarded = ref false in
+          for sid = t.oldest to id - 1 do
+            let s = entry t sid in
+            if
+              s.q_is_store
+              && overlaps s.q_mem_addr s.q_mem_width u.q_mem_addr
+                   u.q_mem_width
+            then
+              if s.q_state = U_complete then forwarded := true
+              else blocked := true
+          done;
+          if not !blocked then begin
+            incr mem_issued;
+            let lat =
+              if !forwarded then 2
+              else
+                1
+                + Cachesim.Hierarchy.load t.cache ~now:t.cycle
+                    ~addr:u.q_mem_addr
+            in
+            u.q_state <- U_issued lat
+          end
+        end
+        else begin
+          (match u.q_fu with
+           | Isa.Instr.Fu_int_alu | Fu_branch | Fu_int_mul -> incr int_issued
+           | Fu_int_div ->
+             incr int_issued;
+             div_busy := true
+           | Fu_fp_add | Fu_fp_mul -> incr fp_issued
+           | Fu_fp_div | Fu_fp_sqrt ->
+             incr fp_issued;
+             fpdiv_busy := true
+           | Fu_mem -> incr mem_issued
+           | Fu_none -> ());
+          u.q_state <- U_issued (Isa.Instr.latency u.q_fu)
+        end
+    end
+  done
+
+(* ---- fetch/dispatch: in-order functional execution in the pipeline ---- *)
+
+let srcs_of t insn =
+  List.filter_map
+    (fun src ->
+      let id =
+        match src with
+        | Isa.Instr.Dint r -> t.rename_i.(r)
+        | Isa.Instr.Dfloat r -> t.rename_f.(r)
+      in
+      if id >= 0 && in_ruu t id && (entry t id).q_state <> U_complete then
+        Some id
+      else None)
+    (Isa.Instr.sources insn)
+
+let push_uop t u =
+  t.ruu.(slot t t.next) <- Some u;
+  t.next <- t.next + 1
+
+(* SimpleScalar interprets in the pipeline: every dispatch re-fetches the
+   raw instruction word from the image and decodes it, where FastSim's
+   direct execution runs predecoded code. This models the per-instruction
+   decode/interpretation work the paper's baseline pays. *)
+let fetch_decode t pc =
+  if Isa.Program.in_code t.prog pc then
+    let w =
+      t.prog.Isa.Program.words.((pc - t.prog.Isa.Program.code_base) / 4)
+    in
+    match Isa.Encode.decode w with
+    | insn -> Some insn
+    | exception Isa.Encode.Decode_error _ -> None
+  else None
+
+let dispatch t =
+  let k = ref 0 and continue_ = ref true in
+  while
+    !continue_ && !k < t.fetch_width
+    && size t < cap t
+    && t.fetch_stall = -1
+    && (not t.fetch_wedged)
+    && not t.fetch_halted
+  do
+    let pc = (Emu.Emulator.state t.emu).Emu.Arch_state.pc in
+    let peek = fetch_decode t pc in
+    let is_mem =
+      match peek with
+      | Some insn -> Isa.Instr.is_load insn || Isa.Instr.is_store insn
+      | None -> false
+    in
+    if is_mem && lsq_count t >= t.lsq_size then continue_ := false
+    else begin
+      let rename_snap =
+        match peek with
+        | Some insn -> (
+          match Isa.Instr.control insn with
+          | Isa.Instr.Ctl_cond ->
+            Some (Array.copy t.rename_i, Array.copy t.rename_f)
+          | _ -> None)
+        | None -> None
+      in
+      let srcs = match peek with Some i -> srcs_of t i | None -> [] in
+      let s = Emu.Emulator.step_one t.emu in
+      (match s.Emu.Emulator.s_load with
+       | Some _ ->
+         ignore (Emu.Emulator.pop_load t.emu : Emu.Emulator.load_rec)
+       | None -> ());
+      (match s.Emu.Emulator.s_store with
+       | Some _ ->
+         ignore (Emu.Emulator.pop_store t.emu : Emu.Emulator.store_rec)
+       | None -> ());
+      match s.Emu.Emulator.s_event with
+      | Some (Emu.Emulator.Wedged _) ->
+        t.fetch_wedged <- true;
+        continue_ := false
+      | Some (Emu.Emulator.Halted _) ->
+        push_uop t
+          { q_id = t.next;
+            q_addr = pc;
+            q_insn = Isa.Instr.Halt;
+            q_fu = Isa.Instr.Fu_none;
+            q_state = U_complete;
+            q_srcs = [];
+            q_is_load = false;
+            q_is_store = false;
+            q_mem_addr = -1;
+            q_mem_width = 0;
+            q_mispredict = false;
+            q_ind_misfetch = false;
+            q_is_halt = true;
+            q_rename = None };
+        t.fetch_halted <- true;
+        continue_ := false
+      | event ->
+        let insn =
+          match peek with Some i -> i | None -> assert false
+        in
+        let mem_addr, mem_width =
+          match s.Emu.Emulator.s_load, s.Emu.Emulator.s_store with
+          | Some l, _ -> (l.Emu.Emulator.l_addr, l.Emu.Emulator.l_width)
+          | None, Some st -> (st.Emu.Emulator.s_addr, st.Emu.Emulator.s_width)
+          | None, None -> (-1, 0)
+        in
+        let mispredict, fetched_taken =
+          match event with
+          | Some (Emu.Emulator.Cond { taken; predicted_taken; _ }) ->
+            (taken <> predicted_taken, predicted_taken)
+          | _ -> (false, false)
+        in
+        let ind_misfetch =
+          match event with
+          | Some (Emu.Emulator.Indirect { target; predicted; _ }) ->
+            predicted <> Some target
+          | _ -> false
+        in
+        let fu = Isa.Instr.fu_class insn in
+        let u =
+          { q_id = t.next;
+            q_addr = pc;
+            q_insn = insn;
+            q_fu = fu;
+            q_state = (if fu = Isa.Instr.Fu_none then U_complete else U_waiting);
+            q_srcs = srcs;
+            q_is_load = Isa.Instr.is_load insn;
+            q_is_store = Isa.Instr.is_store insn;
+            q_mem_addr = mem_addr;
+            q_mem_width = mem_width;
+            q_mispredict = mispredict;
+            q_ind_misfetch = ind_misfetch;
+            q_is_halt = false;
+            q_rename = rename_snap }
+        in
+        push_uop t u;
+        (match Isa.Instr.dest insn with
+         | Some (Isa.Instr.Dint r) -> t.rename_i.(r) <- u.q_id
+         | Some (Isa.Instr.Dfloat r) -> t.rename_f.(r) <- u.q_id
+         | None -> ());
+        if ind_misfetch then t.fetch_stall <- u.q_id;
+        incr k;
+        (* A taken (or predicted-taken) transfer ends the fetch packet. *)
+        (match Isa.Instr.control insn with
+         | Isa.Instr.Ctl_direct _ | Isa.Instr.Ctl_indirect ->
+           continue_ := false
+         | Isa.Instr.Ctl_cond -> if fetched_taken then continue_ := false
+         | Isa.Instr.Ctl_none | Isa.Instr.Ctl_halt -> ())
+    end
+  done
+
+let run ?(ruu_size = 32) ?(lsq_size = 16) ?(fetch_width = 4)
+    ?(commit_width = 4) ?cache_config ?(max_cycles = max_int) prog =
+  let predictor = Bpred.standard ~prog () in
+  let t =
+    { prog;
+      emu = Emu.Emulator.create ~read_ahead:false ~predictor prog;
+      cache = Cachesim.Hierarchy.create ?config:cache_config ();
+      ruu = Array.make ruu_size None;
+      lsq_size;
+      fetch_width;
+      commit_width;
+      oldest = 0;
+      next = 0;
+      rename_i = Array.make Isa.Reg.count (-1);
+      rename_f = Array.make Isa.Reg.count (-1);
+      fetch_stall = -1;
+      fetch_wedged = false;
+      fetch_halted = false;
+      cycle = 0;
+      retired = 0;
+      squashed = 0;
+      mispredicts = 0;
+      halted = false }
+  in
+  let last_progress = ref 0 in
+  while not t.halted do
+    if t.cycle >= max_cycles then raise (Deadlock "cycle limit exceeded");
+    let before = t.retired in
+    commit t;
+    if not t.halted then begin
+      writeback t;
+      issue t;
+      dispatch t
+    end;
+    t.cycle <- t.cycle + 1;
+    if t.retired > before then last_progress := t.cycle;
+    if t.cycle - !last_progress > 100_000 then
+      raise (Deadlock "no commit progress")
+  done;
+  { cycles = t.cycle;
+    retired = t.retired;
+    wrong_path_insts = t.squashed;
+    mispredicts = t.mispredicts;
+    cache = Cachesim.Hierarchy.stats t.cache;
+    final_state = Emu.Emulator.state t.emu }
+
+
+(* Debug helper: committed instruction addresses. *)
+let run_trace prog =
+  let addrs = ref [] in
+  commit_hook := Some (fun u -> if not u.q_is_halt then addrs := u.q_addr :: !addrs);
+  ignore (run prog : result);
+  commit_hook := None;
+  List.rev !addrs
+
+module Inorder = Inorder

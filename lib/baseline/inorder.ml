@@ -1,0 +1,63 @@
+type result = {
+  cycles : int;
+  retired : int;
+  cache : Cachesim.Hierarchy.stats;
+}
+
+let run ?cache_config ?(mispredict_penalty = 4) ?(max_insts = max_int) prog =
+  let predictor = Bpred.standard ~prog () in
+  let emu = Emu.Emulator.create ~read_ahead:false ~predictor prog in
+  let cache = Cachesim.Hierarchy.create ?config:cache_config () in
+  let cycles = ref 0 and retired = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !retired < max_insts do
+    let outstanding_before = Emu.Emulator.outstanding emu in
+    let s = Emu.Emulator.step_one emu in
+    match s.Emu.Emulator.s_event with
+    | Some (Emu.Emulator.Halted _) -> continue_ := false
+    | ev ->
+      incr retired;
+      (* one issue slot per cycle *)
+      incr cycles;
+      (* long-latency units stall the single pipeline *)
+      (match Isa.Program.fetch_opt prog s.Emu.Emulator.s_addr with
+       | Some insn ->
+         let fu = Isa.Instr.fu_class insn in
+         let lat = Isa.Instr.latency fu in
+         if lat > 1 then cycles := !cycles + lat - 1
+       | None -> ());
+      (* blocking cache: a load stalls for its full latency *)
+      (match s.Emu.Emulator.s_load with
+       | Some l ->
+         ignore (Emu.Emulator.pop_load emu : Emu.Emulator.load_rec);
+         let lat =
+           Cachesim.Hierarchy.load cache ~now:!cycles
+             ~addr:l.Emu.Emulator.l_addr
+         in
+         cycles := !cycles + lat
+       | None -> ());
+      (match s.Emu.Emulator.s_store with
+       | Some st ->
+         ignore (Emu.Emulator.pop_store emu : Emu.Emulator.store_rec);
+         Cachesim.Hierarchy.store cache ~now:!cycles
+           ~addr:st.Emu.Emulator.s_addr
+       | None -> ());
+      (* an in-order pipeline repairs mispredictions immediately with a
+         fixed refetch penalty *)
+      (match ev with
+       | Some (Emu.Emulator.Cond _)
+         when Emu.Emulator.outstanding emu > outstanding_before ->
+         ignore
+           (Emu.Emulator.rollback_to emu
+              ~index:(Emu.Emulator.outstanding emu - 1)
+             : int);
+         (* the rolled-back branch stays retired; only timing is charged *)
+         cycles := !cycles + mispredict_penalty
+       | Some (Emu.Emulator.Indirect { target; predicted; _ })
+         when predicted <> Some target ->
+         cycles := !cycles + mispredict_penalty
+       | _ -> ())
+  done;
+  { cycles = !cycles;
+    retired = !retired;
+    cache = Cachesim.Hierarchy.stats cache }

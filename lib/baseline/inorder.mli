@@ -1,0 +1,31 @@
+(** A simple in-order timing approximation.
+
+    The paper's related work (§2) contrasts FastSim with fast approximate
+    simulators — WWT2's static basic-block timing, simple in-order pipeline
+    models — and cites Pai et al. (HPCA 1997): out-of-order processors
+    {e cannot} be approximated accurately by in-order models, because of the
+    unpredictable overlap of reordered memory operations. FastSim's whole
+    point is getting out-of-order accuracy without paying for it on every
+    cycle.
+
+    This module is that strawman, built honestly: a single-issue in-order
+    pipeline with a blocking view of the same cache model and a fixed
+    misprediction penalty. It runs fast, and the benchmark harness
+    (`--ablation approx`) shows how far its cycle counts drift from the
+    cycle-accurate model — and, crucially, that the error is {e not a
+    constant factor} across workloads, which is what makes such models
+    unusable for comparing designs. *)
+
+type result = {
+  cycles : int;     (** approximate cycle count. *)
+  retired : int;
+  cache : Cachesim.Hierarchy.stats;
+}
+
+val run :
+  ?cache_config:Cachesim.Config.t ->
+  ?mispredict_penalty:int ->
+  ?max_insts:int ->
+  Isa.Program.t ->
+  result
+(** Default misprediction penalty: 4 cycles. *)

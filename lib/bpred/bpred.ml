@@ -1,0 +1,91 @@
+let check_pow2 name n =
+  if n <= 0 || n land (n - 1) <> 0 then
+    invalid_arg (name ^ ": size must be a power of two")
+
+module Twobit = struct
+  type t = { counters : int array; mask : int }
+
+  let create ?(entries = 512) () =
+    check_pow2 "Twobit.create" entries;
+    { counters = Array.make entries 1; mask = entries - 1 }
+
+  let index t pc = (pc lsr 2) land t.mask
+  let predict t ~pc = t.counters.(index t pc) >= 2
+
+  let train t ~pc ~taken =
+    let i = index t pc in
+    let c = t.counters.(i) in
+    t.counters.(i) <- (if taken then min 3 (c + 1) else max 0 (c - 1))
+
+  let entries t = Array.length t.counters
+end
+
+module Btb = struct
+  type t = { tags : int array; targets : int array; mask : int }
+
+  let create ?(entries = 64) () =
+    check_pow2 "Btb.create" entries;
+    { tags = Array.make entries (-1); targets = Array.make entries 0;
+      mask = entries - 1 }
+
+  let index t pc = (pc lsr 2) land t.mask
+
+  let predict t ~pc =
+    let i = index t pc in
+    if t.tags.(i) = pc then Some t.targets.(i) else None
+
+  let train t ~pc ~target =
+    let i = index t pc in
+    t.tags.(i) <- pc;
+    t.targets.(i) <- target
+end
+
+module Ras = struct
+  type t = { stack : int array; mutable top : int; mutable size : int }
+
+  let create ?(depth = 16) () =
+    check_pow2 "Ras.create" depth;
+    { stack = Array.make depth 0; top = 0; size = 0 }
+
+  let push t addr =
+    t.stack.(t.top) <- addr;
+    t.top <- (t.top + 1) land (Array.length t.stack - 1);
+    t.size <- min (t.size + 1) (Array.length t.stack)
+
+  let pop t =
+    if t.size = 0 then None
+    else begin
+      t.top <- (t.top - 1) land (Array.length t.stack - 1);
+      t.size <- t.size - 1;
+      Some t.stack.(t.top)
+    end
+
+  let depth t = t.size
+end
+
+let is_return prog pc =
+  match prog with
+  | None -> false
+  | Some p -> (
+    match Isa.Program.fetch_opt p pc with
+    | Some (Isa.Instr.Jr rs) -> rs = Isa.Reg.link
+    | Some _ | None -> false)
+
+let standard ?prog () : Emu.Predictor.t =
+  let bht = Twobit.create () in
+  let btb = Btb.create () in
+  let ras = Ras.create () in
+  { predict_cond = (fun ~pc -> Twobit.predict bht ~pc);
+    train_cond = (fun ~pc ~taken -> Twobit.train bht ~pc ~taken);
+    predict_indirect =
+      (fun ~pc ->
+        if is_return prog pc then Ras.pop ras else Btb.predict btb ~pc);
+    train_indirect =
+      (fun ~pc ~target ->
+        if not (is_return prog pc) then Btb.train btb ~pc ~target);
+    note_call = (fun ~pc:_ ~return_to -> Ras.push ras return_to) }
+
+let static_not_taken () = Emu.Predictor.always_not_taken
+
+let static_taken () : Emu.Predictor.t =
+  { Emu.Predictor.always_not_taken with predict_cond = (fun ~pc:_ -> true) }

@@ -1,0 +1,61 @@
+(** Branch predictors.
+
+    The paper's processor model (Table 1) uses a 2-bit, 512-entry branch
+    history table for conditional branches. For indirect jumps — whose
+    targets the paper treats purely as dynamic outcomes — we add a small
+    branch target buffer and a return-address stack so that returns and
+    stable computed jumps do not stall fetch forever; DESIGN.md documents
+    this choice.
+
+    All predictors are exposed both as their own types (for direct unit
+    testing) and as {!Emu.Predictor.t} values for plugging into the
+    emulator. *)
+
+(** 2-bit saturating-counter branch history table. *)
+module Twobit : sig
+  type t
+
+  val create : ?entries:int -> unit -> t
+  (** [entries] must be a power of two; defaults to 512 (Table 1).
+      Counters start at 1 (weakly not-taken). *)
+
+  val predict : t -> pc:int -> bool
+  val train : t -> pc:int -> taken:bool -> unit
+  val entries : t -> int
+end
+
+(** Branch target buffer for indirect jumps (direct-mapped, tagged). *)
+module Btb : sig
+  type t
+
+  val create : ?entries:int -> unit -> t
+  (** [entries] must be a power of two; defaults to 64. *)
+
+  val predict : t -> pc:int -> int option
+  val train : t -> pc:int -> target:int -> unit
+end
+
+(** Return address stack. *)
+module Ras : sig
+  type t
+
+  val create : ?depth:int -> unit -> t
+  (** Defaults to 16 entries; overflow wraps (oldest entries lost). *)
+
+  val push : t -> int -> unit
+  val pop : t -> int option
+  val depth : t -> int
+end
+
+val standard : ?prog:Isa.Program.t -> unit -> Emu.Predictor.t
+(** The paper's configuration: 2-bit/512-entry BHT for conditional
+    branches, plus BTB and RAS for indirect jumps. If [prog] is given,
+    [Jr r31] instructions are treated as returns and predicted with the
+    RAS; all other indirect jumps use the BTB. *)
+
+val static_not_taken : unit -> Emu.Predictor.t
+(** Ablation predictor: always predicts not-taken, never predicts
+    indirect targets. *)
+
+val static_taken : unit -> Emu.Predictor.t
+(** Ablation predictor: always predicts taken. *)

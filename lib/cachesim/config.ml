@@ -1,0 +1,37 @@
+type t = {
+  l1_size : int;
+  l1_ways : int;
+  l1_line : int;
+  l1_hit_latency : int;
+  l1_miss_penalty : int;
+  l1_mshrs : int;
+  l2_size : int;
+  l2_ways : int;
+  l2_line : int;
+  l2_hit_latency : int;
+  l2_mshrs : int;
+  mem_latency : int;
+  bus_width : int;
+}
+
+let default =
+  { l1_size = 16 * 1024;
+    l1_ways = 2;
+    l1_line = 32;
+    l1_hit_latency = 2;
+    l1_miss_penalty = 6;
+    l1_mshrs = 8;
+    l2_size = 1024 * 1024;
+    l2_ways = 2;
+    l2_line = 128;
+    l2_hit_latency = 8;
+    l2_mshrs = 8;
+    mem_latency = 40;
+    bus_width = 8 }
+
+let tiny =
+  { default with
+    l1_size = 256;
+    l2_size = 4 * 1024;
+    l1_mshrs = 2;
+    l2_mshrs = 2 }

@@ -1,0 +1,29 @@
+(** Cache hierarchy parameters.
+
+    Defaults reproduce the paper's Table 1: a 16 KB 2-way set-associative
+    write-through L1 data cache and a 1 MB 2-way set-associative write-back
+    L2, both non-blocking with 8 MSHRs, over an 8-byte-wide split-transaction
+    bus. *)
+
+type t = {
+  l1_size : int;        (** bytes. *)
+  l1_ways : int;
+  l1_line : int;        (** line size in bytes. *)
+  l1_hit_latency : int; (** cycles from issue to data on an L1 hit. *)
+  l1_miss_penalty : int;(** cycles to reach L2 after an L1 miss ("usually a
+                            6 cycle delay" in the paper's example). *)
+  l1_mshrs : int;
+  l2_size : int;
+  l2_ways : int;
+  l2_line : int;
+  l2_hit_latency : int; (** L2 array access time. *)
+  l2_mshrs : int;
+  mem_latency : int;    (** cycles from bus grant to first data beat. *)
+  bus_width : int;      (** bytes per bus cycle. *)
+}
+
+val default : t
+
+val tiny : t
+(** A very small configuration (256 B / 4 KB) used by tests to force
+    frequent misses and evictions on short address streams. *)

@@ -1,0 +1,152 @@
+type stats = {
+  loads : int;
+  stores : int;
+  l1_hits : int;
+  l1_misses : int;
+  l2_hits : int;
+  l2_misses : int;
+  writebacks : int;
+  merged_misses : int;
+}
+
+type t = {
+  cfg : Config.t;
+  l1 : Setassoc.t;
+  l2 : Setassoc.t;
+  l1_mshr : int array;  (* cycle at which each MSHR becomes free *)
+  l2_mshr : int array;
+  fills : (int, int) Hashtbl.t;  (* L1 line -> cycle its fill completes *)
+  mutable bus_free : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l2_hits : int;
+  mutable l2_misses : int;
+  mutable writebacks : int;
+  mutable merged_misses : int;
+}
+
+let create ?(config = Config.default) () =
+  let c = config in
+  { cfg = c;
+    l1 = Setassoc.create ~size:c.l1_size ~ways:c.l1_ways ~line:c.l1_line;
+    l2 = Setassoc.create ~size:c.l2_size ~ways:c.l2_ways ~line:c.l2_line;
+    l1_mshr = Array.make c.l1_mshrs 0;
+    l2_mshr = Array.make c.l2_mshrs 0;
+    fills = Hashtbl.create 32;
+    bus_free = 0;
+    loads = 0;
+    stores = 0;
+    l1_hits = 0;
+    l1_misses = 0;
+    l2_hits = 0;
+    l2_misses = 0;
+    writebacks = 0;
+    merged_misses = 0 }
+
+(* Index of the MSHR that frees earliest. *)
+let earliest_mshr arr =
+  let best = ref 0 in
+  for i = 1 to Array.length arr - 1 do
+    if arr.(i) < arr.(!best) then best := i
+  done;
+  !best
+
+let l1_transfer t = t.cfg.l1_line / t.cfg.bus_width
+let l2_transfer t = t.cfg.l2_line / t.cfg.bus_width
+
+(* Timing of an L2 access (after an L1 miss) starting at [start]; fills the
+   L2 on a miss and returns the cycle at which the L1's line arrives.
+   L1 and L2 line sizes may differ (the L2 indexes with its own). *)
+let l2_access t ~start ~addr ~dirty =
+  let line2 = Setassoc.line_addr t.l2 addr in
+  if Setassoc.touch t.l2 line2 then begin
+    t.l2_hits <- t.l2_hits + 1;
+    if dirty then Setassoc.set_dirty t.l2 line2;
+    let bus_start = max (start + t.cfg.l2_hit_latency) t.bus_free in
+    let ready = bus_start + l1_transfer t in
+    t.bus_free <- ready;
+    ready
+  end
+  else begin
+    t.l2_misses <- t.l2_misses + 1;
+    let m = earliest_mshr t.l2_mshr in
+    let start = max start t.l2_mshr.(m) in
+    (* Request beat on the split-transaction bus, then memory, then the
+       response transfer (a full L2 line from memory; the L1's slice
+       forwards to the L1). *)
+    let req = max (start + t.cfg.l2_hit_latency) t.bus_free in
+    t.bus_free <- req + 1;
+    let data = req + 1 + t.cfg.mem_latency in
+    let resp = max data t.bus_free in
+    let ready = resp + l2_transfer t in
+    t.bus_free <- ready;
+    let { Setassoc.evicted = _; evicted_dirty } =
+      Setassoc.fill t.l2 line2 ~dirty
+    in
+    if evicted_dirty then begin
+      t.writebacks <- t.writebacks + 1;
+      t.bus_free <- t.bus_free + l2_transfer t
+    end;
+    t.l2_mshr.(m) <- ready;
+    ready
+  end
+
+let load t ~now ~addr =
+  t.loads <- t.loads + 1;
+  let line = Setassoc.line_addr t.l1 addr in
+  (* The tag is installed when a miss is issued, but its data arrives only
+     when the fill completes: a load in between merges with the
+     outstanding fill (MSHR hit) instead of hitting. *)
+  match Hashtbl.find_opt t.fills line with
+  | Some ready when ready > now ->
+    t.l1_misses <- t.l1_misses + 1;
+    t.merged_misses <- t.merged_misses + 1;
+    ignore (Setassoc.touch t.l1 line : bool);
+    ready - now
+  | _ ->
+    Hashtbl.remove t.fills line;
+    if Setassoc.touch t.l1 line then begin
+      t.l1_hits <- t.l1_hits + 1;
+      t.cfg.l1_hit_latency
+    end
+    else begin
+      t.l1_misses <- t.l1_misses + 1;
+      let m = earliest_mshr t.l1_mshr in
+      let start = max (now + t.cfg.l1_miss_penalty) t.l1_mshr.(m) in
+      let ready = l2_access t ~start ~addr ~dirty:false in
+      ignore (Setassoc.fill t.l1 line ~dirty:false : Setassoc.fill_result);
+      Hashtbl.replace t.fills line ready;
+      t.l1_mshr.(m) <- ready;
+      max 1 (ready - now)
+    end
+
+let store t ~now ~addr =
+  t.stores <- t.stores + 1;
+  let line = Setassoc.line_addr t.l1 addr in
+  if Setassoc.touch t.l1 line then t.l1_hits <- t.l1_hits + 1
+  else t.l1_misses <- t.l1_misses + 1;
+  (* Write-through: one bus beat to L2 via the write buffer. *)
+  t.bus_free <- max t.bus_free now + 1;
+  ignore (l2_access t ~start:now ~addr ~dirty:true : int)
+
+let stats t =
+  { loads = t.loads;
+    stores = t.stores;
+    l1_hits = t.l1_hits;
+    l1_misses = t.l1_misses;
+    l2_hits = t.l2_hits;
+    l2_misses = t.l2_misses;
+    writebacks = t.writebacks;
+    merged_misses = t.merged_misses }
+
+let reset_stats t =
+  t.loads <- 0;
+  t.stores <- 0;
+  t.l1_hits <- 0;
+  t.l1_misses <- 0;
+  t.l2_hits <- 0;
+  t.l2_misses <- 0;
+  t.writebacks <- 0;
+  t.merged_misses <- 0

@@ -1,0 +1,50 @@
+(** Non-blocking two-level cache and memory timing model.
+
+    This is FastSim's cache simulator: it models an aggressive non-blocking
+    hierarchy (write-through L1, write-back L2, MSHRs, a split-transaction
+    bus) but never touches program data — it is asked "a load of address A
+    issued at cycle T: when is the data available?" and answers with a
+    latency in cycles.
+
+    The paper's interface lets the µ-architecture re-poll as intervals
+    expire; because completion time here is fully determined at issue
+    (MSHR/bus/memory occupancy are all known then), we return the complete
+    latency in a single call. The µ-architecture simply waits that long,
+    which interacts with memoization in exactly the same way: each distinct
+    latency is an outcome edge in the p-action cache (see DESIGN.md).
+
+    The model is deliberately stateful: latencies depend on resident lines,
+    outstanding fills, MSHR occupancy and bus contention, so the same
+    configuration can legitimately yield different latencies at different
+    times — this is the source of outcome variation that terminates
+    fast-forwarding (paper §4.2). *)
+
+type t
+
+val create : ?config:Config.t -> unit -> t
+
+val load : t -> now:int -> addr:int -> int
+(** [load t ~now ~addr] issues a load and returns the number of cycles
+    after [now] at which the data is available (always >= 1). [now] values
+    must be non-decreasing across calls. *)
+
+val store : t -> now:int -> addr:int -> unit
+(** Issues a store: updates tag/LRU/dirty state and accounts write-through
+    bus traffic (write-allocate in the L2, no-allocate in the L1). Stores
+    complete asynchronously via the write buffer and add no direct
+    latency. *)
+
+type stats = {
+  loads : int;
+  stores : int;
+  l1_hits : int;
+  l1_misses : int;
+  l2_hits : int;
+  l2_misses : int;
+  writebacks : int;
+  merged_misses : int;
+      (** loads satisfied by an already-outstanding fill of the same line. *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

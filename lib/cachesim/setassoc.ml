@@ -1,0 +1,86 @@
+type t = {
+  ways : int;
+  line_bits : int;
+  set_mask : int;
+  tags : int array;      (* -1 = invalid; indexed set*ways + way *)
+  dirty : bool array;
+  stamp : int array;     (* LRU timestamps *)
+  mutable tick : int;
+}
+
+type fill_result = { evicted : int option; evicted_dirty : bool }
+
+let log2 n =
+  let rec go k v = if v <= 1 then k else go (k + 1) (v lsr 1) in
+  go 0 n
+
+let create ~size ~ways ~line =
+  let pow2 n = n > 0 && n land (n - 1) = 0 in
+  if not (pow2 size && pow2 line) || ways <= 0 || size mod (ways * line) <> 0
+  then invalid_arg "Setassoc.create";
+  let sets = size / (ways * line) in
+  if not (pow2 sets) then invalid_arg "Setassoc.create: sets not power of 2";
+  { ways;
+    line_bits = log2 line;
+    set_mask = sets - 1;
+    tags = Array.make (sets * ways) (-1);
+    dirty = Array.make (sets * ways) false;
+    stamp = Array.make (sets * ways) 0;
+    tick = 0 }
+
+let line_addr t addr = (addr lsr t.line_bits) lsl t.line_bits
+let set_of t addr = (addr lsr t.line_bits) land t.set_mask
+let tag_of t addr = addr lsr t.line_bits
+let sets t = t.set_mask + 1
+
+let find t addr =
+  let s = set_of t addr and tag = tag_of t addr in
+  let base = s * t.ways in
+  let rec go w =
+    if w >= t.ways then None
+    else if t.tags.(base + w) = tag then Some (base + w)
+    else go (w + 1)
+  in
+  go 0
+
+let probe t addr = find t addr <> None
+
+let touch t addr =
+  match find t addr with
+  | Some i ->
+    t.tick <- t.tick + 1;
+    t.stamp.(i) <- t.tick;
+    true
+  | None -> false
+
+let fill t addr ~dirty =
+  assert (find t addr = None);
+  let s = set_of t addr and tag = tag_of t addr in
+  let base = s * t.ways in
+  (* Choose an invalid way if one exists, else the LRU way. *)
+  let victim = ref base in
+  for w = 1 to t.ways - 1 do
+    let i = base + w in
+    if t.tags.(!victim) <> -1
+       && (t.tags.(i) = -1 || t.stamp.(i) < t.stamp.(!victim))
+    then victim := i
+  done;
+  let v = !victim in
+  let result =
+    if t.tags.(v) = -1 then { evicted = None; evicted_dirty = false }
+    else
+      { evicted = Some (t.tags.(v) lsl t.line_bits);
+        evicted_dirty = t.dirty.(v) }
+  in
+  t.tags.(v) <- tag;
+  t.dirty.(v) <- dirty;
+  t.tick <- t.tick + 1;
+  t.stamp.(v) <- t.tick;
+  result
+
+let set_dirty t addr =
+  match find t addr with Some i -> t.dirty.(i) <- true | None -> ()
+
+let invalidate_all t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.dirty 0 (Array.length t.dirty) false

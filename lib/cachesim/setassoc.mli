@@ -1,0 +1,34 @@
+(** Set-associative tag array with true-LRU replacement.
+
+    This tracks only tags and dirty bits — never data. The cache simulator
+    models timing; program data lives solely in the functional emulator's
+    memory, as in FastSim. *)
+
+type t
+
+type fill_result = {
+  evicted : int option;
+      (** Line-aligned byte address of an evicted line, if any. *)
+  evicted_dirty : bool;
+}
+
+val create : size:int -> ways:int -> line:int -> t
+(** Sizes must be powers of two with [size] divisible by [ways * line]. *)
+
+val probe : t -> int -> bool
+(** Tag check without any state change. *)
+
+val touch : t -> int -> bool
+(** Tag check; on a hit, updates LRU state and returns true. *)
+
+val fill : t -> int -> dirty:bool -> fill_result
+(** Allocates the line (which must currently miss), evicting the LRU way. *)
+
+val set_dirty : t -> int -> unit
+(** Marks a resident line dirty (no-op if the line is absent). *)
+
+val line_addr : t -> int -> int
+(** Line-aligns an address. *)
+
+val sets : t -> int
+val invalidate_all : t -> unit

@@ -1,0 +1,299 @@
+exception Deadlock of string
+
+type branch_stats = {
+  conditionals : int;
+  mispredicted : int;
+  indirects : int;
+  misfetched : int;
+}
+
+type result = {
+  cycles : int;
+  retired : int;
+  retired_by_class : int array;
+  emulated_insts : int;
+  wrong_path_insts : int;
+  branches : branch_stats;
+  cache : Cachesim.Hierarchy.stats;
+  memo : Memo.Stats.t option;
+  pcache : Memo.Pcache.counters option;
+  final_state : Emu.Arch_state.t;
+}
+
+type predictor_kind = Standard | Not_taken | Taken
+
+(* Cycles without a retirement before the driver declares the pipeline
+   stuck; generous enough for any real memory-latency pile-up. *)
+let watchdog = 100_000
+
+let make_predictor kind prog =
+  match kind with
+  | Standard -> Bpred.standard ~prog ()
+  | Not_taken -> Bpred.static_not_taken ()
+  | Taken -> Bpred.static_taken ()
+
+(* Branch statistics accumulate at the live-oracle boundary: both the
+   detailed simulator and the replay engine pull outcomes through here
+   (prefix-served outcomes during a divergence re-run are NOT re-pulled),
+   so each fetched control event is counted exactly once and the counts
+   are identical with and without memoization. *)
+type branch_counters = {
+  mutable n_cond : int;
+  mutable n_mispred : int;
+  mutable n_ind : int;
+  mutable n_misfetch : int;
+}
+
+let translate counters (ev : Emu.Emulator.control) : Uarch.Oracle.ctl_outcome
+    =
+  match ev with
+  | Emu.Emulator.Cond { taken; predicted_taken; _ } ->
+    let mispredicted = taken <> predicted_taken in
+    counters.n_cond <- counters.n_cond + 1;
+    if mispredicted then counters.n_mispred <- counters.n_mispred + 1;
+    Uarch.Oracle.C_cond { taken; mispredicted }
+  | Emu.Emulator.Indirect { target; predicted; _ } ->
+    let hit = predicted = Some target in
+    counters.n_ind <- counters.n_ind + 1;
+    if not hit then counters.n_misfetch <- counters.n_misfetch + 1;
+    Uarch.Oracle.C_indirect { target; hit }
+  | Emu.Emulator.Halted _ | Emu.Emulator.Wedged _ -> Uarch.Oracle.C_stalled
+
+let live_oracle emu cache counters : Uarch.Oracle.t =
+  { cache_load =
+      (fun ~now ->
+        let l = Emu.Emulator.pop_load emu in
+        Cachesim.Hierarchy.load cache ~now ~addr:l.Emu.Emulator.l_addr);
+    cache_store =
+      (fun ~now ->
+        let s = Emu.Emulator.pop_store emu in
+        Cachesim.Hierarchy.store cache ~now ~addr:s.Emu.Emulator.s_addr);
+    fetch_control =
+      (fun () -> translate counters (Emu.Emulator.next_event emu));
+    rollback =
+      (fun ~index -> ignore (Emu.Emulator.rollback_to emu ~index : int)) }
+
+let functional = Emu.Emulator.run_functional
+
+let finish ~cycles ~retired ~classes ~emu ~cache ~counters ~memo ~pcache =
+  { cycles;
+    retired;
+    retired_by_class = classes;
+    emulated_insts = Emu.Emulator.insts_executed emu;
+    wrong_path_insts = Emu.Emulator.wrong_path_insts emu;
+    branches =
+      { conditionals = counters.n_cond;
+        mispredicted = counters.n_mispred;
+        indirects = counters.n_ind;
+        misfetched = counters.n_misfetch };
+    cache = Cachesim.Hierarchy.stats cache;
+    memo;
+    pcache;
+    final_state = Emu.Emulator.state emu }
+
+let fresh_counters () =
+  { n_cond = 0; n_mispred = 0; n_ind = 0; n_misfetch = 0 }
+
+let slow_sim ?params ?cache_config ?(predictor = Standard)
+    ?(max_cycles = max_int) ?observer prog =
+  let pred = make_predictor predictor prog in
+  let emu = Emu.Emulator.create ~predictor:pred prog in
+  let cache = Cachesim.Hierarchy.create ?config:cache_config () in
+  let uarch = Uarch.Detailed.create ?params prog in
+  let counters = fresh_counters () in
+  let oracle = live_oracle emu cache counters in
+  let cycle = ref 0 and retired = ref 0 and last_progress = ref 0 in
+  let halted = ref false in
+  while not !halted do
+    if !cycle >= max_cycles then raise (Deadlock "cycle limit exceeded");
+    let r = Uarch.Detailed.step_cycle uarch ~now:!cycle oracle in
+    (match observer with
+     | Some f -> f !cycle uarch r
+     | None -> ());
+    incr cycle;
+    retired := !retired + r.Uarch.Detailed.retired;
+    if r.Uarch.Detailed.retired > 0 then last_progress := !cycle;
+    if !cycle - !last_progress > watchdog then
+      raise (Deadlock "no retirement progress");
+    if r.Uarch.Detailed.halted then halted := true
+  done;
+  finish ~cycles:!cycle ~retired:!retired
+    ~classes:(Uarch.Detailed.retired_by_class uarch)
+    ~emu ~cache ~counters ~memo:None ~pcache:None
+
+(* The memoizing engine: run the detailed simulator, recording a group per
+   interaction cycle; when a group ends at a configuration that already has
+   recorded actions, switch to fast-forwarding; when fast-forwarding meets
+   an unseen outcome, resume detailed simulation from the configuration
+   with the already-obtained outcomes as a prefix. *)
+let fast_sim ?params ?cache_config ?(predictor = Standard)
+    ?(max_cycles = max_int) ?(policy = Memo.Pcache.Unbounded) ?pcache prog =
+  let pred = make_predictor predictor prog in
+  let emu = Emu.Emulator.create ~predictor:pred prog in
+  let cache = Cachesim.Hierarchy.create ?config:cache_config () in
+  let counters = fresh_counters () in
+  let oracle = live_oracle emu cache counters in
+  let pc =
+    match pcache with
+    | Some pc -> pc
+    | None -> Memo.Pcache.create ~policy ()
+  in
+  let mstats = Memo.Stats.create () in
+  let cycle = ref 0 in
+  let total_classes = Array.make Isa.Instr.fu_count 0 in
+  let prefix_mismatch what item =
+    raise
+      (Memo.Pcache.Determinism_violation
+         (Format.asprintf
+            "detailed re-run requested a %s but the replay prefix holds %a"
+            what Memo.Action.pp_item item))
+  in
+  (* One detailed episode: from [cfg0] (with [prefix0] outcomes already
+     obtained by a diverged replay), record groups until a known
+     configuration is reached or the program halts. *)
+  let detailed_episode uarch cfg0 prefix0 =
+    mstats.Memo.Stats.detailed_entries <-
+      mstats.Memo.Stats.detailed_entries + 1;
+    let items_rev = ref [] in
+    let pending = ref prefix0 in
+    let record item = items_rev := item :: !items_rev in
+    let wrapped : Uarch.Oracle.t =
+      { cache_load =
+          (fun ~now ->
+            let lat =
+              match !pending with
+              | Memo.Action.I_load lat :: rest ->
+                pending := rest;
+                lat
+              | [] -> oracle.Uarch.Oracle.cache_load ~now
+              | item :: _ -> prefix_mismatch "load" item
+            in
+            record (Memo.Action.I_load lat);
+            lat);
+        cache_store =
+          (fun ~now ->
+            (match !pending with
+             | Memo.Action.I_store :: rest -> pending := rest
+             | [] -> oracle.Uarch.Oracle.cache_store ~now
+             | item :: _ -> prefix_mismatch "store" item);
+            record Memo.Action.I_store);
+        fetch_control =
+          (fun () ->
+            let out =
+              match !pending with
+              | Memo.Action.I_ctl c :: rest ->
+                pending := rest;
+                c
+              | [] -> oracle.Uarch.Oracle.fetch_control ()
+              | item :: _ -> prefix_mismatch "fetch_control" item
+            in
+            record (Memo.Action.I_ctl out);
+            out);
+        rollback =
+          (fun ~index ->
+            (match !pending with
+             | Memo.Action.I_rollback j :: rest ->
+               if j <> index then prefix_mismatch "rollback" (I_rollback j);
+               pending := rest
+             | [] -> oracle.Uarch.Oracle.rollback ~index
+             | item :: _ -> prefix_mismatch "rollback" item);
+            record (Memo.Action.I_rollback index)) }
+    in
+    let cfg = ref cfg0 in
+    let silent = ref 0 and group_retired = ref 0 in
+    let class_base = ref (Uarch.Detailed.retired_by_class uarch) in
+    let group_classes uarch =
+      let cur = Uarch.Detailed.retired_by_class uarch in
+      let delta = Array.mapi (fun i v -> v - !class_base.(i)) cur in
+      Array.iteri
+        (fun i v -> total_classes.(i) <- total_classes.(i) + v)
+        delta;
+      class_base := cur;
+      delta
+    in
+    let last_progress = ref !cycle in
+    let result = ref None in
+    while !result = None do
+      if !cycle >= max_cycles then raise (Deadlock "cycle limit exceeded");
+      let r = Uarch.Detailed.step_cycle uarch ~now:!cycle wrapped in
+      incr cycle;
+      mstats.Memo.Stats.detailed_cycles <-
+        mstats.Memo.Stats.detailed_cycles + 1;
+      mstats.Memo.Stats.detailed_retired <-
+        mstats.Memo.Stats.detailed_retired + r.Uarch.Detailed.retired;
+      group_retired := !group_retired + r.Uarch.Detailed.retired;
+      if r.Uarch.Detailed.retired > 0 then last_progress := !cycle;
+      if !cycle - !last_progress > watchdog then
+        raise (Deadlock "no retirement progress");
+      if r.Uarch.Detailed.halted then begin
+        ignore
+          (Memo.Pcache.merge_group pc !cfg ~silent:!silent
+             ~retired:!group_retired
+             ~classes:(group_classes uarch)
+             ~items:(List.rev !items_rev)
+             ~terminal:Memo.Action.T_halt
+            : Memo.Action.config option);
+        result := Some `Halted
+      end
+      else if r.Uarch.Detailed.interactions > 0 then begin
+        let key = Uarch.Detailed.snapshot uarch in
+        let next =
+          Memo.Pcache.merge_group pc !cfg ~silent:!silent
+            ~retired:!group_retired
+            ~classes:(group_classes uarch)
+            ~items:(List.rev !items_rev)
+            ~terminal:(Memo.Action.T_goto key)
+        in
+        assert (!pending = []);
+        items_rev := [];
+        silent := 0;
+        group_retired := 0;
+        let next =
+          match Memo.Pcache.check_budget pc with
+          | `Kept -> ( match next with Some c -> c | None -> assert false)
+          | `Flushed | `Collected ->
+            (* Our configuration nodes may be stale; re-intern by key. *)
+            Memo.Pcache.intern pc key
+        in
+        if next.Memo.Action.cfg_group <> None then
+          result := Some (`Replay next)
+        else cfg := next
+      end
+      else incr silent
+    done;
+    match !result with Some r -> r | None -> assert false
+  in
+  let uarch0 = Uarch.Detailed.create ?params prog in
+  let cfg0 = Memo.Pcache.intern pc (Uarch.Detailed.snapshot uarch0) in
+  (* A warm (persisted) cache may already know the initial configuration:
+     start fast-forwarding immediately. *)
+  let state =
+    if cfg0.Memo.Action.cfg_group <> None then ref (`Replay cfg0)
+    else ref (`Detailed (uarch0, cfg0, []))
+  in
+  let halted = ref false in
+  while not !halted do
+    match !state with
+    | `Detailed (uarch, cfg, prefix) -> (
+      match detailed_episode uarch cfg prefix with
+      | `Halted -> halted := true
+      | `Replay cfg' -> state := `Replay cfg')
+    | `Replay cfg -> (
+      match
+        Memo.Replay.run ~max_cycles pc mstats ~oracle ~cycle
+          ~classes:total_classes ~start:cfg
+      with
+      | Memo.Replay.Replay_halted -> halted := true
+      | Memo.Replay.Replay_limit -> raise (Deadlock "cycle limit exceeded")
+      | Memo.Replay.Diverged { config; prefix } ->
+        let uarch =
+          Uarch.Detailed.restore ?params prog config.Memo.Action.cfg_key
+        in
+        state := `Detailed (uarch, config, prefix))
+  done;
+  let retired =
+    mstats.Memo.Stats.detailed_retired + mstats.Memo.Stats.replayed_retired
+  in
+  finish ~cycles:!cycle ~retired ~classes:total_classes ~emu ~cache
+    ~counters ~memo:(Some mstats)
+    ~pcache:(Some (Memo.Pcache.counters pc))

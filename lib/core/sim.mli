@@ -1,0 +1,83 @@
+(** The FastSim driver: speculative direct-execution + out-of-order timing
+    simulation, with or without fast-forwarding (paper Figures 2 and 4).
+
+    Two engines over identical components:
+
+    - {!slow_sim} — "SlowSim": the detailed µ-architecture simulator runs
+      every cycle (memoization disabled, nothing recorded).
+    - {!fast_sim} — "FastSim": µ-architecture configurations and simulator
+      actions are recorded in a p-action cache and replayed on repeat
+      visits.
+
+    Both produce {e identical} cycle counts and statistics — the paper's
+    central claim, enforced by an extensive equivalence test suite. *)
+
+exception Deadlock of string
+(** Raised when the pipeline makes no progress for an implausibly long
+    time; indicates a broken test program (e.g. an infinite loop of direct
+    jumps) or a simulator bug. *)
+
+type branch_stats = {
+  conditionals : int;  (** conditional-branch outcomes fetched. *)
+  mispredicted : int;
+  indirects : int;     (** indirect-jump outcomes fetched. *)
+  misfetched : int;    (** indirect jumps the front end could not predict. *)
+}
+
+type result = {
+  cycles : int;             (** simulated cycles to program completion. *)
+  retired : int;            (** instructions retired (includes [Halt]). *)
+  retired_by_class : int array;
+      (** retired instructions per functional-unit class, indexed by
+          {!Isa.Instr.fu_index} — identical between engines, part of the
+          paper's "all other processor statistics" claim. *)
+  emulated_insts : int;     (** architectural instructions executed by
+                                direct execution (excludes [Halt]). *)
+  wrong_path_insts : int;   (** speculative instructions executed and then
+                                rolled back. *)
+  branches : branch_stats;  (** fetched control-flow outcomes (includes
+                                wrong-path branches, which real hardware
+                                also predicts); identical between
+                                engines. *)
+  cache : Cachesim.Hierarchy.stats;
+  memo : Memo.Stats.t option;          (** FastSim only. *)
+  pcache : Memo.Pcache.counters option;(** FastSim only. *)
+  final_state : Emu.Arch_state.t;      (** architectural register state. *)
+}
+
+type predictor_kind = Standard | Not_taken | Taken
+(** [Standard] is the paper's front end (2-bit/512 BHT + BTB + RAS). *)
+
+val slow_sim :
+  ?params:Uarch.Params.t ->
+  ?cache_config:Cachesim.Config.t ->
+  ?predictor:predictor_kind ->
+  ?max_cycles:int ->
+  ?observer:(int -> Uarch.Detailed.t -> Uarch.Detailed.cycle_result -> unit) ->
+  Isa.Program.t ->
+  result
+(** [observer], if given, is called after every simulated cycle with the
+    cycle number, the live pipeline (inspect it with
+    {!Uarch.Detailed.dump} / {!Uarch.Detailed.snapshot}), and that cycle's
+    result — the hook behind the CLI's pipeline-trace command. Only
+    available without memoization (a fast-forwarded cycle never exists
+    concretely). *)
+
+val fast_sim :
+  ?params:Uarch.Params.t ->
+  ?cache_config:Cachesim.Config.t ->
+  ?predictor:predictor_kind ->
+  ?max_cycles:int ->
+  ?policy:Memo.Pcache.policy ->
+  ?pcache:Memo.Pcache.t ->
+  Isa.Program.t ->
+  result
+(** Default policy is {!Memo.Pcache.Unbounded}. Passing [pcache] starts
+    from (and extends) an existing p-action cache — e.g. one restored with
+    {!Memo.Persist.load} for the same program — and ignores [policy]. *)
+
+val functional :
+  ?max_insts:int -> Isa.Program.t -> Emu.Arch_state.t * Emu.Memory.t * int
+(** Pure functional execution (no timing): the "original, uninstrumented
+    executable" baseline of Tables 2 and 3. Re-exported from
+    {!Emu.Emulator.run_functional}. *)

@@ -1,0 +1,34 @@
+(** Architectural register state.
+
+    Integer registers hold signed 32-bit values represented as OCaml ints in
+    [-2{^31}, 2{^31}); FP registers hold IEEE doubles. [r0] always reads as
+    zero. The program counter is a byte address. *)
+
+type t = {
+  iregs : int array;
+  fregs : float array;
+  mutable pc : int;
+}
+
+val create : ?pc:int -> unit -> t
+
+val get_i : t -> Isa.Reg.ireg -> int
+val set_i : t -> Isa.Reg.ireg -> int -> unit
+(** Writes are normalised to signed 32-bit; writes to [r0] are discarded. *)
+
+val get_f : t -> Isa.Reg.freg -> float
+val set_f : t -> Isa.Reg.freg -> float -> unit
+
+val norm32 : int -> int
+(** Wraps an OCaml int to the canonical signed 32-bit representation. *)
+
+val to_u32 : int -> int
+(** The unsigned 32-bit value of a canonical signed-32 int. *)
+
+val snapshot : t -> t
+(** Deep copy (used for bQ register checkpoints). *)
+
+val restore : t -> from_:t -> unit
+(** Overwrites [t] with the contents of a snapshot. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,129 @@
+(** Speculative direct-execution of SRISC programs.
+
+    This module is the reproduction of FastSim's instrumented executable
+    (paper §3.1–3.2): it executes target instructions functionally, in
+    program order, while recording exactly the information the timing
+    simulators need —
+
+    - every load and store address (the lQ and sQ queues);
+    - a control event at every conditional branch and indirect jump;
+    - at every {e mispredicted} conditional branch, a register checkpoint
+      (the bQ, at most {!max_checkpoints} deep) and, from then on, the
+      pre-store value of every store so memory can be rolled back.
+
+    Conditional branches are followed in the {e predicted} direction, so
+    mispredicted paths execute for real — producing wrong-path loads,
+    stores and further control events — until the µ-architecture simulator
+    detects the misprediction and calls {!rollback_to}, which restores
+    registers and memory and resumes execution at the corrected target.
+
+    Indirect jumps (including returns) always follow their true target;
+    the predicted target in the event lets the timing model decide whether
+    fetch stalled (see DESIGN.md for this deliberate restriction of
+    speculation to conditional branches). *)
+
+type load_rec = { l_addr : int; l_width : int }
+type store_rec = { s_addr : int; s_width : int }
+
+type control =
+  | Cond of {
+      pc : int;
+      taken : bool;
+      predicted_taken : bool;
+      fall_through : int;
+      taken_target : int;
+    }
+  | Indirect of { pc : int; target : int; predicted : int option }
+  | Halted of { pc : int }
+      (** The program executed [Halt] on the architectural path. *)
+  | Wedged of { pc : int }
+      (** Wrong-path execution can no longer proceed (it ran off the code
+          segment, misaligned an access, or reached [Halt] speculatively).
+          Fetch must stall until a rollback repairs the path. *)
+
+type t
+
+exception Fault of string
+(** Raised when the {e architectural} (non-speculative) path faults:
+    executing outside the code segment, or a misaligned access. These
+    indicate a broken test program, not a simulator condition. *)
+
+val max_checkpoints : int
+(** Capacity of the bQ. The processor model speculates through at most 4
+    conditional branches, but direct execution runs one control event ahead
+    of fetch (so that lQ/sQ always cover everything the pipeline can
+    fetch), which can briefly add outstanding checkpoints; the capacity
+    leaves headroom for that. *)
+
+val create : ?read_ahead:bool -> ?predictor:Predictor.t -> Isa.Program.t -> t
+(** Fresh emulator with the program loaded into memory and the PC at the
+    entry point. Default predictor is {!Predictor.always_not_taken}.
+    [read_ahead] (default true) pre-runs execution to the first control
+    event so lQ/sQ always cover everything a decoupled pipeline can fetch;
+    pass [false] when driving the emulator per-instruction with
+    {!step_one}. *)
+
+val next_event : t -> control
+(** Runs forward to the next control event. If the emulator is already
+    halted or wedged, returns that state again without executing. *)
+
+val rollback_to : t -> index:int -> int
+(** [rollback_to t ~index] repairs the misprediction of the [index]-th
+    oldest outstanding checkpoint: restores its registers, unwinds all
+    stores logged since it, discards it and all younger checkpoints, and
+    resumes at the corrected target. Returns the corrected PC.
+    Raises [Invalid_argument] if [index] is out of range. *)
+
+val outstanding : t -> int
+(** Number of unresolved misprediction checkpoints (depth of the bQ). *)
+
+val pop_load : t -> load_rec
+(** Consumes the oldest unconsumed lQ entry (µ-arch issues it to the cache
+    simulator). Entries recorded on a squashed wrong path that were never
+    consumed disappear at rollback. *)
+
+val pop_store : t -> store_rec
+
+val loads_pending : t -> int
+val stores_pending : t -> int
+
+val halted : t -> bool
+val wedged : t -> bool
+
+val insts_executed : t -> int
+(** Instructions executed on the current (believed-correct) path; wrong-path
+    work is subtracted again at rollback. *)
+
+val wrong_path_insts : t -> int
+(** Total instructions that were executed and later rolled back. *)
+
+val state : t -> Arch_state.t
+(** The live architectural state (shared, not a copy). *)
+
+type stepped = {
+  s_addr : int;               (** address of the executed instruction. *)
+  s_event : control option;   (** control event produced, if any. *)
+  s_load : load_rec option;   (** lQ entry recorded, if any. *)
+  s_store : store_rec option; (** sQ entry recorded, if any. *)
+}
+
+val step_one : t -> stepped
+(** Executes exactly one instruction, for simulators that interleave
+    functional execution with timing per instruction (the
+    SimpleScalar-style baseline). On an already halted or wedged emulator,
+    returns the corresponding event without executing. Do not mix with
+    {!next_event}'s read-ahead on the same instance. *)
+
+val memory : t -> Memory.t
+
+(** {1 Pure functional execution}
+
+    The analogue of running the original, uninstrumented executable: no
+    recording, no prediction, no speculation. Used as the "native execution
+    time" baseline of Tables 2 and 3 and to cross-check architectural
+    results. *)
+
+val run_functional :
+  ?max_insts:int -> Isa.Program.t -> Arch_state.t * Memory.t * int
+(** [run_functional p] executes [p] to completion (or [max_insts]) and
+    returns the final state, memory, and instruction count. *)

@@ -1,0 +1,87 @@
+type t = { pages : (int, Bytes.t) Hashtbl.t }
+
+exception Unaligned of int
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+let page_mask = page_size - 1
+
+let create () = { pages = Hashtbl.create 64 }
+
+let mask32 a = a land 0xffffffff
+
+let page t addr =
+  let key = addr lsr page_bits in
+  match Hashtbl.find_opt t.pages key with
+  | Some p -> p
+  | None ->
+    let p = Bytes.make page_size '\000' in
+    Hashtbl.add t.pages key p;
+    p
+
+let check_align addr width =
+  if addr land (width - 1) <> 0 then raise (Unaligned addr)
+
+(* All multi-byte accesses are naturally aligned, so they never straddle a
+   page boundary and can use the single-page fast path. *)
+
+let load8u t addr =
+  let addr = mask32 addr in
+  Char.code (Bytes.unsafe_get (page t addr) (addr land page_mask))
+
+let load8 t addr =
+  let v = load8u t addr in
+  if v >= 0x80 then v - 0x100 else v
+
+let load16u t addr =
+  let addr = mask32 addr in
+  check_align addr 2;
+  Bytes.get_uint16_le (page t addr) (addr land page_mask)
+
+let load16 t addr =
+  let v = load16u t addr in
+  if v >= 0x8000 then v - 0x10000 else v
+
+let load32 t addr =
+  let addr = mask32 addr in
+  check_align addr 4;
+  Int32.to_int (Bytes.get_int32_le (page t addr) (addr land page_mask))
+
+let load64 t addr =
+  let addr = mask32 addr in
+  check_align addr 8;
+  Bytes.get_int64_le (page t addr) (addr land page_mask)
+
+let store8 t addr v =
+  let addr = mask32 addr in
+  Bytes.unsafe_set (page t addr) (addr land page_mask)
+    (Char.unsafe_chr (v land 0xff))
+
+let store16 t addr v =
+  let addr = mask32 addr in
+  check_align addr 2;
+  Bytes.set_uint16_le (page t addr) (addr land page_mask) (v land 0xffff)
+
+let store32 t addr v =
+  let addr = mask32 addr in
+  check_align addr 4;
+  Bytes.set_int32_le (page t addr) (addr land page_mask) (Int32.of_int v)
+
+let store64 t addr v =
+  let addr = mask32 addr in
+  check_align addr 8;
+  Bytes.set_int64_le (page t addr) (addr land page_mask) v
+
+let load_double t addr = Int64.float_of_bits (load64 t addr)
+let store_double t addr v = store64 t addr (Int64.bits_of_float v)
+
+let init_segment t addr bytes =
+  String.iteri (fun i c -> store8 t (addr + i) (Char.code c)) bytes
+
+let load_program t (p : Isa.Program.t) =
+  Array.iteri
+    (fun i w -> store32 t (p.code_base + (4 * i)) (Int32.to_int w))
+    p.words;
+  List.iter (fun (addr, bytes) -> init_segment t addr bytes) p.data
+
+let pages_allocated t = Hashtbl.length t.pages

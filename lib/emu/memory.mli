@@ -1,0 +1,48 @@
+(** Sparse, demand-paged simulated memory.
+
+    Memory is a flat 32-bit little-endian byte space backed by 4 KiB pages
+    allocated on first touch. Reads from untouched pages return zero.
+    Accesses must be naturally aligned; {!Unaligned} is raised otherwise
+    (SRISC has no unaligned accesses).
+
+    This is the *functional* memory used by direct execution; the cache
+    simulator never reads or writes data, it only sees addresses — exactly
+    as in FastSim, where "no program data is returned by the [cache]
+    simulator, only the time taken to obtain the data". *)
+
+type t
+
+exception Unaligned of int
+
+val create : unit -> t
+
+val load8 : t -> int -> int   (** sign-extended byte. *)
+
+val load8u : t -> int -> int
+
+val load16 : t -> int -> int  (** sign-extended halfword. *)
+
+val load16u : t -> int -> int
+
+val load32 : t -> int -> int
+(** 32-bit load, returned as a signed OCaml int in [-2{^31}, 2{^31}). *)
+
+val load64 : t -> int -> int64
+
+val store8 : t -> int -> int -> unit
+val store16 : t -> int -> int -> unit
+val store32 : t -> int -> int -> unit
+val store64 : t -> int -> int64 -> unit
+
+val load_double : t -> int -> float
+val store_double : t -> int -> float -> unit
+
+val init_segment : t -> int -> string -> unit
+(** [init_segment m addr bytes] copies [bytes] into memory at [addr]
+    (no alignment requirement). Used to load program data segments. *)
+
+val load_program : t -> Isa.Program.t -> unit
+(** Copies a program's encoded code and data segments into memory. *)
+
+val pages_allocated : t -> int
+(** Number of 4 KiB pages touched so far (for tests/diagnostics). *)

@@ -1,0 +1,14 @@
+type t = {
+  predict_cond : pc:int -> bool;
+  train_cond : pc:int -> taken:bool -> unit;
+  predict_indirect : pc:int -> int option;
+  train_indirect : pc:int -> target:int -> unit;
+  note_call : pc:int -> return_to:int -> unit;
+}
+
+let always_not_taken =
+  { predict_cond = (fun ~pc:_ -> false);
+    train_cond = (fun ~pc:_ ~taken:_ -> ());
+    predict_indirect = (fun ~pc:_ -> None);
+    train_indirect = (fun ~pc:_ ~target:_ -> ());
+    note_call = (fun ~pc:_ ~return_to:_ -> ()) }

@@ -1,0 +1,25 @@
+(** Branch-predictor interface used by speculative direct-execution.
+
+    In FastSim, instrumented code consults the branch predictor *during
+    functional execution* (Figure 3: "advance simulation & call branch
+    predictor") and then branches in the predicted direction, so the
+    predictor lives outside the memoized µ-architecture simulator. This
+    record is that boundary: the emulator asks for predictions and trains
+    the predictor as branches execute; implementations live in [Bpred]. *)
+
+type t = {
+  predict_cond : pc:int -> bool;
+      (** Predicted direction for the conditional branch at [pc]. *)
+  train_cond : pc:int -> taken:bool -> unit;
+      (** Called with the actual outcome after every conditional branch. *)
+  predict_indirect : pc:int -> int option;
+      (** Predicted target for the indirect jump at [pc], if any. *)
+  train_indirect : pc:int -> target:int -> unit;
+  note_call : pc:int -> return_to:int -> unit;
+      (** Called when a call instruction ([Jal]/[Jalr]) executes, so a
+          return-address-stack predictor can push the return address. *)
+}
+
+val always_not_taken : t
+(** Static predictor: conditional branches predicted not-taken, indirect
+    targets never predicted. Useful in tests. *)

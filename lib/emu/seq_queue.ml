@@ -1,0 +1,60 @@
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int;  (* absolute seq of next pop *)
+  mutable tail : int;  (* absolute seq of next push *)
+}
+
+let create () = { buf = Array.make 64 None; head = 0; tail = 0 }
+
+let slot t seq = seq land (Array.length t.buf - 1)
+
+let grow t =
+  let n = Array.length t.buf in
+  let buf' = Array.make (2 * n) None in
+  for seq = t.head to t.tail - 1 do
+    buf'.(seq land ((2 * n) - 1)) <- t.buf.(seq land (n - 1))
+  done;
+  t.buf <- buf'
+
+let push t x =
+  if t.tail - t.head >= Array.length t.buf then grow t;
+  t.buf.(slot t t.tail) <- Some x;
+  t.tail <- t.tail + 1
+
+let pop t =
+  if t.head >= t.tail then invalid_arg "Seq_queue.pop: empty";
+  let i = slot t t.head in
+  match t.buf.(i) with
+  | None -> assert false
+  | Some x ->
+    t.buf.(i) <- None;
+    t.head <- t.head + 1;
+    x
+
+let peek t =
+  if t.head >= t.tail then None
+  else t.buf.(slot t t.head)
+
+let length t = t.tail - t.head
+let head_seq t = t.head
+let tail_seq t = t.tail
+
+let truncate_to t seq =
+  let seq = max seq t.head in
+  for s = seq to t.tail - 1 do
+    t.buf.(slot t s) <- None
+  done;
+  t.tail <- seq
+
+let clear t = truncate_to t t.head
+
+let last t =
+  if t.tail <= t.head then invalid_arg "Seq_queue.last: empty";
+  match t.buf.(slot t (t.tail - 1)) with
+  | Some x -> x
+  | None -> assert false
+
+let iter f t =
+  for s = t.head to t.tail - 1 do
+    match t.buf.(slot t s) with Some x -> f x | None -> assert false
+  done

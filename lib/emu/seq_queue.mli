@@ -1,0 +1,41 @@
+(** FIFO queues addressed by absolute sequence number.
+
+    The emulator's lQ and sQ are queues whose *producer* end can be rolled
+    back: entries recorded down a mispredicted path must be discarded when
+    the misprediction is repaired, while entries already consumed by the
+    µ-architecture simulator stay consumed. Addressing both ends with
+    monotonically increasing sequence numbers makes that truncation a
+    constant-time pointer move. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Appends at the tail. *)
+
+val pop : 'a t -> 'a
+(** Removes from the head. Raises [Invalid_argument] when empty. *)
+
+val peek : 'a t -> 'a option
+
+val length : 'a t -> int
+
+val head_seq : 'a t -> int
+(** Sequence number of the next entry to be popped. *)
+
+val tail_seq : 'a t -> int
+(** Sequence number the next pushed entry will receive. *)
+
+val truncate_to : 'a t -> int -> unit
+(** [truncate_to q seq] discards entries with sequence number >= [seq].
+    If consumption has already advanced past [seq], the queue simply
+    becomes empty (consumed entries are never restored). *)
+
+val last : 'a t -> 'a
+(** The most recently pushed entry. Raises [Invalid_argument] when no
+    un-consumed entries remain. *)
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+(** Iterates over un-consumed entries, head to tail. *)

@@ -1,0 +1,168 @@
+type data_item =
+  | Word of int
+  | Words of int list
+  | Double of float
+  | Doubles of float list
+  | Space of int
+  | Asciiz of string
+  | Label_word of string
+  | Label_words of string list
+
+type stmt =
+  | S_insn of Instr.t
+  | S_label of string
+  | S_branch of Instr.cond * Reg.ireg * Reg.ireg * string
+  | S_j of string
+  | S_jal of Reg.ireg * string
+  | S_li of Reg.ireg * int
+  | S_la of Reg.ireg * string
+  | S_data of string * data_item list
+
+let insn i = S_insn i
+let label name = S_label name
+let branch c rs1 rs2 target = S_branch (c, rs1, rs2, target)
+let beq rs1 rs2 t = branch Instr.Eq rs1 rs2 t
+let bne rs1 rs2 t = branch Instr.Ne rs1 rs2 t
+let blt rs1 rs2 t = branch Instr.Lt rs1 rs2 t
+let bge rs1 rs2 t = branch Instr.Ge rs1 rs2 t
+let ble rs1 rs2 t = branch Instr.Le rs1 rs2 t
+let bgt rs1 rs2 t = branch Instr.Gt rs1 rs2 t
+let j target = S_j target
+let call target = S_jal (Reg.link, target)
+let jal rd target = S_jal (rd, target)
+let ret = S_insn (Instr.Jr Reg.link)
+let li rd v = S_li (rd, v)
+let la rd name = S_la (rd, name)
+let halt = S_insn Instr.Halt
+let nop = S_insn Instr.Nop
+let data name items = S_data (name, items)
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* Number of instruction words a statement expands to. *)
+let stmt_size = function
+  | S_insn _ | S_branch _ | S_j _ | S_jal _ -> 1
+  | S_li (_, v) -> if Encode.imm16_fits v then 1 else 2
+  | S_la _ -> 2
+  | S_label _ | S_data _ -> 0
+
+let align8 n = (n + 7) land lnot 7
+
+let data_item_size = function
+  | Word _ | Label_word _ -> 4
+  | Words ws -> 4 * List.length ws
+  | Label_words ls -> 4 * List.length ls
+  | Double _ -> 8
+  | Doubles ds -> 8 * List.length ds
+  | Space n ->
+    if n < 0 then error "negative Space size %d" n;
+    n
+  | Asciiz s -> String.length s + 1
+
+let render_data lookup items =
+  let buf = Buffer.create 64 in
+  let put_word v =
+    Buffer.add_char buf (Char.chr (v land 0xff));
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+    Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+  in
+  let put_double d =
+    let bits = Int64.bits_of_float d in
+    for i = 0 to 7 do
+      Buffer.add_char buf
+        (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * i))
+                   land 0xff))
+    done
+  in
+  let put = function
+    | Word v -> put_word v
+    | Words ws -> List.iter put_word ws
+    | Double d -> put_double d
+    | Doubles ds -> List.iter put_double ds
+    | Space n ->
+      if n < 0 then error "negative Space size %d" n;
+      Buffer.add_string buf (String.make n '\000')
+    | Label_word name -> put_word (lookup name)
+    | Label_words names -> List.iter (fun n -> put_word (lookup n)) names
+    | Asciiz s ->
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\000'
+  in
+  List.iter put items;
+  Buffer.contents buf
+
+let expand_li rd v =
+  if Encode.imm16_fits v then [ Instr.Alui (Instr.Add, rd, Reg.zero, v) ]
+  else
+    [ Instr.Lui (rd, (v lsr 16) land 0xffff);
+      Instr.Alui (Instr.Or, rd, rd, v land 0xffff) ]
+
+let expand_la rd addr =
+  [ Instr.Lui (rd, (addr lsr 16) land 0xffff);
+    Instr.Alui (Instr.Or, rd, rd, addr land 0xffff) ]
+
+let assemble ?(code_base = Program.default_code_base)
+    ?(data_base = Program.default_data_base) ?entry stmts =
+  (* Pass 1: lay out code labels and data segments. *)
+  let symbols = Hashtbl.create 64 in
+  let define name addr =
+    if Hashtbl.mem symbols name then error "duplicate label %S" name;
+    Hashtbl.add symbols name addr
+  in
+  let code_words = ref 0 in
+  let data_cursor = ref data_base in
+  let data_segments = ref [] in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | S_label name -> define name (code_base + (4 * !code_words))
+      | S_data (name, items) ->
+        let addr = align8 !data_cursor in
+        define name addr;
+        let size = List.fold_left (fun a i -> a + data_item_size i) 0 items in
+        data_segments := (addr, items) :: !data_segments;
+        data_cursor := addr + size
+      | _ -> code_words := !code_words + stmt_size stmt)
+    stmts;
+  let lookup name =
+    match Hashtbl.find_opt symbols name with
+    | Some a -> a
+    | None -> error "undefined label %S" name
+  in
+  (* Pass 2: emit instructions with resolved targets. *)
+  let out = ref [] in
+  let pos = ref 0 in
+  let emit i =
+    out := i :: !out;
+    incr pos
+  in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | S_label _ | S_data _ -> ()
+      | S_insn i -> emit i
+      | S_branch (c, rs1, rs2, target) ->
+        let taddr = lookup target in
+        let off = ((taddr - code_base) / 4) - (!pos + 1) in
+        if not (Encode.imm16_fits off) then
+          error "branch to %S out of range (offset %d)" target off;
+        emit (Instr.Branch (c, rs1, rs2, off))
+      | S_j target -> emit (Instr.Jump (lookup target / 4))
+      | S_jal (rd, target) -> emit (Instr.Jal (rd, lookup target / 4))
+      | S_li (rd, v) -> List.iter emit (expand_li rd v)
+      | S_la (rd, name) -> List.iter emit (expand_la rd (lookup name)))
+    stmts;
+  let code = Array.of_list (List.rev !out) in
+  let data_segments =
+    List.rev_map
+      (fun (addr, items) -> (addr, render_data lookup items))
+      !data_segments
+  in
+  let entry =
+    match entry with Some name -> lookup name | None -> code_base
+  in
+  let symbols = Hashtbl.fold (fun k v acc -> (k, v) :: acc) symbols [] in
+  Program.make ~code_base ~entry ~data:data_segments ~symbols code

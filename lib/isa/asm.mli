@@ -1,0 +1,90 @@
+(** A combinator assembler for SRISC.
+
+    Workloads and tests build programs from a list of statements: raw
+    instructions, labels, label-targeted control flow, pseudo-instructions
+    ([li], [la], [call], [ret]) and data definitions. The assembler resolves
+    labels in two passes, expands pseudo-instructions, lays out data segments
+    and produces a {!Program.t}.
+
+    {[
+      let prog = Asm.(assemble [
+        data "table" [ Words [ 1; 2; 3; 4 ] ];
+        label "start";
+        la r1 "table";
+        li r2 0;
+        li r3 4;
+        label "loop";
+        insn (Load (Lw, 4, 1, 0));
+        insn (Alu (Add, 2, 2, 4));
+        insn (Alui (Add, 1, 1, 4));
+        insn (Alui (Add, 3, 3, -1));
+        bgt 3 0 "loop";
+        halt;
+      ])
+    ]} *)
+
+type stmt
+
+val insn : Instr.t -> stmt
+(** A raw instruction. *)
+
+val label : string -> stmt
+(** Defines a code label at the current position. *)
+
+val branch : Instr.cond -> Reg.ireg -> Reg.ireg -> string -> stmt
+(** Conditional branch to a label. *)
+
+val beq : Reg.ireg -> Reg.ireg -> string -> stmt
+val bne : Reg.ireg -> Reg.ireg -> string -> stmt
+val blt : Reg.ireg -> Reg.ireg -> string -> stmt
+val bge : Reg.ireg -> Reg.ireg -> string -> stmt
+val ble : Reg.ireg -> Reg.ireg -> string -> stmt
+val bgt : Reg.ireg -> Reg.ireg -> string -> stmt
+
+val j : string -> stmt
+(** Unconditional direct jump to a label. *)
+
+val call : string -> stmt
+(** [jal r31, label]. *)
+
+val jal : Reg.ireg -> string -> stmt
+val ret : stmt
+(** [jr r31]. *)
+
+val li : Reg.ireg -> int -> stmt
+(** Load a 32-bit constant (expands to 1 or 2 instructions). *)
+
+val la : Reg.ireg -> string -> stmt
+(** Load the address of a label (2 instructions: lui + ori). *)
+
+val halt : stmt
+val nop : stmt
+
+(** {1 Data} *)
+
+type data_item =
+  | Word of int          (** one 32-bit word. *)
+  | Words of int list
+  | Double of float      (** one IEEE double (8 bytes). *)
+  | Doubles of float list
+  | Space of int         (** [n] zero bytes. *)
+  | Asciiz of string     (** NUL-terminated string. *)
+  | Label_word of string (** the 32-bit address of a (code or data) label;
+                             lets programs build jump tables. *)
+  | Label_words of string list
+
+val data : string -> data_item list -> stmt
+(** Defines a labelled data block. Data blocks are laid out in order of
+    appearance starting at the data base, each 8-byte aligned. The label is
+    usable with {!la}. *)
+
+(** {1 Assembly} *)
+
+exception Error of string
+(** Raised on duplicate or undefined labels and out-of-range branch
+    displacements. *)
+
+val assemble :
+  ?code_base:int -> ?data_base:int -> ?entry:string -> stmt list -> Program.t
+(** Assembles statements into a program image. [entry], if given, names the
+    label where execution starts (defaults to the first instruction). *)

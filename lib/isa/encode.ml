@@ -1,0 +1,247 @@
+exception Encode_error of string
+exception Decode_error of int32
+
+let imm16_fits v = v >= -32768 && v <= 32767
+
+(* Major opcodes. *)
+let op_special = 0          (* R-type: integer ops, jumps, nop, halt *)
+let op_alui_base = 1        (* 1..10: addi..sltui, in alu_op order *)
+let op_lui = 11
+let op_load_base = 12       (* 12..16: lb lbu lh lhu lw *)
+let op_store_base = 17      (* 17..19: sb sh sw *)
+let op_fld = 20
+let op_fsd = 21
+let op_fp = 22              (* R-type FP: funct selects *)
+let op_branch_base = 23     (* 23..28: beq bne blt bge ble bgt *)
+let op_j = 29
+let op_jal = 30
+
+(* SPECIAL functs. *)
+let funct_alu_base = 0      (* 0..9 in alu_op order *)
+let funct_mul = 10
+let funct_div = 11
+let funct_rem = 12
+let funct_jr = 13
+let funct_jalr = 14
+let funct_nop = 15
+let funct_halt = 16
+
+(* FP functs. *)
+let funct_fp_base = 0       (* 0..6 in fpu_op order *)
+let funct_fcmp_base = 7     (* 7..9: feq flt fle *)
+let funct_cvt_if = 10
+let funct_cvt_fi = 11
+
+let alu_op_code : Instr.alu_op -> int = function
+  | Add -> 0 | Sub -> 1 | And -> 2 | Or -> 3 | Xor -> 4
+  | Sll -> 5 | Srl -> 6 | Sra -> 7 | Slt -> 8 | Sltu -> 9
+
+let alu_op_of_code = function
+  | 0 -> Instr.Add | 1 -> Sub | 2 -> And | 3 -> Or | 4 -> Xor
+  | 5 -> Sll | 6 -> Srl | 7 -> Sra | 8 -> Slt | 9 -> Sltu
+  | _ -> invalid_arg "alu_op_of_code"
+
+let fpu_op_code : Instr.fpu_op -> int = function
+  | Fadd -> 0 | Fsub -> 1 | Fmul -> 2 | Fdiv -> 3
+  | Fsqrt -> 4 | Fneg -> 5 | Fabs -> 6
+
+let fpu_op_of_code = function
+  | 0 -> Instr.Fadd | 1 -> Fsub | 2 -> Fmul | 3 -> Fdiv
+  | 4 -> Fsqrt | 5 -> Fneg | 6 -> Fabs
+  | _ -> invalid_arg "fpu_op_of_code"
+
+let fcmp_op_code : Instr.fcmp_op -> int = function
+  | Feq -> 0 | Flt -> 1 | Fle -> 2
+
+let fcmp_op_of_code = function
+  | 0 -> Instr.Feq | 1 -> Flt | 2 -> Fle
+  | _ -> invalid_arg "fcmp_op_of_code"
+
+let cond_code : Instr.cond -> int = function
+  | Eq -> 0 | Ne -> 1 | Lt -> 2 | Ge -> 3 | Le -> 4 | Gt -> 5
+
+let cond_of_code = function
+  | 0 -> Instr.Eq | 1 -> Ne | 2 -> Lt | 3 -> Ge | 4 -> Le | 5 -> Gt
+  | _ -> invalid_arg "cond_of_code"
+
+let load_width_code : Instr.load_width -> int = function
+  | Lb -> 0 | Lbu -> 1 | Lh -> 2 | Lhu -> 3 | Lw -> 4
+
+let load_width_of_code = function
+  | 0 -> Instr.Lb | 1 -> Lbu | 2 -> Lh | 3 -> Lhu | 4 -> Lw
+  | _ -> invalid_arg "load_width_of_code"
+
+let store_width_code : Instr.store_width -> int = function
+  | Sb -> 0 | Sh -> 1 | Sw -> 2
+
+let store_width_of_code = function
+  | 0 -> Instr.Sb | 1 -> Sh | 2 -> Sw
+  | _ -> invalid_arg "store_width_of_code"
+
+let check_reg r =
+  if not (Reg.valid r) then
+    raise (Encode_error (Printf.sprintf "bad register %d" r))
+
+let check_imm16 v =
+  if not (imm16_fits v) then
+    raise (Encode_error (Printf.sprintf "immediate %d out of 16-bit range" v))
+
+let check_uimm16 v =
+  if v < 0 || v > 0xffff then
+    raise (Encode_error (Printf.sprintf "immediate %d out of u16 range" v))
+
+let check_shamt v =
+  if v < 0 || v > 31 then
+    raise (Encode_error (Printf.sprintf "shift amount %d out of range" v))
+
+let check_target26 v =
+  if v < 0 || v > 0x3ffffff then
+    raise (Encode_error (Printf.sprintf "jump target %d out of range" v))
+
+let check_target21 v =
+  if v < 0 || v > 0x1fffff then
+    raise (Encode_error (Printf.sprintf "call target %d out of range" v))
+
+let word ~op ?(rd = 0) ?(rs1 = 0) ?(rs2 = 0) ?(funct = 0) () =
+  Int32.of_int
+    ((op lsl 26) lor (rd lsl 21) lor (rs1 lsl 16) lor (rs2 lsl 11) lor funct)
+
+let iword ~op ~rd ~rs1 ~imm =
+  Int32.of_int
+    ((op lsl 26) lor (rd lsl 21) lor (rs1 lsl 16) lor (imm land 0xffff))
+
+let jword ~op ~target = Int32.of_int ((op lsl 26) lor target)
+
+let is_shift : Instr.alu_op -> bool = function
+  | Sll | Srl | Sra -> true
+  | Add | Sub | And | Or | Xor | Slt | Sltu -> false
+
+(* Logical immediates are zero-extended (as in MIPS andi/ori/xori); this is
+   what lets [la]/[li] synthesise a 32-bit constant as lui + ori. *)
+let is_logical : Instr.alu_op -> bool = function
+  | And | Or | Xor -> true
+  | Add | Sub | Sll | Srl | Sra | Slt | Sltu -> false
+
+let encode (i : Instr.t) : int32 =
+  match i with
+  | Alu (op, rd, rs1, rs2) ->
+    check_reg rd; check_reg rs1; check_reg rs2;
+    word ~op:op_special ~rd ~rs1 ~rs2 ~funct:(funct_alu_base + alu_op_code op)
+      ()
+  | Alui (op, rd, rs1, imm) ->
+    check_reg rd; check_reg rs1;
+    if is_shift op then check_shamt imm
+    else if is_logical op then check_uimm16 imm
+    else check_imm16 imm;
+    iword ~op:(op_alui_base + alu_op_code op) ~rd ~rs1 ~imm
+  | Lui (rd, imm) ->
+    check_reg rd; check_uimm16 imm;
+    iword ~op:op_lui ~rd ~rs1:0 ~imm
+  | Mul (rd, rs1, rs2) ->
+    check_reg rd; check_reg rs1; check_reg rs2;
+    word ~op:op_special ~rd ~rs1 ~rs2 ~funct:funct_mul ()
+  | Div (rd, rs1, rs2) ->
+    check_reg rd; check_reg rs1; check_reg rs2;
+    word ~op:op_special ~rd ~rs1 ~rs2 ~funct:funct_div ()
+  | Rem (rd, rs1, rs2) ->
+    check_reg rd; check_reg rs1; check_reg rs2;
+    word ~op:op_special ~rd ~rs1 ~rs2 ~funct:funct_rem ()
+  | Load (w, rd, base, off) ->
+    check_reg rd; check_reg base; check_imm16 off;
+    iword ~op:(op_load_base + load_width_code w) ~rd ~rs1:base ~imm:off
+  | Store (w, rs, base, off) ->
+    check_reg rs; check_reg base; check_imm16 off;
+    iword ~op:(op_store_base + store_width_code w) ~rd:rs ~rs1:base ~imm:off
+  | Fload (fd, base, off) ->
+    check_reg fd; check_reg base; check_imm16 off;
+    iword ~op:op_fld ~rd:fd ~rs1:base ~imm:off
+  | Fstore (fs, base, off) ->
+    check_reg fs; check_reg base; check_imm16 off;
+    iword ~op:op_fsd ~rd:fs ~rs1:base ~imm:off
+  | Fop (op, fd, fs1, fs2) ->
+    check_reg fd; check_reg fs1; check_reg fs2;
+    word ~op:op_fp ~rd:fd ~rs1:fs1 ~rs2:fs2
+      ~funct:(funct_fp_base + fpu_op_code op) ()
+  | Fcmp (op, rd, fs1, fs2) ->
+    check_reg rd; check_reg fs1; check_reg fs2;
+    word ~op:op_fp ~rd ~rs1:fs1 ~rs2:fs2
+      ~funct:(funct_fcmp_base + fcmp_op_code op) ()
+  | Fcvt_if (fd, rs) ->
+    check_reg fd; check_reg rs;
+    word ~op:op_fp ~rd:fd ~rs1:rs ~funct:funct_cvt_if ()
+  | Fcvt_fi (rd, fs) ->
+    check_reg rd; check_reg fs;
+    word ~op:op_fp ~rd ~rs1:fs ~funct:funct_cvt_fi ()
+  | Branch (c, rs1, rs2, off) ->
+    check_reg rs1; check_reg rs2; check_imm16 off;
+    Int32.of_int
+      (((op_branch_base + cond_code c) lsl 26) lor (rs1 lsl 21)
+      lor (rs2 lsl 16) lor (off land 0xffff))
+  | Jump target ->
+    check_target26 target;
+    jword ~op:op_j ~target
+  | Jal (rd, target) ->
+    check_reg rd; check_target21 target;
+    Int32.of_int ((op_jal lsl 26) lor (rd lsl 21) lor target)
+  | Jr rs ->
+    check_reg rs;
+    word ~op:op_special ~rs1:rs ~funct:funct_jr ()
+  | Jalr (rd, rs) ->
+    check_reg rd; check_reg rs;
+    word ~op:op_special ~rd ~rs1:rs ~funct:funct_jalr ()
+  | Nop -> word ~op:op_special ~funct:funct_nop ()
+  | Halt -> word ~op:op_special ~funct:funct_halt ()
+
+let sign16 v = if v land 0x8000 <> 0 then v - 0x10000 else v
+
+let decode (w : int32) : Instr.t =
+  let v = Int32.to_int w land 0xffffffff in
+  let op = (v lsr 26) land 0x3f in
+  let rd = (v lsr 21) land 0x1f in
+  let rs1 = (v lsr 16) land 0x1f in
+  let rs2 = (v lsr 11) land 0x1f in
+  let funct = v land 0x7ff in
+  let imm = v land 0xffff in
+  let bad () = raise (Decode_error w) in
+  if op = op_special then
+    if funct >= funct_alu_base && funct < funct_alu_base + 10 then
+      Alu (alu_op_of_code (funct - funct_alu_base), rd, rs1, rs2)
+    else if funct = funct_mul then Mul (rd, rs1, rs2)
+    else if funct = funct_div then Div (rd, rs1, rs2)
+    else if funct = funct_rem then Rem (rd, rs1, rs2)
+    else if funct = funct_jr then Jr rs1
+    else if funct = funct_jalr then Jalr (rd, rs1)
+    else if funct = funct_nop then Nop
+    else if funct = funct_halt then Halt
+    else bad ()
+  else if op >= op_alui_base && op < op_alui_base + 10 then
+    let aop = alu_op_of_code (op - op_alui_base) in
+    let i =
+      if is_shift aop then imm land 0x1f
+      else if is_logical aop then imm
+      else sign16 imm
+    in
+    Alui (aop, rd, rs1, i)
+  else if op = op_lui then Lui (rd, imm)
+  else if op >= op_load_base && op < op_load_base + 5 then
+    Load (load_width_of_code (op - op_load_base), rd, rs1, sign16 imm)
+  else if op >= op_store_base && op < op_store_base + 3 then
+    Store (store_width_of_code (op - op_store_base), rd, rs1, sign16 imm)
+  else if op = op_fld then Fload (rd, rs1, sign16 imm)
+  else if op = op_fsd then Fstore (rd, rs1, sign16 imm)
+  else if op = op_fp then
+    if funct >= funct_fp_base && funct < funct_fp_base + 7 then
+      Fop (fpu_op_of_code (funct - funct_fp_base), rd, rs1, rs2)
+    else if funct >= funct_fcmp_base && funct < funct_fcmp_base + 3 then
+      Fcmp (fcmp_op_of_code (funct - funct_fcmp_base), rd, rs1, rs2)
+    else if funct = funct_cvt_if then Fcvt_if (rd, rs1)
+    else if funct = funct_cvt_fi then Fcvt_fi (rd, rs1)
+    else bad ()
+  else if op >= op_branch_base && op < op_branch_base + 6 then
+    Branch (cond_of_code (op - op_branch_base), rd, rs1, sign16 imm)
+  else if op = op_j then Jump (v land 0x3ffffff)
+  else if op = op_jal then Jal (rd, v land 0x1fffff)
+  else bad ()
+
+let encodable i =
+  match encode i with _ -> true | exception Encode_error _ -> false

@@ -1,0 +1,26 @@
+(** Binary encoding of SRISC instructions as 32-bit words.
+
+    The encoding is conventional RISC: a 6-bit major opcode in bits [31:26],
+    with R-type (register + 11-bit function code), I-type (16-bit immediate),
+    and J-type (26-bit target) formats. It exists so that programs have a
+    definite binary representation in simulated memory and so that the
+    instruction stream can be stored and fetched by address, as FastSim
+    fetches rewritten SPARC code.
+
+    All encodable instructions round-trip: [decode (encode i) = i]. *)
+
+exception Encode_error of string
+(** Raised when an instruction's fields are out of range for the encoding
+    (e.g. an immediate that does not fit in 16 bits). *)
+
+exception Decode_error of int32
+(** Raised on words that are not valid SRISC encodings. *)
+
+val encode : Instr.t -> int32
+val decode : int32 -> Instr.t
+
+val encodable : Instr.t -> bool
+(** [encodable i] is true iff [encode i] will not raise. *)
+
+val imm16_fits : int -> bool
+(** True iff the value fits a signed 16-bit immediate. *)

@@ -1,0 +1,208 @@
+type alu_op =
+  | Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu
+
+type fpu_op =
+  | Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fneg | Fabs
+
+type fcmp_op = Feq | Flt | Fle
+
+type cond = Eq | Ne | Lt | Ge | Le | Gt
+
+type load_width = Lb | Lbu | Lh | Lhu | Lw
+type store_width = Sb | Sh | Sw
+
+type t =
+  | Alu of alu_op * Reg.ireg * Reg.ireg * Reg.ireg
+  | Alui of alu_op * Reg.ireg * Reg.ireg * int
+  | Lui of Reg.ireg * int
+  | Mul of Reg.ireg * Reg.ireg * Reg.ireg
+  | Div of Reg.ireg * Reg.ireg * Reg.ireg
+  | Rem of Reg.ireg * Reg.ireg * Reg.ireg
+  | Load of load_width * Reg.ireg * Reg.ireg * int
+  | Store of store_width * Reg.ireg * Reg.ireg * int
+  | Fload of Reg.freg * Reg.ireg * int
+  | Fstore of Reg.freg * Reg.ireg * int
+  | Fop of fpu_op * Reg.freg * Reg.freg * Reg.freg
+  | Fcmp of fcmp_op * Reg.ireg * Reg.freg * Reg.freg
+  | Fcvt_if of Reg.freg * Reg.ireg
+  | Fcvt_fi of Reg.ireg * Reg.freg
+  | Branch of cond * Reg.ireg * Reg.ireg * int
+  | Jump of int
+  | Jal of Reg.ireg * int
+  | Jr of Reg.ireg
+  | Jalr of Reg.ireg * Reg.ireg
+  | Nop
+  | Halt
+
+type fu_class =
+  | Fu_int_alu
+  | Fu_int_mul
+  | Fu_int_div
+  | Fu_fp_add
+  | Fu_fp_mul
+  | Fu_fp_div
+  | Fu_fp_sqrt
+  | Fu_mem
+  | Fu_branch
+  | Fu_none
+
+let fu_class = function
+  | Alu _ | Alui _ | Lui _ -> Fu_int_alu
+  | Mul _ -> Fu_int_mul
+  | Div _ | Rem _ -> Fu_int_div
+  | Load _ | Store _ | Fload _ | Fstore _ -> Fu_mem
+  | Fop (Fadd, _, _, _) | Fop (Fsub, _, _, _)
+  | Fop (Fneg, _, _, _) | Fop (Fabs, _, _, _)
+  | Fcmp _ | Fcvt_if _ | Fcvt_fi _ -> Fu_fp_add
+  | Fop (Fmul, _, _, _) -> Fu_fp_mul
+  | Fop (Fdiv, _, _, _) -> Fu_fp_div
+  | Fop (Fsqrt, _, _, _) -> Fu_fp_sqrt
+  | Branch _ | Jump _ | Jal _ | Jr _ | Jalr _ -> Fu_branch
+  | Nop | Halt -> Fu_none
+
+let fu_count = 10
+
+let fu_index = function
+  | Fu_int_alu -> 0
+  | Fu_int_mul -> 1
+  | Fu_int_div -> 2
+  | Fu_fp_add -> 3
+  | Fu_fp_mul -> 4
+  | Fu_fp_div -> 5
+  | Fu_fp_sqrt -> 6
+  | Fu_mem -> 7
+  | Fu_branch -> 8
+  | Fu_none -> 9
+
+let fu_name = function
+  | Fu_int_alu -> "int-alu"
+  | Fu_int_mul -> "int-mul"
+  | Fu_int_div -> "int-div"
+  | Fu_fp_add -> "fp-add"
+  | Fu_fp_mul -> "fp-mul"
+  | Fu_fp_div -> "fp-div"
+  | Fu_fp_sqrt -> "fp-sqrt"
+  | Fu_mem -> "mem"
+  | Fu_branch -> "branch"
+  | Fu_none -> "none"
+
+let latency = function
+  | Fu_int_alu -> 1
+  | Fu_int_mul -> 5
+  | Fu_int_div -> 34
+  | Fu_fp_add -> 2
+  | Fu_fp_mul -> 2
+  | Fu_fp_div -> 12
+  | Fu_fp_sqrt -> 18
+  | Fu_mem -> 1
+  | Fu_branch -> 1
+  | Fu_none -> 1
+
+type dest = Dint of Reg.ireg | Dfloat of Reg.freg
+
+let int_dest rd = if rd = Reg.zero then None else Some (Dint rd)
+
+let dest = function
+  | Alu (_, rd, _, _) | Alui (_, rd, _, _) | Lui (rd, _)
+  | Mul (rd, _, _) | Div (rd, _, _) | Rem (rd, _, _)
+  | Load (_, rd, _, _) | Fcmp (_, rd, _, _) | Fcvt_fi (rd, _) ->
+    int_dest rd
+  | Fload (fd, _, _) | Fop (_, fd, _, _) | Fcvt_if (fd, _) ->
+    Some (Dfloat fd)
+  | Jal (rd, _) | Jalr (rd, _) -> int_dest rd
+  | Store _ | Fstore _ | Branch _ | Jump _ | Jr _ | Nop | Halt -> None
+
+let isrc r acc = if r = Reg.zero then acc else Dint r :: acc
+
+let sources = function
+  | Alu (_, _, rs1, rs2) | Mul (_, rs1, rs2) | Div (_, rs1, rs2)
+  | Rem (_, rs1, rs2) | Branch (_, rs1, rs2, _) ->
+    isrc rs1 (isrc rs2 [])
+  | Alui (_, _, rs1, _) | Load (_, _, rs1, _) | Fload (_, rs1, _)
+  | Jr rs1 | Jalr (_, rs1) | Fcvt_if (_, rs1) ->
+    isrc rs1 []
+  | Store (_, rs, base, _) -> isrc rs (isrc base [])
+  | Fstore (fs, base, _) -> Dfloat fs :: isrc base []
+  | Fop (Fsqrt, _, fs1, _) | Fop (Fneg, _, fs1, _) | Fop (Fabs, _, fs1, _) ->
+    [ Dfloat fs1 ]
+  | Fop (_, _, fs1, fs2) | Fcmp (_, _, fs1, fs2) -> [ Dfloat fs1; Dfloat fs2 ]
+  | Fcvt_fi (_, fs) -> [ Dfloat fs ]
+  | Lui _ | Jump _ | Jal _ | Nop | Halt -> []
+
+type control =
+  | Ctl_none
+  | Ctl_cond
+  | Ctl_direct of int
+  | Ctl_indirect
+  | Ctl_halt
+
+let control = function
+  | Branch _ -> Ctl_cond
+  | Jump target | Jal (_, target) -> Ctl_direct (target * 4)
+  | Jr _ | Jalr _ -> Ctl_indirect
+  | Halt -> Ctl_halt
+  | Alu _ | Alui _ | Lui _ | Mul _ | Div _ | Rem _ | Load _ | Store _
+  | Fload _ | Fstore _ | Fop _ | Fcmp _ | Fcvt_if _ | Fcvt_fi _ | Nop ->
+    Ctl_none
+
+let branch_targets t ~pc =
+  match t with
+  | Branch (_, _, _, off) -> Some (pc + 4, pc + 4 + (4 * off))
+  | _ -> None
+
+let is_load = function Load _ | Fload _ -> true | _ -> false
+let is_store = function Store _ | Fstore _ -> true | _ -> false
+let writes_memory = is_store
+
+let alu_op_name = function
+  | Add -> "add" | Sub -> "sub" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Sll -> "sll" | Srl -> "srl" | Sra -> "sra" | Slt -> "slt" | Sltu -> "sltu"
+
+let fpu_op_name = function
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+  | Fsqrt -> "fsqrt" | Fneg -> "fneg" | Fabs -> "fabs"
+
+let fcmp_op_name = function Feq -> "feq" | Flt -> "flt" | Fle -> "fle"
+
+let cond_name = function
+  | Eq -> "beq" | Ne -> "bne" | Lt -> "blt" | Ge -> "bge"
+  | Le -> "ble" | Gt -> "bgt"
+
+let load_name = function
+  | Lb -> "lb" | Lbu -> "lbu" | Lh -> "lh" | Lhu -> "lhu" | Lw -> "lw"
+
+let store_name = function Sb -> "sb" | Sh -> "sh" | Sw -> "sw"
+
+let pp ppf t =
+  let f fmt = Format.fprintf ppf fmt in
+  match t with
+  | Alu (op, rd, rs1, rs2) ->
+    f "%s r%d, r%d, r%d" (alu_op_name op) rd rs1 rs2
+  | Alui (op, rd, rs1, imm) -> f "%si r%d, r%d, %d" (alu_op_name op) rd rs1 imm
+  | Lui (rd, imm) -> f "lui r%d, %d" rd imm
+  | Mul (rd, rs1, rs2) -> f "mul r%d, r%d, r%d" rd rs1 rs2
+  | Div (rd, rs1, rs2) -> f "div r%d, r%d, r%d" rd rs1 rs2
+  | Rem (rd, rs1, rs2) -> f "rem r%d, r%d, r%d" rd rs1 rs2
+  | Load (w, rd, base, off) -> f "%s r%d, %d(r%d)" (load_name w) rd off base
+  | Store (w, rs, base, off) -> f "%s r%d, %d(r%d)" (store_name w) rs off base
+  | Fload (fd, base, off) -> f "fld f%d, %d(r%d)" fd off base
+  | Fstore (fs, base, off) -> f "fsd f%d, %d(r%d)" fs off base
+  | Fop (Fsqrt, fd, fs1, _) -> f "fsqrt f%d, f%d" fd fs1
+  | Fop (Fneg, fd, fs1, _) -> f "fneg f%d, f%d" fd fs1
+  | Fop (Fabs, fd, fs1, _) -> f "fabs f%d, f%d" fd fs1
+  | Fop (op, fd, fs1, fs2) -> f "%s f%d, f%d, f%d" (fpu_op_name op) fd fs1 fs2
+  | Fcmp (op, rd, fs1, fs2) ->
+    f "%s r%d, f%d, f%d" (fcmp_op_name op) rd fs1 fs2
+  | Fcvt_if (fd, rs) -> f "cvtif f%d, r%d" fd rs
+  | Fcvt_fi (rd, fs) -> f "cvtfi r%d, f%d" rd fs
+  | Branch (c, rs1, rs2, off) -> f "%s r%d, r%d, %d" (cond_name c) rs1 rs2 off
+  | Jump target -> f "j 0x%x" (target * 4)
+  | Jal (rd, target) -> f "jal r%d, 0x%x" rd (target * 4)
+  | Jr rs -> f "jr r%d" rs
+  | Jalr (rd, rs) -> f "jalr r%d, r%d" rd rs
+  | Nop -> f "nop"
+  | Halt -> f "halt"
+
+let to_string t = Format.asprintf "%a" pp t
+
+let equal (a : t) (b : t) = a = b

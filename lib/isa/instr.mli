@@ -1,0 +1,134 @@
+(** The SRISC instruction set.
+
+    SRISC is a 32-bit RISC ISA in the SPARC/MIPS mould, designed to exercise
+    the same microarchitectural behaviours as the SPARC v8 code FastSim
+    simulates: fixed 4-byte instructions, integer and floating point register
+    files, displacement addressing, conditional branches with PC-relative
+    targets, direct and indirect jumps, and long-latency integer divide and
+    FP divide/sqrt operations.
+
+    Immediates are 16-bit sign-extended unless noted. Branch offsets are in
+    instruction words relative to the *next* PC. Direct jump targets are
+    absolute instruction-word addresses (26 bits). *)
+
+type alu_op =
+  | Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu
+
+type fpu_op =
+  | Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fneg | Fabs
+
+type fcmp_op = Feq | Flt | Fle
+
+type cond = Eq | Ne | Lt | Ge | Le | Gt
+(** Condition for conditional branches, comparing two integer registers
+    as signed values ([Eq]/[Ne] compare bit patterns). *)
+
+type load_width = Lb | Lbu | Lh | Lhu | Lw
+type store_width = Sb | Sh | Sw
+
+type t =
+  | Alu of alu_op * Reg.ireg * Reg.ireg * Reg.ireg
+      (** [Alu (op, rd, rs1, rs2)]: register-register ALU operation. *)
+  | Alui of alu_op * Reg.ireg * Reg.ireg * int
+      (** [Alui (op, rd, rs1, imm)]: register-immediate ALU operation.
+          For shifts the immediate is a count in [0, 31]; for the logical
+          operations (and/or/xor) it is zero-extended (as in MIPS), for the
+          rest sign-extended. *)
+  | Lui of Reg.ireg * int
+      (** [Lui (rd, imm)]: load [imm] (16 bits) into the upper half of [rd],
+          zeroing the lower half. *)
+  | Mul of Reg.ireg * Reg.ireg * Reg.ireg
+  | Div of Reg.ireg * Reg.ireg * Reg.ireg
+      (** Signed division; division by zero yields 0 (no traps in SRISC). *)
+  | Rem of Reg.ireg * Reg.ireg * Reg.ireg
+      (** Signed remainder; remainder by zero yields the dividend. *)
+  | Load of load_width * Reg.ireg * Reg.ireg * int
+      (** [Load (w, rd, base, off)]: [rd <- mem[base + off]]. *)
+  | Store of store_width * Reg.ireg * Reg.ireg * int
+      (** [Store (w, rs, base, off)]: [mem[base + off] <- rs]. *)
+  | Fload of Reg.freg * Reg.ireg * int
+      (** 8-byte load of an IEEE double into an FP register. *)
+  | Fstore of Reg.freg * Reg.ireg * int
+      (** 8-byte store of an FP register. *)
+  | Fop of fpu_op * Reg.freg * Reg.freg * Reg.freg
+      (** [Fop (op, fd, fs1, fs2)]; unary ops ignore [fs2]. *)
+  | Fcmp of fcmp_op * Reg.ireg * Reg.freg * Reg.freg
+      (** FP compare writing 0/1 into an integer register. *)
+  | Fcvt_if of Reg.freg * Reg.ireg   (** int -> double conversion. *)
+  | Fcvt_fi of Reg.ireg * Reg.freg   (** double -> int, truncating. *)
+  | Branch of cond * Reg.ireg * Reg.ireg * int
+      (** [Branch (c, rs1, rs2, off)]: if [rs1 c rs2] then
+          [pc <- pc + 4 + 4*off]. *)
+  | Jump of int            (** Direct jump to absolute word address. *)
+  | Jal of Reg.ireg * int  (** Direct call: link register <- return address. *)
+  | Jr of Reg.ireg         (** Indirect jump (includes returns). *)
+  | Jalr of Reg.ireg * Reg.ireg
+      (** [Jalr (rd, rs)]: indirect call through [rs], linking into [rd]. *)
+  | Nop
+  | Halt                   (** Terminates the simulated program. *)
+
+(** {1 Classification for the timing model} *)
+
+type fu_class =
+  | Fu_int_alu   (** 1-cycle integer ops, branches' compare. *)
+  | Fu_int_mul   (** pipelined multiply. *)
+  | Fu_int_div   (** non-pipelined divide. *)
+  | Fu_fp_add    (** FP add pipe (add/sub/neg/abs/cmp/cvt). *)
+  | Fu_fp_mul    (** FP multiply pipe. *)
+  | Fu_fp_div    (** non-pipelined FP divide. *)
+  | Fu_fp_sqrt   (** non-pipelined FP square root. *)
+  | Fu_mem       (** loads and stores: address generation then cache. *)
+  | Fu_branch    (** control transfers resolved in the integer pipe. *)
+  | Fu_none      (** [Nop]/[Halt]: no functional unit. *)
+
+val fu_class : t -> fu_class
+
+val fu_count : int
+(** Number of functional-unit classes (for statistics arrays indexed by
+    {!fu_index}). *)
+
+val fu_index : fu_class -> int
+(** Dense index in [0, fu_count). *)
+
+val fu_name : fu_class -> string
+
+val latency : fu_class -> int
+(** Execution latency in cycles once issued to a functional unit. For
+    [Fu_mem] this is the address-generation latency; cache access time is
+    added by the cache simulator. *)
+
+type dest = Dint of Reg.ireg | Dfloat of Reg.freg
+
+val dest : t -> dest option
+(** Destination register written by the instruction, if any. Writes to
+    [r0] are reported as [None] (they are architecturally discarded). *)
+
+val sources : t -> dest list
+(** Registers read by the instruction (using [dest] as a register-file tag).
+    Reads of [r0] are omitted. *)
+
+type control =
+  | Ctl_none
+  | Ctl_cond                 (** conditional branch: two successors. *)
+  | Ctl_direct of int        (** unconditional direct jump/call target (byte address). *)
+  | Ctl_indirect             (** indirect jump/call: target known only dynamically. *)
+  | Ctl_halt
+
+val control : t -> control
+(** Control-flow classification used by both the emulator (where to stop and
+    record a control event) and the µ-architecture fetch unit. *)
+
+val is_load : t -> bool
+val is_store : t -> bool
+val writes_memory : t -> bool
+
+val branch_targets : t -> pc:int -> (int * int) option
+(** For a conditional branch at byte address [pc], its
+    [(fall_through, taken_target)] pair; [None] for other instructions. *)
+
+val pp : Format.formatter -> t -> unit
+(** Assembly-style rendering, e.g. ["add r3, r1, r2"]. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool

@@ -1,0 +1,324 @@
+exception Error of { line : int; message : string }
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Error { line; message })) fmt
+
+(* ---- lexing ---- *)
+
+type token =
+  | T_ident of string       (* mnemonic, label reference, directive *)
+  | T_reg of Reg.ireg       (* rN *)
+  | T_freg of Reg.freg      (* fN *)
+  | T_int of int
+  | T_float of float
+  | T_string of string
+  | T_mem of int * Reg.ireg (* off(rN) *)
+
+let strip_comment s =
+  let cut =
+    match (String.index_opt s ';', String.index_opt s '#') with
+    | Some a, Some b -> Some (min a b)
+    | Some a, None -> Some a
+    | None, Some b -> Some b
+    | None, None -> None
+  in
+  match cut with Some i -> String.sub s 0 i | None -> s
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.'
+
+let reg_of_string s =
+  let len = String.length s in
+  if len >= 2 && len <= 3 && (s.[0] = 'r' || s.[0] = 'f') then
+    match int_of_string_opt (String.sub s 1 (len - 1)) with
+    | Some n when Reg.valid n -> Some (s.[0], n)
+    | _ -> None
+  else None
+
+let lex_line lineno s =
+  let s = strip_comment s in
+  let n = String.length s in
+  let tokens = ref [] in
+  let label = ref None in
+  let i = ref 0 in
+  let peek () = if !i < n then Some s.[!i] else None in
+  let skip_ws () =
+    while !i < n && (s.[!i] = ' ' || s.[!i] = '\t' || s.[!i] = ',') do
+      incr i
+    done
+  in
+  let read_while p =
+    let start = !i in
+    while !i < n && p s.[!i] do
+      incr i
+    done;
+    String.sub s start (!i - start)
+  in
+  let read_number () =
+    let start = !i in
+    if peek () = Some '-' then incr i;
+    if !i + 1 < n && s.[!i] = '0' && (s.[!i + 1] = 'x' || s.[!i + 1] = 'X')
+    then begin
+      i := !i + 2;
+      ignore (read_while (fun c -> is_ident_char c) : string)
+    end
+    else
+      ignore
+        (read_while (fun c -> (c >= '0' && c <= '9') || c = '.' || c = 'e'
+                              || c = 'E' || c = '-' || c = '+')
+          : string);
+    String.sub s start (!i - start)
+  in
+  skip_ws ();
+  let rec go () =
+    skip_ws ();
+    if !i >= n then ()
+    else begin
+      (match s.[!i] with
+       | '"' ->
+         incr i;
+         let buf = Buffer.create 16 in
+         let rec str () =
+           if !i >= n then fail lineno "unterminated string"
+           else if s.[!i] = '"' then incr i
+           else if s.[!i] = '\\' && !i + 1 < n then begin
+             (match s.[!i + 1] with
+              | 'n' -> Buffer.add_char buf '\n'
+              | 't' -> Buffer.add_char buf '\t'
+              | '0' -> Buffer.add_char buf '\000'
+              | c -> Buffer.add_char buf c);
+             i := !i + 2;
+             str ()
+           end
+           else begin
+             Buffer.add_char buf s.[!i];
+             incr i;
+             str ()
+           end
+         in
+         str ();
+         tokens := T_string (Buffer.contents buf) :: !tokens
+       | c when c = '-' || (c >= '0' && c <= '9') ->
+         let num = read_number () in
+         (* memory operand off(reg)? *)
+         if peek () = Some '(' then begin
+           incr i;
+           let r = read_while is_ident_char in
+           (match (reg_of_string r, peek ()) with
+            | Some ('r', reg), Some ')' ->
+              incr i;
+              let off =
+                match int_of_string_opt num with
+                | Some v -> v
+                | None -> fail lineno "bad offset %S" num
+              in
+              tokens := T_mem (off, reg) :: !tokens
+            | _ -> fail lineno "bad memory operand")
+         end
+         else if String.contains num '.' || String.contains num 'e'
+                 || String.contains num 'E'
+         then
+           match float_of_string_opt num with
+           | Some f -> tokens := T_float f :: !tokens
+           | None -> fail lineno "bad number %S" num
+         else (
+           match int_of_string_opt num with
+           | Some v -> tokens := T_int v :: !tokens
+           | None ->
+             (match float_of_string_opt num with
+              | Some f -> tokens := T_float f :: !tokens
+              | None -> fail lineno "bad number %S" num))
+       | c when is_ident_char c ->
+         let word = read_while is_ident_char in
+         if peek () = Some ':' then begin
+           incr i;
+           if !tokens <> [] || !label <> None then
+             fail lineno "label %S must start the line" word;
+           label := Some word
+         end
+         else if peek () = Some '(' then begin
+           (* 0-offset written as reg in parens is not supported; treat a
+              bare ident followed by ( as an error *)
+           fail lineno "unexpected '(' after %S" word
+         end
+         else begin
+           match reg_of_string word with
+           | Some ('r', r) -> tokens := T_reg r :: !tokens
+           | Some ('f', r) -> tokens := T_freg r :: !tokens
+           | _ -> tokens := T_ident word :: !tokens
+         end
+       | c -> fail lineno "unexpected character %C" c);
+      go ()
+    end
+  in
+  go ();
+  (!label, List.rev !tokens)
+
+(* ---- parsing ---- *)
+
+let alu_ops =
+  [ ("add", Instr.Add); ("sub", Instr.Sub); ("and", Instr.And);
+    ("or", Instr.Or); ("xor", Instr.Xor); ("sll", Instr.Sll);
+    ("srl", Instr.Srl); ("sra", Instr.Sra); ("slt", Instr.Slt);
+    ("sltu", Instr.Sltu) ]
+
+let branch_ops =
+  [ ("beq", Instr.Eq); ("bne", Instr.Ne); ("blt", Instr.Lt);
+    ("bge", Instr.Ge); ("ble", Instr.Le); ("bgt", Instr.Gt) ]
+
+let load_ops =
+  [ ("lb", Instr.Lb); ("lbu", Instr.Lbu); ("lh", Instr.Lh);
+    ("lhu", Instr.Lhu); ("lw", Instr.Lw) ]
+
+let store_ops = [ ("sb", Instr.Sb); ("sh", Instr.Sh); ("sw", Instr.Sw) ]
+
+let fop3 =
+  [ ("fadd", Instr.Fadd); ("fsub", Instr.Fsub); ("fmul", Instr.Fmul);
+    ("fdiv", Instr.Fdiv) ]
+
+let fop2 = [ ("fsqrt", Instr.Fsqrt); ("fneg", Instr.Fneg);
+             ("fabs", Instr.Fabs) ]
+
+let fcmp_ops = [ ("feq", Instr.Feq); ("flt", Instr.Flt); ("fle", Instr.Fle) ]
+
+type block_state = {
+  mutable out : Asm.stmt list;  (* reversed *)
+  mutable data_name : string option;
+  mutable data_items : Asm.data_item list;  (* reversed *)
+}
+
+let flush_data line st =
+  match st.data_name with
+  | None ->
+    if st.data_items <> [] then fail line "data directive outside .data"
+  | Some name ->
+    st.out <- Asm.data name (List.rev st.data_items) :: st.out;
+    st.data_name <- None;
+    st.data_items <- []
+
+let parse_insn line st mnemonic args =
+  let stmt =
+    match (mnemonic, args) with
+    | op, [ T_reg rd; T_reg rs1; T_reg rs2 ]
+      when List.mem_assoc op alu_ops ->
+      Asm.insn (Instr.Alu (List.assoc op alu_ops, rd, rs1, rs2))
+    | op, [ T_reg rd; T_reg rs1; T_int imm ]
+      when String.length op > 1
+           && List.mem_assoc (String.sub op 0 (String.length op - 1)) alu_ops
+           && op.[String.length op - 1] = 'i' ->
+      let base = String.sub op 0 (String.length op - 1) in
+      Asm.insn (Instr.Alui (List.assoc base alu_ops, rd, rs1, imm))
+    | "sltui", [ T_reg rd; T_reg rs1; T_int imm ] ->
+      Asm.insn (Instr.Alui (Instr.Sltu, rd, rs1, imm))
+    | "lui", [ T_reg rd; T_int imm ] -> Asm.insn (Instr.Lui (rd, imm))
+    | "mul", [ T_reg rd; T_reg a; T_reg b ] -> Asm.insn (Instr.Mul (rd, a, b))
+    | "div", [ T_reg rd; T_reg a; T_reg b ] -> Asm.insn (Instr.Div (rd, a, b))
+    | "rem", [ T_reg rd; T_reg a; T_reg b ] -> Asm.insn (Instr.Rem (rd, a, b))
+    | op, [ T_reg rd; T_mem (off, base) ] when List.mem_assoc op load_ops ->
+      Asm.insn (Instr.Load (List.assoc op load_ops, rd, base, off))
+    | op, [ T_reg rs; T_mem (off, base) ] when List.mem_assoc op store_ops ->
+      Asm.insn (Instr.Store (List.assoc op store_ops, rs, base, off))
+    | "fld", [ T_freg fd; T_mem (off, base) ] ->
+      Asm.insn (Instr.Fload (fd, base, off))
+    | "fsd", [ T_freg fs; T_mem (off, base) ] ->
+      Asm.insn (Instr.Fstore (fs, base, off))
+    | op, [ T_freg fd; T_freg a; T_freg b ] when List.mem_assoc op fop3 ->
+      Asm.insn (Instr.Fop (List.assoc op fop3, fd, a, b))
+    | op, [ T_freg fd; T_freg a ] when List.mem_assoc op fop2 ->
+      Asm.insn (Instr.Fop (List.assoc op fop2, fd, a, a))
+    | op, [ T_reg rd; T_freg a; T_freg b ] when List.mem_assoc op fcmp_ops ->
+      Asm.insn (Instr.Fcmp (List.assoc op fcmp_ops, rd, a, b))
+    | "cvtif", [ T_freg fd; T_reg rs ] -> Asm.insn (Instr.Fcvt_if (fd, rs))
+    | "cvtfi", [ T_reg rd; T_freg fs ] -> Asm.insn (Instr.Fcvt_fi (rd, fs))
+    | op, [ T_reg a; T_reg b; T_ident target ]
+      when List.mem_assoc op branch_ops ->
+      Asm.branch (List.assoc op branch_ops) a b target
+    | "j", [ T_ident target ] -> Asm.j target
+    | "jal", [ T_reg rd; T_ident target ] -> Asm.jal rd target
+    | "call", [ T_ident target ] -> Asm.call target
+    | "jr", [ T_reg rs ] -> Asm.insn (Instr.Jr rs)
+    | "jalr", [ T_reg rd; T_reg rs ] -> Asm.insn (Instr.Jalr (rd, rs))
+    | "ret", [] -> Asm.ret
+    | "nop", [] -> Asm.nop
+    | "halt", [] -> Asm.halt
+    | "li", [ T_reg rd; T_int v ] -> Asm.li rd v
+    | "la", [ T_reg rd; T_ident name ] -> Asm.la rd name
+    | op, _ -> fail line "cannot parse %S with these operands" op
+  in
+  st.out <- stmt :: st.out
+
+let parse_directive line st name args =
+  if name <> ".data" && st.data_name = None then
+    fail line "%s outside a .data block" name;
+  match (name, args) with
+  | ".data", [ T_ident dname ] ->
+    flush_data line st;
+    st.data_name <- Some dname
+  | ".word", [ T_int v ] | ".words", [ T_int v ] ->
+    st.data_items <- Asm.Word v :: st.data_items
+  | (".words" | ".word"), vs ->
+    let words =
+      List.map
+        (function
+          | T_int v -> v
+          | _ -> fail line ".words takes integers")
+        vs
+    in
+    st.data_items <- Asm.Words words :: st.data_items
+  | ".double", [ T_float f ] ->
+    st.data_items <- Asm.Double f :: st.data_items
+  | ".double", [ T_int v ] ->
+    st.data_items <- Asm.Double (float_of_int v) :: st.data_items
+  | ".doubles", vs ->
+    let ds =
+      List.map
+        (function
+          | T_float f -> f
+          | T_int v -> float_of_int v
+          | _ -> fail line ".doubles takes numbers")
+        vs
+    in
+    st.data_items <- Asm.Doubles ds :: st.data_items
+  | ".space", [ T_int n ] -> st.data_items <- Asm.Space n :: st.data_items
+  | ".asciiz", [ T_string s ] ->
+    st.data_items <- Asm.Asciiz s :: st.data_items
+  | ".addr", labels ->
+    let names =
+      List.map
+        (function
+          | T_ident l -> l
+          | _ -> fail line ".addr takes labels")
+        labels
+    in
+    st.data_items <- Asm.Label_words names :: st.data_items
+  | d, _ -> fail line "unknown or malformed directive %S" d
+
+let stmts source =
+  let st = { out = []; data_name = None; data_items = [] } in
+  let lines = String.split_on_char '\n' source in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let label, tokens = lex_line lineno raw in
+      (match label with
+       | Some l ->
+         flush_data lineno st;
+         st.out <- Asm.label l :: st.out
+       | None -> ());
+      match tokens with
+      | [] -> ()
+      | T_ident name :: args when String.length name > 0 && name.[0] = '.' ->
+        parse_directive lineno st name args
+      | T_ident mnemonic :: args ->
+        flush_data lineno st;
+        parse_insn lineno st mnemonic args
+      | _ -> fail lineno "expected a mnemonic or directive")
+    lines;
+  flush_data (List.length lines) st;
+  List.rev st.out
+
+let program ?code_base ?data_base ?entry source =
+  Asm.assemble ?code_base ?data_base ?entry (stmts source)

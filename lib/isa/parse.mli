@@ -1,0 +1,41 @@
+(** Textual assembly for SRISC.
+
+    Parses the same surface syntax the disassembler ({!Instr.pp} /
+    {!Program.pp_listing}) prints, plus labels, data directives and the
+    assembler's pseudo-instructions, into {!Asm.stmt} lists:
+
+    {[
+      ; sum an array
+              .data table
+              .words 1 2 3 4
+              .space 16
+      start:  la   r1, table
+              li   r2, 0
+              li   r3, 4
+      loop:   lw   r4, 0(r1)
+              add  r2, r2, r4
+              addi r1, r1, 4
+              addi r3, r3, -1
+              bgt  r3, r0, loop
+              sw   r2, 0(r1)
+              halt
+    ]}
+
+    Comments run from [;] or [#] to end of line. Registers are [r0]–[r31]
+    and [f0]–[f31]. Branches take a label; [j]/[jal]/[call] take a label;
+    [li]/[la] are the usual pseudo-instructions. Data blocks start with
+    [.data NAME] and contain [.words], [.word], [.doubles], [.double],
+    [.space N], [.asciiz "..."], and [.addr LABEL ...] (jump-table entries)
+    directives; the block ends at the next [.data] or at the first
+    instruction/label. *)
+
+exception Error of { line : int; message : string }
+
+val program : ?code_base:int -> ?data_base:int -> ?entry:string ->
+  string -> Program.t
+(** [program source] parses and assembles [source].
+    Raises {!Error} with a 1-based line number on syntax errors and
+    {!Asm.Error} on assembly errors (undefined labels, ranges). *)
+
+val stmts : string -> Asm.stmt list
+(** Parse only, without assembling. *)

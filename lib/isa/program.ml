@@ -1,0 +1,43 @@
+type t = {
+  code_base : int;
+  entry : int;
+  code : Instr.t array;
+  words : int32 array;
+  data : (int * string) list;
+  symbols : (string * int) list;
+}
+
+exception Fault of int
+
+let default_code_base = 0x10000
+let default_data_base = 0x200000
+let default_stack_top = 0x800000
+
+let make ?(code_base = default_code_base) ?entry ?(data = []) ?(symbols = [])
+    code =
+  if code_base land 3 <> 0 then invalid_arg "Program.make: unaligned base";
+  let entry = match entry with Some e -> e | None -> code_base in
+  let words = Array.map Encode.encode code in
+  { code_base; entry; code; words; data; symbols }
+
+let size t = Array.length t.code
+let last_addr t = t.code_base + (4 * (size t - 1))
+
+let in_code t addr =
+  addr land 3 = 0
+  && addr >= t.code_base
+  && addr < t.code_base + (4 * Array.length t.code)
+
+let fetch t addr =
+  if not (in_code t addr) then raise (Fault addr)
+  else Array.unsafe_get t.code ((addr - t.code_base) lsr 2)
+
+let fetch_opt t addr = if in_code t addr then Some (fetch t addr) else None
+
+let symbol t name = List.assoc name t.symbols
+
+let pp_listing ppf t =
+  Array.iteri
+    (fun i insn ->
+      Format.fprintf ppf "0x%06x:  %a@." (t.code_base + (4 * i)) Instr.pp insn)
+    t.code

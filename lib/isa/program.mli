@@ -1,0 +1,60 @@
+(** Immutable program images.
+
+    A program image is the simulated analogue of the statically linked
+    SPARC executable that FastSim's [fs] tool rewrites: a contiguous code
+    segment of encoded instructions, initialised data segments, an entry
+    point, and a symbol table. The image never changes during simulation
+    (SRISC has no self-modifying code), which is what makes "the instruction
+    at address A" a pure function — the property the memoizing simulator
+    relies on when it re-fetches instructions from configuration snapshots
+    alone. *)
+
+type t = private {
+  code_base : int;       (** Byte address of the first instruction. *)
+  entry : int;           (** Byte address where execution starts. *)
+  code : Instr.t array;  (** Decoded instructions, [code.(i)] at
+                             [code_base + 4*i]. *)
+  words : int32 array;   (** The encoded form of [code]. *)
+  data : (int * string) list;
+      (** Initial data segments as (byte address, bytes) pairs. *)
+  symbols : (string * int) list;  (** Label -> byte address. *)
+}
+
+exception Fault of int
+(** Raised by [fetch] for an address outside the code segment or not
+    4-byte aligned. *)
+
+val make :
+  ?code_base:int -> ?entry:int -> ?data:(int * string) list ->
+  ?symbols:(string * int) list -> Instr.t array -> t
+(** [make code] builds an image. [code_base] defaults to
+    [default_code_base]; [entry] defaults to [code_base]. Every instruction
+    must be encodable; raises [Encode.Encode_error] otherwise. *)
+
+val default_code_base : int
+(** 0x10000. *)
+
+val default_data_base : int
+(** 0x200000. *)
+
+val default_stack_top : int
+(** 0x800000; stacks grow down from here. *)
+
+val fetch : t -> int -> Instr.t
+(** [fetch p addr] is the instruction at byte address [addr]. *)
+
+val fetch_opt : t -> int -> Instr.t option
+
+val in_code : t -> int -> bool
+
+val size : t -> int
+(** Number of instructions. *)
+
+val last_addr : t -> int
+(** Byte address of the last instruction. *)
+
+val symbol : t -> string -> int
+(** Address of a label; raises [Not_found]. *)
+
+val pp_listing : Format.formatter -> t -> unit
+(** Disassembly listing of the whole code segment. *)

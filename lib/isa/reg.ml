@@ -1,0 +1,10 @@
+type ireg = int
+type freg = int
+
+let count = 32
+let zero = 0
+let link = 31
+let sp = 30
+let valid r = r >= 0 && r < count
+let pp_ireg ppf r = Format.fprintf ppf "r%d" r
+let pp_freg ppf r = Format.fprintf ppf "f%d" r

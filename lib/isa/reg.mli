@@ -1,0 +1,34 @@
+(** Architectural registers of the SRISC ISA.
+
+    SRISC has 32 integer registers ([r0] is hard-wired to zero, [r31] is the
+    link register by convention) and 32 floating-point registers holding IEEE
+    doubles. Registers are represented as plain integers in [0, 31]; the two
+    phantom types below only exist to keep the two files apart in signatures
+    via naming convention ([ireg] vs [freg]). *)
+
+type ireg = int
+(** Integer register number, in [0, 31]. *)
+
+type freg = int
+(** Floating-point register number, in [0, 31]. *)
+
+val count : int
+(** Number of registers in each file (32). *)
+
+val zero : ireg
+(** The hard-wired zero register, [r0]. *)
+
+val link : ireg
+(** The conventional link register for calls, [r31]. *)
+
+val sp : ireg
+(** The conventional stack pointer, [r30]. *)
+
+val valid : int -> bool
+(** [valid r] is true iff [r] is a legal register number. *)
+
+val pp_ireg : Format.formatter -> ireg -> unit
+(** Prints an integer register as ["r7"]. *)
+
+val pp_freg : Format.formatter -> freg -> unit
+(** Prints a floating-point register as ["f7"]. *)

@@ -1,0 +1,72 @@
+type ctl = Uarch.Oracle.ctl_outcome
+
+type item =
+  | I_load of int
+  | I_store
+  | I_ctl of ctl
+  | I_rollback of int
+
+type node =
+  | N_load of load_node
+  | N_store of node
+  | N_ctl of ctl_node
+  | N_rollback of int * node
+  | N_halt
+  | N_goto of goto_node
+
+and load_node = { mutable l_edges : (int * node) list }
+and ctl_node = { mutable c_edges : (ctl * node) list }
+
+and goto_node = { mutable target : config }
+
+and config = {
+  cfg_key : Uarch.Snapshot.key;
+  cfg_bytes : int;
+  mutable cfg_action_bytes : int;
+  mutable cfg_group : group option;
+  mutable cfg_touched : int;
+  mutable cfg_dropped : bool;
+  mutable cfg_old_gen : bool;
+}
+
+and group = {
+  g_silent : int;
+  g_retired : int;
+  g_classes : int array;  (* per-FU-class retired counts for this group *)
+  g_first : node;
+}
+
+type terminal = T_goto of Uarch.Snapshot.key | T_halt
+
+let node_bytes = function
+  | N_load { l_edges } -> 16 + (8 * max 0 (List.length l_edges - 1))
+  | N_ctl { c_edges } -> 16 + (8 * max 0 (List.length c_edges - 1))
+  | N_store _ | N_rollback _ | N_halt | N_goto _ -> 8
+
+let pp_ctl ppf (c : ctl) =
+  match c with
+  | Uarch.Oracle.C_cond { taken; mispredicted } ->
+    Format.fprintf ppf "cond(%s%s)"
+      (if taken then "T" else "NT")
+      (if mispredicted then ",mispred" else "")
+  | Uarch.Oracle.C_indirect { target; hit } ->
+    Format.fprintf ppf "ind(0x%x%s)" target (if hit then "" else ",miss")
+  | Uarch.Oracle.C_stalled -> Format.fprintf ppf "stalled"
+
+let pp_item ppf = function
+  | I_load lat -> Format.fprintf ppf "load->%d" lat
+  | I_store -> Format.fprintf ppf "store"
+  | I_ctl c -> Format.fprintf ppf "ctl:%a" pp_ctl c
+  | I_rollback i -> Format.fprintf ppf "rollback[%d]" i
+
+let pp_node_shallow ppf = function
+  | N_load { l_edges } ->
+    Format.fprintf ppf "Load{%d outcomes}" (List.length l_edges)
+  | N_store _ -> Format.fprintf ppf "Store"
+  | N_ctl { c_edges } ->
+    Format.fprintf ppf "Ctl{%d outcomes}" (List.length c_edges)
+  | N_rollback (i, _) -> Format.fprintf ppf "Rollback[%d]" i
+  | N_halt -> Format.fprintf ppf "Halt"
+  | N_goto { target = c } ->
+    Format.fprintf ppf "Goto{%d bytes%s}" c.cfg_bytes
+      (if c.cfg_group = None then ",empty" else "")

@@ -1,0 +1,70 @@
+(** P-action cache data model (paper §4.2, Figures 5–6).
+
+    The p-action cache is a graph: {e configuration} nodes (compressed
+    µ-architecture snapshots) each own a {e group} — the number of silent
+    cycles until the next interaction cycle, the instructions retired over
+    those cycles, and a chain of {e action} nodes describing the
+    interactions of that final cycle in order. Actions whose outcome varies
+    (cache-load latencies, control-flow outcomes) branch: each previously
+    seen outcome labels an edge to the rest of the chain. The last action
+    of a group links to the following configuration, "forming an unbroken
+    chain of actions" that fast-forwarding walks without re-running the
+    detailed simulator. *)
+
+type ctl = Uarch.Oracle.ctl_outcome
+
+type item =
+  | I_load of int     (** a load issued to the cache; payload = latency. *)
+  | I_store           (** a store issued to the cache. *)
+  | I_ctl of ctl      (** a control outcome pulled from direct execution. *)
+  | I_rollback of int (** a misprediction repair; payload = bQ index. *)
+
+type node =
+  | N_load of load_node
+  | N_store of node
+  | N_ctl of ctl_node
+  | N_rollback of int * node
+  | N_halt
+  | N_goto of goto_node
+
+and load_node = { mutable l_edges : (int * node) list }
+and ctl_node = { mutable c_edges : (ctl * node) list }
+
+and goto_node = { mutable target : config }
+(** Mutable so collections can "fix pointers" lazily: when a target was
+    evicted and later regenerated, the first traversal re-points the edge
+    to the live node (the moral equivalent of the copying collector's
+    pointer forwarding). *)
+
+and config = {
+  cfg_key : Uarch.Snapshot.key;
+  cfg_bytes : int;  (** modeled size (paper's accounting). *)
+  mutable cfg_action_bytes : int;
+      (** modeled bytes of the action nodes this config's group owns. *)
+  mutable cfg_group : group option;
+  mutable cfg_touched : int;   (** GC epoch of last use. *)
+  mutable cfg_dropped : bool;  (** evicted from the table by a collection. *)
+  mutable cfg_old_gen : bool;  (** promoted by the generational collector. *)
+}
+
+and group = {
+  g_silent : int;   (** cycles before the interaction cycle. *)
+  g_retired : int;  (** instructions retired across the whole group. *)
+  g_classes : int array;
+      (** retired counts per functional-unit class
+          (indexed by [Isa.Instr.fu_index]); replayed like [g_retired], so
+          instruction-mix statistics are identical under memoization. *)
+  g_first : node;
+}
+
+type terminal = T_goto of Uarch.Snapshot.key | T_halt
+(** How a recorded group ends: linked to the next configuration, or the
+    retirement of [Halt]. *)
+
+val node_bytes : node -> int
+(** Modeled size of one action node (excluding nodes it links to):
+    16 bytes for outcome-branching actions plus 8 per additional edge,
+    8 bytes for the rest. *)
+
+val pp_item : Format.formatter -> item -> unit
+val pp_node_shallow : Format.formatter -> node -> unit

@@ -1,0 +1,357 @@
+type policy =
+  | Unbounded
+  | Flush_on_full of int
+  | Copying_gc of int
+  | Generational_gc of { nursery : int; total : int }
+
+exception Determinism_violation of string
+
+type t = {
+  pol : policy;
+  mutable table : (Uarch.Snapshot.key, Action.config) Hashtbl.t;
+  mutable epoch : int;
+  (* "Used since the last collection" needs a notion of recency finer than
+     the collections themselves (on the first collection everything has
+     been used since the start). The epoch advances every [window] modeled
+     bytes of allocation, so a collection keeps what was touched in the
+     current allocation window. *)
+  window : int;
+  mutable alloc_window : int;
+  mutable bytes : int;
+  mutable nursery_bytes : int;
+  mutable peak : int;
+  mutable configs_alloc : int;
+  mutable actions_alloc : int;
+  mutable flush_count : int;
+  mutable minor_count : int;
+  mutable full_count : int;
+  mutable gc_survivors : int;
+  mutable gc_population : int;
+}
+
+type counters = {
+  static_configs : int;
+  static_actions : int;
+  live_configs : int;
+  modeled_bytes : int;
+  peak_modeled_bytes : int;
+  flushes : int;
+  minor_collections : int;
+  full_collections : int;
+  last_gc_survivors : int;
+  last_gc_population : int;
+}
+
+let epoch_window = function
+  | Copying_gc budget -> max 1024 (budget / 2)
+  | Generational_gc { nursery; _ } -> max 1024 (nursery / 2)
+  | Unbounded | Flush_on_full _ -> max_int
+
+let create ?(policy = Unbounded) () =
+  { pol = policy;
+    table = Hashtbl.create 4096;
+    epoch = 0;
+    window = epoch_window policy;
+    alloc_window = 0;
+    bytes = 0;
+    nursery_bytes = 0;
+    peak = 0;
+    configs_alloc = 0;
+    actions_alloc = 0;
+    flush_count = 0;
+    minor_count = 0;
+    full_count = 0;
+    gc_survivors = 0;
+    gc_population = 0 }
+
+let policy t = t.pol
+
+let violation fmt = Format.kasprintf (fun s -> raise (Determinism_violation s)) fmt
+
+let add_bytes t (cfg : Action.config) n =
+  t.bytes <- t.bytes + n;
+  if not cfg.cfg_old_gen then t.nursery_bytes <- t.nursery_bytes + n;
+  if t.bytes > t.peak then t.peak <- t.bytes;
+  t.alloc_window <- t.alloc_window + n;
+  if t.alloc_window >= t.window then begin
+    t.epoch <- t.epoch + 1;
+    t.alloc_window <- 0
+  end
+
+let intern t key =
+  match Hashtbl.find_opt t.table key with
+  | Some cfg ->
+    cfg.Action.cfg_touched <- t.epoch;
+    cfg
+  | None ->
+    let cfg =
+      { Action.cfg_key = key;
+        cfg_bytes = Uarch.Snapshot.modeled_bytes key;
+        cfg_action_bytes = 0;
+        cfg_group = None;
+        cfg_touched = t.epoch;
+        cfg_dropped = false;
+        cfg_old_gen = false }
+    in
+    Hashtbl.add t.table key cfg;
+    t.configs_alloc <- t.configs_alloc + 1;
+    add_bytes t cfg cfg.cfg_bytes;
+    cfg
+
+let find t key = Hashtbl.find_opt t.table key
+
+let touch t (cfg : Action.config) = cfg.Action.cfg_touched <- t.epoch
+
+(* Builds a fresh chain for [items] ending in [term], charging its modeled
+   bytes to [owner]. *)
+let build_chain t owner items term =
+  let alloc node =
+    t.actions_alloc <- t.actions_alloc + 1;
+    add_bytes t owner (Action.node_bytes node);
+    node
+  in
+  let rec go = function
+    | [] -> term
+    | Action.I_load lat :: rest ->
+      alloc (Action.N_load { l_edges = [ (lat, go rest) ] })
+    | Action.I_store :: rest -> alloc (Action.N_store (go rest))
+    | Action.I_ctl c :: rest ->
+      alloc (Action.N_ctl { c_edges = [ (c, go rest) ] })
+    | Action.I_rollback i :: rest -> alloc (Action.N_rollback (i, go rest))
+  in
+  go items
+
+let ctl_equal (a : Action.ctl) (b : Action.ctl) = a = b
+
+let merge_group t (cfg : Action.config) ~silent ~retired ~classes ~items
+    ~terminal =
+  let next_cfg =
+    match terminal with
+    | Action.T_goto key -> Some (intern t key)
+    | Action.T_halt -> None
+  in
+  (* The terminal node is only allocated if a chain is actually built;
+     re-recording an already known path must not grow the cache. *)
+  let make_term () =
+    match next_cfg with
+    | Some c ->
+      t.actions_alloc <- t.actions_alloc + 1;
+      let n = Action.N_goto { target = c } in
+      add_bytes t cfg (Action.node_bytes n);
+      n
+    | None ->
+      t.actions_alloc <- t.actions_alloc + 1;
+      add_bytes t cfg (Action.node_bytes Action.N_halt);
+      Action.N_halt
+  in
+  (match cfg.Action.cfg_group with
+   | None ->
+     cfg.Action.cfg_group <-
+       Some
+         { Action.g_silent = silent;
+           g_retired = retired;
+           g_classes = Array.copy classes;
+           g_first = build_chain t cfg items (make_term ()) }
+   | Some g ->
+     if g.Action.g_silent <> silent then
+       violation "group silent-cycle mismatch: %d vs %d" g.Action.g_silent
+         silent;
+     if g.Action.g_retired <> retired then
+       violation "group retired-count mismatch: %d vs %d" g.Action.g_retired
+         retired;
+     if g.Action.g_classes <> classes then
+       violation "group per-class retirement mismatch";
+     (* Walk the existing chain along [items]; graft at the first unseen
+        outcome. *)
+     let rec walk node items =
+       match node, items with
+       | Action.N_load ln, Action.I_load lat :: rest -> (
+         match List.assoc_opt lat ln.Action.l_edges with
+         | Some next -> walk next rest
+         | None ->
+           ln.Action.l_edges <-
+             (lat, build_chain t cfg rest (make_term ()))
+             :: ln.Action.l_edges;
+           (* one more outcome edge on this node *)
+           add_bytes t cfg 8)
+       | Action.N_store next, Action.I_store :: rest -> walk next rest
+       | Action.N_ctl cn, Action.I_ctl c :: rest -> (
+         match
+           List.find_opt (fun (c', _) -> ctl_equal c c') cn.Action.c_edges
+         with
+         | Some (_, next) -> walk next rest
+         | None ->
+           cn.Action.c_edges <-
+             (c, build_chain t cfg rest (make_term ()))
+             :: cn.Action.c_edges;
+           add_bytes t cfg 8)
+       | Action.N_rollback (i, next), Action.I_rollback j :: rest ->
+         if i <> j then violation "rollback index mismatch: %d vs %d" i j;
+         walk next rest
+       | Action.N_goto g, [] -> (
+         match terminal with
+         | Action.T_goto key when String.equal g.Action.target.Action.cfg_key key
+           ->
+           ()
+         | Action.T_goto _ -> violation "successor configuration mismatch"
+         | Action.T_halt -> violation "halt where goto was recorded")
+       | Action.N_halt, [] -> (
+         match terminal with
+         | Action.T_halt -> ()
+         | Action.T_goto _ -> violation "goto where halt was recorded")
+       | node, item :: _ ->
+         violation "action kind mismatch: %a vs item %a"
+           (fun ppf -> Action.pp_node_shallow ppf)
+           node
+           (fun ppf -> Action.pp_item ppf)
+           item
+       | node, [] ->
+         violation "recorded chain shorter than existing: at %a"
+           (fun ppf -> Action.pp_node_shallow ppf)
+           node
+     in
+     walk g.Action.g_first items);
+  next_cfg
+
+let resolve_goto t (g : Action.goto_node) =
+  let target = g.Action.target in
+  if target.Action.cfg_dropped then begin
+    match Hashtbl.find_opt t.table target.Action.cfg_key with
+    | Some live ->
+      g.Action.target <- live;
+      live
+    | None -> target
+  end
+  else target
+
+let config_size (c : Action.config) =
+  c.Action.cfg_bytes + c.Action.cfg_action_bytes
+
+(* [cfg_action_bytes] is maintained here rather than at every [add_bytes]
+   call site: recompute a config's share lazily before collections. *)
+let recompute_action_bytes (c : Action.config) =
+  let total = ref 0 in
+  let rec go node =
+    total := !total + Action.node_bytes node;
+    match node with
+    | Action.N_load { l_edges } -> List.iter (fun (_, n) -> go n) l_edges
+    | Action.N_ctl { c_edges } -> List.iter (fun (_, n) -> go n) c_edges
+    | Action.N_store next | Action.N_rollback (_, next) -> go next
+    | Action.N_halt | Action.N_goto _ -> ()
+  in
+  (match c.Action.cfg_group with
+   | Some g -> go g.Action.g_first
+   | None -> ());
+  c.Action.cfg_action_bytes <- !total
+
+let flush t =
+  Hashtbl.iter
+    (fun _ (c : Action.config) ->
+      c.Action.cfg_dropped <- true;
+      c.Action.cfg_group <- None)
+    t.table;
+  t.table <- Hashtbl.create 4096;
+  t.bytes <- 0;
+  t.nursery_bytes <- 0;
+  t.flush_count <- t.flush_count + 1
+
+(* Keep configurations used since the last collection (epoch = current).
+   [minor] restricts eviction to the nursery. *)
+let collect t ~minor =
+  let population = Hashtbl.length t.table in
+  let survivors = ref [] in
+  Hashtbl.iter
+    (fun _ (c : Action.config) ->
+      let used = c.Action.cfg_touched >= t.epoch in
+      let keep = if minor then c.Action.cfg_old_gen || used else used in
+      if keep then begin
+        if minor && used && not c.Action.cfg_old_gen then
+          c.Action.cfg_old_gen <- true;
+        survivors := c :: !survivors
+      end
+      else begin
+        c.Action.cfg_dropped <- true;
+        c.Action.cfg_group <- None
+      end)
+    t.table;
+  t.table <- Hashtbl.create 4096;
+  t.bytes <- 0;
+  t.nursery_bytes <- 0;
+  List.iter
+    (fun (c : Action.config) ->
+      recompute_action_bytes c;
+      Hashtbl.add t.table c.Action.cfg_key c;
+      t.bytes <- t.bytes + config_size c;
+      if not c.Action.cfg_old_gen then
+        t.nursery_bytes <- t.nursery_bytes + config_size c)
+    !survivors;
+  if minor then t.minor_count <- t.minor_count + 1
+  else t.full_count <- t.full_count + 1;
+  t.gc_survivors <- List.length !survivors;
+  t.gc_population <- population;
+  t.epoch <- t.epoch + 1
+
+let check_budget t =
+  match t.pol with
+  | Unbounded -> `Kept
+  | Flush_on_full budget ->
+    if t.bytes > budget then begin
+      flush t;
+      `Flushed
+    end
+    else `Kept
+  | Copying_gc budget ->
+    if t.bytes > budget then begin
+      collect t ~minor:false;
+      (* A collection that frees nothing must still bound memory. *)
+      if t.bytes > budget then flush t;
+      `Collected
+    end
+    else `Kept
+  | Generational_gc { nursery; total } ->
+    if t.bytes > total then begin
+      collect t ~minor:false;
+      if t.bytes > total then flush t;
+      `Collected
+    end
+    else if t.nursery_bytes > nursery then begin
+      collect t ~minor:true;
+      `Collected
+    end
+    else `Kept
+
+let counters t =
+  { static_configs = t.configs_alloc;
+    static_actions = t.actions_alloc;
+    live_configs = Hashtbl.length t.table;
+    modeled_bytes = t.bytes;
+    peak_modeled_bytes = t.peak;
+    flushes = t.flush_count;
+    minor_collections = t.minor_count;
+    full_collections = t.full_count;
+    last_gc_survivors = t.gc_survivors;
+    last_gc_population = t.gc_population }
+
+let iter_configs f t = Hashtbl.iter (fun _ c -> f c) t.table
+
+(* Low-level: attach a prebuilt chain (deserialisation); accounts for its
+   modeled size and static counters. *)
+let install_group t (cfg : Action.config) ~silent ~retired ~classes ~first =
+  if cfg.Action.cfg_group <> None then
+    violation "install_group: configuration already has a group";
+  cfg.Action.cfg_group <-
+    Some
+      { Action.g_silent = silent;
+        g_retired = retired;
+        g_classes = classes;
+        g_first = first };
+  let rec count node =
+    t.actions_alloc <- t.actions_alloc + 1;
+    add_bytes t cfg (Action.node_bytes node);
+    match node with
+    | Action.N_load { l_edges } -> List.iter (fun (_, n) -> count n) l_edges
+    | Action.N_ctl { c_edges } -> List.iter (fun (_, n) -> count n) c_edges
+    | Action.N_store next | Action.N_rollback (_, next) -> count next
+    | Action.N_halt | Action.N_goto _ -> ()
+  in
+  count first

@@ -1,0 +1,88 @@
+(** The p-action cache: configurations, action chains, and the replacement
+    policies of paper §4.3.
+
+    Sizes are tracked in {e modeled bytes} (the paper's accounting: 16 bytes
+    + 1.5 per instruction + 4 per indirect jump for configurations; small
+    fixed costs per action and per outcome edge), so budget experiments
+    (Figure 7) are directly comparable with the paper regardless of the
+    OCaml heap representation. *)
+
+type policy =
+  | Unbounded
+      (** trivial policy: grow without limit. *)
+  | Flush_on_full of int
+      (** discard everything when modeled bytes exceed the budget. *)
+  | Copying_gc of int
+      (** when over budget, keep only configurations (and their action
+          chains) used since the last collection. *)
+  | Generational_gc of { nursery : int; total : int }
+      (** two generations: recently used nursery configurations promote to
+          the old generation on a minor collection; a full collection runs
+          when the total budget is exceeded. *)
+
+type t
+
+exception Determinism_violation of string
+(** Raised if a recorded group disagrees with the graph — e.g. a replayed
+    path re-recorded with a different silent-cycle count or action
+    sequence. This can only mean the detailed simulator is not a pure
+    function of (configuration, outcomes): a memoization-soundness bug. *)
+
+val create : ?policy:policy -> unit -> t
+val policy : t -> policy
+
+val intern : t -> Uarch.Snapshot.key -> Action.config
+(** Finds or creates the configuration node for a key. *)
+
+val find : t -> Uarch.Snapshot.key -> Action.config option
+
+val merge_group :
+  t ->
+  Action.config ->
+  silent:int ->
+  retired:int ->
+  classes:int array ->
+  items:Action.item list ->
+  terminal:Action.terminal ->
+  Action.config option
+(** Records one group under a configuration: creates the group if the
+    configuration had none, otherwise walks the existing chain and grafts
+    the suffix after the first unseen outcome (Figure 6). Returns the
+    successor configuration for [T_goto], [None] for [T_halt]. *)
+
+val resolve_goto : t -> Action.goto_node -> Action.config
+(** Follows a group-terminating link, transparently re-pointing edges whose
+    target was evicted but has since been regenerated. *)
+
+val touch : t -> Action.config -> unit
+(** Marks a configuration as used in the current collection epoch (called
+    by the replay engine). *)
+
+val check_budget : t -> [ `Kept | `Flushed | `Collected ]
+(** Applies the replacement policy if the budget is exceeded. After
+    anything but [`Kept], configuration nodes previously obtained from
+    [intern] may be stale; callers must re-intern the keys they hold. *)
+
+type counters = {
+  static_configs : int;   (** configurations allocated over the whole run. *)
+  static_actions : int;   (** action nodes allocated over the whole run. *)
+  live_configs : int;
+  modeled_bytes : int;
+  peak_modeled_bytes : int;
+  flushes : int;
+  minor_collections : int;
+  full_collections : int;
+  last_gc_survivors : int;
+  last_gc_population : int;
+}
+
+val counters : t -> counters
+val iter_configs : (Action.config -> unit) -> t -> unit
+
+val install_group :
+  t -> Action.config -> silent:int -> retired:int -> classes:int array ->
+  first:Action.node -> unit
+(** Low-level constructor used by {!Persist.load}: attaches a prebuilt
+    action chain to a group-less configuration and accounts its size.
+    Raises {!Determinism_violation} if the configuration already has a
+    group. *)

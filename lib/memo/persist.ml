@@ -1,0 +1,162 @@
+exception Format_error of string
+
+let magic = "FSPC0002"
+
+let program_digest (p : Isa.Program.t) =
+  let b = Bytes.create (4 * Array.length p.words) in
+  Array.iteri (fun i w -> Bytes.set_int32_le b (4 * i) w) p.words;
+  Digest.bytes b
+
+(* ---- writing ---- *)
+
+let write_string oc s =
+  output_binary_int oc (String.length s);
+  output_string oc s
+
+let write_bool oc b = output_char oc (if b then '\001' else '\000')
+
+let rec write_node oc (node : Action.node) =
+  match node with
+  | Action.N_load { l_edges } ->
+    output_char oc 'L';
+    output_binary_int oc (List.length l_edges);
+    List.iter
+      (fun (lat, next) ->
+        output_binary_int oc lat;
+        write_node oc next)
+      l_edges
+  | Action.N_store next ->
+    output_char oc 'S';
+    write_node oc next
+  | Action.N_ctl { c_edges } ->
+    output_char oc 'C';
+    output_binary_int oc (List.length c_edges);
+    List.iter
+      (fun (out, next) ->
+        (match (out : Action.ctl) with
+         | Uarch.Oracle.C_cond { taken; mispredicted } ->
+           output_char oc 'c';
+           write_bool oc taken;
+           write_bool oc mispredicted
+         | Uarch.Oracle.C_indirect { target; hit } ->
+           output_char oc 'i';
+           output_binary_int oc target;
+           write_bool oc hit
+         | Uarch.Oracle.C_stalled -> output_char oc 's');
+        write_node oc next)
+      c_edges
+  | Action.N_rollback (i, next) ->
+    output_char oc 'R';
+    output_binary_int oc i;
+    write_node oc next
+  | Action.N_halt -> output_char oc 'H'
+  | Action.N_goto g ->
+    output_char oc 'G';
+    write_string oc g.Action.target.Action.cfg_key
+
+let save pc ~program oc =
+  output_string oc magic;
+  write_string oc (program_digest program);
+  let configs = ref [] in
+  Pcache.iter_configs (fun c -> configs := c :: !configs) pc;
+  output_binary_int oc (List.length !configs);
+  List.iter
+    (fun (c : Action.config) ->
+      write_string oc c.Action.cfg_key;
+      match c.Action.cfg_group with
+      | None -> write_bool oc false
+      | Some g ->
+        write_bool oc true;
+        output_binary_int oc g.Action.g_silent;
+        output_binary_int oc g.Action.g_retired;
+        output_binary_int oc (Array.length g.Action.g_classes);
+        Array.iter (output_binary_int oc) g.Action.g_classes;
+        write_node oc g.Action.g_first)
+    !configs
+
+(* ---- reading ---- *)
+
+let read_string ic =
+  let n = input_binary_int ic in
+  if n < 0 || n > 1 lsl 24 then raise (Format_error "bad string length");
+  really_input_string ic n
+
+let read_bool ic =
+  match input_char ic with
+  | '\000' -> false
+  | '\001' -> true
+  | _ -> raise (Format_error "bad boolean")
+
+let rec read_node pc ic : Action.node =
+  match input_char ic with
+  | 'L' ->
+    let n = input_binary_int ic in
+    let edges =
+      List.init n (fun _ ->
+          let lat = input_binary_int ic in
+          (lat, read_node pc ic))
+    in
+    Action.N_load { l_edges = edges }
+  | 'S' -> Action.N_store (read_node pc ic)
+  | 'C' ->
+    let n = input_binary_int ic in
+    let edges =
+      List.init n (fun _ ->
+          let out : Action.ctl =
+            match input_char ic with
+            | 'c' ->
+              let taken = read_bool ic in
+              let mispredicted = read_bool ic in
+              Uarch.Oracle.C_cond { taken; mispredicted }
+            | 'i' ->
+              let target = input_binary_int ic in
+              let hit = read_bool ic in
+              Uarch.Oracle.C_indirect { target; hit }
+            | 's' -> Uarch.Oracle.C_stalled
+            | _ -> raise (Format_error "bad control outcome")
+          in
+          (out, read_node pc ic))
+    in
+    Action.N_ctl { c_edges = edges }
+  | 'R' ->
+    let i = input_binary_int ic in
+    Action.N_rollback (i, read_node pc ic)
+  | 'H' -> Action.N_halt
+  | 'G' ->
+    let key = read_string ic in
+    Action.N_goto { target = Pcache.intern pc key }
+  | _ -> raise (Format_error "bad action tag")
+
+let load ?policy ~program ic =
+  let m = really_input_string ic (String.length magic) in
+  if not (String.equal m magic) then raise (Format_error "bad magic");
+  let digest = read_string ic in
+  if not (String.equal digest (program_digest program)) then
+    raise (Format_error "p-action cache was saved for a different program");
+  let pc = Pcache.create ?policy () in
+  let n = input_binary_int ic in
+  if n < 0 then raise (Format_error "bad config count");
+  for _ = 1 to n do
+    let key = read_string ic in
+    let cfg = Pcache.intern pc key in
+    if read_bool ic then begin
+      let silent = input_binary_int ic in
+      let retired = input_binary_int ic in
+      let ncls = input_binary_int ic in
+      if ncls < 0 || ncls > 64 then raise (Format_error "bad class count");
+      let classes = Array.init ncls (fun _ -> input_binary_int ic) in
+      let first = read_node pc ic in
+      Pcache.install_group pc cfg ~silent ~retired ~classes ~first
+    end
+  done;
+  pc
+
+let save_file pc ~program path =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      save pc ~program oc)
+
+let load_file ?policy ~program path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      load ?policy ~program ic)

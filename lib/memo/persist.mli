@@ -1,0 +1,30 @@
+(** Saving and restoring the p-action cache.
+
+    An extension beyond the paper: FastSim's p-action cache lived only for
+    one simulation; persisting it lets a later run of the {e same program}
+    start warm and skip most detailed simulation from the first cycle.
+    Soundness is unchanged — replay still validates every outcome against
+    the live cache simulator and direct execution, so a stale edge merely
+    exits to detailed simulation.
+
+    The format is a self-describing binary stream tied to the program: a
+    digest of the code image is stored and checked, because configuration
+    keys embed instruction addresses and are only meaningful against the
+    program that produced them. *)
+
+exception Format_error of string
+
+val save : Pcache.t -> program:Isa.Program.t -> out_channel -> unit
+(** Writes every live configuration and its action chains. *)
+
+val load : ?policy:Pcache.policy -> program:Isa.Program.t -> in_channel ->
+  Pcache.t
+(** Rebuilds a p-action cache. Raises {!Format_error} on a corrupt stream
+    or when the stream was saved for a different program. *)
+
+val save_file : Pcache.t -> program:Isa.Program.t -> string -> unit
+val load_file : ?policy:Pcache.policy -> program:Isa.Program.t -> string ->
+  Pcache.t
+
+val program_digest : Isa.Program.t -> string
+(** Digest used for the program check (exposed for tests). *)

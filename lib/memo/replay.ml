@@ -1,0 +1,98 @@
+type result =
+  | Diverged of { config : Action.config; prefix : Action.item list }
+  | Replay_halted
+  | Replay_limit
+
+type group_step =
+  | G_next of Action.config
+  | G_halt
+  | G_diverge of Action.item list
+
+let run ?(max_cycles = max_int) pc (stats : Stats.t)
+    ~(oracle : Uarch.Oracle.t) ~cycle ~classes ~start =
+  let cur = ref start in
+  let result = ref None in
+  while !result = None do
+    if !cycle > max_cycles then begin
+      Stats.end_episode stats;
+      result := Some Replay_limit
+    end
+    else begin
+    let cfg = !cur in
+    Pcache.touch pc cfg;
+    match cfg.Action.cfg_group with
+    | None ->
+      Stats.end_episode stats;
+      result := Some (Diverged { config = cfg; prefix = [] })
+    | Some g ->
+      let base = !cycle in
+      let now = base + g.Action.g_silent in
+      let prefix = ref [] in
+      let push item = prefix := item :: !prefix in
+      (* Walk this group's chain, re-performing interactions live. *)
+      let rec walk node =
+        match node with
+        | Action.N_load ln -> (
+          let lat = oracle.cache_load ~now in
+          push (Action.I_load lat);
+          match List.assoc_opt lat ln.Action.l_edges with
+          | Some next ->
+            Stats.note_action stats;
+            walk next
+          | None -> G_diverge (List.rev !prefix))
+        | Action.N_store next ->
+          oracle.cache_store ~now;
+          push Action.I_store;
+          Stats.note_action stats;
+          walk next
+        | Action.N_ctl cn -> (
+          let out = oracle.fetch_control () in
+          push (Action.I_ctl out);
+          match
+            List.find_opt (fun (c, _) -> c = out) cn.Action.c_edges
+          with
+          | Some (_, next) ->
+            Stats.note_action stats;
+            walk next
+          | None -> G_diverge (List.rev !prefix))
+        | Action.N_rollback (i, next) ->
+          oracle.rollback ~index:i;
+          push (Action.I_rollback i);
+          Stats.note_action stats;
+          walk next
+        | Action.N_halt ->
+          Stats.note_action stats;
+          G_halt
+        | Action.N_goto gn ->
+          Stats.note_action stats;
+          G_next (Pcache.resolve_goto pc gn)
+      in
+      (match walk g.Action.g_first with
+       | G_next target ->
+         cycle := now + 1;
+         stats.replayed_cycles <- stats.replayed_cycles + g.Action.g_silent + 1;
+         stats.replayed_retired <- stats.replayed_retired + g.Action.g_retired;
+         stats.groups_replayed <- stats.groups_replayed + 1;
+         Array.iteri
+           (fun i v -> classes.(i) <- classes.(i) + v)
+           g.Action.g_classes;
+         cur := target
+       | G_halt ->
+         cycle := now + 1;
+         stats.replayed_cycles <- stats.replayed_cycles + g.Action.g_silent + 1;
+         stats.replayed_retired <- stats.replayed_retired + g.Action.g_retired;
+         stats.groups_replayed <- stats.groups_replayed + 1;
+         Array.iteri
+           (fun i v -> classes.(i) <- classes.(i) + v)
+           g.Action.g_classes;
+         Stats.end_episode stats;
+         result := Some Replay_halted
+       | G_diverge prefix ->
+         (* The cycle counter stays at the group start: the detailed
+            simulator re-simulates this group's cycles, consuming [prefix]
+            instead of re-performing its side effects. *)
+         Stats.end_episode stats;
+         result := Some (Diverged { config = cfg; prefix }))
+    end
+  done;
+  match !result with Some r -> r | None -> assert false

@@ -1,0 +1,42 @@
+(** The fast-forwarding engine (paper §4.2).
+
+    Starting from a configuration, walks the p-action cache: advances the
+    cycle counter over silent cycles, re-performs each interaction against
+    the live oracle (cache simulator, direct execution), and follows the
+    edge matching the live outcome. Replay leaves the graph whenever it
+    reaches a configuration with no recorded group or an interaction whose
+    live outcome has no edge; in the latter case it reports the already
+    consumed outcomes of the current group as a {e prefix}, so the detailed
+    simulator can re-derive the mid-group state without re-performing the
+    side effects (paper: "previously unseen behaviors terminate
+    fast-forwarding, so that the detailed simulator can simulate the new
+    scenario"). *)
+
+type result =
+  | Diverged of {
+      config : Action.config;
+          (** the configuration whose group must (re)run in detail. *)
+      prefix : Action.item list;
+          (** outcomes already consumed live within this group, in order,
+              including the diverging one. Empty when [config] simply has
+              no group yet. *)
+    }
+  | Replay_halted
+      (** the recorded chain reached [Halt]: simulation is complete. *)
+  | Replay_limit
+      (** the caller's cycle bound was exceeded. *)
+
+val run :
+  ?max_cycles:int ->
+  Pcache.t ->
+  Stats.t ->
+  oracle:Uarch.Oracle.t ->
+  cycle:int ref ->
+  classes:int array ->
+  start:Action.config ->
+  result
+(** Fast-forwards from [start] until the graph runs out. [cycle] is
+    advanced for fully replayed groups, and [classes] accumulates their
+    per-FU-class retirement counts (indexed by [Isa.Instr.fu_index]); on
+    divergence the cycle counter is left at the start of the diverging
+    group (the detailed simulator re-simulates that group's cycles). *)

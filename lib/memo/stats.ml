@@ -1,0 +1,47 @@
+type t = {
+  mutable detailed_retired : int;
+  mutable replayed_retired : int;
+  mutable detailed_cycles : int;
+  mutable replayed_cycles : int;
+  mutable actions_replayed : int;
+  mutable groups_replayed : int;
+  mutable chain_current : int;
+  mutable chain_max : int;
+  mutable episodes : int;
+  mutable detailed_entries : int;
+}
+
+let create () =
+  { detailed_retired = 0;
+    replayed_retired = 0;
+    detailed_cycles = 0;
+    replayed_cycles = 0;
+    actions_replayed = 0;
+    groups_replayed = 0;
+    chain_current = 0;
+    chain_max = 0;
+    episodes = 0;
+    detailed_entries = 0 }
+
+let note_action t =
+  t.actions_replayed <- t.actions_replayed + 1;
+  t.chain_current <- t.chain_current + 1
+
+let end_episode t =
+  if t.chain_current > 0 then begin
+    t.episodes <- t.episodes + 1;
+    if t.chain_current > t.chain_max then t.chain_max <- t.chain_current;
+    t.chain_current <- 0
+  end
+
+let avg_chain t =
+  if t.episodes = 0 then 0.0
+  else float_of_int t.actions_replayed /. float_of_int t.episodes
+
+let total_retired t = t.detailed_retired + t.replayed_retired
+let total_cycles t = t.detailed_cycles + t.replayed_cycles
+
+let detailed_fraction t =
+  let total = total_retired t in
+  if total = 0 then 0.0
+  else float_of_int t.detailed_retired /. float_of_int total

@@ -1,0 +1,36 @@
+(** Dynamic fast-forwarding statistics (Tables 4 and 5).
+
+    Tracks how much simulation ran under replay vs. the detailed simulator,
+    and the lengths of uninterrupted replay episodes ("chains of actions
+    played back without stopping to perform detailed simulation"). *)
+
+type t = {
+  mutable detailed_retired : int;
+      (** instructions retired during detailed simulation. *)
+  mutable replayed_retired : int;
+      (** instructions retired during fast-forwarding. *)
+  mutable detailed_cycles : int;
+  mutable replayed_cycles : int;
+  mutable actions_replayed : int;  (** dynamic action count. *)
+  mutable groups_replayed : int;   (** configurations visited in replay. *)
+  mutable chain_current : int;
+  mutable chain_max : int;
+  mutable episodes : int;          (** completed replay episodes. *)
+  mutable detailed_entries : int;
+      (** times the detailed simulator was (re)entered. *)
+}
+
+val create : unit -> t
+
+val note_action : t -> unit
+val end_episode : t -> unit
+(** Ends the current replay episode (called when replay exits to detailed
+    simulation or the program halts during replay). Empty episodes (no
+    actions) are not counted. *)
+
+val avg_chain : t -> float
+val detailed_fraction : t -> float
+(** detailed retired / total retired. *)
+
+val total_retired : t -> int
+val total_cycles : t -> int

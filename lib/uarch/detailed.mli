@@ -1,0 +1,54 @@
+(** The detailed (cycle-by-cycle) out-of-order pipeline simulator.
+
+    Models the paper's R10000-like processor (Figure 1 / Table 1): 4-wide
+    fetch/decode/retire, 16-entry integer/FP/address queues, 2 integer
+    ALUs + 2 FPUs + 1 address adder, 64+64 physical registers, speculation
+    through up to 4 conditional branches, with register renaming and all
+    structural constraints {e recomputed every cycle} from the iQ so that
+    the iQ + fetch state is the complete inter-cycle state.
+
+    The simulator is timing-only: it never sees program data. Addresses
+    reach the cache simulator through the {!Oracle.t}, control-flow
+    outcomes arrive through it, and that is the complete interface.
+
+    Determinism contract (the foundation of fast-forwarding): two [t]
+    values with equal {!snapshot}s, stepped with oracles that return equal
+    outcomes, perform identical oracle calls in identical order and end in
+    equal snapshots. This is tested property-style in the test suite. *)
+
+type t
+
+val create : ?params:Params.t -> Isa.Program.t -> t
+(** Pipeline empty, fetch starting at the program entry point. *)
+
+val restore : ?params:Params.t -> Isa.Program.t -> Snapshot.key -> t
+(** Rebuilds a simulator from a configuration snapshot. *)
+
+type cycle_result = {
+  retired : int;      (** instructions retired this cycle. *)
+  interactions : int; (** oracle calls made this cycle. *)
+  halted : bool;      (** a [Halt] retired: simulation is complete. *)
+}
+
+val step_cycle : t -> now:int -> Oracle.t -> cycle_result
+(** Simulates one cycle: retire, execute/complete (issuing loads and stores
+    to the cache as their address generation finishes, resolving branches,
+    triggering rollbacks), issue, decode/rename, fetch. [now] is the
+    current cycle number, used only to timestamp cache calls. *)
+
+val snapshot : t -> Snapshot.key
+(** The current configuration (valid between cycles). *)
+
+val halted : t -> bool
+
+val retired_by_class : t -> int array
+(** Cumulative retired-instruction counts per functional-unit class,
+    indexed by {!Isa.Instr.fu_index} (a fresh copy). *)
+
+val in_flight : t -> int
+(** Number of iQ entries (for tests and diagnostics). *)
+
+val fetch_state : t -> Pipeline.fetch_state
+
+val dump : Format.formatter -> t -> unit
+(** Human-readable pipeline dump for debugging and the examples. *)

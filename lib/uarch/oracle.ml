@@ -1,0 +1,11 @@
+type ctl_outcome =
+  | C_cond of { taken : bool; mispredicted : bool }
+  | C_indirect of { target : int; hit : bool }
+  | C_stalled
+
+type t = {
+  cache_load : now:int -> int;
+  cache_store : now:int -> unit;
+  fetch_control : unit -> ctl_outcome;
+  rollback : index:int -> unit;
+}

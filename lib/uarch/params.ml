@@ -1,0 +1,49 @@
+type t = {
+  fetch_width : int;
+  decode_width : int;
+  retire_width : int;
+  active_list : int;
+  int_queue : int;
+  fp_queue : int;
+  addr_queue : int;
+  int_units : int;
+  fp_units : int;
+  mem_units : int;
+  phys_int_regs : int;
+  phys_fp_regs : int;
+  max_spec_branches : int;
+}
+
+let default =
+  { fetch_width = 4;
+    decode_width = 4;
+    retire_width = 4;
+    active_list = 32;
+    int_queue = 16;
+    fp_queue = 16;
+    addr_queue = 16;
+    int_units = 2;
+    fp_units = 2;
+    mem_units = 1;
+    phys_int_regs = 64;
+    phys_fp_regs = 64;
+    max_spec_branches = 4 }
+
+let rename_int_budget t = t.phys_int_regs - Isa.Reg.count
+let rename_fp_budget t = t.phys_fp_regs - Isa.Reg.count
+
+let validate t =
+  let check name v = if v <= 0 then invalid_arg ("Params: " ^ name) in
+  check "fetch_width" t.fetch_width;
+  check "decode_width" t.decode_width;
+  check "retire_width" t.retire_width;
+  check "active_list" t.active_list;
+  check "int_queue" t.int_queue;
+  check "fp_queue" t.fp_queue;
+  check "addr_queue" t.addr_queue;
+  check "int_units" t.int_units;
+  check "fp_units" t.fp_units;
+  check "mem_units" t.mem_units;
+  check "max_spec_branches" t.max_spec_branches;
+  if rename_int_budget t <= 0 then invalid_arg "Params: phys_int_regs";
+  if rename_fp_budget t <= 0 then invalid_arg "Params: phys_fp_regs"

@@ -1,0 +1,30 @@
+(** Processor model parameters (the paper's Table 1, MIPS R10000-like). *)
+
+type t = {
+  fetch_width : int;        (** instructions fetched per cycle (4). *)
+  decode_width : int;       (** instructions decoded per cycle (4). *)
+  retire_width : int;       (** instructions retired per cycle (4). *)
+  active_list : int;        (** max instructions in flight — iQ capacity (32,
+                                the R10000 active list). *)
+  int_queue : int;          (** integer queue entries (16). *)
+  fp_queue : int;           (** FP queue entries (16). *)
+  addr_queue : int;         (** address queue entries (16). *)
+  int_units : int;          (** integer ALUs (2). *)
+  fp_units : int;           (** FPUs (2). *)
+  mem_units : int;          (** load/store address adders (1). *)
+  phys_int_regs : int;      (** physical integer registers (64). *)
+  phys_fp_regs : int;       (** physical FP registers (64). *)
+  max_spec_branches : int;  (** conditional branches speculated through (4). *)
+}
+
+val default : t
+
+val rename_int_budget : t -> int
+(** In-flight instructions with an integer destination the rename stage can
+    sustain: physical minus architectural registers. *)
+
+val rename_fp_budget : t -> int
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on nonsensical parameters (zero widths,
+    fewer physical than architectural registers, ...). *)

@@ -1,0 +1,35 @@
+(** Compact configuration encoding (paper §4.1–4.2).
+
+    A configuration is a byte-string snapshot of the µ-architecture state
+    between cycles: the fetch state plus every iQ entry. Instruction
+    addresses are not stored per entry — only the oldest entry's address is
+    kept, and the rest are reconstructed by walking the program: one
+    taken/not-taken bit per conditional branch and one 32-bit target per
+    indirect jump suffice, exactly the compression the paper describes.
+
+    Encoding then decoding is the identity on simulator state; this is the
+    property that lets fast-forwarding resume detailed simulation from a
+    configuration key alone. *)
+
+type key = string
+(** Immutable configuration key, suitable for hashing. *)
+
+val encode : fetch:Pipeline.fetch_state -> Pipeline.t -> key
+
+val decode :
+  Isa.Program.t -> capacity:int -> key -> Pipeline.fetch_state * Pipeline.t
+(** Rebuilds the fetch state and iQ. Raises [Invalid_argument] on a
+    malformed key and [Isa.Program.Fault] if the key references addresses
+    outside the program (impossible for keys produced by [encode] against
+    the same program). *)
+
+val modeled_bytes : key -> int
+(** Size of this configuration under the paper's accounting: 16 bytes of
+    header + 1.5 bytes per instruction + 4 bytes per indirect jump. Used
+    for the p-action cache budget (Table 5, Figure 7) so that budget
+    experiments are comparable with the paper regardless of OCaml's actual
+    representation overhead. *)
+
+val entry_count : key -> int
+val pp : Format.formatter -> key -> unit
+(** Human-readable dump (for the memo-explorer example). *)

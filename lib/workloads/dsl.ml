@@ -1,0 +1,59 @@
+(* Shared assembly shorthand for the workload kernels. *)
+
+include Isa.Asm
+module I = Isa.Instr
+
+let addi rd rs v = insn (I.Alui (I.Add, rd, rs, v))
+let add rd a b = insn (I.Alu (I.Add, rd, a, b))
+let sub rd a b = insn (I.Alu (I.Sub, rd, a, b))
+let and_ rd a b = insn (I.Alu (I.And, rd, a, b))
+let or_ rd a b = insn (I.Alu (I.Or, rd, a, b))
+let xor rd a b = insn (I.Alu (I.Xor, rd, a, b))
+let andi rd rs v = insn (I.Alui (I.And, rd, rs, v))
+let ori rd rs v = insn (I.Alui (I.Or, rd, rs, v))
+let xori rd rs v = insn (I.Alui (I.Xor, rd, rs, v))
+let slli rd rs v = insn (I.Alui (I.Sll, rd, rs, v))
+let srli rd rs v = insn (I.Alui (I.Srl, rd, rs, v))
+let srai rd rs v = insn (I.Alui (I.Sra, rd, rs, v))
+let slt rd a b = insn (I.Alu (I.Slt, rd, a, b))
+let mul rd a b = insn (I.Mul (rd, a, b))
+let div rd a b = insn (I.Div (rd, a, b))
+let rem_ rd a b = insn (I.Rem (rd, a, b))
+let lw rd base off = insn (I.Load (I.Lw, rd, base, off))
+let lb rd base off = insn (I.Load (I.Lb, rd, base, off))
+let lbu rd base off = insn (I.Load (I.Lbu, rd, base, off))
+let lh rd base off = insn (I.Load (I.Lh, rd, base, off))
+let lhu rd base off = insn (I.Load (I.Lhu, rd, base, off))
+let sw rs base off = insn (I.Store (I.Sw, rs, base, off))
+let sb rs base off = insn (I.Store (I.Sb, rs, base, off))
+let sh rs base off = insn (I.Store (I.Sh, rs, base, off))
+let fld fd base off = insn (I.Fload (fd, base, off))
+let fsd fs base off = insn (I.Fstore (fs, base, off))
+let fadd fd a b = insn (I.Fop (I.Fadd, fd, a, b))
+let fsub fd a b = insn (I.Fop (I.Fsub, fd, a, b))
+let fmul fd a b = insn (I.Fop (I.Fmul, fd, a, b))
+let fdiv fd a b = insn (I.Fop (I.Fdiv, fd, a, b))
+let fsqrt fd a = insn (I.Fop (I.Fsqrt, fd, a, a))
+let fneg fd a = insn (I.Fop (I.Fneg, fd, a, a))
+let fabs_ fd a = insn (I.Fop (I.Fabs, fd, a, a))
+let feq rd a b = insn (I.Fcmp (I.Feq, rd, a, b))
+let flt rd a b = insn (I.Fcmp (I.Flt, rd, a, b))
+let fle rd a b = insn (I.Fcmp (I.Fle, rd, a, b))
+let cvt_if fd rs = insn (I.Fcvt_if (fd, rs))
+let cvt_fi rd fs = insn (I.Fcvt_fi (rd, fs))
+let jr rs = insn (I.Jr rs)
+let sp = Isa.Reg.sp
+let ra = Isa.Reg.link
+let init_sp = li sp Isa.Program.default_stack_top
+
+(* Deterministic pseudo-random data for the kernels' initial segments. *)
+let lcg ?(seed = 123456789) n =
+  let s = ref seed in
+  List.init n (fun _ ->
+      s := ((!s * 1103515245) + 12345) land 0x3fffffff;
+      !s)
+
+let lcg_mod ?seed n m = List.map (fun v -> v mod m) (lcg ?seed n)
+
+let lcg_doubles ?seed n =
+  List.map (fun v -> float_of_int (v land 0xffff) /. 65536.0) (lcg ?seed n)

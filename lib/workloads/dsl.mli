@@ -1,0 +1,64 @@
+(** Assembly shorthand shared by the workload kernels: one combinator per
+    SRISC instruction (wrapping {!Isa.Asm.insn}), plus deterministic
+    pseudo-random data generators for initial data segments. *)
+
+include module type of Isa.Asm
+
+module I = Isa.Instr
+
+val addi : int -> int -> int -> stmt
+val add : int -> int -> int -> stmt
+val sub : int -> int -> int -> stmt
+val and_ : int -> int -> int -> stmt
+val or_ : int -> int -> int -> stmt
+val xor : int -> int -> int -> stmt
+val andi : int -> int -> int -> stmt
+val ori : int -> int -> int -> stmt
+val xori : int -> int -> int -> stmt
+val slli : int -> int -> int -> stmt
+val srli : int -> int -> int -> stmt
+val srai : int -> int -> int -> stmt
+val slt : int -> int -> int -> stmt
+val mul : int -> int -> int -> stmt
+val div : int -> int -> int -> stmt
+val rem_ : int -> int -> int -> stmt
+
+val lw : int -> int -> int -> stmt
+(** [lw rd base off]. All memory combinators take (reg, base, offset). *)
+
+val lb : int -> int -> int -> stmt
+val lbu : int -> int -> int -> stmt
+val lh : int -> int -> int -> stmt
+val lhu : int -> int -> int -> stmt
+val sw : int -> int -> int -> stmt
+val sb : int -> int -> int -> stmt
+val sh : int -> int -> int -> stmt
+val fld : int -> int -> int -> stmt
+val fsd : int -> int -> int -> stmt
+
+val fadd : int -> int -> int -> stmt
+val fsub : int -> int -> int -> stmt
+val fmul : int -> int -> int -> stmt
+val fdiv : int -> int -> int -> stmt
+val fsqrt : int -> int -> stmt
+val fneg : int -> int -> stmt
+val fabs_ : int -> int -> stmt
+val feq : int -> int -> int -> stmt
+val flt : int -> int -> int -> stmt
+val fle : int -> int -> int -> stmt
+val cvt_if : int -> int -> stmt
+val cvt_fi : int -> int -> stmt
+val jr : int -> stmt
+
+val sp : int
+val ra : int
+
+val init_sp : stmt
+(** Points the stack pointer at the top of the stack region. *)
+
+val lcg : ?seed:int -> int -> int list
+(** [n] deterministic pseudo-random non-negative ints (< 2{^30}). *)
+
+val lcg_mod : ?seed:int -> int -> int -> int list
+val lcg_doubles : ?seed:int -> int -> float list
+(** doubles in [0, 1). *)

@@ -1,0 +1,573 @@
+(* The ten SPEC95 floating-point kernels.
+
+   Same register conventions as the integer kernels; FP registers f0-f9
+   are temporaries, f10+ accumulate. All arrays are IEEE doubles. *)
+
+open Dsl
+
+(* Row-major index helpers used by the 2D kernels: arrays are n x n
+   doubles, element (i,j) at base + 8*(i*n + j). *)
+
+(* 101.tomcatv — vectorised mesh generation: repeated 5-point stencil
+   sweeps over two 33x33 grids with a residual reduction. Regular,
+   perfectly predictable control with FP add/mul chains. *)
+let tomcatv ?(data_seed = 11) scale =
+  let n = 33 in
+  assemble
+    [ data "gx" [ Doubles (lcg_doubles ~seed:data_seed (n * n)) ];
+      data "gy" [ Doubles (lcg_doubles ~seed:(data_seed + 1) (n * n)) ];
+      data "resid" [ Double 0.0 ];
+      init_sp;
+      la 1 "gx";
+      la 2 "gy";
+      li 10 0;
+      li 11 scale;
+      label "iter";
+      li 12 1;            (* i *)
+      li 13 (n - 1);
+      label "row";
+      li 14 1;            (* j *)
+      label "col";
+      (* addr = base + 8*(i*n + j) *)
+      li 26 n;
+      mul 3 12 26;
+      add 3 3 14;
+      slli 3 3 3;
+      add 4 1 3;          (* &gx[i][j] *)
+      add 5 2 3;          (* &gy[i][j] *)
+      fld 0 4 0;
+      fld 1 4 (-8);
+      fld 2 4 8;
+      fld 3 4 (-8 * n);
+      fld 4 4 (8 * n);
+      fadd 5 1 2;
+      fadd 6 3 4;
+      fadd 5 5 6;
+      li 27 4;
+      cvt_if 7 27;
+      fdiv 5 5 7;
+      fsub 6 5 0;         (* correction *)
+      fadd 0 0 6;
+      fsd 0 4 0;
+      fld 1 5 0;
+      fmul 1 1 5;
+      fsd 1 5 0;
+      addi 14 14 1;
+      blt 14 13 "col";
+      addi 12 12 1;
+      blt 12 13 "row";
+      addi 10 10 1;
+      blt 10 11 "iter";
+      halt ]
+
+(* 102.swim — shallow-water model: three 33x33 grids updated with
+   neighbour stencils in separate passes, exactly the
+   stencil-over-multiple-arrays pattern of swim's U/V/P updates. *)
+let swim scale =
+  let n = 33 in
+  let idx_setup =
+    [ li 26 n ]
+  in
+  assemble
+    ([ data "u" [ Doubles (lcg_doubles ~seed:21 (n * n)) ];
+       data "v" [ Doubles (lcg_doubles ~seed:22 (n * n)) ];
+       data "p" [ Doubles (lcg_doubles ~seed:23 (n * n)) ];
+       init_sp;
+       la 1 "u";
+       la 2 "v";
+       la 3 "p";
+       li 10 0;
+       li 11 scale;
+       label "iter" ]
+    @ idx_setup
+    @ [ li 12 1;
+        li 13 (n - 1);
+        label "row";
+        li 14 1;
+        label "col";
+        mul 4 12 26;
+        add 4 4 14;
+        slli 4 4 3;
+        add 5 1 4;   (* &u *)
+        add 6 2 4;   (* &v *)
+        add 7 3 4;   (* &p *)
+        fld 0 5 0;
+        fld 1 6 0;
+        fld 2 7 0;
+        fld 3 7 8;
+        fld 4 7 (-8);
+        fsub 5 3 4;          (* dp/dx *)
+        fmul 6 5 1;
+        fadd 0 0 6;          (* u += v * dp/dx *)
+        fsd 0 5 0;
+        fld 3 7 (8 * n);
+        fld 4 7 (-8 * n);
+        fsub 5 3 4;
+        fmul 6 5 0;
+        fadd 1 1 6;          (* v += u * dp/dy *)
+        fsd 1 6 0;
+        fadd 5 0 1;
+        fmul 5 5 2;
+        fsd 5 7 0;           (* p = p * (u+v) *)
+        addi 14 14 1;
+        blt 14 13 "col";
+        addi 12 12 1;
+        blt 12 13 "row";
+        addi 10 10 1;
+        blt 10 11 "iter";
+        halt ])
+
+(* 103.su2cor — quantum field lattice: complex multiply-accumulate chains
+   over paired (re,im) arrays with a global reduction, su2cor's gauge
+   update in miniature. *)
+let su2cor scale =
+  let n = 512 in
+  assemble
+    [ data "a" [ Doubles (lcg_doubles ~seed:31 (2 * n)) ];
+      data "b" [ Doubles (lcg_doubles ~seed:32 (2 * n)) ];
+      data "acc" [ Doubles [ 0.0; 0.0 ] ];
+      init_sp;
+      la 1 "a";
+      la 2 "b";
+      li 10 0;
+      li 11 scale;
+      label "iter";
+      li 12 0;
+      li 13 n;
+      fsub 10 10 10;  (* acc_re = 0 *)
+      fsub 11 11 11;  (* acc_im = 0 *)
+      label "site";
+      slli 3 12 4;    (* 16 bytes per complex *)
+      add 4 1 3;
+      add 5 2 3;
+      fld 0 4 0;      (* a.re *)
+      fld 1 4 8;      (* a.im *)
+      fld 2 5 0;      (* b.re *)
+      fld 3 5 8;      (* b.im *)
+      (* c = a * b (complex) *)
+      fmul 4 0 2;
+      fmul 5 1 3;
+      fsub 6 4 5;     (* c.re *)
+      fmul 4 0 3;
+      fmul 5 1 2;
+      fadd 7 4 5;     (* c.im *)
+      fsd 6 4 0;      (* a <- c *)
+      fsd 7 4 8;
+      fadd 10 10 6;
+      fadd 11 11 7;
+      addi 12 12 1;
+      blt 12 13 "site";
+      la 3 "acc";
+      fsd 10 3 0;
+      fsd 11 3 8;
+      addi 10 10 1;
+      blt 10 11 "iter";
+      halt ]
+
+(* 104.hydro2d — hydrodynamics: stencil sweeps whose inner loop divides by
+   a neighbour expression, making the non-pipelined FP divider the
+   bottleneck, as in hydro2d's flux computations. *)
+let hydro2d scale =
+  let n = 33 in
+  assemble
+    [ data "rho" [ Doubles (List.map (fun x -> x +. 0.5) (lcg_doubles ~seed:41 (n * n))) ];
+      data "flux" [ Doubles (lcg_doubles ~seed:42 (n * n)) ];
+      init_sp;
+      la 1 "rho";
+      la 2 "flux";
+      li 10 0;
+      li 11 scale;
+      label "iter";
+      li 26 n;
+      li 12 1;
+      li 13 (n - 1);
+      label "row";
+      li 14 1;
+      label "col";
+      mul 3 12 26;
+      add 3 3 14;
+      slli 3 3 3;
+      add 4 1 3;
+      add 5 2 3;
+      fld 0 4 0;
+      fld 1 4 8;
+      fld 2 4 (-8);
+      fadd 3 1 2;
+      fdiv 4 0 3;    (* rho / (left + right): the divider chain *)
+      fld 5 5 0;
+      fadd 5 5 4;
+      fsd 5 5 0;
+      addi 14 14 1;
+      blt 14 13 "col";
+      addi 12 12 1;
+      blt 12 13 "row";
+      addi 10 10 1;
+      blt 10 11 "iter";
+      halt ]
+
+(* 107.mgrid — multigrid solver: 3D 7-point stencil applied at two
+   resolutions (unit and doubled stride), the strided-access pattern that
+   gives mgrid its long, perfectly regular loops. *)
+let mgrid scale =
+  let n = 17 in
+  let plane = n * n in
+  assemble
+    [ data "grid" [ Doubles (lcg_doubles ~seed:51 (n * n * n)) ];
+      init_sp;
+      la 1 "grid";
+      li 10 0;
+      li 11 scale;
+      label "iter";
+      (* fine sweep: stride 1 *)
+      li 15 1;         (* stride *)
+      call "sweep";
+      (* coarse sweep: stride 2 *)
+      li 15 2;
+      call "sweep";
+      addi 10 10 1;
+      blt 10 11 "iter";
+      halt;
+      (* sweep(r15=stride): 7-point stencil over interior points with the
+         given stride. clobbers r2-r9, r12-r14, f0-f8. *)
+      label "sweep";
+      add 12 15 0;     (* k = stride *)
+      li 9 (n - 1);
+      label "sk";
+      add 13 15 0;     (* i *)
+      label "si";
+      add 14 15 0;     (* j *)
+      label "sj";
+      (* addr = base + 8*(k*plane + i*n + j) *)
+      li 26 plane;
+      mul 2 12 26;
+      li 26 n;
+      mul 3 13 26;
+      add 2 2 3;
+      add 2 2 14;
+      slli 2 2 3;
+      add 4 1 2;
+      fld 0 4 0;
+      fld 1 4 8;
+      fld 2 4 (-8);
+      fld 3 4 (8 * n);
+      fld 4 4 (-8 * n);
+      fld 5 4 (8 * plane);
+      fld 6 4 (-8 * plane);
+      fadd 1 1 2;
+      fadd 3 3 4;
+      fadd 5 5 6;
+      fadd 1 1 3;
+      fadd 1 1 5;
+      li 27 6;
+      cvt_if 7 27;
+      fdiv 1 1 7;
+      fadd 0 0 1;
+      li 27 2;
+      cvt_if 7 27;
+      fdiv 0 0 7;
+      fsd 0 4 0;
+      add 14 14 15;
+      blt 14 9 "sj";
+      add 13 13 15;
+      blt 13 9 "si";
+      add 12 12 15;
+      blt 12 9 "sk";
+      ret ]
+
+(* 110.applu — LU decomposition of many small dense systems: triangular
+   elimination loops with a divide per pivot, applu's block-solve core. *)
+let applu scale =
+  let m = 6 in
+  (* several 6x6 matrices, regenerated per pass from a template *)
+  assemble
+    [ data "template" [ Doubles (List.map (fun x -> x +. 1.0) (lcg_doubles ~seed:61 (m * m))) ];
+      data "work" [ Space (8 * m * m) ];
+      init_sp;
+      la 1 "template";
+      la 2 "work";
+      li 10 0;
+      li 11 scale;
+      label "iter";
+      (* copy template into work *)
+      li 12 0;
+      li 13 (m * m);
+      label "copy";
+      slli 3 12 3;
+      add 4 1 3;
+      add 5 2 3;
+      fld 0 4 0;
+      fsd 0 5 0;
+      addi 12 12 1;
+      blt 12 13 "copy";
+      (* in-place LU without pivoting *)
+      li 12 0;          (* pivot k *)
+      li 13 m;
+      label "pivot";
+      li 26 m;
+      mul 3 12 26;
+      add 3 3 12;
+      slli 3 3 3;
+      add 4 2 3;        (* &work[k][k] *)
+      fld 0 4 0;        (* pivot value *)
+      addi 14 12 1;     (* row i = k+1 *)
+      label "elim_row";
+      bge 14 13 "pivot_next";
+      mul 3 14 26;
+      add 3 3 12;
+      slli 3 3 3;
+      add 5 2 3;        (* &work[i][k] *)
+      fld 1 5 0;
+      fdiv 2 1 0;       (* multiplier *)
+      fsd 2 5 0;
+      addi 15 12 1;     (* col j = k+1 *)
+      label "elim_col";
+      bge 15 13 "elim_row_next";
+      mul 3 14 26;
+      add 3 3 15;
+      slli 3 3 3;
+      add 6 2 3;        (* &work[i][j] *)
+      mul 3 12 26;
+      add 3 3 15;
+      slli 3 3 3;
+      add 7 2 3;        (* &work[k][j] *)
+      fld 3 6 0;
+      fld 4 7 0;
+      fmul 5 2 4;
+      fsub 3 3 5;
+      fsd 3 6 0;
+      addi 15 15 1;
+      j "elim_col";
+      label "elim_row_next";
+      addi 14 14 1;
+      j "elim_row";
+      label "pivot_next";
+      addi 12 12 1;
+      blt 12 13 "pivot";
+      addi 10 10 1;
+      blt 10 11 "iter";
+      halt ]
+
+(* 125.turb3d — turbulence: FFT-style butterfly passes over a
+   power-of-two array with halving strides, turb3d's transform phase.
+   Strided loads with mul/add twiddles and log-n loop structure. *)
+let turb3d scale =
+  let n = 256 in
+  assemble
+    [ data "re" [ Doubles (lcg_doubles ~seed:71 n) ];
+      data "im" [ Doubles (lcg_doubles ~seed:72 n) ];
+      data "twiddle" [ Double 0.92387953 ];
+      init_sp;
+      la 1 "re";
+      la 2 "im";
+      la 3 "twiddle";
+      fld 8 3 0;
+      li 10 0;
+      li 11 scale;
+      label "iter";
+      li 15 (n / 2);  (* stride, halves each pass *)
+      label "pass";
+      li 12 0;        (* base index *)
+      label "group";
+      add 13 12 0;    (* j = base *)
+      label "bfly";
+      slli 3 13 3;
+      add 4 1 3;      (* &re[j] *)
+      add 5 2 3;      (* &im[j] *)
+      slli 6 15 3;
+      add 7 4 6;      (* &re[j+stride] *)
+      add 8 5 6;      (* &im[j+stride] *)
+      fld 0 4 0;
+      fld 1 7 0;
+      fld 2 5 0;
+      fld 3 8 0;
+      fadd 4 0 1;
+      fsub 5 0 1;
+      fadd 6 2 3;
+      fsub 7 2 3;
+      (* twiddle the low outputs by 0.92387953 (stand-in constant) *)
+      fmul 5 5 8;
+      fmul 7 7 8;
+      fsd 4 4 0;
+      fsd 5 7 0;
+      fsd 6 5 0;
+      fsd 7 8 0;
+      addi 13 13 1;
+      add 9 12 15;
+      blt 13 9 "bfly";
+      slli 9 15 1;
+      add 12 12 9;
+      li 26 n;
+      blt 12 26 "group";
+      srli 15 15 1;
+      bne 15 0 "pass";
+      addi 10 10 1;
+      blt 10 11 "iter";
+      halt ]
+
+(* 141.apsi — mesoscale weather: per-column physics with a Horner-series
+   evaluation (a tight dependent FP chain), a conditional threshold
+   branch, and a divide — apsi's mix of dependence-limited FP and
+   data-driven decisions. *)
+let apsi scale =
+  let cols = 64 and levels = 16 in
+  assemble
+    [ data "field" [ Doubles (lcg_doubles ~seed:81 (cols * levels)) ];
+      data "coef" [ Doubles [ 0.25; -0.5; 0.125; 1.0; -0.0625 ] ];
+      init_sp;
+      la 1 "field";
+      la 2 "coef";
+      fld 10 2 0;
+      fld 11 2 8;
+      fld 12 2 16;
+      fld 13 2 24;
+      fld 14 2 32;
+      li 10 0;
+      li 11 scale;
+      label "iter";
+      li 12 0;
+      li 13 cols;
+      label "column";
+      li 14 0;
+      li 15 levels;
+      label "level";
+      li 26 levels;
+      mul 3 12 26;
+      add 3 3 14;
+      slli 3 3 3;
+      add 4 1 3;
+      fld 0 4 0;      (* x *)
+      (* Horner: s = (((c4*x + c3)*x + c2)*x + c1)*x + c0 *)
+      fmul 1 14 0;
+      fadd 1 1 13;
+      fmul 1 1 0;
+      fadd 1 1 12;
+      fmul 1 1 0;
+      fadd 1 1 11;
+      fmul 1 1 0;
+      fadd 1 1 10;
+      (* threshold: if s < 0.5 then damp by half, else normalise by x+1 *)
+      li 27 1;
+      cvt_if 2 27;
+      fadd 3 0 2;
+      li 27 2;
+      cvt_if 4 27;
+      fdiv 5 1 4;
+      flt 5 1 5;      (* reuses r5 as int flag *)
+      beq 5 0 "norm";
+      fdiv 1 1 4;
+      j "store";
+      label "norm";
+      fdiv 1 1 3;
+      label "store";
+      fsd 1 4 0;
+      addi 14 14 1;
+      blt 14 15 "level";
+      addi 12 12 1;
+      blt 12 13 "column";
+      addi 10 10 1;
+      blt 10 11 "iter";
+      halt ]
+
+(* 145.fpppp — electron integrals: very long straight-line basic blocks of
+   dense FP arithmetic with divides and square roots and almost no
+   branches — fpppp's famous block structure, which stresses the FP
+   pipelines rather than prediction. *)
+let fpppp scale =
+  let n = 128 in
+  let block off =
+    (* one unrolled "integral": 4 loads, a dense expression dag with
+       div/sqrt, 2 stores *)
+    [ fld 0 4 (16 * off);
+      fld 1 4 ((16 * off) + 8);
+      fld 2 5 (16 * off);
+      fld 3 5 ((16 * off) + 8);
+      fmul 4 0 2;
+      fmul 5 1 3;
+      fadd 6 4 5;
+      fmul 4 0 3;
+      fmul 5 1 2;
+      fsub 7 4 5;
+      fmul 4 6 6;
+      fmul 5 7 7;
+      fadd 4 4 5;
+      fsqrt 8 4;
+      fadd 8 8 6;
+      fdiv 9 7 8;
+      fadd 6 6 9;
+      fsd 6 4 (16 * off);
+      fsd 9 4 ((16 * off) + 8) ]
+  in
+  assemble
+    ([ data "orb1" [ Doubles (List.map (fun x -> x +. 1.0) (lcg_doubles ~seed:91 n)) ];
+       data "orb2" [ Doubles (List.map (fun x -> x +. 1.0) (lcg_doubles ~seed:92 n)) ];
+       init_sp;
+       la 1 "orb1";
+       la 2 "orb2";
+       li 10 0;
+       li 11 scale;
+       label "iter";
+       li 12 0;
+       li 13 (n / 16) ]
+    @ [ label "chunk";
+        slli 3 12 7;
+        add 4 1 3;
+        add 5 2 3 ]
+    @ List.concat_map block [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    @ [ addi 12 12 1;
+        blt 12 13 "chunk";
+        addi 10 10 1;
+        blt 10 11 "iter";
+        halt ])
+
+(* 146.wave5 — particle-in-cell plasma: gather field values at particle
+   positions through computed indices, update velocities/positions, and
+   scatter charge back — the indexed gather/scatter that dominates
+   wave5. *)
+let wave5 scale =
+  let particles = 512 and gridn = 256 in
+  assemble
+    [ data "pos" [ Doubles (List.map (fun x -> x *. 250.0) (lcg_doubles ~seed:93 particles)) ];
+      data "vel" [ Doubles (lcg_doubles ~seed:94 particles) ];
+      data "efield" [ Doubles (lcg_doubles ~seed:95 gridn) ];
+      data "charge" [ Space (8 * gridn) ];
+      init_sp;
+      la 1 "pos";
+      la 2 "vel";
+      la 3 "efield";
+      la 4 "charge";
+      li 10 0;
+      li 11 scale;
+      label "iter";
+      li 12 0;
+      li 13 particles;
+      label "particle";
+      slli 5 12 3;
+      add 6 1 5;       (* &pos[i] *)
+      add 7 2 5;       (* &vel[i] *)
+      fld 0 6 0;
+      cvt_fi 8 0;      (* cell index *)
+      andi 8 8 (gridn - 1);
+      slli 8 8 3;
+      add 9 3 8;
+      fld 1 9 0;       (* gathered field *)
+      fld 2 7 0;
+      fadd 2 2 1;      (* vel += E *)
+      fsd 2 7 0;
+      fadd 0 0 2;      (* pos += vel *)
+      fabs_ 0 0;
+      fsd 0 6 0;
+      (* scatter charge *)
+      cvt_fi 8 0;
+      andi 8 8 (gridn - 1);
+      slli 8 8 3;
+      add 9 4 8;
+      fld 3 9 0;
+      li 27 1;
+      cvt_if 4 27;
+      fadd 3 3 4;
+      fsd 3 9 0;
+      addi 12 12 1;
+      blt 12 13 "particle";
+      addi 10 10 1;
+      blt 10 11 "iter";
+      halt ]

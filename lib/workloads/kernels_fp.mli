@@ -1,0 +1,15 @@
+(** The ten SPEC95 floating-point kernels (see {!Suite} for descriptions
+    and calibrated scales; each builder takes an iteration count and
+    returns a program that halts). [?data_seed] varies initial data without
+    changing code (see {!Kernels_int}). *)
+
+val tomcatv : ?data_seed:int -> int -> Isa.Program.t
+val swim : int -> Isa.Program.t
+val su2cor : int -> Isa.Program.t
+val hydro2d : int -> Isa.Program.t
+val mgrid : int -> Isa.Program.t
+val applu : int -> Isa.Program.t
+val turb3d : int -> Isa.Program.t
+val apsi : int -> Isa.Program.t
+val fpppp : int -> Isa.Program.t
+val wave5 : int -> Isa.Program.t

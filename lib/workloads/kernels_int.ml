@@ -1,0 +1,534 @@
+(* The eight SPEC95 integer kernels.
+
+   Register conventions within kernels: r1-r9 addresses and short-lived
+   temporaries, r10-r19 loop counters and bounds, r20-r25 accumulators and
+   long-lived values, r26-r29 scratch. Results end in r20 (and a [result]
+   data word) so engines can be cross-checked. *)
+
+open Dsl
+
+(* 099.go — board-scanning position evaluator: a 19x19 board of
+   {empty,black,white}, swept repeatedly with data-dependent neighbour
+   comparisons and occasional board mutations. Dominated by poorly
+   predictable branches over a small working set, like go's evaluator. *)
+let go ?(data_seed = 123456789) scale =
+  assemble
+    ([ data "board" [ Words (lcg_mod ~seed:data_seed 361 3) ];
+       data "result" [ Word 0 ];
+       init_sp;
+       la 1 "board";
+       li 10 0;
+       li 11 scale;
+       li 20 0;
+       label "iter" ]
+    @ [ li 12 1;
+        li 13 360;
+        label "pos";
+        slli 2 12 2;
+        add 3 1 2;
+        lw 4 3 0;
+        beq 4 0 "skip";
+        lw 5 3 (-4);
+        bne 5 4 "no_left";
+        addi 20 20 1;
+        label "no_left";
+        lw 6 3 4;
+        bne 6 4 "no_right";
+        addi 20 20 2;
+        label "no_right";
+        add 7 12 10;
+        andi 7 7 15;
+        bne 7 0 "skip";
+        (* claim the point: flip the cell to (cell xor 3) *)
+        xori 8 4 3;
+        sw 8 3 0;
+        label "skip";
+        addi 12 12 1;
+        blt 12 13 "pos";
+        addi 10 10 1;
+        blt 10 11 "iter";
+        la 2 "result";
+        sw 20 2 0;
+        halt ])
+
+(* 124.m88ksim — a processor simulator simulating: fetches synthetic
+   opcodes from an instruction array and dispatches through a jump table
+   of eight handlers that update a simulated register file. Exercises
+   indirect jumps with a stable, learnable target stream. *)
+let m88ksim scale =
+  let handler n body =
+    [ label (Printf.sprintf "h%d" n) ] @ body @ [ j "next" ]
+  in
+  assemble
+    ([ data "iprog" [ Words (lcg_mod ~seed:7 64 8) ];
+       data "handlers"
+         [ Label_words [ "h0"; "h1"; "h2"; "h3"; "h4"; "h5"; "h6"; "h7" ] ];
+       data "mregs" [ Words (lcg 16) ];
+       data "result" [ Word 0 ];
+       init_sp;
+       la 1 "iprog";
+       la 2 "handlers";
+       la 3 "mregs";
+       li 10 0;
+       li 11 scale;
+       label "iter";
+       li 12 0;
+       li 13 64;
+       label "fetch";
+       slli 4 12 2;
+       add 4 1 4;
+       lw 5 4 0;
+       slli 6 5 2;
+       add 6 2 6;
+       lw 7 6 0;
+       jr 7 ]
+    @ handler 0 [ lw 8 3 0; lw 9 3 4; add 8 8 9; sw 8 3 0 ]
+    @ handler 1 [ lw 8 3 8; lw 9 3 12; xor 8 8 9; sw 8 3 8 ]
+    @ handler 2 [ lw 8 3 16; srli 8 8 1; sw 8 3 16 ]
+    @ handler 3 [ lw 8 3 20; lw 9 3 24; mul 8 8 9; sw 8 3 20 ]
+    @ handler 4 [ lw 8 3 28; addi 8 8 13; sw 8 3 28 ]
+    @ handler 5 [ lw 8 3 32; lw 9 3 36; sub 8 8 9; sw 8 3 32 ]
+    @ handler 6 [ lw 8 3 40; slli 8 8 2; ori 8 8 5; sw 8 3 40 ]
+    @ handler 7 [ lw 8 3 44; lw 9 3 0; and_ 8 8 9; sw 8 3 44 ]
+    @ [ label "next";
+        addi 12 12 1;
+        blt 12 13 "fetch";
+        addi 10 10 1;
+        blt 10 11 "iter";
+        lw 20 3 0;
+        la 2 "result";
+        sw 20 2 0;
+        halt ])
+
+(* 126.gcc — compiler-style irregular control: builds a binary search tree
+   in an arena, then performs repeated keyed lookups through a called
+   function. Irregular branches, call/return traffic, and pointer
+   chasing over a growing structure. *)
+let gcc scale =
+  assemble
+    ([ data "arena" [ Space (16 * 512) ];
+       data "keys" [ Words (lcg_mod ~seed:31 128 10_000) ];
+       data "result" [ Word 0 ];
+       init_sp;
+       la 20 "arena";  (* arena base *)
+       li 21 1;        (* node count; node 0 is the root *)
+       la 22 "keys";
+       (* root node holds keys[0] *)
+       lw 4 22 0;
+       sw 4 20 0;
+       (* insert keys[1..127] *)
+       li 12 1;
+       li 13 128;
+       label "ins_next";
+       slli 2 12 2;
+       add 2 22 2;
+       lw 4 2 0;
+       call "insert";
+       addi 12 12 1;
+       blt 12 13 "ins_next";
+       (* lookup phase: scale passes over all keys plus probes *)
+       li 10 0;
+       li 11 scale;
+       li 23 0;        (* hit counter *)
+       label "iter";
+       li 12 0;
+       li 13 128;
+       label "look_next";
+       slli 2 12 2;
+       add 2 22 2;
+       lw 4 2 0;
+       (* also probe a near-miss key to take the not-found path *)
+       add 4 4 10;
+       call "find";
+       add 23 23 5;
+       addi 12 12 1;
+       blt 12 13 "look_next";
+       addi 10 10 1;
+       blt 10 11 "iter";
+       la 2 "result";
+       sw 23 2 0;
+       add 20 23 0;
+       halt;
+       (* insert(r4=key): iterative BST insert into the arena.
+          clobbers r5-r9. *)
+       label "insert";
+       add 5 20 0;  (* cur = root *)
+       label "ins_loop";
+       lw 6 5 0;
+       beq 4 6 "ins_done";
+       blt 4 6 "ins_left";
+       lw 7 5 8;    (* right child *)
+       bne 7 0 "ins_right_walk";
+       (* allocate node for right *)
+       slli 8 21 4;
+       add 8 20 8;
+       sw 4 8 0;
+       sw 8 5 8;
+       addi 21 21 1;
+       j "ins_done";
+       label "ins_right_walk";
+       add 5 7 0;
+       j "ins_loop";
+       label "ins_left";
+       lw 7 5 4;    (* left child *)
+       bne 7 0 "ins_left_walk";
+       slli 8 21 4;
+       add 8 20 8;
+       sw 4 8 0;
+       sw 8 5 4;
+       addi 21 21 1;
+       j "ins_done";
+       label "ins_left_walk";
+       add 5 7 0;
+       j "ins_loop";
+       label "ins_done";
+       ret;
+       (* find(r4=key) -> r5 in {0,1}; clobbers r6-r8. *)
+       label "find";
+       add 6 20 0;
+       label "find_loop";
+       beq 6 0 "find_miss";
+       lw 7 6 0;
+       beq 4 7 "find_hit";
+       blt 4 7 "find_left";
+       lw 6 6 8;
+       j "find_loop";
+       label "find_left";
+       lw 6 6 4;
+       j "find_loop";
+       label "find_hit";
+       li 5 1;
+       ret;
+       label "find_miss";
+       li 5 0;
+       ret ])
+
+(* 129.compress — LZW-flavoured byte compression: hashes input bytes into
+   a probed code table with data-dependent collision loops and byte-wide
+   loads, like compress's table-driven core. *)
+let compress ?(data_seed = 99) scale =
+  let input_bytes = lcg_mod ~seed:data_seed 4096 256 in
+  let packed =
+    (* pack 4 bytes per word, little endian *)
+    let rec go = function
+      | a :: b :: c :: d :: rest ->
+        (a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)) :: go rest
+      | [] -> []
+      | rest -> [ List.fold_left (fun acc v -> (acc lsl 8) lor v) 0 rest ]
+    in
+    go input_bytes
+  in
+  assemble
+    [ data "input" [ Words packed ];
+      data "table" [ Space (4 * 4096) ];
+      data "result" [ Word 0 ];
+      init_sp;
+      la 1 "input";
+      la 2 "table";
+      li 10 0;
+      li 11 scale;
+      li 20 0;  (* emitted codes *)
+      label "iter";
+      li 12 0;
+      li 13 4096;
+      li 21 0;  (* rolling hash *)
+      label "byte";
+      add 3 1 12;
+      lbu 4 3 0;
+      (* h = (h*31 + c) & 4095 *)
+      slli 5 21 5;
+      sub 5 5 21;
+      add 5 5 4;
+      andi 21 5 4095;
+      (* probe the table *)
+      add 6 21 0;
+      addi 7 4 1;  (* value = c+1, never 0 *)
+      label "probe";
+      slli 8 6 2;
+      add 8 2 8;
+      lw 9 8 0;
+      beq 9 0 "miss";
+      beq 9 7 "hit";
+      addi 6 6 1;
+      andi 6 6 4095;
+      j "probe";
+      label "miss";
+      sw 7 8 0;
+      addi 20 20 1;
+      j "byte_done";
+      label "hit";
+      addi 20 20 2;
+      label "byte_done";
+      addi 12 12 1;
+      blt 12 13 "byte";
+      addi 10 10 1;
+      blt 10 11 "iter";
+      la 2 "result";
+      sw 20 2 0;
+      halt ]
+
+(* 130.li — lisp-interpreter heart: cons cells in an arena, a list build,
+   and a deeply recursive sum with stack frames — call/return-heavy with
+   pointer chasing, like xlisp's evaluator. *)
+let li_kernel scale =
+  assemble
+    [ data "cells" [ Space (8 * 256) ];
+      data "vals" [ Words (lcg_mod ~seed:17 64 1000) ];
+      data "result" [ Word 0 ];
+      init_sp;
+      la 20 "cells";
+      la 22 "vals";
+      li 10 0;
+      li 11 scale;
+      li 23 0;
+      label "iter";
+      (* build a fresh 64-element list (arena reset each pass) *)
+      li 21 0;   (* cell count *)
+      li 24 0;   (* head = nil *)
+      li 12 0;
+      li 13 64;
+      label "build";
+      slli 2 12 2;
+      add 2 22 2;
+      lw 4 2 0;            (* value *)
+      slli 5 21 3;
+      add 5 20 5;          (* new cell *)
+      sw 4 5 0;            (* car = value *)
+      sw 24 5 4;           (* cdr = head *)
+      add 24 5 0;
+      addi 21 21 1;
+      addi 12 12 1;
+      blt 12 13 "build";
+      (* sum the list recursively *)
+      add 4 24 0;
+      call "sum";
+      add 23 23 5;
+      addi 10 10 1;
+      blt 10 11 "iter";
+      la 2 "result";
+      sw 23 2 0;
+      add 20 23 0;
+      halt;
+      (* sum(r4=list) -> r5; recursive, uses the stack. *)
+      label "sum";
+      bne 4 0 "sum_rec";
+      li 5 0;
+      ret;
+      label "sum_rec";
+      addi sp sp (-8);
+      sw ra sp 0;
+      lw 6 4 0;    (* car *)
+      sw 6 sp 4;
+      lw 4 4 4;    (* cdr *)
+      call "sum";
+      lw 6 sp 4;
+      add 5 5 6;
+      lw ra sp 0;
+      addi sp sp 8;
+      ret ]
+
+(* 132.ijpeg — image coding: 8x8 integer blocks through a separable
+   transform with multiply/shift butterflies and a quantisation pass that
+   divides by a table entry — regular loops, multiply-heavy, periodic
+   long-latency divides. *)
+let ijpeg scale =
+  assemble
+    [ data "blocks" [ Words (lcg_mod ~seed:5 (64 * 16) 256) ];
+      data "quant"
+        [ Words (List.map (fun v -> (v mod 31) + 1) (lcg ~seed:3 64)) ];
+      data "result" [ Word 0 ];
+      init_sp;
+      la 1 "blocks";
+      la 2 "quant";
+      li 10 0;
+      li 11 scale;
+      li 20 0;
+      label "iter";
+      li 14 0;    (* block index *)
+      li 15 16;
+      label "block";
+      slli 3 14 8;
+      add 3 1 3;  (* block base *)
+      (* row butterflies *)
+      li 12 0;
+      li 13 8;
+      label "row";
+      slli 4 12 5;
+      add 4 3 4;  (* row base: 8 words *)
+      lw 5 4 0;
+      lw 6 4 28;
+      add 7 5 6;
+      sub 8 5 6;
+      li 26 25;
+      mul 8 8 26;   (* fixed-point twiddle *)
+      srai 8 8 4;
+      sw 7 4 0;
+      sw 8 4 28;
+      lw 5 4 8;
+      lw 6 4 20;
+      add 7 5 6;
+      sub 8 5 6;
+      li 26 47;
+      mul 8 8 26;
+      srai 8 8 5;
+      sw 7 4 8;
+      sw 8 4 20;
+      addi 12 12 1;
+      blt 12 13 "row";
+      (* quantise every fourth coefficient (divides) *)
+      li 12 0;
+      li 13 64;
+      label "q";
+      slli 4 12 2;
+      add 5 3 4;
+      lw 6 5 0;
+      add 7 2 4;
+      lw 8 7 0;
+      div 9 6 8;
+      sw 9 5 0;
+      add 20 20 9;
+      addi 12 12 4;
+      blt 12 13 "q";
+      addi 14 14 1;
+      blt 14 15 "block";
+      addi 10 10 1;
+      blt 10 11 "iter";
+      la 2 "result";
+      sw 20 2 0;
+      halt ]
+
+(* 134.perl — a stack-machine interpreter: bytecode dispatched through a
+   jump table, a memory-resident operand stack, and a probed variable
+   table — interpreter dispatch plus hashing, like perl's runtime. *)
+let perl scale =
+  (* bytecode: pairs (op, arg); ops: 0 push, 1 add, 2 dup, 3 store var,
+     4 load var, 5 drop *)
+  let code =
+    [ 0; 11; 0; 31; 1; 0; 2; 0; 3; 5; 0; 7; 4; 5; 1; 0; 3; 9; 0; 13; 1; 0;
+      4; 9; 1; 0; 3; 2; 0; 42; 2; 0; 1; 0; 0; 4; 4; 2; 1; 0; 5; 0; 4; 9;
+      1; 0; 5; 0 ]
+  in
+  assemble
+    ([ data "bytecode" [ Words code ];
+       data "ops" [ Label_words [ "op0"; "op1"; "op2"; "op3"; "op4"; "op5" ] ];
+       data "vmstack" [ Space (4 * 64) ];
+       data "vars" [ Space (4 * 64) ];
+       data "result" [ Word 0 ];
+       init_sp;
+       la 1 "bytecode";
+       la 2 "ops";
+       la 3 "vars";
+       la 25 "vmstack";  (* VM stack pointer (empty, grows up) *)
+       li 10 0;
+       li 11 scale;
+       li 20 0;
+       label "iter";
+       la 25 "vmstack";
+       li 12 0;
+       li 13 48;
+       label "dispatch";
+       slli 4 12 2;
+       add 4 1 4;
+       lw 5 4 0;   (* op *)
+       lw 6 4 4;   (* arg *)
+       slli 7 5 2;
+       add 7 2 7;
+       lw 8 7 0;
+       jr 8;
+       label "op0";  (* push arg *)
+       sw 6 25 0;
+       addi 25 25 4;
+       j "vnext";
+       label "op1";  (* add top two *)
+       lw 8 25 (-4);
+       lw 9 25 (-8);
+       add 8 8 9;
+       sw 8 25 (-8);
+       addi 25 25 (-4);
+       j "vnext";
+       label "op2";  (* dup *)
+       lw 8 25 (-4);
+       sw 8 25 0;
+       addi 25 25 4;
+       j "vnext";
+       label "op3";  (* store top into var[hash(arg)] *)
+       lw 8 25 (-4);
+       addi 25 25 (-4);
+       li 26 40503;
+       mul 9 6 26;
+       andi 9 9 63;
+       slli 9 9 2;
+       add 9 3 9;
+       sw 8 9 0;
+       j "vnext";
+       label "op4";  (* load var[hash(arg)] *)
+       li 26 40503;
+       mul 9 6 26;
+       andi 9 9 63;
+       slli 9 9 2;
+       add 9 3 9;
+       lw 8 9 0;
+       sw 8 25 0;
+       addi 25 25 4;
+       j "vnext";
+       label "op5";  (* drop *)
+       addi 25 25 (-4);
+       label "vnext";
+       addi 12 12 2;
+       blt 12 13 "dispatch";
+       (* accumulate whatever is on the variable table's first slot *)
+       lw 8 3 0;
+       add 20 20 8;
+       addi 10 10 1;
+       blt 10 11 "iter";
+       la 2 "result";
+       sw 20 2 0;
+       halt ])
+
+(* 147.vortex — object database: 64 KB of fixed-width records addressed
+   through a shuffled index, chain-following between records, field reads
+   and read-modify-write updates. A memory-intensive working set that
+   overflows the L1 cache. *)
+let vortex scale =
+  let records = 2048 in
+  assemble
+    [ data "recs" [ Words (lcg_mod ~seed:77 (records * 8) 65536) ];
+      data "index" [ Words (lcg_mod ~seed:88 records records) ];
+      data "result" [ Word 0 ];
+      init_sp;
+      la 1 "recs";
+      la 2 "index";
+      li 10 0;
+      li 11 scale;
+      li 20 0;
+      label "iter";
+      li 12 0;
+      li 13 records;
+      label "txn";
+      slli 3 12 2;
+      add 3 2 3;
+      lw 4 3 0;        (* record number *)
+      (* follow a 4-deep chain: next = rec.f4 mod records *)
+      li 14 0;
+      label "chase";
+      slli 5 4 5;
+      add 5 1 5;       (* record base *)
+      lw 6 5 0;
+      lw 7 5 4;
+      add 6 6 7;
+      lw 7 5 8;
+      add 6 6 7;
+      add 20 20 6;
+      sw 6 5 12;       (* update field 3 *)
+      lw 4 5 16;
+      andi 4 4 2047;
+      addi 14 14 1;
+      li 15 4;
+      blt 14 15 "chase";
+      addi 12 12 1;
+      blt 12 13 "txn";
+      addi 10 10 1;
+      blt 10 11 "iter";
+      la 2 "result";
+      sw 20 2 0;
+      halt ]

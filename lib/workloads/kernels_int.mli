@@ -1,0 +1,17 @@
+(** The eight SPEC95 integer kernels (see {!Suite} for descriptions and
+    calibrated scales; each builder takes an iteration count and returns a
+    program that halts).
+
+    Kernels taking [?data_seed] regenerate their initial data from a
+    different pseudo-random stream: same code (and therefore the same
+    p-action cache key space), different input — used by the cross-input
+    memoization experiment (`bench --ablation inputs`). *)
+
+val go : ?data_seed:int -> int -> Isa.Program.t
+val m88ksim : int -> Isa.Program.t
+val gcc : int -> Isa.Program.t
+val compress : ?data_seed:int -> int -> Isa.Program.t
+val li_kernel : int -> Isa.Program.t
+val ijpeg : int -> Isa.Program.t
+val perl : int -> Isa.Program.t
+val vortex : int -> Isa.Program.t

@@ -1,0 +1,128 @@
+let w = Workload.make
+
+let all =
+  [ w ~name:"099.go" ~category:Workload.Integer ~default_scale:640
+      ~test_scale:2
+      ~description:
+        "board-position evaluator: branchy neighbour scans over a 19x19 \
+         board with occasional mutations"
+      (fun scale -> Kernels_int.go scale);
+    w ~name:"124.m88ksim" ~category:Workload.Integer ~default_scale:2800
+      ~test_scale:4
+      ~description:
+        "CPU-simulator dispatch loop: opcode fetch and jump-table handlers \
+         updating a simulated register file"
+      Kernels_int.m88ksim;
+    w ~name:"126.gcc" ~category:Workload.Integer ~default_scale:300
+      ~test_scale:2
+      ~description:
+        "compiler-style tree work: binary-search-tree build plus repeated \
+         called lookups with irregular branching"
+      Kernels_int.gcc;
+    w ~name:"129.compress" ~category:Workload.Integer ~default_scale:7
+      ~test_scale:2
+      ~description:
+        "LZW-style compression: byte-stream hashing into a probed code \
+         table with collision loops"
+      (fun scale -> Kernels_int.compress scale);
+    w ~name:"130.li" ~category:Workload.Integer ~default_scale:1700
+      ~test_scale:3
+      ~description:
+        "lisp-interpreter heart: cons-cell list building and deeply \
+         recursive reduction with real stack frames"
+      Kernels_int.li_kernel;
+    w ~name:"132.ijpeg" ~category:Workload.Integer ~default_scale:450
+      ~test_scale:2
+      ~description:
+        "image coding: 8x8 integer transform butterflies with \
+         multiply/shift and periodic quantisation divides"
+      Kernels_int.ijpeg;
+    w ~name:"134.perl" ~category:Workload.Integer ~default_scale:6500
+      ~test_scale:5
+      ~description:
+        "stack-machine interpreter: jump-table bytecode dispatch, memory \
+         operand stack, hashed variable table"
+      Kernels_int.perl;
+    w ~name:"147.vortex" ~category:Workload.Integer ~default_scale:20
+      ~test_scale:1
+      ~description:
+        "object database: chained lookups and field updates over 64 KB of \
+         records through a shuffled index"
+      Kernels_int.vortex;
+    w ~name:"101.tomcatv" ~category:Workload.Floating ~default_scale:100
+      ~test_scale:2
+      ~description:
+        "mesh generation: 5-point stencil sweeps over two grids with \
+         an averaging correction"
+      (fun scale -> Kernels_fp.tomcatv scale);
+    w ~name:"102.swim" ~category:Workload.Floating ~default_scale:100
+      ~test_scale:2
+      ~description:
+        "shallow-water model: neighbour stencils over three coupled grids"
+      Kernels_fp.swim;
+    w ~name:"103.su2cor" ~category:Workload.Floating ~default_scale:260
+      ~test_scale:3
+      ~description:
+        "lattice field theory: complex multiply-accumulate chains with a \
+         global reduction"
+      Kernels_fp.su2cor;
+    w ~name:"104.hydro2d" ~category:Workload.Floating ~default_scale:170
+      ~test_scale:2
+      ~description:
+        "hydrodynamics: stencil sweeps bottlenecked on the non-pipelined \
+         FP divider"
+      Kernels_fp.hydro2d;
+    w ~name:"107.mgrid" ~category:Workload.Floating ~default_scale:22
+      ~test_scale:1
+      ~description:
+        "multigrid solver: 3D 7-point stencil at two resolutions with \
+         strided access"
+      Kernels_fp.mgrid;
+    w ~name:"110.applu" ~category:Workload.Floating ~default_scale:1800
+      ~test_scale:5
+      ~description:
+        "LU block solver: triangular elimination loops with a divide per \
+         pivot"
+      Kernels_fp.applu;
+    w ~name:"125.turb3d" ~category:Workload.Floating ~default_scale:100
+      ~test_scale:2
+      ~description:
+        "turbulence transform: FFT-style butterfly passes with halving \
+         strides"
+      Kernels_fp.turb3d;
+    w ~name:"141.apsi" ~category:Workload.Floating ~default_scale:95
+      ~test_scale:4
+      ~description:
+        "mesoscale weather: Horner-series column physics with threshold \
+         branches and divides"
+      Kernels_fp.apsi;
+    w ~name:"145.fpppp" ~category:Workload.Floating ~default_scale:2000
+      ~test_scale:5
+      ~description:
+        "electron integrals: very long straight-line FP blocks with \
+         divides and square roots, almost branch-free"
+      Kernels_fp.fpppp;
+    w ~name:"146.wave5" ~category:Workload.Floating ~default_scale:190
+      ~test_scale:3
+      ~description:
+        "particle-in-cell plasma: indexed gather/scatter between particles \
+         and a field grid"
+      Kernels_fp.wave5 ]
+
+let integer =
+  List.filter (fun w -> w.Workload.category = Workload.Integer) all
+
+let floating =
+  List.filter (fun w -> w.Workload.category = Workload.Floating) all
+
+let find name =
+  match
+    List.find_opt
+      (fun w -> String.equal w.Workload.name name
+                || String.equal w.Workload.short name)
+      all
+  with
+  | Some w -> w
+  | None -> raise Not_found
+
+let names () = List.map (fun w -> w.Workload.name) all

@@ -1,0 +1,14 @@
+(** The full benchmark suite: one kernel per SPEC95 program the paper
+    evaluates (Tables 2–5), in the paper's order. *)
+
+val all : Workload.t list
+(** The 18 workloads: 8 integer, 10 floating point. *)
+
+val integer : Workload.t list
+val floating : Workload.t list
+
+val find : string -> Workload.t
+(** Look up by full name ("099.go") or short name ("go").
+    Raises [Not_found]. *)
+
+val names : unit -> string list

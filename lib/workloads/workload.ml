@@ -1,0 +1,19 @@
+type category = Integer | Floating
+
+type t = {
+  name : string;
+  short : string;
+  description : string;
+  category : category;
+  default_scale : int;
+  test_scale : int;
+  build : int -> Isa.Program.t;
+}
+
+let make ~name ~description ~category ~default_scale ~test_scale build =
+  let short =
+    match String.index_opt name '.' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  { name; short; description; category; default_scale; test_scale; build }

@@ -1,0 +1,31 @@
+(** Benchmark workloads.
+
+    The paper evaluates FastSim on SPEC95. Without the SPEC sources or a
+    SPARC toolchain, we substitute one synthetic SRISC kernel per SPEC95
+    program, each built to exercise its namesake's {e dominant dynamic
+    behaviour} — branch predictability, working-set size, pointer chasing,
+    call depth, int/FP mix, long-latency operation density — because those
+    are the properties memoization, branch prediction, and the cache model
+    respond to (see DESIGN.md's substitution table). *)
+
+type category = Integer | Floating
+
+type t = {
+  name : string;           (** SPEC-style name, e.g. ["099.go"]. *)
+  short : string;          (** bare name, e.g. ["go"]. *)
+  description : string;    (** what the kernel does and what it models. *)
+  category : category;
+  default_scale : int;     (** iteration parameter for a benchmark run. *)
+  test_scale : int;        (** small parameter for unit tests. *)
+  build : int -> Isa.Program.t;  (** scale -> program. *)
+}
+
+val make :
+  name:string ->
+  description:string ->
+  category:category ->
+  default_scale:int ->
+  test_scale:int ->
+  (int -> Isa.Program.t) ->
+  t
+(** [short] is derived from [name] by dropping the numeric prefix. *)

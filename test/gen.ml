@@ -1,0 +1,215 @@
+(* Random-program generation for property tests.
+
+   Programs are random but terminate by construction: a fixed nest of
+   counted loops whose bodies are random straight-line instructions,
+   forward-only data-dependent branches, and optional leaf calls. Memory
+   operands are masked into a scratch data region, so no access can fault
+   on the architectural path. *)
+
+module I = Isa.Instr
+
+type cfg = {
+  blocks : int;        (* straight-line blocks in the loop body *)
+  block_len : int;
+  outer_iters : int;
+  inner_iters : int;
+  use_fp : bool;
+  use_calls : bool;
+  use_indirect : bool; (* jump-table dispatch inside the loop body *)
+  use_recursion : bool;(* an occasional bounded-recursive call *)
+}
+
+let default_cfg =
+  { blocks = 4;
+    block_len = 6;
+    outer_iters = 5;
+    inner_iters = 12;
+    use_fp = true;
+    use_calls = true;
+    use_indirect = true;
+    use_recursion = true }
+
+(* Registers the generator may use freely; r1 is the scratch-data base,
+   r10/r11 and r12/r13 are loop counters/limits, r28/r29 are masks. *)
+let gp_regs = [| 2; 3; 4; 5; 6; 7; 8; 9; 20; 21; 22; 23 |]
+let fp_regs = [| 0; 1; 2; 3; 4; 5; 6 |]
+
+let scratch_words = 256 (* 1 KiB scratch region *)
+
+let pick st arr = arr.(Random.State.int st (Array.length arr))
+
+let random_alu_op st =
+  pick st
+    [| I.Add; I.Sub; I.And; I.Or; I.Xor; I.Sll; I.Srl; I.Sra; I.Slt; I.Sltu |]
+
+let random_fpu_op st = pick st [| I.Fadd; I.Fsub; I.Fmul; I.Fneg; I.Fabs |]
+
+(* One random non-control instruction. Addresses: r2 = r1 + ((reg & 0xFC)
+   aligned); loads/stores go through a freshly computed masked address, so
+   they are always in the scratch region and 4-byte aligned (8 for FP). *)
+let random_straight st ~use_fp acc =
+  let r () = pick st gp_regs in
+  let fr () = pick st fp_regs in
+  match Random.State.int st (if use_fp then 8 else 6) with
+  | 0 -> Isa.Asm.insn (I.Alu (random_alu_op st, r (), r (), r ())) :: acc
+  | 1 ->
+    let op = random_alu_op st in
+    let imm =
+      match op with
+      | I.Sll | I.Srl | I.Sra -> Random.State.int st 32
+      | I.And | I.Or | I.Xor -> Random.State.int st 65536
+      | _ -> Random.State.int st 2048 - 1024
+    in
+    Isa.Asm.insn (I.Alui (op, r (), r (), imm)) :: acc
+  | 2 ->
+    (* masked load: addr = base + (reg & mask & ~3) *)
+    let rd = r () and rs = r () in
+    Isa.Asm.insn (I.Load (I.Lw, rd, 27, 0))
+    :: Isa.Asm.insn (I.Alu (I.Add, 27, 1, 26))
+    :: Isa.Asm.insn (I.Alui (I.And, 26, rs, (scratch_words - 1) * 4 land lnot 3))
+    :: acc
+  | 3 ->
+    let rs = r () and rv = r () in
+    Isa.Asm.insn (I.Store (I.Sw, rv, 27, 0))
+    :: Isa.Asm.insn (I.Alu (I.Add, 27, 1, 26))
+    :: Isa.Asm.insn (I.Alui (I.And, 26, rs, (scratch_words - 1) * 4 land lnot 3))
+    :: acc
+  | 4 -> Isa.Asm.insn (I.Mul (r (), r (), r ())) :: acc
+  | 5 ->
+    (match Random.State.int st 2 with
+     | 0 -> Isa.Asm.insn (I.Div (r (), r (), r ())) :: acc
+     | _ -> Isa.Asm.insn (I.Rem (r (), r (), r ())) :: acc)
+  | 6 ->
+    Isa.Asm.insn (I.Fop (random_fpu_op st, fr (), fr (), fr ())) :: acc
+  | 7 ->
+    let fd = fr () and rs = r () in
+    (match Random.State.int st 3 with
+     | 0 -> Isa.Asm.insn (I.Fcvt_if (fd, rs)) :: acc
+     | 1 ->
+       (* FP load/store at an 8-aligned scratch address *)
+       Isa.Asm.insn (I.Fload (fd, 27, 0))
+       :: Isa.Asm.insn (I.Alu (I.Add, 27, 1, 26))
+       :: Isa.Asm.insn
+            (I.Alui (I.And, 26, rs, (scratch_words - 2) * 4 land lnot 7))
+       :: acc
+     | _ ->
+       Isa.Asm.insn (I.Fstore (fd, 27, 0))
+       :: Isa.Asm.insn (I.Alu (I.Add, 27, 1, 26))
+       :: Isa.Asm.insn
+            (I.Alui (I.And, 26, rs, (scratch_words - 2) * 4 land lnot 7))
+       :: acc)
+  | _ -> assert false
+
+let program_of_seed ?(cfg = default_cfg) seed =
+  let st = Random.State.make [| seed |] in
+  let fresh =
+    let n = ref 0 in
+    fun prefix ->
+      incr n;
+      Printf.sprintf "%s_%d" prefix !n
+  in
+  let body = ref [] in
+  let emit s = body := s :: !body in
+  (* blocks with forward skips between them *)
+  for _ = 1 to cfg.blocks do
+    let skip = fresh "skip" in
+    if Random.State.bool st then begin
+      (* data-dependent forward branch over the block *)
+      let c = pick st [| I.Eq; I.Ne; I.Lt; I.Ge; I.Le; I.Gt |] in
+      emit (Isa.Asm.branch c (pick st gp_regs) (pick st gp_regs) skip)
+    end;
+    let acc = ref [] in
+    for _ = 1 to cfg.block_len do
+      acc := random_straight st ~use_fp:cfg.use_fp !acc
+    done;
+    List.iter emit (List.rev !acc);
+    if cfg.use_calls && Random.State.int st 3 = 0 then
+      emit (Isa.Asm.call "leaf");
+    if cfg.use_recursion && Random.State.int st 4 = 0 then begin
+      (* bounded-recursive call: depth = small register value *)
+      emit (Isa.Asm.insn (I.Alui (I.And, 4, pick st gp_regs, 7)));
+      emit (Isa.Asm.call "recurse")
+    end;
+    if cfg.use_indirect && Random.State.int st 3 = 0 then begin
+      (* dispatch through the jump table on a data-dependent index *)
+      let join = fresh "join" in
+      emit (Isa.Asm.insn (I.Alui (I.And, 26, pick st gp_regs, 3)));
+      emit (Isa.Asm.insn (I.Alui (I.Sll, 26, 26, 2)));
+      emit (Isa.Asm.la 27 "dispatch");
+      emit (Isa.Asm.insn (I.Alu (I.Add, 27, 27, 26)));
+      emit (Isa.Asm.insn (I.Load (I.Lw, 27, 27, 0)));
+      emit (Isa.Asm.insn (I.Alu (I.Add, 24, 25, 0)));
+      emit (Isa.Asm.la 25 join);
+      emit (Isa.Asm.insn (I.Jr 27));
+      emit (Isa.Asm.label join);
+      emit (Isa.Asm.insn (I.Alu (I.Add, 25, 24, 0)))
+    end;
+    emit (Isa.Asm.label skip)
+  done;
+  let body = List.rev !body in
+  Isa.Asm.assemble
+    ([ Isa.Asm.data "scratch"
+         [ Isa.Asm.Words (List.init scratch_words (fun i -> i * 3)) ];
+       Isa.Asm.li Isa.Reg.sp Isa.Program.default_stack_top;
+       Isa.Asm.la 1 "scratch";
+       (* seed the general registers deterministically *)
+       Isa.Asm.li 2 (seed land 0xffff);
+       Isa.Asm.li 3 ((seed * 7) land 0xffff);
+       Isa.Asm.li 4 1;
+       Isa.Asm.li 5 2;
+       Isa.Asm.li 6 3;
+       Isa.Asm.li 7 5;
+       Isa.Asm.li 8 8;
+       Isa.Asm.li 9 13;
+       Isa.Asm.li 20 21;
+       Isa.Asm.li 21 34;
+       Isa.Asm.li 22 55;
+       Isa.Asm.li 23 89;
+       Isa.Asm.li 10 0;
+       Isa.Asm.li 11 cfg.outer_iters;
+       Isa.Asm.label "outer";
+       Isa.Asm.li 12 0;
+       Isa.Asm.li 13 cfg.inner_iters;
+       Isa.Asm.label "inner" ]
+    @ body
+    @ [ Isa.Asm.insn (I.Alui (I.Add, 12, 12, 1));
+        Isa.Asm.blt 12 13 "inner";
+        Isa.Asm.insn (I.Alui (I.Add, 10, 10, 1));
+        Isa.Asm.blt 10 11 "outer";
+        Isa.Asm.halt;
+        (* a leaf function with a little work *)
+        Isa.Asm.label "leaf";
+        Isa.Asm.insn (I.Alu (I.Add, 24, 2, 3));
+        Isa.Asm.insn (I.Alui (I.Sra, 24, 24, 1));
+        Isa.Asm.ret;
+        (* recurse(r4 = depth): real stack frames, returns r4 summed *)
+        Isa.Asm.label "recurse";
+        Isa.Asm.bgt 4 0 "recurse_go";
+        Isa.Asm.li 5 0;
+        Isa.Asm.ret;
+        Isa.Asm.label "recurse_go";
+        Isa.Asm.insn (I.Alui (I.Add, Isa.Reg.sp, Isa.Reg.sp, -8));
+        Isa.Asm.insn (I.Store (I.Sw, Isa.Reg.link, Isa.Reg.sp, 0));
+        Isa.Asm.insn (I.Store (I.Sw, 4, Isa.Reg.sp, 4));
+        Isa.Asm.insn (I.Alui (I.Add, 4, 4, -1));
+        Isa.Asm.call "recurse";
+        Isa.Asm.insn (I.Load (I.Lw, 4, Isa.Reg.sp, 4));
+        Isa.Asm.insn (I.Alu (I.Add, 5, 5, 4));
+        Isa.Asm.insn (I.Load (I.Lw, Isa.Reg.link, Isa.Reg.sp, 0));
+        Isa.Asm.insn (I.Alui (I.Add, Isa.Reg.sp, Isa.Reg.sp, 8));
+        Isa.Asm.ret;
+        (* jump-table cases: tweak a register and return via r25 *)
+        Isa.Asm.label "case0";
+        Isa.Asm.insn (I.Alui (I.Add, 20, 20, 3));
+        Isa.Asm.insn (I.Jr 25);
+        Isa.Asm.label "case1";
+        Isa.Asm.insn (I.Alui (I.Xor, 21, 21, 0x55));
+        Isa.Asm.insn (I.Jr 25);
+        Isa.Asm.label "case2";
+        Isa.Asm.insn (I.Alui (I.Sra, 22, 22, 1));
+        Isa.Asm.insn (I.Jr 25);
+        Isa.Asm.label "case3";
+        Isa.Asm.insn (I.Alu (I.Sub, 23, 23, 20));
+        Isa.Asm.insn (I.Jr 25);
+        Isa.Asm.data "dispatch"
+          [ Isa.Asm.Label_words [ "case0"; "case1"; "case2"; "case3" ] ] ])

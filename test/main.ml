@@ -1,0 +1,21 @@
+(* Test runner: one alcotest per subsystem plus the cross-engine
+   equivalence suite that checks the paper's central claim. *)
+
+let () =
+  Alcotest.run "fastsim"
+    [ ("isa", Test_isa.suite);
+      ("parse", Test_parse.suite);
+      ("memory", Test_memory.suite);
+      ("seq-queue", Test_seq_queue.suite);
+      ("emulator", Test_emulator.suite);
+      ("semantics", Test_semantics.suite);
+      ("speculation", Test_speculation.suite);
+      ("bpred", Test_bpred.suite);
+      ("cache", Test_cache.suite);
+      ("uarch", Test_uarch.suite);
+      ("memo", Test_memo.suite);
+      ("persist", Test_persist.suite);
+      ("baseline", Test_baseline.suite);
+      ("faults", Test_faults.suite);
+      ("workloads", Test_workloads.suite);
+      ("equivalence", Test_equivalence.suite) ]

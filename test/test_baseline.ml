@@ -1,0 +1,142 @@
+(* The SimpleScalar-style baseline: functional correctness of its in-loop
+   execution, in-order commit, and squash/recovery. *)
+
+let check = Alcotest.check
+
+(* Functional commit-order trace: step the emulator directly, rolling back
+   each misprediction as soon as it appears, so the address stream is the
+   architectural path. *)
+let functional_trace prog limit =
+  let emu = Emu.Emulator.create ~read_ahead:false
+      ~predictor:(Bpred.standard ~prog ()) prog
+  in
+  let out = ref [] and n = ref 0 in
+  let rec go () =
+    if !n >= limit then Alcotest.fail "functional trace too long"
+    else begin
+      let before = Emu.Emulator.outstanding emu in
+      let s = Emu.Emulator.step_one emu in
+      match s.Emu.Emulator.s_event with
+      | Some (Emu.Emulator.Halted _) -> ()
+      | _ ->
+        out := s.Emu.Emulator.s_addr :: !out;
+        incr n;
+        (* a fresh checkpoint = this branch was mispredicted; repair it
+           immediately so we stay on the architectural path *)
+        if Emu.Emulator.outstanding emu > before then
+          ignore
+            (Emu.Emulator.rollback_to emu
+               ~index:(Emu.Emulator.outstanding emu - 1)
+              : int);
+        go ()
+    end
+  in
+  go ();
+  List.rev !out
+
+let test_commit_stream_matches_functional () =
+  List.iter
+    (fun name ->
+      let w = Workloads.Suite.find name in
+      let prog = w.Workloads.Workload.build w.Workloads.Workload.test_scale in
+      let expected = functional_trace prog 3_000_000 in
+      let committed = Baseline.run_trace prog in
+      check Alcotest.int
+        (name ^ " trace length")
+        (List.length expected) (List.length committed);
+      List.iter2
+        (fun a b ->
+          if a <> b then
+            Alcotest.failf "%s: commit trace diverges: 0x%x vs 0x%x" name a b)
+        expected committed)
+    [ "go"; "m88ksim"; "li" ]
+
+let test_final_state_matches_functional () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let prog = w.build w.test_scale in
+      let st, _, n = Fastsim.Sim.functional prog in
+      let b = Baseline.run prog in
+      check Alcotest.int (w.name ^ " retired") (n + 1) b.Baseline.retired;
+      check Alcotest.bool (w.name ^ " final state") true
+        (Emu.Arch_state.equal st b.Baseline.final_state))
+    Workloads.Suite.all
+
+let test_determinism () =
+  let w = Workloads.Suite.find "perl" in
+  let prog = w.Workloads.Workload.build 3 in
+  let a = Baseline.run prog in
+  let b = Baseline.run prog in
+  check Alcotest.int "cycles" a.Baseline.cycles b.Baseline.cycles;
+  check Alcotest.int "mispredicts" a.Baseline.mispredicts
+    b.Baseline.mispredicts
+
+let test_small_ruu_still_correct () =
+  let w = Workloads.Suite.find "compress" in
+  let prog = w.Workloads.Workload.build 1 in
+  let st, _, n = Fastsim.Sim.functional prog in
+  let b = Baseline.run ~ruu_size:8 ~lsq_size:4 ~fetch_width:2 prog in
+  check Alcotest.int "retired" (n + 1) b.Baseline.retired;
+  check Alcotest.bool "state" true
+    (Emu.Arch_state.equal st b.Baseline.final_state)
+
+let random_baseline_prop =
+  QCheck.Test.make ~name:"baseline state == functional on random programs"
+    ~count:15
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let prog =
+        Gen.program_of_seed
+          ~cfg:{ Gen.default_cfg with outer_iters = 2; inner_iters = 5 }
+          seed
+      in
+      let st, _, n = Fastsim.Sim.functional prog in
+      let b = Baseline.run prog in
+      b.Baseline.retired = n + 1
+      && Emu.Arch_state.equal st b.Baseline.final_state)
+
+(* --- the in-order approximation strawman --- *)
+
+let test_inorder_counts () =
+  let w = Workloads.Suite.find "li" in
+  let prog = w.Workloads.Workload.build w.Workloads.Workload.test_scale in
+  let _, _, n = Fastsim.Sim.functional prog in
+  let a = Baseline.Inorder.run prog in
+  check Alcotest.int "retires the architectural path" n a.Baseline.Inorder.retired;
+  (* single-issue: at least one cycle per instruction *)
+  check Alcotest.bool "cycles >= insts" true (a.Baseline.Inorder.cycles >= n);
+  let b = Baseline.Inorder.run prog in
+  check Alcotest.int "deterministic" a.Baseline.Inorder.cycles
+    b.Baseline.Inorder.cycles
+
+let test_inorder_error_varies () =
+  (* the approximation's error relative to the cycle-accurate model is not
+     a constant factor across workloads (Pai et al.) *)
+  let ratio name =
+    let w = Workloads.Suite.find name in
+    let prog = w.Workloads.Workload.build w.Workloads.Workload.test_scale in
+    let ooo = Fastsim.Sim.slow_sim prog in
+    let a = Baseline.Inorder.run prog in
+    float_of_int a.Baseline.Inorder.cycles
+    /. float_of_int ooo.Fastsim.Sim.cycles
+  in
+  let r1 = ratio "hydro2d" and r2 = ratio "li" in
+  check Alcotest.bool "in-order always slower" true (r1 > 1.0 && r2 > 1.0);
+  check Alcotest.bool "error is workload-dependent" true
+    (Float.abs (r1 -. r2) > 0.3)
+
+
+let suite =
+  [ Alcotest.test_case "commit stream matches functional" `Quick
+      test_commit_stream_matches_functional;
+    Alcotest.test_case "final state matches functional (all kernels)"
+      `Quick test_final_state_matches_functional;
+    Alcotest.test_case "deterministic" `Quick test_determinism;
+    Alcotest.test_case "small RUU still correct" `Quick
+      test_small_ruu_still_correct;
+    QCheck_alcotest.to_alcotest random_baseline_prop;
+    Alcotest.test_case "in-order approximation counts" `Quick
+      test_inorder_counts;
+    Alcotest.test_case "in-order error varies by workload" `Quick
+      test_inorder_error_varies ]
+

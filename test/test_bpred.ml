@@ -1,0 +1,113 @@
+(* Branch predictors: 2-bit counters, BTB, return-address stack. *)
+
+let check = Alcotest.check
+
+let test_twobit_saturation () =
+  let t = Bpred.Twobit.create () in
+  check Alcotest.int "entries" 512 (Bpred.Twobit.entries t);
+  let pc = 0x1000 in
+  (* starts weakly not-taken *)
+  check Alcotest.bool "initial" false (Bpred.Twobit.predict t ~pc);
+  Bpred.Twobit.train t ~pc ~taken:true;
+  check Alcotest.bool "one taken flips" true (Bpred.Twobit.predict t ~pc);
+  Bpred.Twobit.train t ~pc ~taken:true;
+  Bpred.Twobit.train t ~pc ~taken:true;
+  (* saturated at 3: one not-taken keeps the taken prediction *)
+  Bpred.Twobit.train t ~pc ~taken:false;
+  check Alcotest.bool "hysteresis" true (Bpred.Twobit.predict t ~pc);
+  Bpred.Twobit.train t ~pc ~taken:false;
+  check Alcotest.bool "two not-taken flip" false (Bpred.Twobit.predict t ~pc)
+
+let test_twobit_aliasing () =
+  let t = Bpred.Twobit.create ~entries:512 () in
+  (* pcs 512 words apart share an entry *)
+  Bpred.Twobit.train t ~pc:0x1000 ~taken:true;
+  check Alcotest.bool "alias" true
+    (Bpred.Twobit.predict t ~pc:(0x1000 + (512 * 4)));
+  check Alcotest.bool "distinct" false (Bpred.Twobit.predict t ~pc:0x1004)
+
+let test_twobit_bad_size () =
+  match Bpred.Twobit.create ~entries:100 () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_btb () =
+  let t = Bpred.Btb.create () in
+  check (Alcotest.option Alcotest.int) "cold miss" None
+    (Bpred.Btb.predict t ~pc:0x2000);
+  Bpred.Btb.train t ~pc:0x2000 ~target:0x5000;
+  check (Alcotest.option Alcotest.int) "hit" (Some 0x5000)
+    (Bpred.Btb.predict t ~pc:0x2000);
+  (* conflicting pc evicts (direct-mapped, tagged) *)
+  Bpred.Btb.train t ~pc:(0x2000 + (64 * 4)) ~target:0x6000;
+  check (Alcotest.option Alcotest.int) "evicted" None
+    (Bpred.Btb.predict t ~pc:0x2000)
+
+let test_ras () =
+  let t = Bpred.Ras.create ~depth:4 () in
+  check (Alcotest.option Alcotest.int) "empty pop" None (Bpred.Ras.pop t);
+  Bpred.Ras.push t 0x100;
+  Bpred.Ras.push t 0x200;
+  check Alcotest.int "depth" 2 (Bpred.Ras.depth t);
+  check (Alcotest.option Alcotest.int) "lifo" (Some 0x200) (Bpred.Ras.pop t);
+  check (Alcotest.option Alcotest.int) "lifo 2" (Some 0x100)
+    (Bpred.Ras.pop t);
+  (* overflow wraps: oldest entries are lost *)
+  List.iter (Bpred.Ras.push t) [ 1; 2; 3; 4; 5 ];
+  check Alcotest.int "capped depth" 4 (Bpred.Ras.depth t);
+  check (Alcotest.option Alcotest.int) "newest" (Some 5) (Bpred.Ras.pop t)
+
+let test_standard_predicts_returns () =
+  (* a call/return pair: with the RAS the return's target is predicted *)
+  let prog =
+    Workloads.Dsl.(
+      assemble
+        [ li 10 0;
+          li 11 4;
+          label "loop";
+          call "fn";
+          addi 10 10 1;
+          blt 10 11 "loop";
+          halt;
+          label "fn";
+          nop;
+          ret ])
+  in
+  let hits = ref 0 and total = ref 0 in
+  let emu = Emu.Emulator.create ~predictor:(Bpred.standard ~prog ()) prog in
+  let rec drive () =
+    match Emu.Emulator.next_event emu with
+    | Emu.Emulator.Indirect { target; predicted; _ } ->
+      incr total;
+      if predicted = Some target then incr hits;
+      drive ()
+    | Emu.Emulator.Cond _ -> drive ()
+    | Emu.Emulator.Wedged _ ->
+      ignore (Emu.Emulator.rollback_to emu ~index:0 : int);
+      drive ()
+    | Emu.Emulator.Halted _ ->
+      if Emu.Emulator.outstanding emu > 0 then begin
+        ignore (Emu.Emulator.rollback_to emu ~index:0 : int);
+        drive ()
+      end
+  in
+  drive ();
+  (* wrong-path execution can run extra returns before rollback *)
+  check Alcotest.bool "returns seen" true (!total >= 4);
+  check Alcotest.bool "RAS predicted most returns" true (!hits >= 3)
+
+let test_static_predictors () =
+  let nt = Bpred.static_not_taken () in
+  let tk = Bpred.static_taken () in
+  check Alcotest.bool "nt" false (nt.Emu.Predictor.predict_cond ~pc:0);
+  check Alcotest.bool "tk" true (tk.Emu.Predictor.predict_cond ~pc:0)
+
+let suite =
+  [ Alcotest.test_case "2-bit saturation" `Quick test_twobit_saturation;
+    Alcotest.test_case "2-bit aliasing" `Quick test_twobit_aliasing;
+    Alcotest.test_case "2-bit size check" `Quick test_twobit_bad_size;
+    Alcotest.test_case "btb" `Quick test_btb;
+    Alcotest.test_case "ras" `Quick test_ras;
+    Alcotest.test_case "standard predicts returns" `Quick
+      test_standard_predicts_returns;
+    Alcotest.test_case "static predictors" `Quick test_static_predictors ]

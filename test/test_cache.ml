@@ -1,0 +1,200 @@
+(* Cache hierarchy timing model: hits, misses, LRU, MSHR merging, bus
+   contention, write-through/write-back behaviour. *)
+
+let check = Alcotest.check
+
+let cfg = Cachesim.Config.default
+
+let test_l1_hit_after_fill () =
+  let c = Cachesim.Hierarchy.create () in
+  let miss = Cachesim.Hierarchy.load c ~now:0 ~addr:0x1000 in
+  check Alcotest.bool "cold miss is slow" true (miss > cfg.l1_hit_latency);
+  (* after the fill completes, the same line hits *)
+  let hit = Cachesim.Hierarchy.load c ~now:(miss + 1) ~addr:0x1004 in
+  check Alcotest.int "hit latency" cfg.l1_hit_latency hit;
+  let s = Cachesim.Hierarchy.stats c in
+  check Alcotest.int "1 miss" 1 s.l1_misses;
+  check Alcotest.int "1 hit" 1 s.l1_hits
+
+let test_l2_hit_faster_than_memory () =
+  let c = Cachesim.Hierarchy.create () in
+  let mem_miss = Cachesim.Hierarchy.load c ~now:0 ~addr:0x10000 in
+  (* evict from L1 but not from the much larger L2: touch enough lines
+     mapping to the same L1 set. L1 16KB 2-way: stride = 8KB *)
+  let t = ref (mem_miss + 10) in
+  List.iter
+    (fun k ->
+      let lat =
+        Cachesim.Hierarchy.load c ~now:!t ~addr:(0x10000 + (k * 8192))
+      in
+      t := !t + lat + 5)
+    [ 1; 2 ];
+  let l2_hit = Cachesim.Hierarchy.load c ~now:!t ~addr:0x10000 in
+  check Alcotest.bool "L2 hit beats memory" true (l2_hit < mem_miss);
+  check Alcotest.bool "L2 hit slower than L1" true
+    (l2_hit > cfg.l1_hit_latency)
+
+let test_mshr_merge () =
+  let c = Cachesim.Hierarchy.create () in
+  let first = Cachesim.Hierarchy.load c ~now:0 ~addr:0x2000 in
+  (* a second load to the same line while the fill is outstanding merges *)
+  let second = Cachesim.Hierarchy.load c ~now:1 ~addr:0x2008 in
+  check Alcotest.int "merged completion" (first - 1) second;
+  let s = Cachesim.Hierarchy.stats c in
+  check Alcotest.int "merge counted" 1 s.merged_misses
+
+let test_bus_contention () =
+  let c = Cachesim.Hierarchy.create () in
+  (* two misses to different lines at the same time: the second's data
+     transfer queues behind the first's *)
+  let a = Cachesim.Hierarchy.load c ~now:0 ~addr:0x3000 in
+  let b = Cachesim.Hierarchy.load c ~now:0 ~addr:0x4000 in
+  check Alcotest.bool "second delayed" true (b > a)
+
+let test_lru_eviction () =
+  let tiny = Cachesim.Config.tiny in
+  (* L1: 256 B, 2-way, 32 B lines -> 4 sets; same set stride = 128 B *)
+  let c = Cachesim.Hierarchy.create ~config:tiny () in
+  let t = ref 0 in
+  let access addr =
+    let lat = Cachesim.Hierarchy.load c ~now:!t ~addr in
+    t := !t + lat + 2;
+    lat
+  in
+  ignore (access 0x0000 : int);   (* miss: way 0 *)
+  ignore (access 0x0080 : int);   (* miss: way 1 *)
+  ignore (access 0x0000 : int);   (* hit: refresh LRU of way 0 *)
+  ignore (access 0x0100 : int);   (* miss: evicts 0x80, the LRU *)
+  let hit = access 0x0000 in
+  check Alcotest.int "0x0 still resident" tiny.l1_hit_latency hit;
+  let miss = access 0x0080 in
+  check Alcotest.bool "0x80 was evicted" true (miss > tiny.l1_hit_latency)
+
+let test_write_through_traffic () =
+  let c = Cachesim.Hierarchy.create () in
+  (* stores reach the L2 even on L1 hits *)
+  let lat = Cachesim.Hierarchy.load c ~now:0 ~addr:0x5000 in
+  Cachesim.Hierarchy.store c ~now:(lat + 1) ~addr:0x5000;
+  let s = Cachesim.Hierarchy.stats c in
+  check Alcotest.int "store counted" 1 s.stores;
+  check Alcotest.bool "L2 sees the write" true (s.l2_hits >= 1)
+
+let test_writeback_on_dirty_eviction () =
+  let tiny = Cachesim.Config.tiny in
+  (* L2: 4 KB, 2-way, 32 B lines -> 64 sets; same-set stride 2 KB *)
+  let c = Cachesim.Hierarchy.create ~config:tiny () in
+  Cachesim.Hierarchy.store c ~now:0 ~addr:0x0;  (* dirties an L2 line *)
+  let t = ref 100 in
+  (* force eviction of that L2 set with three more lines *)
+  List.iter
+    (fun k ->
+      let lat = Cachesim.Hierarchy.load c ~now:!t ~addr:(k * 2048) in
+      t := !t + lat + 2)
+    [ 1; 2; 3 ];
+  let s = Cachesim.Hierarchy.stats c in
+  check Alcotest.bool "a write-back happened" true (s.writebacks >= 1)
+
+let test_determinism () =
+  let run () =
+    let c = Cachesim.Hierarchy.create () in
+    let t = ref 0 in
+    let out = ref [] in
+    List.iter
+      (fun (addr : int) ->
+        let lat = Cachesim.Hierarchy.load c ~now:!t ~addr in
+        out := lat :: !out;
+        t := !t + 3)
+      (List.init 200 (fun i -> (i * 1337 * 64) land 0xfffff));
+    !out
+  in
+  check (Alcotest.list Alcotest.int) "same latencies" (run ()) (run ())
+
+let test_reset_stats () =
+  let c = Cachesim.Hierarchy.create () in
+  ignore (Cachesim.Hierarchy.load c ~now:0 ~addr:0 : int);
+  Cachesim.Hierarchy.reset_stats c;
+  let s = Cachesim.Hierarchy.stats c in
+  check Alcotest.int "cleared" 0 (s.loads + s.l1_misses)
+
+let monotonic_prop =
+  QCheck.Test.make ~name:"latencies are positive and bounded" ~count:200
+    QCheck.(pair (int_bound 0xffff) (int_bound 1000))
+    (fun (a, now) ->
+      let c = Cachesim.Hierarchy.create () in
+      let lat = Cachesim.Hierarchy.load c ~now ~addr:(a * 4) in
+      lat >= 1 && lat < 10_000)
+
+(* Model-based property: the tag array must behave exactly like a
+   reference implementation built on association lists. *)
+let setassoc_model_prop =
+  QCheck.Test.make ~name:"setassoc matches reference LRU model" ~count:300
+    QCheck.(list (pair (int_bound 63) bool))
+    (fun ops ->
+      (* 4 sets x 2 ways of 32 B lines; addresses = line_index * 32 *)
+      let sut = Cachesim.Setassoc.create ~size:256 ~ways:2 ~line:32 in
+      (* reference: per set, a most-recent-first list of tags, max 2 *)
+      let model = Array.make 4 [] in
+      let ok = ref true in
+      List.iter
+        (fun (line_idx, is_fill) ->
+          let addr = line_idx * 32 in
+          let set = line_idx land 3 in
+          let present = List.mem line_idx model.(set) in
+          if is_fill then begin
+            if not present then begin
+              ignore
+                (Cachesim.Setassoc.fill sut addr ~dirty:false
+                  : Cachesim.Setassoc.fill_result);
+              model.(set) <-
+                line_idx
+                :: (if List.length model.(set) >= 2 then
+                      [ List.hd model.(set) ]
+                    else model.(set))
+            end
+          end
+          else begin
+            let hit = Cachesim.Setassoc.touch sut addr in
+            if hit <> present then ok := false;
+            if present then
+              model.(set) <-
+                line_idx :: List.filter (fun t -> t <> line_idx) model.(set)
+          end)
+        ops;
+      !ok)
+
+let test_l2_wide_lines () =
+  (* with 128 B L2 lines, four different 32 B L1 lines inside one L2 line
+     miss L1 but hit L2 after the first fill *)
+  let c = Cachesim.Hierarchy.create () in
+  let first = Cachesim.Hierarchy.load c ~now:0 ~addr:0x20000 in
+  let t = ref (first + 4) in
+  List.iter
+    (fun off ->
+      let lat = Cachesim.Hierarchy.load c ~now:!t ~addr:(0x20000 + off) in
+      check Alcotest.bool
+        (Printf.sprintf "offset %d is an L2 hit" off)
+        true
+        (lat > cfg.l1_hit_latency && lat < first);
+      t := !t + lat + 4)
+    [ 32; 64; 96 ];
+  let s = Cachesim.Hierarchy.stats c in
+  check Alcotest.int "one memory access" 1 s.l2_misses;
+  check Alcotest.int "three L2 hits" 3 s.l2_hits
+
+let suite =
+  [ Alcotest.test_case "L1 hit after fill" `Quick test_l1_hit_after_fill;
+    Alcotest.test_case "L2 vs memory" `Quick test_l2_hit_faster_than_memory;
+    Alcotest.test_case "MSHR merge" `Quick test_mshr_merge;
+    Alcotest.test_case "bus contention" `Quick test_bus_contention;
+    Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+    Alcotest.test_case "write-through traffic" `Quick
+      test_write_through_traffic;
+    Alcotest.test_case "write-back on dirty eviction" `Quick
+      test_writeback_on_dirty_eviction;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "reset stats" `Quick test_reset_stats;
+    QCheck_alcotest.to_alcotest monotonic_prop;
+    QCheck_alcotest.to_alcotest setassoc_model_prop;
+    Alcotest.test_case "L2 wide lines" `Quick test_l2_wide_lines ]
+
+

@@ -1,0 +1,169 @@
+(* THE paper's central claim: FastSim (memoized) produces exactly the same
+   cycle counts and statistics as SlowSim (detailed-only), on every
+   program, under every replacement policy. "Fast-forwarding ... produces
+   exactly the same, cycle-accurate result as conventional simulation." *)
+
+let check = Alcotest.check
+
+let assert_equivalent ?policy prog =
+  let slow = Fastsim.Sim.slow_sim ~max_cycles:20_000_000 prog in
+  let fast = Fastsim.Sim.fast_sim ?policy ~max_cycles:20_000_000 prog in
+  check Alcotest.int "cycles" slow.Fastsim.Sim.cycles fast.Fastsim.Sim.cycles;
+  check Alcotest.int "retired" slow.Fastsim.Sim.retired
+    fast.Fastsim.Sim.retired;
+  check Alcotest.int "emulated" slow.Fastsim.Sim.emulated_insts
+    fast.Fastsim.Sim.emulated_insts;
+  check Alcotest.int "wrong path" slow.Fastsim.Sim.wrong_path_insts
+    fast.Fastsim.Sim.wrong_path_insts;
+  check Alcotest.bool "final state" true
+    (Emu.Arch_state.equal slow.Fastsim.Sim.final_state
+       fast.Fastsim.Sim.final_state);
+  (* identical cache behaviour, interaction for interaction *)
+  check Alcotest.int "cache loads" slow.Fastsim.Sim.cache.loads
+    fast.Fastsim.Sim.cache.loads;
+  check Alcotest.int "l1 misses" slow.Fastsim.Sim.cache.l1_misses
+    fast.Fastsim.Sim.cache.l1_misses;
+  check Alcotest.int "l2 misses" slow.Fastsim.Sim.cache.l2_misses
+    fast.Fastsim.Sim.cache.l2_misses;
+  check Alcotest.int "conditional branches"
+    slow.Fastsim.Sim.branches.conditionals
+    fast.Fastsim.Sim.branches.conditionals;
+  check Alcotest.int "mispredictions" slow.Fastsim.Sim.branches.mispredicted
+    fast.Fastsim.Sim.branches.mispredicted;
+  check Alcotest.int "indirects" slow.Fastsim.Sim.branches.indirects
+    fast.Fastsim.Sim.branches.indirects;
+  (slow, fast)
+
+let test_workload name () =
+  let w = Workloads.Suite.find name in
+  ignore (assert_equivalent (w.Workloads.Workload.build w.test_scale))
+
+let test_retired_matches_functional () =
+  let w = Workloads.Suite.find "gcc" in
+  let prog = w.Workloads.Workload.build w.test_scale in
+  let _, _, n = Fastsim.Sim.functional prog in
+  let slow, _ = assert_equivalent prog in
+  (* retired counts the Halt as well *)
+  check Alcotest.int "retired = insts + 1" (n + 1) slow.Fastsim.Sim.retired
+
+let test_fast_actually_replays () =
+  let w = Workloads.Suite.find "perl" in
+  let prog = w.Workloads.Workload.build 50 in
+  let fast = Fastsim.Sim.fast_sim prog in
+  match fast.Fastsim.Sim.memo with
+  | None -> Alcotest.fail "memo stats expected"
+  | Some m ->
+    check Alcotest.bool "replay dominates" true
+      (Memo.Stats.detailed_fraction m < 0.2);
+    check Alcotest.bool "chains formed" true (m.actions_replayed > 100)
+
+let policies =
+  [ ("unbounded", Memo.Pcache.Unbounded);
+    ("flush-16k", Memo.Pcache.Flush_on_full 16_384);
+    ("flush-2k", Memo.Pcache.Flush_on_full 2_048);
+    ("copying-16k", Memo.Pcache.Copying_gc 16_384);
+    ("generational", Memo.Pcache.Generational_gc { nursery = 4096; total = 16_384 }) ]
+
+let test_policy_equivalence (pname, policy) () =
+  (* run two representative kernels under a tight budget *)
+  List.iter
+    (fun wname ->
+      let w = Workloads.Suite.find wname in
+      ignore (assert_equivalent ~policy (w.Workloads.Workload.build w.test_scale)))
+    [ "go"; "tomcatv" ];
+  ignore pname
+
+let random_equivalence_prop =
+  QCheck.Test.make ~name:"slow == fast on random programs" ~count:25
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let prog =
+        Gen.program_of_seed
+          ~cfg:{ Gen.default_cfg with outer_iters = 3; inner_iters = 6 }
+          seed
+      in
+      let slow = Fastsim.Sim.slow_sim prog in
+      let fast = Fastsim.Sim.fast_sim prog in
+      slow.Fastsim.Sim.cycles = fast.Fastsim.Sim.cycles
+      && slow.Fastsim.Sim.retired = fast.Fastsim.Sim.retired
+      && Emu.Arch_state.equal slow.Fastsim.Sim.final_state
+           fast.Fastsim.Sim.final_state)
+
+let random_policy_equivalence_prop =
+  QCheck.Test.make ~name:"slow == fast under tiny flush budget (random)"
+    ~count:10
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let prog =
+        Gen.program_of_seed
+          ~cfg:{ Gen.default_cfg with outer_iters = 3; inner_iters = 6 }
+          seed
+      in
+      let slow = Fastsim.Sim.slow_sim prog in
+      let fast =
+        Fastsim.Sim.fast_sim ~policy:(Memo.Pcache.Flush_on_full 1024) prog
+      in
+      slow.Fastsim.Sim.cycles = fast.Fastsim.Sim.cycles
+      && slow.Fastsim.Sim.retired = fast.Fastsim.Sim.retired)
+
+let test_predictor_variants () =
+  List.iter
+    (fun predictor ->
+      let w = Workloads.Suite.find "compress" in
+      let prog = w.Workloads.Workload.build 1 in
+      let slow = Fastsim.Sim.slow_sim ~predictor prog in
+      let fast = Fastsim.Sim.fast_sim ~predictor prog in
+      check Alcotest.int "cycles" slow.Fastsim.Sim.cycles
+        fast.Fastsim.Sim.cycles)
+    [ Fastsim.Sim.Standard; Fastsim.Sim.Not_taken; Fastsim.Sim.Taken ]
+
+let test_cache_config_variants () =
+  let w = Workloads.Suite.find "vortex" in
+  let prog = w.Workloads.Workload.build 1 in
+  let cache_config = Cachesim.Config.tiny in
+  let slow = Fastsim.Sim.slow_sim ~cache_config prog in
+  let fast = Fastsim.Sim.fast_sim ~cache_config prog in
+  check Alcotest.int "cycles under tiny cache" slow.Fastsim.Sim.cycles
+    fast.Fastsim.Sim.cycles
+
+let test_class_histograms_equal () =
+  List.iter
+    (fun name ->
+      let w = Workloads.Suite.find name in
+      let prog = w.Workloads.Workload.build w.Workloads.Workload.test_scale in
+      let slow = Fastsim.Sim.slow_sim prog in
+      let fast = Fastsim.Sim.fast_sim prog in
+      check
+        Alcotest.(array int)
+        (name ^ " per-class retirement")
+        slow.Fastsim.Sim.retired_by_class fast.Fastsim.Sim.retired_by_class;
+      check Alcotest.int
+        (name ^ " histogram sums to retired")
+        slow.Fastsim.Sim.retired
+        (Array.fold_left ( + ) 0 slow.Fastsim.Sim.retired_by_class))
+    [ "go"; "perl"; "tomcatv"; "wave5" ]
+
+let suite =
+  List.map
+    (fun (w : Workloads.Workload.t) ->
+      Alcotest.test_case ("equivalence " ^ w.name) `Quick
+        (test_workload w.short))
+    Workloads.Suite.all
+  @ [ Alcotest.test_case "retired = functional + 1" `Quick
+        test_retired_matches_functional;
+      Alcotest.test_case "fast actually replays" `Quick
+        test_fast_actually_replays ]
+  @ List.map
+      (fun p ->
+        Alcotest.test_case
+          ("policy equivalence: " ^ fst p)
+          `Quick (test_policy_equivalence p))
+      policies
+  @ [ QCheck_alcotest.to_alcotest random_equivalence_prop;
+      QCheck_alcotest.to_alcotest random_policy_equivalence_prop;
+      Alcotest.test_case "predictor variants" `Quick test_predictor_variants;
+      Alcotest.test_case "cache config variants" `Quick
+        test_cache_config_variants;
+      Alcotest.test_case "per-class histograms equal" `Quick
+        test_class_histograms_equal ]
+

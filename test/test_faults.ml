@@ -1,0 +1,148 @@
+(* Failure injection: malformed snapshots, corrupted caches, deadlocks,
+   and driver limits all surface as the documented exceptions rather than
+   silent wrong answers. *)
+
+let check = Alcotest.check
+
+let prog = (Workloads.Suite.find "li").Workloads.Workload.build 1
+
+let test_snapshot_decode_rejects_garbage () =
+  let bad k =
+    match Uarch.Snapshot.decode prog ~capacity:32 k with
+    | _ -> Alcotest.failf "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+    | exception Isa.Program.Fault _ -> ()
+  in
+  bad "";
+  bad "short";
+  (* plausible header, wrong length *)
+  let b = Bytes.make 11 '\000' in
+  Bytes.set b 5 (Char.chr 7);
+  bad (Bytes.to_string b);
+  (* bad fetch tag *)
+  let b = Bytes.make 11 '\000' in
+  Bytes.set b 0 (Char.chr 9);
+  bad (Bytes.to_string b)
+
+let test_snapshot_decode_rejects_foreign_addresses () =
+  (* a well-formed key whose oldest address is outside this program *)
+  let uarch = Uarch.Detailed.create prog in
+  let other = (Workloads.Suite.find "go").Workloads.Workload.build 1 in
+  ignore uarch;
+  let uarch2 = Uarch.Detailed.create other in
+  (* run a few cycles against a trivial oracle to get entries in flight *)
+  let emu = Emu.Emulator.create ~predictor:(Bpred.standard ~prog:other ()) other in
+  let cache = Cachesim.Hierarchy.create () in
+  let oracle : Uarch.Oracle.t =
+    { cache_load =
+        (fun ~now ->
+          let l = Emu.Emulator.pop_load emu in
+          Cachesim.Hierarchy.load cache ~now ~addr:l.Emu.Emulator.l_addr);
+      cache_store =
+        (fun ~now ->
+          let s = Emu.Emulator.pop_store emu in
+          Cachesim.Hierarchy.store cache ~now ~addr:s.Emu.Emulator.s_addr);
+      fetch_control =
+        (fun () ->
+          match Emu.Emulator.next_event emu with
+          | Emu.Emulator.Cond { taken; predicted_taken; _ } ->
+            Uarch.Oracle.C_cond
+              { taken; mispredicted = taken <> predicted_taken }
+          | Emu.Emulator.Indirect { target; predicted; _ } ->
+            Uarch.Oracle.C_indirect { target; hit = predicted = Some target }
+          | _ -> Uarch.Oracle.C_stalled);
+      rollback =
+        (fun ~index -> ignore (Emu.Emulator.rollback_to emu ~index : int)) }
+  in
+  for i = 0 to 9 do
+    ignore
+      (Uarch.Detailed.step_cycle uarch2 ~now:i oracle
+        : Uarch.Detailed.cycle_result)
+  done;
+  let key = Uarch.Detailed.snapshot uarch2 in
+  (* go's code segment is longer than li's at these scales, so go's
+     addresses can exceed li's code segment. If they happen to be valid in
+     [prog], decode succeeds but produces different instructions — the
+     point is that it never crashes unpredictably. *)
+  match Uarch.Snapshot.decode prog ~capacity:32 key with
+  | _ -> ()
+  | exception Isa.Program.Fault _ -> ()
+  | exception Invalid_argument _ -> ()
+
+let test_deadlock_on_infinite_cond_loop () =
+  (* an architecturally infinite loop (with control events, so the
+     emulator keeps yielding): the cycle limit must fire *)
+  let p =
+    Workloads.Dsl.(
+      assemble [ li 1 1; label "spin"; nop; beq 1 1 "spin"; halt ])
+  in
+  (match Fastsim.Sim.slow_sim ~max_cycles:50_000 p with
+   | _ -> Alcotest.fail "expected Deadlock"
+   | exception Fastsim.Sim.Deadlock _ -> ());
+  match Fastsim.Sim.fast_sim ~max_cycles:50_000 p with
+  | _ -> Alcotest.fail "expected Deadlock"
+  | exception Fastsim.Sim.Deadlock _ -> ()
+
+let test_max_cycles_limit () =
+  let w = Workloads.Suite.find "compress" in
+  let big = w.Workloads.Workload.build 50 in
+  (match Fastsim.Sim.slow_sim ~max_cycles:1000 big with
+   | _ -> Alcotest.fail "expected cycle-limit Deadlock"
+   | exception Fastsim.Sim.Deadlock _ -> ());
+  match Fastsim.Sim.fast_sim ~max_cycles:1000 big with
+  | _ -> Alcotest.fail "expected cycle-limit Deadlock"
+  | exception Fastsim.Sim.Deadlock _ -> ()
+
+let test_architectural_misalignment_faults () =
+  let p =
+    Workloads.Dsl.(assemble [ li 1 0x2002; lw 2 1 1; halt ])
+  in
+  List.iter
+    (fun run ->
+      match run p with
+      | () -> Alcotest.fail "expected Fault"
+      | exception Emu.Emulator.Fault _ -> ())
+    [ (fun p -> ignore (Fastsim.Sim.functional p
+                        : Emu.Arch_state.t * Emu.Memory.t * int));
+      (fun p -> ignore (Fastsim.Sim.slow_sim p : Fastsim.Sim.result));
+      (fun p -> ignore (Fastsim.Sim.fast_sim p : Fastsim.Sim.result));
+      (fun p -> ignore (Baseline.run p : Baseline.result)) ]
+
+let test_rollback_bad_index () =
+  (* a branch-free program can have no outstanding checkpoints *)
+  let p = Workloads.Dsl.(assemble [ nop; halt ]) in
+  let emu = Emu.Emulator.create p in
+  match Emu.Emulator.rollback_to emu ~index:0 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_pipeline_capacity_errors () =
+  let iq = Uarch.Pipeline.create ~capacity:2 in
+  let e () = Uarch.Pipeline.entry_of_addr prog prog.Isa.Program.code_base in
+  Uarch.Pipeline.push iq (e ());
+  Uarch.Pipeline.push iq (e ());
+  (match Uarch.Pipeline.push iq (e ()) with
+   | _ -> Alcotest.fail "expected full"
+   | exception Invalid_argument _ -> ());
+  check Alcotest.int "len" 2 (Uarch.Pipeline.length iq);
+  (match Uarch.Pipeline.get iq 5 with
+   | _ -> Alcotest.fail "expected bounds error"
+   | exception Invalid_argument _ -> ());
+  Uarch.Pipeline.truncate iq 0;
+  match Uarch.Pipeline.pop iq with
+  | _ -> Alcotest.fail "expected empty"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [ Alcotest.test_case "snapshot decode rejects garbage" `Quick
+      test_snapshot_decode_rejects_garbage;
+    Alcotest.test_case "snapshot decode vs foreign program" `Quick
+      test_snapshot_decode_rejects_foreign_addresses;
+    Alcotest.test_case "deadlock on infinite cond loop" `Quick
+      test_deadlock_on_infinite_cond_loop;
+    Alcotest.test_case "max-cycles limit" `Quick test_max_cycles_limit;
+    Alcotest.test_case "architectural misalignment faults" `Quick
+      test_architectural_misalignment_faults;
+    Alcotest.test_case "rollback bad index" `Quick test_rollback_bad_index;
+    Alcotest.test_case "pipeline capacity errors" `Quick
+      test_pipeline_capacity_errors ]

@@ -1,0 +1,247 @@
+(* ISA tests: encoding round-trips, operand classification, the assembler. *)
+
+module I = Isa.Instr
+
+let check = Alcotest.check
+let instr = Alcotest.testable I.pp I.equal
+
+(* A generator over every instruction shape with valid fields. *)
+let arbitrary_instr =
+  let open QCheck in
+  let reg = Gen.int_range 0 31 in
+  let imm16 = Gen.int_range (-32768) 32767 in
+  let uimm16 = Gen.int_range 0 65535 in
+  let shamt = Gen.int_range 0 31 in
+  let gen =
+    Gen.oneof
+      [ Gen.map3 (fun op rd (rs1, rs2) -> I.Alu (op, rd, rs1, rs2))
+          (Gen.oneofl
+             [ I.Add; I.Sub; I.And; I.Or; I.Xor; I.Sll; I.Srl; I.Sra;
+               I.Slt; I.Sltu ])
+          reg (Gen.pair reg reg);
+        Gen.map3
+          (fun op rd (rs1, imm, uimm, sh) ->
+            let i =
+              match op with
+              | I.Sll | I.Srl | I.Sra -> sh
+              | I.And | I.Or | I.Xor -> uimm
+              | _ -> imm
+            in
+            I.Alui (op, rd, rs1, i))
+          (Gen.oneofl
+             [ I.Add; I.Sub; I.And; I.Or; I.Xor; I.Sll; I.Srl; I.Sra;
+               I.Slt; I.Sltu ])
+          reg
+          (Gen.map (fun ((a, b), (c, d)) -> (a, b, c, d))
+             (Gen.pair (Gen.pair reg imm16) (Gen.pair uimm16 shamt)));
+        Gen.map2 (fun rd imm -> I.Lui (rd, imm)) reg uimm16;
+        Gen.map3 (fun rd rs1 rs2 -> I.Mul (rd, rs1, rs2)) reg reg reg;
+        Gen.map3 (fun rd rs1 rs2 -> I.Div (rd, rs1, rs2)) reg reg reg;
+        Gen.map3 (fun rd rs1 rs2 -> I.Rem (rd, rs1, rs2)) reg reg reg;
+        Gen.map3
+          (fun w (rd, base) off -> I.Load (w, rd, base, off))
+          (Gen.oneofl [ I.Lb; I.Lbu; I.Lh; I.Lhu; I.Lw ])
+          (Gen.pair reg reg) imm16;
+        Gen.map3
+          (fun w (rs, base) off -> I.Store (w, rs, base, off))
+          (Gen.oneofl [ I.Sb; I.Sh; I.Sw ])
+          (Gen.pair reg reg) imm16;
+        Gen.map3 (fun fd base off -> I.Fload (fd, base, off)) reg reg imm16;
+        Gen.map3 (fun fs base off -> I.Fstore (fs, base, off)) reg reg imm16;
+        Gen.map3 (fun op fd (a, b) -> I.Fop (op, fd, a, b))
+          (Gen.oneofl [ I.Fadd; I.Fsub; I.Fmul; I.Fdiv; I.Fsqrt; I.Fneg;
+                        I.Fabs ])
+          reg (Gen.pair reg reg);
+        Gen.map3 (fun op rd (a, b) -> I.Fcmp (op, rd, a, b))
+          (Gen.oneofl [ I.Feq; I.Flt; I.Fle ])
+          reg (Gen.pair reg reg);
+        Gen.map2 (fun fd rs -> I.Fcvt_if (fd, rs)) reg reg;
+        Gen.map2 (fun rd fs -> I.Fcvt_fi (rd, fs)) reg reg;
+        Gen.map3 (fun c (a, b) off -> I.Branch (c, a, b, off))
+          (Gen.oneofl [ I.Eq; I.Ne; I.Lt; I.Ge; I.Le; I.Gt ])
+          (Gen.pair reg reg) imm16;
+        Gen.map (fun t -> I.Jump t) (Gen.int_range 0 0x3ffffff);
+        Gen.map2 (fun rd t -> I.Jal (rd, t)) reg (Gen.int_range 0 0x1fffff);
+        Gen.map (fun rs -> I.Jr rs) reg;
+        Gen.map2 (fun rd rs -> I.Jalr (rd, rs)) reg reg;
+        Gen.return I.Nop;
+        Gen.return I.Halt ]
+  in
+  QCheck.make ~print:I.to_string gen
+
+let roundtrip_prop =
+  QCheck.Test.make ~name:"encode/decode round-trip" ~count:2000
+    arbitrary_instr (fun i -> I.equal (Isa.Encode.decode (Isa.Encode.encode i)) i)
+
+let test_roundtrip_cases () =
+  List.iter
+    (fun i -> check instr (I.to_string i) i (Isa.Encode.decode (Isa.Encode.encode i)))
+    [ I.Alu (I.Add, 1, 2, 3);
+      I.Alui (I.Sra, 31, 0, 31);
+      I.Alui (I.Or, 7, 7, 0xffff);
+      I.Alui (I.Add, 1, 2, -32768);
+      I.Lui (5, 0xffff);
+      I.Load (I.Lb, 1, 2, -1);
+      I.Store (I.Sw, 1, 2, 32767);
+      I.Fload (31, 30, -32768);
+      I.Fop (I.Fsqrt, 0, 1, 1);
+      I.Fcmp (I.Fle, 9, 10, 11);
+      I.Branch (I.Gt, 1, 2, -100);
+      I.Jump 0x3ffffff;
+      I.Jal (31, 0x1fffff);
+      I.Jalr (1, 2);
+      I.Nop;
+      I.Halt ]
+
+let test_encode_errors () =
+  let raises i =
+    match Isa.Encode.encode i with
+    | _ -> Alcotest.failf "expected Encode_error for %s" (I.to_string i)
+    | exception Isa.Encode.Encode_error _ -> ()
+  in
+  raises (I.Alui (I.Add, 1, 2, 40000));
+  raises (I.Alui (I.Sll, 1, 2, 32));
+  raises (I.Alui (I.Or, 1, 2, -1));
+  raises (I.Load (I.Lw, 1, 2, 32768));
+  raises (I.Alu (I.Add, 32, 0, 0));
+  raises (I.Jump 0x4000000);
+  Alcotest.(check bool) "encodable" false (Isa.Encode.encodable (I.Jump (-1)));
+  Alcotest.(check bool) "encodable ok" true (Isa.Encode.encodable I.Nop)
+
+let test_decode_errors () =
+  match Isa.Encode.decode 0xffffffffl with
+  | _ -> Alcotest.fail "expected Decode_error"
+  | exception Isa.Encode.Decode_error _ -> ()
+
+let test_classification () =
+  check Alcotest.bool "load" true (I.is_load (I.Load (I.Lw, 1, 2, 0)));
+  check Alcotest.bool "fload" true (I.is_load (I.Fload (1, 2, 0)));
+  check Alcotest.bool "store" true (I.is_store (I.Fstore (1, 2, 0)));
+  (match I.control (I.Branch (I.Eq, 1, 2, 5)) with
+   | I.Ctl_cond -> ()
+   | _ -> Alcotest.fail "branch is Ctl_cond");
+  (match I.control (I.Jump 0x100) with
+   | I.Ctl_direct a -> check Alcotest.int "target" 0x400 a
+   | _ -> Alcotest.fail "jump is Ctl_direct");
+  (match I.control (I.Jr 31) with
+   | I.Ctl_indirect -> ()
+   | _ -> Alcotest.fail "jr is Ctl_indirect");
+  (match I.control I.Halt with
+   | I.Ctl_halt -> ()
+   | _ -> Alcotest.fail "halt");
+  check Alcotest.int "fu latency div" 34 I.(latency Fu_int_div);
+  check Alcotest.int "fu latency alu" 1 I.(latency Fu_int_alu)
+
+let test_operands () =
+  (* r0 never appears as a dest or source *)
+  (match I.dest (I.Alu (I.Add, 0, 1, 2)) with
+   | None -> ()
+   | Some _ -> Alcotest.fail "write to r0 is discarded");
+  check Alcotest.int "r0 sources dropped" 0
+    (List.length (I.sources (I.Alu (I.Add, 1, 0, 0))));
+  check Alcotest.int "store sources" 2
+    (List.length (I.sources (I.Store (I.Sw, 3, 4, 0))));
+  (match I.dest (I.Fop (I.Fadd, 0, 1, 2)) with
+   | Some (I.Dfloat 0) -> ()
+   | _ -> Alcotest.fail "fp dest");
+  (match I.branch_targets (I.Branch (I.Eq, 1, 2, 3)) ~pc:0x1000 with
+   | Some (fall, target) ->
+     check Alcotest.int "fall" 0x1004 fall;
+     check Alcotest.int "target" 0x1010 target
+   | None -> Alcotest.fail "branch targets")
+
+let test_asm_basic () =
+  let prog =
+    Isa.Asm.(
+      assemble
+        [ data "tbl" [ Words [ 1; 2; 3 ] ];
+          la 1 "tbl";
+          li 2 70000;
+          li 3 5;
+          label "top";
+          insn (I.Alui (I.Add, 3, 3, -1));
+          bgt 3 0 "top";
+          halt ])
+  in
+  check Alcotest.int "code size" 8 (Isa.Program.size prog);
+  (* li 70000 expands to two instructions; li 5 to one *)
+  (match Isa.Program.fetch prog prog.Isa.Program.code_base with
+   | I.Lui _ -> ()
+   | i -> Alcotest.failf "la starts with lui, got %s" (I.to_string i));
+  let tbl = Isa.Program.symbol prog "tbl" in
+  check Alcotest.bool "data base" true (tbl >= Isa.Program.default_data_base)
+
+let test_asm_branch_resolution () =
+  let prog =
+    Isa.Asm.(
+      assemble
+        [ label "start"; nop; nop; j "end_"; nop; label "end_"; halt ])
+  in
+  match Isa.Program.fetch prog (prog.Isa.Program.code_base + 8) with
+  | I.Jump t -> check Alcotest.int "target" (prog.Isa.Program.code_base + 16) (t * 4)
+  | i -> Alcotest.failf "expected jump, got %s" (I.to_string i)
+
+let test_asm_label_word () =
+  let prog =
+    Isa.Asm.(
+      assemble
+        [ data "table" [ Label_words [ "a"; "b" ] ];
+          label "a"; nop; label "b"; halt ])
+  in
+  let mem = Emu.Memory.create () in
+  Emu.Memory.load_program mem prog;
+  let table = Isa.Program.symbol prog "table" in
+  check Alcotest.int "a addr" (Isa.Program.symbol prog "a")
+    (Emu.Memory.load32 mem table);
+  check Alcotest.int "b addr" (Isa.Program.symbol prog "b")
+    (Emu.Memory.load32 mem (table + 4))
+
+let test_asm_errors () =
+  let fails stmts =
+    match Isa.Asm.assemble stmts with
+    | _ -> Alcotest.fail "expected Asm.Error"
+    | exception Isa.Asm.Error _ -> ()
+  in
+  fails Isa.Asm.[ label "x"; label "x"; halt ];
+  fails Isa.Asm.[ j "nowhere"; halt ];
+  fails Isa.Asm.[ data "d" [ Space (-1) ]; halt ]
+
+let test_program_fetch () =
+  let prog = Isa.Asm.(assemble [ nop; halt ]) in
+  let base = prog.Isa.Program.code_base in
+  check instr "nop" I.Nop (Isa.Program.fetch prog base);
+  check Alcotest.bool "in_code" false (Isa.Program.in_code prog (base + 12));
+  check Alcotest.bool "unaligned" false (Isa.Program.in_code prog (base + 2));
+  (match Isa.Program.fetch prog (base - 4) with
+   | _ -> Alcotest.fail "expected Fault"
+   | exception Isa.Program.Fault _ -> ());
+  check Alcotest.int "last addr" (base + 4) (Isa.Program.last_addr prog)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    if i + n > String.length s then false
+    else String.equal (String.sub s i n) sub || go (i + 1)
+  in
+  go 0
+
+let test_listing () =
+  let prog = Isa.Asm.(assemble [ nop; halt ]) in
+  let s = Format.asprintf "%a" Isa.Program.pp_listing prog in
+  check Alcotest.bool "mentions nop" true (contains s "nop");
+  check Alcotest.bool "mentions halt" true (contains s "halt")
+
+let suite =
+  [ Alcotest.test_case "roundtrip cases" `Quick test_roundtrip_cases;
+    QCheck_alcotest.to_alcotest roundtrip_prop;
+    Alcotest.test_case "encode errors" `Quick test_encode_errors;
+    Alcotest.test_case "decode errors" `Quick test_decode_errors;
+    Alcotest.test_case "classification" `Quick test_classification;
+    Alcotest.test_case "operands" `Quick test_operands;
+    Alcotest.test_case "asm basics" `Quick test_asm_basic;
+    Alcotest.test_case "asm branch resolution" `Quick
+      test_asm_branch_resolution;
+    Alcotest.test_case "asm label words" `Quick test_asm_label_word;
+    Alcotest.test_case "asm errors" `Quick test_asm_errors;
+    Alcotest.test_case "program fetch" `Quick test_program_fetch;
+    Alcotest.test_case "listing" `Quick test_listing ]

@@ -1,0 +1,216 @@
+(* The p-action cache: group recording, outcome grafting, replacement
+   policies, and soundness checks. Driven synthetically, independent of the
+   simulator. *)
+
+let check = Alcotest.check
+
+(* A fake config key with a given entry count (for size accounting). The
+   header layout matches Snapshot: byte 5 = entries, byte 6 = indirects. *)
+let fake_key ?(entries = 4) ?(ind = 0) tag =
+  let b = Bytes.make (11 + (4 * entries) + (4 * ind)) '\000' in
+  Bytes.set b 5 (Char.chr entries);
+  Bytes.set b 6 (Char.chr ind);
+  (* make keys distinct *)
+  Bytes.set b 7 (Char.chr (tag land 0xff));
+  Bytes.set b 8 (Char.chr ((tag lsr 8) land 0xff));
+  Bytes.unsafe_to_string b
+
+let cond taken = Uarch.Oracle.C_cond { taken; mispredicted = false }
+
+let test_intern_dedup () =
+  let pc = Memo.Pcache.create () in
+  let a = Memo.Pcache.intern pc (fake_key 1) in
+  let b = Memo.Pcache.intern pc (fake_key 1) in
+  check Alcotest.bool "same node" true (a == b);
+  let c = Memo.Pcache.intern pc (fake_key 2) in
+  check Alcotest.bool "distinct node" false (a == c);
+  check Alcotest.int "static configs" 2
+    (Memo.Pcache.counters pc).static_configs
+
+let test_merge_and_graft () =
+  let pc = Memo.Pcache.create () in
+  let cfg = Memo.Pcache.intern pc (fake_key 1) in
+  let next =
+    Memo.Pcache.merge_group pc cfg ~classes:[||] ~silent:3 ~retired:5
+      ~items:[ Memo.Action.I_load 2; Memo.Action.I_store ]
+      ~terminal:(Memo.Action.T_goto (fake_key 2))
+  in
+  (match next with
+   | Some c -> check Alcotest.bool "next interned" true
+                 (String.equal c.Memo.Action.cfg_key (fake_key 2))
+   | None -> Alcotest.fail "expected successor");
+  (* re-record the same path: nothing new is allocated *)
+  let actions_before = (Memo.Pcache.counters pc).static_actions in
+  ignore
+    (Memo.Pcache.merge_group pc cfg ~classes:[||] ~silent:3 ~retired:5
+       ~items:[ Memo.Action.I_load 2; Memo.Action.I_store ]
+       ~terminal:(Memo.Action.T_goto (fake_key 2))
+      : Memo.Action.config option);
+  check Alcotest.int "no new actions on duplicate" actions_before
+    (Memo.Pcache.counters pc).static_actions;
+  (* a different load latency grafts a new branch *)
+  ignore
+    (Memo.Pcache.merge_group pc cfg ~classes:[||] ~silent:3 ~retired:5
+       ~items:[ Memo.Action.I_load 9; Memo.Action.I_store ]
+       ~terminal:(Memo.Action.T_goto (fake_key 3))
+      : Memo.Action.config option);
+  check Alcotest.bool "new actions for new outcome" true
+    ((Memo.Pcache.counters pc).static_actions > actions_before);
+  match cfg.Memo.Action.cfg_group with
+  | Some { Memo.Action.g_first = Memo.Action.N_load ln; _ } ->
+    check Alcotest.int "two outcome edges" 2
+      (List.length ln.Memo.Action.l_edges)
+  | _ -> Alcotest.fail "expected load node at group head"
+
+let test_determinism_violation () =
+  let pc = Memo.Pcache.create () in
+  let cfg = Memo.Pcache.intern pc (fake_key 1) in
+  ignore
+    (Memo.Pcache.merge_group pc cfg ~classes:[||] ~silent:1 ~retired:2
+       ~items:[ Memo.Action.I_ctl (cond true) ]
+       ~terminal:Memo.Action.T_halt
+      : Memo.Action.config option);
+  (* same config, different silent-cycle count: impossible if the detailed
+     simulator is deterministic *)
+  match
+    Memo.Pcache.merge_group pc cfg ~classes:[||] ~silent:2 ~retired:2
+      ~items:[ Memo.Action.I_ctl (cond true) ]
+      ~terminal:Memo.Action.T_halt
+  with
+  | _ -> Alcotest.fail "expected Determinism_violation"
+  | exception Memo.Pcache.Determinism_violation _ -> ()
+
+let test_kind_mismatch_violation () =
+  let pc = Memo.Pcache.create () in
+  let cfg = Memo.Pcache.intern pc (fake_key 1) in
+  ignore
+    (Memo.Pcache.merge_group pc cfg ~classes:[||] ~silent:0 ~retired:1
+       ~items:[ Memo.Action.I_store ]
+       ~terminal:Memo.Action.T_halt
+      : Memo.Action.config option);
+  match
+    Memo.Pcache.merge_group pc cfg ~classes:[||] ~silent:0 ~retired:1
+      ~items:[ Memo.Action.I_rollback 0 ]
+      ~terminal:Memo.Action.T_halt
+  with
+  | _ -> Alcotest.fail "expected Determinism_violation"
+  | exception Memo.Pcache.Determinism_violation _ -> ()
+
+let fill pc n =
+  (* creates n configs each with a small group *)
+  for i = 1 to n do
+    let cfg = Memo.Pcache.intern pc (fake_key i) in
+    if cfg.Memo.Action.cfg_group = None then
+      ignore
+        (Memo.Pcache.merge_group pc cfg ~classes:[||] ~silent:1 ~retired:1
+           ~items:[ Memo.Action.I_load i ]
+           ~terminal:(Memo.Action.T_goto (fake_key (i + 1)))
+          : Memo.Action.config option)
+  done
+
+let test_unbounded_keeps_everything () =
+  let pc = Memo.Pcache.create ~policy:Memo.Pcache.Unbounded () in
+  fill pc 100;
+  check Alcotest.bool "kept" true
+    ((Memo.Pcache.counters pc).live_configs >= 100);
+  (match Memo.Pcache.check_budget pc with
+   | `Kept -> ()
+   | _ -> Alcotest.fail "unbounded never flushes")
+
+let test_flush_on_full () =
+  let pc = Memo.Pcache.create ~policy:(Memo.Pcache.Flush_on_full 2000) () in
+  fill pc 100;
+  (match Memo.Pcache.check_budget pc with
+   | `Flushed -> ()
+   | _ -> Alcotest.fail "expected flush");
+  let c = Memo.Pcache.counters pc in
+  check Alcotest.int "emptied" 0 c.live_configs;
+  check Alcotest.int "bytes zero" 0 c.modeled_bytes;
+  check Alcotest.int "one flush" 1 c.flushes;
+  check Alcotest.bool "peak remembered" true (c.peak_modeled_bytes > 2000)
+
+let test_copying_gc_keeps_touched () =
+  let pc = Memo.Pcache.create ~policy:(Memo.Pcache.Copying_gc 4000) () in
+  fill pc 100;
+  (* touch a handful, then collect *)
+  for i = 1 to 5 do
+    Memo.Pcache.touch pc (Memo.Pcache.intern pc (fake_key i))
+  done;
+  (match Memo.Pcache.check_budget pc with
+   | `Collected -> ()
+   | _ -> Alcotest.fail "expected collection");
+  let c = Memo.Pcache.counters pc in
+  check Alcotest.bool "survivors are the touched ones" true
+    (c.live_configs >= 5 && c.live_configs < 100);
+  check Alcotest.bool "gc stats" true
+    (c.last_gc_population = 100 + 1 && c.last_gc_survivors = c.live_configs);
+  (* untouched configs are marked dropped with groups freed *)
+  check Alcotest.bool "budget respected or flushed" true
+    (c.modeled_bytes <= 4000)
+
+let test_generational_promotion () =
+  let pc =
+    Memo.Pcache.create
+      ~policy:(Memo.Pcache.Generational_gc { nursery = 1500; total = 100000 })
+      ()
+  in
+  fill pc 50;
+  for i = 1 to 5 do
+    Memo.Pcache.touch pc (Memo.Pcache.intern pc (fake_key i))
+  done;
+  (match Memo.Pcache.check_budget pc with
+   | `Collected -> ()
+   | _ -> Alcotest.fail "expected minor collection");
+  let survivors = ref [] in
+  Memo.Pcache.iter_configs (fun c -> survivors := c :: !survivors) pc;
+  check Alcotest.bool "survivors promoted to old gen" true
+    (List.for_all (fun c -> c.Memo.Action.cfg_old_gen) !survivors)
+
+let test_resolve_goto_heals () =
+  let pc = Memo.Pcache.create ~policy:(Memo.Pcache.Copying_gc 2000) () in
+  let cfg = Memo.Pcache.intern pc (fake_key 1) in
+  ignore
+    (Memo.Pcache.merge_group pc cfg ~classes:[||] ~silent:0 ~retired:1
+       ~items:[]
+       ~terminal:(Memo.Action.T_goto (fake_key 2))
+      : Memo.Action.config option);
+  let goto_node =
+    match cfg.Memo.Action.cfg_group with
+    | Some { Memo.Action.g_first = Memo.Action.N_goto g; _ } -> g
+    | _ -> Alcotest.fail "expected goto"
+  in
+  let target = goto_node.Memo.Action.target in
+  (* simulate an eviction + regeneration of the target *)
+  target.Memo.Action.cfg_dropped <- true;
+  let resolved = Memo.Pcache.resolve_goto pc goto_node in
+  (* the table still holds a live node under that key; healing re-points *)
+  check Alcotest.bool "healed to live node" true
+    (not resolved.Memo.Action.cfg_dropped
+    || resolved.Memo.Action.cfg_key = fake_key 2)
+
+let test_node_bytes () =
+  let open Memo.Action in
+  check Alcotest.int "halt" 8 (node_bytes N_halt);
+  check Alcotest.int "store" 8 (node_bytes (N_store N_halt));
+  check Alcotest.int "load 1 edge" 16
+    (node_bytes (N_load { l_edges = [ (1, N_halt) ] }));
+  check Alcotest.int "load 3 edges" 32
+    (node_bytes
+       (N_load { l_edges = [ (1, N_halt); (2, N_halt); (3, N_halt) ] }))
+
+let suite =
+  [ Alcotest.test_case "intern dedup" `Quick test_intern_dedup;
+    Alcotest.test_case "merge and graft" `Quick test_merge_and_graft;
+    Alcotest.test_case "silent mismatch violation" `Quick
+      test_determinism_violation;
+    Alcotest.test_case "kind mismatch violation" `Quick
+      test_kind_mismatch_violation;
+    Alcotest.test_case "unbounded policy" `Quick
+      test_unbounded_keeps_everything;
+    Alcotest.test_case "flush on full" `Quick test_flush_on_full;
+    Alcotest.test_case "copying gc keeps touched" `Quick
+      test_copying_gc_keeps_touched;
+    Alcotest.test_case "generational promotion" `Quick
+      test_generational_promotion;
+    Alcotest.test_case "goto healing" `Quick test_resolve_goto_heals;
+    Alcotest.test_case "modeled action sizes" `Quick test_node_bytes ]

@@ -1,0 +1,181 @@
+(* The textual assembler: syntax, pseudo-instructions, data directives,
+   and a full parse -> assemble -> simulate round trip. *)
+
+let check = Alcotest.check
+
+let sum_source =
+  {|
+  ; sum an array of words
+          .data table
+          .words 1 2 3 4 5 6 7 8
+          .data out
+          .word 0
+  start:  la   r1, table
+          li   r2, 0
+          li   r3, 8
+  loop:   lw   r4, 0(r1)
+          add  r2, r2, r4
+          addi r1, r1, 4
+          addi r3, r3, -1
+          bgt  r3, r0, loop
+          la   r5, out
+          sw   r2, 0(r5)
+          halt
+|}
+
+let test_roundtrip_execution () =
+  let prog = Isa.Parse.program sum_source in
+  let st, mem, _ = Emu.Emulator.run_functional prog in
+  check Alcotest.int "sum" 36 (Emu.Arch_state.get_i st 2);
+  check Alcotest.int "stored" 36
+    (Emu.Memory.load32 mem (Isa.Program.symbol prog "out"))
+
+let test_matches_dsl () =
+  (* the textual form and the combinator form assemble identically *)
+  let text =
+    Isa.Parse.program
+      {|
+ l:    addi r1, r1, 5
+       sub  r2, r1, r3
+       bne  r2, r0, l
+       halt
+|}
+  in
+  let dsl =
+    Isa.Asm.(
+      assemble
+        [ label "l";
+          insn (Isa.Instr.Alui (Isa.Instr.Add, 1, 1, 5));
+          insn (Isa.Instr.Alu (Isa.Instr.Sub, 2, 1, 3));
+          bne 2 0 "l";
+          halt ])
+  in
+  check Alcotest.int "same size" (Isa.Program.size dsl)
+    (Isa.Program.size text);
+  Array.iteri
+    (fun i w ->
+      check Alcotest.int32 (Printf.sprintf "word %d" i) w
+        text.Isa.Program.words.(i))
+    dsl.Isa.Program.words
+
+let test_all_instruction_forms () =
+  let prog =
+    Isa.Parse.program
+      {|
+        .data d
+        .doubles 1.5 -2.25
+        .space 8
+        .asciiz "hi\n"
+        .data jt
+        .addr a b
+ a:     add   r1, r2, r3
+        sltu  r4, r5, r6
+        slli  r7, r8, 3
+        ori   r9, r10, 0xff
+        lui   r11, 0x1234
+        mul   r12, r13, r14
+        div   r15, r16, r17
+        rem   r18, r19, r20
+        lbu   r21, -4(r22)
+        sh    r23, 6(r24)
+        fld   f1, 0(r2)
+        fsd   f2, 8(r2)
+        fadd  f3, f4, f5
+        fsqrt f6, f7
+        feq   r25, f8, f9
+        cvtif f10, r26
+        cvtfi r27, f11
+ b:     beq   r1, r2, a
+        jal   r28, a
+        jalr  r29, r1
+        jr    r31
+        ret
+        nop
+        halt
+|}
+  in
+  check Alcotest.int "all forms assembled" 24 (Isa.Program.size prog);
+  (* the jump table holds the two code addresses *)
+  let mem = Emu.Memory.create () in
+  Emu.Memory.load_program mem prog;
+  let jt = Isa.Program.symbol prog "jt" in
+  check Alcotest.int "jt[0]=a" (Isa.Program.symbol prog "a")
+    (Emu.Memory.load32 mem jt);
+  check Alcotest.int "jt[1]=b" (Isa.Program.symbol prog "b")
+    (Emu.Memory.load32 mem (jt + 4))
+
+let test_disasm_reparse () =
+  (* disassembler output for simple ops parses back to the same encoding *)
+  let w = Workloads.Suite.find "go" in
+  let prog = w.Workloads.Workload.build 1 in
+  let listing = Format.asprintf "%a" Isa.Program.pp_listing prog in
+  (* strip the "0xADDR:" prefixes, keep only direct-jump-free lines (jump
+     targets print as absolute hex, which the parser reads as labels) *)
+  let lines = String.split_on_char '\n' listing in
+  let reparsable =
+    List.filter_map
+      (fun line ->
+        match String.index_opt line ':' with
+        | Some i ->
+          let body = String.sub line (i + 1) (String.length line - i - 1) in
+          let body = String.trim body in
+          if String.length body = 0 then None
+          else if
+            (* skip control flow whose operands are addresses, not labels *)
+            List.exists
+              (fun p ->
+                String.length body >= String.length p
+                && String.equal (String.sub body 0 (String.length p)) p)
+              [ "j "; "jal "; "beq"; "bne"; "blt"; "bge"; "ble"; "bgt" ]
+          then None
+          else Some body
+        | None -> None)
+      lines
+  in
+  let source = String.concat "\n" (reparsable @ [ "halt" ]) in
+  let reparsed = Isa.Parse.program source in
+  check Alcotest.bool "reparsed most of the listing" true
+    (Isa.Program.size reparsed > 25)
+
+let test_errors () =
+  let fails ?(expect_line = 0) src =
+    match Isa.Parse.program src with
+    | _ -> Alcotest.failf "expected parse error for %S" src
+    | exception Isa.Parse.Error { line; _ } ->
+      if expect_line > 0 then check Alcotest.int "line" expect_line line
+  in
+  fails ~expect_line:1 "bogus r1, r2";
+  fails ~expect_line:2 "nop\nadd r1, r2";
+  fails "lw r1, r2";
+  fails ".words 1 2 3";
+  fails {|.data d
+.asciiz "unterminated|};
+  (match Isa.Parse.program "j nowhere\nhalt" with
+   | _ -> Alcotest.fail "expected Asm.Error"
+   | exception Isa.Asm.Error _ -> ())
+
+let test_comments_and_blank_lines () =
+  let prog =
+    Isa.Parse.program
+      "\n  # a comment\n ; another\n\n nop ; trailing\n halt # end\n\n"
+  in
+  check Alcotest.int "two instructions" 2 (Isa.Program.size prog)
+
+let test_parse_then_engines_agree () =
+  let prog = Isa.Parse.program sum_source in
+  let slow = Fastsim.Sim.slow_sim prog in
+  let fast = Fastsim.Sim.fast_sim prog in
+  check Alcotest.int "cycles" slow.Fastsim.Sim.cycles fast.Fastsim.Sim.cycles
+
+let suite =
+  [ Alcotest.test_case "round trip execution" `Quick
+      test_roundtrip_execution;
+    Alcotest.test_case "matches the DSL" `Quick test_matches_dsl;
+    Alcotest.test_case "all instruction forms" `Quick
+      test_all_instruction_forms;
+    Alcotest.test_case "disassembly reparses" `Quick test_disasm_reparse;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "comments and blanks" `Quick
+      test_comments_and_blank_lines;
+    Alcotest.test_case "parsed programs simulate" `Quick
+      test_parse_then_engines_agree ]

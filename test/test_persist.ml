@@ -1,0 +1,83 @@
+(* P-action cache persistence: save/load round trips, the program digest
+   guard, and warm-started simulation. *)
+
+let check = Alcotest.check
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let test_roundtrip_counters () =
+  let w = Workloads.Suite.find "li" in
+  let prog = w.Workloads.Workload.build w.Workloads.Workload.test_scale in
+  let pc = Memo.Pcache.create () in
+  let r1 = Fastsim.Sim.fast_sim ~pcache:pc prog in
+  let path = tmp "fastsim_test.fspc" in
+  Memo.Persist.save_file pc ~program:prog path;
+  let pc' = Memo.Persist.load_file ~program:prog path in
+  let c = Memo.Pcache.counters pc and c' = Memo.Pcache.counters pc' in
+  check Alcotest.int "configs survive" c.live_configs c'.live_configs;
+  check Alcotest.int "actions survive" c.static_actions c'.static_actions;
+  check Alcotest.int "modeled bytes survive" c.modeled_bytes c'.modeled_bytes;
+  Sys.remove path;
+  ignore r1
+
+let test_warm_start_equivalent_and_faster () =
+  let w = Workloads.Suite.find "compress" in
+  let prog = w.Workloads.Workload.build 1 in
+  let pc = Memo.Pcache.create () in
+  let cold = Fastsim.Sim.fast_sim ~pcache:pc prog in
+  let path = tmp "fastsim_warm.fspc" in
+  Memo.Persist.save_file pc ~program:prog path;
+  let warm_pc = Memo.Persist.load_file ~program:prog path in
+  let warm = Fastsim.Sim.fast_sim ~pcache:warm_pc prog in
+  Sys.remove path;
+  (* identical results... *)
+  check Alcotest.int "cycles" cold.Fastsim.Sim.cycles warm.Fastsim.Sim.cycles;
+  check Alcotest.int "retired" cold.Fastsim.Sim.retired
+    warm.Fastsim.Sim.retired;
+  (* ...with far less detailed simulation *)
+  match (cold.Fastsim.Sim.memo, warm.Fastsim.Sim.memo) with
+  | Some mc, Some mw ->
+    check Alcotest.bool "warm start replays more" true
+      (mw.Memo.Stats.detailed_retired * 2 < mc.Memo.Stats.detailed_retired)
+  | _ -> Alcotest.fail "memo stats expected"
+
+let test_digest_guard () =
+  let w = Workloads.Suite.find "li" in
+  let prog = w.Workloads.Workload.build w.Workloads.Workload.test_scale in
+  let other = (Workloads.Suite.find "go").build 1 in
+  let pc = Memo.Pcache.create () in
+  ignore (Fastsim.Sim.fast_sim ~pcache:pc prog : Fastsim.Sim.result);
+  let path = tmp "fastsim_digest.fspc" in
+  Memo.Persist.save_file pc ~program:prog path;
+  (match Memo.Persist.load_file ~program:other path with
+   | _ -> Alcotest.fail "expected Format_error"
+   | exception Memo.Persist.Format_error _ -> ());
+  Sys.remove path
+
+let test_corrupt_stream () =
+  let path = tmp "fastsim_corrupt.fspc" in
+  let oc = open_out_bin path in
+  output_string oc "NOTAPCACHE-----";
+  close_out oc;
+  let prog = (Workloads.Suite.find "li").build 1 in
+  (match Memo.Persist.load_file ~program:prog path with
+   | _ -> Alcotest.fail "expected Format_error"
+   | exception Memo.Persist.Format_error _ -> ());
+  Sys.remove path
+
+let test_digest_distinguishes_scales () =
+  let w = Workloads.Suite.find "go" in
+  let d1 = Memo.Persist.program_digest (w.Workloads.Workload.build 1) in
+  let d2 = Memo.Persist.program_digest (w.Workloads.Workload.build 2) in
+  check Alcotest.bool "different scales, different digests" true (d1 <> d2);
+  let d1' = Memo.Persist.program_digest (w.Workloads.Workload.build 1) in
+  check Alcotest.string "deterministic digest" d1 d1'
+
+let suite =
+  [ Alcotest.test_case "save/load round trip" `Quick test_roundtrip_counters;
+    Alcotest.test_case "warm start: same results, fewer detailed insts"
+      `Quick test_warm_start_equivalent_and_faster;
+    Alcotest.test_case "program digest guard" `Quick test_digest_guard;
+    Alcotest.test_case "corrupt stream" `Quick test_corrupt_stream;
+    Alcotest.test_case "digest sensitivity" `Quick
+      test_digest_distinguishes_scales ]

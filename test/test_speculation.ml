@@ -1,0 +1,213 @@
+(* Directed stress tests for nested speculation: multiple outstanding
+   mispredictions, out-of-order resolution, rollback-within-rollback.
+   This is the bQ machinery of paper §3.2 under its worst cases. *)
+
+let check = Alcotest.check
+
+(* Program with two nested mispredictions where the YOUNGER branch's
+   operands are ready first, so the pipeline resolves it before the older
+   one (rollback index 1, then index 0):
+
+   - b1 depends on a load (slow to resolve), mispredicted.
+   - b1's wrong path contains b2, which depends on immediates (fast),
+     also mispredicted.  *)
+let nested_prog =
+  Workloads.Dsl.(
+    assemble
+      [ data "flag" [ Words [ 1 ] ];
+        data "out" [ Words [ 0; 0; 0 ] ];
+        la 1 "flag";
+        la 2 "out";
+        li 20 0;
+        lw 3 1 0;              (* r3 = 1, slowly *)
+        bne 3 0 "b1_taken";    (* taken; predicted not-taken: mispredict 1 *)
+        (* wrong path of b1 *)
+        li 4 1;
+        beq 4 4 "b2_taken";    (* taken; predicted not-taken: mispredict 2 *)
+        (* wrong-wrong path: poison everything *)
+        li 20 999;
+        sw 20 2 0;
+        label "b2_taken";
+        li 21 777;             (* still wrong path of b1 *)
+        sw 21 2 4;
+        j "end_";
+        label "b1_taken";
+        addi 20 20 5;
+        sw 20 2 8;
+        label "end_";
+        halt ])
+
+let test_nested_rollback_functional () =
+  (* the emulator itself: both wrong paths fully undone *)
+  let st, mem, _ = Emu.Emulator.run_functional nested_prog in
+  ignore st;
+  let out = Isa.Program.symbol nested_prog "out" in
+  check Alcotest.int "wrong-wrong store undone" 0 (Emu.Memory.load32 mem out);
+  check Alcotest.int "wrong store undone" 0 (Emu.Memory.load32 mem (out + 4));
+  check Alcotest.int "correct store" 5 (Emu.Memory.load32 mem (out + 8))
+
+let test_nested_rollback_all_engines () =
+  let slow = Fastsim.Sim.slow_sim nested_prog in
+  let fast = Fastsim.Sim.fast_sim nested_prog in
+  let base = Baseline.run nested_prog in
+  check Alcotest.int "slow = fast cycles" slow.Fastsim.Sim.cycles
+    fast.Fastsim.Sim.cycles;
+  check Alcotest.int "r20 slow" 5
+    (Emu.Arch_state.get_i slow.Fastsim.Sim.final_state 20);
+  check Alcotest.int "r20 fast" 5
+    (Emu.Arch_state.get_i fast.Fastsim.Sim.final_state 20);
+  check Alcotest.int "r20 baseline" 5
+    (Emu.Arch_state.get_i base.Baseline.final_state 20);
+  (* both engines executed (and rolled back) wrong-path work *)
+  check Alcotest.bool "wrong path happened" true
+    (slow.Fastsim.Sim.wrong_path_insts > 0)
+
+(* Resolve-younger-first at the emulator API level. *)
+let test_out_of_order_resolution () =
+  let emu = Emu.Emulator.create nested_prog in
+  (* pull both branch events *)
+  (match Emu.Emulator.next_event emu with
+   | Emu.Emulator.Cond { taken = true; predicted_taken = false; _ } -> ()
+   | _ -> Alcotest.fail "b1 event");
+  (match Emu.Emulator.next_event emu with
+   | Emu.Emulator.Cond { taken = true; predicted_taken = false; _ } -> ()
+   | _ -> Alcotest.fail "b2 event");
+  check Alcotest.int "two checkpoints" 2 (Emu.Emulator.outstanding emu);
+  (* resolve the YOUNGER first (index 1) *)
+  let pc2 = Emu.Emulator.rollback_to emu ~index:1 in
+  check Alcotest.int "b2 corrected to b2_taken"
+    (Isa.Program.symbol nested_prog "b2_taken") pc2;
+  check Alcotest.int "older checkpoint remains" 1
+    (Emu.Emulator.outstanding emu);
+  (* now the older one (index 0): must also unwind b2's post-rollback work *)
+  let pc1 = Emu.Emulator.rollback_to emu ~index:0 in
+  check Alcotest.int "b1 corrected to b1_taken"
+    (Isa.Program.symbol nested_prog "b1_taken") pc1;
+  check Alcotest.int "no checkpoints" 0 (Emu.Emulator.outstanding emu);
+  let out = Isa.Program.symbol nested_prog "out" in
+  check Alcotest.int "all wrong stores undone" 0
+    (Emu.Memory.load32 (Emu.Emulator.memory emu) (out + 4))
+
+(* Resolving the OLDER first discards the younger checkpoint wholesale. *)
+let test_older_first_discards_younger () =
+  let emu = Emu.Emulator.create nested_prog in
+  ignore (Emu.Emulator.next_event emu : Emu.Emulator.control);
+  ignore (Emu.Emulator.next_event emu : Emu.Emulator.control);
+  check Alcotest.int "two checkpoints" 2 (Emu.Emulator.outstanding emu);
+  let pc1 = Emu.Emulator.rollback_to emu ~index:0 in
+  check Alcotest.int "corrected to b1_taken"
+    (Isa.Program.symbol nested_prog "b1_taken") pc1;
+  check Alcotest.int "younger checkpoint discarded too" 0
+    (Emu.Emulator.outstanding emu)
+
+(* Deep speculation: a chain of mispredicted branches up to the model's
+   limit; the µ-architecture must stall fetch at 4 and still finish. *)
+let deep_prog =
+  Workloads.Dsl.(
+    assemble
+      ([ data "zeros" [ Words [ 0; 0; 0; 0; 0; 0 ] ];
+         la 1 "zeros";
+         li 20 0 ]
+      @ List.concat_map
+          (fun k ->
+            [ lw 2 1 (4 * k);       (* 0, slowly *)
+              beq 2 0 (Printf.sprintf "t%d" k);  (* taken; mispredicted
+                                                    until trained *)
+              addi 20 20 100;       (* wrong path *)
+              label (Printf.sprintf "t%d" k);
+              addi 20 20 1 ])
+          [ 0; 1; 2; 3; 4; 5 ]
+      @ [ halt ]))
+
+let test_deep_speculation () =
+  let slow = Fastsim.Sim.slow_sim deep_prog in
+  let fast = Fastsim.Sim.fast_sim deep_prog in
+  check Alcotest.int "cycles equal" slow.Fastsim.Sim.cycles
+    fast.Fastsim.Sim.cycles;
+  check Alcotest.int "r20: only correct-path increments" 6
+    (Emu.Arch_state.get_i slow.Fastsim.Sim.final_state 20)
+
+(* A wrong path that wedges by running off the code segment. *)
+let wedge_prog =
+  Workloads.Dsl.(
+    assemble
+      [ data "one" [ Words [ 1 ] ];
+        la 1 "one";
+        lw 2 1 0;
+        li 20 0;
+        bne 2 0 "fin";   (* taken; predicted not-taken *)
+        (* wrong path: compute a garbage target and jump through it *)
+        li 3 0x700000;
+        jr 3;
+        label "fin";
+        addi 20 20 9;
+        halt ])
+
+let test_wrong_path_wedges_and_recovers () =
+  let slow = Fastsim.Sim.slow_sim wedge_prog in
+  let fast = Fastsim.Sim.fast_sim wedge_prog in
+  check Alcotest.int "cycles equal" slow.Fastsim.Sim.cycles
+    fast.Fastsim.Sim.cycles;
+  check Alcotest.int "result" 9
+    (Emu.Arch_state.get_i slow.Fastsim.Sim.final_state 20)
+
+(* Speculative stores of every width get undone byte-exactly. *)
+let width_prog =
+  Workloads.Dsl.(
+    assemble
+      [ data "buf" [ Words [ 0x11223344; 0x55667788 ] ];
+        data "one" [ Words [ 1 ] ];
+        la 1 "buf";
+        la 2 "one";
+        lw 3 2 0;
+        bne 3 0 "done_";  (* taken; predicted not-taken *)
+        li 4 0xff;
+        sb 4 1 1;
+        sh 4 1 2;
+        sw 4 1 4;
+        insn (I.Fcvt_if (0, 4));
+        fsd 0 1 0;        (* clobbers both words *)
+        label "done_";
+        halt ])
+
+let test_speculative_store_widths_undone () =
+  let slow = Fastsim.Sim.slow_sim width_prog in
+  ignore slow;
+  let _, mem, _ = Emu.Emulator.run_functional width_prog in
+  let buf = Isa.Program.symbol width_prog "buf" in
+  check Alcotest.int "word 0 intact" 0x11223344 (Emu.Memory.load32 mem buf);
+  check Alcotest.int "word 1 intact" 0x55667788
+    (Emu.Memory.load32 mem (buf + 4));
+  (* and under the speculative engines too *)
+  let fast = Fastsim.Sim.fast_sim width_prog in
+  ignore fast;
+  let emu = Emu.Emulator.create width_prog in
+  let rec drain () =
+    match Emu.Emulator.next_event emu with
+    | Emu.Emulator.Halted _ -> ()
+    | Emu.Emulator.Wedged _ | Emu.Emulator.Cond _ | Emu.Emulator.Indirect _
+      ->
+      if Emu.Emulator.outstanding emu > 0 then
+        ignore (Emu.Emulator.rollback_to emu ~index:0 : int);
+      drain ()
+  in
+  drain ();
+  check Alcotest.int "word 0 intact (speculative)" 0x11223344
+    (Emu.Memory.load32 (Emu.Emulator.memory emu) buf);
+  check Alcotest.int "word 1 intact (speculative)" 0x55667788
+    (Emu.Memory.load32 (Emu.Emulator.memory emu) (buf + 4))
+
+let suite =
+  [ Alcotest.test_case "nested rollback (functional)" `Quick
+      test_nested_rollback_functional;
+    Alcotest.test_case "nested rollback (all engines)" `Quick
+      test_nested_rollback_all_engines;
+    Alcotest.test_case "out-of-order resolution" `Quick
+      test_out_of_order_resolution;
+    Alcotest.test_case "older-first discards younger" `Quick
+      test_older_first_discards_younger;
+    Alcotest.test_case "deep speculation" `Quick test_deep_speculation;
+    Alcotest.test_case "wrong-path wedge recovery" `Quick
+      test_wrong_path_wedges_and_recovers;
+    Alcotest.test_case "speculative store widths undone" `Quick
+      test_speculative_store_widths_undone ]

@@ -1,0 +1,238 @@
+(* µ-architecture: snapshot round-trips, determinism from (configuration,
+   outcomes), pipeline structure invariants. *)
+
+let check = Alcotest.check
+
+(* A recording oracle over live components; replays verbatim from a log. *)
+type logged =
+  | L_load of int
+  | L_store
+  | L_ctl of Uarch.Oracle.ctl_outcome
+  | L_rollback of int
+
+let live_logging_oracle prog =
+  let emu = Emu.Emulator.create ~predictor:(Bpred.standard ~prog ()) prog in
+  let cache = Cachesim.Hierarchy.create () in
+  let log = ref [] in
+  let oracle : Uarch.Oracle.t =
+    { cache_load =
+        (fun ~now ->
+          let l = Emu.Emulator.pop_load emu in
+          let lat = Cachesim.Hierarchy.load cache ~now ~addr:l.Emu.Emulator.l_addr in
+          log := L_load lat :: !log;
+          lat);
+      cache_store =
+        (fun ~now ->
+          let s = Emu.Emulator.pop_store emu in
+          Cachesim.Hierarchy.store cache ~now ~addr:s.Emu.Emulator.s_addr;
+          log := L_store :: !log);
+      fetch_control =
+        (fun () ->
+          let out =
+            match Emu.Emulator.next_event emu with
+            | Emu.Emulator.Cond { taken; predicted_taken; _ } ->
+              Uarch.Oracle.C_cond
+                { taken; mispredicted = taken <> predicted_taken }
+            | Emu.Emulator.Indirect { target; predicted; _ } ->
+              Uarch.Oracle.C_indirect
+                { target; hit = predicted = Some target }
+            | Emu.Emulator.Halted _ | Emu.Emulator.Wedged _ ->
+              Uarch.Oracle.C_stalled
+          in
+          log := L_ctl out :: !log;
+          out);
+      rollback =
+        (fun ~index ->
+          ignore (Emu.Emulator.rollback_to emu ~index : int);
+          log := L_rollback index :: !log) }
+  in
+  (oracle, log)
+
+let replay_oracle log =
+  let remaining = ref log in
+  let next () =
+    match !remaining with
+    | [] -> Alcotest.fail "replay oracle exhausted"
+    | x :: rest ->
+      remaining := rest;
+      x
+  in
+  { Uarch.Oracle.cache_load =
+      (fun ~now:_ ->
+        match next () with
+        | L_load lat -> lat
+        | _ -> Alcotest.fail "log mismatch: load");
+    cache_store =
+      (fun ~now:_ ->
+        match next () with
+        | L_store -> ()
+        | _ -> Alcotest.fail "log mismatch: store");
+    fetch_control =
+      (fun () ->
+        match next () with
+        | L_ctl c -> c
+        | _ -> Alcotest.fail "log mismatch: ctl");
+    rollback =
+      (fun ~index ->
+        match next () with
+        | L_rollback i when i = index -> ()
+        | _ -> Alcotest.fail "log mismatch: rollback") }
+
+(* Drives a detailed simulator to completion against the live oracle,
+   returning per-cycle snapshots and the interaction log. *)
+let run_detailed prog =
+  let oracle, log = live_logging_oracle prog in
+  let uarch = Uarch.Detailed.create prog in
+  let snaps = ref [ Uarch.Detailed.snapshot uarch ] in
+  let cycle = ref 0 in
+  let retired = ref 0 in
+  while not (Uarch.Detailed.halted uarch) do
+    let r = Uarch.Detailed.step_cycle uarch ~now:!cycle oracle in
+    incr cycle;
+    retired := !retired + r.Uarch.Detailed.retired;
+    snaps := Uarch.Detailed.snapshot uarch :: !snaps;
+    if !cycle > 1_000_000 then Alcotest.fail "runaway simulation"
+  done;
+  (List.rev !snaps, List.rev !log, !cycle, !retired)
+
+let demo_prog =
+  Gen.program_of_seed ~cfg:{ Gen.default_cfg with outer_iters = 2 } 42
+
+let test_snapshot_roundtrip_every_cycle () =
+  let snaps, _, _, _ = run_detailed demo_prog in
+  List.iter
+    (fun key ->
+      let fetch, iq =
+        Uarch.Snapshot.decode demo_prog ~capacity:32 key
+      in
+      let key' = Uarch.Snapshot.encode ~fetch iq in
+      if not (String.equal key key') then
+        Alcotest.failf "snapshot round-trip mismatch";
+      let n_ind = ref 0 in
+      Uarch.Pipeline.iteri
+        (fun _ e -> if e.Uarch.Pipeline.ind_target >= 0 then incr n_ind)
+        iq;
+      check Alcotest.int "modeled bytes formula"
+        (16
+        + (((3 * Uarch.Snapshot.entry_count key) + 1) / 2)
+        + (4 * !n_ind))
+        (Uarch.Snapshot.modeled_bytes key))
+    snaps
+
+(* Determinism: re-running the detailed simulator from scratch with the
+   recorded outcome log reproduces the identical snapshot trace. This is
+   the property fast-forwarding rests on. *)
+let test_determinism_from_outcomes () =
+  let snaps, log, cycles, retired = run_detailed demo_prog in
+  let oracle = replay_oracle log in
+  let uarch = Uarch.Detailed.create demo_prog in
+  let cycle = ref 0 and retired' = ref 0 in
+  let snaps' = ref [ Uarch.Detailed.snapshot uarch ] in
+  while not (Uarch.Detailed.halted uarch) do
+    let r = Uarch.Detailed.step_cycle uarch ~now:!cycle oracle in
+    incr cycle;
+    retired' := !retired' + r.Uarch.Detailed.retired;
+    snaps' := Uarch.Detailed.snapshot uarch :: !snaps'
+  done;
+  check Alcotest.int "same cycles" cycles !cycle;
+  check Alcotest.int "same retired" retired !retired';
+  check Alcotest.(list string) "same snapshot trace" snaps
+    (List.rev !snaps')
+
+(* Restoring from any mid-run snapshot and replaying the remaining
+   outcomes finishes identically (the divergence-resume path). *)
+let test_restore_mid_run () =
+  let snaps, _, total_cycles, _ = run_detailed demo_prog in
+  let n = List.length snaps in
+  let pick = List.nth snaps (n / 2) in
+  let uarch = Uarch.Detailed.restore demo_prog pick in
+  check Alcotest.bool "restored in-flight sanity" true
+    (Uarch.Detailed.in_flight uarch <= 32);
+  check Alcotest.bool "total cycles consistent" true (total_cycles >= n - 1)
+
+let test_fresh_snapshot_shape () =
+  let uarch = Uarch.Detailed.create demo_prog in
+  let key = Uarch.Detailed.snapshot uarch in
+  check Alcotest.int "empty pipeline" 0 (Uarch.Snapshot.entry_count key);
+  check Alcotest.int "empty config is 16 modeled bytes" 16
+    (Uarch.Snapshot.modeled_bytes key)
+
+let test_retire_bound () =
+  (* never retires more than retire_width per cycle *)
+  let oracle, _ = live_logging_oracle demo_prog in
+  let uarch = Uarch.Detailed.create demo_prog in
+  let cycle = ref 0 in
+  while not (Uarch.Detailed.halted uarch) do
+    let r = Uarch.Detailed.step_cycle uarch ~now:!cycle oracle in
+    incr cycle;
+    check Alcotest.bool "retire width" true (r.Uarch.Detailed.retired <= 4);
+    check Alcotest.bool "active list bound" true
+      (Uarch.Detailed.in_flight uarch <= 32)
+  done
+
+let test_cycles_exceed_ipc_bound () =
+  let _, _, cycles, retired = run_detailed demo_prog in
+  (* at most 4 IPC by construction *)
+  check Alcotest.bool "IPC <= 4" true (retired <= 4 * cycles)
+
+let test_params_validation () =
+  match
+    Uarch.Detailed.create
+      ~params:{ Uarch.Params.default with fetch_width = 0 }
+      demo_prog
+  with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_dump_smoke () =
+  let uarch = Uarch.Detailed.create demo_prog in
+  let oracle, _ = live_logging_oracle demo_prog in
+  for i = 0 to 5 do
+    ignore (Uarch.Detailed.step_cycle uarch ~now:i oracle
+            : Uarch.Detailed.cycle_result)
+  done;
+  let s = Format.asprintf "%a" Uarch.Detailed.dump uarch in
+  check Alcotest.bool "dump nonempty" true (String.length s > 10)
+
+let snapshot_roundtrip_prop =
+  QCheck.Test.make ~name:"snapshot round-trip on random programs" ~count:15
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let prog =
+        Gen.program_of_seed
+          ~cfg:{ Gen.default_cfg with outer_iters = 1; inner_iters = 4 }
+          seed
+      in
+      let snaps, _, _, _ = run_detailed prog in
+      List.for_all
+        (fun key ->
+          let fetch, iq = Uarch.Snapshot.decode prog ~capacity:32 key in
+          String.equal key (Uarch.Snapshot.encode ~fetch iq))
+        snaps)
+
+let test_observer_hook () =
+  (* the slow engine's observer sees every cycle exactly once *)
+  let calls = ref 0 and last = ref (-1) in
+  let observer cycle _uarch _r =
+    Alcotest.(check int) "cycles in order" (!last + 1) cycle;
+    last := cycle;
+    incr calls
+  in
+  let r = Fastsim.Sim.slow_sim ~observer demo_prog in
+  Alcotest.(check int) "called once per cycle" r.Fastsim.Sim.cycles !calls
+
+let suite =
+  [ Alcotest.test_case "snapshot round-trip every cycle" `Quick
+      test_snapshot_roundtrip_every_cycle;
+    Alcotest.test_case "deterministic from outcomes" `Quick
+      test_determinism_from_outcomes;
+    Alcotest.test_case "restore mid-run" `Quick test_restore_mid_run;
+    Alcotest.test_case "fresh snapshot shape" `Quick
+      test_fresh_snapshot_shape;
+    Alcotest.test_case "retire bound" `Quick test_retire_bound;
+    Alcotest.test_case "IPC bound" `Quick test_cycles_exceed_ipc_bound;
+    Alcotest.test_case "params validation" `Quick test_params_validation;
+    Alcotest.test_case "dump smoke" `Quick test_dump_smoke;
+    QCheck_alcotest.to_alcotest snapshot_roundtrip_prop;
+    Alcotest.test_case "observer hook" `Quick test_observer_hook ]
+

@@ -1,0 +1,126 @@
+(* The benchmark suite: every kernel terminates, scales, and exercises the
+   behaviours its description claims. *)
+
+let check = Alcotest.check
+
+let test_all_terminate () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let prog = w.build w.test_scale in
+      let _, _, n = Fastsim.Sim.functional ~max_insts:20_000_000 prog in
+      check Alcotest.bool (w.name ^ " does real work") true (n > 500);
+      check Alcotest.bool (w.name ^ " bounded") true (n < 20_000_000))
+    Workloads.Suite.all
+
+let test_scaling () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let _, _, n1 = Fastsim.Sim.functional (w.build w.test_scale) in
+      let _, _, n2 = Fastsim.Sim.functional (w.build (2 * w.test_scale)) in
+      check Alcotest.bool (w.name ^ " scales with the parameter") true
+        (n2 > n1 + ((n1 - 2000) / 2)))
+    Workloads.Suite.all
+
+let test_suite_composition () =
+  check Alcotest.int "18 workloads" 18 (List.length Workloads.Suite.all);
+  check Alcotest.int "8 integer" 8 (List.length Workloads.Suite.integer);
+  check Alcotest.int "10 floating" 10 (List.length Workloads.Suite.floating);
+  let w = Workloads.Suite.find "099.go" in
+  let w' = Workloads.Suite.find "go" in
+  check Alcotest.string "find by either name" w.Workloads.Workload.name
+    w'.Workloads.Workload.name;
+  (match Workloads.Suite.find "nonesuch" with
+   | _ -> Alcotest.fail "expected Not_found"
+   | exception Not_found -> ());
+  check Alcotest.int "names" 18 (List.length (Workloads.Suite.names ()))
+
+let dynamic_mix prog =
+  let emu = Emu.Emulator.create ~read_ahead:false prog in
+  let counts = Hashtbl.create 8 in
+  let bump k =
+    Hashtbl.replace counts k
+      (1 + try Hashtbl.find counts k with Not_found -> 0)
+  in
+  let rec go n =
+    if n > 10_000_000 then Alcotest.fail "trace too long"
+    else begin
+      let before = Emu.Emulator.outstanding emu in
+      let s = Emu.Emulator.step_one emu in
+      match s.Emu.Emulator.s_event with
+      | Some (Emu.Emulator.Halted _) -> ()
+      | _ ->
+        (match Isa.Program.fetch prog s.Emu.Emulator.s_addr with
+         | insn -> bump (Isa.Instr.fu_class insn)
+         | exception Isa.Program.Fault _ -> ());
+        if Emu.Emulator.outstanding emu > before then
+          ignore
+            (Emu.Emulator.rollback_to emu
+               ~index:(Emu.Emulator.outstanding emu - 1)
+              : int);
+        go (n + 1)
+    end
+  in
+  go 0;
+  fun k -> try Hashtbl.find counts k with Not_found -> 0
+
+let test_categories_match_mix () =
+  (* FP kernels execute FP ops; integer kernels essentially none *)
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let mix = dynamic_mix (w.build w.test_scale) in
+      let fp =
+        mix Isa.Instr.Fu_fp_add + mix Isa.Instr.Fu_fp_mul
+        + mix Isa.Instr.Fu_fp_div + mix Isa.Instr.Fu_fp_sqrt
+      in
+      let mem = mix Isa.Instr.Fu_mem in
+      check Alcotest.bool (w.name ^ " touches memory") true (mem > 0);
+      match w.category with
+      | Workloads.Workload.Floating ->
+        check Alcotest.bool (w.name ^ " runs FP") true (fp > 100)
+      | Workloads.Workload.Integer ->
+        check Alcotest.bool (w.name ^ " is integer") true (fp = 0))
+    Workloads.Suite.all
+
+let test_claimed_behaviours () =
+  (* spot-check distinctive characteristics *)
+  let mix name = dynamic_mix ((Workloads.Suite.find name).build 2) in
+  let m = mix "ijpeg" in
+  check Alcotest.bool "ijpeg multiplies" true (m Isa.Instr.Fu_int_mul > 100);
+  check Alcotest.bool "ijpeg divides" true (m Isa.Instr.Fu_int_div > 50);
+  let m = mix "hydro2d" in
+  check Alcotest.bool "hydro2d divides" true (m Isa.Instr.Fu_fp_div > 100);
+  let m = mix "fpppp" in
+  check Alcotest.bool "fpppp sqrt" true (m Isa.Instr.Fu_fp_sqrt > 10);
+  (* fpppp is nearly branch-free: branches well under 10% *)
+  check Alcotest.bool "fpppp long blocks" true
+    (10 * m Isa.Instr.Fu_branch < m Isa.Instr.Fu_fp_add + m Isa.Instr.Fu_fp_mul)
+
+let test_indirect_jump_kernels () =
+  (* the interpreter kernels really do execute indirect jumps *)
+  List.iter
+    (fun name ->
+      let w = Workloads.Suite.find name in
+      let prog = w.Workloads.Workload.build w.Workloads.Workload.test_scale in
+      let emu = Emu.Emulator.create ~predictor:(Bpred.standard ~prog ()) prog in
+      let ind = ref 0 and guard = ref 0 in
+      while (not (Emu.Emulator.halted emu)) && !guard < 1_000_000 do
+        incr guard;
+        (match Emu.Emulator.next_event emu with
+         | Emu.Emulator.Indirect _ -> incr ind
+         | Emu.Emulator.Cond _ -> ()
+         | Emu.Emulator.Wedged _ | Emu.Emulator.Halted _ ->
+           if Emu.Emulator.outstanding emu > 0 then
+             ignore (Emu.Emulator.rollback_to emu ~index:0 : int))
+      done;
+      check Alcotest.bool (name ^ " uses indirect jumps") true (!ind > 50))
+    [ "m88ksim"; "perl" ]
+
+let suite =
+  [ Alcotest.test_case "all terminate" `Slow test_all_terminate;
+    Alcotest.test_case "scaling" `Slow test_scaling;
+    Alcotest.test_case "suite composition" `Quick test_suite_composition;
+    Alcotest.test_case "categories match dynamic mix" `Slow
+      test_categories_match_mix;
+    Alcotest.test_case "claimed behaviours" `Slow test_claimed_behaviours;
+    Alcotest.test_case "indirect-jump kernels" `Quick
+      test_indirect_jump_kernels ]

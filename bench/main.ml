@@ -16,6 +16,7 @@ let quick = ref false
 let repeat = ref 1
 let only : string list ref = ref []
 let sections : string list ref = ref []
+let json_out = ref "BENCH_fastsim.json"
 
 let add_section s () = sections := s :: !sections
 
@@ -34,7 +35,11 @@ let speclist =
     ( "--ablation",
       Arg.String (fun s -> add_section ("ablation-" ^ s) ()),
       "gc|bpred|cache|approx|width|inputs run an ablation study" );
-    ("--micro", Arg.Unit (add_section "micro"), " bechamel micro-benchmarks") ]
+    ("--micro", Arg.Unit (add_section "micro"), " bechamel micro-benchmarks");
+    ( "--json",
+      Arg.Set_string json_out,
+      "FILE machine-readable results file (default BENCH_fastsim.json; \
+       empty string disables)" ) ]
 
 let usage =
   "main.exe [--quick] [--table N] [--figure 7] [--ablation X] [--micro]"
@@ -444,6 +449,76 @@ let ablation_approx () =
     (Lazy.force rows)
 
 (* ---------------------------------------------------------------- *)
+(* Machine-readable results: one JSON object per measured workload — the
+   Table 2/3/4 numbers (slowdowns vs functional, simulation rates, memo
+   hit fractions) plus a per-phase host-time split from one extra
+   profiled fast run. Consumed by CI and plotting scripts. *)
+
+let write_json path =
+  let open Fastsim_obs.Json in
+  let row_json r =
+    let phases =
+      (* The timed runs above are unobserved (profiling would perturb
+         them); one extra profiled run splits host time into phases. *)
+      let prof = Fastsim_obs.Profile.create () in
+      let obs = Fastsim_obs.Ctx.create ~profile:prof () in
+      let prog = r.w.Workloads.Workload.build (scale_of r.w) in
+      ignore (Fastsim.Sim.fast_sim ~obs prog : Fastsim.Sim.result);
+      Fastsim_obs.Profile.to_json prof
+    in
+    let memo =
+      match (r.fast.Fastsim.Sim.memo, r.fast.Fastsim.Sim.pcache) with
+      | Some m, Some p ->
+        Obj
+          [ ("detailed_fraction", Float (Memo.Stats.detailed_fraction m));
+            ( "replay_fraction",
+              Float (1. -. Memo.Stats.detailed_fraction m) );
+            ("detailed_retired", Int m.Memo.Stats.detailed_retired);
+            ("replayed_retired", Int m.Memo.Stats.replayed_retired);
+            ("avg_chain", Float (Memo.Stats.avg_chain m));
+            ("max_chain", Int m.Memo.Stats.chain_max);
+            ("episodes", Int m.Memo.Stats.episodes);
+            ("static_configs", Int p.Memo.Pcache.static_configs);
+            ("static_actions", Int p.Memo.Pcache.static_actions);
+            ("peak_modeled_bytes", Int p.Memo.Pcache.peak_modeled_bytes) ]
+      | _ -> Null
+    in
+    Obj
+      [ ("name", Str r.w.Workloads.Workload.name);
+        ("scale", Int (scale_of r.w));
+        ("insts", Int r.insts);
+        ("cycles", Int r.slow.Fastsim.Sim.cycles);
+        ("retired", Int r.slow.Fastsim.Sim.retired);
+        ( "seconds",
+          Obj
+            [ ("functional", Float r.t_prog);
+              ("slow", Float r.t_slow);
+              ("fast", Float r.t_fast);
+              ("baseline", Float r.t_base) ] );
+        ( "slowdown_vs_functional",
+          Obj
+            [ ("slow", Float (r.t_slow /. r.t_prog));
+              ("fast", Float (r.t_fast /. r.t_prog)) ] );
+        ("memo_speedup", Float (r.t_slow /. r.t_fast));
+        ("memo", memo);
+        ("phases_seconds", phases) ]
+  in
+  let doc =
+    Obj
+      [ ("harness", Str "fastsim-bench");
+        ("quick", Bool !quick);
+        ("repeat", Int !repeat);
+        ("workloads", List (List.map row_json (Lazy.force rows))) ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      to_channel oc doc;
+      output_char oc '\n');
+  Printf.eprintf "machine-readable results written to %s\n%!" path
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks of the engine's kernels.                *)
 
 let micro () =
@@ -546,4 +621,7 @@ let () =
   if wanted "ablation-approx" then ablation_approx ();
   if wanted "ablation-width" then ablation_width ();
   if wanted "ablation-inputs" then ablation_inputs ();
-  if wanted "micro" then micro ()
+  if wanted "micro" then micro ();
+  (* Only when the shared rows were actually measured: a --micro-only or
+     --table 1 invocation should not trigger the full suite. *)
+  if !json_out <> "" && Lazy.is_val rows then write_json !json_out

@@ -81,6 +81,45 @@ let load_pcache_arg =
           "Warm-start the fast engine from a p-action cache saved by a \
            previous run of the same workload and scale.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a structured event trace of the run to $(docv). The \
+           default format is Chrome $(b,trace_event) JSON — load it in \
+           Perfetto (ui.perfetto.dev) or chrome://tracing. Works with \
+           both engines: under memoization, fast-forwarded regions emit \
+           synthetic events reconstructed from the replayed action \
+           chains.")
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Chrome
+    & info [ "trace-format" ] ~docv:"FMT"
+        ~doc:
+          "Trace file format: $(b,chrome) (trace_event JSON for \
+           Perfetto) or $(b,jsonl) (one event object per line, for jq).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the metrics registry (counters, gauges, log2-bucketed \
+           histograms) to $(docv) as JSON.")
+
+let memo_report_arg =
+  Arg.(
+    value & flag
+    & info [ "memo-report" ]
+        ~doc:
+          "After a fast run, print a detailed memoization report \
+           (replay-episode statistics and p-action cache counters).")
+
 let parse_policy = function
   | None -> Ok Memo.Pcache.Unbounded
   | Some s -> (
@@ -137,9 +176,55 @@ let print_result name (r : Fastsim.Sim.result) t =
       (Memo.Stats.avg_chain m)
   | _ -> ()
 
+(* --memo-report: the long-form version of the one-line memo summary. *)
+let print_memo_report (r : Fastsim.Sim.result) =
+  match (r.memo, r.pcache) with
+  | Some m, Some p ->
+    let pct a b = 100. *. float_of_int a /. float_of_int (max 1 b) in
+    Printf.printf "memoization report\n";
+    Printf.printf "  dynamic (Tables 4-5)\n";
+    Printf.printf "    %-28s %12d  (%5.2f%%)\n" "detailed cycles"
+      m.Memo.Stats.detailed_cycles
+      (pct m.detailed_cycles (Memo.Stats.total_cycles m));
+    Printf.printf "    %-28s %12d  (%5.2f%%)\n" "replayed cycles"
+      m.replayed_cycles
+      (pct m.replayed_cycles (Memo.Stats.total_cycles m));
+    Printf.printf "    %-28s %12d  (%5.2f%%)\n" "detailed retired"
+      m.detailed_retired
+      (100. *. Memo.Stats.detailed_fraction m);
+    Printf.printf "    %-28s %12d  (%5.2f%%)\n" "replayed retired"
+      m.replayed_retired
+      (pct m.replayed_retired (Memo.Stats.total_retired m));
+    Printf.printf "    %-28s %12d\n" "actions replayed" m.actions_replayed;
+    Printf.printf "    %-28s %12d\n" "groups replayed" m.groups_replayed;
+    Printf.printf "    %-28s %12d\n" "replay episodes" m.episodes;
+    Printf.printf "    %-28s %12.1f\n" "avg chain length"
+      (Memo.Stats.avg_chain m);
+    Printf.printf "    %-28s %12d\n" "max chain length" m.chain_max;
+    Printf.printf "    %-28s %12d\n" "detailed (re)entries"
+      m.detailed_entries;
+    Printf.printf "  p-action cache\n";
+    Printf.printf "    %-28s %12d\n" "static configs" p.static_configs;
+    Printf.printf "    %-28s %12d\n" "static actions" p.static_actions;
+    Printf.printf "    %-28s %12d\n" "live configs" p.live_configs;
+    Printf.printf "    %-28s %12.1f KB\n" "modeled size"
+      (float_of_int p.modeled_bytes /. 1024.);
+    Printf.printf "    %-28s %12.1f KB\n" "peak modeled size"
+      (float_of_int p.peak_modeled_bytes /. 1024.);
+    Printf.printf "    %-28s %12d\n" "flushes" p.flushes;
+    Printf.printf "    %-28s %12d\n" "minor collections"
+      p.minor_collections;
+    Printf.printf "    %-28s %12d\n" "full collections" p.full_collections;
+    if p.minor_collections + p.full_collections > 0 then
+      Printf.printf "    %-28s %d / %d\n" "last GC survivors"
+        p.last_gc_survivors p.last_gc_population
+  | _ ->
+    Printf.printf
+      "memo report: no memoization statistics (not a fast-engine run)\n"
+
 let run_cmd =
   let run (w : Workloads.Workload.t) scale engine policy predictor tiny
-      save_pcache load_pcache =
+      save_pcache load_pcache trace_out trace_format metrics_out memo_report =
     match parse_policy policy with
     | Error (`Msg m) -> prerr_endline m; 1
     | Ok policy ->
@@ -149,6 +234,45 @@ let run_cmd =
         if tiny then Some Cachesim.Config.tiny else None
       in
       Printf.printf "%s (scale %d): %s\n" w.name scale w.description;
+      (* Observability is attached only when an output was requested, so a
+         plain run pays nothing. With --engine all the instruments are
+         shared: the trace then contains both engines' runs back to back. *)
+      let obs =
+        match (trace_out, metrics_out) with
+        | None, None -> None
+        | _ ->
+          Some
+            (Fastsim_obs.Ctx.create
+               ?trace:
+                 (Option.map
+                    (fun _ -> Fastsim_obs.Trace.create ())
+                    trace_out)
+               ?metrics:
+                 (Option.map
+                    (fun _ -> Fastsim_obs.Metrics.create ())
+                    metrics_out)
+               ())
+      in
+      let write_obs_files () =
+        (match (trace_out, Fastsim_obs.Ctx.trace obs) with
+         | Some path, Some tr ->
+           (match trace_format with
+            | `Chrome -> Fastsim_obs.Export.write_chrome_file path tr
+            | `Jsonl -> Fastsim_obs.Export.write_jsonl_file path tr);
+           Printf.printf "trace: %d events written to %s%s\n"
+             (Fastsim_obs.Trace.length tr)
+             path
+             (let d = Fastsim_obs.Trace.dropped tr in
+              if d > 0 then
+                Printf.sprintf " (%d oldest events dropped by the ring)" d
+              else "")
+         | _ -> ());
+        match (metrics_out, Fastsim_obs.Ctx.metrics obs) with
+        | Some path, Some m ->
+          Fastsim_obs.Export.write_metrics_file path m;
+          Printf.printf "metrics written to %s\n" path
+        | _ -> ()
+      in
       let run_fast () =
         let pcache =
           match load_pcache with
@@ -159,9 +283,10 @@ let run_cmd =
         in
         let r, t =
           time (fun () ->
-              Fastsim.Sim.fast_sim ?cache_config ~pcache ~predictor prog)
+              Fastsim.Sim.fast_sim ?cache_config ~pcache ~predictor ?obs prog)
         in
         print_result "FastSim" r t;
+        if memo_report then print_memo_report r;
         (match save_pcache with
          | Some path ->
            Memo.Persist.save_file pcache ~program:prog path;
@@ -171,7 +296,8 @@ let run_cmd =
       in
       let run_slow () =
         let r, t =
-          time (fun () -> Fastsim.Sim.slow_sim ?cache_config ~predictor prog)
+          time (fun () ->
+              Fastsim.Sim.slow_sim ?cache_config ~predictor ?obs prog)
         in
         print_result "SlowSim" r t;
         (r, t)
@@ -187,7 +313,9 @@ let run_cmd =
       in
       (match engine with
        | `Fast -> ignore (run_fast () : Fastsim.Sim.result)
-       | `Slow -> ignore (run_slow () : Fastsim.Sim.result * float)
+       | `Slow ->
+         let r, _ = run_slow () in
+         if memo_report then print_memo_report r
        | `Baseline -> run_base ()
        | `Functional ->
          let (_, _, n), t = time (fun () -> Fastsim.Sim.functional prog) in
@@ -199,13 +327,17 @@ let run_cmd =
          assert (slow.Fastsim.Sim.cycles = fast.Fastsim.Sim.cycles);
          Printf.printf "memoization speedup: effectively identical results, \
                         see times above (slow %.2fs)\n" t_slow);
-      0
+      (try write_obs_files (); 0
+       with Sys_error m ->
+         Printf.eprintf "fastsim: cannot write output: %s\n" m;
+         1)
   in
   let doc = "simulate a workload" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ workload_arg $ scale_arg $ engine_arg $ policy_arg
-      $ predictor_arg $ tiny_cache_arg $ save_pcache_arg $ load_pcache_arg)
+      $ predictor_arg $ tiny_cache_arg $ save_pcache_arg $ load_pcache_arg
+      $ trace_out_arg $ trace_format_arg $ metrics_out_arg $ memo_report_arg)
 
 let list_cmd =
   let list () =
@@ -327,9 +459,57 @@ let trace_cmd =
        ~doc:"print a cycle-by-cycle pipeline trace (detailed simulation)")
     Term.(const trace $ workload_arg $ scale_arg $ from_arg $ count_arg)
 
+let profile_cmd =
+  let profile (w : Workloads.Workload.t) scale engine policy predictor tiny =
+    match parse_policy policy with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok policy ->
+      let scale = Option.value scale ~default:w.default_scale in
+      let prog = w.build scale in
+      let cache_config = if tiny then Some Cachesim.Config.tiny else None in
+      Printf.printf "%s (scale %d): host-time profile\n" w.name scale;
+      (* One profiler per engine run, so the tables are independently
+         meaningful (phase seconds sum to that run's wall clock). *)
+      let profiled name f =
+        let prof = Fastsim_obs.Profile.create () in
+        let obs = Fastsim_obs.Ctx.create ~profile:prof () in
+        let (r : Fastsim.Sim.result) = f obs in
+        Printf.printf "\n%s: %d cycles, %d retired\n" name r.cycles r.retired;
+        Format.printf "%a@?" Fastsim_obs.Profile.pp prof
+      in
+      let fast obs =
+        Fastsim.Sim.fast_sim ?cache_config ~policy ~predictor ~obs prog
+      in
+      let slow obs =
+        Fastsim.Sim.slow_sim ?cache_config ~predictor ~obs prog
+      in
+      (match engine with
+       | `Fast -> profiled "FastSim" fast
+       | `Slow -> profiled "SlowSim" slow
+       | `All ->
+         profiled "SlowSim" slow;
+         profiled "FastSim" fast);
+      0
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt (enum [ ("fast", `Fast); ("slow", `Slow); ("all", `All) ]) `Fast
+      & info [ "engine"; "e" ] ~docv:"ENGINE"
+          ~doc:"Engine to profile: $(b,fast), $(b,slow), or $(b,all).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "partition a run's host wall-clock time into simulator phases \
+          (detailed / replay / cachesim / emulation)")
+    Term.(
+      const profile $ workload_arg $ scale_arg $ engine_arg $ policy_arg
+      $ predictor_arg $ tiny_cache_arg)
+
 let () =
   let doc = "FastSim: out-of-order processor simulation with memoization" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "fastsim" ~doc)
-          [ run_cmd; list_cmd; disasm_cmd; asm_cmd; trace_cmd ]))
+          [ run_cmd; list_cmd; disasm_cmd; asm_cmd; trace_cmd; profile_cmd ]))

@@ -71,15 +71,48 @@ let is_return prog pc =
     | Some (Isa.Instr.Jr rs) -> rs = Isa.Reg.link
     | Some _ | None -> false)
 
-let standard ?prog () : Emu.Predictor.t =
+let standard ?prog ?metrics () : Emu.Predictor.t =
   let bht = Twobit.create () in
   let btb = Btb.create () in
   let ras = Ras.create () in
-  { predict_cond = (fun ~pc -> Twobit.predict bht ~pc);
+  (* Observability counters (find-or-create; absent registry = no-ops).
+     Strictly passive: predictions are unaffected. *)
+  let m name =
+    Option.map (fun reg -> Fastsim_obs.Metrics.counter reg name) metrics
+  in
+  let c_cond = m "bpred.cond_lookups" in
+  let c_btb = m "bpred.btb_lookups" in
+  let c_btb_hit = m "bpred.btb_hits" in
+  let c_ras = m "bpred.ras_pops" in
+  let c_ras_empty = m "bpred.ras_underflows" in
+  let tick = function
+    | None -> ()
+    | Some c -> Fastsim_obs.Metrics.incr c
+  in
+  { predict_cond =
+      (fun ~pc ->
+        tick c_cond;
+        Twobit.predict bht ~pc);
     train_cond = (fun ~pc ~taken -> Twobit.train bht ~pc ~taken);
     predict_indirect =
       (fun ~pc ->
-        if is_return prog pc then Ras.pop ras else Btb.predict btb ~pc);
+        if is_return prog pc then begin
+          match Ras.pop ras with
+          | Some _ as r ->
+            tick c_ras;
+            r
+          | None ->
+            tick c_ras_empty;
+            None
+        end
+        else begin
+          tick c_btb;
+          match Btb.predict btb ~pc with
+          | Some _ as r ->
+            tick c_btb_hit;
+            r
+          | None -> None
+        end);
     train_indirect =
       (fun ~pc ~target ->
         if not (is_return prog pc) then Btb.train btb ~pc ~target);

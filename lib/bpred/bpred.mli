@@ -47,11 +47,16 @@ module Ras : sig
   val depth : t -> int
 end
 
-val standard : ?prog:Isa.Program.t -> unit -> Emu.Predictor.t
+val standard :
+  ?prog:Isa.Program.t -> ?metrics:Fastsim_obs.Metrics.t -> unit ->
+  Emu.Predictor.t
 (** The paper's configuration: 2-bit/512-entry BHT for conditional
     branches, plus BTB and RAS for indirect jumps. If [prog] is given,
     [Jr r31] instructions are treated as returns and predicted with the
-    RAS; all other indirect jumps use the BTB. *)
+    RAS; all other indirect jumps use the BTB. [metrics] attaches the
+    [bpred.*] observability counters (lookups, BTB hits, RAS pops/
+    underflows — see [docs/OBSERVABILITY.md]); predictions are
+    unaffected. *)
 
 val static_not_taken : unit -> Emu.Predictor.t
 (** Ablation predictor: always predicts not-taken, never predicts

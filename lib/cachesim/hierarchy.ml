@@ -11,6 +11,10 @@ type stats = {
 
 type t = {
   cfg : Config.t;
+  (* Observability (docs/OBSERVABILITY.md): both default to absent and are
+     strictly passive — no timing or stats field depends on them. *)
+  trace : Fastsim_obs.Trace.t option;
+  h_miss_latency : Fastsim_obs.Metrics.histogram option;
   l1 : Setassoc.t;
   l2 : Setassoc.t;
   l1_mshr : int array;  (* cycle at which each MSHR becomes free *)
@@ -27,9 +31,14 @@ type t = {
   mutable merged_misses : int;
 }
 
-let create ?(config = Config.default) () =
+let create ?(config = Config.default) ?trace ?metrics () =
   let c = config in
   { cfg = c;
+    trace;
+    h_miss_latency =
+      Option.map
+        (fun m -> Fastsim_obs.Metrics.histogram m "cache.miss_latency")
+        metrics;
     l1 = Setassoc.create ~size:c.l1_size ~ways:c.l1_ways ~line:c.l1_line;
     l2 = Setassoc.create ~size:c.l2_size ~ways:c.l2_ways ~line:c.l2_line;
     l1_mshr = Array.make c.l1_mshrs 0;
@@ -44,6 +53,18 @@ let create ?(config = Config.default) () =
     l2_misses = 0;
     writebacks = 0;
     merged_misses = 0 }
+
+let emit t ts name args =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Fastsim_obs.Trace.emit tr
+      (Fastsim_obs.Event.instant ~ts ~cat:"cache" ~args name)
+
+let observe_miss t latency =
+  match t.h_miss_latency with
+  | None -> ()
+  | Some h -> Fastsim_obs.Metrics.observe h latency
 
 (* Index of the MSHR that frees earliest. *)
 let earliest_mshr arr =
@@ -71,6 +92,7 @@ let l2_access t ~start ~addr ~dirty =
   end
   else begin
     t.l2_misses <- t.l2_misses + 1;
+    emit t start "l2_miss" [ ("addr", Fastsim_obs.Json.Int addr) ];
     let m = earliest_mshr t.l2_mshr in
     let start = max start t.l2_mshr.(m) in
     (* Request beat on the split-transaction bus, then memory, then the
@@ -87,6 +109,7 @@ let l2_access t ~start ~addr ~dirty =
     in
     if evicted_dirty then begin
       t.writebacks <- t.writebacks + 1;
+      emit t start "writeback" [ ("addr", Fastsim_obs.Json.Int addr) ];
       t.bus_free <- t.bus_free + l2_transfer t
     end;
     t.l2_mshr.(m) <- ready;
@@ -104,7 +127,13 @@ let load t ~now ~addr =
     t.l1_misses <- t.l1_misses + 1;
     t.merged_misses <- t.merged_misses + 1;
     ignore (Setassoc.touch t.l1 line : bool);
-    ready - now
+    let latency = ready - now in
+    emit t now "l1_miss"
+      [ ("addr", Fastsim_obs.Json.Int addr);
+        ("latency", Fastsim_obs.Json.Int latency);
+        ("merged", Fastsim_obs.Json.Bool true) ];
+    observe_miss t latency;
+    latency
   | _ ->
     Hashtbl.remove t.fills line;
     if Setassoc.touch t.l1 line then begin
@@ -119,14 +148,25 @@ let load t ~now ~addr =
       ignore (Setassoc.fill t.l1 line ~dirty:false : Setassoc.fill_result);
       Hashtbl.replace t.fills line ready;
       t.l1_mshr.(m) <- ready;
-      max 1 (ready - now)
+      let latency = max 1 (ready - now) in
+      emit t now "l1_miss"
+        [ ("addr", Fastsim_obs.Json.Int addr);
+          ("latency", Fastsim_obs.Json.Int latency);
+          ("merged", Fastsim_obs.Json.Bool false) ];
+      observe_miss t latency;
+      latency
     end
 
 let store t ~now ~addr =
   t.stores <- t.stores + 1;
   let line = Setassoc.line_addr t.l1 addr in
   if Setassoc.touch t.l1 line then t.l1_hits <- t.l1_hits + 1
-  else t.l1_misses <- t.l1_misses + 1;
+  else begin
+    t.l1_misses <- t.l1_misses + 1;
+    emit t now "l1_miss"
+      [ ("addr", Fastsim_obs.Json.Int addr);
+        ("store", Fastsim_obs.Json.Bool true) ]
+  end;
   (* Write-through: one bus beat to L2 via the write buffer. *)
   t.bus_free <- max t.bus_free now + 1;
   ignore (l2_access t ~start:now ~addr ~dirty:true : int)

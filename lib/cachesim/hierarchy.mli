@@ -21,7 +21,17 @@
 
 type t
 
-val create : ?config:Config.t -> unit -> t
+val create :
+  ?config:Config.t ->
+  ?trace:Fastsim_obs.Trace.t ->
+  ?metrics:Fastsim_obs.Metrics.t ->
+  unit ->
+  t
+(** [trace] and [metrics] attach observability (see
+    [docs/OBSERVABILITY.md]): the hierarchy emits [cache]-category
+    [l1_miss] / [l2_miss] / [writeback] instant events and feeds the
+    [cache.miss_latency] log2 histogram. Purely passive — timing and stats
+    are identical with and without them. *)
 
 val load : t -> now:int -> addr:int -> int
 (** [load t ~now ~addr] issues a load and returns the number of cycles

@@ -26,9 +26,9 @@ type predictor_kind = Standard | Not_taken | Taken
    stuck; generous enough for any real memory-latency pile-up. *)
 let watchdog = 100_000
 
-let make_predictor kind prog =
+let make_predictor ?metrics kind prog =
   match kind with
-  | Standard -> Bpred.standard ~prog ()
+  | Standard -> Bpred.standard ~prog ?metrics ()
   | Not_taken -> Bpred.static_not_taken ()
   | Taken -> Bpred.static_taken ()
 
@@ -73,6 +73,77 @@ let live_oracle emu cache counters : Uarch.Oracle.t =
     rollback =
       (fun ~index -> ignore (Emu.Emulator.rollback_to emu ~index : int)) }
 
+(* ---------------------------------------------------------------- *)
+(* Observability plumbing (docs/OBSERVABILITY.md). Everything below is
+   strictly passive: the instrumented oracle and all event emission only
+   observe, so simulation results are bit-identical with and without an
+   observability context (enforced by the equivalence suite). *)
+
+let prof_enter p ph =
+  match p with None -> () | Some p -> Fastsim_obs.Profile.enter p ph
+
+let prof_leave p =
+  match p with None -> () | Some p -> Fastsim_obs.Profile.leave p
+
+let emit_opt tr ev =
+  match tr with None -> () | Some tr -> Fastsim_obs.Trace.emit tr ev
+
+(* Wraps the live oracle so cache calls are charged to the Cachesim
+   profiling phase, direct-execution pulls/rollbacks to the Emulation
+   phase, and control outcomes / rollbacks appear as [core] trace events.
+   During replay these emissions come from the recorded chains being
+   re-performed, which is exactly what makes FastSim observable. *)
+let instrument_oracle (obs : Fastsim_obs.Ctx.t option) ~now
+    (oracle : Uarch.Oracle.t) : Uarch.Oracle.t =
+  match obs with
+  | None | Some { Fastsim_obs.Ctx.trace = None; profile = None; _ } -> oracle
+  | Some { Fastsim_obs.Ctx.trace; profile; _ } ->
+    { cache_load =
+        (fun ~now:cyc ->
+          prof_enter profile Fastsim_obs.Profile.Cachesim;
+          let lat = oracle.Uarch.Oracle.cache_load ~now:cyc in
+          prof_leave profile;
+          lat);
+      cache_store =
+        (fun ~now:cyc ->
+          prof_enter profile Fastsim_obs.Profile.Cachesim;
+          oracle.Uarch.Oracle.cache_store ~now:cyc;
+          prof_leave profile);
+      fetch_control =
+        (fun () ->
+          prof_enter profile Fastsim_obs.Profile.Emulation;
+          let out = oracle.Uarch.Oracle.fetch_control () in
+          prof_leave profile;
+          (match trace with
+           | None -> ()
+           | Some tr ->
+             let ts = now () in
+             let ev =
+               match out with
+               | Uarch.Oracle.C_cond { taken; mispredicted } ->
+                 Fastsim_obs.Event.instant ~ts ~cat:"core" "cond"
+                   ~args:
+                     [ ("taken", Fastsim_obs.Json.Bool taken);
+                       ("mispredicted", Fastsim_obs.Json.Bool mispredicted) ]
+               | Uarch.Oracle.C_indirect { target; hit } ->
+                 Fastsim_obs.Event.instant ~ts ~cat:"core" "indirect"
+                   ~args:
+                     [ ("target", Fastsim_obs.Json.Int target);
+                       ("hit", Fastsim_obs.Json.Bool hit) ]
+               | Uarch.Oracle.C_stalled ->
+                 Fastsim_obs.Event.instant ~ts ~cat:"core" "fetch_stall"
+             in
+             Fastsim_obs.Trace.emit tr ev);
+          out);
+      rollback =
+        (fun ~index ->
+          prof_enter profile Fastsim_obs.Profile.Emulation;
+          oracle.Uarch.Oracle.rollback ~index;
+          prof_leave profile;
+          emit_opt trace
+            (Fastsim_obs.Event.instant ~ts:(now ()) ~cat:"core" "rollback"
+               ~args:[ ("index", Fastsim_obs.Json.Int index) ])) }
+
 let functional = Emu.Emulator.run_functional
 
 let finish ~cycles ~retired ~classes ~emu ~cache ~counters ~memo ~pcache =
@@ -95,28 +166,47 @@ let fresh_counters () =
   { n_cond = 0; n_mispred = 0; n_ind = 0; n_misfetch = 0 }
 
 let slow_sim ?params ?cache_config ?(predictor = Standard)
-    ?(max_cycles = max_int) ?observer prog =
-  let pred = make_predictor predictor prog in
+    ?(max_cycles = max_int) ?observer ?obs prog =
+  let trace = Fastsim_obs.Ctx.trace obs in
+  let metrics = Fastsim_obs.Ctx.metrics obs in
+  let profile = Fastsim_obs.Ctx.profile obs in
+  let pred = make_predictor ?metrics predictor prog in
   let emu = Emu.Emulator.create ~predictor:pred prog in
-  let cache = Cachesim.Hierarchy.create ?config:cache_config () in
+  let cache = Cachesim.Hierarchy.create ?config:cache_config ?trace ?metrics () in
   let uarch = Uarch.Detailed.create ?params prog in
   let counters = fresh_counters () in
-  let oracle = live_oracle emu cache counters in
   let cycle = ref 0 and retired = ref 0 and last_progress = ref 0 in
+  let oracle =
+    instrument_oracle obs ~now:(fun () -> !cycle)
+      (live_oracle emu cache counters)
+  in
   let halted = ref false in
-  while not !halted do
-    if !cycle >= max_cycles then raise (Deadlock "cycle limit exceeded");
-    let r = Uarch.Detailed.step_cycle uarch ~now:!cycle oracle in
-    (match observer with
-     | Some f -> f !cycle uarch r
-     | None -> ());
-    incr cycle;
-    retired := !retired + r.Uarch.Detailed.retired;
-    if r.Uarch.Detailed.retired > 0 then last_progress := !cycle;
-    if !cycle - !last_progress > watchdog then
-      raise (Deadlock "no retirement progress");
-    if r.Uarch.Detailed.halted then halted := true
-  done;
+  emit_opt trace (Fastsim_obs.Event.span_begin ~ts:0 ~cat:"engine" "detailed");
+  prof_enter profile Fastsim_obs.Profile.Detailed;
+  Fun.protect
+    ~finally:(fun () -> prof_leave profile)
+    (fun () ->
+      while not !halted do
+        if !cycle >= max_cycles then raise (Deadlock "cycle limit exceeded");
+        let r = Uarch.Detailed.step_cycle uarch ~now:!cycle oracle in
+        (match observer with
+         | Some f -> f !cycle uarch r
+         | None -> ());
+        incr cycle;
+        retired := !retired + r.Uarch.Detailed.retired;
+        if r.Uarch.Detailed.retired > 0 then begin
+          last_progress := !cycle;
+          emit_opt trace
+            (Fastsim_obs.Event.counter ~ts:!cycle ~cat:"engine" "retired"
+               !retired)
+        end;
+        if !cycle - !last_progress > watchdog then
+          raise (Deadlock "no retirement progress");
+        if r.Uarch.Detailed.halted then halted := true
+      done);
+  emit_opt trace
+    (Fastsim_obs.Event.span_end ~ts:!cycle ~cat:"engine" "detailed"
+       ~args:[ ("cycles", Fastsim_obs.Json.Int !cycle) ]);
   finish ~cycles:!cycle ~retired:!retired
     ~classes:(Uarch.Detailed.retired_by_class uarch)
     ~emu ~cache ~counters ~memo:None ~pcache:None
@@ -127,19 +217,28 @@ let slow_sim ?params ?cache_config ?(predictor = Standard)
    an unseen outcome, resume detailed simulation from the configuration
    with the already-obtained outcomes as a prefix. *)
 let fast_sim ?params ?cache_config ?(predictor = Standard)
-    ?(max_cycles = max_int) ?(policy = Memo.Pcache.Unbounded) ?pcache prog =
-  let pred = make_predictor predictor prog in
+    ?(max_cycles = max_int) ?(policy = Memo.Pcache.Unbounded) ?pcache ?obs
+    prog =
+  let trace = Fastsim_obs.Ctx.trace obs in
+  let metrics = Fastsim_obs.Ctx.metrics obs in
+  let profile = Fastsim_obs.Ctx.profile obs in
+  let pred = make_predictor ?metrics predictor prog in
   let emu = Emu.Emulator.create ~predictor:pred prog in
-  let cache = Cachesim.Hierarchy.create ?config:cache_config () in
+  let cache = Cachesim.Hierarchy.create ?config:cache_config ?trace ?metrics () in
   let counters = fresh_counters () in
-  let oracle = live_oracle emu cache counters in
+  let cycle = ref 0 in
+  let oracle =
+    instrument_oracle obs ~now:(fun () -> !cycle)
+      (live_oracle emu cache counters)
+  in
   let pc =
     match pcache with
     | Some pc -> pc
     | None -> Memo.Pcache.create ~policy ()
   in
+  if Option.is_some obs then
+    Memo.Pcache.attach_obs pc ?trace ?metrics ~now:(fun () -> !cycle) ();
   let mstats = Memo.Stats.create () in
-  let cycle = ref 0 in
   let total_classes = Array.make Isa.Instr.fu_count 0 in
   let prefix_mismatch what item =
     raise
@@ -152,6 +251,9 @@ let fast_sim ?params ?cache_config ?(predictor = Standard)
      obtained by a diverged replay), record groups until a known
      configuration is reached or the program halts. *)
   let detailed_episode uarch cfg0 prefix0 =
+    emit_opt trace
+      (Fastsim_obs.Event.span_begin ~ts:!cycle ~cat:"engine" "detailed");
+    prof_enter profile Fastsim_obs.Profile.Detailed;
     mstats.Memo.Stats.detailed_entries <-
       mstats.Memo.Stats.detailed_entries + 1;
     let items_rev = ref [] in
@@ -213,54 +315,70 @@ let fast_sim ?params ?cache_config ?(predictor = Standard)
     in
     let last_progress = ref !cycle in
     let result = ref None in
-    while !result = None do
-      if !cycle >= max_cycles then raise (Deadlock "cycle limit exceeded");
-      let r = Uarch.Detailed.step_cycle uarch ~now:!cycle wrapped in
-      incr cycle;
-      mstats.Memo.Stats.detailed_cycles <-
-        mstats.Memo.Stats.detailed_cycles + 1;
-      mstats.Memo.Stats.detailed_retired <-
-        mstats.Memo.Stats.detailed_retired + r.Uarch.Detailed.retired;
-      group_retired := !group_retired + r.Uarch.Detailed.retired;
-      if r.Uarch.Detailed.retired > 0 then last_progress := !cycle;
-      if !cycle - !last_progress > watchdog then
-        raise (Deadlock "no retirement progress");
-      if r.Uarch.Detailed.halted then begin
-        ignore
-          (Memo.Pcache.merge_group pc !cfg ~silent:!silent
-             ~retired:!group_retired
-             ~classes:(group_classes uarch)
-             ~items:(List.rev !items_rev)
-             ~terminal:Memo.Action.T_halt
-            : Memo.Action.config option);
-        result := Some `Halted
-      end
-      else if r.Uarch.Detailed.interactions > 0 then begin
-        let key = Uarch.Detailed.snapshot uarch in
-        let next =
-          Memo.Pcache.merge_group pc !cfg ~silent:!silent
-            ~retired:!group_retired
-            ~classes:(group_classes uarch)
-            ~items:(List.rev !items_rev)
-            ~terminal:(Memo.Action.T_goto key)
-        in
-        assert (!pending = []);
-        items_rev := [];
-        silent := 0;
-        group_retired := 0;
-        let next =
-          match Memo.Pcache.check_budget pc with
-          | `Kept -> ( match next with Some c -> c | None -> assert false)
-          | `Flushed | `Collected ->
-            (* Our configuration nodes may be stale; re-intern by key. *)
-            Memo.Pcache.intern pc key
-        in
-        if next.Memo.Action.cfg_group <> None then
-          result := Some (`Replay next)
-        else cfg := next
-      end
-      else incr silent
-    done;
+    Fun.protect
+      ~finally:(fun () -> prof_leave profile)
+      (fun () ->
+        while !result = None do
+          if !cycle >= max_cycles then
+            raise (Deadlock "cycle limit exceeded");
+          let r = Uarch.Detailed.step_cycle uarch ~now:!cycle wrapped in
+          incr cycle;
+          mstats.Memo.Stats.detailed_cycles <-
+            mstats.Memo.Stats.detailed_cycles + 1;
+          mstats.Memo.Stats.detailed_retired <-
+            mstats.Memo.Stats.detailed_retired + r.Uarch.Detailed.retired;
+          group_retired := !group_retired + r.Uarch.Detailed.retired;
+          if r.Uarch.Detailed.retired > 0 then begin
+            last_progress := !cycle;
+            emit_opt trace
+              (Fastsim_obs.Event.counter ~ts:!cycle ~cat:"engine" "retired"
+                 (mstats.Memo.Stats.detailed_retired
+                 + mstats.Memo.Stats.replayed_retired))
+          end;
+          if !cycle - !last_progress > watchdog then
+            raise (Deadlock "no retirement progress");
+          if r.Uarch.Detailed.halted then begin
+            ignore
+              (Memo.Pcache.merge_group pc !cfg ~silent:!silent
+                 ~retired:!group_retired
+                 ~classes:(group_classes uarch)
+                 ~items:(List.rev !items_rev)
+                 ~terminal:Memo.Action.T_halt
+                : Memo.Action.config option);
+            result := Some `Halted
+          end
+          else if r.Uarch.Detailed.interactions > 0 then begin
+            let key = Uarch.Detailed.snapshot uarch in
+            let next =
+              Memo.Pcache.merge_group pc !cfg ~silent:!silent
+                ~retired:!group_retired
+                ~classes:(group_classes uarch)
+                ~items:(List.rev !items_rev)
+                ~terminal:(Memo.Action.T_goto key)
+            in
+            assert (!pending = []);
+            items_rev := [];
+            silent := 0;
+            group_retired := 0;
+            let next =
+              match Memo.Pcache.check_budget pc with
+              | `Kept -> (
+                match next with Some c -> c | None -> assert false)
+              | `Flushed | `Collected ->
+                (* Our configuration nodes may be stale; re-intern by key. *)
+                Memo.Pcache.intern pc key
+            in
+            if next.Memo.Action.cfg_group <> None then
+              result := Some (`Replay next)
+            else cfg := next
+          end
+          else incr silent
+        done);
+    emit_opt trace
+      (Fastsim_obs.Event.span_end ~ts:!cycle ~cat:"engine" "detailed"
+         ~args:
+           [ ( "detailed_cycles",
+               Fastsim_obs.Json.Int mstats.Memo.Stats.detailed_cycles ) ]);
     match !result with Some r -> r | None -> assert false
   in
   let uarch0 = Uarch.Detailed.create ?params prog in
@@ -272,25 +390,34 @@ let fast_sim ?params ?cache_config ?(predictor = Standard)
     else ref (`Detailed (uarch0, cfg0, []))
   in
   let halted = ref false in
-  while not !halted do
-    match !state with
-    | `Detailed (uarch, cfg, prefix) -> (
-      match detailed_episode uarch cfg prefix with
-      | `Halted -> halted := true
-      | `Replay cfg' -> state := `Replay cfg')
-    | `Replay cfg -> (
-      match
-        Memo.Replay.run ~max_cycles pc mstats ~oracle ~cycle
-          ~classes:total_classes ~start:cfg
-      with
-      | Memo.Replay.Replay_halted -> halted := true
-      | Memo.Replay.Replay_limit -> raise (Deadlock "cycle limit exceeded")
-      | Memo.Replay.Diverged { config; prefix } ->
-        let uarch =
-          Uarch.Detailed.restore ?params prog config.Memo.Action.cfg_key
-        in
-        state := `Detailed (uarch, config, prefix))
-  done;
+  Fun.protect
+    ~finally:(fun () -> if Option.is_some obs then Memo.Pcache.detach_obs pc)
+    (fun () ->
+      while not !halted do
+        match !state with
+        | `Detailed (uarch, cfg, prefix) -> (
+          match detailed_episode uarch cfg prefix with
+          | `Halted -> halted := true
+          | `Replay cfg' -> state := `Replay cfg')
+        | `Replay cfg ->
+          prof_enter profile Fastsim_obs.Profile.Replay;
+          let r =
+            Fun.protect
+              ~finally:(fun () -> prof_leave profile)
+              (fun () ->
+                Memo.Replay.run ~max_cycles ?trace ?metrics pc mstats
+                  ~oracle ~cycle ~classes:total_classes ~start:cfg)
+          in
+          (match r with
+           | Memo.Replay.Replay_halted -> halted := true
+           | Memo.Replay.Replay_limit ->
+             raise (Deadlock "cycle limit exceeded")
+           | Memo.Replay.Diverged { config; prefix } ->
+             let uarch =
+               Uarch.Detailed.restore ?params prog config.Memo.Action.cfg_key
+             in
+             state := `Detailed (uarch, config, prefix))
+      done);
   let retired =
     mstats.Memo.Stats.detailed_retired + mstats.Memo.Stats.replayed_retired
   in

@@ -10,7 +10,13 @@
       visits.
 
     Both produce {e identical} cycle counts and statistics — the paper's
-    central claim, enforced by an extensive equivalence test suite. *)
+    central claim, enforced by an extensive equivalence test suite.
+
+    Both engines accept an optional {!Fastsim_obs.Ctx.t} observability
+    context (event tracing, metrics, host profiling — see
+    [docs/OBSERVABILITY.md]). Observability is strictly passive: every
+    field of {!result} is bit-identical with and without it, which the
+    equivalence suite also enforces. *)
 
 exception Deadlock of string
 (** Raised when the pipeline makes no progress for an implausibly long
@@ -54,14 +60,21 @@ val slow_sim :
   ?predictor:predictor_kind ->
   ?max_cycles:int ->
   ?observer:(int -> Uarch.Detailed.t -> Uarch.Detailed.cycle_result -> unit) ->
+  ?obs:Fastsim_obs.Ctx.t ->
   Isa.Program.t ->
   result
 (** [observer], if given, is called after every simulated cycle with the
     cycle number, the live pipeline (inspect it with
     {!Uarch.Detailed.dump} / {!Uarch.Detailed.snapshot}), and that cycle's
-    result — the hook behind the CLI's pipeline-trace command. Only
-    available without memoization (a fast-forwarded cycle never exists
-    concretely). *)
+    result — the hook behind the CLI's pipeline-trace command. The
+    per-cycle callback remains slow-sim-only (a fast-forwarded cycle never
+    exists concretely to call it on), but that restriction no longer makes
+    the fast engine a black box: [obs] tracing works under memoization —
+    see {!fast_sim}.
+
+    [obs] attaches the observability layer: an event-trace sink (pipeline,
+    cache and memoization events), a metrics registry, and host-profiling
+    phase timers. See [docs/OBSERVABILITY.md]. *)
 
 val fast_sim :
   ?params:Uarch.Params.t ->
@@ -70,11 +83,21 @@ val fast_sim :
   ?max_cycles:int ->
   ?policy:Memo.Pcache.policy ->
   ?pcache:Memo.Pcache.t ->
+  ?obs:Fastsim_obs.Ctx.t ->
   Isa.Program.t ->
   result
 (** Default policy is {!Memo.Pcache.Unbounded}. Passing [pcache] starts
     from (and extends) an existing p-action cache — e.g. one restored with
-    {!Memo.Persist.load} for the same program — and ignores [policy]. *)
+    {!Memo.Persist.load} for the same program — and ignores [policy].
+
+    [obs] attaches the observability layer to the memoized engine too:
+    fast-forwarded regions emit {e synthetic} events reconstructed from the
+    replayed action chains (control outcomes, cache misses, per-group
+    retirement, p-action cache activity), so a FastSim trace covers both
+    detailed and replayed execution — lifting the historical
+    slow-sim-only introspection restriction. Timing phases (detailed /
+    replay / cachesim / emulation) are split by the profiler. Strictly
+    passive: {!result} is bit-identical with and without [obs]. *)
 
 val functional :
   ?max_insts:int -> Isa.Program.t -> Emu.Arch_state.t * Emu.Memory.t * int

@@ -27,6 +27,14 @@ type t = {
   mutable full_count : int;
   mutable gc_survivors : int;
   mutable gc_population : int;
+  (* Observability (docs/OBSERVABILITY.md). Attached after creation with
+     [attach_obs] because a warm-started cache outlives any one engine run.
+     Strictly passive: no replacement or recording decision reads these. *)
+  mutable obs_trace : Fastsim_obs.Trace.t option;
+  mutable obs_now : unit -> int;  (* simulated-cycle source for event ts *)
+  mutable m_inserts : Fastsim_obs.Metrics.counter option;
+  mutable m_hits : Fastsim_obs.Metrics.counter option;
+  mutable m_bytes : Fastsim_obs.Metrics.gauge option;
 }
 
 type counters = {
@@ -62,15 +70,54 @@ let create ?(policy = Unbounded) () =
     minor_count = 0;
     full_count = 0;
     gc_survivors = 0;
-    gc_population = 0 }
+    gc_population = 0;
+    obs_trace = None;
+    obs_now = (fun () -> 0);
+    m_inserts = None;
+    m_hits = None;
+    m_bytes = None }
 
 let policy t = t.pol
+
+let attach_obs t ?trace ?metrics ~now () =
+  t.obs_trace <- trace;
+  t.obs_now <- now;
+  t.m_inserts <-
+    Option.map (fun m -> Fastsim_obs.Metrics.counter m "pcache.inserts")
+      metrics;
+  t.m_hits <-
+    Option.map (fun m -> Fastsim_obs.Metrics.counter m "pcache.intern_hits")
+      metrics;
+  t.m_bytes <-
+    Option.map (fun m -> Fastsim_obs.Metrics.gauge m "pcache.modeled_bytes")
+      metrics
+
+let detach_obs t =
+  t.obs_trace <- None;
+  t.obs_now <- (fun () -> 0);
+  t.m_inserts <- None;
+  t.m_hits <- None;
+  t.m_bytes <- None
+
+let emit t name args =
+  match t.obs_trace with
+  | None -> ()
+  | Some tr ->
+    Fastsim_obs.Trace.emit tr
+      (Fastsim_obs.Event.instant ~ts:(t.obs_now ()) ~cat:"pcache" ~args name)
+
+let tick = function
+  | None -> ()
+  | Some c -> Fastsim_obs.Metrics.incr c
 
 let violation fmt = Format.kasprintf (fun s -> raise (Determinism_violation s)) fmt
 
 let add_bytes t (cfg : Action.config) n =
   t.bytes <- t.bytes + n;
   if not cfg.cfg_old_gen then t.nursery_bytes <- t.nursery_bytes + n;
+  (match t.m_bytes with
+   | None -> ()
+   | Some g -> Fastsim_obs.Metrics.set g (float_of_int t.bytes));
   if t.bytes > t.peak then t.peak <- t.bytes;
   t.alloc_window <- t.alloc_window + n;
   if t.alloc_window >= t.window then begin
@@ -81,6 +128,7 @@ let add_bytes t (cfg : Action.config) n =
 let intern t key =
   match Hashtbl.find_opt t.table key with
   | Some cfg ->
+    tick t.m_hits;
     cfg.Action.cfg_touched <- t.epoch;
     cfg
   | None ->
@@ -96,6 +144,10 @@ let intern t key =
     Hashtbl.add t.table key cfg;
     t.configs_alloc <- t.configs_alloc + 1;
     add_bytes t cfg cfg.cfg_bytes;
+    tick t.m_inserts;
+    emit t "insert"
+      [ ("configs", Fastsim_obs.Json.Int (Hashtbl.length t.table));
+        ("modeled_bytes", Fastsim_obs.Json.Int t.bytes) ];
     cfg
 
 let find t key = Hashtbl.find_opt t.table key
@@ -245,6 +297,7 @@ let recompute_action_bytes (c : Action.config) =
   c.Action.cfg_action_bytes <- !total
 
 let flush t =
+  emit t "flush" [ ("population", Fastsim_obs.Json.Int (Hashtbl.length t.table)) ];
   Hashtbl.iter
     (fun _ (c : Action.config) ->
       c.Action.cfg_dropped <- true;
@@ -253,7 +306,10 @@ let flush t =
   t.table <- Hashtbl.create 4096;
   t.bytes <- 0;
   t.nursery_bytes <- 0;
-  t.flush_count <- t.flush_count + 1
+  t.flush_count <- t.flush_count + 1;
+  match t.m_bytes with
+  | None -> ()
+  | Some g -> Fastsim_obs.Metrics.set g 0.
 
 (* Keep configurations used since the last collection (epoch = current).
    [minor] restricts eviction to the nursery. *)
@@ -289,6 +345,13 @@ let collect t ~minor =
   else t.full_count <- t.full_count + 1;
   t.gc_survivors <- List.length !survivors;
   t.gc_population <- population;
+  (match t.m_bytes with
+   | None -> ()
+   | Some g -> Fastsim_obs.Metrics.set g (float_of_int t.bytes));
+  emit t
+    (if minor then "minor_gc" else "full_gc")
+    [ ("survivors", Fastsim_obs.Json.Int t.gc_survivors);
+      ("population", Fastsim_obs.Json.Int population) ];
   t.epoch <- t.epoch + 1
 
 let check_budget t =

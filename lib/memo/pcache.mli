@@ -31,6 +31,26 @@ exception Determinism_violation of string
 val create : ?policy:policy -> unit -> t
 val policy : t -> policy
 
+val attach_obs :
+  t ->
+  ?trace:Fastsim_obs.Trace.t ->
+  ?metrics:Fastsim_obs.Metrics.t ->
+  now:(unit -> int) ->
+  unit ->
+  unit
+(** Attaches observability (docs/OBSERVABILITY.md) to this cache: [pcache]
+    category [insert] / [flush] / [minor_gc] / [full_gc] trace events
+    (timestamped with [now ()], the simulated cycle), plus the
+    [pcache.inserts] / [pcache.intern_hits] counters and the
+    [pcache.modeled_bytes] gauge. Attached after creation because a
+    (possibly warm-started) cache outlives any one engine run; {!Sim} calls
+    this from [fast_sim] when given an observability context. Strictly
+    passive: recording and replacement behaviour are unaffected. *)
+
+val detach_obs : t -> unit
+(** Removes any attached instruments (the engine detaches on exit so a
+    persisted or reused cache does not keep a stale cycle source). *)
+
 val intern : t -> Uarch.Snapshot.key -> Action.config
 (** Finds or creates the configuration node for a key. *)
 

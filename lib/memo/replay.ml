@@ -8,13 +8,58 @@ type group_step =
   | G_halt
   | G_diverge of Action.item list
 
-let run ?(max_cycles = max_int) pc (stats : Stats.t)
+let run ?(max_cycles = max_int) ?trace ?metrics pc (stats : Stats.t)
     ~(oracle : Uarch.Oracle.t) ~cycle ~classes ~start =
+  (* Observability (docs/OBSERVABILITY.md): one [engine]-category replay
+     span per run, synthetic per-group events reconstructed from the action
+     chains as they are walked, and chain/episode-length histograms.
+     Strictly passive. *)
+  let h_chain =
+    Option.map
+      (fun m -> Fastsim_obs.Metrics.histogram m "memo.replay_chain_length")
+      metrics
+  in
+  let h_episode =
+    Option.map
+      (fun m -> Fastsim_obs.Metrics.histogram m "memo.episode_cycles")
+      metrics
+  in
+  let cycle0 = !cycle in
+  let actions0 = stats.Stats.actions_replayed in
+  let groups0 = stats.Stats.groups_replayed in
+  (match trace with
+   | None -> ()
+   | Some tr ->
+     Fastsim_obs.Trace.emit tr
+       (Fastsim_obs.Event.span_begin ~ts:cycle0 ~cat:"engine" "replay"));
+  (* All exit paths funnel through here; [Stats.end_episode] is idempotent
+     and empty episodes are not counted, so observe the chain length under
+     the same guard. *)
+  let end_episode () =
+    (match h_chain with
+     | Some h when stats.Stats.chain_current > 0 ->
+       Fastsim_obs.Metrics.observe h stats.Stats.chain_current
+     | Some _ | None -> ());
+    Stats.end_episode stats
+  in
+  let group_done g =
+    match trace with
+    | None -> ()
+    | Some tr ->
+      Fastsim_obs.Trace.emit tr
+        (Fastsim_obs.Event.instant ~ts:!cycle ~cat:"memo" "group_replayed"
+           ~args:
+             [ ("silent", Fastsim_obs.Json.Int g.Action.g_silent);
+               ("retired", Fastsim_obs.Json.Int g.Action.g_retired) ]);
+      Fastsim_obs.Trace.emit tr
+        (Fastsim_obs.Event.counter ~ts:!cycle ~cat:"engine" "retired"
+           (stats.Stats.detailed_retired + stats.Stats.replayed_retired))
+  in
   let cur = ref start in
   let result = ref None in
   while !result = None do
     if !cycle > max_cycles then begin
-      Stats.end_episode stats;
+      end_episode ();
       result := Some Replay_limit
     end
     else begin
@@ -22,7 +67,7 @@ let run ?(max_cycles = max_int) pc (stats : Stats.t)
     Pcache.touch pc cfg;
     match cfg.Action.cfg_group with
     | None ->
-      Stats.end_episode stats;
+      end_episode ();
       result := Some (Diverged { config = cfg; prefix = [] })
     | Some g ->
       let base = !cycle in
@@ -76,6 +121,7 @@ let run ?(max_cycles = max_int) pc (stats : Stats.t)
          Array.iteri
            (fun i v -> classes.(i) <- classes.(i) + v)
            g.Action.g_classes;
+         group_done g;
          cur := target
        | G_halt ->
          cycle := now + 1;
@@ -85,14 +131,30 @@ let run ?(max_cycles = max_int) pc (stats : Stats.t)
          Array.iteri
            (fun i v -> classes.(i) <- classes.(i) + v)
            g.Action.g_classes;
-         Stats.end_episode stats;
+         group_done g;
+         end_episode ();
          result := Some Replay_halted
        | G_diverge prefix ->
          (* The cycle counter stays at the group start: the detailed
             simulator re-simulates this group's cycles, consuming [prefix]
             instead of re-performing its side effects. *)
-         Stats.end_episode stats;
+         end_episode ();
          result := Some (Diverged { config = cfg; prefix }))
     end
   done;
+  (match h_episode with
+   | Some h when !cycle > cycle0 ->
+     Fastsim_obs.Metrics.observe h (!cycle - cycle0)
+   | Some _ | None -> ());
+  (match trace with
+   | None -> ()
+   | Some tr ->
+     Fastsim_obs.Trace.emit tr
+       (Fastsim_obs.Event.span_end ~ts:!cycle ~cat:"engine" "replay"
+          ~args:
+            [ ( "groups",
+                Fastsim_obs.Json.Int (stats.Stats.groups_replayed - groups0) );
+              ( "actions",
+                Fastsim_obs.Json.Int (stats.Stats.actions_replayed - actions0)
+              ) ]));
   match !result with Some r -> r | None -> assert false

@@ -28,6 +28,8 @@ type result =
 
 val run :
   ?max_cycles:int ->
+  ?trace:Fastsim_obs.Trace.t ->
+  ?metrics:Fastsim_obs.Metrics.t ->
   Pcache.t ->
   Stats.t ->
   oracle:Uarch.Oracle.t ->
@@ -39,4 +41,13 @@ val run :
     advanced for fully replayed groups, and [classes] accumulates their
     per-FU-class retirement counts (indexed by [Isa.Instr.fu_index]); on
     divergence the cycle counter is left at the start of the diverging
-    group (the detailed simulator re-simulates that group's cycles). *)
+    group (the detailed simulator re-simulates that group's cycles).
+
+    [trace] makes fast-forwarded regions observable (the memoized engine is
+    otherwise a black box): each run emits an [engine]-category [replay]
+    span, and each fully replayed group emits a synthetic
+    [memo]/[group_replayed] instant plus a cumulative [retired] counter
+    sample, reconstructed from the recorded action chains as they are
+    walked. [metrics] feeds the [memo.replay_chain_length] and
+    [memo.episode_cycles] histograms. Both are strictly passive (see
+    docs/OBSERVABILITY.md). *)

@@ -27,6 +27,12 @@ let note_action t =
   t.actions_replayed <- t.actions_replayed + 1;
   t.chain_current <- t.chain_current + 1
 
+(* Guarded against double-ending: a replay run can reach several exit
+   paths (divergence, halt, cycle limit) whose callers may each end the
+   episode; only the first call after any [note_action] counts. An episode
+   with no actions (immediate divergence at a group's first interaction)
+   is likewise not counted — otherwise avg_chain would be diluted by
+   zero-length "episodes". *)
 let end_episode t =
   if t.chain_current > 0 then begin
     t.episodes <- t.episodes + 1;

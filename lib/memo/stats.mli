@@ -23,10 +23,14 @@ type t = {
 val create : unit -> t
 
 val note_action : t -> unit
+
 val end_episode : t -> unit
 (** Ends the current replay episode (called when replay exits to detailed
-    simulation or the program halts during replay). Empty episodes (no
-    actions) are not counted. *)
+    simulation or the program halts during replay). Idempotent: the replay
+    engine has several exit paths (divergence, halt, cycle limit) and a
+    second [end_episode] with no intervening {!note_action} must not
+    inflate [episodes] or corrupt [chain_max] — empty episodes (no actions)
+    are never counted. *)
 
 val avg_chain : t -> float
 val detailed_fraction : t -> float

@@ -1,0 +1,16 @@
+type t = {
+  trace : Trace.t option;
+  metrics : Metrics.t option;
+  profile : Profile.t option;
+}
+
+let create ?trace ?metrics ?profile () = { trace; metrics; profile }
+
+let full ?trace_capacity () =
+  { trace = Some (Trace.create ?capacity:trace_capacity ());
+    metrics = Some (Metrics.create ());
+    profile = Some (Profile.create ()) }
+
+let trace = function None -> None | Some t -> t.trace
+let metrics = function None -> None | Some t -> t.metrics
+let profile = function None -> None | Some t -> t.profile

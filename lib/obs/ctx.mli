@@ -1,0 +1,27 @@
+(** The observability context handed to the simulation engines.
+
+    A bundle of up to three optional instruments — an event-trace sink, a
+    metrics registry, and a host profiler. Engines accept a [Ctx.t option];
+    [None] (the default everywhere) short-circuits every hook with a single
+    pattern match, so a run without observability pays nothing.
+
+    Observability is {e strictly passive}: no instrument feeds back into
+    simulation, so every field of a simulation result is bit-identical with
+    and without a context (enforced by the test suite). *)
+
+type t = {
+  trace : Trace.t option;
+  metrics : Metrics.t option;
+  profile : Profile.t option;
+}
+
+val create :
+  ?trace:Trace.t -> ?metrics:Metrics.t -> ?profile:Profile.t -> unit -> t
+
+val full : ?trace_capacity:int -> unit -> t
+(** A context with all three instruments enabled. *)
+
+val trace : t option -> Trace.t option
+val metrics : t option -> Metrics.t option
+val profile : t option -> Profile.t option
+(** Flattening accessors for [Ctx.t option] holders. *)

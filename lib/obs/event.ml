@@ -1,0 +1,51 @@
+type ph = B | E | I | C
+
+type t = {
+  ts : int;
+  cat : string;
+  name : string;
+  ph : ph;
+  args : (string * Json.t) list;
+}
+
+let span_begin ~ts ~cat ?(args = []) name = { ts; cat; name; ph = B; args }
+let span_end ~ts ~cat ?(args = []) name = { ts; cat; name; ph = E; args }
+let instant ~ts ~cat ?(args = []) name = { ts; cat; name; ph = I; args }
+
+let counter ~ts ~cat name v =
+  { ts; cat; name; ph = C; args = [ (name, Json.Int v) ] }
+
+let ph_string = function B -> "B" | E -> "E" | I -> "i" | C -> "C"
+
+(* One Perfetto track ("thread") per emitting subsystem. *)
+let tid_of_cat = function
+  | "engine" -> 1
+  | "core" -> 2
+  | "cache" -> 3
+  | "memo" -> 4
+  | "pcache" -> 5
+  | "bpred" -> 6
+  | _ -> 9
+
+let to_chrome e =
+  let base =
+    [ ("name", Json.Str e.name);
+      ("cat", Json.Str e.cat);
+      ("ph", Json.Str (ph_string e.ph));
+      ("ts", Json.Int e.ts);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int (tid_of_cat e.cat)) ]
+  in
+  let scope = match e.ph with I -> [ ("s", Json.Str "t") ] | _ -> [] in
+  let args =
+    match e.args with [] -> [] | args -> [ ("args", Json.Obj args) ]
+  in
+  Json.Obj (base @ scope @ args)
+
+let to_jsonl e =
+  Json.Obj
+    [ ("ts", Json.Int e.ts);
+      ("cat", Json.Str e.cat);
+      ("name", Json.Str e.name);
+      ("ph", Json.Str (ph_string e.ph));
+      ("args", Json.Obj e.args) ]

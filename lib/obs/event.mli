@@ -1,0 +1,64 @@
+(** Structured trace events.
+
+    One event = a timestamp in {e simulated cycles}, a category (the
+    emitting subsystem), a name, a phase, and free-form arguments. The
+    taxonomy emitted by the engines:
+
+    {v
+    cat      name               ph  args
+    -------  -----------------  --  ------------------------------------
+    engine   detailed           B/E spans of detailed simulation (slow_sim
+                                    emits one; fast_sim one per episode)
+    engine   replay             B/E spans of fast-forwarding, with
+                                    groups/actions replayed on the E event
+    engine   retired            C   cumulative retired-instruction counter
+    core     cond               i   taken, mispredicted
+    core     indirect           i   target, hit
+    core     fetch_stall        i   direct execution cannot supply outcome
+    core     rollback           i   index of the repaired misprediction
+    cache    l1_miss            i   addr, latency, merged
+    cache    l2_miss            i   addr
+    cache    writeback          i   dirty L2 victim
+    pcache   insert             i   a new configuration was interned
+    pcache   flush              i   population (flush-on-full fired)
+    pcache   minor_gc, full_gc  i   survivors, population
+    v}
+
+    Under memoization the [core] and [cache] events during replay are
+    {e synthetic}: they are reconstructed from the recorded action chains
+    as the replay engine re-performs each interaction, so a FastSim trace
+    covers fast-forwarded regions too. *)
+
+type ph =
+  | B  (** span begin. *)
+  | E  (** span end. *)
+  | I  (** instant. *)
+  | C  (** counter sample. *)
+
+type t = {
+  ts : int;  (** simulated cycle. *)
+  cat : string;
+  name : string;
+  ph : ph;
+  args : (string * Json.t) list;
+}
+
+val span_begin :
+  ts:int -> cat:string -> ?args:(string * Json.t) list -> string -> t
+
+val span_end :
+  ts:int -> cat:string -> ?args:(string * Json.t) list -> string -> t
+
+val instant :
+  ts:int -> cat:string -> ?args:(string * Json.t) list -> string -> t
+
+val counter : ts:int -> cat:string -> string -> int -> t
+(** [counter ~ts ~cat name v] samples counter [name] at value [v]. *)
+
+val to_chrome : t -> Json.t
+(** The Chrome [trace_event] object (catapult JSON): cycle timestamps map
+    to microseconds (1 cycle = 1 µs), categories map to fixed [tid] lanes
+    so Perfetto draws each subsystem as its own track. *)
+
+val to_jsonl : t -> Json.t
+(** A flat per-line object for the JSONL exporter. *)

@@ -1,0 +1,62 @@
+(* Perfetto shows thread names from these metadata records; one lane per
+   emitting subsystem (see Event.tid_of_cat). *)
+let thread_name_meta =
+  List.map
+    (fun (cat, tid) ->
+      Json.Obj
+        [ ("name", Json.Str "thread_name");
+          ("ph", Json.Str "M");
+          ("pid", Json.Int 1);
+          ("tid", Json.Int tid);
+          ("args", Json.Obj [ ("name", Json.Str cat) ]) ])
+    [ ("engine", 1); ("core", 2); ("cache", 3); ("memo", 4); ("pcache", 5);
+      ("bpred", 6) ]
+
+let process_name_meta =
+  Json.Obj
+    [ ("name", Json.Str "process_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int 1);
+      ("args", Json.Obj [ ("name", Json.Str "fastsim") ]) ]
+
+let chrome_json tr =
+  let events =
+    List.rev (Trace.events tr |> List.rev_map Event.to_chrome)
+  in
+  let meta =
+    [ ("traceEvents",
+       Json.List ((process_name_meta :: thread_name_meta) @ events));
+      ("displayTimeUnit", Json.Str "ms") ]
+  in
+  let meta =
+    if Trace.dropped tr > 0 then
+      meta @ [ ("fastsimDroppedEvents", Json.Int (Trace.dropped tr)) ]
+    else meta
+  in
+  Json.Obj meta
+
+let write_chrome oc tr = Json.to_channel oc (chrome_json tr)
+
+let with_file path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let write_chrome_file path tr = with_file path (fun oc -> write_chrome oc tr)
+
+let write_jsonl oc tr =
+  if Trace.dropped tr > 0 then begin
+    Json.to_channel oc
+      (Json.Obj
+         [ ("meta", Json.Str "dropped");
+           ("dropped", Json.Int (Trace.dropped tr)) ]);
+    output_char oc '\n'
+  end;
+  Trace.iter
+    (fun ev ->
+      Json.to_channel oc (Event.to_jsonl ev);
+      output_char oc '\n')
+    tr
+
+let write_jsonl_file path tr = with_file path (fun oc -> write_jsonl oc tr)
+let write_metrics oc m = Json.to_channel oc (Metrics.to_json m)
+let write_metrics_file path m = with_file path (fun oc -> write_metrics oc m)

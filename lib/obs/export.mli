@@ -1,0 +1,22 @@
+(** Trace and metrics exporters.
+
+    Two trace formats:
+
+    - {b Chrome [trace_event]} (catapult JSON): an object with a
+      ["traceEvents"] array, loadable directly in Perfetto
+      ({{:https://ui.perfetto.dev}ui.perfetto.dev}) or
+      [chrome://tracing]. Simulated cycles map to microseconds.
+    - {b JSONL}: one JSON object per line, for [jq]-style processing.
+
+    A [dropped] metadata record is included when the ring wrapped, so a
+    truncated trace is detectable. *)
+
+val chrome_json : Trace.t -> Json.t
+val write_chrome : out_channel -> Trace.t -> unit
+val write_chrome_file : string -> Trace.t -> unit
+
+val write_jsonl : out_channel -> Trace.t -> unit
+val write_jsonl_file : string -> Trace.t -> unit
+
+val write_metrics : out_channel -> Metrics.t -> unit
+val write_metrics_file : string -> Metrics.t -> unit

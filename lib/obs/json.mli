@@ -1,0 +1,20 @@
+(** A minimal JSON value type and printer.
+
+    The exporters need to {e write} JSON (JSONL traces, Chrome
+    [trace_event] files, metrics dumps, bench results) without pulling a
+    JSON dependency into the core libraries; this is a complete, escaping,
+    write-only implementation. Non-finite floats serialise as [null] (JSON
+    has no representation for them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+val to_channel : out_channel -> t -> unit

@@ -1,0 +1,158 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+(* 63-bit ints need buckets 0 (<= 0) through 62 ([2^61, 2^62-1], where
+   max_int lives); size 64 also covers 32-bit hosts with room to spare. *)
+let n_buckets = 64
+
+type histogram = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable min : int;
+  mutable max : int;
+}
+
+type metric =
+  | M_counter of counter
+  | M_gauge of gauge
+  | M_histogram of histogram
+
+type t = {
+  tbl : (string, metric) Hashtbl.t;
+  mutable order : string list;  (* reverse registration order *)
+}
+
+let create () = { tbl = Hashtbl.create 64; order = [] }
+
+let register t name make =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> m
+  | None ->
+    let m = make () in
+    Hashtbl.add t.tbl name m;
+    t.order <- name :: t.order;
+    m
+
+let kind_error name =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S already registered with another kind" name)
+
+let counter t name =
+  match register t name (fun () -> M_counter { c = 0 }) with
+  | M_counter c -> c
+  | _ -> kind_error name
+
+let gauge t name =
+  match register t name (fun () -> M_gauge { g = 0. }) with
+  | M_gauge g -> g
+  | _ -> kind_error name
+
+let histogram t name =
+  match
+    register t name (fun () ->
+        M_histogram
+          { buckets = Array.make n_buckets 0;
+            count = 0;
+            sum = 0;
+            min = max_int;
+            max = min_int })
+  with
+  | M_histogram h -> h
+  | _ -> kind_error name
+
+let incr c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let counter_value c = c.c
+let set g v = g.g <- v
+let gauge_value g = g.g
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    (* number of significant bits: 1 -> 1, 2..3 -> 2, max_int -> 62 *)
+    let b = ref 0 and v = ref v in
+    while !v > 0 do
+      b := !b + 1;
+      v := !v lsr 1
+    done;
+    !b
+  end
+
+let bucket_lower_bound i = if i <= 0 then 0 else 1 lsl (i - 1)
+
+let observe h v =
+  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+  h.count <- h.count + 1;
+  h.sum <- h.sum + v;
+  if v < h.min then h.min <- v;
+  if v > h.max then h.max <- v
+
+let h_count h = h.count
+let h_sum h = h.sum
+let h_min h = h.min
+let h_max h = h.max
+
+let h_buckets h =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then
+      acc := (bucket_lower_bound i, h.buckets.(i)) :: !acc
+  done;
+  !acc
+
+let h_mean h =
+  if h.count = 0 then 0. else float_of_int h.sum /. float_of_int h.count
+
+let names_in_order t = List.rev t.order
+
+let iter_counters f t =
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (M_counter c) -> f name c.c
+      | _ -> ())
+    (names_in_order t)
+
+let iter_gauges f t =
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (M_gauge g) -> f name g.g
+      | _ -> ())
+    (names_in_order t)
+
+let iter_histograms f t =
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (M_histogram h) -> f name h
+      | _ -> ())
+    (names_in_order t)
+
+let to_json t =
+  let counters = ref [] and gauges = ref [] and histos = ref [] in
+  iter_counters (fun name v -> counters := (name, Json.Int v) :: !counters) t;
+  iter_gauges (fun name v -> gauges := (name, Json.Float v) :: !gauges) t;
+  iter_histograms
+    (fun name h ->
+      let buckets =
+        List.map
+          (fun (lo, n) -> Json.List [ Json.Int lo; Json.Int n ])
+          (h_buckets h)
+      in
+      histos :=
+        ( name,
+          Json.Obj
+            [ ("count", Json.Int h.count);
+              ("sum", Json.Int h.sum);
+              ("min", Json.Int (if h.count = 0 then 0 else h.min));
+              ("max", Json.Int (if h.count = 0 then 0 else h.max));
+              ("mean", Json.Float (h_mean h));
+              ("buckets", Json.List buckets) ] )
+        :: !histos)
+    t;
+  Json.Obj
+    [ ("counters", Json.Obj (List.rev !counters));
+      ("gauges", Json.Obj (List.rev !gauges));
+      ("histograms", Json.Obj (List.rev !histos)) ]

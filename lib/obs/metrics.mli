@@ -1,0 +1,72 @@
+(** Metrics registry: named counters, gauges, and log2-bucketed histograms.
+
+    Metrics are find-or-create by name, so any subsystem can obtain its
+    instruments from a shared registry without coordination:
+
+    {[
+      let misses = Metrics.counter reg "cache.l1_misses" in
+      Metrics.incr misses
+    ]}
+
+    Instruments are plain mutable records; updating one is a field write
+    (no hashing on the hot path — look the instrument up once, keep it).
+    Registering the same name with a different instrument kind raises
+    [Invalid_argument]. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> int -> unit
+(** Records one sample. Buckets are powers of two: bucket 0 holds samples
+    [<= 0]; bucket [i >= 1] holds samples in [[2{^i-1}, 2{^i} - 1]]. The
+    full [int] range is covered ([max_int] lands in bucket 62 on 64-bit). *)
+
+val bucket_of : int -> int
+(** The bucket index a sample falls into (exposed for tests). *)
+
+val bucket_lower_bound : int -> int
+(** Smallest positive sample of bucket [i >= 1] (i.e. [2{^i-1}]);
+    [bucket_lower_bound 0 = 0] by convention (the [<= 0] bucket). *)
+
+val h_count : histogram -> int
+val h_sum : histogram -> int
+val h_min : histogram -> int
+(** [max_int] when empty. *)
+
+val h_max : histogram -> int
+(** [min_int] when empty. *)
+
+val h_buckets : histogram -> (int * int) list
+(** Non-empty buckets as [(lower_bound, count)], ascending. *)
+
+val h_mean : histogram -> float
+(** 0 when empty. *)
+
+val to_json : t -> Json.t
+(** {v
+    { "counters":   { name: value, ... },
+      "gauges":     { name: value, ... },
+      "histograms": { name: { "count", "sum", "min", "max", "mean",
+                              "buckets": [[lower, count], ...] }, ... } }
+    v}
+    Names appear in registration order. *)
+
+val iter_counters : (string -> int -> unit) -> t -> unit
+val iter_gauges : (string -> float -> unit) -> t -> unit
+val iter_histograms : (string -> histogram -> unit) -> t -> unit

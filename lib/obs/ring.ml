@@ -1,0 +1,43 @@
+type 'a t = {
+  buf : 'a option array;
+  mutable head : int;  (* next write position *)
+  mutable len : int;
+  mutable pushed : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { buf = Array.make capacity None; head = 0; len = 0; pushed = 0 }
+
+let capacity t = Array.length t.buf
+
+let push t x =
+  let cap = Array.length t.buf in
+  t.buf.(t.head) <- Some x;
+  t.head <- (t.head + 1) mod cap;
+  if t.len < cap then t.len <- t.len + 1;
+  t.pushed <- t.pushed + 1
+
+let length t = t.len
+let total_pushed t = t.pushed
+let dropped t = t.pushed - t.len
+
+let iter f t =
+  let cap = Array.length t.buf in
+  let start = (t.head - t.len + cap) mod cap in
+  for i = 0 to t.len - 1 do
+    match t.buf.((start + i) mod cap) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.len <- 0;
+  t.pushed <- 0

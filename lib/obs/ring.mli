@@ -1,0 +1,30 @@
+(** Bounded ring buffer.
+
+    The event-trace sink keeps the most recent [capacity] events: pushes
+    past capacity silently overwrite the oldest element (the count of
+    overwritten elements is reported by {!dropped}). All operations are
+    O(1) except {!to_list} / {!iter}, which are O(length). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] must be positive. *)
+
+val push : 'a t -> 'a -> unit
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val total_pushed : 'a t -> int
+(** Elements pushed over the ring's lifetime (survivors + dropped). *)
+
+val dropped : 'a t -> int
+(** Elements overwritten by wraparound: [total_pushed - length]. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest first. *)
+
+val clear : 'a t -> unit
+(** Empties the ring; {!total_pushed} and {!dropped} reset too. *)

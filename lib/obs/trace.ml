@@ -1,0 +1,10 @@
+type t = { ring : Event.t Ring.t }
+
+let create ?(capacity = 65536) () = { ring = Ring.create ~capacity }
+let emit t ev = Ring.push t.ring ev
+let length t = Ring.length t.ring
+let dropped t = Ring.dropped t.ring
+let total t = Ring.total_pushed t.ring
+let events t = Ring.to_list t.ring
+let iter f t = Ring.iter f t.ring
+let clear t = Ring.clear t.ring

@@ -1,0 +1,26 @@
+(** The event-trace sink: a ring buffer of {!Event.t}.
+
+    A sink is bounded — the most recent [capacity] events survive; earlier
+    ones are dropped (counted by {!dropped}), so tracing an arbitrarily
+    long run costs bounded memory and exporters stay usable in a viewer.
+
+    Disabled means {e absent}: emitters hold a [Trace.t option] and a
+    [None] costs exactly one pattern match per potential event — no event
+    is constructed, no closure is entered. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 65536 events. *)
+
+val emit : t -> Event.t -> unit
+val length : t -> int
+val dropped : t -> int
+val total : t -> int
+(** Events emitted over the sink's lifetime (kept + dropped). *)
+
+val events : t -> Event.t list
+(** Oldest first. *)
+
+val iter : (Event.t -> unit) -> t -> unit
+val clear : t -> unit

@@ -13,6 +13,7 @@ let () =
       ("bpred", Test_bpred.suite);
       ("cache", Test_cache.suite);
       ("uarch", Test_uarch.suite);
+      ("obs", Test_obs.suite);
       ("memo", Test_memo.suite);
       ("persist", Test_persist.suite);
       ("baseline", Test_baseline.suite);

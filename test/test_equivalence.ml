@@ -143,6 +143,60 @@ let test_class_histograms_equal () =
         (Array.fold_left ( + ) 0 slow.Fastsim.Sim.retired_by_class))
     [ "go"; "perl"; "tomcatv"; "wave5" ]
 
+(* The observability layer must be strictly passive: attaching a full
+   context (trace + metrics + profile) must leave EVERY field of the
+   result bit-identical, for both engines. *)
+let test_obs_determinism () =
+  let assert_same_result name (a : Fastsim.Sim.result)
+      (b : Fastsim.Sim.result) =
+    check Alcotest.int (name ^ " cycles") a.cycles b.cycles;
+    check Alcotest.int (name ^ " retired") a.retired b.retired;
+    check
+      Alcotest.(array int)
+      (name ^ " retired_by_class")
+      a.retired_by_class b.retired_by_class;
+    check Alcotest.int (name ^ " emulated") a.emulated_insts b.emulated_insts;
+    check Alcotest.int (name ^ " wrong path") a.wrong_path_insts
+      b.wrong_path_insts;
+    check Alcotest.bool (name ^ " branch stats") true
+      (a.branches = b.branches);
+    check Alcotest.bool (name ^ " cache stats") true (a.cache = b.cache);
+    check Alcotest.bool (name ^ " memo stats") true (a.memo = b.memo);
+    check Alcotest.bool (name ^ " pcache counters") true
+      (a.pcache = b.pcache);
+    check Alcotest.bool (name ^ " final state") true
+      (Emu.Arch_state.equal a.final_state b.final_state)
+  in
+  List.iter
+    (fun wname ->
+      let w = Workloads.Suite.find wname in
+      let prog = w.Workloads.Workload.build w.test_scale in
+      let obs () = Fastsim_obs.Ctx.full () in
+      assert_same_result (wname ^ " slow")
+        (Fastsim.Sim.slow_sim prog)
+        (Fastsim.Sim.slow_sim ~obs:(obs ()) prog);
+      assert_same_result (wname ^ " fast")
+        (Fastsim.Sim.fast_sim prog)
+        (Fastsim.Sim.fast_sim ~obs:(obs ()) prog))
+    [ "go"; "compress"; "tomcatv" ]
+
+(* ... and with obs attached to BOTH engines, the cross-engine claim
+   still holds on the entire suite. *)
+let test_obs_equivalence_all_kernels () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let prog = w.build w.test_scale in
+      let slow = Fastsim.Sim.slow_sim ~obs:(Fastsim_obs.Ctx.full ()) prog in
+      let fast = Fastsim.Sim.fast_sim ~obs:(Fastsim_obs.Ctx.full ()) prog in
+      check Alcotest.int (w.name ^ " cycles") slow.Fastsim.Sim.cycles
+        fast.Fastsim.Sim.cycles;
+      check Alcotest.int (w.name ^ " retired") slow.Fastsim.Sim.retired
+        fast.Fastsim.Sim.retired;
+      check Alcotest.bool (w.name ^ " final state") true
+        (Emu.Arch_state.equal slow.Fastsim.Sim.final_state
+           fast.Fastsim.Sim.final_state))
+    Workloads.Suite.all
+
 let suite =
   List.map
     (fun (w : Workloads.Workload.t) ->
@@ -165,5 +219,9 @@ let suite =
       Alcotest.test_case "cache config variants" `Quick
         test_cache_config_variants;
       Alcotest.test_case "per-class histograms equal" `Quick
-        test_class_histograms_equal ]
+        test_class_histograms_equal;
+      Alcotest.test_case "observability is passive" `Quick
+        test_obs_determinism;
+      Alcotest.test_case "slow == fast with obs, all kernels" `Quick
+        test_obs_equivalence_all_kernels ]
 

@@ -198,6 +198,35 @@ let test_node_bytes () =
     (node_bytes
        (N_load { l_edges = [ (1, N_halt); (2, N_halt); (3, N_halt) ] }))
 
+(* Replay-episode accounting. The replay engine has several exit paths
+   and may call end_episode more than once per episode; the guard in
+   Stats.end_episode must make that harmless. *)
+let test_stats_end_episode_guard () =
+  let s = Memo.Stats.create () in
+  (* ending with no actions recorded: not an episode *)
+  Memo.Stats.end_episode s;
+  check Alcotest.int "empty end is not an episode" 0 s.Memo.Stats.episodes;
+  Memo.Stats.note_action s;
+  Memo.Stats.note_action s;
+  Memo.Stats.note_action s;
+  Memo.Stats.end_episode s;
+  check Alcotest.int "one episode" 1 s.Memo.Stats.episodes;
+  check Alcotest.int "chain max" 3 s.Memo.Stats.chain_max;
+  (* double-ending (divergence path followed by halt path) must not
+     inflate episodes or corrupt chain_max *)
+  Memo.Stats.end_episode s;
+  Memo.Stats.end_episode s;
+  check Alcotest.int "still one episode" 1 s.Memo.Stats.episodes;
+  check Alcotest.int "chain max intact" 3 s.Memo.Stats.chain_max;
+  Memo.Stats.note_action s;
+  Memo.Stats.end_episode s;
+  check Alcotest.int "second episode" 2 s.Memo.Stats.episodes;
+  check Alcotest.int "chain max unchanged by shorter chain" 3
+    s.Memo.Stats.chain_max;
+  check (Alcotest.float 1e-9) "avg chain = (3+1)/2" 2.
+    (Memo.Stats.avg_chain s);
+  check Alcotest.int "actions total" 4 s.Memo.Stats.actions_replayed
+
 let suite =
   [ Alcotest.test_case "intern dedup" `Quick test_intern_dedup;
     Alcotest.test_case "merge and graft" `Quick test_merge_and_graft;
@@ -213,4 +242,6 @@ let suite =
     Alcotest.test_case "generational promotion" `Quick
       test_generational_promotion;
     Alcotest.test_case "goto healing" `Quick test_resolve_goto_heals;
-    Alcotest.test_case "modeled action sizes" `Quick test_node_bytes ]
+    Alcotest.test_case "modeled action sizes" `Quick test_node_bytes;
+    Alcotest.test_case "end_episode double-end guard" `Quick
+      test_stats_end_episode_guard ]

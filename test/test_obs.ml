@@ -1,0 +1,227 @@
+(* The observability layer: ring-buffer semantics, log2 histogram
+   bucketing edge cases, registry find-or-create, phase profiling, and
+   the exporters. The obs layer must also be strictly passive — that
+   cross-engine property lives in Test_equivalence. *)
+
+let check = Alcotest.check
+
+(* ---------------------------------------------------------------- *)
+(* Ring buffer                                                       *)
+
+let test_ring_basic () =
+  let r = Fastsim_obs.Ring.create ~capacity:4 in
+  check Alcotest.int "empty length" 0 (Fastsim_obs.Ring.length r);
+  Fastsim_obs.Ring.push r 1;
+  Fastsim_obs.Ring.push r 2;
+  check Alcotest.int "length" 2 (Fastsim_obs.Ring.length r);
+  check Alcotest.(list int) "oldest first" [ 1; 2 ]
+    (Fastsim_obs.Ring.to_list r);
+  check Alcotest.int "no drops" 0 (Fastsim_obs.Ring.dropped r)
+
+let test_ring_wraparound () =
+  let r = Fastsim_obs.Ring.create ~capacity:4 in
+  for i = 1 to 10 do
+    Fastsim_obs.Ring.push r i
+  done;
+  check Alcotest.int "length capped" 4 (Fastsim_obs.Ring.length r);
+  check Alcotest.int "capacity" 4 (Fastsim_obs.Ring.capacity r);
+  check Alcotest.int "total pushed" 10 (Fastsim_obs.Ring.total_pushed r);
+  check Alcotest.int "dropped" 6 (Fastsim_obs.Ring.dropped r);
+  check
+    Alcotest.(list int)
+    "keeps newest, oldest first" [ 7; 8; 9; 10 ]
+    (Fastsim_obs.Ring.to_list r);
+  Fastsim_obs.Ring.clear r;
+  check Alcotest.int "cleared" 0 (Fastsim_obs.Ring.length r);
+  Fastsim_obs.Ring.push r 42;
+  check Alcotest.(list int) "usable after clear" [ 42 ]
+    (Fastsim_obs.Ring.to_list r)
+
+let test_ring_capacity_one () =
+  let r = Fastsim_obs.Ring.create ~capacity:1 in
+  for i = 1 to 5 do
+    Fastsim_obs.Ring.push r i
+  done;
+  check Alcotest.(list int) "keeps only newest" [ 5 ]
+    (Fastsim_obs.Ring.to_list r);
+  check Alcotest.int "dropped all but one" 4 (Fastsim_obs.Ring.dropped r);
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Ring.create: capacity must be positive") (fun () ->
+      ignore (Fastsim_obs.Ring.create ~capacity:0 : int Fastsim_obs.Ring.t))
+
+(* ---------------------------------------------------------------- *)
+(* log2 histogram bucketing                                          *)
+
+let test_bucket_of () =
+  let b = Fastsim_obs.Metrics.bucket_of in
+  check Alcotest.int "0 -> bucket 0" 0 (b 0);
+  check Alcotest.int "negative -> bucket 0" 0 (b (-17));
+  check Alcotest.int "min_int -> bucket 0" 0 (b min_int);
+  check Alcotest.int "1" 1 (b 1);
+  check Alcotest.int "2" 2 (b 2);
+  check Alcotest.int "3" 2 (b 3);
+  check Alcotest.int "4" 3 (b 4);
+  check Alcotest.int "7" 3 (b 7);
+  check Alcotest.int "8" 4 (b 8);
+  check Alcotest.int "1023" 10 (b 1023);
+  check Alcotest.int "1024" 11 (b 1024);
+  check Alcotest.int "max_int -> last bucket" 62 (b max_int);
+  (* every bucket's lower bound maps back into that bucket *)
+  for i = 1 to 62 do
+    let lo = Fastsim_obs.Metrics.bucket_lower_bound i in
+    check Alcotest.int
+      (Printf.sprintf "lower_bound %d round-trips" i)
+      i (b lo)
+  done;
+  check Alcotest.int "lower_bound 0" 0
+    (Fastsim_obs.Metrics.bucket_lower_bound 0)
+
+let test_histogram_observe () =
+  let m = Fastsim_obs.Metrics.create () in
+  let h = Fastsim_obs.Metrics.histogram m "h" in
+  check Alcotest.int "empty count" 0 (Fastsim_obs.Metrics.h_count h);
+  check Alcotest.(list (pair int int)) "empty buckets" []
+    (Fastsim_obs.Metrics.h_buckets h);
+  List.iter (Fastsim_obs.Metrics.observe h) [ 0; 1; 1; 3; 100; max_int ];
+  check Alcotest.int "count" 6 (Fastsim_obs.Metrics.h_count h);
+  check Alcotest.int "min" 0 (Fastsim_obs.Metrics.h_min h);
+  check Alcotest.int "max" max_int (Fastsim_obs.Metrics.h_max h);
+  (* sum wraps on max_int + 105; only check it's consistent *)
+  check Alcotest.int "sum" (0 + 1 + 1 + 3 + 100 + max_int)
+    (Fastsim_obs.Metrics.h_sum h);
+  let buckets = Fastsim_obs.Metrics.h_buckets h in
+  check Alcotest.(list (pair int int)) "buckets: lower bound * count"
+    [ (0, 1); (1, 2); (2, 1); (64, 1); (1 lsl 61, 1) ]
+    buckets;
+  (* ascending and only non-empty *)
+  let lowers = List.map fst buckets in
+  check Alcotest.(list int) "ascending" (List.sort compare lowers) lowers
+
+(* ---------------------------------------------------------------- *)
+(* Metrics registry                                                  *)
+
+let test_registry_find_or_create () =
+  let m = Fastsim_obs.Metrics.create () in
+  let a = Fastsim_obs.Metrics.counter m "hits" in
+  let b = Fastsim_obs.Metrics.counter m "hits" in
+  Fastsim_obs.Metrics.incr a;
+  Fastsim_obs.Metrics.add b 2;
+  check Alcotest.int "same underlying counter" 3
+    (Fastsim_obs.Metrics.counter_value a);
+  let g = Fastsim_obs.Metrics.gauge m "depth" in
+  Fastsim_obs.Metrics.set g 7.5;
+  check (Alcotest.float 0.) "gauge" 7.5 (Fastsim_obs.Metrics.gauge_value g)
+
+let test_registry_kind_mismatch () =
+  let m = Fastsim_obs.Metrics.create () in
+  ignore (Fastsim_obs.Metrics.counter m "x" : Fastsim_obs.Metrics.counter);
+  match Fastsim_obs.Metrics.histogram m "x" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ---------------------------------------------------------------- *)
+(* Profiling                                                         *)
+
+let test_profile_phases () =
+  let p = Fastsim_obs.Profile.create () in
+  Fastsim_obs.Profile.enter p Fastsim_obs.Profile.Detailed;
+  Fastsim_obs.Profile.with_phase p Fastsim_obs.Profile.Cachesim (fun () ->
+      ignore (Sys.opaque_identity (Array.make 1000 0) : int array));
+  Fastsim_obs.Profile.leave p;
+  Fastsim_obs.Profile.leave p (* unbalanced: must be a no-op *);
+  Fastsim_obs.Profile.stop p;
+  Fastsim_obs.Profile.stop p (* idempotent *);
+  let s ph = Fastsim_obs.Profile.seconds p ph in
+  check Alcotest.bool "phases non-negative" true
+    (List.for_all (fun ph -> s ph >= 0.) Fastsim_obs.Profile.all_phases);
+  let sum =
+    List.fold_left (fun acc ph -> acc +. s ph) 0.
+      Fastsim_obs.Profile.all_phases
+  in
+  (* exclusive accounting: per-phase seconds sum to the total *)
+  check Alcotest.bool "sum = total" true
+    (abs_float (sum -. Fastsim_obs.Profile.total p) < 1e-9);
+  check Alcotest.string "phase name" "detailed"
+    (Fastsim_obs.Profile.phase_name Fastsim_obs.Profile.Detailed)
+
+(* ---------------------------------------------------------------- *)
+(* JSON + exporters                                                  *)
+
+let test_json_printer () =
+  let open Fastsim_obs.Json in
+  check Alcotest.string "escaping" {|{"a\"b":"x\ny","n":null}|}
+    (to_string (Obj [ ("a\"b", Str "x\ny"); ("n", Null) ]));
+  check Alcotest.string "non-finite floats are null" {|[null,null,1.5]|}
+    (to_string (List [ Float nan; Float infinity; Float 1.5 ]));
+  check Alcotest.string "ints and bools" {|[1,-2,true,false]|}
+    (to_string (List [ Int 1; Int (-2); Bool true; Bool false ]))
+
+let test_export_chrome () =
+  let tr = Fastsim_obs.Trace.create ~capacity:8 () in
+  Fastsim_obs.Trace.emit tr
+    (Fastsim_obs.Event.span_begin ~ts:10 ~cat:"engine" "detailed");
+  Fastsim_obs.Trace.emit tr
+    (Fastsim_obs.Event.instant ~ts:11 ~cat:"core" "rollback"
+       ~args:[ ("index", Fastsim_obs.Json.Int 3) ]);
+  Fastsim_obs.Trace.emit tr
+    (Fastsim_obs.Event.counter ~ts:12 ~cat:"engine" "retired" 7);
+  Fastsim_obs.Trace.emit tr
+    (Fastsim_obs.Event.span_end ~ts:20 ~cat:"engine" "detailed");
+  let s = Fastsim_obs.Json.to_string (Fastsim_obs.Export.chrome_json tr) in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  check Alcotest.bool "has traceEvents" true (contains {|"traceEvents"|});
+  check Alcotest.bool "has B phase" true (contains {|"ph":"B"|});
+  check Alcotest.bool "has E phase" true (contains {|"ph":"E"|});
+  check Alcotest.bool "has counter" true (contains {|"ph":"C"|});
+  check Alcotest.bool "has thread metadata" true
+    (contains {|"thread_name"|});
+  check Alcotest.bool "no drop marker when ring held" false
+    (contains {|fastsimDroppedEvents|})
+
+let test_export_files () =
+  let tr = Fastsim_obs.Trace.create ~capacity:2 () in
+  for i = 1 to 5 do
+    Fastsim_obs.Trace.emit tr
+      (Fastsim_obs.Event.instant ~ts:i ~cat:"memo" "group_replayed")
+  done;
+  check Alcotest.int "ring dropped" 3 (Fastsim_obs.Trace.dropped tr);
+  let tmp = Filename.temp_file "fastsim_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      Fastsim_obs.Export.write_jsonl_file tmp tr;
+      let ic = open_in tmp in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      (* dropped-marker line + the 2 surviving events *)
+      check Alcotest.int "jsonl lines" 3 (List.length !lines);
+      check Alcotest.bool "first line is the drop marker" true
+        (match List.rev !lines with
+         | first :: _ ->
+           first = {|{"meta":"dropped","dropped":3}|}
+         | [] -> false))
+
+let suite =
+  [ Alcotest.test_case "ring basic" `Quick test_ring_basic;
+    Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+    Alcotest.test_case "ring capacity 1" `Quick test_ring_capacity_one;
+    Alcotest.test_case "bucket_of edges" `Quick test_bucket_of;
+    Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
+    Alcotest.test_case "registry find-or-create" `Quick
+      test_registry_find_or_create;
+    Alcotest.test_case "registry kind mismatch" `Quick
+      test_registry_kind_mismatch;
+    Alcotest.test_case "profile phases" `Quick test_profile_phases;
+    Alcotest.test_case "json printer" `Quick test_json_printer;
+    Alcotest.test_case "chrome export" `Quick test_export_chrome;
+    Alcotest.test_case "file export + drop marker" `Quick test_export_files ]

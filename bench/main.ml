@@ -73,7 +73,32 @@ let time_best f =
   match !result with Some r -> (r, !best) | None -> assert false
 
 (* ---------------------------------------------------------------- *)
-(* One full measurement per workload, shared by Tables 2, 3, 4, 5.  *)
+(* One full measurement per workload, shared by Tables 2, 3, 4, 5.
+   The engine runs go through the sweep executor's runner, so the bench
+   measures exactly what `fastsim sweep` measures (simulation proper,
+   program construction excluded). *)
+
+module Spec = Fastsim.Sim.Spec
+
+let job ?(spec = Spec.default) engine (w : Workloads.Workload.t) =
+  { Fastsim_exec.Job.id = 0;
+    workload = w.name;
+    scale = scale_of w;
+    engine;
+    spec;
+    cache_name = "default";
+    warm = None;
+    fault = None }
+
+let time_best_sim j =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to max 1 !repeat do
+    let r, t = Fastsim_exec.Runner.run_sim j in
+    if t < !best then best := t;
+    result := Some r
+  done;
+  match !result with Some r -> (r, !best) | None -> assert false
 
 type row = {
   w : Workloads.Workload.t;
@@ -84,7 +109,7 @@ type row = {
   t_fast : float;
   fast : Fastsim.Sim.result;
   t_base : float;
-  base : Baseline.result;
+  base : Fastsim.Sim.result;
 }
 
 let measure_row (w : Workloads.Workload.t) =
@@ -92,9 +117,9 @@ let measure_row (w : Workloads.Workload.t) =
   let (_, _, insts), t_prog =
     time_best (fun () -> Fastsim.Sim.functional prog)
   in
-  let slow, t_slow = time_best (fun () -> Fastsim.Sim.slow_sim prog) in
-  let fast, t_fast = time_best (fun () -> Fastsim.Sim.fast_sim prog) in
-  let base, t_base = time_best (fun () -> Baseline.run prog) in
+  let slow, t_slow = time_best_sim (job `Slow w) in
+  let fast, t_fast = time_best_sim (job `Fast w) in
+  let base, t_base = time_best_sim (job `Baseline w) in
   assert (slow.Fastsim.Sim.cycles = fast.Fastsim.Sim.cycles);
   assert (slow.Fastsim.Sim.retired = fast.Fastsim.Sim.retired);
   { w; insts; t_prog; t_slow; slow; t_fast; fast; t_base; base }
@@ -162,7 +187,7 @@ let table3 () =
     (fun r ->
       let kips t = float_of_int r.slow.Fastsim.Sim.retired /. t /. 1000. in
       let base_kips =
-        float_of_int r.base.Baseline.retired /. r.t_base /. 1000.
+        float_of_int r.base.Fastsim.Sim.retired /. r.t_base /. 1000.
       in
       Printf.printf "%-14s %11.3e %11.3e %9.1f %9.1f %9.1f %9.2f\n"
         r.w.Workloads.Workload.name
@@ -226,15 +251,13 @@ let figure7 () =
   Printf.printf "%8s\n" "unltd";
   List.iter
     (fun r ->
-      let prog = r.w.Workloads.Workload.build (scale_of r.w) in
       Printf.printf "%-14s%!" r.w.Workloads.Workload.name;
       List.iter
         (fun budget ->
-          let _, t =
-            time_best (fun () ->
-                Fastsim.Sim.fast_sim
-                  ~policy:(Memo.Pcache.Flush_on_full budget) prog)
+          let spec =
+            Spec.with_policy (Memo.Pcache.Flush_on_full budget) Spec.default
           in
+          let _, t = time_best_sim (job ~spec `Fast r.w) in
           Printf.printf "%8.2f%!" (r.t_slow /. t))
         budgets;
       Printf.printf "%8.2f\n" (r.t_slow /. r.t_fast))
@@ -248,7 +271,6 @@ let ablation_gc () =
     "time (s)" "colls" "flushes" "speedup";
   List.iter
     (fun r ->
-      let prog = r.w.Workloads.Workload.build (scale_of r.w) in
       let budget =
         max 2048
           ((match r.fast.Fastsim.Sim.pcache with
@@ -258,9 +280,8 @@ let ablation_gc () =
       in
       List.iter
         (fun (name, policy) ->
-          let res, t =
-            time_best (fun () -> Fastsim.Sim.fast_sim ~policy prog)
-          in
+          let spec = Spec.with_policy policy Spec.default in
+          let res, t = time_best_sim (job ~spec `Fast r.w) in
           let colls, flushes =
             match res.Fastsim.Sim.pcache with
             | Some p ->
@@ -287,15 +308,11 @@ let ablation_bpred () =
     "cycles" "wrongpath" "configs" "speedup";
   List.iter
     (fun r ->
-      let prog = r.w.Workloads.Workload.build (scale_of r.w) in
       List.iter
         (fun (name, predictor) ->
-          let slow, t_slow =
-            time_best (fun () -> Fastsim.Sim.slow_sim ~predictor prog)
-          in
-          let fast, t_fast =
-            time_best (fun () -> Fastsim.Sim.fast_sim ~predictor prog)
-          in
+          let spec = Spec.with_predictor predictor Spec.default in
+          let slow, t_slow = time_best_sim (job ~spec `Slow r.w) in
+          let fast, t_fast = time_best_sim (job ~spec `Fast r.w) in
           assert (slow.Fastsim.Sim.cycles = fast.Fastsim.Sim.cycles);
           let configs =
             match fast.Fastsim.Sim.pcache with
@@ -318,15 +335,11 @@ let ablation_cache () =
     "l1 misses" "actions" "speedup";
   List.iter
     (fun r ->
-      let prog = r.w.Workloads.Workload.build (scale_of r.w) in
       List.iter
         (fun (name, cache_config) ->
-          let slow, t_slow =
-            time_best (fun () -> Fastsim.Sim.slow_sim ~cache_config prog)
-          in
-          let fast, t_fast =
-            time_best (fun () -> Fastsim.Sim.fast_sim ~cache_config prog)
-          in
+          let spec = Spec.with_cache_config cache_config Spec.default in
+          let slow, t_slow = time_best_sim (job ~spec `Slow r.w) in
+          let fast, t_fast = time_best_sim (job ~spec `Fast r.w) in
           assert (slow.Fastsim.Sim.cycles = fast.Fastsim.Sim.cycles);
           let actions =
             match fast.Fastsim.Sim.pcache with
@@ -368,14 +381,15 @@ let ablation_inputs () =
             p.Memo.Pcache.static_configs
         | _ -> ()
       in
-      let a, ta = time_best (fun () -> Fastsim.Sim.fast_sim ~pcache:pc prog_a) in
+      let fast pc prog =
+        Fastsim.Sim.run ~engine:`Fast (Spec.with_pcache pc Spec.default) prog
+      in
+      let a, ta = time_best (fun () -> fast pc prog_a) in
       report "input A (cold)" a ta;
-      let b, tb = time_best (fun () -> Fastsim.Sim.fast_sim ~pcache:pc prog_b) in
+      let b, tb = time_best (fun () -> fast pc prog_b) in
       report "input B (shared)" b tb;
       let pc2 = Memo.Pcache.create () in
-      let c, tc =
-        time_best (fun () -> Fastsim.Sim.fast_sim ~pcache:pc2 prog_b)
-      in
+      let c, tc = time_best (fun () -> fast pc2 prog_b) in
       report "input B (cold)" c tc)
     experiments
 
@@ -411,15 +425,11 @@ let ablation_width () =
     "IPC" "speedup";
   List.iter
     (fun r ->
-      let prog = r.w.Workloads.Workload.build (scale_of r.w) in
       List.iter
         (fun (name, params) ->
-          let slow, t_slow =
-            time_best (fun () -> Fastsim.Sim.slow_sim ~params prog)
-          in
-          let fast, t_fast =
-            time_best (fun () -> Fastsim.Sim.fast_sim ~params prog)
-          in
+          let spec = Spec.with_params params Spec.default in
+          let slow, t_slow = time_best_sim (job ~spec `Slow r.w) in
+          let fast, t_fast = time_best_sim (job ~spec `Fast r.w) in
           assert (slow.Fastsim.Sim.cycles = fast.Fastsim.Sim.cycles);
           Printf.printf "%-14s %-14s %11d %7.2f %9.2f\n"
             r.w.Workloads.Workload.name name slow.Fastsim.Sim.cycles
@@ -463,7 +473,9 @@ let write_json path =
       let prof = Fastsim_obs.Profile.create () in
       let obs = Fastsim_obs.Ctx.create ~profile:prof () in
       let prog = r.w.Workloads.Workload.build (scale_of r.w) in
-      ignore (Fastsim.Sim.fast_sim ~obs prog : Fastsim.Sim.result);
+      ignore
+        (Fastsim.Sim.run ~engine:`Fast (Spec.with_obs obs Spec.default) prog
+          : Fastsim.Sim.result);
       Fastsim_obs.Profile.to_json prof
     in
     let memo =

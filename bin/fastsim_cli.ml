@@ -3,9 +3,11 @@
      fastsim list                         all workloads
      fastsim run go --engine fast         simulate a workload
      fastsim run gcc --engine all --scale 50
+     fastsim sweep -w go -w compress --jobs 4 --out report.json
      fastsim disasm perl                  disassemble a workload *)
 
 open Cmdliner
+module Spec = Fastsim.Sim.Spec
 
 let workload_conv =
   let parse s =
@@ -41,10 +43,19 @@ let engine_arg =
            every cycle), $(b,baseline) (SimpleScalar-style), \
            $(b,functional), or $(b,all).")
 
+let policy_conv =
+  let parse s =
+    match Spec.policy_of_string s with
+    | Ok p -> Ok p
+    | Error m -> Error (`Msg m)
+  in
+  let print ppf p = Format.fprintf ppf "%s" (Spec.policy_to_string p) in
+  Arg.conv (parse, print)
+
 let policy_arg =
   Arg.(
     value
-    & opt (some string) None
+    & opt policy_conv Memo.Pcache.Unbounded
     & info [ "policy" ] ~docv:"POLICY"
         ~doc:
           "P-action cache policy: $(b,unbounded), $(b,flush:BYTES), \
@@ -119,19 +130,6 @@ let memo_report_arg =
         ~doc:
           "After a fast run, print a detailed memoization report \
            (replay-episode statistics and p-action cache counters).")
-
-let parse_policy = function
-  | None -> Ok Memo.Pcache.Unbounded
-  | Some s -> (
-    match String.split_on_char ':' s with
-    | [ "unbounded" ] -> Ok Memo.Pcache.Unbounded
-    | [ "flush"; n ] -> Ok (Memo.Pcache.Flush_on_full (int_of_string n))
-    | [ "copy"; n ] -> Ok (Memo.Pcache.Copying_gc (int_of_string n))
-    | [ "gen"; n; t ] ->
-      Ok
-        (Memo.Pcache.Generational_gc
-           { nursery = int_of_string n; total = int_of_string t })
-    | _ -> Error (`Msg (Printf.sprintf "bad policy %S" s)))
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -225,112 +223,111 @@ let print_memo_report (r : Fastsim.Sim.result) =
 let run_cmd =
   let run (w : Workloads.Workload.t) scale engine policy predictor tiny
       save_pcache load_pcache trace_out trace_format metrics_out memo_report =
-    match parse_policy policy with
-    | Error (`Msg m) -> prerr_endline m; 1
-    | Ok policy ->
-      let scale = Option.value scale ~default:w.default_scale in
-      let prog = w.build scale in
-      let cache_config =
-        if tiny then Some Cachesim.Config.tiny else None
+    let scale = Option.value scale ~default:w.default_scale in
+    let prog = w.build scale in
+    Printf.printf "%s (scale %d): %s\n" w.name scale w.description;
+    (* Observability is attached only when an output was requested, so a
+       plain run pays nothing. With --engine all the instruments are
+       shared: the trace then contains both engines' runs back to back. *)
+    let obs =
+      match (trace_out, metrics_out) with
+      | None, None -> None
+      | _ ->
+        Some
+          (Fastsim_obs.Ctx.create
+             ?trace:
+               (Option.map
+                  (fun _ -> Fastsim_obs.Trace.create ())
+                  trace_out)
+             ?metrics:
+               (Option.map
+                  (fun _ -> Fastsim_obs.Metrics.create ())
+                  metrics_out)
+             ())
+    in
+    let spec =
+      Spec.default
+      |> Spec.with_policy policy
+      |> Spec.with_predictor predictor
+      |> (if tiny then Spec.with_cache_config Cachesim.Config.tiny
+          else Fun.id)
+      |> (match obs with Some o -> Spec.with_obs o | None -> Fun.id)
+    in
+    let write_obs_files () =
+      (match (trace_out, Fastsim_obs.Ctx.trace obs) with
+       | Some path, Some tr ->
+         (match trace_format with
+          | `Chrome -> Fastsim_obs.Export.write_chrome_file path tr
+          | `Jsonl -> Fastsim_obs.Export.write_jsonl_file path tr);
+         Printf.printf "trace: %d events written to %s%s\n"
+           (Fastsim_obs.Trace.length tr)
+           path
+           (let d = Fastsim_obs.Trace.dropped tr in
+            if d > 0 then
+              Printf.sprintf " (%d oldest events dropped by the ring)" d
+            else "")
+       | _ -> ());
+      match (metrics_out, Fastsim_obs.Ctx.metrics obs) with
+      | Some path, Some m ->
+        Fastsim_obs.Export.write_metrics_file path m;
+        Printf.printf "metrics written to %s\n" path
+      | _ -> ()
+    in
+    let run_fast () =
+      let pcache =
+        match load_pcache with
+        | Some path ->
+          Printf.printf "warm-starting from %s\n" path;
+          Memo.Persist.load_file ~program:prog path
+        | None -> Memo.Pcache.create ~policy ()
       in
-      Printf.printf "%s (scale %d): %s\n" w.name scale w.description;
-      (* Observability is attached only when an output was requested, so a
-         plain run pays nothing. With --engine all the instruments are
-         shared: the trace then contains both engines' runs back to back. *)
-      let obs =
-        match (trace_out, metrics_out) with
-        | None, None -> None
-        | _ ->
-          Some
-            (Fastsim_obs.Ctx.create
-               ?trace:
-                 (Option.map
-                    (fun _ -> Fastsim_obs.Trace.create ())
-                    trace_out)
-               ?metrics:
-                 (Option.map
-                    (fun _ -> Fastsim_obs.Metrics.create ())
-                    metrics_out)
-               ())
+      let spec = Spec.with_pcache pcache spec in
+      let r, t = time (fun () -> Fastsim.Sim.run ~engine:`Fast spec prog) in
+      print_result "FastSim" r t;
+      if memo_report then print_memo_report r;
+      (match save_pcache with
+       | Some path ->
+         Memo.Persist.save_file pcache ~program:prog path;
+         Printf.printf "p-action cache saved to %s\n" path
+       | None -> ());
+      r
+    in
+    let run_slow () =
+      let r, t = time (fun () -> Fastsim.Sim.run ~engine:`Slow spec prog) in
+      print_result "SlowSim" r t;
+      (r, t)
+    in
+    let run_base () =
+      let r, t =
+        time (fun () -> Fastsim.Sim.run ~engine:`Baseline spec prog)
       in
-      let write_obs_files () =
-        (match (trace_out, Fastsim_obs.Ctx.trace obs) with
-         | Some path, Some tr ->
-           (match trace_format with
-            | `Chrome -> Fastsim_obs.Export.write_chrome_file path tr
-            | `Jsonl -> Fastsim_obs.Export.write_jsonl_file path tr);
-           Printf.printf "trace: %d events written to %s%s\n"
-             (Fastsim_obs.Trace.length tr)
-             path
-             (let d = Fastsim_obs.Trace.dropped tr in
-              if d > 0 then
-                Printf.sprintf " (%d oldest events dropped by the ring)" d
-              else "")
-         | _ -> ());
-        match (metrics_out, Fastsim_obs.Ctx.metrics obs) with
-        | Some path, Some m ->
-          Fastsim_obs.Export.write_metrics_file path m;
-          Printf.printf "metrics written to %s\n" path
-        | _ -> ()
-      in
-      let run_fast () =
-        let pcache =
-          match load_pcache with
-          | Some path ->
-            Printf.printf "warm-starting from %s\n" path;
-            Memo.Persist.load_file ~program:prog path
-          | None -> Memo.Pcache.create ~policy ()
-        in
-        let r, t =
-          time (fun () ->
-              Fastsim.Sim.fast_sim ?cache_config ~pcache ~predictor ?obs prog)
-        in
-        print_result "FastSim" r t;
-        if memo_report then print_memo_report r;
-        (match save_pcache with
-         | Some path ->
-           Memo.Persist.save_file pcache ~program:prog path;
-           Printf.printf "p-action cache saved to %s\n" path
-         | None -> ());
-        r
-      in
-      let run_slow () =
-        let r, t =
-          time (fun () ->
-              Fastsim.Sim.slow_sim ?cache_config ~predictor ?obs prog)
-        in
-        print_result "SlowSim" r t;
-        (r, t)
-      in
-      let run_base () =
-        let r, t = time (fun () -> Baseline.run ?cache_config prog) in
-        Printf.printf
-          "SimpleScalar-style: %d cycles, %d retired in %.2fs (%.0f \
-           Kinst/s), %d mispredicts\n"
-          r.Baseline.cycles r.Baseline.retired t
-          (float_of_int r.Baseline.retired /. t /. 1000.)
-          r.Baseline.mispredicts
-      in
-      (match engine with
-       | `Fast -> ignore (run_fast () : Fastsim.Sim.result)
-       | `Slow ->
-         let r, _ = run_slow () in
-         if memo_report then print_memo_report r
-       | `Baseline -> run_base ()
-       | `Functional ->
-         let (_, _, n), t = time (fun () -> Fastsim.Sim.functional prog) in
-         Printf.printf "functional: %d instructions in %.2fs\n" n t
-       | `All ->
-         let slow, t_slow = run_slow () in
-         let fast = run_fast () in
-         run_base ();
-         assert (slow.Fastsim.Sim.cycles = fast.Fastsim.Sim.cycles);
-         Printf.printf "memoization speedup: effectively identical results, \
-                        see times above (slow %.2fs)\n" t_slow);
-      (try write_obs_files (); 0
-       with Sys_error m ->
-         Printf.eprintf "fastsim: cannot write output: %s\n" m;
-         1)
+      Printf.printf
+        "SimpleScalar-style: %d cycles, %d retired in %.2fs (%.0f \
+         Kinst/s), %d mispredicts\n"
+        r.Fastsim.Sim.cycles r.Fastsim.Sim.retired t
+        (float_of_int r.Fastsim.Sim.retired /. t /. 1000.)
+        r.Fastsim.Sim.branches.mispredicted
+    in
+    (match engine with
+     | `Fast -> ignore (run_fast () : Fastsim.Sim.result)
+     | `Slow ->
+       let r, _ = run_slow () in
+       if memo_report then print_memo_report r
+     | `Baseline -> run_base ()
+     | `Functional ->
+       let (_, _, n), t = time (fun () -> Fastsim.Sim.functional prog) in
+       Printf.printf "functional: %d instructions in %.2fs\n" n t
+     | `All ->
+       let slow, t_slow = run_slow () in
+       let fast = run_fast () in
+       run_base ();
+       assert (slow.Fastsim.Sim.cycles = fast.Fastsim.Sim.cycles);
+       Printf.printf "memoization speedup: effectively identical results, \
+                      see times above (slow %.2fs)\n" t_slow);
+    (try write_obs_files (); 0
+     with Sys_error m ->
+       Printf.eprintf "fastsim: cannot write output: %s\n" m;
+       1)
   in
   let doc = "simulate a workload" in
   Cmd.v (Cmd.info "run" ~doc)
@@ -381,6 +378,7 @@ let asm_cmd =
       Printf.eprintf "%s: %s\n" file m;
       1
     | prog -> (
+      let sim eng = Fastsim.Sim.run ~engine:eng Spec.default prog in
       match engine with
       | `Functional ->
         let (st, _, n), t = time (fun () -> Fastsim.Sim.functional prog) in
@@ -392,22 +390,22 @@ let asm_cmd =
         print_newline ();
         0
       | `Fast ->
-        let r, t = time (fun () -> Fastsim.Sim.fast_sim prog) in
+        let r, t = time (fun () -> sim `Fast) in
         print_result "FastSim" r t;
         0
       | `Slow ->
-        let r, t = time (fun () -> Fastsim.Sim.slow_sim prog) in
+        let r, t = time (fun () -> sim `Slow) in
         print_result "SlowSim" r t;
         0
       | `Baseline ->
-        let r, t = time (fun () -> Baseline.run prog) in
+        let r, t = time (fun () -> sim `Baseline) in
         Printf.printf "baseline: %d cycles, %d retired in %.3fs\n"
-          r.Baseline.cycles r.Baseline.retired t;
+          r.Fastsim.Sim.cycles r.Fastsim.Sim.retired t;
         0
       | `All ->
-        let s, ts = time (fun () -> Fastsim.Sim.slow_sim prog) in
+        let s, ts = time (fun () -> sim `Slow) in
         print_result "SlowSim" s ts;
-        let f, tf = time (fun () -> Fastsim.Sim.fast_sim prog) in
+        let f, tf = time (fun () -> sim `Fast) in
         print_result "FastSim" f tf;
         assert (s.Fastsim.Sim.cycles = f.Fastsim.Sim.cycles);
         0)
@@ -437,10 +435,13 @@ let trace_cmd =
         Format.printf "%a@?" Uarch.Detailed.dump uarch
       end
     in
+    let spec =
+      Spec.default
+      |> Spec.with_max_cycles (upto + 1_000_000)
+      |> Spec.with_observer observer
+    in
     (try
-       ignore
-         (Fastsim.Sim.slow_sim ~max_cycles:(upto + 1_000_000) ~observer prog
-           : Fastsim.Sim.result)
+       ignore (Fastsim.Sim.run ~engine:`Slow spec prog : Fastsim.Sim.result)
      with Fastsim.Sim.Deadlock _ -> ());
     0
   in
@@ -461,35 +462,34 @@ let trace_cmd =
 
 let profile_cmd =
   let profile (w : Workloads.Workload.t) scale engine policy predictor tiny =
-    match parse_policy policy with
-    | Error (`Msg m) -> prerr_endline m; 1
-    | Ok policy ->
-      let scale = Option.value scale ~default:w.default_scale in
-      let prog = w.build scale in
-      let cache_config = if tiny then Some Cachesim.Config.tiny else None in
-      Printf.printf "%s (scale %d): host-time profile\n" w.name scale;
-      (* One profiler per engine run, so the tables are independently
-         meaningful (phase seconds sum to that run's wall clock). *)
-      let profiled name f =
-        let prof = Fastsim_obs.Profile.create () in
-        let obs = Fastsim_obs.Ctx.create ~profile:prof () in
-        let (r : Fastsim.Sim.result) = f obs in
-        Printf.printf "\n%s: %d cycles, %d retired\n" name r.cycles r.retired;
-        Format.printf "%a@?" Fastsim_obs.Profile.pp prof
+    let scale = Option.value scale ~default:w.default_scale in
+    let prog = w.build scale in
+    Printf.printf "%s (scale %d): host-time profile\n" w.name scale;
+    let spec =
+      Spec.default
+      |> Spec.with_policy policy
+      |> Spec.with_predictor predictor
+      |> (if tiny then Spec.with_cache_config Cachesim.Config.tiny
+          else Fun.id)
+    in
+    (* One profiler per engine run, so the tables are independently
+       meaningful (phase seconds sum to that run's wall clock). *)
+    let profiled name eng =
+      let prof = Fastsim_obs.Profile.create () in
+      let obs = Fastsim_obs.Ctx.create ~profile:prof () in
+      let (r : Fastsim.Sim.result) =
+        Fastsim.Sim.run ~engine:eng (Spec.with_obs obs spec) prog
       in
-      let fast obs =
-        Fastsim.Sim.fast_sim ?cache_config ~policy ~predictor ~obs prog
-      in
-      let slow obs =
-        Fastsim.Sim.slow_sim ?cache_config ~predictor ~obs prog
-      in
-      (match engine with
-       | `Fast -> profiled "FastSim" fast
-       | `Slow -> profiled "SlowSim" slow
-       | `All ->
-         profiled "SlowSim" slow;
-         profiled "FastSim" fast);
-      0
+      Printf.printf "\n%s: %d cycles, %d retired\n" name r.cycles r.retired;
+      Format.printf "%a@?" Fastsim_obs.Profile.pp prof
+    in
+    (match engine with
+     | `Fast -> profiled "FastSim" `Fast
+     | `Slow -> profiled "SlowSim" `Slow
+     | `All ->
+       profiled "SlowSim" `Slow;
+       profiled "FastSim" `Fast);
+    0
   in
   let engine_arg =
     Arg.(
@@ -507,9 +507,238 @@ let profile_cmd =
       const profile $ workload_arg $ scale_arg $ engine_arg $ policy_arg
       $ predictor_arg $ tiny_cache_arg)
 
+(* ---------------------------------------------------------------- *)
+(* fastsim sweep *)
+
+let timestamp () =
+  let t = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+    t.Unix.tm_sec
+
+let sweep_cmd =
+  let module Exec = Fastsim_exec in
+  let sweep manifest_file workloads engines scales policies predictors warm
+      backend jobs timeout retries out quiet =
+    let ( let* ) r f = match r with Error m -> Error m | Ok v -> f v in
+    let result =
+      let* manifest =
+        match (manifest_file, workloads) with
+        | None, [] ->
+          Error
+            "nothing to sweep: give a MANIFEST.json or at least one \
+             --workload"
+        | Some path, _ -> (
+          match Exec.Manifest.of_json (Fastsim_obs.Json.of_file path) with
+          | m -> Ok m
+          | exception Failure m -> Error (path ^ ": " ^ m)
+          | exception Fastsim_obs.Json.Parse_error m ->
+            Error (path ^ ": " ^ m)
+          | exception Sys_error m -> Error m)
+        | None, ws -> Ok (Exec.Manifest.make ~workloads:ws ())
+      in
+      (* CLI axes override (or, without a manifest file, populate) the
+         manifest. *)
+      let manifest =
+        { manifest with
+          Exec.Manifest.engines =
+            (if engines = [] then manifest.Exec.Manifest.engines else engines);
+          scales = (if scales = [] then manifest.Exec.Manifest.scales
+                    else Some scales);
+          policies =
+            (if policies = [] then manifest.Exec.Manifest.policies
+             else policies);
+          predictors =
+            (if predictors = [] then manifest.Exec.Manifest.predictors
+             else predictors);
+          warm = warm || manifest.Exec.Manifest.warm }
+      in
+      let* () =
+        match Exec.Manifest.expand manifest with
+        | _ :: _ -> Ok ()
+        | [] -> Error "manifest expands to zero jobs"
+        | exception Failure m -> Error m
+      in
+      let config =
+        { Exec.Sweep.backend;
+          jobs;
+          timeout_s = timeout;
+          retries;
+          on_progress =
+            (if quiet then None
+             else
+               Some
+                 (fun line ->
+                   Printf.eprintf "%s\n" line;
+                   flush stderr)) }
+      in
+      let report = Exec.Sweep.run ~config manifest in
+      let ts = timestamp () in
+      (match out with
+       | Some path ->
+         Exec.Report.write_file ~timestamp:ts path report;
+         Printf.eprintf "report written to %s\n" path
+       | None ->
+         Fastsim_obs.Json.to_channel stdout
+           (Exec.Report.to_json ~timestamp:ts report);
+         print_newline ());
+      let nfail = List.length (Exec.Report.failed report) in
+      Printf.eprintf "%d/%d job(s) ok%s\n"
+        (Exec.Report.ok_count report)
+        (List.length report.Exec.Report.entries)
+        (if nfail > 0 then Printf.sprintf ", %d FAILED" nfail else "");
+      Ok (if nfail > 0 then 1 else 0)
+    in
+    match result with
+    | Ok code -> code
+    | Error m ->
+      Printf.eprintf "fastsim sweep: %s\n" m;
+      2
+  in
+  let manifest_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"MANIFEST.json"
+          ~doc:
+            "Sweep manifest (see $(b,docs/SWEEP.md)). Optional when \
+             $(b,--workload) is given.")
+  in
+  let workloads_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "workload"; "w" ] ~docv:"NAME"
+          ~doc:"Add a workload to the sweep (repeatable).")
+  in
+  let engine_conv =
+    Arg.conv
+      ( (fun s ->
+          match Spec.engine_of_string s with
+          | Ok e -> Ok e
+          | Error m -> Error (`Msg m)),
+        fun ppf e -> Format.fprintf ppf "%s" (Spec.engine_to_string e) )
+  in
+  let engines_arg =
+    Arg.(
+      value
+      & opt_all engine_conv []
+      & info [ "engine"; "e" ] ~docv:"ENGINE"
+          ~doc:
+            "Engine axis: $(b,fast), $(b,slow) or $(b,baseline) \
+             (repeatable; default fast and slow).")
+  in
+  let scales_arg =
+    Arg.(
+      value
+      & opt_all int []
+      & info [ "scale" ] ~docv:"N"
+          ~doc:
+            "Scale axis (repeatable; default: each workload's own \
+             default scale).")
+  in
+  let policies_arg =
+    Arg.(
+      value
+      & opt_all policy_conv []
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"P-action cache policy axis (repeatable; default unbounded).")
+  in
+  let predictor_conv =
+    Arg.conv
+      ( (fun s ->
+          match Spec.predictor_of_string s with
+          | Ok p -> Ok p
+          | Error m -> Error (`Msg m)),
+        fun ppf p -> Format.fprintf ppf "%s" (Spec.predictor_to_string p) )
+  in
+  let predictors_arg =
+    Arg.(
+      value
+      & opt_all predictor_conv []
+      & info [ "predictor" ] ~docv:"PRED"
+          ~doc:"Predictor axis (repeatable; default standard).")
+  in
+  let warm_arg =
+    Arg.(
+      value & flag
+      & info [ "warm" ]
+          ~doc:
+            "Run a p-action cache warming stage first: each distinct \
+             (workload, configuration) is simulated once and the \
+             persisted cache is fanned out to every fast job.")
+  in
+  let backend_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("fork", Exec.Pool.Fork); ("domains", Exec.Pool.Domains);
+               ("inline", Exec.Pool.Inline) ])
+          Exec.Pool.Fork
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "Worker backend: $(b,fork) (processes; crash isolation and \
+             timeouts), $(b,domains) (OCaml 5 domains; falls back to \
+             sequential on 4.x), or $(b,inline) (sequential, in-process).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker count. 0 (the default) picks the host's core count.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-attempt timeout (fork backend only); 0 disables. A \
+             timed-out worker is killed and the job retried.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Extra attempts after a crash or timeout (default 1).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the JSON report to $(docv) (default: stdout).")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress progress lines.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "expand a sweep manifest into jobs and run them on a worker pool"
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Expands workloads × scales × engines × predictors × cache \
+              configurations × policies into jobs, runs them on a pool of \
+              forked workers with per-job timeouts and bounded retries, \
+              and writes one machine-readable JSON report: per-job cycle \
+              counts and memoization counters, plus suite rollups \
+              (fast/slow cycle agreement and the geometric-mean \
+              memoization speedup). Job order in the report is the \
+              manifest expansion order, independent of completion order.";
+           `P
+             "Exit status is 0 when every job succeeded, 1 when any job \
+              failed, 2 on a bad manifest." ])
+    Term.(
+      const sweep $ manifest_arg $ workloads_arg $ engines_arg $ scales_arg
+      $ policies_arg $ predictors_arg $ warm_arg $ backend_arg $ jobs_arg
+      $ timeout_arg $ retries_arg $ out_arg $ quiet_arg)
+
 let () =
   let doc = "FastSim: out-of-order processor simulation with memoization" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "fastsim" ~doc)
-          [ run_cmd; list_cmd; disasm_cmd; asm_cmd; trace_cmd; profile_cmd ]))
+          [ run_cmd; list_cmd; disasm_cmd; asm_cmd; trace_cmd; profile_cmd;
+            sweep_cmd ]))

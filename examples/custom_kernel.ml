@@ -51,9 +51,9 @@ let search_kernel ~haystack_len ~iters =
 
 let engines prog =
   let t0 = Unix.gettimeofday () in
-  let slow = Fastsim.Sim.slow_sim prog in
+  let slow = Fastsim.Sim.run ~engine:`Slow Fastsim.Sim.Spec.default prog in
   let t1 = Unix.gettimeofday () in
-  let fast = Fastsim.Sim.fast_sim prog in
+  let fast = Fastsim.Sim.run ~engine:`Fast Fastsim.Sim.Spec.default prog in
   let t2 = Unix.gettimeofday () in
   let base = Baseline.run prog in
   let t3 = Unix.gettimeofday () in
@@ -84,8 +84,9 @@ let () =
       int_units = 1;
       active_list = 16 }
   in
-  let slow2 = Fastsim.Sim.slow_sim ~params:narrow prog in
-  let fast2 = Fastsim.Sim.fast_sim ~params:narrow prog in
+  let narrow_spec = Fastsim.Sim.Spec.(with_params narrow default) in
+  let slow2 = Fastsim.Sim.run ~engine:`Slow narrow_spec prog in
+  let fast2 = Fastsim.Sim.run ~engine:`Fast narrow_spec prog in
   assert (slow2.cycles = fast2.cycles);
   Printf.printf
     "\nwhat-if (2-wide, 1 ALU, 16-entry window): %d cycles (%.2fx slower \

@@ -56,7 +56,7 @@ let () =
   Printf.printf "workload %s (scale %d): %s\n\n" w.name scale w.description;
   (* Run memoized simulation, but keep the p-action cache for inspection by
      rebuilding the run here with the driver's own pieces. *)
-  let fast = Fastsim.Sim.fast_sim prog in
+  let fast = Fastsim.Sim.run ~engine:`Fast Fastsim.Sim.Spec.default prog in
   Printf.printf "simulated %d cycles, %d instructions retired\n" fast.cycles
     fast.retired;
   (match (fast.memo, fast.pcache) with

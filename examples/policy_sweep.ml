@@ -18,8 +18,12 @@ let () =
   in
   let prog = w.build scale in
   Printf.printf "workload %s (scale %d)\n" w.name scale;
-  let slow, t_slow = time (fun () -> Fastsim.Sim.slow_sim prog) in
-  let fast, t_fast = time (fun () -> Fastsim.Sim.fast_sim prog) in
+  let slow, t_slow =
+    time (fun () -> Fastsim.Sim.run ~engine:`Slow Fastsim.Sim.Spec.default prog)
+  in
+  let fast, t_fast =
+    time (fun () -> Fastsim.Sim.run ~engine:`Fast Fastsim.Sim.Spec.default prog)
+  in
   assert (slow.cycles = fast.cycles);
   let natural =
     match fast.pcache with
@@ -40,7 +44,12 @@ let () =
   List.iter
     (fun budget ->
       let speedup policy =
-        let r, t = time (fun () -> Fastsim.Sim.fast_sim ~policy prog) in
+        let r, t =
+          time (fun () ->
+              Fastsim.Sim.run ~engine:`Fast
+                Fastsim.Sim.Spec.(with_policy policy default)
+                prog)
+        in
         assert (r.Fastsim.Sim.cycles = slow.cycles);
         t_slow /. t
       in

@@ -42,7 +42,7 @@ let () =
   Printf.printf "  sum of odds  (r21) = %d\n" (Emu.Arch_state.get_i st 21);
   (* 2. Cycle-accurate simulation, conventional (SlowSim). *)
   let t0 = Unix.gettimeofday () in
-  let slow = Fastsim.Sim.slow_sim prog in
+  let slow = Fastsim.Sim.run ~engine:`Slow Fastsim.Sim.Spec.default prog in
   let t_slow = Unix.gettimeofday () -. t0 in
   Printf.printf "\nSlowSim (detailed every cycle):\n";
   Printf.printf "  %d cycles, %d retired, IPC %.2f, %.1f ms\n"
@@ -55,7 +55,7 @@ let () =
     slow.cache.l2_misses;
   (* 3. The same simulation with fast-forwarding. *)
   let t0 = Unix.gettimeofday () in
-  let fast = Fastsim.Sim.fast_sim prog in
+  let fast = Fastsim.Sim.run ~engine:`Fast Fastsim.Sim.Spec.default prog in
   let t_fast = Unix.gettimeofday () -. t0 in
   Printf.printf "\nFastSim (memoized):\n";
   Printf.printf "  %d cycles, %d retired, %.1f ms (%.1fx faster)\n"

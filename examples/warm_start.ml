@@ -20,8 +20,13 @@ let () =
   let path = Filename.temp_file "fastsim_warm" ".fspc" in
   Printf.printf "workload %s (scale %d)\n\n" w.name scale;
 
+  let run_fast pc =
+    Fastsim.Sim.run ~engine:`Fast
+      Fastsim.Sim.Spec.(with_pcache pc default)
+      prog
+  in
   let pc = Memo.Pcache.create () in
-  let cold, t_cold = time (fun () -> Fastsim.Sim.fast_sim ~pcache:pc prog) in
+  let cold, t_cold = time (fun () -> run_fast pc) in
   Memo.Persist.save_file pc ~program:prog path;
   Printf.printf "cold run:  %d cycles in %.3fs; p-action cache saved (%d \
                  configs, %d bytes on disk)\n"
@@ -35,9 +40,7 @@ let () =
    | None -> ());
 
   let warm_pc = Memo.Persist.load_file ~program:prog path in
-  let warm, t_warm =
-    time (fun () -> Fastsim.Sim.fast_sim ~pcache:warm_pc prog)
-  in
+  let warm, t_warm = time (fun () -> run_fast warm_pc) in
   Printf.printf "\nwarm run:  %d cycles in %.3fs (%.2fx the cold run)\n"
     warm.cycles t_warm (t_cold /. t_warm);
   (match warm.memo with

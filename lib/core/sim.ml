@@ -22,6 +22,8 @@ type result = {
 
 type predictor_kind = Standard | Not_taken | Taken
 
+type engine = [ `Fast | `Slow | `Baseline ]
+
 (* Cycles without a retirement before the driver declares the pipeline
    stuck; generous enough for any real memory-latency pile-up. *)
 let watchdog = 100_000
@@ -424,3 +426,257 @@ let fast_sim ?params ?cache_config ?(predictor = Standard)
   finish ~cycles:!cycle ~retired ~classes:total_classes ~emu ~cache
     ~counters ~memo:(Some mstats)
     ~pcache:(Some (Memo.Pcache.counters pc))
+
+(* ---------------------------------------------------------------- *)
+(* The unified engine front end: one configuration record instead of a
+   fan of optional arguments, serialisable so sweep manifests and reports
+   can record exactly which configuration produced each result. *)
+
+module Spec = struct
+  type observer = int -> Uarch.Detailed.t -> Uarch.Detailed.cycle_result -> unit
+
+  type t = {
+    params : Uarch.Params.t;
+    cache_config : Cachesim.Config.t;
+    predictor : predictor_kind;
+    max_cycles : int;
+    policy : Memo.Pcache.policy;
+    pcache : Memo.Pcache.t option;
+    obs : Fastsim_obs.Ctx.t option;
+    observer : observer option;
+  }
+
+  let default =
+    { params = Uarch.Params.default;
+      cache_config = Cachesim.Config.default;
+      predictor = Standard;
+      max_cycles = max_int;
+      policy = Memo.Pcache.Unbounded;
+      pcache = None;
+      obs = None;
+      observer = None }
+
+  let with_params params t = { t with params }
+  let with_cache_config cache_config t = { t with cache_config }
+  let with_predictor predictor t = { t with predictor }
+  let with_max_cycles max_cycles t = { t with max_cycles }
+  let with_policy policy t = { t with policy }
+  let with_pcache pc t = { t with pcache = Some pc }
+  let with_obs obs t = { t with obs = Some obs }
+  let with_observer f t = { t with observer = Some f }
+
+  (* ---- string conversions shared by the CLI and the sweep driver ---- *)
+
+  let predictor_to_string = function
+    | Standard -> "standard"
+    | Not_taken -> "not-taken"
+    | Taken -> "taken"
+
+  let predictor_of_string = function
+    | "standard" -> Ok Standard
+    | "not-taken" | "not_taken" -> Ok Not_taken
+    | "taken" -> Ok Taken
+    | s -> Error (Printf.sprintf "unknown predictor %S" s)
+
+  let policy_to_string = function
+    | Memo.Pcache.Unbounded -> "unbounded"
+    | Memo.Pcache.Flush_on_full n -> Printf.sprintf "flush:%d" n
+    | Memo.Pcache.Copying_gc n -> Printf.sprintf "copy:%d" n
+    | Memo.Pcache.Generational_gc { nursery; total } ->
+      Printf.sprintf "gen:%d:%d" nursery total
+
+  let policy_of_string s =
+    let num n =
+      match int_of_string_opt n with
+      | Some i when i > 0 -> Ok i
+      | _ -> Error (Printf.sprintf "bad byte budget %S in policy %S" n s)
+    in
+    match String.split_on_char ':' s with
+    | [ "unbounded" ] -> Ok Memo.Pcache.Unbounded
+    | [ "flush"; n ] ->
+      Result.map (fun n -> Memo.Pcache.Flush_on_full n) (num n)
+    | [ "copy"; n ] -> Result.map (fun n -> Memo.Pcache.Copying_gc n) (num n)
+    | [ "gen"; n; t ] ->
+      Result.bind (num n) (fun nursery ->
+          Result.map
+            (fun total -> Memo.Pcache.Generational_gc { nursery; total })
+            (num t))
+    | _ ->
+      Error
+        (Printf.sprintf
+           "bad policy %S (want unbounded, flush:BYTES, copy:BYTES or \
+            gen:NURSERY:TOTAL)" s)
+
+  let engine_to_string = function
+    | `Fast -> "fast"
+    | `Slow -> "slow"
+    | `Baseline -> "baseline"
+
+  let engine_of_string = function
+    | "fast" -> Ok `Fast
+    | "slow" -> Ok `Slow
+    | "baseline" -> Ok `Baseline
+    | s -> Error (Printf.sprintf "unknown engine %S" s)
+
+  (* ---- JSON (de)serialisation -------------------------------------- *)
+  (* The runtime-only fields (pcache, obs, observer) are not represented:
+     a decoded spec always has them unset. Decoding overlays the present
+     fields onto {!default} and rejects unknown keys, so a typo in a
+     manifest fails loudly rather than silently running the default. *)
+
+  module J = Fastsim_obs.Json
+
+  let params_to_json (p : Uarch.Params.t) : J.t =
+    Obj
+      [ ("fetch_width", Int p.fetch_width);
+        ("decode_width", Int p.decode_width);
+        ("retire_width", Int p.retire_width);
+        ("active_list", Int p.active_list);
+        ("int_queue", Int p.int_queue);
+        ("fp_queue", Int p.fp_queue);
+        ("addr_queue", Int p.addr_queue);
+        ("int_units", Int p.int_units);
+        ("fp_units", Int p.fp_units);
+        ("mem_units", Int p.mem_units);
+        ("phys_int_regs", Int p.phys_int_regs);
+        ("phys_fp_regs", Int p.phys_fp_regs);
+        ("max_spec_branches", Int p.max_spec_branches) ]
+
+  let cache_config_to_json (c : Cachesim.Config.t) : J.t =
+    Obj
+      [ ("l1_size", Int c.l1_size);
+        ("l1_ways", Int c.l1_ways);
+        ("l1_line", Int c.l1_line);
+        ("l1_hit_latency", Int c.l1_hit_latency);
+        ("l1_miss_penalty", Int c.l1_miss_penalty);
+        ("l1_mshrs", Int c.l1_mshrs);
+        ("l2_size", Int c.l2_size);
+        ("l2_ways", Int c.l2_ways);
+        ("l2_line", Int c.l2_line);
+        ("l2_hit_latency", Int c.l2_hit_latency);
+        ("l2_mshrs", Int c.l2_mshrs);
+        ("mem_latency", Int c.mem_latency);
+        ("bus_width", Int c.bus_width) ]
+
+  let to_json t : J.t =
+    let fields =
+      [ ("params", params_to_json t.params);
+        ("cache_config", cache_config_to_json t.cache_config);
+        ("predictor", J.Str (predictor_to_string t.predictor));
+        ("policy", J.Str (policy_to_string t.policy)) ]
+    in
+    let fields =
+      if t.max_cycles = max_int then fields
+      else fields @ [ ("max_cycles", J.Int t.max_cycles) ]
+    in
+    Obj fields
+
+  let spec_error fmt = Printf.ksprintf (fun m -> failwith ("spec: " ^ m)) fmt
+
+  let fold_obj ~what ~field init j =
+    match j with
+    | J.Obj members ->
+      List.fold_left
+        (fun acc (k, v) ->
+          match field acc k v with
+          | Some acc -> acc
+          | None -> spec_error "unknown %s field %S" what k)
+        init members
+    | _ -> spec_error "%s must be an object" what
+
+  let params_of_json j : Uarch.Params.t =
+    fold_obj ~what:"params" Uarch.Params.default j
+      ~field:(fun (p : Uarch.Params.t) k v ->
+        let i () = J.to_int v in
+        match k with
+        | "fetch_width" -> Some { p with fetch_width = i () }
+        | "decode_width" -> Some { p with decode_width = i () }
+        | "retire_width" -> Some { p with retire_width = i () }
+        | "active_list" -> Some { p with active_list = i () }
+        | "int_queue" -> Some { p with int_queue = i () }
+        | "fp_queue" -> Some { p with fp_queue = i () }
+        | "addr_queue" -> Some { p with addr_queue = i () }
+        | "int_units" -> Some { p with int_units = i () }
+        | "fp_units" -> Some { p with fp_units = i () }
+        | "mem_units" -> Some { p with mem_units = i () }
+        | "phys_int_regs" -> Some { p with phys_int_regs = i () }
+        | "phys_fp_regs" -> Some { p with phys_fp_regs = i () }
+        | "max_spec_branches" -> Some { p with max_spec_branches = i () }
+        | _ -> None)
+
+  let cache_config_of_json j : Cachesim.Config.t =
+    fold_obj ~what:"cache_config" Cachesim.Config.default j
+      ~field:(fun (c : Cachesim.Config.t) k v ->
+        let i () = J.to_int v in
+        match k with
+        | "l1_size" -> Some { c with l1_size = i () }
+        | "l1_ways" -> Some { c with l1_ways = i () }
+        | "l1_line" -> Some { c with l1_line = i () }
+        | "l1_hit_latency" -> Some { c with l1_hit_latency = i () }
+        | "l1_miss_penalty" -> Some { c with l1_miss_penalty = i () }
+        | "l1_mshrs" -> Some { c with l1_mshrs = i () }
+        | "l2_size" -> Some { c with l2_size = i () }
+        | "l2_ways" -> Some { c with l2_ways = i () }
+        | "l2_line" -> Some { c with l2_line = i () }
+        | "l2_hit_latency" -> Some { c with l2_hit_latency = i () }
+        | "l2_mshrs" -> Some { c with l2_mshrs = i () }
+        | "mem_latency" -> Some { c with mem_latency = i () }
+        | "bus_width" -> Some { c with bus_width = i () }
+        | _ -> None)
+
+  let of_json j : t =
+    let ok_or_fail = function Ok v -> v | Error m -> spec_error "%s" m in
+    fold_obj ~what:"spec" default j ~field:(fun t k v ->
+        match k with
+        | "params" -> Some { t with params = params_of_json v }
+        | "cache_config" ->
+          Some { t with cache_config = cache_config_of_json v }
+        | "predictor" ->
+          Some
+            { t with
+              predictor = ok_or_fail (predictor_of_string (J.to_str v)) }
+        | "policy" ->
+          Some { t with policy = ok_or_fail (policy_of_string (J.to_str v)) }
+        | "max_cycles" -> Some { t with max_cycles = J.to_int v }
+        | _ -> None)
+end
+
+(* Baseline results are reshaped into {!result} so every engine answers
+   through one type. The baseline model has no direct-execution
+   decoupling and no per-class retirement accounting, so the fields it
+   cannot produce are zero ([emulated_insts], [retired_by_class],
+   conditional/indirect fetch counts) — only [mispredicted] is real. *)
+let baseline_result (b : Baseline.result) : result =
+  { cycles = b.Baseline.cycles;
+    retired = b.Baseline.retired;
+    retired_by_class = Array.make Isa.Instr.fu_count 0;
+    emulated_insts = 0;
+    wrong_path_insts = b.Baseline.wrong_path_insts;
+    branches =
+      { conditionals = 0;
+        mispredicted = b.Baseline.mispredicts;
+        indirects = 0;
+        misfetched = 0 };
+    cache = b.Baseline.cache;
+    memo = None;
+    pcache = None;
+    final_state = b.Baseline.final_state }
+
+let run ~engine (spec : Spec.t) prog =
+  match engine with
+  | `Slow ->
+    slow_sim ~params:spec.Spec.params ~cache_config:spec.Spec.cache_config
+      ~predictor:spec.Spec.predictor ~max_cycles:spec.Spec.max_cycles
+      ?observer:spec.Spec.observer ?obs:spec.Spec.obs prog
+  | `Fast ->
+    fast_sim ~params:spec.Spec.params ~cache_config:spec.Spec.cache_config
+      ~predictor:spec.Spec.predictor ~max_cycles:spec.Spec.max_cycles
+      ~policy:spec.Spec.policy ?pcache:spec.Spec.pcache ?obs:spec.Spec.obs
+      prog
+  | `Baseline ->
+    let max_cycles =
+      if spec.Spec.max_cycles = max_int then None
+      else Some spec.Spec.max_cycles
+    in
+    baseline_result
+      (Baseline.run ~cache_config:spec.Spec.cache_config ?max_cycles prog)

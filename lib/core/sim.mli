@@ -54,6 +54,97 @@ type result = {
 type predictor_kind = Standard | Not_taken | Taken
 (** [Standard] is the paper's front end (2-bit/512 BHT + BTB + RAS). *)
 
+type engine = [ `Fast | `Slow | `Baseline ]
+(** The three timing engines behind {!run}: the memoizing simulator, the
+    detailed-every-cycle simulator, and the SimpleScalar-style
+    register-update-unit baseline. ([Fastsim.Sim.functional] remains a
+    separate, untimed entry point.) *)
+
+(** A simulation specification: every knob of every engine in one record,
+    with builder-style setters —
+
+    {[
+      Sim.Spec.default
+      |> Sim.Spec.with_predictor Sim.Not_taken
+      |> Sim.Spec.with_policy (Memo.Pcache.Flush_on_full 16_384)
+      |> Sim.run ~engine:`Fast
+    ]}
+
+    The record splits into a {e serialisable} part (params, cache_config,
+    predictor, max_cycles, policy — see {!Spec.to_json}/{!Spec.of_json})
+    that sweep manifests and reports use to identify a configuration, and
+    a {e runtime-only} part (pcache, obs, observer) that cannot cross a
+    process boundary and is never serialised. *)
+module Spec : sig
+  type observer =
+    int -> Uarch.Detailed.t -> Uarch.Detailed.cycle_result -> unit
+  (** Per-cycle callback, honoured by the slow engine only (a
+      fast-forwarded cycle never exists concretely to call it on). *)
+
+  type t = {
+    params : Uarch.Params.t;
+    cache_config : Cachesim.Config.t;
+    predictor : predictor_kind;
+    max_cycles : int;         (** cycle budget; [max_int] = unlimited. *)
+    policy : Memo.Pcache.policy;   (** fast engine only. *)
+    pcache : Memo.Pcache.t option;
+        (** warm p-action cache (fast engine only); overrides [policy]. *)
+    obs : Fastsim_obs.Ctx.t option;
+    observer : observer option;
+  }
+
+  val default : t
+  (** The paper's Table 1 processor and cache, standard predictor,
+      unbounded p-action cache, no cycle limit, no instrumentation. *)
+
+  val with_params : Uarch.Params.t -> t -> t
+  val with_cache_config : Cachesim.Config.t -> t -> t
+  val with_predictor : predictor_kind -> t -> t
+  val with_max_cycles : int -> t -> t
+  val with_policy : Memo.Pcache.policy -> t -> t
+  val with_pcache : Memo.Pcache.t -> t -> t
+  val with_obs : Fastsim_obs.Ctx.t -> t -> t
+  val with_observer : observer -> t -> t
+
+  val predictor_to_string : predictor_kind -> string
+  val predictor_of_string : string -> (predictor_kind, string) Stdlib.result
+
+  val policy_to_string : Memo.Pcache.policy -> string
+  (** ["unbounded"], ["flush:BYTES"], ["copy:BYTES"] or
+      ["gen:NURSERY:TOTAL"] — the syntax the CLI and manifests accept. *)
+
+  val policy_of_string : string -> (Memo.Pcache.policy, string) Stdlib.result
+
+  val engine_to_string : engine -> string
+  val engine_of_string : string -> (engine, string) Stdlib.result
+
+  val params_to_json : Uarch.Params.t -> Fastsim_obs.Json.t
+  val params_of_json : Fastsim_obs.Json.t -> Uarch.Params.t
+  val cache_config_to_json : Cachesim.Config.t -> Fastsim_obs.Json.t
+  val cache_config_of_json : Fastsim_obs.Json.t -> Cachesim.Config.t
+
+  val to_json : t -> Fastsim_obs.Json.t
+  (** Serialises the configuration part of the spec. Runtime-only fields
+      (pcache, obs, observer) are omitted; [max_cycles] is omitted when
+      unlimited. *)
+
+  val of_json : Fastsim_obs.Json.t -> t
+  (** Decodes a (possibly partial) spec object by overlaying its fields
+      on {!default}; [params] and [cache_config] sub-objects may also be
+      partial. Raises [Failure] on unknown keys or ill-typed values, so a
+      manifest typo fails loudly. *)
+end
+
+val run : engine:engine -> Spec.t -> Isa.Program.t -> result
+(** Runs one simulation. [`Fast] and [`Slow] produce identical cycle
+    counts and statistics (the paper's central claim); [`Baseline] runs
+    the SimpleScalar-style model, which ignores [params], [predictor]
+    (it has its own fixed front end matching the default configuration),
+    [policy], [pcache], [obs] and [observer], and reports only the
+    statistics its model tracks — [retired_by_class], [emulated_insts]
+    and the conditional/indirect fetch counts are zero, [mispredicted]
+    is real. *)
+
 val slow_sim :
   ?params:Uarch.Params.t ->
   ?cache_config:Cachesim.Config.t ->
@@ -63,6 +154,7 @@ val slow_sim :
   ?obs:Fastsim_obs.Ctx.t ->
   Isa.Program.t ->
   result
+  [@@deprecated "use Sim.run ~engine:`Slow with a Sim.Spec.t instead"]
 (** [observer], if given, is called after every simulated cycle with the
     cycle number, the live pipeline (inspect it with
     {!Uarch.Detailed.dump} / {!Uarch.Detailed.snapshot}), and that cycle's
@@ -86,6 +178,7 @@ val fast_sim :
   ?obs:Fastsim_obs.Ctx.t ->
   Isa.Program.t ->
   result
+  [@@deprecated "use Sim.run ~engine:`Fast with a Sim.Spec.t instead"]
 (** Default policy is {!Memo.Pcache.Unbounded}. Passing [pcache] starts
     from (and extends) an existing p-action cache — e.g. one restored with
     {!Memo.Persist.load} for the same program — and ignores [policy].

@@ -1,0 +1,22 @@
+(** Portability shim over OCaml 5 domains.
+
+    The sweep driver's default worker backend is process-based
+    ({!Pool.Fork}), which behaves identically on 4.14 and 5.x; the
+    [Domains] backend is an opt-in for multicore runtimes. This module
+    presents one interface over both compilers: on 5.x it is a real
+    work-sharing domain pool, on 4.14 it degrades to sequential in-process
+    execution (and {!available} lets callers warn about it). *)
+
+val available : bool
+(** [true] iff the runtime actually executes thunks on multiple domains. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] on 5.x; a small constant on
+    4.14. *)
+
+val run : jobs:int -> (unit -> unit) array -> unit
+(** Executes every thunk exactly once and returns when all are done. On
+    5.x, thunks run concurrently on up to [jobs] domains, so they must not
+    share mutable state; each thunk is responsible for storing its own
+    result and catching its own exceptions. On 4.14, thunks run
+    sequentially in the calling process. *)

@@ -1,0 +1,60 @@
+module J = Fastsim_obs.Json
+module Spec = Fastsim.Sim.Spec
+
+type fault =
+  | Crash_once of string
+  | Hang_once of string * float
+  | Hang of float
+
+type t = {
+  id : int;
+  workload : string;
+  scale : int;
+  engine : Fastsim.Sim.engine;
+  spec : Fastsim.Sim.Spec.t;
+  cache_name : string;
+  warm : string option;
+  fault : fault option;
+}
+
+let label t =
+  Printf.sprintf "%s@%d/%s/%s/%s/%s" t.workload t.scale
+    (Spec.engine_to_string t.engine)
+    (Spec.predictor_to_string t.spec.Spec.predictor)
+    t.cache_name
+    (Spec.policy_to_string t.spec.Spec.policy)
+
+let fault_to_json = function
+  | Crash_once sentinel ->
+    J.Obj [ ("kind", J.Str "crash-once"); ("sentinel", J.Str sentinel) ]
+  | Hang_once (sentinel, seconds) ->
+    J.Obj
+      [ ("kind", J.Str "hang-once");
+        ("sentinel", J.Str sentinel);
+        ("seconds", J.Float seconds) ]
+  | Hang seconds ->
+    J.Obj [ ("kind", J.Str "hang"); ("seconds", J.Float seconds) ]
+
+let fault_of_json j =
+  match J.to_str (J.member "kind" j) with
+  | "crash-once" -> Crash_once (J.to_str (J.member "sentinel" j))
+  | "hang-once" ->
+    Hang_once
+      (J.to_str (J.member "sentinel" j), J.to_float (J.member "seconds" j))
+  | "hang" -> Hang (J.to_float (J.member "seconds" j))
+  | k -> failwith (Printf.sprintf "unknown fault kind %S" k)
+
+let to_json t =
+  J.Obj
+    ([ ("id", J.Int t.id);
+       ("label", J.Str (label t));
+       ("workload", J.Str t.workload);
+       ("scale", J.Int t.scale);
+       ("engine", J.Str (Spec.engine_to_string t.engine));
+       ("cache_name", J.Str t.cache_name);
+       ("warm", J.Bool (t.warm <> None));
+       ("spec", Spec.to_json t.spec) ]
+    @
+    match t.fault with
+    | None -> []
+    | Some f -> [ ("fault", fault_to_json f) ])

@@ -1,0 +1,41 @@
+(** One unit of sweep work: a (workload, scale, engine, spec) tuple with a
+    stable identity.
+
+    Jobs are produced by {!Manifest.expand} in a deterministic order —
+    workload-major, then scale, engine, predictor, cache configuration and
+    policy — and [id] is the position in that order. The report lists
+    results by [id] regardless of the order workers complete them, so two
+    runs of the same manifest produce identically-ordered reports. *)
+
+type fault =
+  | Crash_once of string
+      (** Abort the first attempt (creating the sentinel file), succeed on
+          retry. Used by the crash/retry tests and for drills. *)
+  | Hang_once of string * float
+      (** Sleep for the given seconds on the first attempt (creating the
+          sentinel file), succeed on retry — exercises the timeout path. *)
+  | Hang of float  (** Sleep on {e every} attempt. *)
+
+type t = {
+  id : int;
+  workload : string;         (** full suite name, e.g. ["099.go"]. *)
+  scale : int;
+  engine : Fastsim.Sim.engine;
+  spec : Fastsim.Sim.Spec.t;
+  cache_name : string;       (** manifest label, e.g. ["default"]. *)
+  warm : string option;      (** path to a persisted p-action cache to
+                                 warm-start from (fast engine only). *)
+  fault : fault option;      (** test-only fault injection. *)
+}
+
+val label : t -> string
+(** Human-readable identity, e.g.
+    ["099.go@5/fast/standard/default/unbounded"]. *)
+
+val to_json : t -> Fastsim_obs.Json.t
+(** The job's identity and full spec, embedded in the sweep report so
+    every result records exactly which configuration produced it. *)
+
+val fault_to_json : fault -> Fastsim_obs.Json.t
+val fault_of_json : Fastsim_obs.Json.t -> fault
+(** Raises [Failure] on an unknown kind or missing field. *)

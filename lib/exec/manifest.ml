@@ -1,0 +1,224 @@
+module J = Fastsim_obs.Json
+module Spec = Fastsim.Sim.Spec
+
+type cache_axis = {
+  c_name : string;
+  c_config : Cachesim.Config.t;
+}
+
+type t = {
+  workloads : string list;
+  scales : int list option;
+  engines : Fastsim.Sim.engine list;
+  predictors : Fastsim.Sim.predictor_kind list;
+  cache_configs : cache_axis list;
+  policies : Memo.Pcache.policy list;
+  params : Uarch.Params.t;
+  max_cycles : int option;
+  warm : bool;
+  fault : (string option * Job.fault) option;
+}
+
+let err fmt = Printf.ksprintf (fun m -> failwith ("manifest: " ^ m)) fmt
+
+let make ~workloads () =
+  { workloads;
+    scales = None;
+    engines = [ `Fast; `Slow ];
+    predictors = [ Fastsim.Sim.Standard ];
+    cache_configs = [ { c_name = "default"; c_config = Cachesim.Config.default } ];
+    policies = [ Memo.Pcache.Unbounded ];
+    params = Uarch.Params.default;
+    max_cycles = None;
+    warm = false;
+    fault = None }
+
+(* ---------------------------------------------------------------- *)
+
+let ok_or_err = function Ok v -> v | Error m -> err "%s" m
+
+let cache_axis_of_json = function
+  | J.Str "default" -> { c_name = "default"; c_config = Cachesim.Config.default }
+  | J.Str "tiny" -> { c_name = "tiny"; c_config = Cachesim.Config.tiny }
+  | J.Str s -> err "unknown cache config %S (want default, tiny or an object)" s
+  | J.Obj fields ->
+    let name =
+      match List.assoc_opt "name" fields with
+      | Some (J.Str n) -> n
+      | Some _ -> err "cache config name must be a string"
+      | None -> "custom"
+    in
+    let overrides = J.Obj (List.remove_assoc "name" fields) in
+    { c_name = name; c_config = Spec.cache_config_of_json overrides }
+  | j -> err "bad cache config %s" (J.to_string j)
+
+let cache_axis_to_json { c_name; c_config } =
+  match c_name with
+  | "default" when c_config = Cachesim.Config.default -> J.Str "default"
+  | "tiny" when c_config = Cachesim.Config.tiny -> J.Str "tiny"
+  | _ -> (
+    match Spec.cache_config_to_json c_config with
+    | J.Obj fields -> J.Obj (("name", J.Str c_name) :: fields)
+    | j -> j)
+
+let strings what = function
+  | J.List l ->
+    List.map
+      (function J.Str s -> s | j -> err "%s entries must be strings, got %s"
+                                     what (J.to_string j))
+      l
+  | j -> err "%s must be a list, got %s" what (J.to_string j)
+
+let ints what = function
+  | J.List l -> List.map J.to_int l
+  | j -> err "%s must be a list, got %s" what (J.to_string j)
+
+let of_json j =
+  match j with
+  | J.Obj fields ->
+    let m =
+      List.fold_left
+        (fun m (k, v) ->
+          match k with
+          | "workloads" -> { m with workloads = strings "workloads" v }
+          | "scales" -> { m with scales = Some (ints "scales" v) }
+          | "engines" ->
+            { m with
+              engines =
+                List.map
+                  (fun s -> ok_or_err (Spec.engine_of_string s))
+                  (strings "engines" v) }
+          | "predictors" ->
+            { m with
+              predictors =
+                List.map
+                  (fun s -> ok_or_err (Spec.predictor_of_string s))
+                  (strings "predictors" v) }
+          | "cache_configs" ->
+            { m with cache_configs = List.map cache_axis_of_json (J.to_list v) }
+          | "policies" ->
+            { m with
+              policies =
+                List.map
+                  (fun s -> ok_or_err (Spec.policy_of_string s))
+                  (strings "policies" v) }
+          | "params" -> { m with params = Spec.params_of_json v }
+          | "max_cycles" -> { m with max_cycles = Some (J.to_int v) }
+          | "warm" -> { m with warm = J.to_bool v }
+          | "fault" ->
+            let filter =
+              if J.mem "workload" v then Some (J.to_str (J.member "workload" v))
+              else None
+            in
+            { m with fault = Some (filter, Job.fault_of_json v) }
+          | k -> err "unknown key %S" k)
+        (make ~workloads:[] ())
+        fields
+    in
+    if m.workloads = [] then err "workloads must be a non-empty list";
+    if m.engines = [] then err "engines must be non-empty";
+    if m.predictors = [] then err "predictors must be non-empty";
+    if m.cache_configs = [] then err "cache_configs must be non-empty";
+    if m.policies = [] then err "policies must be non-empty";
+    (match m.scales with
+     | Some [] -> err "scales must be non-empty when given"
+     | _ -> ());
+    m
+  | j -> err "manifest must be an object, got %s" (J.to_string j)
+
+let to_json m =
+  let fields =
+    [ ("workloads", J.List (List.map (fun w -> J.Str w) m.workloads)) ]
+    @ (match m.scales with
+       | None -> []
+       | Some l -> [ ("scales", J.List (List.map (fun s -> J.Int s) l)) ])
+    @ [ ( "engines",
+          J.List
+            (List.map (fun e -> J.Str (Spec.engine_to_string e)) m.engines) );
+        ( "predictors",
+          J.List
+            (List.map
+               (fun p -> J.Str (Spec.predictor_to_string p))
+               m.predictors) );
+        ("cache_configs", J.List (List.map cache_axis_to_json m.cache_configs));
+        ( "policies",
+          J.List
+            (List.map (fun p -> J.Str (Spec.policy_to_string p)) m.policies) )
+      ]
+    @ (if m.params = Uarch.Params.default then []
+       else [ ("params", Spec.params_to_json m.params) ])
+    @ (match m.max_cycles with None -> [] | Some n -> [ ("max_cycles", J.Int n) ])
+    @ (if m.warm then [ ("warm", J.Bool true) ] else [])
+    @
+    match m.fault with
+    | None -> []
+    | Some (filter, f) -> (
+      match (Job.fault_to_json f, filter) with
+      | J.Obj fields, Some w -> [ ("fault", J.Obj (("workload", J.Str w) :: fields)) ]
+      | fj, _ -> [ ("fault", fj) ])
+  in
+  J.Obj fields
+
+(* ---------------------------------------------------------------- *)
+
+let expand m =
+  let find name =
+    match Workloads.Suite.find name with
+    | w -> w
+    | exception Not_found -> err "unknown workload %S" name
+  in
+  let next_id = ref 0 in
+  let jobs = ref [] in
+  List.iter
+    (fun wname ->
+      let w = find wname in
+      let scales =
+        match m.scales with
+        | Some l -> l
+        | None -> [ w.Workloads.Workload.default_scale ]
+      in
+      let fault_here =
+        match m.fault with
+        | Some (None, f) -> Some f
+        | Some (Some filter, f)
+          when filter = w.Workloads.Workload.name
+               || filter = w.Workloads.Workload.short -> Some f
+        | _ -> None
+      in
+      List.iter
+        (fun scale ->
+          List.iter
+            (fun engine ->
+              List.iter
+                (fun predictor ->
+                  List.iter
+                    (fun cache ->
+                      List.iter
+                        (fun policy ->
+                          let spec =
+                            { Spec.default with
+                              Spec.params = m.params;
+                              cache_config = cache.c_config;
+                              predictor;
+                              policy;
+                              max_cycles =
+                                Option.value m.max_cycles ~default:max_int }
+                          in
+                          jobs :=
+                            { Job.id = !next_id;
+                              workload = w.Workloads.Workload.name;
+                              scale;
+                              engine;
+                              spec;
+                              cache_name = cache.c_name;
+                              warm = None;
+                              fault = fault_here }
+                            :: !jobs;
+                          incr next_id)
+                        m.policies)
+                    m.cache_configs)
+                m.predictors)
+            m.engines)
+        scales)
+    m.workloads;
+  List.rev !jobs

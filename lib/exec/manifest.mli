@@ -1,0 +1,61 @@
+(** A sweep manifest: the axes of a batch experiment.
+
+    {!expand} takes the cartesian product
+    workloads × scales × engines × predictors × cache configs × policies
+    and yields one {!Job.t} per point, in that nesting order (outermost
+    varies slowest). The order is deterministic, so job ids — and the
+    report — are stable across runs of the same manifest.
+
+    JSON form (only ["workloads"] is required; see [docs/SWEEP.md]):
+
+    {v
+    { "workloads":     ["go", "129.compress"],
+      "scales":        [5],
+      "engines":       ["fast", "slow"],
+      "predictors":    ["standard"],
+      "cache_configs": ["default", {"name": "small-l1", "l1_size": 4096}],
+      "policies":      ["unbounded", "flush:16384"],
+      "params":        {"fetch_width": 2},
+      "max_cycles":    20000000,
+      "warm":          true }
+    v} *)
+
+type cache_axis = {
+  c_name : string;  (** label used in job identities and the report. *)
+  c_config : Cachesim.Config.t;
+}
+
+type t = {
+  workloads : string list;  (** suite names, full or short. *)
+  scales : int list option;
+      (** [None]: each workload runs at its default scale. *)
+  engines : Fastsim.Sim.engine list;
+  predictors : Fastsim.Sim.predictor_kind list;
+  cache_configs : cache_axis list;
+  policies : Memo.Pcache.policy list;
+  params : Uarch.Params.t;  (** applied to every job (not an axis). *)
+  max_cycles : int option;
+  warm : bool;
+      (** run a pcache-warming stage and fan the caches out to the fast
+          jobs (see {!Sweep}). *)
+  fault : (string option * Job.fault) option;
+      (** test-only fault injection: [(workload filter, fault)]; a [None]
+          filter faults every job. *)
+}
+
+val make : workloads:string list -> unit -> t
+(** A manifest with the default axes: fast + slow engines, standard
+    predictor, default cache, unbounded policy, default scales, no
+    warming. *)
+
+val of_json : Fastsim_obs.Json.t -> t
+(** Raises [Failure] on unknown keys, unknown axis values or ill-typed
+    fields. *)
+
+val to_json : t -> Fastsim_obs.Json.t
+(** Canonical echo of the manifest (embedded in the report). *)
+
+val expand : t -> Job.t list
+(** Resolves workload names against {!Workloads.Suite} (raising [Failure]
+    with the offending name if unknown) and produces the job list. Warm
+    cache paths are attached later by {!Sweep}. *)

@@ -1,0 +1,251 @@
+type backend = Fork | Domains | Inline
+
+let backend_to_string = function
+  | Fork -> "fork"
+  | Domains -> "domains"
+  | Inline -> "inline"
+
+let backend_of_string = function
+  | "fork" -> Ok Fork
+  | "domains" -> Ok Domains
+  | "inline" -> Ok Inline
+  | s -> Error (Printf.sprintf "unknown backend %S (want fork, domains or inline)" s)
+
+type 'a outcome =
+  | Done of 'a
+  | Crashed of string
+  | Timed_out
+
+type 'a settled = {
+  outcome : 'a outcome;
+  attempts : int;
+}
+
+(* ---------------------------------------------------------------- *)
+(* Temp directories (no Filename.temp_dir on 4.14). *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_temp_dir ~prefix f =
+  let base = Filename.get_temp_dir_name () in
+  let rec make tries =
+    let name =
+      Printf.sprintf "%s-%d-%06x" prefix (Unix.getpid ())
+        (Random.int 0x1000000)
+    in
+    let path = Filename.concat base name in
+    match Unix.mkdir path 0o700 with
+    | () -> path
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) when tries < 100 ->
+      make (tries + 1)
+  in
+  let dir = make 0 in
+  Fun.protect ~finally:(fun () -> try rm_rf dir with _ -> ()) (fun () -> f dir)
+
+(* ---------------------------------------------------------------- *)
+(* Inline backend: sequential, in-process. *)
+
+let run_attempt f i =
+  match f i with
+  | v -> Done v
+  | exception e -> Crashed (Printexc.to_string e)
+
+let settle_inline ?on_outcome ~retries f results i =
+  let rec go attempt =
+    match run_attempt f i with
+    | Done _ as outcome -> { outcome; attempts = attempt }
+    | (Crashed _ | Timed_out) when attempt <= retries -> go (attempt + 1)
+    | outcome -> { outcome; attempts = attempt }
+  in
+  let settled = go 1 in
+  results.(i) <- Some settled;
+  match on_outcome with None -> () | Some cb -> cb i settled
+
+let map_inline ?on_outcome ~retries f n =
+  let results = Array.make n None in
+  for i = 0 to n - 1 do
+    settle_inline ?on_outcome ~retries f results i
+  done;
+  results
+
+(* ---------------------------------------------------------------- *)
+(* Domains backend: concurrent attempts on a domain pool; retries run in
+   subsequent rounds. No timeout enforcement (a domain cannot be safely
+   killed), no crash isolation. *)
+
+let map_domains ?on_outcome ~jobs ~retries f n =
+  let results = Array.make n None in
+  let attempts = Array.make n 0 in
+  let pending = ref (List.init n (fun i -> i)) in
+  while !pending <> [] do
+    let round = Array.of_list !pending in
+    let outcomes = Array.make (Array.length round) (Crashed "not run") in
+    let thunks =
+      Array.mapi
+        (fun slot i -> fun () -> outcomes.(slot) <- run_attempt f i)
+        round
+    in
+    Domain_shim.run ~jobs thunks;
+    let next = ref [] in
+    Array.iteri
+      (fun slot i ->
+        attempts.(i) <- attempts.(i) + 1;
+        match outcomes.(slot) with
+        | (Crashed _ | Timed_out) when attempts.(i) <= retries ->
+          next := i :: !next
+        | outcome ->
+          let settled = { outcome; attempts = attempts.(i) } in
+          results.(i) <- Some settled;
+          (match on_outcome with None -> () | Some cb -> cb i settled))
+      round;
+    pending := List.rev !next
+  done;
+  results
+
+(* ---------------------------------------------------------------- *)
+(* Fork backend. Each attempt is a forked child that evaluates the task,
+   marshals an [('a, string) result] to a scratch file (write to a temp
+   name, then rename, so the parent never reads a half-written file) and
+   exits. The parent keeps up to [jobs] children alive, reaps with
+   WNOHANG, and SIGKILLs any child that outlives the timeout. *)
+
+type running = {
+  pid : int;
+  task : int;
+  attempt : int;
+  started : float;
+  result_file : string;
+  mutable killed : bool;
+}
+
+let child_run f task result_file =
+  (* Never let anything escape the child except its exit. *)
+  let result =
+    match f task with
+    | v -> Ok v
+    | exception e -> Error (Printexc.to_string e)
+  in
+  (try
+     let tmp = result_file ^ ".tmp" in
+     let oc = open_out_bin tmp in
+     Marshal.to_channel oc result [];
+     close_out oc;
+     Sys.rename tmp result_file
+   with _ -> ());
+  Unix._exit (match result with Ok _ -> 0 | Error _ -> 3)
+
+let read_result_file path : ('a, string) result option =
+  if not (Sys.file_exists path) then None
+  else
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match Marshal.from_channel ic with
+        | r -> Some r
+        | exception _ -> None)
+
+let status_to_string = function
+  | Unix.WEXITED n -> Printf.sprintf "exited with code %d" n
+  | Unix.WSIGNALED n -> Printf.sprintf "killed by signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "stopped by signal %d" n
+
+let map_fork ?on_outcome ~jobs ~timeout_s ~retries ~scratch_dir f n =
+  let results = Array.make n None in
+  let pending = Queue.create () in
+  for i = 0 to n - 1 do
+    Queue.add (i, 1) pending
+  done;
+  let running : running list ref = ref [] in
+  let spawn (task, attempt) =
+    let result_file =
+      Filename.concat scratch_dir
+        (Printf.sprintf "task-%d-attempt-%d.res" task attempt)
+    in
+    (* Flush so the child does not replay the parent's buffered output. *)
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 -> child_run f task result_file
+    | pid ->
+      running :=
+        { pid; task; attempt; started = Unix.gettimeofday ();
+          result_file; killed = false }
+        :: !running
+  in
+  let settle task attempt outcome =
+    match outcome with
+    | (Crashed _ | Timed_out) when attempt <= retries ->
+      Queue.add (task, attempt + 1) pending
+    | outcome ->
+      let settled = { outcome; attempts = attempt } in
+      results.(task) <- Some settled;
+      (match on_outcome with None -> () | Some cb -> cb task settled)
+  in
+  let reap pid status =
+    match List.partition (fun r -> r.pid = pid) !running with
+    | [ r ], rest ->
+      running := rest;
+      let outcome =
+        (* A result file that parses wins even for a killed child: the
+           work finished, the kill merely raced its exit. *)
+        match read_result_file r.result_file with
+        | Some (Ok v) -> Done v
+        | Some (Error msg) -> Crashed msg
+        | None ->
+          if r.killed then Timed_out
+          else Crashed ("worker " ^ status_to_string status)
+      in
+      settle r.task r.attempt outcome
+    | _ -> () (* not one of ours; ignore *)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun r -> try Unix.kill r.pid Sys.sigkill with _ -> ())
+        !running)
+    (fun () ->
+      while (not (Queue.is_empty pending)) || !running <> [] do
+        while (not (Queue.is_empty pending)) && List.length !running < jobs do
+          spawn (Queue.pop pending)
+        done;
+        (match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+         | 0, _ -> ()
+         | pid, status -> reap pid status
+         | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        if timeout_s > 0. then begin
+          let now = Unix.gettimeofday () in
+          List.iter
+            (fun r ->
+              if (not r.killed) && now -. r.started > timeout_s then begin
+                r.killed <- true;
+                try Unix.kill r.pid Sys.sigkill with _ -> ()
+              end)
+            !running
+        end;
+        if !running <> [] then Unix.sleepf 0.002
+      done);
+  results
+
+(* ---------------------------------------------------------------- *)
+
+let map ?(backend = Fork) ?(jobs = 1) ?(timeout_s = 0.) ?(retries = 0)
+    ?on_outcome ~scratch_dir f n =
+  let jobs = max 1 jobs in
+  let results =
+    match backend with
+    | Inline -> map_inline ?on_outcome ~retries f n
+    | Domains -> map_domains ?on_outcome ~jobs ~retries f n
+    | Fork -> map_fork ?on_outcome ~jobs ~timeout_s ~retries ~scratch_dir f n
+  in
+  Array.map
+    (function
+      | Some s -> s
+      | None -> { outcome = Crashed "task never settled"; attempts = 0 })
+    results

@@ -1,0 +1,59 @@
+(** A bounded worker pool with per-task timeouts and bounded retries.
+
+    Three backends behind one interface:
+
+    - {!Fork} (default): one forked process per task attempt, results
+      shipped back through marshalled scratch files. Works identically on
+      OCaml 4.14 and 5.x, isolates worker crashes from the driver, and is
+      the only backend that can enforce timeouts (the parent SIGKILLs an
+      overrunning child).
+    - {!Domains}: a domain pool on OCaml 5.x ({!Domain_shim}); on 4.14 it
+      silently degrades to sequential execution. No timeout enforcement
+      and no crash isolation — a segfaulting task takes the driver down —
+      but no fork/marshal overhead.
+    - {!Inline}: sequential in-process execution, mainly for debugging
+      and for deterministic single-process tests.
+
+    Task outcomes are delivered in {e task order}, not completion order;
+    [on_outcome] streams them as each task {e settles} (final attempt
+    done). *)
+
+type backend = Fork | Domains | Inline
+
+val backend_to_string : backend -> string
+val backend_of_string : string -> (backend, string) result
+
+type 'a outcome =
+  | Done of 'a
+  | Crashed of string
+      (** the task raised, or its worker process died (non-zero exit,
+          signal, or unreadable result file); the payload describes it. *)
+  | Timed_out
+
+type 'a settled = {
+  outcome : 'a outcome;
+  attempts : int;  (** total attempts consumed (1 = no retry needed). *)
+}
+
+val map :
+  ?backend:backend ->
+  ?jobs:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?on_outcome:(int -> 'a settled -> unit) ->
+  scratch_dir:string ->
+  (int -> 'a) ->
+  int ->
+  'a settled array
+(** [map ~scratch_dir f n] evaluates [f i] for [0 <= i < n] and returns
+    the settled outcomes indexed by task. [jobs] bounds concurrent workers
+    (default 1); [timeout_s > 0.] bounds one attempt's wall clock (Fork
+    only; default unlimited); a task whose attempt crashes or times out is
+    retried up to [retries] more times (default 0). [scratch_dir] must
+    exist; the Fork backend writes per-attempt result files under it.
+    The result values of the Fork backend cross a process boundary via
+    [Marshal], so ['a] must be closure-free plain data. *)
+
+val with_temp_dir : prefix:string -> (string -> 'a) -> 'a
+(** Creates a fresh private directory under the system temp dir, passes
+    it to the callback, and removes it (recursively) afterwards. *)

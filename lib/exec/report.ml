@@ -1,0 +1,188 @@
+module J = Fastsim_obs.Json
+module Spec = Fastsim.Sim.Spec
+
+type entry = {
+  job : Job.t;
+  attempts : int;
+  outcome : [ `Ok of Runner.run_result | `Failed of string ];
+}
+
+type t = {
+  manifest : Manifest.t;
+  backend : string;
+  jobs : int;
+  warming : (string * float) list;
+  entries : entry list;
+}
+
+let ok_count t =
+  List.length
+    (List.filter (fun e -> match e.outcome with `Ok _ -> true | _ -> false)
+       t.entries)
+
+let failed t =
+  List.filter (fun e -> match e.outcome with `Failed _ -> true | _ -> false)
+    t.entries
+
+(* ---------------------------------------------------------------- *)
+(* Rollups. Fast and slow runs of the same configuration point are
+   paired: their cycle counts must agree (the paper's central claim,
+   checked suite-wide here) and their wall-clock ratio is the memoization
+   speedup. *)
+
+let pair_key (j : Job.t) =
+  Printf.sprintf "%s@%d/%s/%s/%s" j.Job.workload j.Job.scale
+    (Spec.predictor_to_string j.Job.spec.Spec.predictor)
+    j.Job.cache_name
+    (Spec.policy_to_string j.Job.spec.Spec.policy)
+
+let pairs t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      match e.outcome with
+      | `Failed _ -> ()
+      | `Ok r ->
+        let key = pair_key e.job in
+        let slot =
+          match Hashtbl.find_opt tbl key with
+          | Some s -> s
+          | None ->
+            let s = ref (None, None) in
+            Hashtbl.add tbl key s;
+            s
+        in
+        (match e.job.Job.engine with
+         | `Fast -> slot := (Some r, snd !slot)
+         | `Slow -> slot := (fst !slot, Some r)
+         | `Baseline -> ()))
+    t.entries;
+  (* deterministic order: first appearance in the (ordered) entry list *)
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun e ->
+      let key = pair_key e.job in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.add seen key ();
+        match Hashtbl.find_opt tbl key with
+        | Some { contents = Some fast, Some slow } -> Some (key, fast, slow)
+        | _ -> None
+      end)
+    t.entries
+
+let geomean = function
+  | [] -> None
+  | xs ->
+    Some
+      (exp
+         (List.fold_left (fun acc x -> acc +. log x) 0. xs
+         /. float_of_int (List.length xs)))
+
+let rollups_json t =
+  let entries_pairs = pairs t in
+  let pair_json (key, (fast : Runner.run_result), (slow : Runner.run_result)) =
+    let speedup = slow.Runner.wall_s /. fast.Runner.wall_s in
+    J.Obj
+      [ ("key", J.Str key);
+        ("cycles", J.Int slow.Runner.summary.Runner.cycles);
+        ( "cycle_agreement",
+          J.Bool
+            (slow.Runner.summary.Runner.cycles
+            = fast.Runner.summary.Runner.cycles) );
+        ("slow_wall_s", J.Float slow.Runner.wall_s);
+        ("fast_wall_s", J.Float fast.Runner.wall_s);
+        ("speedup", J.Float speedup) ]
+  in
+  let speedups =
+    List.map
+      (fun (_, (f : Runner.run_result), (s : Runner.run_result)) ->
+        s.Runner.wall_s /. f.Runner.wall_s)
+      entries_pairs
+  in
+  let agreement =
+    List.for_all
+      (fun (_, (f : Runner.run_result), (s : Runner.run_result)) ->
+        f.Runner.summary.Runner.cycles = s.Runner.summary.Runner.cycles)
+      entries_pairs
+  in
+  let total_wall =
+    List.fold_left
+      (fun acc e ->
+        match e.outcome with `Ok r -> acc +. r.Runner.wall_s | _ -> acc)
+      0. t.entries
+  in
+  J.Obj
+    [ ( "totals",
+        J.Obj
+          [ ("jobs", J.Int (List.length t.entries));
+            ("ok", J.Int (ok_count t));
+            ("failed", J.Int (List.length (failed t)));
+            ( "retried",
+              J.Int
+                (List.length
+                   (List.filter (fun e -> e.attempts > 1) t.entries)) );
+            ( "attempts",
+              J.Int (List.fold_left (fun a e -> a + e.attempts) 0 t.entries)
+            );
+            ("total_wall_s", J.Float total_wall) ] );
+      ("pairs", J.List (List.map pair_json entries_pairs));
+      ( "geomean_speedup",
+        match geomean speedups with None -> J.Null | Some g -> J.Float g );
+      ( "cycle_agreement",
+        if entries_pairs = [] then J.Null else J.Bool agreement ) ]
+
+let entry_json e =
+  J.Obj
+    ([ ("job", Job.to_json e.job);
+       ( "status",
+         J.Str (match e.outcome with `Ok _ -> "ok" | `Failed _ -> "failed") );
+       ("attempts", J.Int e.attempts) ]
+    @
+    match e.outcome with
+    | `Ok r ->
+      [ ("wall_s", J.Float r.Runner.wall_s);
+        ("result", Runner.summary_to_json r.Runner.summary) ]
+    | `Failed msg -> [ ("error", J.Str msg) ])
+
+let to_json ?timestamp t =
+  J.Obj
+    ([ ("harness", J.Str "fastsim-sweep") ]
+    @ (match timestamp with
+       | None -> []
+       | Some ts -> [ ("timestamp", J.Str ts) ])
+    @ [ ("manifest", Manifest.to_json t.manifest);
+        ("backend", J.Str t.backend);
+        ("jobs", J.Int t.jobs);
+        ( "warming",
+          J.List
+            (List.map
+               (fun (key, wall) ->
+                 J.Obj [ ("key", J.Str key); ("wall_s", J.Float wall) ])
+               t.warming) );
+        ("results", J.List (List.map entry_json t.entries));
+        ("rollups", rollups_json t) ])
+
+(* Keys whose values derive from the host clock; everything else in a
+   report is a deterministic function of the manifest. *)
+let timing_keys =
+  [ "wall_s"; "slow_wall_s"; "fast_wall_s"; "total_wall_s"; "speedup";
+    "geomean_speedup"; "ipc_rate"; "timestamp" ]
+
+let rec strip_timing = function
+  | J.Obj fields ->
+    J.Obj
+      (List.map
+         (fun (k, v) ->
+           if List.mem k timing_keys then (k, J.Null) else (k, strip_timing v))
+         fields)
+  | J.List l -> J.List (List.map strip_timing l)
+  | v -> v
+
+let write_file ?timestamp path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      J.to_channel oc (to_json ?timestamp t);
+      output_char oc '\n')

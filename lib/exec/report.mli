@@ -1,0 +1,54 @@
+(** The sweep report: every job's configuration and result in job order,
+    plus suite-level rollups.
+
+    Schema (see [docs/SWEEP.md] for the full description):
+
+    {v
+    { "harness":  "fastsim-sweep",
+      "manifest": { ...canonical manifest echo... },
+      "backend":  "fork", "jobs": 4,
+      "warming":  [ {"key": ..., "wall_s": ...}, ... ],
+      "results":  [ {"job": {...}, "status": "ok"|"failed",
+                     "attempts": N, "wall_s": S,
+                     "result": { cycles, retired, ... } |
+                     "error": "..."}, ... ],
+      "rollups":  { "totals": {...}, "pairs": [...],
+                    "geomean_speedup": F, "cycle_agreement": B } }
+    v}
+
+    Two runs of the same manifest produce byte-identical reports after
+    {!strip_timing} (which nulls the host-time-derived values), because
+    job order is deterministic and every simulation statistic is
+    deterministic. *)
+
+type entry = {
+  job : Job.t;
+  attempts : int;
+  outcome : [ `Ok of Runner.run_result | `Failed of string ];
+}
+
+type t = {
+  manifest : Manifest.t;
+  backend : string;
+  jobs : int;
+  warming : (string * float) list;
+      (** (warm key, wall seconds) for each pcache-warming run. *)
+  entries : entry list;  (** in job-id order. *)
+}
+
+val ok_count : t -> int
+val failed : t -> entry list
+
+val to_json : ?timestamp:string -> t -> Fastsim_obs.Json.t
+(** [timestamp], when given, is embedded verbatim (the library never
+    reads the clock for report content, keeping reports reproducible;
+    the CLI passes the current time). *)
+
+val strip_timing : Fastsim_obs.Json.t -> Fastsim_obs.Json.t
+(** Replaces every value whose key carries host-time-derived content
+    ([wall_s], [speedup], [geomean_speedup], [total_wall_s], [ipc_rate]…,
+    and [timestamp]) with [null], recursively. Two runs of the same
+    manifest are byte-identical after this — the determinism contract the
+    test suite enforces. *)
+
+val write_file : ?timestamp:string -> string -> t -> unit

@@ -1,0 +1,39 @@
+(** Executes one job in the current process.
+
+    This is the piece of the sweep driver that workers run: it resolves
+    the workload, builds the program, warm-starts the p-action cache when
+    the job carries one, runs the requested engine and reduces the result
+    to a plain, process-boundary-safe summary (no closures, no simulator
+    state), so the fork backend can ship it back to the parent. *)
+
+type summary = {
+  cycles : int;
+  retired : int;
+  emulated_insts : int;
+  wrong_path_insts : int;
+  retired_by_class : int array;
+  branches : Fastsim.Sim.branch_stats;
+  cache : Cachesim.Hierarchy.stats;
+  memo : Memo.Stats.t option;           (** fast engine only. *)
+  pcache : Memo.Pcache.counters option; (** fast engine only. *)
+}
+
+type run_result = {
+  summary : summary;
+  wall_s : float;
+      (** host seconds of the simulation proper — program construction and
+          warm-cache loading are excluded. *)
+}
+
+val summary_of_result : Fastsim.Sim.result -> summary
+
+val run_sim : Job.t -> Fastsim.Sim.result * float
+(** Runs the job and returns the full simulation result plus the wall
+    clock of the simulation proper. Injected faults fire first (see
+    {!Job.fault}): a crash fault raises [Failure]. Used directly by the
+    bench harness, which wants the unreduced result. *)
+
+val run_job : Job.t -> run_result
+(** [run_sim] followed by {!summary_of_result}. *)
+
+val summary_to_json : summary -> Fastsim_obs.Json.t

@@ -1,0 +1,171 @@
+module J = Fastsim_obs.Json
+module Spec = Fastsim.Sim.Spec
+
+type config = {
+  backend : Pool.backend;
+  jobs : int;
+  timeout_s : float;
+  retries : int;
+  on_progress : (string -> unit) option;
+}
+
+let default_config =
+  { backend = Pool.Fork;
+    jobs = 1;
+    timeout_s = 0.;
+    retries = 1;
+    on_progress = None }
+
+let progress cfg fmt =
+  Printf.ksprintf
+    (fun line ->
+      match cfg.on_progress with None -> () | Some f -> f line)
+    fmt
+
+(* A warm cache is shared by every fast job with the same workload, scale
+   and configuration-sans-policy: those record identical action graphs, so
+   one warming run primes them all. The key is readable plus a digest of
+   the exact spec, so distinct configurations never share a file. *)
+let warm_key (job : Job.t) =
+  let spec_json =
+    Spec.to_json { job.Job.spec with Spec.policy = Memo.Pcache.Unbounded }
+  in
+  Printf.sprintf "%s@%d/%s/%s#%s" job.Job.workload job.Job.scale
+    (Spec.predictor_to_string job.Job.spec.Spec.predictor)
+    job.Job.cache_name
+    (String.sub (Digest.to_hex (Digest.string (J.to_string spec_json))) 0 8)
+
+let warm_file scratch key =
+  (* the key contains '/'; flatten it for the filesystem *)
+  Filename.concat scratch
+    ("warm-" ^ String.map (function '/' -> '_' | c -> c) key ^ ".pcache")
+
+let warm_run (job : Job.t) path =
+  let w = Workloads.Suite.find job.Job.workload in
+  let prog = w.Workloads.Workload.build job.Job.scale in
+  let pc = Memo.Pcache.create ~policy:Memo.Pcache.Unbounded () in
+  let spec =
+    { job.Job.spec with
+      Spec.policy = Memo.Pcache.Unbounded;
+      pcache = Some pc }
+  in
+  let t0 = Unix.gettimeofday () in
+  ignore (Fastsim.Sim.run ~engine:`Fast spec prog : Fastsim.Sim.result);
+  let wall = Unix.gettimeofday () -. t0 in
+  Memo.Persist.save_file pc ~program:prog path;
+  wall
+
+let run ?(config = default_config) manifest =
+  let cfg = config in
+  let jobs_n =
+    if cfg.jobs <= 0 then Domain_shim.recommended_jobs () else cfg.jobs
+  in
+  let jobs = Array.of_list (Manifest.expand manifest) in
+  Pool.with_temp_dir ~prefix:"fastsim-sweep" (fun scratch ->
+      (* ---- warming stage -------------------------------------- *)
+      let warming =
+        if not manifest.Manifest.warm then []
+        else begin
+          let keys = Hashtbl.create 8 in
+          let order = ref [] in
+          Array.iter
+            (fun (j : Job.t) ->
+              if j.Job.engine = `Fast then begin
+                let key = warm_key j in
+                if not (Hashtbl.mem keys key) then begin
+                  Hashtbl.add keys key j;
+                  order := key :: !order
+                end
+              end)
+            jobs;
+          let keys_arr = Array.of_list (List.rev !order) in
+          progress cfg "warming %d p-action cache(s) on %d worker(s)"
+            (Array.length keys_arr) jobs_n;
+          let settled =
+            Pool.map ~backend:cfg.backend ~jobs:jobs_n
+              ~timeout_s:cfg.timeout_s ~retries:cfg.retries
+              ~on_outcome:(fun i (s : float Pool.settled) ->
+                match s.Pool.outcome with
+                | Pool.Done wall ->
+                  progress cfg "warm %s: %.2fs" keys_arr.(i) wall
+                | Pool.Crashed msg ->
+                  progress cfg "warm %s: FAILED (%s); siblings run cold"
+                    keys_arr.(i) msg
+                | Pool.Timed_out ->
+                  progress cfg "warm %s: TIMED OUT; siblings run cold"
+                    keys_arr.(i))
+              ~scratch_dir:scratch
+              (fun i ->
+                let key = keys_arr.(i) in
+                warm_run (Hashtbl.find keys key) (warm_file scratch key))
+              (Array.length keys_arr)
+          in
+          Array.to_list
+            (Array.mapi
+               (fun i (s : float Pool.settled) ->
+                 match s.Pool.outcome with
+                 | Pool.Done wall -> Some (keys_arr.(i), wall)
+                 | _ -> None)
+               settled)
+          |> List.filter_map Fun.id
+        end
+      in
+      (* fan the warm caches out to the sibling fast jobs *)
+      let jobs =
+        Array.map
+          (fun (j : Job.t) ->
+            if j.Job.engine <> `Fast || not manifest.Manifest.warm then j
+            else
+              let path = warm_file scratch (warm_key j) in
+              if Sys.file_exists path then { j with Job.warm = Some path }
+              else j)
+          jobs
+      in
+      (* ---- job stage ------------------------------------------ *)
+      progress cfg "running %d job(s) on %d %s worker(s)" (Array.length jobs)
+        jobs_n
+        (Pool.backend_to_string cfg.backend);
+      let n_settled = ref 0 in
+      let settled =
+        Pool.map ~backend:cfg.backend ~jobs:jobs_n ~timeout_s:cfg.timeout_s
+          ~retries:cfg.retries ~scratch_dir:scratch
+          ~on_outcome:(fun i (s : Runner.run_result Pool.settled) ->
+            incr n_settled;
+            let label = Job.label jobs.(i) in
+            match s.Pool.outcome with
+            | Pool.Done r ->
+              progress cfg "[%d/%d] %s: %d cycles in %.2fs%s" !n_settled
+                (Array.length jobs) label r.Runner.summary.Runner.cycles
+                r.Runner.wall_s
+                (if s.Pool.attempts > 1 then
+                   Printf.sprintf " (attempt %d)" s.Pool.attempts
+                 else "")
+            | Pool.Crashed msg ->
+              progress cfg "[%d/%d] %s: FAILED after %d attempt(s): %s"
+                !n_settled (Array.length jobs) label s.Pool.attempts msg
+            | Pool.Timed_out ->
+              progress cfg "[%d/%d] %s: TIMED OUT after %d attempt(s)"
+                !n_settled (Array.length jobs) label s.Pool.attempts)
+          (fun i -> Runner.run_job jobs.(i))
+          (Array.length jobs)
+      in
+      let entries =
+        Array.to_list
+          (Array.mapi
+             (fun i (s : Runner.run_result Pool.settled) ->
+               { Report.job = jobs.(i);
+                 attempts = s.Pool.attempts;
+                 outcome =
+                   (match s.Pool.outcome with
+                    | Pool.Done r -> `Ok r
+                    | Pool.Crashed msg -> `Failed msg
+                    | Pool.Timed_out ->
+                      `Failed
+                        (Printf.sprintf "timed out after %.1fs" cfg.timeout_s)) })
+             settled)
+      in
+      { Report.manifest;
+        backend = Pool.backend_to_string cfg.backend;
+        jobs = jobs_n;
+        warming;
+        entries })

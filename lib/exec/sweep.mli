@@ -1,0 +1,34 @@
+(** The batch driver behind [fastsim sweep]: expands a manifest, runs the
+    jobs on a worker pool, and aggregates one report.
+
+    Pipeline:
+
+    + {!Manifest.expand} — deterministic job list;
+    + optional {b warming stage} (manifest [warm]): each distinct
+      (workload, scale, processor/cache configuration) that any fast job
+      uses is simulated once with an unbounded p-action cache, which is
+      persisted via {!Memo.Persist} and fanned out to every sibling fast
+      job — those then start fast-forwarding from their first cycle.
+      Warm-starting never changes results, only time-to-result (replay
+      still validates every outcome), so warmed sweeps report identical
+      statistics;
+    + the job stage on the {!Pool} backend (forked processes by default),
+      with per-job timeouts and bounded retries;
+    + aggregation into a {!Report.t}, entries in job-id order regardless
+      of completion order. A worker crash or timeout that exhausts its
+      retries marks that entry failed; the suite always completes. *)
+
+type config = {
+  backend : Pool.backend;   (** default [Fork]. *)
+  jobs : int;               (** worker count; [0] = auto (domain count). *)
+  timeout_s : float;        (** per-attempt; [0.] = unlimited; Fork only. *)
+  retries : int;            (** extra attempts after a crash/timeout. *)
+  on_progress : (string -> unit) option;
+      (** streamed human-readable progress lines, called as warming runs
+          finish and jobs settle (in completion order). *)
+}
+
+val default_config : config
+(** Fork backend, 1 job, no timeout, 1 retry, silent. *)
+
+val run : ?config:config -> Manifest.t -> Report.t

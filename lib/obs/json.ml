@@ -59,3 +59,245 @@ let to_channel oc v =
   let buf = Buffer.create 4096 in
   to_buffer buf v;
   Buffer.output_buffer oc buf
+
+(* ---------------------------------------------------------------- *)
+(* Parser: a plain recursive descent over a string. *)
+
+exception Parse_error of string
+
+type parser_state = { src : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let literal st word value =
+  if
+    st.pos + String.length word <= String.length st.src
+    && String.sub st.src st.pos (String.length word) = word
+  then begin
+    st.pos <- st.pos + String.length word;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | None -> fail st "unterminated escape"
+      | Some c ->
+        advance st;
+        (match c with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'u' ->
+           if st.pos + 4 > String.length st.src then
+             fail st "truncated \\u escape";
+           let hex = String.sub st.src st.pos 4 in
+           let code =
+             try int_of_string ("0x" ^ hex)
+             with Failure _ -> fail st "bad \\u escape"
+           in
+           st.pos <- st.pos + 4;
+           (* encode the code point as UTF-8; surrogates are kept as the
+              replacement character — traces never contain them. *)
+           if code < 0x80 then Buffer.add_char buf (Char.chr code)
+           else if code < 0x800 then begin
+             Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+           end
+           else begin
+             Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+             Buffer.add_char buf
+               (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+           end
+         | _ -> fail st "bad escape");
+        go ())
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  let rec go () =
+    match peek st with
+    | Some ('0' .. '9' | '-' | '+') ->
+      advance st;
+      go ()
+    | Some ('.' | 'e' | 'E') ->
+      is_float := true;
+      advance st;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let s = String.sub st.src start (st.pos - start) in
+  if !is_float then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail st (Printf.sprintf "bad number %S" s)
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+      (* an integer literal too large for [int]: keep it as a float *)
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail st (Printf.sprintf "bad number %S" s))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some 'n' -> literal st "null" Null
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some '"' -> Str (parse_string st)
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      List []
+    end
+    else begin
+      let items = ref [ parse_value st ] in
+      let rec go () =
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          items := parse_value st :: !items;
+          go ()
+        | Some ']' -> advance st
+        | _ -> fail st "expected ',' or ']'"
+      in
+      go ();
+      List (List.rev !items)
+    end
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let parse_member () =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        (k, v)
+      in
+      let members = ref [ parse_member () ] in
+      let rec go () =
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          members := parse_member () :: !members;
+          go ()
+        | Some '}' -> advance st
+        | _ -> fail st "expected ',' or '}'"
+      in
+      go ();
+      Obj (List.rev !members)
+    end
+  | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+let of_channel ic =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    let n = input ic chunk 0 (Bytes.length chunk) in
+    if n > 0 then begin
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    end
+  in
+  (try go () with End_of_file -> ());
+  of_string (Buffer.contents buf)
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> of_channel ic)
+
+(* ---------------------------------------------------------------- *)
+(* Accessors. *)
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | Str _ -> "string"
+  | List _ -> "list"
+  | Obj _ -> "object"
+
+let access_error want v =
+  raise (Parse_error (Printf.sprintf "expected %s, got %s" want (type_name v)))
+
+let member k = function
+  | Obj fields as v -> (
+    match List.assoc_opt k fields with
+    | Some x -> x
+    | None ->
+      raise (Parse_error (Printf.sprintf "missing key %S in %s" k
+                            (type_name v))))
+  | v -> access_error "object" v
+
+let mem k = function Obj fields -> List.mem_assoc k fields | _ -> false
+
+let to_int = function Int i -> i | v -> access_error "int" v
+let to_float = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | v -> access_error "float" v
+
+let to_str = function Str s -> s | v -> access_error "string" v
+let to_bool = function Bool b -> b | v -> access_error "bool" v
+let to_list = function List l -> l | v -> access_error "list" v

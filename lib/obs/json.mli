@@ -1,10 +1,12 @@
-(** A minimal JSON value type and printer.
+(** A minimal JSON value type, printer and parser.
 
     The exporters need to {e write} JSON (JSONL traces, Chrome
-    [trace_event] files, metrics dumps, bench results) without pulling a
-    JSON dependency into the core libraries; this is a complete, escaping,
-    write-only implementation. Non-finite floats serialise as [null] (JSON
-    has no representation for them). *)
+    [trace_event] files, metrics dumps, bench results) and the sweep
+    driver needs to {e read} it back (manifests, reports, simulation
+    specs) without pulling a JSON dependency into the core libraries;
+    this is a complete, escaping implementation of both directions.
+    Non-finite floats serialise as [null] (JSON has no representation
+    for them). *)
 
 type t =
   | Null
@@ -18,3 +20,38 @@ type t =
 val to_buffer : Buffer.t -> t -> unit
 val to_string : t -> string
 val to_channel : out_channel -> t -> unit
+
+exception Parse_error of string
+(** Raised by the parsing functions; the message includes a byte offset. *)
+
+val of_string : string -> t
+(** Parses one JSON value. Numbers without [.], [e] or [E] become {!Int}
+    (fitting OCaml's [int]), all others {!Float}. Object member order is
+    preserved; duplicate keys are kept as written. Trailing whitespace is
+    permitted, trailing garbage is not. Raises {!Parse_error}. *)
+
+val of_channel : in_channel -> t
+(** Reads the channel to exhaustion and parses it. *)
+
+val of_file : string -> t
+(** Reads and parses a whole file. Raises [Sys_error] on I/O failure. *)
+
+(* Accessors used by manifest / report readers: total (raising) lookups
+   keep call sites short, [mem] guards the optional fields. *)
+
+val member : string -> t -> t
+(** [member k (Obj _)] is the value bound to the first occurrence of [k].
+    Raises {!Parse_error} when the key is missing or the value is not an
+    object. *)
+
+val mem : string -> t -> bool
+(** [mem k v] is [true] iff [v] is an object with a [k] member. *)
+
+val to_int : t -> int
+val to_float : t -> float
+(** [to_float] also accepts {!Int} values. *)
+
+val to_str : t -> string
+val to_bool : t -> bool
+val to_list : t -> t list
+(** All raise {!Parse_error} on a constructor mismatch. *)

@@ -213,3 +213,59 @@ let program_of_seed ?(cfg = default_cfg) seed =
         Isa.Asm.insn (I.Jr 25);
         Isa.Asm.data "dispatch"
           [ Isa.Asm.Label_words [ "case0"; "case1"; "case2"; "case3" ] ] ])
+
+(* ---------------------------------------------------------------- *)
+(* Random Sim.Spec values for the JSON round-trip property. Only the
+   serializable fields vary (the runtime fields — pcache, obs, observer —
+   have no JSON form and stay None). *)
+
+module Spec = Fastsim.Sim.Spec
+
+let random_policy st =
+  match Random.State.int st 4 with
+  | 0 -> Memo.Pcache.Unbounded
+  | 1 -> Memo.Pcache.Flush_on_full (256 lsl Random.State.int st 10)
+  | 2 -> Memo.Pcache.Copying_gc (256 lsl Random.State.int st 10)
+  | _ ->
+    let total = 1024 lsl Random.State.int st 8 in
+    Memo.Pcache.Generational_gc { nursery = max 256 (total / 4); total }
+
+let random_predictor st =
+  match Random.State.int st 3 with
+  | 0 -> Fastsim.Sim.Standard
+  | 1 -> Fastsim.Sim.Not_taken
+  | _ -> Fastsim.Sim.Taken
+
+let random_params st =
+  let p = Uarch.Params.default in
+  let w = 1 lsl Random.State.int st 3 in
+  { p with
+    Uarch.Params.fetch_width = w;
+    decode_width = w;
+    retire_width = w;
+    int_units = 1 + Random.State.int st 4;
+    fp_units = 1 + Random.State.int st 4;
+    active_list = 16 lsl Random.State.int st 3;
+    int_queue = 8 lsl Random.State.int st 3;
+    phys_int_regs = 48 + 16 * Random.State.int st 4 }
+
+let random_cache_config st =
+  if Random.State.bool st then Cachesim.Config.tiny
+  else
+    { Cachesim.Config.default with
+      Cachesim.Config.l1_size = 1024 lsl Random.State.int st 6;
+      l1_ways = 1 lsl Random.State.int st 3;
+      mem_latency = 20 + Random.State.int st 200 }
+
+let random_spec st =
+  Spec.default
+  |> Spec.with_policy (random_policy st)
+  |> Spec.with_predictor (random_predictor st)
+  |> (if Random.State.bool st then Spec.with_params (random_params st)
+      else fun s -> s)
+  |> (if Random.State.bool st then
+        Spec.with_cache_config (random_cache_config st)
+      else fun s -> s)
+  |> (if Random.State.bool st then
+        Spec.with_max_cycles (1 + Random.State.int st 10_000_000)
+      else fun s -> s)

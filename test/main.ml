@@ -19,4 +19,5 @@ let () =
       ("baseline", Test_baseline.suite);
       ("faults", Test_faults.suite);
       ("workloads", Test_workloads.suite);
-      ("equivalence", Test_equivalence.suite) ]
+      ("equivalence", Test_equivalence.suite);
+      ("exec", Test_exec.suite) ]

@@ -115,7 +115,7 @@ let test_inorder_error_varies () =
   let ratio name =
     let w = Workloads.Suite.find name in
     let prog = w.Workloads.Workload.build w.Workloads.Workload.test_scale in
-    let ooo = Fastsim.Sim.slow_sim prog in
+    let ooo = Fastsim.Sim.run ~engine:`Slow Fastsim.Sim.Spec.default prog in
     let a = Baseline.Inorder.run prog in
     float_of_int a.Baseline.Inorder.cycles
     /. float_of_int ooo.Fastsim.Sim.cycles

@@ -5,9 +5,21 @@
 
 let check = Alcotest.check
 
+module Spec = Fastsim.Sim.Spec
+
+let run_slow ?(spec = Spec.default) prog =
+  Fastsim.Sim.run ~engine:`Slow spec prog
+
+let run_fast ?(spec = Spec.default) prog =
+  Fastsim.Sim.run ~engine:`Fast spec prog
+
 let assert_equivalent ?policy prog =
-  let slow = Fastsim.Sim.slow_sim ~max_cycles:20_000_000 prog in
-  let fast = Fastsim.Sim.fast_sim ?policy ~max_cycles:20_000_000 prog in
+  let spec = Spec.with_max_cycles 20_000_000 Spec.default in
+  let fast_spec =
+    match policy with None -> spec | Some p -> Spec.with_policy p spec
+  in
+  let slow = run_slow ~spec prog in
+  let fast = run_fast ~spec:fast_spec prog in
   check Alcotest.int "cycles" slow.Fastsim.Sim.cycles fast.Fastsim.Sim.cycles;
   check Alcotest.int "retired" slow.Fastsim.Sim.retired
     fast.Fastsim.Sim.retired;
@@ -49,7 +61,7 @@ let test_retired_matches_functional () =
 let test_fast_actually_replays () =
   let w = Workloads.Suite.find "perl" in
   let prog = w.Workloads.Workload.build 50 in
-  let fast = Fastsim.Sim.fast_sim prog in
+  let fast = run_fast prog in
   match fast.Fastsim.Sim.memo with
   | None -> Alcotest.fail "memo stats expected"
   | Some m ->
@@ -82,8 +94,8 @@ let random_equivalence_prop =
           ~cfg:{ Gen.default_cfg with outer_iters = 3; inner_iters = 6 }
           seed
       in
-      let slow = Fastsim.Sim.slow_sim prog in
-      let fast = Fastsim.Sim.fast_sim prog in
+      let slow = run_slow prog in
+      let fast = run_fast prog in
       slow.Fastsim.Sim.cycles = fast.Fastsim.Sim.cycles
       && slow.Fastsim.Sim.retired = fast.Fastsim.Sim.retired
       && Emu.Arch_state.equal slow.Fastsim.Sim.final_state
@@ -99,9 +111,12 @@ let random_policy_equivalence_prop =
           ~cfg:{ Gen.default_cfg with outer_iters = 3; inner_iters = 6 }
           seed
       in
-      let slow = Fastsim.Sim.slow_sim prog in
+      let slow = run_slow prog in
       let fast =
-        Fastsim.Sim.fast_sim ~policy:(Memo.Pcache.Flush_on_full 1024) prog
+        run_fast
+          ~spec:
+            (Spec.with_policy (Memo.Pcache.Flush_on_full 1024) Spec.default)
+          prog
       in
       slow.Fastsim.Sim.cycles = fast.Fastsim.Sim.cycles
       && slow.Fastsim.Sim.retired = fast.Fastsim.Sim.retired)
@@ -111,8 +126,9 @@ let test_predictor_variants () =
     (fun predictor ->
       let w = Workloads.Suite.find "compress" in
       let prog = w.Workloads.Workload.build 1 in
-      let slow = Fastsim.Sim.slow_sim ~predictor prog in
-      let fast = Fastsim.Sim.fast_sim ~predictor prog in
+      let spec = Spec.with_predictor predictor Spec.default in
+      let slow = run_slow ~spec prog in
+      let fast = run_fast ~spec prog in
       check Alcotest.int "cycles" slow.Fastsim.Sim.cycles
         fast.Fastsim.Sim.cycles)
     [ Fastsim.Sim.Standard; Fastsim.Sim.Not_taken; Fastsim.Sim.Taken ]
@@ -120,9 +136,9 @@ let test_predictor_variants () =
 let test_cache_config_variants () =
   let w = Workloads.Suite.find "vortex" in
   let prog = w.Workloads.Workload.build 1 in
-  let cache_config = Cachesim.Config.tiny in
-  let slow = Fastsim.Sim.slow_sim ~cache_config prog in
-  let fast = Fastsim.Sim.fast_sim ~cache_config prog in
+  let spec = Spec.with_cache_config Cachesim.Config.tiny Spec.default in
+  let slow = run_slow ~spec prog in
+  let fast = run_fast ~spec prog in
   check Alcotest.int "cycles under tiny cache" slow.Fastsim.Sim.cycles
     fast.Fastsim.Sim.cycles
 
@@ -131,8 +147,8 @@ let test_class_histograms_equal () =
     (fun name ->
       let w = Workloads.Suite.find name in
       let prog = w.Workloads.Workload.build w.Workloads.Workload.test_scale in
-      let slow = Fastsim.Sim.slow_sim prog in
-      let fast = Fastsim.Sim.fast_sim prog in
+      let slow = run_slow prog in
+      let fast = run_fast prog in
       check
         Alcotest.(array int)
         (name ^ " per-class retirement")
@@ -172,12 +188,10 @@ let test_obs_determinism () =
       let w = Workloads.Suite.find wname in
       let prog = w.Workloads.Workload.build w.test_scale in
       let obs () = Fastsim_obs.Ctx.full () in
-      assert_same_result (wname ^ " slow")
-        (Fastsim.Sim.slow_sim prog)
-        (Fastsim.Sim.slow_sim ~obs:(obs ()) prog);
-      assert_same_result (wname ^ " fast")
-        (Fastsim.Sim.fast_sim prog)
-        (Fastsim.Sim.fast_sim ~obs:(obs ()) prog))
+      assert_same_result (wname ^ " slow") (run_slow prog)
+        (run_slow ~spec:(Spec.with_obs (obs ()) Spec.default) prog);
+      assert_same_result (wname ^ " fast") (run_fast prog)
+        (run_fast ~spec:(Spec.with_obs (obs ()) Spec.default) prog))
     [ "go"; "compress"; "tomcatv" ]
 
 (* ... and with obs attached to BOTH engines, the cross-engine claim
@@ -186,8 +200,14 @@ let test_obs_equivalence_all_kernels () =
   List.iter
     (fun (w : Workloads.Workload.t) ->
       let prog = w.build w.test_scale in
-      let slow = Fastsim.Sim.slow_sim ~obs:(Fastsim_obs.Ctx.full ()) prog in
-      let fast = Fastsim.Sim.fast_sim ~obs:(Fastsim_obs.Ctx.full ()) prog in
+      let slow =
+        run_slow ~spec:(Spec.with_obs (Fastsim_obs.Ctx.full ()) Spec.default)
+          prog
+      in
+      let fast =
+        run_fast ~spec:(Spec.with_obs (Fastsim_obs.Ctx.full ()) Spec.default)
+          prog
+      in
       check Alcotest.int (w.name ^ " cycles") slow.Fastsim.Sim.cycles
         fast.Fastsim.Sim.cycles;
       check Alcotest.int (w.name ^ " retired") slow.Fastsim.Sim.retired

@@ -1,0 +1,248 @@
+(* Fastsim_exec: the sweep/batch driver. Manifest round-trips, report
+   determinism (byte-identical modulo timing), agreement between pooled
+   and direct execution, and the fault paths — worker crash with retry,
+   timeout kill, and exhausted retries. *)
+
+module Exec = Fastsim_exec
+module J = Fastsim_obs.Json
+module Spec = Fastsim.Sim.Spec
+
+let check = Alcotest.check
+
+let fresh_sentinel =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fastsim-test-fault-%d-%d" (Unix.getpid ()) !n)
+
+let rm path = if Sys.file_exists path then Sys.remove path
+
+let small_manifest ?(workloads = [ "li"; "compress" ]) () =
+  { (Exec.Manifest.make ~workloads ()) with Exec.Manifest.scales = Some [ 1 ] }
+
+let inline_config =
+  { Exec.Sweep.default_config with Exec.Sweep.backend = Exec.Pool.Inline }
+
+(* ---------------------------------------------------------------- *)
+(* Spec JSON round-trip: for any serializable spec, to_json → print →
+   parse → of_json reconstructs it exactly (through the Json parser). *)
+
+let spec_roundtrip_prop =
+  QCheck.Test.make ~name:"Spec JSON round-trip" ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let spec = Gen.random_spec st in
+      let json = Spec.to_json spec in
+      let reparsed = J.of_string (J.to_string json) in
+      reparsed = json && Spec.of_json reparsed = spec)
+
+let test_spec_of_json_rejects_unknown () =
+  (match Spec.of_json (J.of_string {|{"politics": "unbounded"}|}) with
+   | _ -> Alcotest.fail "expected Failure on unknown key"
+   | exception Failure _ -> ());
+  match Spec.policy_of_string "flush" with
+  | Ok _ -> Alcotest.fail "expected Error"
+  | Error _ -> ()
+
+let test_manifest_roundtrip () =
+  let m =
+    { (Exec.Manifest.make ~workloads:[ "099.go"; "129.compress" ] ()) with
+      Exec.Manifest.scales = Some [ 1; 2 ];
+      engines = [ `Fast; `Slow; `Baseline ];
+      predictors = [ Fastsim.Sim.Standard; Fastsim.Sim.Taken ];
+      cache_configs =
+        [ { Exec.Manifest.c_name = "default";
+            c_config = Cachesim.Config.default };
+          { Exec.Manifest.c_name = "tiny"; c_config = Cachesim.Config.tiny } ];
+      policies =
+        [ Memo.Pcache.Unbounded; Memo.Pcache.Flush_on_full 16_384 ];
+      max_cycles = Some 1_000_000;
+      warm = true }
+  in
+  let m' = Exec.Manifest.of_json (J.of_string (J.to_string (Exec.Manifest.to_json m))) in
+  check Alcotest.string "manifest JSON round-trip"
+    (J.to_string (Exec.Manifest.to_json m))
+    (J.to_string (Exec.Manifest.to_json m'))
+
+let test_expand_deterministic_ids () =
+  let m = small_manifest () in
+  let a = Exec.Manifest.expand m and b = Exec.Manifest.expand m in
+  check Alcotest.int "job count" (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Exec.Job.t) (y : Exec.Job.t) ->
+      check Alcotest.int "id" x.Exec.Job.id y.Exec.Job.id;
+      check Alcotest.string "label" (Exec.Job.label x) (Exec.Job.label y))
+    a b;
+  (* ids are positional *)
+  List.iteri
+    (fun i (j : Exec.Job.t) -> check Alcotest.int "positional id" i j.Exec.Job.id)
+    a
+
+(* ---------------------------------------------------------------- *)
+(* Determinism: two runs of the same manifest produce byte-identical
+   reports once host-time values are stripped. *)
+
+let stripped r =
+  J.to_string (Exec.Report.strip_timing (Exec.Report.to_json r))
+
+let results_and_rollups r =
+  let j = Exec.Report.strip_timing (Exec.Report.to_json r) in
+  J.to_string (J.Obj [ ("results", J.member "results" j);
+                       ("rollups", J.member "rollups" j) ])
+
+let test_sweep_deterministic () =
+  let m = small_manifest () in
+  let r1 = Exec.Sweep.run ~config:inline_config m in
+  let r2 = Exec.Sweep.run ~config:inline_config m in
+  check Alcotest.string "byte-identical modulo timing" (stripped r1)
+    (stripped r2)
+
+let test_fork_matches_inline () =
+  let m = small_manifest () in
+  let r_inline = Exec.Sweep.run ~config:inline_config m in
+  let r_fork =
+    Exec.Sweep.run
+      ~config:
+        { Exec.Sweep.default_config with
+          Exec.Sweep.backend = Exec.Pool.Fork;
+          jobs = 2 }
+      m
+  in
+  check Alcotest.string "fork == inline (results+rollups)"
+    (results_and_rollups r_inline)
+    (results_and_rollups r_fork)
+
+(* Each pooled result must match a direct in-process Sim.run of the same
+   job — the acceptance criterion for `fastsim sweep` vs `fastsim run`. *)
+let test_report_cycles_match_direct_runs () =
+  let m = small_manifest () in
+  let r =
+    Exec.Sweep.run
+      ~config:
+        { Exec.Sweep.default_config with
+          Exec.Sweep.backend = Exec.Pool.Fork;
+          jobs = 4 }
+      m
+  in
+  check Alcotest.int "all ok"
+    (List.length r.Exec.Report.entries)
+    (Exec.Report.ok_count r);
+  List.iter
+    (fun (e : Exec.Report.entry) ->
+      match e.Exec.Report.outcome with
+      | `Failed msg -> Alcotest.fail msg
+      | `Ok rr ->
+        let direct, _ = Exec.Runner.run_sim e.Exec.Report.job in
+        let label = Exec.Job.label e.Exec.Report.job in
+        check Alcotest.int (label ^ " cycles") direct.Fastsim.Sim.cycles
+          rr.Exec.Runner.summary.Exec.Runner.cycles;
+        check Alcotest.int (label ^ " retired") direct.Fastsim.Sim.retired
+          rr.Exec.Runner.summary.Exec.Runner.retired)
+    r.Exec.Report.entries
+
+(* Warm-started fast jobs report the same cycles as cold ones. *)
+let test_warm_stage_preserves_results () =
+  let m = { (small_manifest ~workloads:[ "compress" ] ()) with
+            Exec.Manifest.engines = [ `Fast ] } in
+  let cold = Exec.Sweep.run ~config:inline_config m in
+  let warm =
+    Exec.Sweep.run ~config:inline_config
+      { m with Exec.Manifest.warm = true }
+  in
+  check Alcotest.int "one warming run" 1
+    (List.length warm.Exec.Report.warming);
+  List.iter2
+    (fun (a : Exec.Report.entry) (b : Exec.Report.entry) ->
+      match (a.Exec.Report.outcome, b.Exec.Report.outcome) with
+      | `Ok ra, `Ok rb ->
+        check Alcotest.int "cycles" ra.Exec.Runner.summary.Exec.Runner.cycles
+          rb.Exec.Runner.summary.Exec.Runner.cycles
+      | _ -> Alcotest.fail "warm sweep failed")
+    cold.Exec.Report.entries warm.Exec.Report.entries
+
+(* ---------------------------------------------------------------- *)
+(* Fault paths (fork backend). *)
+
+let fork_config ?(jobs = 2) ?(timeout_s = 0.) ?(retries = 1) () =
+  { Exec.Sweep.backend = Exec.Pool.Fork;
+    jobs;
+    timeout_s;
+    retries;
+    on_progress = None }
+
+let test_worker_crash_retries_and_completes () =
+  let sentinel = fresh_sentinel () in
+  let m =
+    { (small_manifest ~workloads:[ "li" ] ()) with
+      Exec.Manifest.engines = [ `Fast ];
+      fault = Some (None, Exec.Job.Crash_once sentinel) }
+  in
+  let r = Exec.Sweep.run ~config:(fork_config ()) m in
+  rm sentinel;
+  check Alcotest.int "job count" 1 (List.length r.Exec.Report.entries);
+  check Alcotest.int "all ok despite the crash" 1 (Exec.Report.ok_count r);
+  List.iter
+    (fun (e : Exec.Report.entry) ->
+      check Alcotest.int "second attempt succeeded" 2 e.Exec.Report.attempts)
+    r.Exec.Report.entries
+
+let test_timeout_kills_and_retries () =
+  let sentinel = fresh_sentinel () in
+  let m =
+    { (small_manifest ~workloads:[ "li" ] ()) with
+      Exec.Manifest.engines = [ `Fast ];
+      fault = Some (None, Exec.Job.Hang_once (sentinel, 30.)) }
+  in
+  let r = Exec.Sweep.run ~config:(fork_config ~timeout_s:2. ()) m in
+  rm sentinel;
+  check Alcotest.int "all ok after timeout retry" 1 (Exec.Report.ok_count r);
+  List.iter
+    (fun (e : Exec.Report.entry) ->
+      check Alcotest.int "took two attempts" 2 e.Exec.Report.attempts)
+    r.Exec.Report.entries
+
+let test_exhausted_retries_fail_entry_only () =
+  let sentinel = fresh_sentinel () in
+  let m =
+    { (small_manifest ~workloads:[ "li"; "compress" ] ()) with
+      Exec.Manifest.engines = [ `Fast ];
+      fault = Some (Some "li", Exec.Job.Crash_once sentinel) }
+  in
+  (* retries = 0: the faulted job fails; the sibling still completes and
+     the report covers every job. *)
+  let r = Exec.Sweep.run ~config:(fork_config ~retries:0 ()) m in
+  rm sentinel;
+  check Alcotest.int "both entries present" 2
+    (List.length r.Exec.Report.entries);
+  check Alcotest.int "one ok" 1 (Exec.Report.ok_count r);
+  check Alcotest.int "one failed" 1 (List.length (Exec.Report.failed r));
+  match Exec.Report.failed r with
+  | [ e ] ->
+    check Alcotest.string "the faulted workload failed" "130.li"
+      e.Exec.Report.job.Exec.Job.workload
+  | _ -> Alcotest.fail "expected exactly one failure"
+
+let suite =
+  [ QCheck_alcotest.to_alcotest spec_roundtrip_prop;
+    Alcotest.test_case "Spec.of_json rejects unknown keys" `Quick
+      test_spec_of_json_rejects_unknown;
+    Alcotest.test_case "manifest JSON round-trip" `Quick
+      test_manifest_roundtrip;
+    Alcotest.test_case "expansion is deterministic" `Quick
+      test_expand_deterministic_ids;
+    Alcotest.test_case "sweep report deterministic modulo timing" `Quick
+      test_sweep_deterministic;
+    Alcotest.test_case "fork backend matches inline" `Quick
+      test_fork_matches_inline;
+    Alcotest.test_case "pooled results match direct Sim.run" `Quick
+      test_report_cycles_match_direct_runs;
+    Alcotest.test_case "warm stage preserves results" `Quick
+      test_warm_stage_preserves_results;
+    Alcotest.test_case "worker crash retries and completes" `Quick
+      test_worker_crash_retries_and_completes;
+    Alcotest.test_case "timeout kills and retries" `Quick
+      test_timeout_kills_and_retries;
+    Alcotest.test_case "exhausted retries fail only that entry" `Quick
+      test_exhausted_retries_fail_entry_only ]

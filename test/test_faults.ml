@@ -76,20 +76,22 @@ let test_deadlock_on_infinite_cond_loop () =
     Workloads.Dsl.(
       assemble [ li 1 1; label "spin"; nop; beq 1 1 "spin"; halt ])
   in
-  (match Fastsim.Sim.slow_sim ~max_cycles:50_000 p with
+  let spec = Fastsim.Sim.Spec.(with_max_cycles 50_000 default) in
+  (match Fastsim.Sim.run ~engine:`Slow spec p with
    | _ -> Alcotest.fail "expected Deadlock"
    | exception Fastsim.Sim.Deadlock _ -> ());
-  match Fastsim.Sim.fast_sim ~max_cycles:50_000 p with
+  match Fastsim.Sim.run ~engine:`Fast spec p with
   | _ -> Alcotest.fail "expected Deadlock"
   | exception Fastsim.Sim.Deadlock _ -> ()
 
 let test_max_cycles_limit () =
   let w = Workloads.Suite.find "compress" in
   let big = w.Workloads.Workload.build 50 in
-  (match Fastsim.Sim.slow_sim ~max_cycles:1000 big with
+  let spec = Fastsim.Sim.Spec.(with_max_cycles 1000 default) in
+  (match Fastsim.Sim.run ~engine:`Slow spec big with
    | _ -> Alcotest.fail "expected cycle-limit Deadlock"
    | exception Fastsim.Sim.Deadlock _ -> ());
-  match Fastsim.Sim.fast_sim ~max_cycles:1000 big with
+  match Fastsim.Sim.run ~engine:`Fast spec big with
   | _ -> Alcotest.fail "expected cycle-limit Deadlock"
   | exception Fastsim.Sim.Deadlock _ -> ()
 
@@ -104,8 +106,14 @@ let test_architectural_misalignment_faults () =
       | exception Emu.Emulator.Fault _ -> ())
     [ (fun p -> ignore (Fastsim.Sim.functional p
                         : Emu.Arch_state.t * Emu.Memory.t * int));
-      (fun p -> ignore (Fastsim.Sim.slow_sim p : Fastsim.Sim.result));
-      (fun p -> ignore (Fastsim.Sim.fast_sim p : Fastsim.Sim.result));
+      (fun p ->
+        ignore
+          (Fastsim.Sim.run ~engine:`Slow Fastsim.Sim.Spec.default p
+            : Fastsim.Sim.result));
+      (fun p ->
+        ignore
+          (Fastsim.Sim.run ~engine:`Fast Fastsim.Sim.Spec.default p
+            : Fastsim.Sim.result));
       (fun p -> ignore (Baseline.run p : Baseline.result)) ]
 
 let test_rollback_bad_index () =

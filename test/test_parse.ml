@@ -163,8 +163,8 @@ let test_comments_and_blank_lines () =
 
 let test_parse_then_engines_agree () =
   let prog = Isa.Parse.program sum_source in
-  let slow = Fastsim.Sim.slow_sim prog in
-  let fast = Fastsim.Sim.fast_sim prog in
+  let slow = Fastsim.Sim.run ~engine:`Slow Fastsim.Sim.Spec.default prog in
+  let fast = Fastsim.Sim.run ~engine:`Fast Fastsim.Sim.Spec.default prog in
   check Alcotest.int "cycles" slow.Fastsim.Sim.cycles fast.Fastsim.Sim.cycles
 
 let suite =

@@ -5,11 +5,16 @@ let check = Alcotest.check
 
 let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
 
+let run_fast ~pcache prog =
+  Fastsim.Sim.run ~engine:`Fast
+    Fastsim.Sim.Spec.(with_pcache pcache default)
+    prog
+
 let test_roundtrip_counters () =
   let w = Workloads.Suite.find "li" in
   let prog = w.Workloads.Workload.build w.Workloads.Workload.test_scale in
   let pc = Memo.Pcache.create () in
-  let r1 = Fastsim.Sim.fast_sim ~pcache:pc prog in
+  let r1 = run_fast ~pcache:pc prog in
   let path = tmp "fastsim_test.fspc" in
   Memo.Persist.save_file pc ~program:prog path;
   let pc' = Memo.Persist.load_file ~program:prog path in
@@ -24,11 +29,11 @@ let test_warm_start_equivalent_and_faster () =
   let w = Workloads.Suite.find "compress" in
   let prog = w.Workloads.Workload.build 1 in
   let pc = Memo.Pcache.create () in
-  let cold = Fastsim.Sim.fast_sim ~pcache:pc prog in
+  let cold = run_fast ~pcache:pc prog in
   let path = tmp "fastsim_warm.fspc" in
   Memo.Persist.save_file pc ~program:prog path;
   let warm_pc = Memo.Persist.load_file ~program:prog path in
-  let warm = Fastsim.Sim.fast_sim ~pcache:warm_pc prog in
+  let warm = run_fast ~pcache:warm_pc prog in
   Sys.remove path;
   (* identical results... *)
   check Alcotest.int "cycles" cold.Fastsim.Sim.cycles warm.Fastsim.Sim.cycles;
@@ -46,7 +51,7 @@ let test_digest_guard () =
   let prog = w.Workloads.Workload.build w.Workloads.Workload.test_scale in
   let other = (Workloads.Suite.find "go").build 1 in
   let pc = Memo.Pcache.create () in
-  ignore (Fastsim.Sim.fast_sim ~pcache:pc prog : Fastsim.Sim.result);
+  ignore (run_fast ~pcache:pc prog : Fastsim.Sim.result);
   let path = tmp "fastsim_digest.fspc" in
   Memo.Persist.save_file pc ~program:prog path;
   (match Memo.Persist.load_file ~program:other path with

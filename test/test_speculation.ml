@@ -46,9 +46,12 @@ let test_nested_rollback_functional () =
   check Alcotest.int "wrong store undone" 0 (Emu.Memory.load32 mem (out + 4));
   check Alcotest.int "correct store" 5 (Emu.Memory.load32 mem (out + 8))
 
+let run_slow prog = Fastsim.Sim.run ~engine:`Slow Fastsim.Sim.Spec.default prog
+let run_fast prog = Fastsim.Sim.run ~engine:`Fast Fastsim.Sim.Spec.default prog
+
 let test_nested_rollback_all_engines () =
-  let slow = Fastsim.Sim.slow_sim nested_prog in
-  let fast = Fastsim.Sim.fast_sim nested_prog in
+  let slow = run_slow nested_prog in
+  let fast = run_fast nested_prog in
   let base = Baseline.run nested_prog in
   check Alcotest.int "slow = fast cycles" slow.Fastsim.Sim.cycles
     fast.Fastsim.Sim.cycles;
@@ -120,8 +123,8 @@ let deep_prog =
       @ [ halt ]))
 
 let test_deep_speculation () =
-  let slow = Fastsim.Sim.slow_sim deep_prog in
-  let fast = Fastsim.Sim.fast_sim deep_prog in
+  let slow = run_slow deep_prog in
+  let fast = run_fast deep_prog in
   check Alcotest.int "cycles equal" slow.Fastsim.Sim.cycles
     fast.Fastsim.Sim.cycles;
   check Alcotest.int "r20: only correct-path increments" 6
@@ -144,8 +147,8 @@ let wedge_prog =
         halt ])
 
 let test_wrong_path_wedges_and_recovers () =
-  let slow = Fastsim.Sim.slow_sim wedge_prog in
-  let fast = Fastsim.Sim.fast_sim wedge_prog in
+  let slow = run_slow wedge_prog in
+  let fast = run_fast wedge_prog in
   check Alcotest.int "cycles equal" slow.Fastsim.Sim.cycles
     fast.Fastsim.Sim.cycles;
   check Alcotest.int "result" 9
@@ -171,7 +174,7 @@ let width_prog =
         halt ])
 
 let test_speculative_store_widths_undone () =
-  let slow = Fastsim.Sim.slow_sim width_prog in
+  let slow = run_slow width_prog in
   ignore slow;
   let _, mem, _ = Emu.Emulator.run_functional width_prog in
   let buf = Isa.Program.symbol width_prog "buf" in
@@ -179,7 +182,7 @@ let test_speculative_store_widths_undone () =
   check Alcotest.int "word 1 intact" 0x55667788
     (Emu.Memory.load32 mem (buf + 4));
   (* and under the speculative engines too *)
-  let fast = Fastsim.Sim.fast_sim width_prog in
+  let fast = run_fast width_prog in
   ignore fast;
   let emu = Emu.Emulator.create width_prog in
   let rec drain () =

@@ -218,7 +218,11 @@ let test_observer_hook () =
     last := cycle;
     incr calls
   in
-  let r = Fastsim.Sim.slow_sim ~observer demo_prog in
+  let r =
+    Fastsim.Sim.run ~engine:`Slow
+      Fastsim.Sim.Spec.(with_observer observer default)
+      demo_prog
+  in
   Alcotest.(check int) "called once per cycle" r.Fastsim.Sim.cycles !calls
 
 let suite =

@@ -189,6 +189,16 @@ let expand m =
         (fun scale ->
           List.iter
             (fun engine ->
+              (* [`Baseline] ignores the predictor and the pcache policy
+                 (Sim.run only forwards the cache config), so crossing it
+                 with those axes would emit duplicate jobs whose labels
+                 pretend the axis mattered; collapse each to one
+                 representative value. *)
+              let predictors, policies =
+                match engine with
+                | `Baseline -> ([ List.hd m.predictors ], [ List.hd m.policies ])
+                | `Fast | `Slow -> (m.predictors, m.policies)
+              in
               List.iter
                 (fun predictor ->
                   List.iter
@@ -215,9 +225,9 @@ let expand m =
                               fault = fault_here }
                             :: !jobs;
                           incr next_id)
-                        m.policies)
+                        policies)
                     m.cache_configs)
-                m.predictors)
+                predictors)
             m.engines)
         scales)
     m.workloads;

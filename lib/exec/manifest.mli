@@ -4,7 +4,9 @@
     workloads × scales × engines × predictors × cache configs × policies
     and yields one {!Job.t} per point, in that nesting order (outermost
     varies slowest). The order is deterministic, so job ids — and the
-    report — are stable across runs of the same manifest.
+    report — are stable across runs of the same manifest. [`Baseline]
+    ignores the predictor and policy, so for baseline jobs those two axes
+    collapse to their first value instead of producing duplicates.
 
     JSON form (only ["workloads"] is required; see [docs/SWEEP.md]):
 

@@ -202,23 +202,41 @@ let map_fork ?on_outcome ~jobs ~timeout_s ~retries ~scratch_dir f n =
           if r.killed then Timed_out
           else Crashed ("worker " ^ status_to_string status)
       in
+      (* Consume the result file now: a stale file surviving into a later
+         Pool.map over the same scratch dir would be unmarshalled as that
+         call's result type — a memory-unsafe type confusion. *)
+      (try Sys.remove r.result_file with Sys_error _ -> ());
+      (try Sys.remove (r.result_file ^ ".tmp") with Sys_error _ -> ());
       settle r.task r.attempt outcome
     | _ -> () (* not one of ours; ignore *)
   in
   Fun.protect
     ~finally:(fun () ->
-      List.iter (fun r -> try Unix.kill r.pid Sys.sigkill with _ -> ())
+      (* Only reached with children still running when an exception is
+         escaping: kill them, then reap so they don't linger as zombies. *)
+      List.iter
+        (fun r ->
+          (try Unix.kill r.pid Sys.sigkill with _ -> ());
+          try ignore (Unix.waitpid [] r.pid) with _ -> ())
         !running)
     (fun () ->
       while (not (Queue.is_empty pending)) || !running <> [] do
         while (not (Queue.is_empty pending)) && List.length !running < jobs do
           spawn (Queue.pop pending)
         done;
-        (match Unix.waitpid [ Unix.WNOHANG ] (-1) with
-         | 0, _ -> ()
-         | pid, status -> reap pid status
-         | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
-         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        (* Poll only the pool's own pids: waitpid(-1) would also reap —
+           and silently discard the status of — any other child of the
+           host process (library embeddings, a concurrent pool). *)
+        List.iter
+          (fun r ->
+            match Unix.waitpid [ Unix.WNOHANG ] r.pid with
+            | 0, _ -> ()
+            | pid, status -> reap pid status
+            | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+              (* someone else reaped it; settle from the result file *)
+              reap r.pid (Unix.WEXITED 0)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+          !running;
         if timeout_s > 0. then begin
           let now = Unix.gettimeofday () in
           List.iter

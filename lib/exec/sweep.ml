@@ -62,6 +62,18 @@ let run ?(config = default_config) manifest =
   in
   let jobs = Array.of_list (Manifest.expand manifest) in
   Pool.with_temp_dir ~prefix:"fastsim-sweep" (fun scratch ->
+      (* Each Pool.map call gets a private scratch subdirectory: task
+         indices restart at 0 every stage, so sharing one directory would
+         let a later stage read an earlier stage's leftover result file
+         (marshalled as a different type) for a child that died before
+         writing its own. *)
+      let stage_dir name =
+        let d = Filename.concat scratch name in
+        (match Unix.mkdir d 0o700 with
+         | () -> ()
+         | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        d
+      in
       (* ---- warming stage -------------------------------------- *)
       let warming =
         if not manifest.Manifest.warm then []
@@ -94,7 +106,7 @@ let run ?(config = default_config) manifest =
                 | Pool.Timed_out ->
                   progress cfg "warm %s: TIMED OUT; siblings run cold"
                     keys_arr.(i))
-              ~scratch_dir:scratch
+              ~scratch_dir:(stage_dir "warm-stage")
               (fun i ->
                 let key = keys_arr.(i) in
                 warm_run (Hashtbl.find keys key) (warm_file scratch key))
@@ -128,7 +140,7 @@ let run ?(config = default_config) manifest =
       let n_settled = ref 0 in
       let settled =
         Pool.map ~backend:cfg.backend ~jobs:jobs_n ~timeout_s:cfg.timeout_s
-          ~retries:cfg.retries ~scratch_dir:scratch
+          ~retries:cfg.retries ~scratch_dir:(stage_dir "job-stage")
           ~on_outcome:(fun i (s : Runner.run_result Pool.settled) ->
             incr n_settled;
             let label = Job.label jobs.(i) in

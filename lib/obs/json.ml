@@ -119,23 +119,59 @@ let parse_string st =
          | 'r' -> Buffer.add_char buf '\r'
          | 't' -> Buffer.add_char buf '\t'
          | 'u' ->
-           if st.pos + 4 > String.length st.src then
-             fail st "truncated \\u escape";
-           let hex = String.sub st.src st.pos 4 in
-           let code =
-             try int_of_string ("0x" ^ hex)
-             with Failure _ -> fail st "bad \\u escape"
+           let read_hex4 () =
+             if st.pos + 4 > String.length st.src then
+               fail st "truncated \\u escape";
+             let hex = String.sub st.src st.pos 4 in
+             let code =
+               try int_of_string ("0x" ^ hex)
+               with Failure _ -> fail st "bad \\u escape"
+             in
+             st.pos <- st.pos + 4;
+             code
            in
-           st.pos <- st.pos + 4;
-           (* encode the code point as UTF-8; surrogates are kept as the
-              replacement character — traces never contain them. *)
+           let code = read_hex4 () in
+           (* Valid surrogate pairs combine into one code point; a lone
+              surrogate becomes the replacement character (never raw
+              CESU-8, which is not valid UTF-8). *)
+           let code =
+             if code >= 0xD800 && code <= 0xDBFF then begin
+               if
+                 st.pos + 2 <= String.length st.src
+                 && st.src.[st.pos] = '\\'
+                 && st.src.[st.pos + 1] = 'u'
+               then begin
+                 let saved = st.pos in
+                 st.pos <- st.pos + 2;
+                 let lo = read_hex4 () in
+                 if lo >= 0xDC00 && lo <= 0xDFFF then
+                   0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00)
+                 else begin
+                   st.pos <- saved;
+                   0xFFFD
+                 end
+               end
+               else 0xFFFD
+             end
+             else if code >= 0xDC00 && code <= 0xDFFF then 0xFFFD
+             else code
+           in
+           (* encode the code point as UTF-8 *)
            if code < 0x80 then Buffer.add_char buf (Char.chr code)
            else if code < 0x800 then begin
              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
            end
-           else begin
+           else if code < 0x10000 then begin
              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+             Buffer.add_char buf
+               (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+           end
+           else begin
+             Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+             Buffer.add_char buf
+               (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
              Buffer.add_char buf
                (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))

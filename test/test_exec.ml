@@ -80,6 +80,57 @@ let test_expand_deterministic_ids () =
     (fun i (j : Exec.Job.t) -> check Alcotest.int "positional id" i j.Exec.Job.id)
     a
 
+(* The baseline engine ignores the predictor and policy axes, so
+   expansion collapses them to one representative point instead of
+   emitting duplicate jobs with distinct labels. *)
+let test_expand_collapses_baseline_axes () =
+  let m =
+    { (small_manifest ~workloads:[ "li" ] ()) with
+      Exec.Manifest.engines = [ `Fast; `Baseline ];
+      predictors = [ Fastsim.Sim.Standard; Fastsim.Sim.Taken ];
+      policies = [ Memo.Pcache.Unbounded; Memo.Pcache.Flush_on_full 16_384 ] }
+  in
+  let jobs = Exec.Manifest.expand m in
+  let count e =
+    List.length
+      (List.filter (fun (j : Exec.Job.t) -> j.Exec.Job.engine = e) jobs)
+  in
+  check Alcotest.int "fast jobs cover the full product" 4 (count `Fast);
+  check Alcotest.int "baseline collapses predictor and policy" 1
+    (count `Baseline);
+  let labels = List.map Exec.Job.label jobs in
+  check Alcotest.int "labels are unique" (List.length jobs)
+    (List.length (List.sort_uniq compare labels))
+
+(* Re-using one scratch dir across Pool.map calls must never surface an
+   earlier call's result file as a later task's outcome: task indices
+   restart at 0, and unmarshalling a stale file at a different type is
+   memory-unsafe. The second call's task 0 dies without writing a result,
+   so it must settle Crashed, not Done-with-a-stale-float. *)
+let test_pool_stale_results_not_reused () =
+  Exec.Pool.with_temp_dir ~prefix:"fastsim-test-stale" (fun scratch ->
+      let first =
+        Exec.Pool.map ~backend:Exec.Pool.Fork ~jobs:2 ~scratch_dir:scratch
+          (fun i -> float_of_int i) 2
+      in
+      Array.iter
+        (fun (s : float Exec.Pool.settled) ->
+          match s.Exec.Pool.outcome with
+          | Exec.Pool.Done _ -> ()
+          | _ -> Alcotest.fail "first map did not complete")
+        first;
+      let second =
+        Exec.Pool.map ~backend:Exec.Pool.Fork ~jobs:2 ~scratch_dir:scratch
+          (fun i -> if i = 0 then Unix._exit 9 else "ok") 2
+      in
+      (match second.(0).Exec.Pool.outcome with
+       | Exec.Pool.Crashed _ -> ()
+       | Exec.Pool.Done _ -> Alcotest.fail "stale result reported as Done"
+       | Exec.Pool.Timed_out -> Alcotest.fail "unexpected timeout");
+      match second.(1).Exec.Pool.outcome with
+      | Exec.Pool.Done "ok" -> ()
+      | _ -> Alcotest.fail "healthy sibling failed")
+
 (* ---------------------------------------------------------------- *)
 (* Determinism: two runs of the same manifest produce byte-identical
    reports once host-time values are stripped. *)
@@ -232,6 +283,10 @@ let suite =
       test_manifest_roundtrip;
     Alcotest.test_case "expansion is deterministic" `Quick
       test_expand_deterministic_ids;
+    Alcotest.test_case "baseline collapses predictor/policy axes" `Quick
+      test_expand_collapses_baseline_axes;
+    Alcotest.test_case "stale pool results are never reused" `Quick
+      test_pool_stale_results_not_reused;
     Alcotest.test_case "sweep report deterministic modulo timing" `Quick
       test_sweep_deterministic;
     Alcotest.test_case "fork backend matches inline" `Quick

@@ -156,6 +156,22 @@ let test_json_printer () =
   check Alcotest.string "ints and bools" {|[1,-2,true,false]|}
     (to_string (List [ Int 1; Int (-2); Bool true; Bool false ]))
 
+(* \u escapes must decode to valid UTF-8: surrogate pairs combine into
+   one code point, lone surrogates become U+FFFD (never raw CESU-8). *)
+let test_json_unicode_escapes () =
+  let open Fastsim_obs.Json in
+  let str s = match of_string s with Str v -> v | _ -> Alcotest.fail s in
+  check Alcotest.string "surrogate pair combines" "\xf0\x9f\x98\x80"
+    (str "\"\\ud83d\\ude00\"");
+  check Alcotest.string "high surrogate then non-surrogate \\u escape"
+    "\xef\xbf\xbdA" (str "\"\\ud800\\u0041\"");
+  check Alcotest.string "lone high surrogate" "\xef\xbf\xbdx"
+    (str "\"\\ud800x\"");
+  check Alcotest.string "lone low surrogate" "\xef\xbf\xbd"
+    (str "\"\\udc00\"");
+  check Alcotest.string "2- and 3-byte code points" "\xc3\xa9\xe2\x82\xac"
+    (str "\"\\u00e9\\u20ac\"")
+
 let test_export_chrome () =
   let tr = Fastsim_obs.Trace.create ~capacity:8 () in
   Fastsim_obs.Trace.emit tr
@@ -223,5 +239,7 @@ let suite =
       test_registry_kind_mismatch;
     Alcotest.test_case "profile phases" `Quick test_profile_phases;
     Alcotest.test_case "json printer" `Quick test_json_printer;
+    Alcotest.test_case "json \\u escape decoding" `Quick
+      test_json_unicode_escapes;
     Alcotest.test_case "chrome export" `Quick test_export_chrome;
     Alcotest.test_case "file export + drop marker" `Quick test_export_files ]

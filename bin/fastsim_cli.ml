@@ -276,9 +276,17 @@ let run_cmd =
     let run_fast () =
       let pcache =
         match load_pcache with
-        | Some path ->
+        | Some path -> (
           Printf.printf "warm-starting from %s\n" path;
-          Memo.Persist.load_file ~program:prog path
+          match Memo.Persist.load_file ~program:prog path with
+          | pc -> pc
+          | exception Memo.Persist.Format_error m ->
+            Printf.eprintf
+              "fastsim: cannot load p-action cache %s: %s\n" path m;
+            exit 1
+          | exception Sys_error m ->
+            Printf.eprintf "fastsim: cannot load p-action cache: %s\n" m;
+            exit 1)
         | None -> Memo.Pcache.create ~policy ()
       in
       let spec = Spec.with_pcache pcache spec in
@@ -735,10 +743,145 @@ let sweep_cmd =
       $ policies_arg $ predictors_arg $ warm_arg $ backend_arg $ jobs_arg
       $ timeout_arg $ retries_arg $ out_arg $ quiet_arg)
 
+(* ---------------------------------------------------------------- *)
+(* fastsim fuzz *)
+
+let fuzz_cmd =
+  let module Exec = Fastsim_exec in
+  let module Check = Fastsim_check in
+  let fuzz seed cases quick shrink jobs backend timeout out_dir
+      max_failures quiet =
+    let jobs =
+      if jobs > 0 then jobs else Exec.Domain_shim.recommended_jobs ()
+    in
+    let config =
+      { Check.Fuzz.seed;
+        cases;
+        bias = (if quick then Check.Bias.quick else Check.Bias.default);
+        shrink;
+        jobs;
+        backend;
+        timeout_s = timeout;
+        out_dir;
+        max_failures }
+    in
+    let log = if quiet then fun _ -> () else print_endline in
+    log
+      (Printf.sprintf "fuzzing %d cases (seed %d, %d jobs, %s backend)"
+         cases seed jobs
+         (Exec.Pool.backend_to_string backend));
+    let summary = Check.Fuzz.run ~log config in
+    print_endline (Check.Fuzz.pp_summary summary);
+    if summary.Check.Fuzz.failures = [] then 0 else 1
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Campaign seed. Case $(i,i) is fully determined by (seed, \
+             $(i,i)), independent of $(b,--jobs) and $(b,--backend).")
+  in
+  let cases_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "cases"; "n" ] ~docv:"N" ~doc:"Number of cases to run.")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Generate smaller programs (smoke-test bias; CI uses this).")
+  in
+  let shrink_arg =
+    Arg.(
+      value
+      & vflag true
+          [ ( true,
+              info [ "shrink" ]
+                ~doc:"Minimize failing reproducers (the default)." );
+            ( false,
+              info [ "no-shrink" ]
+                ~doc:"Report failures without minimizing the reproducer." ) ])
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker count. 0 (the default) picks the host's core count.")
+  in
+  let backend_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("fork", Exec.Pool.Fork); ("domains", Exec.Pool.Domains);
+               ("inline", Exec.Pool.Inline) ])
+          Exec.Pool.Fork
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "Worker backend: $(b,fork) (processes; crash isolation and \
+             per-case timeouts), $(b,domains), or $(b,inline).")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 120.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-case timeout (fork backend only); 0 disables.")
+  in
+  let out_dir_arg =
+    Arg.(
+      value & opt string "_fuzz"
+      & info [ "out-dir"; "o" ] ~docv:"DIR"
+          ~doc:"Directory for failing-case artifacts (created on demand).")
+  in
+  let max_failures_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "max-failures" ] ~docv:"N"
+          ~doc:
+            "Stop emitting (and shrinking) reproducers after $(docv) \
+             failures; later failures are still counted.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress progress lines.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "differentially fuzz the fast engine against the slow reference"
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Generates biased random SRISC programs (loop nests, branchy \
+              chains, jump-table dispatch, aliasing load/store bursts, \
+              calls and bounded recursion) and checks that the memoizing \
+              fast engine agrees with the detailed slow engine on every \
+              statistic — cycle counts, retirement, branch and cache \
+              stats, final architectural state — across full runs, a \
+              sweep of max-cycles truncation points, a mid-run p-action \
+              cache save/load round-trip, and (for architectural state) \
+              the baseline model.";
+           `P
+             "Each failing case is re-created deterministically, written \
+              to $(b,--out-dir) as a runnable .s reproducer plus the \
+              failing spec as JSON, and minimized by an automatic \
+              shrinker. Exit status is 0 when every case agrees, 1 \
+              otherwise.";
+           `P
+             "Setting $(b,FASTSIM_REPLAY_FAULT_EVERY)=$(i,n) injects a \
+              one-cycle timing fault into every $(i,n)-th replayed group \
+              — a self-test that the harness detects and shrinks real \
+              divergences (CI runs it)." ])
+    Term.(
+      const fuzz $ seed_arg $ cases_arg $ quick_arg $ shrink_arg
+      $ jobs_arg $ backend_arg $ timeout_arg $ out_dir_arg
+      $ max_failures_arg $ quiet_arg)
+
 let () =
   let doc = "FastSim: out-of-order processor simulation with memoization" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "fastsim" ~doc)
           [ run_cmd; list_cmd; disasm_cmd; asm_cmd; trace_cmd; profile_cmd;
-            sweep_cmd ]))
+            sweep_cmd; fuzz_cmd ]))

@@ -8,6 +8,7 @@ type result = {
   mispredicts : int;
   cache : Cachesim.Hierarchy.stats;
   final_state : Emu.Arch_state.t;
+  truncated : bool;
 }
 
 type ustate = U_waiting | U_issued of int | U_complete
@@ -394,26 +395,30 @@ let run ?(ruu_size = 32) ?(lsq_size = 16) ?(fetch_width = 4)
       halted = false }
   in
   let last_progress = ref 0 in
-  while not t.halted do
-    if t.cycle >= max_cycles then raise (Deadlock "cycle limit exceeded");
-    let before = t.retired in
-    commit t;
-    if not t.halted then begin
-      writeback t;
-      issue t;
-      dispatch t
-    end;
-    t.cycle <- t.cycle + 1;
-    if t.retired > before then last_progress := t.cycle;
-    if t.cycle - !last_progress > 100_000 then
-      raise (Deadlock "no commit progress")
+  let truncated = ref false in
+  while (not t.halted) && not !truncated do
+    if t.cycle >= max_cycles then truncated := true
+    else begin
+      let before = t.retired in
+      commit t;
+      if not t.halted then begin
+        writeback t;
+        issue t;
+        dispatch t
+      end;
+      t.cycle <- t.cycle + 1;
+      if t.retired > before then last_progress := t.cycle;
+      if t.cycle - !last_progress > 100_000 then
+        raise (Deadlock "no commit progress")
+    end
   done;
   { cycles = t.cycle;
     retired = t.retired;
     wrong_path_insts = t.squashed;
     mispredicts = t.mispredicts;
     cache = Cachesim.Hierarchy.stats t.cache;
-    final_state = Emu.Emulator.state t.emu }
+    final_state = Emu.Emulator.state t.emu;
+    truncated = !truncated }
 
 
 (* Debug helper: committed instruction addresses. *)

@@ -31,6 +31,10 @@ type result = {
   mispredicts : int;
   cache : Cachesim.Hierarchy.stats;
   final_state : Emu.Arch_state.t;
+  truncated : bool;
+      (** stopped at the [max_cycles] budget before the program halted;
+          [cycles] equals the budget and all statistics are exact for the
+          cycles that ran. *)
 }
 
 val run :

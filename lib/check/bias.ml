@@ -1,0 +1,43 @@
+(* Generator bias knobs (docs/FUZZ.md). Percentages are per-block
+   probabilities; the generator draws against them with its own seeded
+   [Random.State], so a (seed, bias) pair fully determines the program. *)
+
+type t = {
+  blocks : int;        (* straight-line blocks per loop body *)
+  block_len : int;     (* instruction draws per block *)
+  outer_iters : int;   (* outer loop trip count *)
+  inner_iters : int;   (* inner loop trip count *)
+  third_level_pct : int;  (* chance of a third, innermost counted loop *)
+  branch_pct : int;    (* chance a block is guarded by a forward branch *)
+  chain_pct : int;     (* chance of a compare-ladder (branchy chain) *)
+  call_pct : int;      (* chance of a leaf call *)
+  recurse_pct : int;   (* chance of a bounded recursive call *)
+  indirect_pct : int;  (* chance of a jump-table dispatch *)
+  alias_pct : int;     (* chance of a load/store aliasing burst *)
+  use_fp : bool;
+  table_size : int;    (* jump-table entries (power of two, 2..8) *)
+}
+
+let default =
+  { blocks = 4;
+    block_len = 6;
+    outer_iters = 4;
+    inner_iters = 10;
+    third_level_pct = 30;
+    branch_pct = 50;
+    chain_pct = 35;
+    call_pct = 30;
+    recurse_pct = 25;
+    indirect_pct = 35;
+    alias_pct = 40;
+    use_fp = true;
+    table_size = 4 }
+
+(* Smaller programs for smoke runs (--quick): same shape, fewer cycles. *)
+let quick =
+  { default with
+    blocks = 3;
+    block_len = 4;
+    outer_iters = 2;
+    inner_iters = 4;
+    third_level_pct = 20 }

@@ -1,0 +1,210 @@
+(* The differential oracle (docs/FUZZ.md): runs one generated program
+   under the fast, slow and baseline engines across derived scenarios —
+   full runs, truncation points, a mid-run pcache save/load round-trip —
+   and reports the first disagreement. The paper's claim is bit-identical
+   equivalence, so every comparison is exact equality. *)
+
+module Sim = Fastsim.Sim
+
+(* Guard for architecturally runaway candidates (the generator terminates
+   by construction, but the shrinker can produce non-halting mutants and a
+   fuzz case must never hang a worker): every engine run is capped. *)
+let safety_cycles = 400_000
+
+type mismatch = {
+  stage : string;  (* "full", "trunc@N", "pcache-roundtrip", "baseline" *)
+  field : string;
+  expected : string;  (* slow engine's value *)
+  actual : string;    (* fast (or baseline) engine's value *)
+}
+
+type verdict =
+  | Agree of { cycles : int }  (* full-run slow == fast, all stages clean *)
+  | Diverged of mismatch
+  | Engine_error of { stage : string; exn : string }
+      (* one engine raised where the reference ran (or the reference
+         itself raised): equally a correctness failure *)
+
+(* A coarse identity for "fails the same way", used as the shrinker's
+   predicate: stage + field for a mismatch, stage + exception constructor
+   for an error. *)
+let classify = function
+  | Agree _ -> None
+  | Diverged m -> Some (Printf.sprintf "mismatch:%s:%s" m.stage m.field)
+  | Engine_error { stage; exn } ->
+    let ctor = match String.index_opt exn '(' with
+      | Some i -> String.trim (String.sub exn 0 i)
+      | None -> exn
+    in
+    Some (Printf.sprintf "error:%s:%s" stage ctor)
+
+let pp_verdict = function
+  | Agree { cycles } -> Printf.sprintf "agree (%d cycles)" cycles
+  | Diverged m ->
+    Printf.sprintf "diverged at %s: %s (slow %s, fast %s)" m.stage m.field
+      m.expected m.actual
+  | Engine_error { stage; exn } ->
+    Printf.sprintf "engine error at %s: %s" stage exn
+
+let string_of_classes a =
+  String.concat "," (List.map string_of_int (Array.to_list a))
+
+let string_of_cache (c : Cachesim.Hierarchy.stats) =
+  Printf.sprintf "loads=%d stores=%d l1h=%d l1m=%d l2h=%d l2m=%d wb=%d mm=%d"
+    c.Cachesim.Hierarchy.loads c.Cachesim.Hierarchy.stores
+    c.Cachesim.Hierarchy.l1_hits c.Cachesim.Hierarchy.l1_misses
+    c.Cachesim.Hierarchy.l2_hits c.Cachesim.Hierarchy.l2_misses
+    c.Cachesim.Hierarchy.writebacks c.Cachesim.Hierarchy.merged_misses
+
+(* Exact comparison of everything both engines report. *)
+let compare_results ~stage (slow : Sim.result) (fast : Sim.result) :
+    mismatch option =
+  let mk field expected actual = Some { stage; field; expected; actual } in
+  let int_field field a b =
+    if a = b then None else mk field (string_of_int a) (string_of_int b)
+  in
+  let checks =
+    [ (fun () -> int_field "cycles" slow.Sim.cycles fast.Sim.cycles);
+      (fun () -> int_field "retired" slow.Sim.retired fast.Sim.retired);
+      (fun () ->
+        if slow.Sim.truncated = fast.Sim.truncated then None
+        else
+          mk "truncated"
+            (string_of_bool slow.Sim.truncated)
+            (string_of_bool fast.Sim.truncated));
+      (fun () ->
+        if slow.Sim.retired_by_class = fast.Sim.retired_by_class then None
+        else
+          mk "retired_by_class"
+            (string_of_classes slow.Sim.retired_by_class)
+            (string_of_classes fast.Sim.retired_by_class));
+      (fun () ->
+        int_field "emulated_insts" slow.Sim.emulated_insts
+          fast.Sim.emulated_insts);
+      (fun () ->
+        int_field "wrong_path_insts" slow.Sim.wrong_path_insts
+          fast.Sim.wrong_path_insts);
+      (fun () ->
+        int_field "branches.conditionals" slow.Sim.branches.Sim.conditionals
+          fast.Sim.branches.Sim.conditionals);
+      (fun () ->
+        int_field "branches.mispredicted" slow.Sim.branches.Sim.mispredicted
+          fast.Sim.branches.Sim.mispredicted);
+      (fun () ->
+        int_field "branches.indirects" slow.Sim.branches.Sim.indirects
+          fast.Sim.branches.Sim.indirects);
+      (fun () ->
+        int_field "branches.misfetched" slow.Sim.branches.Sim.misfetched
+          fast.Sim.branches.Sim.misfetched);
+      (fun () ->
+        if slow.Sim.cache = fast.Sim.cache then None
+        else
+          mk "cache" (string_of_cache slow.Sim.cache)
+            (string_of_cache fast.Sim.cache));
+      (fun () ->
+        if Emu.Arch_state.equal slow.Sim.final_state fast.Sim.final_state
+        then None
+        else mk "final_state" "<slow architectural state>" "<differs>") ]
+  in
+  List.fold_left
+    (fun acc check -> match acc with Some _ -> acc | None -> check ())
+    None checks
+
+let run_engine ~stage engine spec prog k =
+  match Sim.run ~engine spec prog with
+  | r -> k r
+  | exception e ->
+    Engine_error { stage; exn = Printexc.to_string e }
+
+(* Truncation points derived from the full run: early, middle, late, and
+   two consecutive late points (a pair straddles a group boundary often
+   enough to catch off-by-one budget handling). *)
+let truncation_points cycles =
+  if cycles <= 2 then []
+  else
+    List.sort_uniq compare
+      (List.filter
+         (fun p -> p > 0 && p < cycles)
+         [ cycles / 7; cycles / 3; cycles / 2; (2 * cycles) / 3;
+           cycles - 2; cycles - 1 ])
+
+let check ?(scratch_dir = Filename.get_temp_dir_name ()) ~spec prog : verdict
+    =
+  let spec = Sim.Spec.with_max_cycles safety_cycles spec in
+  run_engine ~stage:"slow" `Slow spec prog @@ fun slow ->
+  run_engine ~stage:"full" `Fast spec prog @@ fun fast ->
+  match compare_results ~stage:"full" slow fast with
+  | Some m -> Diverged m
+  | None ->
+    (* truncation sweep: Fast ≡ Slow at every budget *)
+    let rec trunc = function
+      | [] -> Ok ()
+      | p :: rest -> (
+        let tspec = Sim.Spec.with_max_cycles p spec in
+        let stage = Printf.sprintf "trunc@%d" p in
+        match Sim.run ~engine:`Slow tspec prog with
+        | exception e ->
+          Error (Engine_error { stage; exn = Printexc.to_string e })
+        | ts -> (
+          match Sim.run ~engine:`Fast tspec prog with
+          | exception e ->
+            Error (Engine_error { stage; exn = Printexc.to_string e })
+          | tf -> (
+            match compare_results ~stage ts tf with
+            | Some m -> Error (Diverged m)
+            | None -> trunc rest)))
+    in
+    (match trunc (truncation_points slow.Sim.cycles) with
+     | Error v -> v
+     | Ok () -> (
+       (* pcache save/load round-trip: truncated cold run, persist,
+          reload, warm full run — must still equal the slow full run *)
+       let roundtrip () =
+         let pc = Memo.Pcache.create ~policy:spec.Sim.Spec.policy () in
+         let half = max 1 (slow.Sim.cycles / 2) in
+         let warm_spec = Sim.Spec.with_pcache pc spec in
+         ignore
+           (Sim.run ~engine:`Fast
+              (Sim.Spec.with_max_cycles half warm_spec)
+              prog
+             : Sim.result);
+         let path =
+           Filename.temp_file ~temp_dir:scratch_dir "fuzz_pcache" ".bin"
+         in
+         Fun.protect
+           ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+           (fun () ->
+             Memo.Persist.save_file pc ~program:prog path;
+             let pc' = Memo.Persist.load_file ~program:prog path in
+             Sim.run ~engine:`Fast (Sim.Spec.with_pcache pc' spec) prog)
+       in
+       match roundtrip () with
+       | exception e ->
+         Engine_error
+           { stage = "pcache-roundtrip"; exn = Printexc.to_string e }
+       | warm -> (
+         match compare_results ~stage:"pcache-roundtrip" slow warm with
+         | Some m -> Diverged m
+         | None -> (
+           (* baseline engine: a different µarchitecture, so only the
+              architectural outcome is comparable — and only when neither
+              run was truncated *)
+           run_engine ~stage:"baseline" `Baseline spec prog @@ fun base ->
+           if slow.Sim.truncated || base.Sim.truncated then
+             Agree { cycles = slow.Sim.cycles }
+           else if base.Sim.retired <> slow.Sim.retired then
+             Diverged
+               { stage = "baseline";
+                 field = "retired";
+                 expected = string_of_int slow.Sim.retired;
+                 actual = string_of_int base.Sim.retired }
+           else if
+             not (Emu.Arch_state.equal slow.Sim.final_state
+                    base.Sim.final_state)
+           then
+             Diverged
+               { stage = "baseline";
+                 field = "final_state";
+                 expected = "<slow architectural state>";
+                 actual = "<differs>" }
+           else Agree { cycles = slow.Sim.cycles }))))

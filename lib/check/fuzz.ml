@@ -1,0 +1,187 @@
+(* The fuzzing campaign driver behind `fastsim fuzz` (docs/FUZZ.md).
+
+   Each case [i] is fully determined by [(seed, i)]: a private
+   [Random.State] drives the program generator and then the scenario
+   sampler, so a failure reported by a parallel worker can be re-created
+   bit-identically in the driver process for artifact emission and
+   shrinking. Workers return only the (marshalable) verdict. *)
+
+module Pool = Fastsim_exec.Pool
+
+type config = {
+  seed : int;
+  cases : int;
+  bias : Bias.t;
+  shrink : bool;
+  jobs : int;
+  backend : Pool.backend;
+  timeout_s : float;     (* per-case wall clock; <= 0. means unlimited *)
+  out_dir : string;      (* where failing-case artifacts land *)
+  max_failures : int;    (* stop writing artifacts after this many *)
+}
+
+let default_config =
+  { seed = 0;
+    cases = 100;
+    bias = Bias.default;
+    shrink = true;
+    jobs = 1;
+    backend = Pool.Fork;
+    timeout_s = 120.;
+    out_dir = "_fuzz";
+    max_failures = 10 }
+
+type failure = {
+  f_case : int;
+  f_class : string;     (* Diff.classify, or "crashed" / "timed-out" *)
+  f_detail : string;
+  f_source : string option;      (* path of the emitted reproducer .s *)
+  f_min_source : string option;  (* path of the shrunk reproducer *)
+  f_min_insns : int option;
+}
+
+type summary = {
+  total : int;
+  agreed : int;
+  failures : failure list;  (* in case order *)
+}
+
+let materialize config case =
+  let st = Random.State.make [| config.seed; case |] in
+  let prog = Generate.program ~bias:config.bias st in
+  let spec = Scenario.sample st in
+  (prog, spec)
+
+let run_case config case : Diff.verdict =
+  let prog, spec = materialize config case in
+  Diff.check ~spec (Prog.assemble prog)
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+(* Emit case-NNNNNN.s / .json (and .min.s when shrinking succeeds) into
+   [config.out_dir]; returns the failure record. *)
+let emit_failure config ~log case ~cls ~detail =
+  ensure_dir config.out_dir;
+  let stem = Filename.concat config.out_dir (Printf.sprintf "case-%06d" case) in
+  let prog, spec = materialize config case in
+  let source = stem ^ ".s" in
+  write_file source (Prog.render prog);
+  write_file (stem ^ ".json")
+    (Printf.sprintf
+       "{\"case\": %d, \"seed\": %d, \"class\": %s, \"detail\": %s, \
+        \"spec\": %s}\n"
+       case config.seed
+       (Fastsim_obs.Json.to_string (Fastsim_obs.Json.Str cls))
+       (Fastsim_obs.Json.to_string (Fastsim_obs.Json.Str detail))
+       (Scenario.to_json_string spec));
+  let min_source, min_insns =
+    if not config.shrink then (None, None)
+    else begin
+      let still_fails p =
+        match Diff.classify (Diff.check ~spec (Prog.assemble p)) with
+        | Some c -> String.equal c cls
+        | None -> false
+      in
+      (* shrinking only makes sense for failures we can re-create locally *)
+      if not (still_fails prog) then (None, None)
+      else begin
+        let o = Shrink.minimize ~still_fails prog in
+        let path = stem ^ ".min.s" in
+        write_file path (Prog.render o.Shrink.program);
+        log
+          (Printf.sprintf
+             "  shrunk case %d: %d -> %d instructions (%d evaluations)"
+             case
+             (Prog.instruction_count prog)
+             (Prog.instruction_count o.Shrink.program)
+             o.Shrink.evaluations);
+        (Some path, Some (Prog.instruction_count o.Shrink.program))
+      end
+    end
+  in
+  { f_case = case;
+    f_class = cls;
+    f_detail = detail;
+    f_source = Some source;
+    f_min_source = min_source;
+    f_min_insns = min_insns }
+
+(* Failure handling runs in the driver, over the settled array in task
+   order — not from the pool's [on_outcome] callback, which fires in
+   completion order and would make the report (and the [max_failures]
+   artifact cutoff) depend on worker scheduling. *)
+let run ?(log = fun _ -> ()) config : summary =
+  let settled =
+    Pool.with_temp_dir ~prefix:"fastsim_fuzz" (fun scratch_dir ->
+        let timeout_s =
+          if config.timeout_s > 0. then config.timeout_s else 0.
+        in
+        Pool.map ~backend:config.backend ~jobs:config.jobs ~timeout_s
+          ~scratch_dir
+          (fun case -> run_case config case)
+          config.cases)
+  in
+  let agreed = ref 0 in
+  let failures = ref [] in
+  Array.iteri
+    (fun case (s : Diff.verdict Pool.settled) ->
+      match s.Pool.outcome with
+      | Pool.Done (Diff.Agree _) -> incr agreed
+      | Pool.Done v ->
+        let cls =
+          match Diff.classify v with Some c -> c | None -> "unknown"
+        in
+        let detail = Diff.pp_verdict v in
+        log (Printf.sprintf "case %d FAILED: %s" case detail);
+        if List.length !failures < config.max_failures then
+          failures := emit_failure config ~log case ~cls ~detail :: !failures
+        else
+          failures :=
+            { f_case = case; f_class = cls; f_detail = detail;
+              f_source = None; f_min_source = None; f_min_insns = None }
+            :: !failures
+      | Pool.Crashed msg ->
+        log (Printf.sprintf "case %d CRASHED: %s" case msg);
+        failures :=
+          { f_case = case; f_class = "crashed"; f_detail = msg;
+            f_source = None; f_min_source = None; f_min_insns = None }
+          :: !failures
+      | Pool.Timed_out ->
+        log (Printf.sprintf "case %d TIMED OUT" case);
+        failures :=
+          { f_case = case; f_class = "timed-out";
+            f_detail =
+              Printf.sprintf "exceeded %.0fs budget" config.timeout_s;
+            f_source = None; f_min_source = None; f_min_insns = None }
+          :: !failures)
+    settled;
+  { total = config.cases; agreed = !agreed; failures = List.rev !failures }
+
+let pp_summary s =
+  let failed = List.length s.failures in
+  if failed = 0 then
+    Printf.sprintf "fuzz: %d/%d cases agree, no divergences" s.agreed s.total
+  else
+    Printf.sprintf "fuzz: %d/%d cases agree, %d FAILED:\n%s" s.agreed s.total
+      failed
+      (String.concat "\n"
+         (List.map
+            (fun f ->
+              Printf.sprintf "  case %d [%s] %s%s" f.f_case f.f_class
+                f.f_detail
+                (match f.f_min_source with
+                 | Some p ->
+                   Printf.sprintf " (minimized: %s, %d insns)" p
+                     (Option.value ~default:0 f.f_min_insns)
+                 | None -> (
+                   match f.f_source with
+                   | Some p -> Printf.sprintf " (%s)" p
+                   | None -> "")))
+            s.failures))

@@ -1,0 +1,270 @@
+(* Biased random SRISC programs for differential checking (docs/FUZZ.md).
+
+   Richer than the QCheck generator in test/gen.ml: deeper loop nests,
+   compare-ladder "branchy chains", wider jump tables, deliberate
+   load/store aliasing bursts (same scratch word reached through two
+   differently computed pointers, plus partial-width accesses), bounded
+   recursion — and still terminating by construction: all loops are
+   counted, all memory operands are masked into a scratch region (so no
+   access faults on the architectural path), and the main path ends in
+   [halt].
+
+   Register conventions (shared with test/gen.ml so reproducers read the
+   same way): r1 = scratch base; r2..r9, r20..r23 free; r10/r11 and
+   r12/r13 (and r14/r15 for the optional third level) loop
+   counters/limits; r24/r25 dispatch linkage; r26/r27 address temps. *)
+
+module I = Isa.Instr
+
+let gp_regs = [| 2; 3; 4; 5; 6; 7; 8; 9; 20; 21; 22; 23 |]
+let fp_regs = [| 0; 1; 2; 3; 4; 5; 6 |]
+let scratch_words = 256
+
+let pick st arr = arr.(Random.State.int st (Array.length arr))
+let chance st pct = Random.State.int st 100 < pct
+
+let random_alu_op st =
+  pick st
+    [| I.Add; I.Sub; I.And; I.Or; I.Xor; I.Sll; I.Srl; I.Sra; I.Slt; I.Sltu |]
+
+let random_cond st = pick st [| I.Eq; I.Ne; I.Lt; I.Ge; I.Le; I.Gt |]
+
+(* masked scratch address into r27: r27 = r1 + (rs & mask) *)
+let masked_addr ~mask rs acc =
+  Prog.Insn (I.Alu (I.Add, 27, 1, 26))
+  :: Prog.Insn (I.Alui (I.And, 26, rs, mask))
+  :: acc
+
+(* One random non-control instruction group, prepended (reversed) onto
+   [acc]. *)
+let straight st ~use_fp acc =
+  let r () = pick st gp_regs in
+  let fr () = pick st fp_regs in
+  match Random.State.int st (if use_fp then 9 else 7) with
+  | 0 -> Prog.Insn (I.Alu (random_alu_op st, r (), r (), r ())) :: acc
+  | 1 ->
+    let op = random_alu_op st in
+    let imm =
+      match op with
+      | I.Sll | I.Srl | I.Sra -> Random.State.int st 32
+      | I.And | I.Or | I.Xor -> Random.State.int st 65536
+      | _ -> Random.State.int st 2048 - 1024
+    in
+    Prog.Insn (I.Alui (op, r (), r (), imm)) :: acc
+  | 2 ->
+    (* word load at a masked, 4-aligned scratch address *)
+    Prog.Insn (I.Load (I.Lw, r (), 27, 0))
+    :: masked_addr ~mask:((scratch_words - 1) * 4 land lnot 3) (r ()) acc
+  | 3 ->
+    Prog.Insn (I.Store (I.Sw, r (), 27, 0))
+    :: masked_addr ~mask:((scratch_words - 1) * 4 land lnot 3) (r ()) acc
+  | 4 ->
+    (* partial-width access: bytes need no alignment, halves 2 bytes *)
+    let w, mask =
+      match Random.State.int st 3 with
+      | 0 -> (`B, (scratch_words * 4) - 1)
+      | 1 -> (`Bu, (scratch_words * 4) - 1)
+      | _ -> (`H, ((scratch_words * 4) - 1) land lnot 1)
+    in
+    let op =
+      match w with
+      | `B ->
+        if Random.State.bool st then I.Load (I.Lb, r (), 27, 0)
+        else I.Store (I.Sb, r (), 27, 0)
+      | `Bu -> I.Load (I.Lbu, r (), 27, 0)
+      | `H ->
+        if Random.State.bool st then I.Load (I.Lh, r (), 27, 0)
+        else I.Store (I.Sh, r (), 27, 0)
+    in
+    Prog.Insn op :: masked_addr ~mask (r ()) acc
+  | 5 -> Prog.Insn (I.Mul (r (), r (), r ())) :: acc
+  | 6 ->
+    (match Random.State.int st 2 with
+     | 0 -> Prog.Insn (I.Div (r (), r (), r ())) :: acc
+     | _ -> Prog.Insn (I.Rem (r (), r (), r ())) :: acc)
+  | 7 ->
+    let op = pick st [| I.Fadd; I.Fsub; I.Fmul |] in
+    Prog.Insn (I.Fop (op, fr (), fr (), fr ())) :: acc
+  | 8 ->
+    let fd = fr () and rs = r () in
+    (match Random.State.int st 4 with
+     | 0 -> Prog.Insn (I.Fcvt_if (fd, rs)) :: acc
+     | 1 ->
+       (* unary FP op: operands kept identical so pp/parse round-trips *)
+       let u = pick st [| I.Fneg; I.Fabs |] in
+       let fs = fr () in
+       Prog.Insn (I.Fop (u, fd, fs, fs)) :: acc
+     | 2 ->
+       Prog.Insn (I.Fload (fd, 27, 0))
+       :: masked_addr ~mask:((scratch_words - 2) * 4 land lnot 7) rs acc
+     | _ ->
+       Prog.Insn (I.Fstore (fd, 27, 0))
+       :: masked_addr ~mask:((scratch_words - 2) * 4 land lnot 7) rs acc)
+  | _ -> assert false
+
+(* A load/store aliasing burst: write a scratch slot through one pointer,
+   immediately reload the same slot through a differently computed pointer
+   (and sometimes poke one of its bytes in between), so store-to-load
+   forwarding, partial overlap and memory-order rollback paths all get
+   exercised. *)
+let alias_burst st acc =
+  let rv = pick st gp_regs and rd = pick st gp_regs in
+  let slot = Random.State.int st scratch_words * 4 in
+  let acc =
+    Prog.Insn (I.Store (I.Sw, rv, 27, 0))
+    :: Prog.Insn (I.Alui (I.Add, 27, 1, slot))
+    :: acc
+  in
+  let acc =
+    if Random.State.bool st then
+      (* overlapping byte store into the same word *)
+      Prog.Insn (I.Store (I.Sb, rd, 27, Random.State.int st 4))
+      :: Prog.Insn (I.Alui (I.Add, 27, 1, slot))
+      :: acc
+    else acc
+  in
+  (* reload via a different computation of the same address *)
+  Prog.Insn (I.Load (I.Lw, rd, 27, 0))
+  :: Prog.Insn (I.Alu (I.Add, 27, 1, 26))
+  :: Prog.Insn (I.Alui (I.Add, 26, 0, slot))
+  :: acc
+
+let program ?(bias = Bias.default) (st : Random.State.t) : Prog.t =
+  let fresh =
+    let n = ref 0 in
+    fun prefix ->
+      incr n;
+      Printf.sprintf "%s_%d" prefix !n
+  in
+  let body = ref [] in
+  let emit s = body := s :: !body in
+  let emit_all l = List.iter emit l in
+  let table = Array.init bias.Bias.table_size (fun i -> Printf.sprintf "case%d" i) in
+  for _ = 1 to bias.Bias.blocks do
+    let skip = fresh "skip" in
+    if chance st bias.Bias.branch_pct then
+      emit (Prog.Branch (random_cond st, pick st gp_regs, pick st gp_regs, skip));
+    let acc = ref [] in
+    for _ = 1 to bias.Bias.block_len do
+      acc := straight st ~use_fp:bias.Bias.use_fp !acc
+    done;
+    if chance st bias.Bias.alias_pct then acc := alias_burst st !acc;
+    emit_all (List.rev !acc);
+    if chance st bias.Bias.chain_pct then begin
+      (* branchy chain: a compare ladder with small arms *)
+      let join = fresh "join" in
+      let arms = 2 + Random.State.int st 2 in
+      for _ = 1 to arms do
+        let next = fresh "arm" in
+        emit
+          (Prog.Branch
+             (random_cond st, pick st gp_regs, pick st gp_regs, next));
+        let arm = ref [] in
+        for _ = 1 to 1 + Random.State.int st 2 do
+          arm := straight st ~use_fp:false !arm
+        done;
+        emit_all (List.rev !arm);
+        emit (Prog.Jump join);
+        emit (Prog.Label next)
+      done;
+      emit (Prog.Insn (I.Alui (I.Xor, pick st gp_regs, pick st gp_regs, 1)));
+      emit (Prog.Label join)
+    end;
+    if chance st bias.Bias.call_pct then emit (Prog.Jal (31, "leaf"));
+    if chance st bias.Bias.recurse_pct then begin
+      emit (Prog.Insn (I.Alui (I.And, 4, pick st gp_regs, 7)));
+      emit (Prog.Jal (31, "recurse"))
+    end;
+    if chance st bias.Bias.indirect_pct then begin
+      (* dispatch through the jump table on a data-dependent index *)
+      let join = fresh "idis" in
+      emit
+        (Prog.Insn (I.Alui (I.And, 26, pick st gp_regs, bias.Bias.table_size - 1)));
+      emit (Prog.Insn (I.Alui (I.Sll, 26, 26, 2)));
+      emit (Prog.La (27, "dispatch"));
+      emit (Prog.Insn (I.Alu (I.Add, 27, 27, 26)));
+      emit (Prog.Insn (I.Load (I.Lw, 27, 27, 0)));
+      emit (Prog.Insn (I.Alu (I.Add, 24, 25, 0)));
+      emit (Prog.La (25, join));
+      emit (Prog.Insn (I.Jr 27));
+      emit (Prog.Label join);
+      emit (Prog.Insn (I.Alu (I.Add, 25, 24, 0)))
+    end;
+    emit (Prog.Label skip)
+  done;
+  (* optional third loop level wrapped around the generated body *)
+  let body = List.rev !body in
+  let body =
+    if chance st bias.Bias.third_level_pct then
+      [ Prog.Li { rd = 14; v = 0; scale = false };
+        Prog.Li { rd = 15; v = 2 + Random.State.int st 3; scale = true };
+        Prog.Label "third" ]
+      @ body
+      @ [ Prog.Insn (I.Alui (I.Add, 14, 14, 1));
+          Prog.Branch (I.Lt, 14, 15, "third") ]
+    else body
+  in
+  let seed_regs =
+    List.concat
+      (List.map
+         (fun rd ->
+           [ Prog.Li { rd; v = Random.State.int st 0x10000; scale = false } ])
+         (Array.to_list gp_regs))
+  in
+  let cases =
+    List.concat
+      (List.map
+         (fun name ->
+           let tweak =
+             match Random.State.int st 4 with
+             | 0 -> I.Alui (I.Add, pick st gp_regs, pick st gp_regs, 3)
+             | 1 -> I.Alui (I.Xor, pick st gp_regs, pick st gp_regs, 0x55)
+             | 2 -> I.Alui (I.Sra, pick st gp_regs, pick st gp_regs, 1)
+             | _ -> I.Alu (I.Sub, pick st gp_regs, pick st gp_regs, pick st gp_regs)
+           in
+           [ Prog.Label name; Prog.Insn tweak; Prog.Insn (I.Jr 25) ])
+         (Array.to_list table))
+  in
+  [ Prog.Data
+      ( "scratch",
+        [ Isa.Asm.Words
+            (List.init scratch_words (fun i ->
+                 (i * 3) lxor (Random.State.int st 256))) ] );
+    Prog.Li { rd = Isa.Reg.sp; v = Isa.Program.default_stack_top; scale = false };
+    Prog.La (1, "scratch") ]
+  @ seed_regs
+  @ [ Prog.Li { rd = 10; v = 0; scale = false };
+      Prog.Li { rd = 11; v = bias.Bias.outer_iters; scale = true };
+      Prog.Label "outer";
+      Prog.Li { rd = 12; v = 0; scale = false };
+      Prog.Li { rd = 13; v = bias.Bias.inner_iters; scale = true };
+      Prog.Label "inner" ]
+  @ body
+  @ [ Prog.Insn (I.Alui (I.Add, 12, 12, 1));
+      Prog.Branch (I.Lt, 12, 13, "inner");
+      Prog.Insn (I.Alui (I.Add, 10, 10, 1));
+      Prog.Branch (I.Lt, 10, 11, "outer");
+      Prog.Insn I.Halt;
+      (* leaf function *)
+      Prog.Label "leaf";
+      Prog.Insn (I.Alu (I.Add, 24, 2, 3));
+      Prog.Insn (I.Alui (I.Sra, 24, 24, 1));
+      Prog.Insn (I.Jr 31);
+      (* recurse(r4 = depth): real stack frames *)
+      Prog.Label "recurse";
+      Prog.Branch (I.Gt, 4, 0, "recurse_go");
+      Prog.Li { rd = 5; v = 0; scale = false };
+      Prog.Insn (I.Jr 31);
+      Prog.Label "recurse_go";
+      Prog.Insn (I.Alui (I.Add, Isa.Reg.sp, Isa.Reg.sp, -8));
+      Prog.Insn (I.Store (I.Sw, Isa.Reg.link, Isa.Reg.sp, 0));
+      Prog.Insn (I.Store (I.Sw, 4, Isa.Reg.sp, 4));
+      Prog.Insn (I.Alui (I.Add, 4, 4, -1));
+      Prog.Jal (31, "recurse");
+      Prog.Insn (I.Load (I.Lw, 4, Isa.Reg.sp, 4));
+      Prog.Insn (I.Alu (I.Add, 5, 5, 4));
+      Prog.Insn (I.Load (I.Lw, Isa.Reg.link, Isa.Reg.sp, 0));
+      Prog.Insn (I.Alui (I.Add, Isa.Reg.sp, Isa.Reg.sp, 8));
+      Prog.Insn (I.Jr 31) ]
+  @ cases
+  @ [ Prog.Data ("dispatch", [ Isa.Asm.Label_words (Array.to_list table) ]) ]

@@ -1,0 +1,121 @@
+(* The fuzzer's program representation: a label-based statement list that
+   both assembles directly (via {!Isa.Asm}) and renders to textual assembly
+   accepted by {!Isa.Parse} — so every emitted reproducer is a runnable
+   [.s] file (`fastsim asm case.s`), and the shrinker can re-assemble each
+   candidate without going through text.
+
+   [Insn] carries only instructions whose {!Isa.Instr.pp} output the parser
+   reads back verbatim; control flow that needs label resolution
+   ([Branch]/[Jump]/[Jal]) and the [li]/[la] pseudo-instructions have
+   dedicated constructors. *)
+
+module I = Isa.Instr
+
+type stmt =
+  | Insn of I.t
+      (* must not be [I.Branch]/[I.Jump]/[I.Jal]: those print numeric
+         targets; use the label-based constructors below instead *)
+  | Label of string
+  | Branch of I.cond * int * int * string
+  | Jump of string
+  | Jal of int * string
+  | Li of { rd : int; v : int; scale : bool }
+      (* [scale] marks loop-trip-count constants the shrinker may halve *)
+  | La of int * string
+  | Data of string * Isa.Asm.data_item list
+
+type t = stmt list
+
+let to_stmts (p : t) : Isa.Asm.stmt list =
+  List.map
+    (function
+      | Insn i -> Isa.Asm.insn i
+      | Label l -> Isa.Asm.label l
+      | Branch (c, a, b, l) -> Isa.Asm.branch c a b l
+      | Jump l -> Isa.Asm.j l
+      | Jal (rd, l) -> Isa.Asm.jal rd l
+      | Li { rd; v; _ } -> Isa.Asm.li rd v
+      | La (rd, l) -> Isa.Asm.la rd l
+      | Data (name, items) -> Isa.Asm.data name items)
+    p
+
+let assemble (p : t) = Isa.Asm.assemble (to_stmts p)
+
+(* Statements that expand to at least one instruction ([Li] may expand to
+   two; close enough for the "minimal reproducer" size criterion). *)
+let instruction_count (p : t) =
+  List.fold_left
+    (fun n -> function Label _ | Data _ -> n | _ -> n + 1)
+    0 p
+
+(* ---- rendering ---- *)
+
+let render_float f =
+  let s = Printf.sprintf "%.17g" f in
+  if
+    String.exists (fun c -> c = '.' || c = 'e' || c = 'E' || c = 'n') s
+    (* 'n' covers nan/inf, which the generator never emits anyway *)
+  then s
+  else s ^ ".0"
+
+let render_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\000' -> Buffer.add_string buf "\\0"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_data buf name items =
+  Printf.bprintf buf ".data %s\n" name;
+  List.iter
+    (fun (item : Isa.Asm.data_item) ->
+      match item with
+      | Isa.Asm.Word v -> Printf.bprintf buf "  .word %d\n" v
+      | Isa.Asm.Words vs ->
+        Printf.bprintf buf "  .words %s\n"
+          (String.concat " " (List.map string_of_int vs))
+      | Isa.Asm.Double f ->
+        Printf.bprintf buf "  .double %s\n" (render_float f)
+      | Isa.Asm.Doubles fs ->
+        Printf.bprintf buf "  .doubles %s\n"
+          (String.concat " " (List.map render_float fs))
+      | Isa.Asm.Space n -> Printf.bprintf buf "  .space %d\n" n
+      | Isa.Asm.Asciiz s ->
+        Printf.bprintf buf "  .asciiz \"%s\"\n" (render_string s)
+      | Isa.Asm.Label_word l -> Printf.bprintf buf "  .addr %s\n" l
+      | Isa.Asm.Label_words ls ->
+        Printf.bprintf buf "  .addr %s\n" (String.concat " " ls))
+    items
+
+let render (p : t) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Insn i -> Printf.bprintf buf "  %s\n" (I.to_string i)
+      | Label l -> Printf.bprintf buf "%s:\n" l
+      | Branch (c, a, b, l) ->
+        Printf.bprintf buf "  %s r%d, r%d, %s\n" (I.cond_name c) a b l
+      | Jump l -> Printf.bprintf buf "  j %s\n" l
+      | Jal (rd, l) -> Printf.bprintf buf "  jal r%d, %s\n" rd l
+      | Li { rd; v; _ } -> Printf.bprintf buf "  li r%d, %d\n" rd v
+      | La (rd, l) -> Printf.bprintf buf "  la r%d, %s\n" rd l
+      | Data (name, items) -> render_data buf name items)
+    p;
+  Buffer.contents buf
+
+(* Round-trip used by tests and as a belt-and-braces check before a
+   reproducer is written out: the rendered text must re-assemble to the
+   identical program image. *)
+let roundtrips (p : t) =
+  let direct = assemble p in
+  match Isa.Parse.program (render p) with
+  | parsed -> parsed.Isa.Program.words = direct.Isa.Program.words
+  | exception _ -> false

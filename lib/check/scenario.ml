@@ -1,0 +1,58 @@
+(* Spec sampling for the differential oracle (docs/FUZZ.md): a bounded
+   pool of interesting engine configurations — every replacement policy,
+   every predictor, default and pathological cache geometries, narrow and
+   wide pipelines — drawn with the case's own seeded state so each fuzz
+   case pins one deterministic (program, spec) pair. *)
+
+module Spec = Fastsim.Sim.Spec
+
+let sample_policy st =
+  match Random.State.int st 4 with
+  | 0 -> Memo.Pcache.Unbounded
+  | 1 -> Memo.Pcache.Flush_on_full (4 * 1024 lsl Random.State.int st 4)
+  | 2 -> Memo.Pcache.Copying_gc (8 * 1024 lsl Random.State.int st 3)
+  | _ ->
+    let total = 16 * 1024 lsl Random.State.int st 2 in
+    Memo.Pcache.Generational_gc { nursery = total / 4; total }
+
+let sample_predictor st =
+  match Random.State.int st 3 with
+  | 0 -> Fastsim.Sim.Standard
+  | 1 -> Fastsim.Sim.Not_taken
+  | _ -> Fastsim.Sim.Taken
+
+let sample_cache st =
+  match Random.State.int st 3 with
+  | 0 -> Cachesim.Config.default
+  | 1 -> Cachesim.Config.tiny
+  | _ ->
+    { Cachesim.Config.default with
+      Cachesim.Config.l1_size = 1024 lsl Random.State.int st 4;
+      l1_ways = 1 lsl Random.State.int st 2;
+      mem_latency = 20 + (30 * Random.State.int st 6) }
+
+let sample_params st =
+  match Random.State.int st 3 with
+  | 0 -> Uarch.Params.default
+  | 1 ->
+    (* narrow machine: single-issue exposes different group boundaries *)
+    { Uarch.Params.default with
+      Uarch.Params.fetch_width = 1;
+      decode_width = 1;
+      retire_width = 1;
+      int_units = 1;
+      mem_units = 1 }
+  | _ ->
+    { Uarch.Params.default with
+      Uarch.Params.active_list = 16;
+      int_queue = 8;
+      max_spec_branches = 2 }
+
+let sample st : Spec.t =
+  Spec.default
+  |> Spec.with_policy (sample_policy st)
+  |> Spec.with_predictor (sample_predictor st)
+  |> Spec.with_cache_config (sample_cache st)
+  |> Spec.with_params (sample_params st)
+
+let to_json_string spec = Fastsim_obs.Json.to_string (Spec.to_json spec)

@@ -1,0 +1,133 @@
+(* Automatic reproducer minimisation (docs/FUZZ.md). Given a failing
+   (program, spec) pair, greedily shrink the program while the failure
+   class (stage + field, or stage + exception constructor) is preserved:
+
+   1. chunk deletion — remove runs of statements, halving the chunk size
+      like delta debugging; labels, data sections and the final [Halt]
+      are never deleted so every candidate still assembles and halts;
+   2. operand simplification — replace expensive opcodes with cheap ones
+      ([Mul]/[Div]/[Rem] -> [Add], [Fdiv]/[Fsqrt] -> [Fadd]) and zero
+      immediates, which tends to collapse timing noise around the bug;
+   3. scale reduction — halve loop-trip-count constants (the [Li]
+      statements the generator tagged [scale = true]), shrinking runtime
+      without touching program shape.
+
+   Each oracle call runs the simulator several times, so the total number
+   of candidate evaluations is bounded. *)
+
+module I = Isa.Instr
+
+type outcome = {
+  program : Prog.t;
+  evaluations : int;   (* oracle calls spent *)
+  passes : int;        (* full improvement rounds completed *)
+}
+
+let max_evaluations = 400
+
+(* Statements the deletion pass must keep: jump targets and layout. *)
+let undeletable = function
+  | Prog.Label _ | Prog.Data _ -> true
+  | Prog.Insn i -> i = I.Halt
+  | _ -> false
+
+let simplify_insn (i : I.t) : I.t option =
+  match i with
+  | I.Mul (rd, rs1, rs2) | I.Div (rd, rs1, rs2) | I.Rem (rd, rs1, rs2) ->
+    Some (I.Alu (I.Add, rd, rs1, rs2))
+  | I.Fop ((I.Fdiv | I.Fsqrt), fd, fs1, fs2) ->
+    Some (I.Fop (I.Fadd, fd, fs1, fs2))
+  | I.Alui (op, rd, rs, imm) when imm <> 0 && op <> I.Add ->
+    Some (I.Alui (op, rd, rs, 0))
+  | _ -> None
+
+let simplify_stmt = function
+  | Prog.Insn i ->
+    (match simplify_insn i with Some i' -> Some (Prog.Insn i') | None -> None)
+  | Prog.Li { rd; v; scale = true } when v > 1 ->
+    Some (Prog.Li { rd; v = max 1 (v / 2); scale = true })
+  | _ -> None
+
+(* [still_fails] is the caller's oracle, pre-bound to the failure class
+   observed on the original program. *)
+let minimize ~(still_fails : Prog.t -> bool) (prog : Prog.t) : outcome =
+  let evals = ref 0 in
+  let try_candidate current candidate =
+    if !evals >= max_evaluations then None
+    else if candidate = current then None
+    else begin
+      incr evals;
+      if Prog.roundtrips candidate && still_fails candidate then
+        Some candidate
+      else None
+    end
+  in
+  (* One deletion sweep at a given chunk size; returns the reduced program
+     (possibly unchanged). *)
+  let delete_pass chunk prog =
+    let arr = Array.of_list prog in
+    let n = Array.length arr in
+    let keep = Array.make n true in
+    let current = ref prog in
+    let i = ref 0 in
+    while !i < n && !evals < max_evaluations do
+      let hi = min n (!i + chunk) in
+      let deletable = ref false in
+      for k = !i to hi - 1 do
+        if keep.(k) && not (undeletable arr.(k)) then deletable := true
+      done;
+      if !deletable then begin
+        let saved = Array.sub keep !i (hi - !i) in
+        for k = !i to hi - 1 do
+          if not (undeletable arr.(k)) then keep.(k) <- false
+        done;
+        let candidate =
+          List.filteri (fun k _ -> keep.(k)) (Array.to_list arr)
+        in
+        match try_candidate !current candidate with
+        | Some c -> current := c
+        | None -> Array.blit saved 0 keep !i (hi - !i)
+      end;
+      i := hi
+    done;
+    List.filteri (fun k _ -> keep.(k)) (Array.to_list arr)
+  in
+  let rec delete_rounds chunk prog =
+    if chunk < 1 || !evals >= max_evaluations then prog
+    else
+      let reduced = delete_pass chunk prog in
+      delete_rounds (chunk / 2) reduced
+  in
+  (* Point rewrites: try each simplifiable statement in isolation. *)
+  let simplify_round prog =
+    let arr = Array.of_list prog in
+    let current = ref prog in
+    Array.iteri
+      (fun k stmt ->
+        if !evals < max_evaluations then
+          match simplify_stmt stmt with
+          | None -> ()
+          | Some stmt' ->
+            let cur = Array.of_list !current in
+            if k < Array.length cur && cur.(k) = stmt then begin
+              let cand = Array.copy cur in
+              cand.(k) <- stmt';
+              match try_candidate !current (Array.to_list cand) with
+              | Some c -> current := c
+              | None -> ()
+            end)
+      arr;
+    !current
+  in
+  let passes = ref 0 in
+  let current = ref prog in
+  let improved = ref true in
+  while !improved && !evals < max_evaluations && !passes < 6 do
+    incr passes;
+    let before = !current in
+    let start_chunk = max 1 (List.length !current / 4) in
+    current := delete_rounds start_chunk !current;
+    current := simplify_round !current;
+    improved := Prog.instruction_count !current < Prog.instruction_count before
+  done;
+  { program = !current; evaluations = !evals; passes = !passes }

@@ -18,6 +18,7 @@ type result = {
   memo : Memo.Stats.t option;
   pcache : Memo.Pcache.counters option;
   final_state : Emu.Arch_state.t;
+  truncated : bool;
 }
 
 type predictor_kind = Standard | Not_taken | Taken
@@ -148,7 +149,8 @@ let instrument_oracle (obs : Fastsim_obs.Ctx.t option) ~now
 
 let functional = Emu.Emulator.run_functional
 
-let finish ~cycles ~retired ~classes ~emu ~cache ~counters ~memo ~pcache =
+let finish ~cycles ~retired ~classes ~emu ~cache ~counters ~memo ~pcache
+    ~truncated =
   { cycles;
     retired;
     retired_by_class = classes;
@@ -162,7 +164,8 @@ let finish ~cycles ~retired ~classes ~emu ~cache ~counters ~memo ~pcache =
     cache = Cachesim.Hierarchy.stats cache;
     memo;
     pcache;
-    final_state = Emu.Emulator.state emu }
+    final_state = Emu.Emulator.state emu;
+    truncated }
 
 let fresh_counters () =
   { n_cond = 0; n_mispred = 0; n_ind = 0; n_misfetch = 0 }
@@ -183,35 +186,38 @@ let slow_sim ?params ?cache_config ?(predictor = Standard)
       (live_oracle emu cache counters)
   in
   let halted = ref false in
+  let truncated = ref false in
   emit_opt trace (Fastsim_obs.Event.span_begin ~ts:0 ~cat:"engine" "detailed");
   prof_enter profile Fastsim_obs.Profile.Detailed;
   Fun.protect
     ~finally:(fun () -> prof_leave profile)
     (fun () ->
-      while not !halted do
-        if !cycle >= max_cycles then raise (Deadlock "cycle limit exceeded");
-        let r = Uarch.Detailed.step_cycle uarch ~now:!cycle oracle in
-        (match observer with
-         | Some f -> f !cycle uarch r
-         | None -> ());
-        incr cycle;
-        retired := !retired + r.Uarch.Detailed.retired;
-        if r.Uarch.Detailed.retired > 0 then begin
-          last_progress := !cycle;
-          emit_opt trace
-            (Fastsim_obs.Event.counter ~ts:!cycle ~cat:"engine" "retired"
-               !retired)
-        end;
-        if !cycle - !last_progress > watchdog then
-          raise (Deadlock "no retirement progress");
-        if r.Uarch.Detailed.halted then halted := true
+      while (not !halted) && not !truncated do
+        if !cycle >= max_cycles then truncated := true
+        else begin
+          let r = Uarch.Detailed.step_cycle uarch ~now:!cycle oracle in
+          (match observer with
+           | Some f -> f !cycle uarch r
+           | None -> ());
+          incr cycle;
+          retired := !retired + r.Uarch.Detailed.retired;
+          if r.Uarch.Detailed.retired > 0 then begin
+            last_progress := !cycle;
+            emit_opt trace
+              (Fastsim_obs.Event.counter ~ts:!cycle ~cat:"engine" "retired"
+                 !retired)
+          end;
+          if !cycle - !last_progress > watchdog then
+            raise (Deadlock "no retirement progress");
+          if r.Uarch.Detailed.halted then halted := true
+        end
       done);
   emit_opt trace
     (Fastsim_obs.Event.span_end ~ts:!cycle ~cat:"engine" "detailed"
        ~args:[ ("cycles", Fastsim_obs.Json.Int !cycle) ]);
   finish ~cycles:!cycle ~retired:!retired
     ~classes:(Uarch.Detailed.retired_by_class uarch)
-    ~emu ~cache ~counters ~memo:None ~pcache:None
+    ~emu ~cache ~counters ~memo:None ~pcache:None ~truncated:!truncated
 
 (* The memoizing engine: run the detailed simulator, recording a group per
    interaction cycle; when a group ends at a configuration that already has
@@ -321,8 +327,18 @@ let fast_sim ?params ?cache_config ?(predictor = Standard)
       ~finally:(fun () -> prof_leave profile)
       (fun () ->
         while !result = None do
-          if !cycle >= max_cycles then
-            raise (Deadlock "cycle limit exceeded");
+          if !cycle >= max_cycles then begin
+            (* Truncated mid-group. Flush the partial group's per-class
+               retirement into the totals (the cycles simulated so far are
+               real and their statistics must be reported, exactly as the
+               slow engine reports them) but do NOT merge the partial group
+               into the p-action cache: its silent/retired aggregates
+               describe a prefix, and recording them would poison later
+               full-length runs. *)
+            ignore (group_classes uarch : int array);
+            result := Some `Truncated
+          end
+          else begin
           let r = Uarch.Detailed.step_cycle uarch ~now:!cycle wrapped in
           incr cycle;
           mstats.Memo.Stats.detailed_cycles <-
@@ -375,6 +391,7 @@ let fast_sim ?params ?cache_config ?(predictor = Standard)
             else cfg := next
           end
           else incr silent
+          end
         done);
     emit_opt trace
       (Fastsim_obs.Event.span_end ~ts:!cycle ~cat:"engine" "detailed"
@@ -392,14 +409,16 @@ let fast_sim ?params ?cache_config ?(predictor = Standard)
     else ref (`Detailed (uarch0, cfg0, []))
   in
   let halted = ref false in
+  let truncated = ref false in
   Fun.protect
     ~finally:(fun () -> if Option.is_some obs then Memo.Pcache.detach_obs pc)
     (fun () ->
-      while not !halted do
+      while (not !halted) && not !truncated do
         match !state with
         | `Detailed (uarch, cfg, prefix) -> (
           match detailed_episode uarch cfg prefix with
           | `Halted -> halted := true
+          | `Truncated -> truncated := true
           | `Replay cfg' -> state := `Replay cfg')
         | `Replay cfg ->
           prof_enter profile Fastsim_obs.Profile.Replay;
@@ -412,8 +431,16 @@ let fast_sim ?params ?cache_config ?(predictor = Standard)
           in
           (match r with
            | Memo.Replay.Replay_halted -> halted := true
-           | Memo.Replay.Replay_limit ->
-             raise (Deadlock "cycle limit exceeded")
+           | Memo.Replay.Replay_budget config ->
+             (* The budget falls inside this configuration's group: replay
+                hands it back untouched and the detailed simulator runs the
+                truncated tail, stopping exactly at [max_cycles] with exact
+                partial statistics — so Fast ≡ Slow at every truncation
+                point. *)
+             let uarch =
+               Uarch.Detailed.restore ?params prog config.Memo.Action.cfg_key
+             in
+             state := `Detailed (uarch, config, [])
            | Memo.Replay.Diverged { config; prefix } ->
              let uarch =
                Uarch.Detailed.restore ?params prog config.Memo.Action.cfg_key
@@ -426,6 +453,7 @@ let fast_sim ?params ?cache_config ?(predictor = Standard)
   finish ~cycles:!cycle ~retired ~classes:total_classes ~emu ~cache
     ~counters ~memo:(Some mstats)
     ~pcache:(Some (Memo.Pcache.counters pc))
+    ~truncated:!truncated
 
 (* ---------------------------------------------------------------- *)
 (* The unified engine front end: one configuration record instead of a
@@ -660,7 +688,8 @@ let baseline_result (b : Baseline.result) : result =
     cache = b.Baseline.cache;
     memo = None;
     pcache = None;
-    final_state = b.Baseline.final_state }
+    final_state = b.Baseline.final_state;
+    truncated = b.Baseline.truncated }
 
 let run ~engine (spec : Spec.t) prog =
   match engine with

@@ -21,7 +21,9 @@
 exception Deadlock of string
 (** Raised when the pipeline makes no progress for an implausibly long
     time; indicates a broken test program (e.g. an infinite loop of direct
-    jumps) or a simulator bug. *)
+    jumps) or a simulator bug. Hitting a caller-supplied [max_cycles]
+    budget is {e not} a deadlock: it returns a normal {!result} with
+    [truncated = true]. *)
 
 type branch_stats = {
   conditionals : int;  (** conditional-branch outcomes fetched. *)
@@ -49,6 +51,13 @@ type result = {
   memo : Memo.Stats.t option;          (** FastSim only. *)
   pcache : Memo.Pcache.counters option;(** FastSim only. *)
   final_state : Emu.Arch_state.t;      (** architectural register state. *)
+  truncated : bool;
+      (** the run stopped at the [max_cycles] budget before the program
+          halted. A truncated result is still exact for the cycles that
+          ran: [cycles] equals the budget and every statistic reflects the
+          simulation up to that point, identically for the fast and slow
+          engines at {e every} truncation point (enforced by a property
+          test sweeping budgets across replay-group boundaries). *)
 }
 
 type predictor_kind = Standard | Not_taken | Taken

@@ -14,9 +14,12 @@
     - {!Inline}: sequential in-process execution, mainly for debugging
       and for deterministic single-process tests.
 
-    Task outcomes are delivered in {e task order}, not completion order;
-    [on_outcome] streams them as each task {e settles} (final attempt
-    done). *)
+    The returned array is indexed in {e task order} regardless of
+    completion order. [on_outcome], by contrast, fires as each task
+    {e settles} (final attempt done) — i.e. in completion order, which
+    depends on scheduling. Drivers that need a deterministic report must
+    derive it from the returned array, not from [on_outcome] (which is
+    for progress display). *)
 
 type backend = Fork | Domains | Inline
 

@@ -126,6 +126,10 @@ val branch_targets : t -> pc:int -> (int * int) option
 (** For a conditional branch at byte address [pc], its
     [(fall_through, taken_target)] pair; [None] for other instructions. *)
 
+val cond_name : cond -> string
+(** Branch mnemonic for a condition, e.g. ["beq"] — the same spelling
+    {!pp} prints and the textual parser accepts. *)
+
 val pp : Format.formatter -> t -> unit
 (** Assembly-style rendering, e.g. ["add r3, r1, r2"]. *)
 

@@ -38,6 +38,50 @@ and group = {
 
 type terminal = T_goto of Uarch.Snapshot.key | T_halt
 
+(* Dedicated equality for control outcomes: the replay engine compares the
+   live outcome against recorded edges on every interaction cycle, and the
+   polymorphic [=] it used to rely on is both slower (generic traversal)
+   and fragile (it would silently change meaning if [ctl] ever grew a
+   non-structural component such as a cached closure or abstract handle). *)
+let ctl_equal (a : ctl) (b : ctl) =
+  match (a, b) with
+  | ( Uarch.Oracle.C_cond { taken = t1; mispredicted = m1 },
+      Uarch.Oracle.C_cond { taken = t2; mispredicted = m2 } ) ->
+    t1 = t2 && m1 = m2
+  | ( Uarch.Oracle.C_indirect { target = g1; hit = h1 },
+      Uarch.Oracle.C_indirect { target = g2; hit = h2 } ) ->
+    g1 = g2 && h1 = h2
+  | Uarch.Oracle.C_stalled, Uarch.Oracle.C_stalled -> true
+  | ( ( Uarch.Oracle.C_cond _ | Uarch.Oracle.C_indirect _
+      | Uarch.Oracle.C_stalled ),
+      _ ) ->
+    false
+
+let item_equal (a : item) (b : item) =
+  match (a, b) with
+  | I_load l1, I_load l2 -> Int.equal l1 l2
+  | I_store, I_store -> true
+  | I_ctl c1, I_ctl c2 -> ctl_equal c1 c2
+  | I_rollback i1, I_rollback i2 -> Int.equal i1 i2
+  | (I_load _ | I_store | I_ctl _ | I_rollback _), _ -> false
+
+(* Edge lookups on the hot replay path: latency edges compare with
+   [Int.equal], control edges with {!ctl_equal} — never polymorphic
+   equality. *)
+let load_edge lat edges =
+  let rec go = function
+    | [] -> None
+    | (l, n) :: rest -> if Int.equal l lat then Some n else go rest
+  in
+  go edges
+
+let ctl_edge out edges =
+  let rec go = function
+    | [] -> None
+    | (c, n) :: rest -> if ctl_equal c out then Some n else go rest
+  in
+  go edges
+
 let node_bytes = function
   | N_load { l_edges } -> 16 + (8 * max 0 (List.length l_edges - 1))
   | N_ctl { c_edges } -> 16 + (8 * max 0 (List.length c_edges - 1))

@@ -61,6 +61,19 @@ type terminal = T_goto of Uarch.Snapshot.key | T_halt
 (** How a recorded group ends: linked to the next configuration, or the
     retirement of [Halt]. *)
 
+val ctl_equal : ctl -> ctl -> bool
+(** Dedicated structural equality for control outcomes. The replay engine
+    and the p-action cache merge walk use this (never polymorphic [=]) to
+    match live outcomes against recorded edges. *)
+
+val item_equal : item -> item -> bool
+
+val load_edge : int -> (int * node) list -> node option
+(** Looks up a latency edge with [Int.equal]. *)
+
+val ctl_edge : ctl -> (ctl * node) list -> node option
+(** Looks up a control-outcome edge with {!ctl_equal}. *)
+
 val node_bytes : node -> int
 (** Modeled size of one action node (excluding nodes it links to):
     16 bytes for outcome-branching actions plus 8 per additional edge,

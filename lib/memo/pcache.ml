@@ -173,8 +173,6 @@ let build_chain t owner items term =
   in
   go items
 
-let ctl_equal (a : Action.ctl) (b : Action.ctl) = a = b
-
 let merge_group t (cfg : Action.config) ~silent ~retired ~classes ~items
     ~terminal =
   let next_cfg =
@@ -218,7 +216,7 @@ let merge_group t (cfg : Action.config) ~silent ~retired ~classes ~items
      let rec walk node items =
        match node, items with
        | Action.N_load ln, Action.I_load lat :: rest -> (
-         match List.assoc_opt lat ln.Action.l_edges with
+         match Action.load_edge lat ln.Action.l_edges with
          | Some next -> walk next rest
          | None ->
            ln.Action.l_edges <-
@@ -228,10 +226,8 @@ let merge_group t (cfg : Action.config) ~silent ~retired ~classes ~items
            add_bytes t cfg 8)
        | Action.N_store next, Action.I_store :: rest -> walk next rest
        | Action.N_ctl cn, Action.I_ctl c :: rest -> (
-         match
-           List.find_opt (fun (c', _) -> ctl_equal c c') cn.Action.c_edges
-         with
-         | Some (_, next) -> walk next rest
+         match Action.ctl_edge c cn.Action.c_edges with
+         | Some next -> walk next rest
          | None ->
            cn.Action.c_edges <-
              (c, build_chain t cfg rest (make_term ()))
@@ -280,20 +276,30 @@ let config_size (c : Action.config) =
   c.Action.cfg_bytes + c.Action.cfg_action_bytes
 
 (* [cfg_action_bytes] is maintained here rather than at every [add_bytes]
-   call site: recompute a config's share lazily before collections. *)
+   call site: recompute a config's share lazily before collections.
+   Iterative with an explicit worklist: chains grow one node per silent
+   region, so a long-running workload can build chains deep enough to
+   overflow the OCaml stack under naive recursion. *)
 let recompute_action_bytes (c : Action.config) =
   let total = ref 0 in
-  let rec go node =
-    total := !total + Action.node_bytes node;
-    match node with
-    | Action.N_load { l_edges } -> List.iter (fun (_, n) -> go n) l_edges
-    | Action.N_ctl { c_edges } -> List.iter (fun (_, n) -> go n) c_edges
-    | Action.N_store next | Action.N_rollback (_, next) -> go next
-    | Action.N_halt | Action.N_goto _ -> ()
-  in
+  let stack = ref [] in
+  let push n = stack := n :: !stack in
   (match c.Action.cfg_group with
-   | Some g -> go g.Action.g_first
+   | Some g -> push g.Action.g_first
    | None -> ());
+  let continue_ = ref true in
+  while !continue_ do
+    match !stack with
+    | [] -> continue_ := false
+    | node :: rest ->
+      stack := rest;
+      total := !total + Action.node_bytes node;
+      (match node with
+       | Action.N_load { l_edges } -> List.iter (fun (_, n) -> push n) l_edges
+       | Action.N_ctl { c_edges } -> List.iter (fun (_, n) -> push n) c_edges
+       | Action.N_store next | Action.N_rollback (_, next) -> push next
+       | Action.N_halt | Action.N_goto _ -> ())
+  done;
   c.Action.cfg_action_bytes <- !total
 
 let flush t =
@@ -408,13 +414,23 @@ let install_group t (cfg : Action.config) ~silent ~retired ~classes ~first =
         g_retired = retired;
         g_classes = classes;
         g_first = first };
-  let rec count node =
-    t.actions_alloc <- t.actions_alloc + 1;
-    add_bytes t cfg (Action.node_bytes node);
-    match node with
-    | Action.N_load { l_edges } -> List.iter (fun (_, n) -> count n) l_edges
-    | Action.N_ctl { c_edges } -> List.iter (fun (_, n) -> count n) c_edges
-    | Action.N_store next | Action.N_rollback (_, next) -> count next
-    | Action.N_halt | Action.N_goto _ -> ()
-  in
-  count first
+  (* Worklist, not recursion: deserialised chains can be arbitrarily deep
+     (see the ≥100k-node regression test in test/test_persist.ml). *)
+  let stack = ref [ first ] in
+  let continue_ = ref true in
+  while !continue_ do
+    match !stack with
+    | [] -> continue_ := false
+    | node :: rest ->
+      stack := rest;
+      t.actions_alloc <- t.actions_alloc + 1;
+      add_bytes t cfg (Action.node_bytes node);
+      (match node with
+       | Action.N_load { l_edges } ->
+         List.iter (fun (_, n) -> stack := n :: !stack) l_edges
+       | Action.N_ctl { c_edges } ->
+         List.iter (fun (_, n) -> stack := n :: !stack) c_edges
+       | Action.N_store next | Action.N_rollback (_, next) ->
+         stack := next :: !stack
+       | Action.N_halt | Action.N_goto _ -> ())
+  done

@@ -2,6 +2,15 @@ exception Format_error of string
 
 let magic = "FSPC0002"
 
+(* The digest covers the CODE WORDS ONLY — deliberately. Configuration keys
+   embed instruction addresses and decoded µ-ops, so a saved cache is only
+   meaningful against the same code image; data segments, on the other
+   hand, are consumed through the live oracle (cache simulator + direct
+   execution) during replay, which validates every outcome anyway. Keeping
+   data out of the digest is what makes warm-starting across reseeded
+   inputs work (docs/SWEEP.md): the same kernel over different data reuses
+   the pcache, and any data-dependent path simply diverges to detailed
+   simulation. test/test_persist.ml pins this down. *)
 let program_digest (p : Isa.Program.t) =
   let b = Bytes.create (4 * Array.length p.words) in
   Array.iteri (fun i w -> Bytes.set_int32_le b (4 * i) w) p.words;
@@ -15,44 +24,68 @@ let write_string oc s =
 
 let write_bool oc b = output_char oc (if b then '\001' else '\000')
 
-let rec write_node oc (node : Action.node) =
-  match node with
-  | Action.N_load { l_edges } ->
-    output_char oc 'L';
-    output_binary_int oc (List.length l_edges);
-    List.iter
-      (fun (lat, next) ->
-        output_binary_int oc lat;
-        write_node oc next)
-      l_edges
-  | Action.N_store next ->
-    output_char oc 'S';
-    write_node oc next
-  | Action.N_ctl { c_edges } ->
-    output_char oc 'C';
-    output_binary_int oc (List.length c_edges);
-    List.iter
-      (fun (out, next) ->
-        (match (out : Action.ctl) with
-         | Uarch.Oracle.C_cond { taken; mispredicted } ->
-           output_char oc 'c';
-           write_bool oc taken;
-           write_bool oc mispredicted
-         | Uarch.Oracle.C_indirect { target; hit } ->
-           output_char oc 'i';
-           output_binary_int oc target;
-           write_bool oc hit
-         | Uarch.Oracle.C_stalled -> output_char oc 's');
-        write_node oc next)
-      c_edges
-  | Action.N_rollback (i, next) ->
-    output_char oc 'R';
-    output_binary_int oc i;
-    write_node oc next
-  | Action.N_halt -> output_char oc 'H'
-  | Action.N_goto g ->
-    output_char oc 'G';
-    write_string oc g.Action.target.Action.cfg_key
+let write_ctl oc (out : Action.ctl) =
+  match out with
+  | Uarch.Oracle.C_cond { taken; mispredicted } ->
+    output_char oc 'c';
+    write_bool oc taken;
+    write_bool oc mispredicted
+  | Uarch.Oracle.C_indirect { target; hit } ->
+    output_char oc 'i';
+    output_binary_int oc target;
+    write_bool oc hit
+  | Uarch.Oracle.C_stalled -> output_char oc 's'
+
+(* Action chains grow one node per silent region, so a long-running
+   workload produces chains deep enough to overflow the OCaml stack under
+   naive recursion (one frame per node). The writer therefore runs an
+   explicit worklist; edge payloads (latency / control outcome) become
+   their own work items so the stream layout is identical to the old
+   recursive writer's pre-order. *)
+type write_item =
+  | W_node of Action.node
+  | W_lat of int
+  | W_ctl of Action.ctl
+
+let write_node oc (root : Action.node) =
+  let stack = ref [ W_node root ] in
+  let continue_ = ref true in
+  while !continue_ do
+    match !stack with
+    | [] -> continue_ := false
+    | item :: rest ->
+      stack := rest;
+      (match item with
+       | W_lat lat -> output_binary_int oc lat
+       | W_ctl out -> write_ctl oc out
+       | W_node node -> (
+         match node with
+         | Action.N_load { l_edges } ->
+           output_char oc 'L';
+           output_binary_int oc (List.length l_edges);
+           stack :=
+             List.fold_right
+               (fun (lat, next) acc -> W_lat lat :: W_node next :: acc)
+               l_edges !stack
+         | Action.N_store next ->
+           output_char oc 'S';
+           stack := W_node next :: !stack
+         | Action.N_ctl { c_edges } ->
+           output_char oc 'C';
+           output_binary_int oc (List.length c_edges);
+           stack :=
+             List.fold_right
+               (fun (out, next) acc -> W_ctl out :: W_node next :: acc)
+               c_edges !stack
+         | Action.N_rollback (i, next) ->
+           output_char oc 'R';
+           output_binary_int oc i;
+           stack := W_node next :: !stack
+         | Action.N_halt -> output_char oc 'H'
+         | Action.N_goto g ->
+           output_char oc 'G';
+           write_string oc g.Action.target.Action.cfg_key))
+  done
 
 let save pc ~program oc =
   output_string oc magic;
@@ -87,69 +120,147 @@ let read_bool ic =
   | '\001' -> true
   | _ -> raise (Format_error "bad boolean")
 
-let rec read_node pc ic : Action.node =
+let read_ctl ic : Action.ctl =
   match input_char ic with
-  | 'L' ->
+  | 'c' ->
+    let taken = read_bool ic in
+    let mispredicted = read_bool ic in
+    Uarch.Oracle.C_cond { taken; mispredicted }
+  | 'i' ->
+    let target = input_binary_int ic in
+    let hit = read_bool ic in
+    Uarch.Oracle.C_indirect { target; hit }
+  | 's' -> Uarch.Oracle.C_stalled
+  | _ -> raise (Format_error "bad control outcome")
+
+(* The reader mirrors the writer's worklist: a frame per node whose
+   children are still being parsed, and an iterative [reduce] that folds a
+   completed subtree into its parent frame. No recursion, so deep chains
+   load without growing the stack. *)
+type read_frame =
+  | R_store
+  | R_rollback of int
+  | R_load of load_frame
+  | R_ctl of ctl_frame
+
+and load_frame = {
+  mutable l_remaining : int;
+  mutable l_acc : (int * Action.node) list;
+  mutable l_cur : int;  (* latency label of the edge being parsed *)
+}
+
+and ctl_frame = {
+  mutable c_remaining : int;
+  mutable c_acc : (Action.ctl * Action.node) list;
+  mutable c_cur : Action.ctl;
+}
+
+let read_node pc ic : Action.node =
+  let frames = ref [] in
+  let finished = ref None in
+  (* Fold [node0] into the enclosing frames until one still needs more
+     children (then return to the tag loop) or none are left (done). *)
+  let reduce node0 =
+    let node = ref node0 in
+    let reducing = ref true in
+    while !reducing do
+      match !frames with
+      | [] ->
+        finished := Some !node;
+        reducing := false
+      | R_store :: rest ->
+        frames := rest;
+        node := Action.N_store !node
+      | R_rollback i :: rest ->
+        frames := rest;
+        node := Action.N_rollback (i, !node)
+      | R_load f :: rest ->
+        f.l_acc <- (f.l_cur, !node) :: f.l_acc;
+        f.l_remaining <- f.l_remaining - 1;
+        if f.l_remaining = 0 then begin
+          frames := rest;
+          node := Action.N_load { l_edges = List.rev f.l_acc }
+        end
+        else begin
+          f.l_cur <- input_binary_int ic;
+          reducing := false
+        end
+      | R_ctl f :: rest ->
+        f.c_acc <- (f.c_cur, !node) :: f.c_acc;
+        f.c_remaining <- f.c_remaining - 1;
+        if f.c_remaining = 0 then begin
+          frames := rest;
+          node := Action.N_ctl { c_edges = List.rev f.c_acc }
+        end
+        else begin
+          f.c_cur <- read_ctl ic;
+          reducing := false
+        end
+    done
+  in
+  let read_count () =
     let n = input_binary_int ic in
-    let edges =
-      List.init n (fun _ ->
-          let lat = input_binary_int ic in
-          (lat, read_node pc ic))
-    in
-    Action.N_load { l_edges = edges }
-  | 'S' -> Action.N_store (read_node pc ic)
-  | 'C' ->
-    let n = input_binary_int ic in
-    let edges =
-      List.init n (fun _ ->
-          let out : Action.ctl =
-            match input_char ic with
-            | 'c' ->
-              let taken = read_bool ic in
-              let mispredicted = read_bool ic in
-              Uarch.Oracle.C_cond { taken; mispredicted }
-            | 'i' ->
-              let target = input_binary_int ic in
-              let hit = read_bool ic in
-              Uarch.Oracle.C_indirect { target; hit }
-            | 's' -> Uarch.Oracle.C_stalled
-            | _ -> raise (Format_error "bad control outcome")
-          in
-          (out, read_node pc ic))
-    in
-    Action.N_ctl { c_edges = edges }
-  | 'R' ->
-    let i = input_binary_int ic in
-    Action.N_rollback (i, read_node pc ic)
-  | 'H' -> Action.N_halt
-  | 'G' ->
-    let key = read_string ic in
-    Action.N_goto { target = Pcache.intern pc key }
-  | _ -> raise (Format_error "bad action tag")
+    if n < 0 || n > 1 lsl 24 then raise (Format_error "bad edge count");
+    n
+  in
+  while !finished = None do
+    match input_char ic with
+    | 'L' ->
+      let n = read_count () in
+      if n = 0 then reduce (Action.N_load { l_edges = [] })
+      else begin
+        let lat = input_binary_int ic in
+        frames :=
+          R_load { l_remaining = n; l_acc = []; l_cur = lat } :: !frames
+      end
+    | 'S' -> frames := R_store :: !frames
+    | 'C' ->
+      let n = read_count () in
+      if n = 0 then reduce (Action.N_ctl { c_edges = [] })
+      else begin
+        let out = read_ctl ic in
+        frames :=
+          R_ctl { c_remaining = n; c_acc = []; c_cur = out } :: !frames
+      end
+    | 'R' ->
+      let i = input_binary_int ic in
+      frames := R_rollback i :: !frames
+    | 'H' -> reduce Action.N_halt
+    | 'G' ->
+      let key = read_string ic in
+      reduce (Action.N_goto { target = Pcache.intern pc key })
+    | _ -> raise (Format_error "bad action tag")
+  done;
+  match !finished with Some n -> n | None -> assert false
 
 let load ?policy ~program ic =
-  let m = really_input_string ic (String.length magic) in
-  if not (String.equal m magic) then raise (Format_error "bad magic");
-  let digest = read_string ic in
-  if not (String.equal digest (program_digest program)) then
-    raise (Format_error "p-action cache was saved for a different program");
-  let pc = Pcache.create ?policy () in
-  let n = input_binary_int ic in
-  if n < 0 then raise (Format_error "bad config count");
-  for _ = 1 to n do
-    let key = read_string ic in
-    let cfg = Pcache.intern pc key in
-    if read_bool ic then begin
-      let silent = input_binary_int ic in
-      let retired = input_binary_int ic in
-      let ncls = input_binary_int ic in
-      if ncls < 0 || ncls > 64 then raise (Format_error "bad class count");
-      let classes = Array.init ncls (fun _ -> input_binary_int ic) in
-      let first = read_node pc ic in
-      Pcache.install_group pc cfg ~silent ~retired ~classes ~first
-    end
-  done;
-  pc
+  (* [input_binary_int] / [input_char] raise raw [End_of_file] on a
+     truncated stream; callers only handle [Format_error], so map EOF
+     anywhere in the payload to it. *)
+  try
+    let m = really_input_string ic (String.length magic) in
+    if not (String.equal m magic) then raise (Format_error "bad magic");
+    let digest = read_string ic in
+    if not (String.equal digest (program_digest program)) then
+      raise (Format_error "p-action cache was saved for a different program");
+    let pc = Pcache.create ?policy () in
+    let n = input_binary_int ic in
+    if n < 0 then raise (Format_error "bad config count");
+    for _ = 1 to n do
+      let key = read_string ic in
+      let cfg = Pcache.intern pc key in
+      if read_bool ic then begin
+        let silent = input_binary_int ic in
+        let retired = input_binary_int ic in
+        let ncls = input_binary_int ic in
+        if ncls < 0 || ncls > 64 then raise (Format_error "bad class count");
+        let classes = Array.init ncls (fun _ -> input_binary_int ic) in
+        let first = read_node pc ic in
+        Pcache.install_group pc cfg ~silent ~retired ~classes ~first
+      end
+    done;
+    pc
+  with End_of_file -> raise (Format_error "truncated p-action cache stream")
 
 let save_file pc ~program path =
   let oc = open_out_bin path in

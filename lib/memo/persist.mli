@@ -19,12 +19,25 @@ val save : Pcache.t -> program:Isa.Program.t -> out_channel -> unit
 
 val load : ?policy:Pcache.policy -> program:Isa.Program.t -> in_channel ->
   Pcache.t
-(** Rebuilds a p-action cache. Raises {!Format_error} on a corrupt stream
-    or when the stream was saved for a different program. *)
+(** Rebuilds a p-action cache. Raises {!Format_error} on a corrupt or
+    truncated stream (a premature end-of-file is reported as
+    {!Format_error}, never as a raw [End_of_file]) or when the stream was
+    saved for a different program. Both [save] and [load] traverse action
+    chains with explicit worklists, so arbitrarily deep chains round-trip
+    without exhausting the call stack. *)
 
 val save_file : Pcache.t -> program:Isa.Program.t -> string -> unit
 val load_file : ?policy:Pcache.policy -> program:Isa.Program.t -> string ->
   Pcache.t
 
 val program_digest : Isa.Program.t -> string
-(** Digest used for the program check (exposed for tests). *)
+(** Digest used for the program check (exposed for tests).
+
+    Covers the {e code words only} — intentionally. Configuration keys
+    embed instruction addresses and decoded µ-ops, so a saved cache is
+    meaningful only against the same code image; data is consumed through
+    the live oracle during replay, which validates every outcome anyway.
+    Excluding data from the digest is what allows a warm start across
+    reseeded inputs of the same kernel (docs/SWEEP.md): data-dependent
+    paths simply diverge to detailed simulation. Do not "fix" this by
+    digesting the whole image — test/test_persist.ml pins the semantics. *)

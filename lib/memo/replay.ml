@@ -1,12 +1,24 @@
 type result =
   | Diverged of { config : Action.config; prefix : Action.item list }
   | Replay_halted
-  | Replay_limit
+  | Replay_budget of Action.config
 
 type group_step =
   | G_next of Action.config
   | G_halt
   | G_diverge of Action.item list
+
+(* Test-only fault injection (docs/FUZZ.md): when the environment variable
+   FASTSIM_REPLAY_FAULT_EVERY is a positive integer n, every n-th fully
+   replayed group charges one extra cycle. This deliberately breaks the
+   fast ≡ slow equivalence so the differential fuzzing harness (and CI)
+   can prove it detects and shrinks such bugs. Unset (the normal case),
+   replay is exact. The variable is re-read on every [run] so tests can
+   toggle it with [Unix.putenv]. *)
+let fault_period () =
+  match Sys.getenv_opt "FASTSIM_REPLAY_FAULT_EVERY" with
+  | None | Some "" -> 0
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 0)
 
 let run ?(max_cycles = max_int) ?trace ?metrics pc (stats : Stats.t)
     ~(oracle : Uarch.Oracle.t) ~cycle ~classes ~start =
@@ -55,20 +67,28 @@ let run ?(max_cycles = max_int) ?trace ?metrics pc (stats : Stats.t)
         (Fastsim_obs.Event.counter ~ts:!cycle ~cat:"engine" "retired"
            (stats.Stats.detailed_retired + stats.Stats.replayed_retired))
   in
+  let fault_every = fault_period () in
   let cur = ref start in
   let result = ref None in
   while !result = None do
-    if !cycle > max_cycles then begin
-      end_episode ();
-      result := Some Replay_limit
-    end
-    else begin
     let cfg = !cur in
     Pcache.touch pc cfg;
     match cfg.Action.cfg_group with
     | None ->
       end_episode ();
       result := Some (Diverged { config = cfg; prefix = [] })
+    | Some g when !cycle + g.Action.g_silent >= max_cycles ->
+      (* The cycle budget falls inside this group: its interaction cycle
+         would land at or past [max_cycles]. Replaying it would overshoot
+         the budget mid-group — performing interactions a detailed run
+         stopped at the same budget never performs, and charging cycles and
+         retirement that are recorded only as whole-group aggregates. Hand
+         the configuration back instead; the caller re-simulates the
+         truncated tail in detail, stopping exactly at the budget with
+         exact partial statistics, so Fast ≡ Slow at every truncation
+         point. *)
+      end_episode ();
+      result := Some (Replay_budget cfg)
     | Some g ->
       let base = !cycle in
       let now = base + g.Action.g_silent in
@@ -80,7 +100,7 @@ let run ?(max_cycles = max_int) ?trace ?metrics pc (stats : Stats.t)
         | Action.N_load ln -> (
           let lat = oracle.cache_load ~now in
           push (Action.I_load lat);
-          match List.assoc_opt lat ln.Action.l_edges with
+          match Action.load_edge lat ln.Action.l_edges with
           | Some next ->
             Stats.note_action stats;
             walk next
@@ -93,10 +113,8 @@ let run ?(max_cycles = max_int) ?trace ?metrics pc (stats : Stats.t)
         | Action.N_ctl cn -> (
           let out = oracle.fetch_control () in
           push (Action.I_ctl out);
-          match
-            List.find_opt (fun (c, _) -> c = out) cn.Action.c_edges
-          with
-          | Some (_, next) ->
+          match Action.ctl_edge out cn.Action.c_edges with
+          | Some next ->
             Stats.note_action stats;
             walk next
           | None -> G_diverge (List.rev !prefix))
@@ -112,9 +130,17 @@ let run ?(max_cycles = max_int) ?trace ?metrics pc (stats : Stats.t)
           Stats.note_action stats;
           G_next (Pcache.resolve_goto pc gn)
       in
+      let skew =
+        (* see [fault_period] above; 0 unless fault injection is enabled *)
+        if
+          fault_every > 0
+          && (stats.Stats.groups_replayed + 1) mod fault_every = 0
+        then 1
+        else 0
+      in
       (match walk g.Action.g_first with
        | G_next target ->
-         cycle := now + 1;
+         cycle := now + 1 + skew;
          stats.replayed_cycles <- stats.replayed_cycles + g.Action.g_silent + 1;
          stats.replayed_retired <- stats.replayed_retired + g.Action.g_retired;
          stats.groups_replayed <- stats.groups_replayed + 1;
@@ -124,7 +150,7 @@ let run ?(max_cycles = max_int) ?trace ?metrics pc (stats : Stats.t)
          group_done g;
          cur := target
        | G_halt ->
-         cycle := now + 1;
+         cycle := now + 1 + skew;
          stats.replayed_cycles <- stats.replayed_cycles + g.Action.g_silent + 1;
          stats.replayed_retired <- stats.replayed_retired + g.Action.g_retired;
          stats.groups_replayed <- stats.groups_replayed + 1;
@@ -140,7 +166,6 @@ let run ?(max_cycles = max_int) ?trace ?metrics pc (stats : Stats.t)
             instead of re-performing its side effects. *)
          end_episode ();
          result := Some (Diverged { config = cfg; prefix }))
-    end
   done;
   (match h_episode with
    | Some h when !cycle > cycle0 ->

@@ -23,8 +23,14 @@ type result =
     }
   | Replay_halted
       (** the recorded chain reached [Halt]: simulation is complete. *)
-  | Replay_limit
-      (** the caller's cycle bound was exceeded. *)
+  | Replay_budget of Action.config
+      (** the caller's cycle bound falls inside [config]'s group: replaying
+          it would overshoot [max_cycles] mid-group. Replay stops {e before}
+          touching the group — no interactions performed, no cycles or
+          retirement charged — and hands the configuration back so the
+          caller can re-simulate the truncated tail in detail, stopping
+          exactly at the budget. This keeps Fast ≡ Slow (identical cycles
+          and statistics) at every truncation point. *)
 
 val run :
   ?max_cycles:int ->

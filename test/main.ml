@@ -20,4 +20,5 @@ let () =
       ("faults", Test_faults.suite);
       ("workloads", Test_workloads.suite);
       ("equivalence", Test_equivalence.suite);
-      ("exec", Test_exec.suite) ]
+      ("exec", Test_exec.suite);
+      ("check", Test_check.suite) ]

@@ -1,0 +1,197 @@
+(* Fastsim_check: the differential fuzzing harness itself, plus the
+   memoization edge cases it was built to pin down — the max_cycles
+   truncation boundary and the dedicated action-equality functions. *)
+
+module Check = Fastsim_check
+module Sim = Fastsim.Sim
+
+let check = Alcotest.check
+
+(* ---- generator ---- *)
+
+let gen_text seed =
+  let st = Random.State.make [| seed |] in
+  Check.Prog.render (Check.Generate.program ~bias:Check.Bias.quick st)
+
+let test_generator_deterministic () =
+  check Alcotest.string "same seed, same program" (gen_text 12) (gen_text 12);
+  check Alcotest.bool "different seed, different program" true
+    (gen_text 12 <> gen_text 13)
+
+let test_generator_roundtrips () =
+  for seed = 0 to 19 do
+    let st = Random.State.make [| seed |] in
+    let p = Check.Generate.program ~bias:Check.Bias.default st in
+    check Alcotest.bool
+      (Printf.sprintf "seed %d renders to re-parseable assembly" seed)
+      true
+      (Check.Prog.roundtrips p)
+  done
+
+let test_generated_programs_halt () =
+  (* Every generated program must halt on its own well before the
+     oracle's safety budget: run the slow engine and demand an
+     untruncated result. *)
+  for seed = 0 to 9 do
+    let st = Random.State.make [| seed |] in
+    let p = Check.Generate.program ~bias:Check.Bias.quick st in
+    let r =
+      Sim.run ~engine:`Slow
+        (Sim.Spec.with_max_cycles 400_000 Sim.Spec.default)
+        (Check.Prog.assemble p)
+    in
+    check Alcotest.bool (Printf.sprintf "seed %d halts" seed) false
+      r.Sim.truncated
+  done
+
+(* ---- action equality ---- *)
+
+let test_ctl_equal () =
+  let open Memo.Action in
+  let c1 = Uarch.Oracle.C_cond { taken = true; mispredicted = false } in
+  let c2 = Uarch.Oracle.C_cond { taken = true; mispredicted = false } in
+  let c3 = Uarch.Oracle.C_cond { taken = true; mispredicted = true } in
+  let i1 = Uarch.Oracle.C_indirect { target = 0x10040; hit = true } in
+  let i2 = Uarch.Oracle.C_indirect { target = 0x10040; hit = true } in
+  let i3 = Uarch.Oracle.C_indirect { target = 0x10044; hit = true } in
+  check Alcotest.bool "equal conds" true (ctl_equal c1 c2);
+  check Alcotest.bool "mispredict flag distinguishes" false (ctl_equal c1 c3);
+  check Alcotest.bool "equal indirects" true (ctl_equal i1 i2);
+  check Alcotest.bool "target distinguishes" false (ctl_equal i1 i3);
+  check Alcotest.bool "cond <> indirect" false (ctl_equal c1 i1);
+  check Alcotest.bool "stalled = stalled" true
+    (ctl_equal Uarch.Oracle.C_stalled Uarch.Oracle.C_stalled);
+  check Alcotest.bool "items: loads by latency" true
+    (item_equal (I_load 3) (I_load 3));
+  check Alcotest.bool "items: latency distinguishes" false
+    (item_equal (I_load 3) (I_load 4));
+  check Alcotest.bool "items: store = store" true (item_equal I_store I_store);
+  check Alcotest.bool "items: ctl payload compared structurally" true
+    (item_equal (I_ctl i1) (I_ctl i2));
+  check Alcotest.bool "items: rollback index" false
+    (item_equal (I_rollback 0) (I_rollback 1));
+  (* edge lookup uses the same equality *)
+  let n = N_halt in
+  check Alcotest.bool "ctl_edge finds structural match" true
+    (ctl_edge i2 [ (c3, n); (i1, n) ] <> None);
+  check Alcotest.bool "ctl_edge misses different outcome" true
+    (ctl_edge i3 [ (c3, n); (i1, n) ] = None);
+  check Alcotest.bool "load_edge by latency" true
+    (load_edge 7 [ (3, n); (7, n) ] <> None && load_edge 9 [ (3, n) ] = None)
+
+(* ---- max_cycles truncation boundary (the replay-budget bugfix) ---- *)
+
+(* Sweep a window of consecutive budgets spanning many replay-group
+   boundaries, under every replacement policy: fast and slow must agree
+   on every statistic at every single truncation point. *)
+let test_truncation_boundary_property () =
+  let st = Random.State.make [| 2026 |] in
+  let prog =
+    Check.Prog.assemble (Check.Generate.program ~bias:Check.Bias.quick st)
+  in
+  let full = Sim.run ~engine:`Slow Sim.Spec.default prog in
+  check Alcotest.bool "program runs long enough for the sweep" true
+    (full.Sim.cycles > 120);
+  let lo = (full.Sim.cycles / 2) - 20 in
+  let policies =
+    [ Memo.Pcache.Unbounded;
+      Memo.Pcache.Flush_on_full 8_192;
+      Memo.Pcache.Copying_gc 8_192;
+      Memo.Pcache.Generational_gc { nursery = 2_048; total = 8_192 } ]
+  in
+  List.iter
+    (fun policy ->
+      let spec = Sim.Spec.with_policy policy Sim.Spec.default in
+      for budget = lo to lo + 40 do
+        let tspec = Sim.Spec.with_max_cycles budget spec in
+        let s = Sim.run ~engine:`Slow tspec prog in
+        let f = Sim.run ~engine:`Fast tspec prog in
+        let tag fmt =
+          Printf.sprintf "%s@%d %s"
+            (Sim.Spec.policy_to_string policy)
+            budget fmt
+        in
+        check Alcotest.bool (tag "truncated") true
+          (s.Sim.truncated && f.Sim.truncated);
+        check Alcotest.int (tag "cycles stop at the budget") budget
+          s.Sim.cycles;
+        check Alcotest.int (tag "cycles") s.Sim.cycles f.Sim.cycles;
+        check Alcotest.int (tag "retired") s.Sim.retired f.Sim.retired;
+        check
+          Alcotest.(array int)
+          (tag "retired_by_class") s.Sim.retired_by_class
+          f.Sim.retired_by_class;
+        check Alcotest.int (tag "wrong_path") s.Sim.wrong_path_insts
+          f.Sim.wrong_path_insts;
+        check Alcotest.bool (tag "cache stats") true
+          (s.Sim.cache = f.Sim.cache)
+      done)
+    policies
+
+(* ---- the oracle end-to-end ---- *)
+
+let test_mini_fuzz_campaign_agrees () =
+  let config =
+    { Check.Fuzz.default_config with
+      Check.Fuzz.seed = 5;
+      cases = 6;
+      bias = Check.Bias.quick;
+      backend = Fastsim_exec.Pool.Inline;
+      out_dir = Filename.concat (Filename.get_temp_dir_name ()) "fuzz_mini" }
+  in
+  let s = Check.Fuzz.run config in
+  check Alcotest.int "all cases agree" 6 s.Check.Fuzz.agreed;
+  check Alcotest.int "no failures" 0 (List.length s.Check.Fuzz.failures)
+
+let test_injected_fault_caught_and_shrunk () =
+  let out_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fuzz_fault_%d" (Unix.getpid ()))
+  in
+  Unix.putenv "FASTSIM_REPLAY_FAULT_EVERY" "10";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "FASTSIM_REPLAY_FAULT_EVERY" "")
+    (fun () ->
+      let config =
+        { Check.Fuzz.default_config with
+          Check.Fuzz.seed = 42;
+          cases = 3;
+          bias = Check.Bias.quick;
+          backend = Fastsim_exec.Pool.Inline;
+          out_dir }
+      in
+      let s = Check.Fuzz.run config in
+      check Alcotest.bool "fault detected" true
+        (s.Check.Fuzz.failures <> []);
+      List.iter
+        (fun (f : Check.Fuzz.failure) ->
+          (match f.Check.Fuzz.f_min_insns with
+           | Some n ->
+             check Alcotest.bool "shrunk to a small reproducer" true (n <= 30)
+           | None -> Alcotest.fail "expected a minimized reproducer");
+          match f.Check.Fuzz.f_min_source with
+          | Some path ->
+            (* the reproducer must itself be parseable assembly *)
+            let ic = open_in path in
+            let len = in_channel_length ic in
+            let text = really_input_string ic len in
+            close_in ic;
+            ignore (Isa.Parse.program text : Isa.Program.t)
+          | None -> Alcotest.fail "expected a .min.s file")
+        s.Check.Fuzz.failures)
+
+let suite =
+  [ Alcotest.test_case "generator is deterministic" `Quick
+      test_generator_deterministic;
+    Alcotest.test_case "generated programs round-trip through the parser"
+      `Quick test_generator_roundtrips;
+    Alcotest.test_case "generated programs halt" `Quick
+      test_generated_programs_halt;
+    Alcotest.test_case "ctl/item equality and edge lookup" `Quick
+      test_ctl_equal;
+    Alcotest.test_case "fast = slow at every truncation point, all policies"
+      `Slow test_truncation_boundary_property;
+    Alcotest.test_case "mini fuzz campaign: zero divergences" `Slow
+      test_mini_fuzz_campaign_agrees;
+    Alcotest.test_case "injected replay fault is caught and shrunk" `Slow
+      test_injected_fault_caught_and_shrunk ]

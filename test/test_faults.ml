@@ -69,31 +69,44 @@ let test_snapshot_decode_rejects_foreign_addresses () =
   | exception Isa.Program.Fault _ -> ()
   | exception Invalid_argument _ -> ()
 
-let test_deadlock_on_infinite_cond_loop () =
+let test_truncation_on_infinite_cond_loop () =
   (* an architecturally infinite loop (with control events, so the
-     emulator keeps yielding): the cycle limit must fire *)
+     emulator keeps yielding): the cycle budget truncates the run — both
+     engines stop at exactly the budget and agree on everything *)
   let p =
     Workloads.Dsl.(
       assemble [ li 1 1; label "spin"; nop; beq 1 1 "spin"; halt ])
   in
   let spec = Fastsim.Sim.Spec.(with_max_cycles 50_000 default) in
-  (match Fastsim.Sim.run ~engine:`Slow spec p with
-   | _ -> Alcotest.fail "expected Deadlock"
-   | exception Fastsim.Sim.Deadlock _ -> ());
-  match Fastsim.Sim.run ~engine:`Fast spec p with
-  | _ -> Alcotest.fail "expected Deadlock"
-  | exception Fastsim.Sim.Deadlock _ -> ()
+  let slow = Fastsim.Sim.run ~engine:`Slow spec p in
+  let fast = Fastsim.Sim.run ~engine:`Fast spec p in
+  check Alcotest.bool "slow truncated" true slow.Fastsim.Sim.truncated;
+  check Alcotest.bool "fast truncated" true fast.Fastsim.Sim.truncated;
+  check Alcotest.int "slow stops at budget" 50_000 slow.Fastsim.Sim.cycles;
+  check Alcotest.int "fast stops at budget" 50_000 fast.Fastsim.Sim.cycles;
+  check Alcotest.int "retired equal" slow.Fastsim.Sim.retired
+    fast.Fastsim.Sim.retired
 
 let test_max_cycles_limit () =
   let w = Workloads.Suite.find "compress" in
   let big = w.Workloads.Workload.build 50 in
   let spec = Fastsim.Sim.Spec.(with_max_cycles 1000 default) in
-  (match Fastsim.Sim.run ~engine:`Slow spec big with
-   | _ -> Alcotest.fail "expected cycle-limit Deadlock"
-   | exception Fastsim.Sim.Deadlock _ -> ());
-  match Fastsim.Sim.run ~engine:`Fast spec big with
-  | _ -> Alcotest.fail "expected cycle-limit Deadlock"
-  | exception Fastsim.Sim.Deadlock _ -> ()
+  let slow = Fastsim.Sim.run ~engine:`Slow spec big in
+  let fast = Fastsim.Sim.run ~engine:`Fast spec big in
+  check Alcotest.bool "slow truncated" true slow.Fastsim.Sim.truncated;
+  check Alcotest.bool "fast truncated" true fast.Fastsim.Sim.truncated;
+  check Alcotest.int "slow stops at budget" 1000 slow.Fastsim.Sim.cycles;
+  check Alcotest.int "fast stops at budget" 1000 fast.Fastsim.Sim.cycles;
+  check Alcotest.int "retired equal" slow.Fastsim.Sim.retired
+    fast.Fastsim.Sim.retired;
+  (* an ample budget must not mark the run truncated *)
+  let full =
+    Fastsim.Sim.run ~engine:`Slow
+      Fastsim.Sim.Spec.(with_max_cycles 10_000_000 default)
+      (w.Workloads.Workload.build 4)
+  in
+  check Alcotest.bool "ample budget not truncated" false
+    full.Fastsim.Sim.truncated
 
 let test_architectural_misalignment_faults () =
   let p =
@@ -146,8 +159,8 @@ let suite =
       test_snapshot_decode_rejects_garbage;
     Alcotest.test_case "snapshot decode vs foreign program" `Quick
       test_snapshot_decode_rejects_foreign_addresses;
-    Alcotest.test_case "deadlock on infinite cond loop" `Quick
-      test_deadlock_on_infinite_cond_loop;
+    Alcotest.test_case "truncation on infinite cond loop" `Quick
+      test_truncation_on_infinite_cond_loop;
     Alcotest.test_case "max-cycles limit" `Quick test_max_cycles_limit;
     Alcotest.test_case "architectural misalignment faults" `Quick
       test_architectural_misalignment_faults;

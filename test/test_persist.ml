@@ -78,8 +78,113 @@ let test_digest_distinguishes_scales () =
   let d1' = Memo.Persist.program_digest (w.Workloads.Workload.build 1) in
   check Alcotest.string "deterministic digest" d1 d1'
 
+(* The writer and reader must traverse action chains iteratively: a
+   deep chain (e.g. from a long branchy region recorded as one group)
+   must not overflow the stack on either side of the round trip. *)
+let test_deep_chain_roundtrip () =
+  let depth = 120_000 in
+  let prog = (Workloads.Suite.find "li").build 1 in
+  let pc = Memo.Pcache.create () in
+  let cfg = Memo.Pcache.intern pc "deep-chain-key" in
+  let chain = ref Memo.Action.N_halt in
+  for i = 1 to depth do
+    chain :=
+      if i mod 5 = 0 then
+        Memo.Action.N_load { Memo.Action.l_edges = [ (2, !chain) ] }
+      else Memo.Action.N_store !chain
+  done;
+  Memo.Pcache.install_group pc cfg ~silent:3 ~retired:7
+    ~classes:[| 1; 2; 3 |] ~first:!chain;
+  let path = tmp "fastsim_deep.fspc" in
+  Memo.Persist.save_file pc ~program:prog path;
+  let pc' = Memo.Persist.load_file ~program:prog path in
+  Sys.remove path;
+  let c = Memo.Pcache.counters pc and c' = Memo.Pcache.counters pc' in
+  check Alcotest.int "all nodes survive" c.static_actions c'.static_actions;
+  check Alcotest.int "modeled bytes survive" c.modeled_bytes c'.modeled_bytes;
+  (* walk the loaded chain iteratively and confirm the depth *)
+  match (Memo.Pcache.find pc' "deep-chain-key" : Memo.Action.config option)
+  with
+  | None -> Alcotest.fail "config lost"
+  | Some cfg' ->
+    (match cfg'.Memo.Action.cfg_group with
+     | None -> Alcotest.fail "group lost"
+     | Some g ->
+       check Alcotest.int "silent cycles" 3 g.Memo.Action.g_silent;
+       let n = ref 0 in
+       let cur = ref (Some g.Memo.Action.g_first) in
+       while !cur <> None do
+         (match !cur with
+          | Some (Memo.Action.N_store next) ->
+            incr n;
+            cur := Some next
+          | Some (Memo.Action.N_load { Memo.Action.l_edges = [ (2, next) ] })
+            ->
+            incr n;
+            cur := Some next
+          | Some Memo.Action.N_halt -> cur := None
+          | _ -> Alcotest.fail "unexpected node shape");
+         ()
+       done;
+       check Alcotest.int "chain depth survives" depth !n)
+
+(* A truncated stream must surface as Format_error (the CLI turns that
+   into a diagnostic), never as a raw End_of_file leaking out of the
+   reader. *)
+let test_truncated_stream () =
+  let w = Workloads.Suite.find "li" in
+  let prog = w.Workloads.Workload.build w.Workloads.Workload.test_scale in
+  let pc = Memo.Pcache.create () in
+  ignore (run_fast ~pcache:pc prog : Fastsim.Sim.result);
+  let path = tmp "fastsim_trunc.fspc" in
+  Memo.Persist.save_file pc ~program:prog path;
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let full = really_input_string ic len in
+  close_in ic;
+  check Alcotest.bool "file is non-trivial" true (len > 64);
+  (* cut inside the magic, the digest, the config table, and near the end *)
+  [ 3; 20; len / 4; len / 2; len - 1 ]
+  |> List.iter (fun cut ->
+         let tpath = tmp (Printf.sprintf "fastsim_trunc_%d.fspc" cut) in
+         let oc = open_out_bin tpath in
+         output_string oc (String.sub full 0 cut);
+         close_out oc;
+         (match Memo.Persist.load_file ~program:prog tpath with
+          | _ -> Alcotest.failf "cut at %d: expected Format_error" cut
+          | exception Memo.Persist.Format_error _ -> ()
+          | exception End_of_file ->
+            Alcotest.failf "cut at %d: raw End_of_file leaked" cut);
+         Sys.remove tpath);
+  Sys.remove path
+
+(* The digest covers the code words only — initial data is deliberately
+   excluded (memoized actions never read data values; data-dependent
+   paths diverge to detailed simulation), so a warm cache survives
+   re-seeded inputs. *)
+let test_digest_covers_code_only () =
+  let code =
+    [| Isa.Instr.Alui (Isa.Instr.Add, 2, 0, 1); Isa.Instr.Halt |]
+  in
+  let base = Isa.Program.default_data_base in
+  let p1 = Isa.Program.make ~data:[ (base, "alpha") ] code in
+  let p2 = Isa.Program.make ~data:[ (base, "omega") ] code in
+  let p3 = Isa.Program.make [| Isa.Instr.Nop; Isa.Instr.Halt |] in
+  check Alcotest.string "same code, different data: same digest"
+    (Memo.Persist.program_digest p1)
+    (Memo.Persist.program_digest p2);
+  check Alcotest.bool "different code: different digest" true
+    (Memo.Persist.program_digest p1 <> Memo.Persist.program_digest p3)
+
 let suite =
   [ Alcotest.test_case "save/load round trip" `Quick test_roundtrip_counters;
+    Alcotest.test_case "deep action chain survives save/load without \
+                        overflowing the stack"
+      `Quick test_deep_chain_roundtrip;
+    Alcotest.test_case "truncated stream raises Format_error" `Quick
+      test_truncated_stream;
+    Alcotest.test_case "digest covers code words only" `Quick
+      test_digest_covers_code_only;
     Alcotest.test_case "warm start: same results, fewer detailed insts"
       `Quick test_warm_start_equivalent_and_faster;
     Alcotest.test_case "program digest guard" `Quick test_digest_guard;

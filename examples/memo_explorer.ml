@@ -42,6 +42,17 @@ let dump_chain ppf first =
     | Memo.Action.N_goto g ->
       Format.fprintf ppf "%sGoto config (%d entries)\n" pad
         (Uarch.Snapshot.entry_count g.Memo.Action.target.Memo.Action.cfg_key)
+    | Memo.Action.N_stride s ->
+      Format.fprintf ppf "%sStride (%d ops + %d compacted groups)\n" pad
+        (Array.length s.Memo.Action.s_ops)
+        (Array.length s.Memo.Action.s_segs);
+      Array.iter
+        (fun (seg : Memo.Action.stride_seg) ->
+          Format.fprintf ppf "%s  seg: %d silent, %d retired, %d ops\n" pad
+            seg.Memo.Action.sg_silent seg.Memo.Action.sg_retired
+            (Array.length seg.Memo.Action.sg_ops))
+        s.Memo.Action.s_segs;
+      go (depth + 1) s.Memo.Action.s_term
   in
   go 1 first
 
@@ -128,12 +139,12 @@ let () =
     incr cycle;
     retired := !retired + r.Uarch.Detailed.retired;
     if r.Uarch.Detailed.interactions > 0 then begin
-      let key = Uarch.Detailed.snapshot uarch in
+      let next = Memo.Pcache.intern pcache (Uarch.Detailed.snapshot uarch) in
       ignore
         (Memo.Pcache.merge_group pcache !cfg ~silent:!silent
            ~retired:!retired ~classes:[||]
            ~items:(List.rev !items)
-           ~terminal:(Memo.Action.T_goto key)
+           ~terminal:(Memo.Action.T_goto next)
           : Memo.Action.config option);
       Printf.printf
         "\ngroup %d: config (%d entries, %d modeled bytes), %d silent \
@@ -147,7 +158,7 @@ let () =
        | None -> ());
       Format.printf "pipeline after this group:\n%a" Uarch.Detailed.dump
         uarch;
-      cfg := Memo.Pcache.intern pcache key;
+      cfg := next;
       items := [];
       silent := 0;
       retired := 0;

@@ -7,13 +7,24 @@
 module Spec = Fastsim.Sim.Spec
 
 let sample_policy st =
-  match Random.State.int st 4 with
+  match Random.State.int st 6 with
   | 0 -> Memo.Pcache.Unbounded
   | 1 -> Memo.Pcache.Flush_on_full (4 * 1024 lsl Random.State.int st 4)
   | 2 -> Memo.Pcache.Copying_gc (8 * 1024 lsl Random.State.int st 3)
-  | _ ->
+  | 3 ->
     let total = 16 * 1024 lsl Random.State.int st 2 in
     Memo.Pcache.Generational_gc { nursery = total / 4; total }
+  | 4 ->
+    (* Pathologically tiny budgets — down to less than one configuration's
+       modeled size (a config is ≥ 16 bytes + 1.5/instruction), so the
+       cache thrashes: every interaction cycle can trigger a flush or a
+       collection that frees nothing. Equivalence must survive even when
+       memoization never gets to replay anything. *)
+    Memo.Pcache.Flush_on_full (1 lsl (3 + Random.State.int st 6))
+  | _ ->
+    let total = 1 lsl (4 + Random.State.int st 6) in
+    if Random.State.bool st then Memo.Pcache.Copying_gc total
+    else Memo.Pcache.Generational_gc { nursery = max 8 (total / 4); total }
 
 let sample_predictor st =
   match Random.State.int st 3 with

@@ -366,25 +366,30 @@ let fast_sim ?params ?cache_config ?(predictor = Standard)
             result := Some `Halted
           end
           else if r.Uarch.Detailed.interactions > 0 then begin
-            let key = Uarch.Detailed.snapshot uarch in
-            let next =
-              Memo.Pcache.merge_group pc !cfg ~silent:!silent
-                ~retired:!group_retired
-                ~classes:(group_classes uarch)
-                ~items:(List.rev !items_rev)
-                ~terminal:(Memo.Action.T_goto key)
+            (* Hot path: encode the snapshot into the simulator's reusable
+               arena and probe the table with its precomputed hash — a warm
+               cache resolves the successor without allocating. *)
+            let next0 =
+              Memo.Pcache.intern_arena pc
+                (Uarch.Detailed.snapshot_arena uarch)
             in
+            ignore
+              (Memo.Pcache.merge_group pc !cfg ~silent:!silent
+                 ~retired:!group_retired
+                 ~classes:(group_classes uarch)
+                 ~items:(List.rev !items_rev)
+                 ~terminal:(Memo.Action.T_goto next0)
+                : Memo.Action.config option);
             assert (!pending = []);
             items_rev := [];
             silent := 0;
             group_retired := 0;
             let next =
               match Memo.Pcache.check_budget pc with
-              | `Kept -> (
-                match next with Some c -> c | None -> assert false)
+              | `Kept -> next0
               | `Flushed | `Collected ->
                 (* Our configuration nodes may be stale; re-intern by key. *)
-                Memo.Pcache.intern pc key
+                Memo.Pcache.intern pc next0.Memo.Action.cfg_key
             in
             if next.Memo.Action.cfg_group <> None then
               result := Some (`Replay next)

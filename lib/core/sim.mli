@@ -1,11 +1,11 @@
 (** The FastSim driver: speculative direct-execution + out-of-order timing
     simulation, with or without fast-forwarding (paper Figures 2 and 4).
 
-    Two engines over identical components:
+    Two engines over identical components, selected by {!run}:
 
-    - {!slow_sim} — "SlowSim": the detailed µ-architecture simulator runs
+    - [`Slow] — "SlowSim": the detailed µ-architecture simulator runs
       every cycle (memoization disabled, nothing recorded).
-    - {!fast_sim} — "FastSim": µ-architecture configurations and simulator
+    - [`Fast] — "FastSim": µ-architecture configurations and simulator
       actions are recorded in a p-action cache and replayed on repeat
       visits.
 
@@ -14,9 +14,9 @@
 
     Both engines accept an optional {!Fastsim_obs.Ctx.t} observability
     context (event tracing, metrics, host profiling — see
-    [docs/OBSERVABILITY.md]). Observability is strictly passive: every
-    field of {!result} is bit-identical with and without it, which the
-    equivalence suite also enforces. *)
+    [docs/OBSERVABILITY.md]) through {!Spec.with_obs}. Observability is
+    strictly passive: every field of {!result} is bit-identical with and
+    without it, which the equivalence suite also enforces. *)
 
 exception Deadlock of string
 (** Raised when the pipeline makes no progress for an implausibly long
@@ -152,54 +152,26 @@ val run : engine:engine -> Spec.t -> Isa.Program.t -> result
     [policy], [pcache], [obs] and [observer], and reports only the
     statistics its model tracks — [retired_by_class], [emulated_insts]
     and the conditional/indirect fetch counts are zero, [mispredicted]
-    is real. *)
+    is real.
 
-val slow_sim :
-  ?params:Uarch.Params.t ->
-  ?cache_config:Cachesim.Config.t ->
-  ?predictor:predictor_kind ->
-  ?max_cycles:int ->
-  ?observer:(int -> Uarch.Detailed.t -> Uarch.Detailed.cycle_result -> unit) ->
-  ?obs:Fastsim_obs.Ctx.t ->
-  Isa.Program.t ->
-  result
-  [@@deprecated "use Sim.run ~engine:`Slow with a Sim.Spec.t instead"]
-(** [observer], if given, is called after every simulated cycle with the
-    cycle number, the live pipeline (inspect it with
-    {!Uarch.Detailed.dump} / {!Uarch.Detailed.snapshot}), and that cycle's
-    result — the hook behind the CLI's pipeline-trace command. The
-    per-cycle callback remains slow-sim-only (a fast-forwarded cycle never
-    exists concretely to call it on), but that restriction no longer makes
-    the fast engine a black box: [obs] tracing works under memoization —
-    see {!fast_sim}.
+    For [`Fast], [Spec.pcache] starts from (and extends) an existing
+    p-action cache — e.g. one restored with {!Memo.Persist.load} for the
+    same program — and ignores [Spec.policy].
 
-    [obs] attaches the observability layer: an event-trace sink (pipeline,
-    cache and memoization events), a metrics registry, and host-profiling
-    phase timers. See [docs/OBSERVABILITY.md]. *)
-
-val fast_sim :
-  ?params:Uarch.Params.t ->
-  ?cache_config:Cachesim.Config.t ->
-  ?predictor:predictor_kind ->
-  ?max_cycles:int ->
-  ?policy:Memo.Pcache.policy ->
-  ?pcache:Memo.Pcache.t ->
-  ?obs:Fastsim_obs.Ctx.t ->
-  Isa.Program.t ->
-  result
-  [@@deprecated "use Sim.run ~engine:`Fast with a Sim.Spec.t instead"]
-(** Default policy is {!Memo.Pcache.Unbounded}. Passing [pcache] starts
-    from (and extends) an existing p-action cache — e.g. one restored with
-    {!Memo.Persist.load} for the same program — and ignores [policy].
-
-    [obs] attaches the observability layer to the memoized engine too:
-    fast-forwarded regions emit {e synthetic} events reconstructed from the
-    replayed action chains (control outcomes, cache misses, per-group
+    [Spec.obs] attaches the observability layer to either timing engine:
+    an event-trace sink (pipeline, cache and memoization events), a
+    metrics registry, and host-profiling phase timers. Under memoization,
+    fast-forwarded regions emit {e synthetic} events reconstructed from
+    the replayed action chains (control outcomes, cache misses, per-group
     retirement, p-action cache activity), so a FastSim trace covers both
-    detailed and replayed execution — lifting the historical
-    slow-sim-only introspection restriction. Timing phases (detailed /
-    replay / cachesim / emulation) are split by the profiler. Strictly
-    passive: {!result} is bit-identical with and without [obs]. *)
+    detailed and replayed execution. See [docs/OBSERVABILITY.md].
+
+    [Spec.observer] is called after every [`Slow] cycle with the cycle
+    number, the live pipeline (inspect it with {!Uarch.Detailed.dump} /
+    {!Uarch.Detailed.snapshot}), and that cycle's result — the hook behind
+    the CLI's pipeline-trace command. The per-cycle callback is
+    slow-engine-only (a fast-forwarded cycle never exists concretely to
+    call it on). *)
 
 val functional :
   ?max_insts:int -> Isa.Program.t -> Emu.Arch_state.t * Emu.Memory.t * int

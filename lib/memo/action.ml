@@ -13,18 +13,41 @@ type node =
   | N_rollback of int * node
   | N_halt
   | N_goto of goto_node
+  | N_stride of stride_node
 
 and load_node = { mutable l_edges : (int * node) list }
 and ctl_node = { mutable c_edges : (ctl * node) list }
 
 and goto_node = { mutable target : config }
 
+(* A compacted linear run of groups (docs/INTERNALS.md "Hot path"): the
+   owner's own interaction items followed by the absorbed successor
+   groups, each a straight line with a single recorded outcome per action.
+   Only ever appears as a group's [g_first]; [s_term] is the run's final
+   N_goto or N_halt. The absorbed configurations stay interned (their
+   [cfg_group] is cleared) so divergence can re-expand the run exactly. *)
+and stride_node = {
+  s_ops : item array;       (* the owner group's items *)
+  s_segs : stride_seg array;
+  s_term : node;            (* N_goto or N_halt *)
+}
+
+and stride_seg = {
+  sg_cfg : config;
+  sg_silent : int;
+  sg_retired : int;
+  sg_classes : int array;
+  sg_ops : item array;
+}
+
 and config = {
   cfg_key : Uarch.Snapshot.key;
+  cfg_hash : int;  (* FNV-1a of cfg_key (Uarch.Snapshot.hash_key) *)
   cfg_bytes : int;
   mutable cfg_action_bytes : int;
   mutable cfg_group : group option;
   mutable cfg_touched : int;
+  mutable cfg_hits : int;
   mutable cfg_dropped : bool;
   mutable cfg_old_gen : bool;
 }
@@ -36,7 +59,7 @@ and group = {
   g_first : node;
 }
 
-type terminal = T_goto of Uarch.Snapshot.key | T_halt
+type terminal = T_goto of config | T_halt
 
 (* Dedicated equality for control outcomes: the replay engine compares the
    live outcome against recorded edges on every interaction cycle, and the
@@ -86,6 +109,16 @@ let node_bytes = function
   | N_load { l_edges } -> 16 + (8 * max 0 (List.length l_edges - 1))
   | N_ctl { c_edges } -> 16 + (8 * max 0 (List.length c_edges - 1))
   | N_store _ | N_rollback _ | N_halt | N_goto _ -> 8
+  | N_stride { s_ops; s_segs; _ } ->
+    (* 8-byte stride header + 2 bytes per packed op + an 8-byte header and
+       2 bytes per op for each absorbed segment; [s_term] is accounted as
+       its own node by every traversal. The compressed rate (2 bytes vs
+       8–16 per plain node) is the modeled-bytes saving stride compaction
+       claims; see docs/INTERNALS.md. *)
+    8 + (2 * Array.length s_ops)
+    + Array.fold_left
+        (fun acc seg -> acc + 8 + (2 * Array.length seg.sg_ops))
+        0 s_segs
 
 let pp_ctl ppf (c : ctl) =
   match c with
@@ -114,3 +147,6 @@ let pp_node_shallow ppf = function
   | N_goto { target = c } ->
     Format.fprintf ppf "Goto{%d bytes%s}" c.cfg_bytes
       (if c.cfg_group = None then ",empty" else "")
+  | N_stride { s_ops; s_segs; _ } ->
+    Format.fprintf ppf "Stride{%d ops, %d segs}" (Array.length s_ops)
+      (Array.length s_segs)

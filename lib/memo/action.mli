@@ -26,6 +26,7 @@ type node =
   | N_rollback of int * node
   | N_halt
   | N_goto of goto_node
+  | N_stride of stride_node
 
 and load_node = { mutable l_edges : (int * node) list }
 and ctl_node = { mutable c_edges : (ctl * node) list }
@@ -36,13 +37,39 @@ and goto_node = { mutable target : config }
     to the live node (the moral equivalent of the copying collector's
     pointer forwarding). *)
 
+and stride_node = {
+  s_ops : item array;  (** the owner group's interaction items. *)
+  s_segs : stride_seg array;
+      (** the absorbed successor groups, in chain order. *)
+  s_term : node;  (** the run's final [N_goto] or [N_halt]. *)
+}
+(** A stride: a linear run of groups — every action on the run has exactly
+    one recorded outcome — collapsed into one node and replayed as one
+    step ({!Pcache.compact}). Only ever appears as a group's [g_first].
+    The owner keeps its group (with the stride as its chain); absorbed
+    configurations stay interned but lose theirs, and on any mid-stride
+    divergence the run is expanded back into exact plain groups before
+    the detailed simulator takes over. *)
+
+and stride_seg = {
+  sg_cfg : config;      (** the absorbed configuration (still interned). *)
+  sg_silent : int;
+  sg_retired : int;
+  sg_classes : int array;
+  sg_ops : item array;  (** its single recorded outcome sequence. *)
+}
+
 and config = {
   cfg_key : Uarch.Snapshot.key;
+  cfg_hash : int;
+      (** FNV-1a hash of [cfg_key] ([Uarch.Snapshot.hash_key]), computed
+          once at intern time so table probes never rehash. *)
   cfg_bytes : int;  (** modeled size (paper's accounting). *)
   mutable cfg_action_bytes : int;
       (** modeled bytes of the action nodes this config's group owns. *)
   mutable cfg_group : group option;
   mutable cfg_touched : int;   (** GC epoch of last use. *)
+  mutable cfg_hits : int;      (** times the replay engine visited this. *)
   mutable cfg_dropped : bool;  (** evicted from the table by a collection. *)
   mutable cfg_old_gen : bool;  (** promoted by the generational collector. *)
 }
@@ -57,9 +84,10 @@ and group = {
   g_first : node;
 }
 
-type terminal = T_goto of Uarch.Snapshot.key | T_halt
-(** How a recorded group ends: linked to the next configuration, or the
-    retirement of [Halt]. *)
+type terminal = T_goto of config | T_halt
+(** How a recorded group ends: linked to the next configuration — already
+    interned by the caller, typically via the zero-allocation
+    [Pcache.intern_arena] — or the retirement of [Halt]. *)
 
 val ctl_equal : ctl -> ctl -> bool
 (** Dedicated structural equality for control outcomes. The replay engine

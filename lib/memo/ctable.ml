@@ -1,0 +1,136 @@
+(* Flat parallel arrays, linear probing, power-of-two capacity. The value
+   array holds [Some v] for occupied slots so a hit returns the stored
+   option without allocating. *)
+
+type 'v t = {
+  mutable keys : string array;  (* "" marks a free slot *)
+  mutable hashes : int array;
+  mutable vals : 'v option array;
+  mutable mask : int;           (* capacity - 1 *)
+  mutable count : int;
+}
+
+let rec pow2 n c = if c >= n then c else pow2 n (c * 2)
+
+let create ?(initial = 4096) () =
+  let cap = pow2 (max 8 initial) 8 in
+  { keys = Array.make cap "";
+    hashes = Array.make cap 0;
+    vals = Array.make cap None;
+    mask = cap - 1;
+    count = 0 }
+
+let length t = t.count
+
+let is_free (s : string) = String.length s = 0
+
+let find t ~hash key =
+  let mask = t.mask in
+  let i = ref (hash land mask) in
+  let result = ref None in
+  let probing = ref true in
+  while !probing do
+    let k = Array.unsafe_get t.keys !i in
+    if is_free k then probing := false
+    else if Array.unsafe_get t.hashes !i = hash && String.equal k key then begin
+      result := Array.unsafe_get t.vals !i;
+      probing := false
+    end
+    else i := (!i + 1) land mask
+  done;
+  !result
+
+(* [String.equal] against a Bytes prefix, without materialising a string. *)
+let bytes_matches (s : string) (b : Bytes.t) len =
+  String.length s = len
+  &&
+  let i = ref 0 in
+  while !i < len && String.unsafe_get s !i = Bytes.unsafe_get b !i do
+    incr i
+  done;
+  !i = len
+
+let find_bytes t ~hash b ~len =
+  let mask = t.mask in
+  let i = ref (hash land mask) in
+  let result = ref None in
+  let probing = ref true in
+  while !probing do
+    let k = Array.unsafe_get t.keys !i in
+    if is_free k then probing := false
+    else if Array.unsafe_get t.hashes !i = hash && bytes_matches k b len
+    then begin
+      result := Array.unsafe_get t.vals !i;
+      probing := false
+    end
+    else i := (!i + 1) land mask
+  done;
+  !result
+
+(* Insert into a table known to have room and no binding for [key]. *)
+let add_fresh t ~hash key v =
+  let mask = t.mask in
+  let i = ref (hash land mask) in
+  while not (is_free t.keys.(!i)) do
+    i := (!i + 1) land mask
+  done;
+  t.keys.(!i) <- key;
+  t.hashes.(!i) <- hash;
+  t.vals.(!i) <- Some v;
+  t.count <- t.count + 1
+
+let grow t =
+  let old_keys = t.keys and old_hashes = t.hashes and old_vals = t.vals in
+  let cap = (t.mask + 1) * 2 in
+  t.keys <- Array.make cap "";
+  t.hashes <- Array.make cap 0;
+  t.vals <- Array.make cap None;
+  t.mask <- cap - 1;
+  t.count <- 0;
+  Array.iteri
+    (fun i k ->
+      if not (is_free k) then
+        match old_vals.(i) with
+        | Some v -> add_fresh t ~hash:old_hashes.(i) k v
+        | None -> assert false)
+    old_keys
+
+let add t ~hash key v =
+  if is_free key then invalid_arg "Ctable.add: empty key";
+  (* Replace in place if present. *)
+  let mask = t.mask in
+  let i = ref (hash land mask) in
+  let replaced = ref false in
+  let probing = ref true in
+  while !probing do
+    let k = t.keys.(!i) in
+    if is_free k then probing := false
+    else if t.hashes.(!i) = hash && String.equal k key then begin
+      t.vals.(!i) <- Some v;
+      replaced := true;
+      probing := false
+    end
+    else i := (!i + 1) land mask
+  done;
+  if not !replaced then begin
+    (* Keep load factor under 1/2 so probe sequences stay short. *)
+    if (t.count + 1) * 2 > t.mask + 1 then grow t;
+    add_fresh t ~hash key v
+  end
+
+let iter f t =
+  Array.iteri
+    (fun i k ->
+      if not (is_free k) then
+        match t.vals.(i) with Some v -> f k v | None -> assert false)
+    t.keys
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun k v -> acc := f k v !acc) t;
+  !acc
+
+let clear t =
+  Array.fill t.keys 0 (Array.length t.keys) "";
+  Array.fill t.vals 0 (Array.length t.vals) None;
+  t.count <- 0

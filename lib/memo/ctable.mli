@@ -1,0 +1,44 @@
+(** Open-addressed configuration-intern table (the hot-path replacement for
+    the generic [Hashtbl] the p-action cache used to key on snapshot
+    strings).
+
+    The paper's speedup argument (§5) requires configuration lookup to cost
+    a few dozen instructions: one hash, one probe sequence, no allocation.
+    This table is keyed by a {e caller-supplied} 64-bit hash plus the key
+    bytes; because the hash is a parameter (computed once during snapshot
+    encoding, see {!Uarch.Snapshot.Arena}), a warm-cache lookup via
+    {!find_bytes} touches only the scratch encode buffer and the table's
+    flat arrays — zero allocation on a hit.
+
+    Linear probing over power-of-two capacity; the empty string marks a
+    free slot, so the empty key is not storable (snapshot keys are at least
+    11 bytes, and test keys are nonempty). There is no per-entry removal:
+    the p-action cache's replacement policies discard populations
+    wholesale ({!clear} + re-{!add} of survivors), exactly as the old
+    [Hashtbl] rebuild did. *)
+
+type 'v t
+
+val create : ?initial:int -> unit -> 'v t
+(** [initial] is a capacity hint (rounded up to a power of two). *)
+
+val length : 'v t -> int
+
+val find : 'v t -> hash:int -> string -> 'v option
+(** [find t ~hash key] returns the stored value, comparing the full hash
+    first and the key bytes only on hash equality. *)
+
+val find_bytes : 'v t -> hash:int -> Bytes.t -> len:int -> 'v option
+(** Like {!find}, but the key is the first [len] bytes of a scratch buffer
+    — the zero-allocation lookup used with {!Uarch.Snapshot.Arena}. *)
+
+val add : 'v t -> hash:int -> string -> 'v -> unit
+(** Inserts, replacing any existing binding for [key]. [hash] must be the
+    same value every lookup of [key] supplies. Raises [Invalid_argument]
+    on the empty key. *)
+
+val iter : (string -> 'v -> unit) -> 'v t -> unit
+val fold : (string -> 'v -> 'a -> 'a) -> 'v t -> 'a -> 'a
+
+val clear : 'v t -> unit
+(** Empties the table, keeping its capacity. *)

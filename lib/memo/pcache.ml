@@ -8,7 +8,10 @@ exception Determinism_violation of string
 
 type t = {
   pol : policy;
-  mutable table : (Uarch.Snapshot.key, Action.config) Hashtbl.t;
+  (* Open-addressed intern table (see ctable.mli): keyed by the FNV-1a
+     hash computed during snapshot encoding plus the key bytes, so warm
+     lookups through [intern_arena] allocate nothing. *)
+  table : Action.config Ctable.t;
   mutable epoch : int;
   (* "Used since the last collection" needs a notion of recency finer than
      the collections themselves (on the first collection everything has
@@ -27,6 +30,8 @@ type t = {
   mutable full_count : int;
   mutable gc_survivors : int;
   mutable gc_population : int;
+  mutable stride_count : int;
+  mutable expand_count : int;
   (* Observability (docs/OBSERVABILITY.md). Attached after creation with
      [attach_obs] because a warm-started cache outlives any one engine run.
      Strictly passive: no replacement or recording decision reads these. *)
@@ -34,6 +39,7 @@ type t = {
   mutable obs_now : unit -> int;  (* simulated-cycle source for event ts *)
   mutable m_inserts : Fastsim_obs.Metrics.counter option;
   mutable m_hits : Fastsim_obs.Metrics.counter option;
+  mutable m_strides : Fastsim_obs.Metrics.counter option;
   mutable m_bytes : Fastsim_obs.Metrics.gauge option;
 }
 
@@ -48,6 +54,8 @@ type counters = {
   full_collections : int;
   last_gc_survivors : int;
   last_gc_population : int;
+  stride_compactions : int;
+  stride_expansions : int;
 }
 
 let epoch_window = function
@@ -57,7 +65,7 @@ let epoch_window = function
 
 let create ?(policy = Unbounded) () =
   { pol = policy;
-    table = Hashtbl.create 4096;
+    table = Ctable.create ~initial:4096 ();
     epoch = 0;
     window = epoch_window policy;
     alloc_window = 0;
@@ -71,10 +79,13 @@ let create ?(policy = Unbounded) () =
     full_count = 0;
     gc_survivors = 0;
     gc_population = 0;
+    stride_count = 0;
+    expand_count = 0;
     obs_trace = None;
     obs_now = (fun () -> 0);
     m_inserts = None;
     m_hits = None;
+    m_strides = None;
     m_bytes = None }
 
 let policy t = t.pol
@@ -88,6 +99,10 @@ let attach_obs t ?trace ?metrics ~now () =
   t.m_hits <-
     Option.map (fun m -> Fastsim_obs.Metrics.counter m "pcache.intern_hits")
       metrics;
+  t.m_strides <-
+    Option.map
+      (fun m -> Fastsim_obs.Metrics.counter m "pcache.stride_compactions")
+      metrics;
   t.m_bytes <-
     Option.map (fun m -> Fastsim_obs.Metrics.gauge m "pcache.modeled_bytes")
       metrics
@@ -97,6 +112,7 @@ let detach_obs t =
   t.obs_now <- (fun () -> 0);
   t.m_inserts <- None;
   t.m_hits <- None;
+  t.m_strides <- None;
   t.m_bytes <- None
 
 let emit t name args =
@@ -112,12 +128,15 @@ let tick = function
 
 let violation fmt = Format.kasprintf (fun s -> raise (Determinism_violation s)) fmt
 
+let set_bytes_gauge t =
+  match t.m_bytes with
+  | None -> ()
+  | Some g -> Fastsim_obs.Metrics.set g (float_of_int t.bytes)
+
 let add_bytes t (cfg : Action.config) n =
   t.bytes <- t.bytes + n;
   if not cfg.cfg_old_gen then t.nursery_bytes <- t.nursery_bytes + n;
-  (match t.m_bytes with
-   | None -> ()
-   | Some g -> Fastsim_obs.Metrics.set g (float_of_int t.bytes));
+  set_bytes_gauge t;
   if t.bytes > t.peak then t.peak <- t.bytes;
   t.alloc_window <- t.alloc_window + n;
   if t.alloc_window >= t.window then begin
@@ -125,34 +144,70 @@ let add_bytes t (cfg : Action.config) n =
     t.alloc_window <- 0
   end
 
+(* Structural shrinkage (stride compaction discarding plain chains): the
+   modeled bytes go away but no allocation happened, so the epoch window
+   and peak are untouched. *)
+let remove_bytes t (cfg : Action.config) n =
+  t.bytes <- t.bytes - n;
+  if not cfg.Action.cfg_old_gen then
+    t.nursery_bytes <- t.nursery_bytes - n;
+  set_bytes_gauge t
+
+let intern_miss t hash key =
+  let cfg =
+    { Action.cfg_key = key;
+      cfg_hash = hash;
+      cfg_bytes = Uarch.Snapshot.modeled_bytes key;
+      cfg_action_bytes = 0;
+      cfg_group = None;
+      cfg_touched = t.epoch;
+      cfg_hits = 0;
+      cfg_dropped = false;
+      cfg_old_gen = false }
+  in
+  Ctable.add t.table ~hash key cfg;
+  t.configs_alloc <- t.configs_alloc + 1;
+  add_bytes t cfg cfg.Action.cfg_bytes;
+  tick t.m_inserts;
+  emit t "insert"
+    [ ("configs", Fastsim_obs.Json.Int (Ctable.length t.table));
+      ("modeled_bytes", Fastsim_obs.Json.Int t.bytes) ];
+  cfg
+
 let intern t key =
-  match Hashtbl.find_opt t.table key with
+  let hash = Uarch.Snapshot.hash_key key in
+  match Ctable.find t.table ~hash key with
   | Some cfg ->
     tick t.m_hits;
     cfg.Action.cfg_touched <- t.epoch;
     cfg
-  | None ->
-    let cfg =
-      { Action.cfg_key = key;
-        cfg_bytes = Uarch.Snapshot.modeled_bytes key;
-        cfg_action_bytes = 0;
-        cfg_group = None;
-        cfg_touched = t.epoch;
-        cfg_dropped = false;
-        cfg_old_gen = false }
-    in
-    Hashtbl.add t.table key cfg;
-    t.configs_alloc <- t.configs_alloc + 1;
-    add_bytes t cfg cfg.cfg_bytes;
-    tick t.m_inserts;
-    emit t "insert"
-      [ ("configs", Fastsim_obs.Json.Int (Hashtbl.length t.table));
-        ("modeled_bytes", Fastsim_obs.Json.Int t.bytes) ];
+  | None -> intern_miss t hash key
+
+let intern_arena t (a : Uarch.Snapshot.Arena.t) =
+  let hash = Uarch.Snapshot.Arena.hash a in
+  match
+    Ctable.find_bytes t.table ~hash (Uarch.Snapshot.Arena.buffer a)
+      ~len:(Uarch.Snapshot.Arena.length a)
+  with
+  | Some cfg ->
+    (* The hot-path hit: no string was materialised, nothing allocated. *)
+    tick t.m_hits;
+    cfg.Action.cfg_touched <- t.epoch;
     cfg
+  | None -> intern_miss t hash (Uarch.Snapshot.Arena.key a)
 
-let find t key = Hashtbl.find_opt t.table key
+let find t key =
+  Ctable.find t.table ~hash:(Uarch.Snapshot.hash_key key) key
 
-let touch t (cfg : Action.config) = cfg.Action.cfg_touched <- t.epoch
+let find_arena t (a : Uarch.Snapshot.Arena.t) =
+  Ctable.find_bytes t.table
+    ~hash:(Uarch.Snapshot.Arena.hash a)
+    (Uarch.Snapshot.Arena.buffer a)
+    ~len:(Uarch.Snapshot.Arena.length a)
+
+let touch t (cfg : Action.config) =
+  cfg.Action.cfg_touched <- t.epoch;
+  cfg.Action.cfg_hits <- cfg.Action.cfg_hits + 1
 
 (* Builds a fresh chain for [items] ending in [term], charging its modeled
    bytes to [owner]. *)
@@ -173,11 +228,206 @@ let build_chain t owner items term =
   in
   go items
 
+let resolve_goto t (g : Action.goto_node) =
+  let target = g.Action.target in
+  if target.Action.cfg_dropped then begin
+    match Ctable.find t.table ~hash:target.Action.cfg_hash target.Action.cfg_key with
+    | Some live ->
+      g.Action.target <- live;
+      live
+    | None -> target
+  end
+  else target
+
+(* ---- stride compaction (docs/INTERNALS.md "Hot path") ---------------- *)
+
+(* A chain qualifies for compaction when it is a straight line: every
+   action node carries exactly one recorded outcome edge. Returns the
+   items in order, the terminal ([`Goto] keeps the actual node so its
+   edge — and lazy pointer healing — is preserved), and the summed
+   modeled bytes of every node on the line including the terminal. *)
+let linear_chain first =
+  let rec go acc bytes node =
+    match node with
+    | Action.N_load { Action.l_edges = [ (lat, next) ] } ->
+      go (Action.I_load lat :: acc) (bytes + Action.node_bytes node) next
+    | Action.N_ctl { Action.c_edges = [ (c, next) ] } ->
+      go (Action.I_ctl c :: acc) (bytes + Action.node_bytes node) next
+    | Action.N_store next ->
+      go (Action.I_store :: acc) (bytes + Action.node_bytes node) next
+    | Action.N_rollback (i, next) ->
+      go (Action.I_rollback i :: acc) (bytes + Action.node_bytes node) next
+    | Action.N_goto gn -> Some (List.rev acc, bytes + 8, `Goto gn)
+    | Action.N_halt -> Some (List.rev acc, bytes + 8, `Halt)
+    | Action.N_load _ | Action.N_ctl _ | Action.N_stride _ -> None
+  in
+  go [] 0 first
+
+(* Strides longer than this stop growing: bounds the work a mid-stride
+   divergence (full re-expansion) can cost. *)
+let max_stride_segs = 64
+
+let compact t (owner : Action.config) =
+  match owner.Action.cfg_group with
+  | None -> false
+  | Some g ->
+    (match linear_chain g.Action.g_first with
+     | None | Some (_, _, `Halt) ->
+       (* Multi-edge, already a stride, or nothing follows: leave it. *)
+       false
+     | Some (owner_ops, owner_bytes, `Goto gn0) ->
+       let segs = ref [] in
+       let nsegs = ref 0 in
+       let seen = ref [ owner ] in
+       let halt_term = ref false in
+       let last_goto = ref gn0 in
+       let cur = ref (resolve_goto t gn0) in
+       let stop = ref false in
+       while not !stop do
+         let c = !cur in
+         if
+           !nsegs >= max_stride_segs
+           || List.memq c !seen
+           || c.Action.cfg_dropped
+         then stop := true
+         else
+           match c.Action.cfg_group with
+           | None -> stop := true
+           | Some sg -> (
+             match linear_chain sg.Action.g_first with
+             | None -> stop := true
+             | Some (ops, bytes, term) ->
+               seen := c :: !seen;
+               segs := (c, sg, ops, bytes) :: !segs;
+               incr nsegs;
+               (match term with
+                | `Goto gn ->
+                  last_goto := gn;
+                  cur := resolve_goto t gn
+                | `Halt ->
+                  halt_term := true;
+                  stop := true))
+       done;
+       if !nsegs = 0 then false
+       else begin
+         let segs = List.rev !segs in
+         (* Strip the plain chains: the absorbed configurations stay
+            interned (re-recordable on a direct landing) but lose their
+            groups; the owner keeps its group with the stride as chain. *)
+         remove_bytes t owner owner_bytes;
+         List.iter
+           (fun ((c : Action.config), _, _, bytes) ->
+             remove_bytes t c bytes;
+             c.Action.cfg_group <- None)
+           segs;
+         let term_node =
+           if !halt_term then Action.N_halt
+           else Action.N_goto !last_goto
+         in
+         let stride =
+           Action.N_stride
+             { Action.s_ops = Array.of_list owner_ops;
+               s_segs =
+                 Array.of_list
+                   (List.map
+                      (fun (c, (sg : Action.group), ops, _) ->
+                        { Action.sg_cfg = c;
+                          sg_silent = sg.Action.g_silent;
+                          sg_retired = sg.Action.g_retired;
+                          sg_classes = sg.Action.g_classes;
+                          sg_ops = Array.of_list ops })
+                      segs);
+               s_term = term_node }
+         in
+         t.actions_alloc <- t.actions_alloc + 1;
+         owner.Action.cfg_group <-
+           Some
+             { Action.g_silent = g.Action.g_silent;
+               g_retired = g.Action.g_retired;
+               g_classes = g.Action.g_classes;
+               g_first = stride };
+         add_bytes t owner (Action.node_bytes stride);
+         add_bytes t owner (Action.node_bytes term_node);
+         t.stride_count <- t.stride_count + 1;
+         tick t.m_strides;
+         emit t "stride_compact"
+           [ ("segs", Fastsim_obs.Json.Int (List.length segs));
+             ("modeled_bytes", Fastsim_obs.Json.Int t.bytes) ];
+         true
+       end)
+
+let expand_stride t (owner : Action.config) =
+  match owner.Action.cfg_group with
+  | Some ({ Action.g_first = Action.N_stride s; _ } as g) ->
+    let nseg = Array.length s.Action.s_segs in
+    (* Prefer the live twin of each absorbed configuration: if one was
+       dropped by a collection and re-interned since, the restored group
+       must land on the table's node so the engine's subsequent merge and
+       goto edges see it. *)
+    let resolved =
+      Array.map
+        (fun (seg : Action.stride_seg) ->
+          let c = seg.Action.sg_cfg in
+          if c.Action.cfg_dropped then
+            match
+              Ctable.find t.table ~hash:c.Action.cfg_hash c.Action.cfg_key
+            with
+            | Some live -> live
+            | None -> c
+          else c)
+        s.Action.s_segs
+    in
+    (* Rebuild plain groups from the tail so each segment's terminal can
+       point at the next segment's configuration. A segment that already
+       re-recorded its own group (possible after an eviction) keeps it. *)
+    for i = nseg - 1 downto 0 do
+      let seg = s.Action.s_segs.(i) in
+      let c = resolved.(i) in
+      if c.Action.cfg_group = None then begin
+        let term =
+          if i = nseg - 1 then s.Action.s_term
+          else Action.N_goto { Action.target = resolved.(i + 1) }
+        in
+        t.actions_alloc <- t.actions_alloc + 1;
+        add_bytes t c (Action.node_bytes term);
+        let first =
+          build_chain t c (Array.to_list seg.Action.sg_ops) term
+        in
+        c.Action.cfg_group <-
+          Some
+            { Action.g_silent = seg.Action.sg_silent;
+              g_retired = seg.Action.sg_retired;
+              g_classes = seg.Action.sg_classes;
+              g_first = first }
+      end
+    done;
+    remove_bytes t owner
+      (Action.node_bytes (Action.N_stride s)
+      + Action.node_bytes s.Action.s_term);
+    let term0 = Action.N_goto { Action.target = resolved.(0) } in
+    t.actions_alloc <- t.actions_alloc + 1;
+    add_bytes t owner (Action.node_bytes term0);
+    let first = build_chain t owner (Array.to_list s.Action.s_ops) term0 in
+    owner.Action.cfg_group <-
+      Some
+        { Action.g_silent = g.Action.g_silent;
+          g_retired = g.Action.g_retired;
+          g_classes = g.Action.g_classes;
+          g_first = first };
+    t.expand_count <- t.expand_count + 1;
+    emit t "stride_expand"
+      [ ("segs", Fastsim_obs.Json.Int nseg);
+        ("modeled_bytes", Fastsim_obs.Json.Int t.bytes) ];
+    resolved
+  | _ -> [||]
+
+(* ---- group recording ------------------------------------------------- *)
+
 let merge_group t (cfg : Action.config) ~silent ~retired ~classes ~items
     ~terminal =
   let next_cfg =
     match terminal with
-    | Action.T_goto key -> Some (intern t key)
+    | Action.T_goto c -> Some c
     | Action.T_halt -> None
   in
   (* The terminal node is only allocated if a chain is actually built;
@@ -194,6 +444,13 @@ let merge_group t (cfg : Action.config) ~silent ~retired ~classes ~items
       add_bytes t cfg (Action.node_bytes Action.N_halt);
       Action.N_halt
   in
+  (* A stride at the head means [cfg] owns a compacted run; expand it back
+     to plain groups before walking (defensive: the engine's merges land
+     on plain chains — replay expands before reporting a divergence). *)
+  (match cfg.Action.cfg_group with
+   | Some { Action.g_first = Action.N_stride _; _ } ->
+     ignore (expand_stride t cfg : Action.config array)
+   | _ -> ());
   (match cfg.Action.cfg_group with
    | None ->
      cfg.Action.cfg_group <-
@@ -238,8 +495,9 @@ let merge_group t (cfg : Action.config) ~silent ~retired ~classes ~items
          walk next rest
        | Action.N_goto g, [] -> (
          match terminal with
-         | Action.T_goto key when String.equal g.Action.target.Action.cfg_key key
-           ->
+         | Action.T_goto c
+           when String.equal g.Action.target.Action.cfg_key
+                  c.Action.cfg_key ->
            ()
          | Action.T_goto _ -> violation "successor configuration mismatch"
          | Action.T_halt -> violation "halt where goto was recorded")
@@ -259,18 +517,15 @@ let merge_group t (cfg : Action.config) ~silent ~retired ~classes ~items
            node
      in
      walk g.Action.g_first items);
+  (* Compaction opportunity: the successor already has a group, so the
+     engine is about to switch to replay through it. If it heads a linear
+     run, collapse the run now — the successor keeps its group (as stride
+     owner), so nothing the engine needs next is lost. *)
+  (match next_cfg with
+   | Some next when next.Action.cfg_group <> None ->
+     ignore (compact t next : bool)
+   | _ -> ());
   next_cfg
-
-let resolve_goto t (g : Action.goto_node) =
-  let target = g.Action.target in
-  if target.Action.cfg_dropped then begin
-    match Hashtbl.find_opt t.table target.Action.cfg_key with
-    | Some live ->
-      g.Action.target <- live;
-      live
-    | None -> target
-  end
-  else target
 
 let config_size (c : Action.config) =
   c.Action.cfg_bytes + c.Action.cfg_action_bytes
@@ -298,18 +553,20 @@ let recompute_action_bytes (c : Action.config) =
        | Action.N_load { l_edges } -> List.iter (fun (_, n) -> push n) l_edges
        | Action.N_ctl { c_edges } -> List.iter (fun (_, n) -> push n) c_edges
        | Action.N_store next | Action.N_rollback (_, next) -> push next
+       | Action.N_stride { s_term; _ } -> push s_term
        | Action.N_halt | Action.N_goto _ -> ())
   done;
   c.Action.cfg_action_bytes <- !total
 
 let flush t =
-  emit t "flush" [ ("population", Fastsim_obs.Json.Int (Hashtbl.length t.table)) ];
-  Hashtbl.iter
+  emit t "flush"
+    [ ("population", Fastsim_obs.Json.Int (Ctable.length t.table)) ];
+  Ctable.iter
     (fun _ (c : Action.config) ->
       c.Action.cfg_dropped <- true;
       c.Action.cfg_group <- None)
     t.table;
-  t.table <- Hashtbl.create 4096;
+  Ctable.clear t.table;
   t.bytes <- 0;
   t.nursery_bytes <- 0;
   t.flush_count <- t.flush_count + 1;
@@ -320,9 +577,9 @@ let flush t =
 (* Keep configurations used since the last collection (epoch = current).
    [minor] restricts eviction to the nursery. *)
 let collect t ~minor =
-  let population = Hashtbl.length t.table in
+  let population = Ctable.length t.table in
   let survivors = ref [] in
-  Hashtbl.iter
+  Ctable.iter
     (fun _ (c : Action.config) ->
       let used = c.Action.cfg_touched >= t.epoch in
       let keep = if minor then c.Action.cfg_old_gen || used else used in
@@ -336,13 +593,13 @@ let collect t ~minor =
         c.Action.cfg_group <- None
       end)
     t.table;
-  t.table <- Hashtbl.create 4096;
+  Ctable.clear t.table;
   t.bytes <- 0;
   t.nursery_bytes <- 0;
   List.iter
     (fun (c : Action.config) ->
       recompute_action_bytes c;
-      Hashtbl.add t.table c.Action.cfg_key c;
+      Ctable.add t.table ~hash:c.Action.cfg_hash c.Action.cfg_key c;
       t.bytes <- t.bytes + config_size c;
       if not c.Action.cfg_old_gen then
         t.nursery_bytes <- t.nursery_bytes + config_size c)
@@ -351,9 +608,7 @@ let collect t ~minor =
   else t.full_count <- t.full_count + 1;
   t.gc_survivors <- List.length !survivors;
   t.gc_population <- population;
-  (match t.m_bytes with
-   | None -> ()
-   | Some g -> Fastsim_obs.Metrics.set g (float_of_int t.bytes));
+  set_bytes_gauge t;
   emit t
     (if minor then "minor_gc" else "full_gc")
     [ ("survivors", Fastsim_obs.Json.Int t.gc_survivors);
@@ -392,16 +647,18 @@ let check_budget t =
 let counters t =
   { static_configs = t.configs_alloc;
     static_actions = t.actions_alloc;
-    live_configs = Hashtbl.length t.table;
+    live_configs = Ctable.length t.table;
     modeled_bytes = t.bytes;
     peak_modeled_bytes = t.peak;
     flushes = t.flush_count;
     minor_collections = t.minor_count;
     full_collections = t.full_count;
     last_gc_survivors = t.gc_survivors;
-    last_gc_population = t.gc_population }
+    last_gc_population = t.gc_population;
+    stride_compactions = t.stride_count;
+    stride_expansions = t.expand_count }
 
-let iter_configs f t = Hashtbl.iter (fun _ c -> f c) t.table
+let iter_configs f t = Ctable.iter (fun _ c -> f c) t.table
 
 (* Low-level: attach a prebuilt chain (deserialisation); accounts for its
    modeled size and static counters. *)
@@ -432,5 +689,6 @@ let install_group t (cfg : Action.config) ~silent ~retired ~classes ~first =
          List.iter (fun (_, n) -> stack := n :: !stack) c_edges
        | Action.N_store next | Action.N_rollback (_, next) ->
          stack := next :: !stack
+       | Action.N_stride { s_term; _ } -> stack := s_term :: !stack
        | Action.N_halt | Action.N_goto _ -> ())
   done

@@ -43,8 +43,8 @@ val attach_obs :
     (timestamped with [now ()], the simulated cycle), plus the
     [pcache.inserts] / [pcache.intern_hits] counters and the
     [pcache.modeled_bytes] gauge. Attached after creation because a
-    (possibly warm-started) cache outlives any one engine run; {!Sim} calls
-    this from [fast_sim] when given an observability context. Strictly
+    (possibly warm-started) cache outlives any one engine run; the fast
+    engine calls this when given an observability context. Strictly
     passive: recording and replacement behaviour are unaffected. *)
 
 val detach_obs : t -> unit
@@ -54,7 +54,16 @@ val detach_obs : t -> unit
 val intern : t -> Uarch.Snapshot.key -> Action.config
 (** Finds or creates the configuration node for a key. *)
 
+val intern_arena : t -> Uarch.Snapshot.Arena.t -> Action.config
+(** Like {!intern}, but probes the table directly with the arena's bytes
+    and precomputed FNV-1a hash ({!Uarch.Snapshot.Arena.hash}): a warm hit
+    materialises no string and allocates nothing. Only a miss pays for
+    {!Uarch.Snapshot.Arena.key}. This is the engine's hot path. *)
+
 val find : t -> Uarch.Snapshot.key -> Action.config option
+
+val find_arena : t -> Uarch.Snapshot.Arena.t -> Action.config option
+(** Zero-allocation lookup against an arena (no interning on miss). *)
 
 val merge_group :
   t ->
@@ -68,7 +77,28 @@ val merge_group :
 (** Records one group under a configuration: creates the group if the
     configuration had none, otherwise walks the existing chain and grafts
     the suffix after the first unseen outcome (Figure 6). Returns the
-    successor configuration for [T_goto], [None] for [T_halt]. *)
+    successor configuration for [T_goto], [None] for [T_halt].
+
+    When the successor already owns a group (the engine is about to switch
+    from recording to replay — typically a loop just closed), its chain is
+    offered to {!compact}. *)
+
+val compact : t -> Action.config -> bool
+(** Stride compaction (docs/INTERNALS.md "Hot path"): if [config]'s group
+    heads a linear run — every action on the chain and on its successors'
+    chains has exactly one recorded outcome — collapse up to 64 successor
+    groups into a single {!Action.N_stride} replayed as one step. The
+    absorbed configurations stay interned but lose their groups; modeled
+    bytes shrink accordingly. Returns whether anything was compacted. *)
+
+val expand_stride : t -> Action.config -> Action.config array
+(** Exact inverse of {!compact}: rebuilds the plain per-configuration
+    groups a stride absorbed (preferring live twins of since-evicted
+    configurations) and re-attaches a plain chain to the owner. Returns
+    the absorbed configurations in chain order, [[||]] if the owner's
+    group is not a stride. The replay engine calls this before reporting
+    a mid-stride divergence so the detailed simulator resumes against
+    plain chains. *)
 
 val resolve_goto : t -> Action.goto_node -> Action.config
 (** Follows a group-terminating link, transparently re-pointing edges whose
@@ -94,6 +124,8 @@ type counters = {
   full_collections : int;
   last_gc_survivors : int;
   last_gc_population : int;
+  stride_compactions : int;  (** linear runs collapsed ({!compact}). *)
+  stride_expansions : int;   (** strides expanded back on divergence. *)
 }
 
 val counters : t -> counters

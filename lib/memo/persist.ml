@@ -1,6 +1,10 @@
 exception Format_error of string
 
-let magic = "FSPC0002"
+(* FSPC0003 added the 'T' (stride) action tag; streams written by the
+   previous release carry FSPC0002 and by construction contain no 'T', so
+   the reader accepts both magics with one code path. *)
+let magic = "FSPC0003"
+let magic_v2 = "FSPC0002"
 
 (* The digest covers the CODE WORDS ONLY — deliberately. Configuration keys
    embed instruction addresses and decoded µ-ops, so a saved cache is only
@@ -35,6 +39,23 @@ let write_ctl oc (out : Action.ctl) =
     output_binary_int oc target;
     write_bool oc hit
   | Uarch.Oracle.C_stalled -> output_char oc 's'
+
+let write_item oc (it : Action.item) =
+  match it with
+  | Action.I_load lat ->
+    output_char oc 'l';
+    output_binary_int oc lat
+  | Action.I_store -> output_char oc 's'
+  | Action.I_ctl out ->
+    output_char oc 'c';
+    write_ctl oc out
+  | Action.I_rollback i ->
+    output_char oc 'r';
+    output_binary_int oc i
+
+let write_items oc (arr : Action.item array) =
+  output_binary_int oc (Array.length arr);
+  Array.iter (write_item oc) arr
 
 (* Action chains grow one node per silent region, so a long-running
    workload produces chains deep enough to overflow the OCaml stack under
@@ -84,7 +105,21 @@ let write_node oc (root : Action.node) =
          | Action.N_halt -> output_char oc 'H'
          | Action.N_goto g ->
            output_char oc 'G';
-           write_string oc g.Action.target.Action.cfg_key))
+           write_string oc g.Action.target.Action.cfg_key
+         | Action.N_stride { s_ops; s_segs; s_term } ->
+           output_char oc 'T';
+           write_items oc s_ops;
+           output_binary_int oc (Array.length s_segs);
+           Array.iter
+             (fun (seg : Action.stride_seg) ->
+               write_string oc seg.Action.sg_cfg.Action.cfg_key;
+               output_binary_int oc seg.Action.sg_silent;
+               output_binary_int oc seg.Action.sg_retired;
+               output_binary_int oc (Array.length seg.Action.sg_classes);
+               Array.iter (output_binary_int oc) seg.Action.sg_classes;
+               write_items oc seg.Action.sg_ops)
+             s_segs;
+           stack := W_node s_term :: !stack))
   done
 
 let save pc ~program oc =
@@ -133,6 +168,19 @@ let read_ctl ic : Action.ctl =
   | 's' -> Uarch.Oracle.C_stalled
   | _ -> raise (Format_error "bad control outcome")
 
+let read_item ic : Action.item =
+  match input_char ic with
+  | 'l' -> Action.I_load (input_binary_int ic)
+  | 's' -> Action.I_store
+  | 'c' -> Action.I_ctl (read_ctl ic)
+  | 'r' -> Action.I_rollback (input_binary_int ic)
+  | _ -> raise (Format_error "bad item tag")
+
+let read_items ic =
+  let n = input_binary_int ic in
+  if n < 0 || n > 1 lsl 24 then raise (Format_error "bad item count");
+  Array.init n (fun _ -> read_item ic)
+
 (* The reader mirrors the writer's worklist: a frame per node whose
    children are still being parsed, and an iterative [reduce] that folds a
    completed subtree into its parent frame. No recursion, so deep chains
@@ -142,6 +190,8 @@ type read_frame =
   | R_rollback of int
   | R_load of load_frame
   | R_ctl of ctl_frame
+  | R_stride of Action.item array * Action.stride_seg array
+      (* ops and segments already parsed; waiting on [s_term]. *)
 
 and load_frame = {
   mutable l_remaining : int;
@@ -185,6 +235,11 @@ let read_node pc ic : Action.node =
           f.l_cur <- input_binary_int ic;
           reducing := false
         end
+      | R_stride (ops, segs) :: rest ->
+        frames := rest;
+        node :=
+          Action.N_stride
+            { Action.s_ops = ops; s_segs = segs; s_term = !node }
       | R_ctl f :: rest ->
         f.c_acc <- (f.c_cur, !node) :: f.c_acc;
         f.c_remaining <- f.c_remaining - 1;
@@ -229,6 +284,24 @@ let read_node pc ic : Action.node =
     | 'G' ->
       let key = read_string ic in
       reduce (Action.N_goto { target = Pcache.intern pc key })
+    | 'T' ->
+      let ops = read_items ic in
+      let nseg = input_binary_int ic in
+      if nseg < 0 || nseg > 1 lsl 16 then
+        raise (Format_error "bad stride segment count");
+      let segs =
+        Array.init nseg (fun _ ->
+            let sg_cfg = Pcache.intern pc (read_string ic) in
+            let sg_silent = input_binary_int ic in
+            let sg_retired = input_binary_int ic in
+            let ncls = input_binary_int ic in
+            if ncls < 0 || ncls > 64 then
+              raise (Format_error "bad class count");
+            let sg_classes = Array.init ncls (fun _ -> input_binary_int ic) in
+            let sg_ops = read_items ic in
+            { Action.sg_cfg; sg_silent; sg_retired; sg_classes; sg_ops })
+      in
+      frames := R_stride (ops, segs) :: !frames
     | _ -> raise (Format_error "bad action tag")
   done;
   match !finished with Some n -> n | None -> assert false
@@ -239,7 +312,8 @@ let load ?policy ~program ic =
      anywhere in the payload to it. *)
   try
     let m = really_input_string ic (String.length magic) in
-    if not (String.equal m magic) then raise (Format_error "bad magic");
+    if not (String.equal m magic || String.equal m magic_v2) then
+      raise (Format_error "bad magic");
     let digest = read_string ic in
     if not (String.equal digest (program_digest program)) then
       raise (Format_error "p-action cache was saved for a different program");

@@ -54,15 +54,15 @@ let run ?(max_cycles = max_int) ?trace ?metrics pc (stats : Stats.t)
      | Some _ | None -> ());
     Stats.end_episode stats
   in
-  let group_done g =
+  let group_done ~silent ~retired =
     match trace with
     | None -> ()
     | Some tr ->
       Fastsim_obs.Trace.emit tr
         (Fastsim_obs.Event.instant ~ts:!cycle ~cat:"memo" "group_replayed"
            ~args:
-             [ ("silent", Fastsim_obs.Json.Int g.Action.g_silent);
-               ("retired", Fastsim_obs.Json.Int g.Action.g_retired) ]);
+             [ ("silent", Fastsim_obs.Json.Int silent);
+               ("retired", Fastsim_obs.Json.Int retired) ]);
       Fastsim_obs.Trace.emit tr
         (Fastsim_obs.Event.counter ~ts:!cycle ~cat:"engine" "retired"
            (stats.Stats.detailed_retired + stats.Stats.replayed_retired))
@@ -70,6 +70,124 @@ let run ?(max_cycles = max_int) ?trace ?metrics pc (stats : Stats.t)
   let fault_every = fault_period () in
   let cur = ref start in
   let result = ref None in
+  (* ---- stride replay (docs/INTERNALS.md "Hot path") ----------------
+     A stride is a compacted linear run of groups replayed as one step.
+     Every observable effect — oracle call order and [~now] stamps,
+     per-group cycle/retirement/class charging, fault-injection skew,
+     budget truncation, note_action counts — matches what plain replay
+     of the uncompacted run would do, so statistics are bit-identical. *)
+  (* Re-perform one segment's recorded items against the live oracle.
+     Returns [`Ok] or the consumed outcomes (live values, including the
+     diverging one) exactly as the plain walk builds its prefix. *)
+  let perform_ops ops now =
+    let prefix = ref [] in
+    let n = Array.length ops in
+    let i = ref 0 in
+    let diverged = ref false in
+    while (not !diverged) && !i < n do
+      (match ops.(!i) with
+       | Action.I_load lat ->
+         let live = oracle.Uarch.Oracle.cache_load ~now in
+         prefix := Action.I_load live :: !prefix;
+         if Int.equal live lat then Stats.note_action stats
+         else diverged := true
+       | Action.I_store ->
+         oracle.Uarch.Oracle.cache_store ~now;
+         prefix := Action.I_store :: !prefix;
+         Stats.note_action stats
+       | Action.I_ctl c ->
+         let out = oracle.Uarch.Oracle.fetch_control () in
+         prefix := Action.I_ctl out :: !prefix;
+         if Action.ctl_equal out c then Stats.note_action stats
+         else diverged := true
+       | Action.I_rollback idx ->
+         oracle.Uarch.Oracle.rollback ~index:idx;
+         prefix := Action.I_rollback idx :: !prefix;
+         Stats.note_action stats);
+      incr i
+    done;
+    if !diverged then `Diverge (List.rev !prefix) else `Ok
+  in
+  (* Whole-group charging, identical to the plain G_next/G_halt paths:
+     one boundary note_action (the goto/halt/segment boundary the plain
+     chain would have walked), the same fault-injection skew formula, the
+     same cycle advance. *)
+  let charge_segment ~silent ~retired ~seg_classes =
+    Stats.note_action stats;
+    let skew =
+      if
+        fault_every > 0
+        && (stats.Stats.groups_replayed + 1) mod fault_every = 0
+      then 1
+      else 0
+    in
+    cycle := !cycle + silent + 1 + skew;
+    stats.replayed_cycles <- stats.replayed_cycles + silent + 1;
+    stats.replayed_retired <- stats.replayed_retired + retired;
+    stats.groups_replayed <- stats.groups_replayed + 1;
+    Array.iteri (fun i v -> classes.(i) <- classes.(i) + v) seg_classes;
+    group_done ~silent ~retired
+  in
+  let replay_stride (cfg : Action.config) (g : Action.group)
+      (s : Action.stride_node) =
+    (* The owner group's budget was checked by the caller's guard. *)
+    match perform_ops s.Action.s_ops (!cycle + g.Action.g_silent) with
+    | `Diverge prefix ->
+      (* Expand the whole run back into exact plain groups, then report
+         the divergence against the owner — the detailed simulator merges
+         into a plain chain, never into a stride. *)
+      ignore (Pcache.expand_stride pc cfg : Action.config array);
+      end_episode ();
+      result := Some (Diverged { config = cfg; prefix })
+    | `Ok ->
+      charge_segment ~silent:g.Action.g_silent ~retired:g.Action.g_retired
+        ~seg_classes:g.Action.g_classes;
+      let nseg = Array.length s.Action.s_segs in
+      let i = ref 0 in
+      let stopped = ref false in
+      while (not !stopped) && !i < nseg do
+        let seg = s.Action.s_segs.(!i) in
+        Pcache.touch pc seg.Action.sg_cfg;
+        if !cycle + seg.Action.sg_silent >= max_cycles then begin
+          (* Same contract as the plain [Replay_budget]: stop before the
+             segment, nothing performed, nothing charged; the caller
+             re-simulates the truncated tail in detail from this
+             configuration's key. The stride itself stays compacted. *)
+          end_episode ();
+          result := Some (Replay_budget seg.Action.sg_cfg);
+          stopped := true
+        end
+        else begin
+          match perform_ops seg.Action.sg_ops (!cycle + seg.Action.sg_silent)
+          with
+          | `Diverge prefix ->
+            let resolved = Pcache.expand_stride pc cfg in
+            let target =
+              if !i < Array.length resolved then resolved.(!i)
+              else seg.Action.sg_cfg
+            in
+            end_episode ();
+            result := Some (Diverged { config = target; prefix });
+            stopped := true
+          | `Ok ->
+            charge_segment ~silent:seg.Action.sg_silent
+              ~retired:seg.Action.sg_retired
+              ~seg_classes:seg.Action.sg_classes;
+            incr i
+        end
+      done;
+      if not !stopped then begin
+        match s.Action.s_term with
+        | Action.N_goto gn -> cur := Pcache.resolve_goto pc gn
+        | Action.N_halt ->
+          end_episode ();
+          result := Some Replay_halted
+        | _ ->
+          raise
+            (Pcache.Determinism_violation
+               "stride terminal must be goto or halt")
+      end
+  in
   while !result = None do
     let cfg = !cur in
     Pcache.touch pc cfg;
@@ -89,6 +207,8 @@ let run ?(max_cycles = max_int) ?trace ?metrics pc (stats : Stats.t)
          point. *)
       end_episode ();
       result := Some (Replay_budget cfg)
+    | Some ({ Action.g_first = Action.N_stride s; _ } as g) ->
+      replay_stride cfg g s
     | Some g ->
       let base = !cycle in
       let now = base + g.Action.g_silent in
@@ -129,6 +249,11 @@ let run ?(max_cycles = max_int) ?trace ?metrics pc (stats : Stats.t)
         | Action.N_goto gn ->
           Stats.note_action stats;
           G_next (Pcache.resolve_goto pc gn)
+        | Action.N_stride _ ->
+          (* Strides only ever head a group's chain; the dispatch above
+             routes them to [replay_stride]. *)
+          raise
+            (Pcache.Determinism_violation "stride node inside a chain")
       in
       let skew =
         (* see [fault_period] above; 0 unless fault injection is enabled *)
@@ -147,7 +272,7 @@ let run ?(max_cycles = max_int) ?trace ?metrics pc (stats : Stats.t)
          Array.iteri
            (fun i v -> classes.(i) <- classes.(i) + v)
            g.Action.g_classes;
-         group_done g;
+         group_done ~silent:g.Action.g_silent ~retired:g.Action.g_retired;
          cur := target
        | G_halt ->
          cycle := now + 1 + skew;
@@ -157,7 +282,7 @@ let run ?(max_cycles = max_int) ?trace ?metrics pc (stats : Stats.t)
          Array.iteri
            (fun i v -> classes.(i) <- classes.(i) + v)
            g.Action.g_classes;
-         group_done g;
+         group_done ~silent:g.Action.g_silent ~retired:g.Action.g_retired;
          end_episode ();
          result := Some Replay_halted
        | G_diverge prefix ->

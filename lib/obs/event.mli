@@ -7,8 +7,8 @@
     {v
     cat      name               ph  args
     -------  -----------------  --  ------------------------------------
-    engine   detailed           B/E spans of detailed simulation (slow_sim
-                                    emits one; fast_sim one per episode)
+    engine   detailed           B/E spans of detailed simulation (the slow
+                                    engine emits one; fast, one per episode)
     engine   replay             B/E spans of fast-forwarding, with
                                     groups/actions replayed on the E event
     engine   retired            C   cumulative retired-instruction counter

@@ -12,6 +12,9 @@ type t = {
   (* Cumulative retired-instruction counts per functional-unit class,
      indexed by [Isa.Instr.fu_index]. *)
   cls : int array;
+  (* Scratch configuration-encode buffer (hot path, see Snapshot.Arena):
+     reused every interaction cycle so snapshotting allocates nothing. *)
+  arena : Snapshot.Arena.t;
 }
 
 type cycle_result = { retired : int; interactions : int; halted : bool }
@@ -25,7 +28,8 @@ let create ?(params = Params.default) prog =
     halted_f = false;
     int_writer = Array.make Isa.Reg.count (-1);
     fp_writer = Array.make Isa.Reg.count (-1);
-    cls = Array.make Isa.Instr.fu_count 0 }
+    cls = Array.make Isa.Instr.fu_count 0;
+    arena = Snapshot.Arena.create () }
 
 let restore ?(params = Params.default) prog key =
   Params.validate params;
@@ -37,9 +41,14 @@ let restore ?(params = Params.default) prog key =
     halted_f = false;
     int_writer = Array.make Isa.Reg.count (-1);
     fp_writer = Array.make Isa.Reg.count (-1);
-    cls = Array.make Isa.Instr.fu_count 0 }
+    cls = Array.make Isa.Instr.fu_count 0;
+    arena = Snapshot.Arena.create () }
 
 let snapshot t = Snapshot.encode ~fetch:t.fetch t.iq
+
+let snapshot_arena t =
+  Snapshot.encode_into t.arena ~fetch:t.fetch t.iq;
+  t.arena
 
 let dump ppf t =
   let fs =

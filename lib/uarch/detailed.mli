@@ -39,6 +39,12 @@ val step_cycle : t -> now:int -> Oracle.t -> cycle_result
 val snapshot : t -> Snapshot.key
 (** The current configuration (valid between cycles). *)
 
+val snapshot_arena : t -> Snapshot.Arena.t
+(** Like {!snapshot}, but encodes into this simulator's reusable scratch
+    arena (no allocation) and returns it. The arena is overwritten by the
+    next [snapshot_arena] call on the same [t]; callers must consume (or
+    intern) it first. *)
+
 val halted : t -> bool
 
 val retired_by_class : t -> int array

@@ -20,14 +20,60 @@ let get32 (s : string) off =
 
 let header_size = 11
 
-let encode ~fetch iq =
+(* 64-bit FNV-1a, folded into OCaml's native int (the offset basis is the
+   standard constant truncated to 62 bits so it remains a literal; the
+   prime is the standard 2^40 + 2^8 + 0xb3). Multiplication wraps, which
+   is exactly FNV's behaviour modulo the word size. The final [land
+   max_int] keeps the hash non-negative so masking it with a power-of-two
+   table size is well defined. *)
+let fnv_basis = 0x3bf29ce484222325
+let fnv_prime = 0x100000001b3
+
+let hash_sub (b : Bytes.t) len =
+  let h = ref fnv_basis in
+  for i = 0 to len - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get b i)) * fnv_prime
+  done;
+  !h land max_int
+
+let hash_key (s : string) =
+  let h = ref fnv_basis in
+  for i = 0 to String.length s - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * fnv_prime
+  done;
+  !h land max_int
+
+module Arena = struct
+  type t = { mutable buf : Bytes.t; mutable len : int; mutable hash : int }
+
+  let create () = { buf = Bytes.create 256; len = 0; hash = 0 }
+  let length a = a.len
+  let hash a = a.hash
+  let buffer a = a.buf
+  let key a = Bytes.sub_string a.buf 0 a.len
+
+  let reserve a size =
+    if Bytes.length a.buf < size then begin
+      let cap = ref (Bytes.length a.buf * 2) in
+      while !cap < size do
+        cap := !cap * 2
+      done;
+      a.buf <- Bytes.create !cap
+    end
+end
+
+let encode_into (a : Arena.t) ~fetch iq =
   let n = Pipeline.length iq in
+  if n > 255 then
+    invalid_arg
+      (Printf.sprintf "Snapshot.encode: iQ has %d entries (max 255)" n);
   let n_ind = ref 0 in
   Pipeline.iteri (fun _ e -> if e.Pipeline.ind_target >= 0 then incr n_ind) iq;
-  let b = Bytes.create (header_size + (4 * n) + (4 * !n_ind)) in
+  let size = header_size + (4 * n) + (4 * !n_ind) in
+  Arena.reserve a size;
+  let b = a.Arena.buf in
   Bytes.set b 0 (Char.chr (fetch_tag fetch));
   put32 b 1 (match fetch with Pipeline.F_run pc -> pc | _ -> 0);
-  if n > 255 then invalid_arg "Snapshot.encode: iQ too large";
   Bytes.set b 5 (Char.chr n);
   Bytes.set b 6 (Char.chr !n_ind);
   put32 b 7 (if n = 0 then 0 else (Pipeline.get iq 0).Pipeline.addr);
@@ -53,7 +99,13 @@ let encode ~fetch iq =
         ind_off := !ind_off + 4
       end)
     iq;
-  Bytes.unsafe_to_string b
+  a.Arena.len <- size;
+  a.Arena.hash <- hash_sub b size
+
+let encode ~fetch iq =
+  let a = Arena.create () in
+  encode_into a ~fetch iq;
+  Arena.key a
 
 let entry_count (k : key) = Char.code k.[5]
 

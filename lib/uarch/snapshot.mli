@@ -14,7 +14,43 @@
 type key = string
 (** Immutable configuration key, suitable for hashing. *)
 
+module Arena : sig
+  type t
+  (** A reusable scratch encode buffer plus the FNV-1a hash of its current
+      contents. One arena per detailed simulator instance means the
+      per-group hot path (encode the configuration, look it up in the
+      p-action cache) allocates nothing on a warm cache: {!encode_into}
+      rewrites the scratch bytes in place and
+      [Memo.Pcache.intern_arena] probes the intern table directly against
+      them, materialising a {!key} string only on a miss. *)
+
+  val create : unit -> t
+
+  val length : t -> int
+  (** Valid bytes in {!buffer}. *)
+
+  val hash : t -> int
+  (** FNV-1a hash of those bytes (= {!hash_key} of {!key}). *)
+
+  val buffer : t -> Bytes.t
+
+  val key : t -> key
+  (** Materialises the key string (allocates). *)
+end
+
+val encode_into : Arena.t -> fetch:Pipeline.fetch_state -> Pipeline.t -> unit
+(** Encodes into the arena's scratch buffer (growing it if needed),
+    computing the configuration hash in the same pass. Raises
+    [Invalid_argument] — before writing anything — if the iQ holds more
+    than 255 entries (the entry count is stored in one byte). *)
+
 val encode : fetch:Pipeline.fetch_state -> Pipeline.t -> key
+(** [encode_into] a fresh arena; convenience for cold paths and tests. *)
+
+val hash_key : key -> int
+(** The same FNV-1a hash {!encode_into} computes, over an already
+    materialised key (used when interning by string, e.g. on
+    deserialisation). *)
 
 val decode :
   Isa.Program.t -> capacity:int -> key -> Pipeline.fetch_state * Pipeline.t

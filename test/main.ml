@@ -15,10 +15,13 @@ let () =
       ("uarch", Test_uarch.suite);
       ("obs", Test_obs.suite);
       ("memo", Test_memo.suite);
+      ("ctable", Test_ctable.suite);
+      ("stride", Test_stride.suite);
       ("persist", Test_persist.suite);
       ("baseline", Test_baseline.suite);
       ("faults", Test_faults.suite);
       ("workloads", Test_workloads.suite);
       ("equivalence", Test_equivalence.suite);
       ("exec", Test_exec.suite);
-      ("check", Test_check.suite) ]
+      ("check", Test_check.suite);
+      ("golden", Test_golden.suite) ]

@@ -1,0 +1,135 @@
+(* The open-addressed intern table behind the p-action cache hot path:
+   deterministic unit checks plus a QCheck property comparing it against a
+   reference Hashtbl model under random operation sequences — with hashes
+   deliberately masked to 8 bits so probe sequences collide constantly. *)
+
+let check = Alcotest.check
+
+(* Collision-forcing hash: many distinct keys share a bucket, so linear
+   probing, growth rehashing and clear/refill all get exercised. *)
+let hash8 key = Uarch.Snapshot.hash_key key land 0xff
+
+let test_basic () =
+  let t = Memo.Ctable.create ~initial:2 () in
+  check Alcotest.int "empty" 0 (Memo.Ctable.length t);
+  Memo.Ctable.add t ~hash:(hash8 "a") "a" 1;
+  Memo.Ctable.add t ~hash:(hash8 "b") "b" 2;
+  check Alcotest.int "two entries" 2 (Memo.Ctable.length t);
+  check (Alcotest.option Alcotest.int) "find a" (Some 1)
+    (Memo.Ctable.find t ~hash:(hash8 "a") "a");
+  check (Alcotest.option Alcotest.int) "find b" (Some 2)
+    (Memo.Ctable.find t ~hash:(hash8 "b") "b");
+  check (Alcotest.option Alcotest.int) "miss" None
+    (Memo.Ctable.find t ~hash:(hash8 "c") "c");
+  (* replace semantics *)
+  Memo.Ctable.add t ~hash:(hash8 "a") "a" 17;
+  check Alcotest.int "replace keeps length" 2 (Memo.Ctable.length t);
+  check (Alcotest.option Alcotest.int) "replaced" (Some 17)
+    (Memo.Ctable.find t ~hash:(hash8 "a") "a");
+  Memo.Ctable.clear t;
+  check Alcotest.int "cleared" 0 (Memo.Ctable.length t);
+  check (Alcotest.option Alcotest.int) "cleared find" None
+    (Memo.Ctable.find t ~hash:(hash8 "a") "a")
+
+let test_empty_key_rejected () =
+  let t = Memo.Ctable.create () in
+  match Memo.Ctable.add t ~hash:0 "" 1 with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_find_bytes_matches_find () =
+  let t = Memo.Ctable.create () in
+  let keys = List.init 200 (fun i -> Printf.sprintf "key-%d" i) in
+  List.iteri (fun i k -> Memo.Ctable.add t ~hash:(hash8 k) k i) keys;
+  (* A probe through a scratch buffer larger than the key must behave
+     exactly like the string lookup. *)
+  List.iteri
+    (fun i k ->
+      let b = Bytes.make (String.length k + 7) '\xff' in
+      Bytes.blit_string k 0 b 0 (String.length k);
+      check (Alcotest.option Alcotest.int)
+        (Printf.sprintf "bytes find %s" k)
+        (Some i)
+        (Memo.Ctable.find_bytes t ~hash:(hash8 k) b ~len:(String.length k)))
+    keys;
+  let b = Bytes.of_string "key-3XX" in
+  check (Alcotest.option Alcotest.int) "prefix is not a hit" None
+    (Memo.Ctable.find_bytes t ~hash:(hash8 "key-3XX") b ~len:7)
+
+(* ---- model-based property ---- *)
+
+type op = Add of string * int | Find of string | Find_bytes of string | Clear
+
+let op_gen =
+  let open QCheck.Gen in
+  (* a small key universe maximises add/find interaction *)
+  let key = map (Printf.sprintf "k%d") (int_bound 40) in
+  frequency
+    [ (6, map2 (fun k v -> Add (k, v)) key (int_bound 1000));
+      (4, map (fun k -> Find k) key);
+      (2, map (fun k -> Find_bytes k) key);
+      (1, return Clear) ]
+
+let pp_op = function
+  | Add (k, v) -> Printf.sprintf "Add(%s,%d)" k v
+  | Find k -> Printf.sprintf "Find %s" k
+  | Find_bytes k -> Printf.sprintf "FindBytes %s" k
+  | Clear -> "Clear"
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+    QCheck.Gen.(list_size (int_range 1 400) op_gen)
+
+let prop_matches_hashtbl ops =
+  let t = Memo.Ctable.create ~initial:2 () in
+  let model : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.for_all
+    (fun op ->
+      match op with
+      | Add (k, v) ->
+        Memo.Ctable.add t ~hash:(hash8 k) k v;
+        Hashtbl.replace model k v;
+        Memo.Ctable.length t = Hashtbl.length model
+      | Find k ->
+        Memo.Ctable.find t ~hash:(hash8 k) k = Hashtbl.find_opt model k
+      | Find_bytes k ->
+        let b = Bytes.of_string (k ^ "garbage") in
+        Memo.Ctable.find_bytes t ~hash:(hash8 k) b ~len:(String.length k)
+        = Hashtbl.find_opt model k
+      | Clear ->
+        Memo.Ctable.clear t;
+        Hashtbl.reset model;
+        Memo.Ctable.length t = 0)
+    ops
+  && Memo.Ctable.fold
+       (fun k v ok -> ok && Hashtbl.find_opt model k = Some v)
+       t true
+  && Hashtbl.fold
+       (fun k v ok -> ok && Memo.Ctable.find t ~hash:(hash8 k) k = Some v)
+       model true
+
+let model_test =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"ctable = Hashtbl under 8-bit hashes"
+       ops_arb prop_matches_hashtbl)
+
+let test_snapshot_hash_spread () =
+  (* Sanity on the real hash: distinct snapshot-like keys should very
+     rarely collide in 62 bits (here: never, over a few thousand). *)
+  let seen = Hashtbl.create 4096 in
+  let collisions = ref 0 in
+  for i = 0 to 4095 do
+    let k = Printf.sprintf "snapshot-key-%06d" i in
+    let h = Uarch.Snapshot.hash_key k in
+    if Hashtbl.mem seen h then incr collisions;
+    Hashtbl.replace seen h ()
+  done;
+  check Alcotest.int "no 62-bit collisions in 4k keys" 0 !collisions
+
+let suite =
+  [ Alcotest.test_case "basic add/find/replace/clear" `Quick test_basic;
+    Alcotest.test_case "empty key rejected" `Quick test_empty_key_rejected;
+    Alcotest.test_case "find_bytes = find" `Quick test_find_bytes_matches_find;
+    Alcotest.test_case "hash spread" `Quick test_snapshot_hash_spread;
+    model_test ]

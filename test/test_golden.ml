@@ -1,0 +1,202 @@
+(* Golden-stats regression suite: pins the complete statistics output of
+   every engine on every kernel, so any change to simulated behaviour —
+   however small — shows up as a reviewable per-field diff instead of a
+   silent drift. The equivalence suite proves fast == slow; this suite
+   proves today == yesterday.
+
+   Each kernel has one JSON file under test/golden/ holding the stats of
+   the slow engine, the baseline model, and the fast engine under all four
+   replacement policies. A plain `dune runtest` compares; running with
+   UPDATE_GOLDEN=1 rewrites the files in the source tree (found by walking
+   up to .git from dune's sandbox cwd) and passes, so promotion is:
+
+     UPDATE_GOLDEN=1 dune runtest   # then review the git diff *)
+
+module J = Fastsim_obs.Json
+module Sim = Fastsim.Sim
+
+let check = Alcotest.check
+
+let policies =
+  [ ("unbounded", Memo.Pcache.Unbounded);
+    ("flush16k", Memo.Pcache.Flush_on_full 16_384);
+    ("copy16k", Memo.Pcache.Copying_gc 16_384);
+    ( "gen4k16k",
+      Memo.Pcache.Generational_gc { nursery = 4_096; total = 16_384 } ) ]
+
+let result_json (r : Sim.result) =
+  let base =
+    [ ("cycles", J.Int r.Sim.cycles);
+      ("retired", J.Int r.Sim.retired);
+      ( "retired_by_class",
+        J.List (Array.to_list (Array.map (fun n -> J.Int n)
+                                 r.Sim.retired_by_class)) );
+      ("emulated_insts", J.Int r.Sim.emulated_insts);
+      ("wrong_path_insts", J.Int r.Sim.wrong_path_insts);
+      ( "branches",
+        J.Obj
+          [ ("conditionals", J.Int r.Sim.branches.Sim.conditionals);
+            ("mispredicted", J.Int r.Sim.branches.Sim.mispredicted);
+            ("indirects", J.Int r.Sim.branches.Sim.indirects);
+            ("misfetched", J.Int r.Sim.branches.Sim.misfetched) ] );
+      ( "cache",
+        let c = r.Sim.cache in
+        J.Obj
+          [ ("loads", J.Int c.Cachesim.Hierarchy.loads);
+            ("stores", J.Int c.Cachesim.Hierarchy.stores);
+            ("l1_hits", J.Int c.Cachesim.Hierarchy.l1_hits);
+            ("l1_misses", J.Int c.Cachesim.Hierarchy.l1_misses);
+            ("l2_hits", J.Int c.Cachesim.Hierarchy.l2_hits);
+            ("l2_misses", J.Int c.Cachesim.Hierarchy.l2_misses);
+            ("writebacks", J.Int c.Cachesim.Hierarchy.writebacks);
+            ("merged_misses", J.Int c.Cachesim.Hierarchy.merged_misses) ] ) ]
+  in
+  let memo =
+    match r.Sim.memo with
+    | None -> []
+    | Some m ->
+      [ ( "memo",
+          J.Obj
+            [ ("detailed_retired", J.Int m.Memo.Stats.detailed_retired);
+              ("replayed_retired", J.Int m.Memo.Stats.replayed_retired);
+              ("detailed_cycles", J.Int m.Memo.Stats.detailed_cycles);
+              ("replayed_cycles", J.Int m.Memo.Stats.replayed_cycles);
+              ("actions_replayed", J.Int m.Memo.Stats.actions_replayed);
+              ("groups_replayed", J.Int m.Memo.Stats.groups_replayed);
+              ("chain_max", J.Int m.Memo.Stats.chain_max);
+              ("episodes", J.Int m.Memo.Stats.episodes);
+              ("detailed_entries", J.Int m.Memo.Stats.detailed_entries) ] ) ]
+  in
+  let pcache =
+    match r.Sim.pcache with
+    | None -> []
+    | Some p ->
+      [ ( "pcache",
+          J.Obj
+            [ ("static_configs", J.Int p.Memo.Pcache.static_configs);
+              ("static_actions", J.Int p.Memo.Pcache.static_actions);
+              ("live_configs", J.Int p.Memo.Pcache.live_configs);
+              ("modeled_bytes", J.Int p.Memo.Pcache.modeled_bytes);
+              ("peak_modeled_bytes", J.Int p.Memo.Pcache.peak_modeled_bytes);
+              ("flushes", J.Int p.Memo.Pcache.flushes);
+              ("minor_collections", J.Int p.Memo.Pcache.minor_collections);
+              ("full_collections", J.Int p.Memo.Pcache.full_collections);
+              ("stride_compactions", J.Int p.Memo.Pcache.stride_compactions);
+              ("stride_expansions", J.Int p.Memo.Pcache.stride_expansions) ]
+        ) ]
+  in
+  J.Obj (base @ memo @ pcache)
+
+let collect (w : Workloads.Workload.t) =
+  let prog = w.Workloads.Workload.build w.Workloads.Workload.test_scale in
+  let run engine spec = Sim.run ~engine spec prog in
+  J.Obj
+    (("slow", result_json (run `Slow Sim.Spec.default))
+     :: ("baseline", result_json (run `Baseline Sim.Spec.default))
+     :: List.map
+          (fun (pname, pol) ->
+            ( "fast:" ^ pname,
+              result_json (run `Fast (Sim.Spec.with_policy pol Sim.Spec.default))
+            ))
+          policies)
+
+(* ---- comparison: flatten to dotted paths for per-field diffs ---- *)
+
+let rec flatten prefix (j : J.t) acc =
+  match j with
+  | J.Obj kvs ->
+    List.fold_left
+      (fun acc (k, v) -> flatten (prefix ^ "." ^ k) v acc)
+      acc kvs
+  | J.List vs ->
+    snd
+      (List.fold_left
+         (fun (i, acc) v ->
+           (i + 1, flatten (Printf.sprintf "%s[%d]" prefix i) v acc))
+         (0, acc) vs)
+  | v -> (prefix, v) :: acc
+
+let diff_fields golden got =
+  let gold = flatten "" golden [] and cur = flatten "" got [] in
+  let diffs = ref [] in
+  List.iter
+    (fun (path, v) ->
+      match List.assoc_opt path gold with
+      | None -> diffs := Printf.sprintf "%s: new field (%s)" path
+                           (J.to_string v) :: !diffs
+      | Some g when g <> v ->
+        diffs :=
+          Printf.sprintf "%s: golden=%s got=%s" path (J.to_string g)
+            (J.to_string v)
+          :: !diffs
+      | Some _ -> ())
+    cur;
+  List.iter
+    (fun (path, _) ->
+      if not (List.mem_assoc path cur) then
+        diffs := Printf.sprintf "%s: missing from run" path :: !diffs)
+    gold;
+  List.rev !diffs
+
+(* ---- file plumbing ---- *)
+
+let update_requested () =
+  match Sys.getenv_opt "UPDATE_GOLDEN" with
+  | Some "" | None -> false
+  | Some _ -> true
+
+(* dune runs tests from the build sandbox; promotion must land in the
+   source tree, found by walking up to the repository root. *)
+let source_golden_dir () =
+  let rec up d =
+    if Sys.file_exists (Filename.concat d ".git") then
+      Some (Filename.concat (Filename.concat d "test") "golden")
+    else
+      let parent = Filename.dirname d in
+      if String.equal parent d then None else up parent
+  in
+  up (Sys.getcwd ())
+
+let golden_file name = Filename.concat "golden" (name ^ ".json")
+
+let promote name json =
+  match source_golden_dir () with
+  | None -> Alcotest.fail "UPDATE_GOLDEN: repository root not found"
+  | Some dir ->
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let path = Filename.concat dir (name ^ ".json") in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        J.to_channel oc json;
+        output_char oc '\n')
+
+let test_kernel (w : Workloads.Workload.t) () =
+  let name = w.Workloads.Workload.name in
+  let got = collect w in
+  if update_requested () then promote name got
+  else begin
+    let path = golden_file name in
+    if not (Sys.file_exists path) then
+      Alcotest.fail
+        (Printf.sprintf
+           "no golden stats for %s — generate with UPDATE_GOLDEN=1 dune \
+            runtest, then review the diff"
+           name);
+    let golden = J.of_file path in
+    match diff_fields golden got with
+    | [] -> ()
+    | diffs ->
+      Alcotest.fail
+        (Printf.sprintf "%d field(s) drifted from golden stats:\n  %s"
+           (List.length diffs)
+           (String.concat "\n  " diffs))
+  end;
+  check Alcotest.bool "done" true true
+
+let suite =
+  List.map
+    (fun (w : Workloads.Workload.t) ->
+      Alcotest.test_case w.Workloads.Workload.name `Quick (test_kernel w))
+    Workloads.Suite.all

@@ -33,7 +33,7 @@ let test_merge_and_graft () =
   let next =
     Memo.Pcache.merge_group pc cfg ~classes:[||] ~silent:3 ~retired:5
       ~items:[ Memo.Action.I_load 2; Memo.Action.I_store ]
-      ~terminal:(Memo.Action.T_goto (fake_key 2))
+      ~terminal:(Memo.Action.T_goto (Memo.Pcache.intern pc (fake_key 2)))
   in
   (match next with
    | Some c -> check Alcotest.bool "next interned" true
@@ -44,7 +44,7 @@ let test_merge_and_graft () =
   ignore
     (Memo.Pcache.merge_group pc cfg ~classes:[||] ~silent:3 ~retired:5
        ~items:[ Memo.Action.I_load 2; Memo.Action.I_store ]
-       ~terminal:(Memo.Action.T_goto (fake_key 2))
+       ~terminal:(Memo.Action.T_goto (Memo.Pcache.intern pc (fake_key 2)))
       : Memo.Action.config option);
   check Alcotest.int "no new actions on duplicate" actions_before
     (Memo.Pcache.counters pc).static_actions;
@@ -52,7 +52,7 @@ let test_merge_and_graft () =
   ignore
     (Memo.Pcache.merge_group pc cfg ~classes:[||] ~silent:3 ~retired:5
        ~items:[ Memo.Action.I_load 9; Memo.Action.I_store ]
-       ~terminal:(Memo.Action.T_goto (fake_key 3))
+       ~terminal:(Memo.Action.T_goto (Memo.Pcache.intern pc (fake_key 3)))
       : Memo.Action.config option);
   check Alcotest.bool "new actions for new outcome" true
     ((Memo.Pcache.counters pc).static_actions > actions_before);
@@ -104,7 +104,7 @@ let fill pc n =
       ignore
         (Memo.Pcache.merge_group pc cfg ~classes:[||] ~silent:1 ~retired:1
            ~items:[ Memo.Action.I_load i ]
-           ~terminal:(Memo.Action.T_goto (fake_key (i + 1)))
+           ~terminal:(Memo.Action.T_goto (Memo.Pcache.intern pc (fake_key (i + 1))))
           : Memo.Action.config option)
   done
 
@@ -172,7 +172,7 @@ let test_resolve_goto_heals () =
   ignore
     (Memo.Pcache.merge_group pc cfg ~classes:[||] ~silent:0 ~retired:1
        ~items:[]
-       ~terminal:(Memo.Action.T_goto (fake_key 2))
+       ~terminal:(Memo.Action.T_goto (Memo.Pcache.intern pc (fake_key 2)))
       : Memo.Action.config option);
   let goto_node =
     match cfg.Memo.Action.cfg_group with

@@ -1,0 +1,235 @@
+(* Stride compaction: linear runs of single-outcome groups collapse into
+   one N_stride node, expand back exactly on demand, and round-trip
+   through persistence. Replay equivalence over strides is covered by the
+   equivalence suite and the fuzz oracle; these tests pin the structural
+   mechanics. *)
+
+let check = Alcotest.check
+
+(* Same synthetic key layout as test_memo.ml. *)
+let fake_key ?(entries = 4) ?(ind = 0) tag =
+  let b = Bytes.make (11 + (4 * entries) + (4 * ind)) '\000' in
+  Bytes.set b 5 (Char.chr entries);
+  Bytes.set b 6 (Char.chr ind);
+  Bytes.set b 7 (Char.chr (tag land 0xff));
+  Bytes.set b 8 (Char.chr ((tag lsr 8) land 0xff));
+  Bytes.unsafe_to_string b
+
+(* Records a linear run: groups [first..last], each [I_load (100 + i)],
+   group i linking to i+1, the last halting. Built in order, so no merge
+   ever sees a successor that already has a group — nothing compacts. *)
+let record_run pc ~first ~last =
+  for i = first to last do
+    let cfg = Memo.Pcache.intern pc (fake_key i) in
+    let terminal =
+      if i = last then Memo.Action.T_halt
+      else Memo.Action.T_goto (Memo.Pcache.intern pc (fake_key (i + 1)))
+    in
+    ignore
+      (Memo.Pcache.merge_group pc cfg ~classes:[| i |] ~silent:i ~retired:1
+         ~items:[ Memo.Action.I_load (100 + i) ]
+         ~terminal
+        : Memo.Action.config option)
+  done
+
+let stride_of cfg =
+  match cfg.Memo.Action.cfg_group with
+  | Some { Memo.Action.g_first = Memo.Action.N_stride s; _ } -> Some s
+  | _ -> None
+
+let test_compact_collapses_linear_run () =
+  let pc = Memo.Pcache.create () in
+  record_run pc ~first:1 ~last:4;
+  let cfg1 = Memo.Pcache.intern pc (fake_key 1) in
+  let bytes_before = (Memo.Pcache.counters pc).modeled_bytes in
+  check Alcotest.bool "compacts" true (Memo.Pcache.compact pc cfg1);
+  let c = Memo.Pcache.counters pc in
+  check Alcotest.int "one compaction" 1 c.stride_compactions;
+  check Alcotest.bool "modeled bytes shrink" true
+    (c.modeled_bytes < bytes_before);
+  (match stride_of cfg1 with
+   | Some s ->
+     check Alcotest.int "absorbs the three successors" 3
+       (Array.length s.Memo.Action.s_segs);
+     check Alcotest.int "owner ops kept" 1
+       (Array.length s.Memo.Action.s_ops);
+     (match s.Memo.Action.s_term with
+      | Memo.Action.N_halt -> ()
+      | _ -> Alcotest.fail "run ended in halt; stride terminal must too");
+     Array.iteri
+       (fun i (seg : Memo.Action.stride_seg) ->
+         check Alcotest.int
+           (Printf.sprintf "seg %d silent" i)
+           (i + 2) seg.Memo.Action.sg_silent;
+         check Alcotest.int
+           (Printf.sprintf "seg %d ops" i)
+           1
+           (Array.length seg.Memo.Action.sg_ops))
+       s.Memo.Action.s_segs
+   | None -> Alcotest.fail "expected stride at group head");
+  (* absorbed configurations stay interned, but lose their groups *)
+  for i = 2 to 4 do
+    let c = Memo.Pcache.intern pc (fake_key i) in
+    check Alcotest.bool
+      (Printf.sprintf "config %d group cleared" i)
+      true
+      (c.Memo.Action.cfg_group = None)
+  done;
+  (* a second compact is a no-op: the head is already a stride *)
+  check Alcotest.bool "idempotent" false (Memo.Pcache.compact pc cfg1)
+
+let test_compact_refuses_branchy_chain () =
+  let pc = Memo.Pcache.create () in
+  let cfg = Memo.Pcache.intern pc (fake_key 1) in
+  let next = Memo.Pcache.intern pc (fake_key 2) in
+  (* two recorded latencies on the same action: not a linear run *)
+  ignore
+    (Memo.Pcache.merge_group pc cfg ~classes:[||] ~silent:0 ~retired:1
+       ~items:[ Memo.Action.I_load 3 ]
+       ~terminal:(Memo.Action.T_goto next)
+      : Memo.Action.config option);
+  ignore
+    (Memo.Pcache.merge_group pc cfg ~classes:[||] ~silent:0 ~retired:1
+       ~items:[ Memo.Action.I_load 9 ]
+       ~terminal:(Memo.Action.T_goto next)
+      : Memo.Action.config option);
+  ignore
+    (Memo.Pcache.merge_group pc next ~classes:[||] ~silent:1 ~retired:1
+       ~items:[] ~terminal:Memo.Action.T_halt
+      : Memo.Action.config option);
+  check Alcotest.bool "branchy owner refuses" false
+    (Memo.Pcache.compact pc cfg);
+  check Alcotest.int "nothing counted" 0
+    (Memo.Pcache.counters pc).stride_compactions
+
+let test_expand_is_exact_inverse () =
+  let pc = Memo.Pcache.create () in
+  record_run pc ~first:1 ~last:6;
+  let cfg1 = Memo.Pcache.intern pc (fake_key 1) in
+  let bytes_before = (Memo.Pcache.counters pc).modeled_bytes in
+  check Alcotest.bool "compacts" true (Memo.Pcache.compact pc cfg1);
+  let resolved = Memo.Pcache.expand_stride pc cfg1 in
+  check Alcotest.int "returns absorbed configs" 5 (Array.length resolved);
+  let c = Memo.Pcache.counters pc in
+  check Alcotest.int "one expansion" 1 c.stride_expansions;
+  check Alcotest.int "modeled bytes restored exactly" bytes_before
+    c.modeled_bytes;
+  (* every group is plain again, with its original shape *)
+  for i = 1 to 6 do
+    let cfg = Memo.Pcache.intern pc (fake_key i) in
+    match cfg.Memo.Action.cfg_group with
+    | Some g ->
+      check Alcotest.int (Printf.sprintf "group %d silent" i) i
+        g.Memo.Action.g_silent;
+      check Alcotest.int (Printf.sprintf "group %d retired" i) 1
+        g.Memo.Action.g_retired;
+      (match g.Memo.Action.g_first with
+       | Memo.Action.N_load { Memo.Action.l_edges = [ (lat, _) ] } ->
+         check Alcotest.int (Printf.sprintf "group %d latency" i) (100 + i)
+           lat
+       | _ -> Alcotest.fail "expected single-edge load at head")
+    | None -> Alcotest.fail (Printf.sprintf "group %d missing" i)
+  done;
+  (* expanding a plain group is a no-op *)
+  check Alcotest.int "no-op expand" 0
+    (Array.length (Memo.Pcache.expand_stride pc cfg1))
+
+let test_merge_triggers_compaction () =
+  let pc = Memo.Pcache.create () in
+  record_run pc ~first:1 ~last:4;
+  check Alcotest.int "nothing compacted while recording" 0
+    (Memo.Pcache.counters pc).stride_compactions;
+  (* a merge whose successor already owns a group (the loop-closure shape)
+     offers that successor to the compactor *)
+  let cfg0 = Memo.Pcache.intern pc (fake_key 99) in
+  ignore
+    (Memo.Pcache.merge_group pc cfg0 ~classes:[||] ~silent:0 ~retired:1
+       ~items:[]
+       ~terminal:(Memo.Action.T_goto (Memo.Pcache.intern pc (fake_key 1)))
+      : Memo.Action.config option);
+  check Alcotest.int "compaction fired at merge" 1
+    (Memo.Pcache.counters pc).stride_compactions;
+  check Alcotest.bool "successor got the stride" true
+    (stride_of (Memo.Pcache.intern pc (fake_key 1)) <> None)
+
+let test_stride_length_bounded () =
+  let pc = Memo.Pcache.create () in
+  record_run pc ~first:1 ~last:100;
+  let cfg1 = Memo.Pcache.intern pc (fake_key 1) in
+  check Alcotest.bool "compacts" true (Memo.Pcache.compact pc cfg1);
+  match stride_of cfg1 with
+  | Some s ->
+    check Alcotest.int "capped at 64 segments" 64
+      (Array.length s.Memo.Action.s_segs);
+    (match s.Memo.Action.s_term with
+     | Memo.Action.N_goto g ->
+       check Alcotest.bool "terminal continues the chain" true
+         (String.equal g.Memo.Action.target.Memo.Action.cfg_key (fake_key 66))
+     | _ -> Alcotest.fail "expected goto terminal")
+  | None -> Alcotest.fail "expected stride"
+
+let test_stride_persist_roundtrip () =
+  (* Strides must survive save/load structurally (the 'T' tag of
+     FSPC0003): same segment count, same modeled bytes, reload fixpoint. *)
+  let w = Workloads.Suite.find "compress" in
+  let prog = w.Workloads.Workload.build 1 in
+  let pc = Memo.Pcache.create () in
+  let r =
+    Fastsim.Sim.run ~engine:`Fast
+      Fastsim.Sim.Spec.(with_pcache pc default)
+      prog
+  in
+  ignore (r : Fastsim.Sim.result);
+  (* count live strides in the freshly built cache *)
+  let strides t =
+    let n = ref 0 in
+    Memo.Pcache.iter_configs
+      (fun c ->
+        match c.Memo.Action.cfg_group with
+        | Some { Memo.Action.g_first = Memo.Action.N_stride _; _ } -> incr n
+        | _ -> ())
+      t;
+    !n
+  in
+  check Alcotest.bool "run produced live strides" true (strides pc > 0);
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ()) "fastsim_stride.fspc"
+  in
+  Memo.Persist.save_file pc ~program:prog path;
+  let pc' = Memo.Persist.load_file ~program:prog path in
+  check Alcotest.int "strides survive" (strides pc) (strides pc');
+  check Alcotest.int "modeled bytes survive"
+    (Memo.Pcache.counters pc).modeled_bytes
+    (Memo.Pcache.counters pc').modeled_bytes;
+  Memo.Persist.save_file pc' ~program:prog path;
+  let pc'' = Memo.Persist.load_file ~program:prog path in
+  check Alcotest.int "reload fixpoint: strides" (strides pc') (strides pc'');
+  check Alcotest.int "reload fixpoint: actions"
+    (Memo.Pcache.counters pc').static_actions
+    (Memo.Pcache.counters pc'').static_actions;
+  Sys.remove path;
+  (* and a warm start from the stride-bearing cache is still equivalent *)
+  let warm =
+    Fastsim.Sim.run ~engine:`Fast
+      Fastsim.Sim.Spec.(with_pcache pc' default)
+      prog
+  in
+  let slow = Fastsim.Sim.run ~engine:`Slow Fastsim.Sim.Spec.default prog in
+  check Alcotest.int "warm stride replay cycles" slow.Fastsim.Sim.cycles
+    warm.Fastsim.Sim.cycles;
+  check Alcotest.int "warm stride replay retired" slow.Fastsim.Sim.retired
+    warm.Fastsim.Sim.retired
+
+let suite =
+  [ Alcotest.test_case "compact collapses linear run" `Quick
+      test_compact_collapses_linear_run;
+    Alcotest.test_case "compact refuses branchy chain" `Quick
+      test_compact_refuses_branchy_chain;
+    Alcotest.test_case "expand is exact inverse" `Quick
+      test_expand_is_exact_inverse;
+    Alcotest.test_case "merge triggers compaction" `Quick
+      test_merge_triggers_compaction;
+    Alcotest.test_case "stride length bounded" `Quick
+      test_stride_length_bounded;
+    Alcotest.test_case "stride persist roundtrip" `Quick
+      test_stride_persist_roundtrip ]

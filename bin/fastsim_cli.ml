@@ -537,9 +537,11 @@ let sweep_cmd =
             "nothing to sweep: give a MANIFEST.json or at least one \
              --workload"
         | Some path, _ -> (
-          match Exec.Manifest.of_json (Fastsim_obs.Json.of_file path) with
-          | m -> Ok m
-          | exception Failure m -> Error (path ^ ": " ^ m)
+          match Fastsim_obs.Json.of_file path with
+          | j ->
+            Result.map_error
+              (fun m -> path ^ ": " ^ m)
+              (Exec.Manifest.of_json_result j)
           | exception Fastsim_obs.Json.Parse_error m ->
             Error (path ^ ": " ^ m)
           | exception Sys_error m -> Error m)
@@ -878,10 +880,268 @@ let fuzz_cmd =
       $ jobs_arg $ backend_arg $ timeout_arg $ out_dir_arg
       $ max_failures_arg $ quiet_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / client: the persistent daemon and its wire client.          *)
+
+let address_conv =
+  let parse s =
+    match Fastsim_serve.Proto.address_of_string s with
+    | Ok a -> Ok a
+    | Error m -> Error (`Msg m)
+  in
+  let print ppf a =
+    Format.fprintf ppf "%s" (Fastsim_serve.Proto.address_to_string a)
+  in
+  Arg.conv (parse, print)
+
+let address_arg =
+  Arg.(
+    required
+    & pos 0 (some address_conv) None
+    & info [] ~docv:"ADDRESS"
+        ~doc:
+          "Daemon address: $(b,unix:)$(i,PATH) (or a bare path) for a \
+           Unix-domain socket, $(b,tcp:)$(i,HOST):$(i,PORT) for loopback \
+           TCP.")
+
+let serve_cmd =
+  let serve address jobs queue_max timeout_s budget inline scratch
+      allow_fault quiet =
+    let cfg = Fastsim_serve.Server.default_config address in
+    let cfg =
+      { cfg with
+        Fastsim_serve.Server.backend = (if inline then `Inline else `Fork);
+        jobs;
+        queue_max;
+        timeout_s;
+        registry_budget = budget;
+        scratch_dir = scratch;
+        allow_fault;
+        quiet }
+    in
+    match Fastsim_serve.Server.run cfg with
+    | () -> 0
+    | exception Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "fastsim serve: %s %s: %s\n" fn arg
+        (Unix.error_message e);
+      1
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Concurrent worker processes.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-max" ] ~docv:"N"
+          ~doc:
+            "Bound on queued (not yet running) requests; beyond it new \
+             runs are refused with $(b,overloaded).")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-run wall-clock limit (fork backend). 0 disables.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "registry-budget" ] ~docv:"BYTES"
+          ~doc:
+            "Byte budget for warm p-action caches held in memory; over \
+             budget, least-recently-used caches are spilled to disk.")
+  in
+  let inline_arg =
+    Arg.(
+      value & flag
+      & info [ "inline" ]
+          ~doc:
+            "Run simulations inside the server process instead of forked \
+             workers (no parallelism or timeouts; mainly for tests).")
+  in
+  let scratch_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "scratch" ] ~docv:"DIR"
+          ~doc:
+            "Directory for worker result files and spilled caches \
+             (default: a private temp dir removed at exit).")
+  in
+  let allow_fault_arg =
+    Arg.(
+      value & flag
+      & info [ "allow-fault" ]
+          ~doc:"Accept the test-only $(b,fault) request field.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No startup banner.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"run the persistent simulation daemon"
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Listens on $(i,ADDRESS) and serves simulation requests over \
+              a framed JSON protocol (see docs/SERVE.md). The daemon \
+              keeps a registry of warm p-action caches keyed by (program \
+              digest, spec), so repeated requests replay memoized work \
+              instead of re-simulating it. SIGTERM or a $(b,shutdown) \
+              request drains gracefully." ])
+    Term.(
+      const serve $ address_arg $ jobs_arg $ queue_arg $ timeout_arg
+      $ budget_arg $ inline_arg $ scratch_arg $ allow_fault_arg $ quiet_arg)
+
+let client_retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Connection attempts to add if the daemon is not up yet \
+           (0.1s apart).")
+
+let with_client address retries f =
+  match Fastsim_serve.Client.connect ~retries address with
+  | Error m ->
+    Printf.eprintf "fastsim client: %s\n" m;
+    1
+  | Ok c ->
+    Fun.protect ~finally:(fun () -> Fastsim_serve.Client.close c)
+      (fun () -> f c)
+
+let client_run_cmd =
+  let run address retries (w : Workloads.Workload.t) scale engine policy
+      predictor tiny json =
+    let spec =
+      Spec.default
+      |> Spec.with_policy policy
+      |> Spec.with_predictor predictor
+      |> if tiny then Spec.with_cache_config Cachesim.Config.tiny else Fun.id
+    in
+    let program =
+      Fastsim_serve.Proto.Workload { name = w.name; scale }
+    in
+    with_client address retries (fun c ->
+        match
+          Fastsim_serve.Client.run c ~id:"cli" ~engine ~spec program
+        with
+        | Error m ->
+          Printf.eprintf "fastsim client: %s\n" m;
+          1
+        | Ok (Fastsim_serve.Proto.Error { code; message; _ }) ->
+          Printf.eprintf "fastsim client: server error [%s]: %s\n"
+            (Fastsim_serve.Proto.error_code_to_string code)
+            message;
+          1
+        | Ok (Fastsim_serve.Proto.Result { result; wall_s; warm; digest; _ })
+          ->
+          if json then
+            print_endline
+              (Fastsim_obs.Json.to_string (Fastsim.Sim.result_to_json result))
+          else
+            Printf.printf
+              "%s: %d cycles, %d retired, IPC %.3f (%s cache, %.2fs on \
+               the server, program %s)\n"
+              w.name result.Fastsim.Sim.cycles result.Fastsim.Sim.retired
+              (float_of_int result.Fastsim.Sim.retired
+              /. float_of_int (max 1 result.Fastsim.Sim.cycles))
+              (if warm then "warm" else "cold")
+              wall_s
+              (String.sub digest 0 (min 12 (String.length digest)));
+          0
+        | Ok _ ->
+          Printf.eprintf "fastsim client: unexpected response\n";
+          1)
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt
+          (enum [ ("fast", `Fast); ("slow", `Slow); ("baseline", `Baseline) ])
+          `Fast
+      & info [ "engine"; "e" ] ~docv:"ENGINE"
+          ~doc:"Engine: $(b,fast), $(b,slow), or $(b,baseline).")
+  in
+  let workload_pos1 =
+    Arg.(
+      required
+      & pos 1 (some workload_conv) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload name, e.g. go or 099.go.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the full result record as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"submit a simulation to the daemon")
+    Term.(
+      const run $ address_arg $ client_retries_arg $ workload_pos1
+      $ scale_arg $ engine_arg $ policy_arg $ predictor_arg $ tiny_cache_arg
+      $ json_arg)
+
+let client_stats_cmd =
+  let stats address retries =
+    with_client address retries (fun c ->
+        match Fastsim_serve.Client.stats c ~id:"cli" with
+        | Ok j ->
+          print_endline (Fastsim_obs.Json.to_string j);
+          0
+        | Error m ->
+          Printf.eprintf "fastsim client: %s\n" m;
+          1)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"print the daemon's stats frame as JSON")
+    Term.(const stats $ address_arg $ client_retries_arg)
+
+let client_ping_cmd =
+  let ping address retries =
+    with_client address retries (fun c ->
+        match Fastsim_serve.Client.ping c ~id:"cli" with
+        | Ok () ->
+          print_endline "pong";
+          0
+        | Error m ->
+          Printf.eprintf "fastsim client: %s\n" m;
+          1)
+  in
+  Cmd.v
+    (Cmd.info "ping" ~doc:"check that the daemon answers")
+    Term.(const ping $ address_arg $ client_retries_arg)
+
+let client_shutdown_cmd =
+  let shutdown address retries =
+    with_client address retries (fun c ->
+        match Fastsim_serve.Client.shutdown c ~id:"cli" with
+        | Ok () -> 0
+        | Error m ->
+          Printf.eprintf "fastsim client: %s\n" m;
+          1)
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"ask the daemon to drain and exit")
+    Term.(const shutdown $ address_arg $ client_retries_arg)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:"talk to a running fastsim daemon"
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Submits requests to a daemon started with $(b,fastsim \
+              serve). Every subcommand takes the daemon $(i,ADDRESS) as \
+              its first argument." ])
+    [ client_run_cmd; client_stats_cmd; client_ping_cmd;
+      client_shutdown_cmd ]
+
 let () =
   let doc = "FastSim: out-of-order processor simulation with memoization" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "fastsim" ~doc)
           [ run_cmd; list_cmd; disasm_cmd; asm_cmd; trace_cmd; profile_cmd;
-            sweep_cmd; fuzz_cmd ]))
+            sweep_cmd; fuzz_cmd; serve_cmd; client_cmd ]))

@@ -67,3 +67,11 @@ let sample st : Spec.t =
   |> Spec.with_params (sample_params st)
 
 let to_json_string spec = Fastsim_obs.Json.to_string (Spec.to_json spec)
+
+(* Reloads a saved fuzz artifact's spec. Artifacts are external input
+   (hand-edited, stale across format changes), so parse and decode both
+   surface as [Error] rather than an exception. *)
+let of_json_string s =
+  match Fastsim_obs.Json.of_string s with
+  | j -> Spec.of_json_result j
+  | exception Fastsim_obs.Json.Parse_error m -> Error ("spec: " ^ m)

@@ -465,6 +465,31 @@ let fast_sim ?params ?cache_config ?(predictor = Standard)
    fan of optional arguments, serialisable so sweep manifests and reports
    can record exactly which configuration produced each result. *)
 
+module J = Fastsim_obs.Json
+
+(* Shared strict JSON-object decoder: one pass over the members, rejecting
+   unknown AND duplicate keys, so a typo'd or doubled field in a manifest,
+   fuzz artifact or wire request fails loudly instead of silently applying
+   last-wins. [error : string -> unit] must raise. *)
+let strict_obj ~error ~what ~field init j =
+  match j with
+  | J.Obj members ->
+    let seen = Hashtbl.create 16 in
+    List.fold_left
+      (fun acc (k, v) ->
+        if Hashtbl.mem seen k then
+          error (Printf.sprintf "duplicate %s field %S" what k);
+        Hashtbl.add seen k ();
+        match field acc k v with
+        | Some acc -> acc
+        | None ->
+          error (Printf.sprintf "unknown %s field %S" what k);
+          assert false)
+      init members
+  | _ ->
+    error (Printf.sprintf "%s must be an object" what);
+    assert false
+
 module Spec = struct
   type observer = int -> Uarch.Detailed.t -> Uarch.Detailed.cycle_result -> unit
 
@@ -554,10 +579,11 @@ module Spec = struct
   (* ---- JSON (de)serialisation -------------------------------------- *)
   (* The runtime-only fields (pcache, obs, observer) are not represented:
      a decoded spec always has them unset. Decoding overlays the present
-     fields onto {!default} and rejects unknown keys, so a typo in a
-     manifest fails loudly rather than silently running the default. *)
-
-  module J = Fastsim_obs.Json
+     fields onto {!default} and rejects unknown and duplicate keys, so a
+     typo in a manifest fails loudly rather than silently running the
+     default. The [Result]-returning decoders are the primary forms (the
+     serve daemon, manifests and fuzz artifacts all decode untrusted
+     input); the raising versions are thin wrappers. *)
 
   let params_to_json (p : Uarch.Params.t) : J.t =
     Obj
@@ -607,17 +633,18 @@ module Spec = struct
   let spec_error fmt = Printf.ksprintf (fun m -> failwith ("spec: " ^ m)) fmt
 
   let fold_obj ~what ~field init j =
-    match j with
-    | J.Obj members ->
-      List.fold_left
-        (fun acc (k, v) ->
-          match field acc k v with
-          | Some acc -> acc
-          | None -> spec_error "unknown %s field %S" what k)
-        init members
-    | _ -> spec_error "%s must be an object" what
+    strict_obj ~error:(fun m -> failwith ("spec: " ^ m)) ~what ~field init j
 
-  let params_of_json j : Uarch.Params.t =
+  (* Runs a raising decoder and reflects its failures — including
+     ill-typed values, which surface as [Json.Parse_error] from the
+     accessors — into a [Result]. *)
+  let decode_result decode j =
+    match decode j with
+    | v -> Ok v
+    | exception Failure m -> Error m
+    | exception J.Parse_error m -> Error ("spec: " ^ m)
+
+  let params_decode j : Uarch.Params.t =
     fold_obj ~what:"params" Uarch.Params.default j
       ~field:(fun (p : Uarch.Params.t) k v ->
         let i () = J.to_int v in
@@ -637,7 +664,7 @@ module Spec = struct
         | "max_spec_branches" -> Some { p with max_spec_branches = i () }
         | _ -> None)
 
-  let cache_config_of_json j : Cachesim.Config.t =
+  let cache_config_decode j : Cachesim.Config.t =
     fold_obj ~what:"cache_config" Cachesim.Config.default j
       ~field:(fun (c : Cachesim.Config.t) k v ->
         let i () = J.to_int v in
@@ -657,13 +684,13 @@ module Spec = struct
         | "bus_width" -> Some { c with bus_width = i () }
         | _ -> None)
 
-  let of_json j : t =
+  let decode j : t =
     let ok_or_fail = function Ok v -> v | Error m -> spec_error "%s" m in
     fold_obj ~what:"spec" default j ~field:(fun t k v ->
         match k with
-        | "params" -> Some { t with params = params_of_json v }
+        | "params" -> Some { t with params = params_decode v }
         | "cache_config" ->
-          Some { t with cache_config = cache_config_of_json v }
+          Some { t with cache_config = cache_config_decode v }
         | "predictor" ->
           Some
             { t with
@@ -672,7 +699,278 @@ module Spec = struct
           Some { t with policy = ok_or_fail (policy_of_string (J.to_str v)) }
         | "max_cycles" -> Some { t with max_cycles = J.to_int v }
         | _ -> None)
+
+  let params_of_json_result j = decode_result params_decode j
+  let cache_config_of_json_result j = decode_result cache_config_decode j
+  let of_json_result j = decode_result decode j
+
+  let unwrap = function Ok v -> v | Error m -> failwith m
+  let params_of_json j = unwrap (params_of_json_result j)
+  let cache_config_of_json j = unwrap (cache_config_of_json_result j)
+  let of_json j = unwrap (of_json_result j)
 end
+
+(* ---------------------------------------------------------------- *)
+(* Wire codec for {!result}. Every field — including the final
+   architectural state and the optional memo/pcache statistics — crosses
+   the JSON boundary and decodes back structurally equal (floats rely on
+   Json's exact round-trip printing). The sweep report and the serve
+   daemon both emit this shape; derived conveniences (ipc,
+   detailed_fraction, avg_chain) ride along for human consumers and are
+   accepted-but-ignored on decode. *)
+
+let result_error fmt = Printf.ksprintf (fun m -> failwith ("result: " ^ m)) fmt
+
+(* Imperative flavour of [strict_obj]: [field] returns whether it
+   recognised the key and stashes the value in a ref. *)
+let result_obj ~what ~field j =
+  strict_obj ~error:(fun m -> failwith ("result: " ^ m)) ~what () j
+    ~field:(fun () k v -> if field k v then Some () else None)
+
+let result_need what = function
+  | Some v -> v
+  | None -> result_error "missing %s" what
+
+let branch_stats_to_json (b : branch_stats) : J.t =
+  Obj
+    [ ("conditionals", Int b.conditionals);
+      ("mispredicted", Int b.mispredicted);
+      ("indirects", Int b.indirects);
+      ("misfetched", Int b.misfetched) ]
+
+let branch_stats_decode j : branch_stats =
+  let c = ref None and m = ref None and i = ref None and f = ref None in
+  result_obj ~what:"branches" j ~field:(fun k v ->
+      match k with
+      | "conditionals" -> c := Some (J.to_int v); true
+      | "mispredicted" -> m := Some (J.to_int v); true
+      | "indirects" -> i := Some (J.to_int v); true
+      | "misfetched" -> f := Some (J.to_int v); true
+      | _ -> false);
+  { conditionals = result_need "branches.conditionals" !c;
+    mispredicted = result_need "branches.mispredicted" !m;
+    indirects = result_need "branches.indirects" !i;
+    misfetched = result_need "branches.misfetched" !f }
+
+let cache_stats_to_json (c : Cachesim.Hierarchy.stats) : J.t =
+  Obj
+    [ ("loads", Int c.loads);
+      ("stores", Int c.stores);
+      ("l1_hits", Int c.l1_hits);
+      ("l1_misses", Int c.l1_misses);
+      ("l2_hits", Int c.l2_hits);
+      ("l2_misses", Int c.l2_misses);
+      ("writebacks", Int c.writebacks);
+      ("merged_misses", Int c.merged_misses) ]
+
+let cache_stats_decode j : Cachesim.Hierarchy.stats =
+  let got = Hashtbl.create 8 in
+  result_obj ~what:"cache" j ~field:(fun k v ->
+      match k with
+      | "loads" | "stores" | "l1_hits" | "l1_misses" | "l2_hits" | "l2_misses"
+      | "writebacks" | "merged_misses" ->
+        Hashtbl.replace got k (J.to_int v);
+        true
+      | _ -> false);
+  let need k =
+    match Hashtbl.find_opt got k with
+    | Some v -> v
+    | None -> result_error "missing cache.%s" k
+  in
+  { Cachesim.Hierarchy.loads = need "loads";
+    stores = need "stores";
+    l1_hits = need "l1_hits";
+    l1_misses = need "l1_misses";
+    l2_hits = need "l2_hits";
+    l2_misses = need "l2_misses";
+    writebacks = need "writebacks";
+    merged_misses = need "merged_misses" }
+
+let memo_stats_to_json (m : Memo.Stats.t) : J.t =
+  Obj
+    [ ("detailed_retired", Int m.detailed_retired);
+      ("replayed_retired", Int m.replayed_retired);
+      ("detailed_cycles", Int m.detailed_cycles);
+      ("replayed_cycles", Int m.replayed_cycles);
+      ("detailed_fraction", Float (Memo.Stats.detailed_fraction m));
+      ("actions_replayed", Int m.actions_replayed);
+      ("groups_replayed", Int m.groups_replayed);
+      ("chain_current", Int m.chain_current);
+      ("chain_max", Int m.chain_max);
+      ("avg_chain", Float (Memo.Stats.avg_chain m));
+      ("episodes", Int m.episodes);
+      ("detailed_entries", Int m.detailed_entries) ]
+
+let memo_stats_decode j : Memo.Stats.t =
+  let s = Memo.Stats.create () in
+  result_obj ~what:"memo" j ~field:(fun k v ->
+      match k with
+      | "detailed_retired" -> s.Memo.Stats.detailed_retired <- J.to_int v; true
+      | "replayed_retired" -> s.Memo.Stats.replayed_retired <- J.to_int v; true
+      | "detailed_cycles" -> s.Memo.Stats.detailed_cycles <- J.to_int v; true
+      | "replayed_cycles" -> s.Memo.Stats.replayed_cycles <- J.to_int v; true
+      | "actions_replayed" -> s.Memo.Stats.actions_replayed <- J.to_int v; true
+      | "groups_replayed" -> s.Memo.Stats.groups_replayed <- J.to_int v; true
+      | "chain_current" -> s.Memo.Stats.chain_current <- J.to_int v; true
+      | "chain_max" -> s.Memo.Stats.chain_max <- J.to_int v; true
+      | "episodes" -> s.Memo.Stats.episodes <- J.to_int v; true
+      | "detailed_entries" -> s.Memo.Stats.detailed_entries <- J.to_int v; true
+      | "detailed_fraction" | "avg_chain" -> ignore (J.to_float v); true
+      | _ -> false);
+  s
+
+let pcache_counters_to_json (p : Memo.Pcache.counters) : J.t =
+  Obj
+    [ ("static_configs", Int p.static_configs);
+      ("static_actions", Int p.static_actions);
+      ("live_configs", Int p.live_configs);
+      ("modeled_bytes", Int p.modeled_bytes);
+      ("peak_modeled_bytes", Int p.peak_modeled_bytes);
+      ("flushes", Int p.flushes);
+      ("minor_collections", Int p.minor_collections);
+      ("full_collections", Int p.full_collections);
+      ("last_gc_survivors", Int p.last_gc_survivors);
+      ("last_gc_population", Int p.last_gc_population);
+      ("stride_compactions", Int p.stride_compactions);
+      ("stride_expansions", Int p.stride_expansions) ]
+
+let pcache_counters_decode j : Memo.Pcache.counters =
+  let got = Hashtbl.create 16 in
+  result_obj ~what:"pcache" j ~field:(fun k v ->
+      match k with
+      | "static_configs" | "static_actions" | "live_configs" | "modeled_bytes"
+      | "peak_modeled_bytes" | "flushes" | "minor_collections"
+      | "full_collections" | "last_gc_survivors" | "last_gc_population"
+      | "stride_compactions" | "stride_expansions" ->
+        Hashtbl.replace got k (J.to_int v);
+        true
+      | _ -> false);
+  let need k =
+    match Hashtbl.find_opt got k with
+    | Some v -> v
+    | None -> result_error "missing pcache.%s" k
+  in
+  { Memo.Pcache.static_configs = need "static_configs";
+    static_actions = need "static_actions";
+    live_configs = need "live_configs";
+    modeled_bytes = need "modeled_bytes";
+    peak_modeled_bytes = need "peak_modeled_bytes";
+    flushes = need "flushes";
+    minor_collections = need "minor_collections";
+    full_collections = need "full_collections";
+    last_gc_survivors = need "last_gc_survivors";
+    last_gc_population = need "last_gc_population";
+    stride_compactions = need "stride_compactions";
+    stride_expansions = need "stride_expansions" }
+
+(* FP registers must round-trip bit-exactly, and JSON has no literal
+   for NaN or the infinities (the printer would emit null). Finite
+   values stay ordinary JSON floats; non-finite ones are carried as
+   "bits:<16 hex digits>" strings of their IEEE-754 representation. *)
+let freg_to_json v =
+  if Float.is_finite v then J.Float v
+  else J.Str (Printf.sprintf "bits:%016Lx" (Int64.bits_of_float v))
+
+let freg_of_json = function
+  | J.Float f -> f
+  | J.Int i -> float_of_int i
+  | J.Str s when String.length s = 21 && String.sub s 0 5 = "bits:" -> (
+    match Int64.of_string_opt ("0x" ^ String.sub s 5 16) with
+    | Some bits -> Int64.float_of_bits bits
+    | None -> result_error "final_state.fregs: bad bits literal %S" s)
+  | _ -> result_error "final_state.fregs: expected a float"
+
+let final_state_to_json (s : Emu.Arch_state.t) : J.t =
+  Obj
+    [ ("pc", Int s.Emu.Arch_state.pc);
+      ( "iregs",
+        List
+          (Array.to_list
+             (Array.map (fun v -> J.Int v) s.Emu.Arch_state.iregs)) );
+      ( "fregs",
+        List
+          (Array.to_list
+             (Array.map freg_to_json s.Emu.Arch_state.fregs)) ) ]
+
+let final_state_decode j : Emu.Arch_state.t =
+  let pc = ref None and iregs = ref None and fregs = ref None in
+  result_obj ~what:"final_state" j ~field:(fun k v ->
+      match k with
+      | "pc" -> pc := Some (J.to_int v); true
+      | "iregs" ->
+        iregs := Some (Array.of_list (List.map J.to_int (J.to_list v)));
+        true
+      | "fregs" ->
+        fregs := Some (Array.of_list (List.map freg_of_json (J.to_list v)));
+        true
+      | _ -> false);
+  { Emu.Arch_state.pc = result_need "final_state.pc" !pc;
+    iregs = result_need "final_state.iregs" !iregs;
+    fregs = result_need "final_state.fregs" !fregs }
+
+let result_to_json (r : result) : J.t =
+  Obj
+    ([ ("cycles", J.Int r.cycles);
+       ("retired", J.Int r.retired);
+       ( "ipc",
+         J.Float (float_of_int r.retired /. float_of_int (max 1 r.cycles)) );
+       ("emulated_insts", J.Int r.emulated_insts);
+       ("wrong_path_insts", J.Int r.wrong_path_insts);
+       ( "retired_by_class",
+         J.List
+           (Array.to_list (Array.map (fun n -> J.Int n) r.retired_by_class))
+       );
+       ("branches", branch_stats_to_json r.branches);
+       ("cache", cache_stats_to_json r.cache) ]
+    @ (match r.memo with
+       | None -> []
+       | Some m -> [ ("memo", memo_stats_to_json m) ])
+    @ (match r.pcache with
+       | None -> []
+       | Some p -> [ ("pcache", pcache_counters_to_json p) ])
+    @ [ ("final_state", final_state_to_json r.final_state);
+        ("truncated", J.Bool r.truncated) ])
+
+let result_of_json j : (result, string) Stdlib.result =
+  let decode j =
+    let cycles = ref None and retired = ref None in
+    let emulated = ref None and wrong_path = ref None in
+    let classes = ref None and branches = ref None and cache = ref None in
+    let memo = ref None and pcache = ref None in
+    let final_state = ref None and truncated = ref None in
+    result_obj ~what:"result" j ~field:(fun k v ->
+        match k with
+        | "cycles" -> cycles := Some (J.to_int v); true
+        | "retired" -> retired := Some (J.to_int v); true
+        | "ipc" -> ignore (J.to_float v); true
+        | "emulated_insts" -> emulated := Some (J.to_int v); true
+        | "wrong_path_insts" -> wrong_path := Some (J.to_int v); true
+        | "retired_by_class" ->
+          classes := Some (Array.of_list (List.map J.to_int (J.to_list v)));
+          true
+        | "branches" -> branches := Some (branch_stats_decode v); true
+        | "cache" -> cache := Some (cache_stats_decode v); true
+        | "memo" -> memo := Some (memo_stats_decode v); true
+        | "pcache" -> pcache := Some (pcache_counters_decode v); true
+        | "final_state" -> final_state := Some (final_state_decode v); true
+        | "truncated" -> truncated := Some (J.to_bool v); true
+        | _ -> false);
+    { cycles = result_need "cycles" !cycles;
+      retired = result_need "retired" !retired;
+      retired_by_class = result_need "retired_by_class" !classes;
+      emulated_insts = result_need "emulated_insts" !emulated;
+      wrong_path_insts = result_need "wrong_path_insts" !wrong_path;
+      branches = result_need "branches" !branches;
+      cache = result_need "cache" !cache;
+      memo = !memo;
+      pcache = !pcache;
+      final_state = result_need "final_state" !final_state;
+      truncated = result_need "truncated" !truncated }
+  in
+  match decode j with
+  | v -> Ok v
+  | exception Failure m -> Error m
+  | exception J.Parse_error m -> Error ("result: " ^ m)
 
 (* Baseline results are reshaped into {!result} so every engine answers
    through one type. The baseline model has no direct-execution

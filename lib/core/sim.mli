@@ -128,21 +128,51 @@ module Spec : sig
   val engine_of_string : string -> (engine, string) Stdlib.result
 
   val params_to_json : Uarch.Params.t -> Fastsim_obs.Json.t
-  val params_of_json : Fastsim_obs.Json.t -> Uarch.Params.t
   val cache_config_to_json : Cachesim.Config.t -> Fastsim_obs.Json.t
-  val cache_config_of_json : Fastsim_obs.Json.t -> Cachesim.Config.t
 
   val to_json : t -> Fastsim_obs.Json.t
   (** Serialises the configuration part of the spec. Runtime-only fields
       (pcache, obs, observer) are omitted; [max_cycles] is omitted when
       unlimited. *)
 
-  val of_json : Fastsim_obs.Json.t -> t
+  val of_json_result : Fastsim_obs.Json.t -> (t, string) Stdlib.result
   (** Decodes a (possibly partial) spec object by overlaying its fields
       on {!default}; [params] and [cache_config] sub-objects may also be
-      partial. Raises [Failure] on unknown keys or ill-typed values, so a
-      manifest typo fails loudly. *)
+      partial. Unknown keys, {e duplicate} keys and ill-typed values are
+      errors, so a manifest typo — or a malformed wire request — fails
+      loudly instead of silently running the default (or last-wins)
+      configuration. This is the primary decoder; the serve daemon,
+      manifest reader and fuzz loaders all consume untrusted input
+      through it. *)
+
+  val params_of_json_result :
+    Fastsim_obs.Json.t -> (Uarch.Params.t, string) Stdlib.result
+
+  val cache_config_of_json_result :
+    Fastsim_obs.Json.t -> (Cachesim.Config.t, string) Stdlib.result
+
+  val of_json : Fastsim_obs.Json.t -> t
+  (** Raising wrapper over {!of_json_result}: raises [Failure] with the
+      same message. *)
+
+  val params_of_json : Fastsim_obs.Json.t -> Uarch.Params.t
+  val cache_config_of_json : Fastsim_obs.Json.t -> Cachesim.Config.t
 end
+
+val result_to_json : result -> Fastsim_obs.Json.t
+(** Serialises a {!result} completely — including [final_state] and the
+    optional [memo]/[pcache] statistics (omitted when [None]) — so that
+    {!result_of_json} decodes it back structurally equal ([=]); float
+    fields rely on {!Fastsim_obs.Json}'s exact round-trip printing. Also
+    emits derived conveniences for human consumers ([ipc],
+    [memo.detailed_fraction], [memo.avg_chain]) which the decoder accepts
+    but ignores. The sweep report and the serve daemon's [result] frames
+    both use this encoding. *)
+
+val result_of_json : Fastsim_obs.Json.t -> (result, string) Stdlib.result
+(** Strict decoder for {!result_to_json}'s output: unknown keys,
+    duplicate keys, ill-typed values and missing required fields are
+    errors. *)
 
 val run : engine:engine -> Spec.t -> Isa.Program.t -> result
 (** Runs one simulation. [`Fast] and [`Slow] produce identical cycle

@@ -49,7 +49,8 @@ let cache_axis_of_json = function
       | None -> "custom"
     in
     let overrides = J.Obj (List.remove_assoc "name" fields) in
-    { c_name = name; c_config = Spec.cache_config_of_json overrides }
+    { c_name = name;
+      c_config = ok_or_err (Spec.cache_config_of_json_result overrides) }
   | j -> err "bad cache config %s" (J.to_string j)
 
 let cache_axis_to_json { c_name; c_config } =
@@ -76,9 +77,12 @@ let ints what = function
 let of_json j =
   match j with
   | J.Obj fields ->
+    let seen = Hashtbl.create 16 in
     let m =
       List.fold_left
         (fun m (k, v) ->
+          if Hashtbl.mem seen k then err "duplicate key %S" k;
+          Hashtbl.add seen k ();
           match k with
           | "workloads" -> { m with workloads = strings "workloads" v }
           | "scales" -> { m with scales = Some (ints "scales" v) }
@@ -102,7 +106,8 @@ let of_json j =
                 List.map
                   (fun s -> ok_or_err (Spec.policy_of_string s))
                   (strings "policies" v) }
-          | "params" -> { m with params = Spec.params_of_json v }
+          | "params" ->
+            { m with params = ok_or_err (Spec.params_of_json_result v) }
           | "max_cycles" -> { m with max_cycles = Some (J.to_int v) }
           | "warm" -> { m with warm = J.to_bool v }
           | "fault" ->
@@ -125,6 +130,12 @@ let of_json j =
      | _ -> ());
     m
   | j -> err "manifest must be an object, got %s" (J.to_string j)
+
+let of_json_result j =
+  match of_json j with
+  | m -> Ok m
+  | exception Failure m -> Error m
+  | exception J.Parse_error m -> Error ("manifest: " ^ m)
 
 let to_json m =
   let fields =

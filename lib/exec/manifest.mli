@@ -50,9 +50,12 @@ val make : workloads:string list -> unit -> t
     predictor, default cache, unbounded policy, default scales, no
     warming. *)
 
+val of_json_result : Fastsim_obs.Json.t -> (t, string) result
+(** Rejects unknown keys, {e duplicate} keys, unknown axis values and
+    ill-typed fields. *)
+
 val of_json : Fastsim_obs.Json.t -> t
-(** Raises [Failure] on unknown keys, unknown axis values or ill-typed
-    fields. *)
+(** Raising wrapper over {!of_json_result} ([Failure]). *)
 
 val to_json : t -> Fastsim_obs.Json.t
 (** Canonical echo of the manifest (embedded in the report). *)

@@ -115,15 +115,6 @@ let map_domains ?on_outcome ~jobs ~retries f n =
    exits. The parent keeps up to [jobs] children alive, reaps with
    WNOHANG, and SIGKILLs any child that outlives the timeout. *)
 
-type running = {
-  pid : int;
-  task : int;
-  attempt : int;
-  started : float;
-  result_file : string;
-  mutable killed : bool;
-}
-
 let child_run f task result_file =
   (* Never let anything escape the child except its exit. *)
   let result =
@@ -156,28 +147,112 @@ let status_to_string = function
   | Unix.WSIGNALED n -> Printf.sprintf "killed by signal %d" n
   | Unix.WSTOPPED n -> Printf.sprintf "stopped by signal %d" n
 
+(* ---------------------------------------------------------------- *)
+(* Incremental fork-task API: spawn one child, poll it from an event
+   loop, kill it on timeout/cancellation. [map_fork] below is a batch
+   driver over this; the serve daemon is an incremental one. *)
+
+module Async = struct
+  type 'a state = Running | Settled of 'a outcome
+
+  type 'a task = {
+    pid : int;
+    result_file : string;
+    started : float;
+    mutable killed : bool;
+    mutable state : 'a state;
+  }
+
+  let spawn ~scratch_dir ~tag f =
+    let result_file = Filename.concat scratch_dir (tag ^ ".res") in
+    (* Flush so the child does not replay the parent's buffered output. *)
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 -> child_run f () result_file
+    | pid ->
+      { pid; result_file; started = Unix.gettimeofday (); killed = false;
+        state = Running }
+
+  let pid t = t.pid
+  let elapsed t = Unix.gettimeofday () -. t.started
+
+  (* The child is gone (reaped, or reaped elsewhere): derive the outcome.
+     A result file that parses wins even for a killed child — the work
+     finished, the kill merely raced its exit. The file is consumed
+     immediately: a stale file surviving into a later task with the same
+     tag would be unmarshalled as that task's result type — a
+     memory-unsafe type confusion. *)
+  let settle t status_opt =
+    let outcome =
+      match read_result_file t.result_file with
+      | Some (Ok v) -> Done v
+      | Some (Error msg) -> Crashed msg
+      | None ->
+        if t.killed then Timed_out
+        else
+          Crashed
+            ("worker "
+            ^
+            match status_opt with
+            | Some status -> status_to_string status
+            | None -> "exited (reaped elsewhere)")
+    in
+    (try Sys.remove t.result_file with Sys_error _ -> ());
+    (try Sys.remove (t.result_file ^ ".tmp") with Sys_error _ -> ());
+    t.state <- Settled outcome;
+    outcome
+
+  (* Poll only this task's pid: waitpid(-1) would also reap — and
+     silently discard the status of — any other child of the host
+     process (library embeddings, a concurrent pool). *)
+  let poll t =
+    match t.state with
+    | Settled o -> Some o
+    | Running -> (
+      match Unix.waitpid [ Unix.WNOHANG ] t.pid with
+      | 0, _ -> None
+      | _, status -> Some (settle t (Some status))
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+        Some (settle t None)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> None)
+
+  let kill t =
+    match t.state with
+    | Settled _ -> ()
+    | Running ->
+      t.killed <- true;
+      (try Unix.kill t.pid Sys.sigkill with _ -> ())
+
+  let stop t =
+    match t.state with
+    | Settled _ -> ()
+    | Running ->
+      kill t;
+      let rec wait () =
+        match Unix.waitpid [] t.pid with
+        | _, status -> ignore (settle t (Some status) : _ outcome)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+          ignore (settle t None : _ outcome)
+      in
+      wait ()
+end
+
 let map_fork ?on_outcome ~jobs ~timeout_s ~retries ~scratch_dir f n =
   let results = Array.make n None in
   let pending = Queue.create () in
   for i = 0 to n - 1 do
     Queue.add (i, 1) pending
   done;
-  let running : running list ref = ref [] in
+  let running : (int * int * _ Async.task) list ref = ref [] in
   let spawn (task, attempt) =
-    let result_file =
-      Filename.concat scratch_dir
-        (Printf.sprintf "task-%d-attempt-%d.res" task attempt)
+    let t =
+      Async.spawn ~scratch_dir
+        ~tag:(Printf.sprintf "task-%d-attempt-%d" task attempt)
+        (fun () -> f task)
     in
-    (* Flush so the child does not replay the parent's buffered output. *)
-    flush stdout;
-    flush stderr;
-    match Unix.fork () with
-    | 0 -> child_run f task result_file
-    | pid ->
-      running :=
-        { pid; task; attempt; started = Unix.gettimeofday ();
-          result_file; killed = false }
-        :: !running
+    running := (task, attempt, t) :: !running
   in
   let settle task attempt outcome =
     match outcome with
@@ -188,65 +263,29 @@ let map_fork ?on_outcome ~jobs ~timeout_s ~retries ~scratch_dir f n =
       results.(task) <- Some settled;
       (match on_outcome with None -> () | Some cb -> cb task settled)
   in
-  let reap pid status =
-    match List.partition (fun r -> r.pid = pid) !running with
-    | [ r ], rest ->
-      running := rest;
-      let outcome =
-        (* A result file that parses wins even for a killed child: the
-           work finished, the kill merely raced its exit. *)
-        match read_result_file r.result_file with
-        | Some (Ok v) -> Done v
-        | Some (Error msg) -> Crashed msg
-        | None ->
-          if r.killed then Timed_out
-          else Crashed ("worker " ^ status_to_string status)
-      in
-      (* Consume the result file now: a stale file surviving into a later
-         Pool.map over the same scratch dir would be unmarshalled as that
-         call's result type — a memory-unsafe type confusion. *)
-      (try Sys.remove r.result_file with Sys_error _ -> ());
-      (try Sys.remove (r.result_file ^ ".tmp") with Sys_error _ -> ());
-      settle r.task r.attempt outcome
-    | _ -> () (* not one of ours; ignore *)
-  in
   Fun.protect
     ~finally:(fun () ->
       (* Only reached with children still running when an exception is
          escaping: kill them, then reap so they don't linger as zombies. *)
-      List.iter
-        (fun r ->
-          (try Unix.kill r.pid Sys.sigkill with _ -> ());
-          try ignore (Unix.waitpid [] r.pid) with _ -> ())
-        !running)
+      List.iter (fun (_, _, t) -> Async.stop t) !running)
     (fun () ->
       while (not (Queue.is_empty pending)) || !running <> [] do
         while (not (Queue.is_empty pending)) && List.length !running < jobs do
           spawn (Queue.pop pending)
         done;
-        (* Poll only the pool's own pids: waitpid(-1) would also reap —
-           and silently discard the status of — any other child of the
-           host process (library embeddings, a concurrent pool). *)
+        let still = ref [] in
         List.iter
-          (fun r ->
-            match Unix.waitpid [ Unix.WNOHANG ] r.pid with
-            | 0, _ -> ()
-            | pid, status -> reap pid status
-            | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
-              (* someone else reaped it; settle from the result file *)
-              reap r.pid (Unix.WEXITED 0)
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+          (fun ((task, attempt, t) as r) ->
+            match Async.poll t with
+            | Some outcome -> settle task attempt outcome
+            | None -> still := r :: !still)
           !running;
-        if timeout_s > 0. then begin
-          let now = Unix.gettimeofday () in
+        running := List.rev !still;
+        if timeout_s > 0. then
           List.iter
-            (fun r ->
-              if (not r.killed) && now -. r.started > timeout_s then begin
-                r.killed <- true;
-                try Unix.kill r.pid Sys.sigkill with _ -> ()
-              end)
-            !running
-        end;
+            (fun (_, _, t) ->
+              if Async.elapsed t > timeout_s then Async.kill t)
+            !running;
         if !running <> [] then Unix.sleepf 0.002
       done);
   results

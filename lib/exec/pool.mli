@@ -60,3 +60,37 @@ val map :
 val with_temp_dir : prefix:string -> (string -> 'a) -> 'a
 (** Creates a fresh private directory under the system temp dir, passes
     it to the callback, and removes it (recursively) afterwards. *)
+
+(** The incremental face of the Fork backend: spawn one worker process
+    per call, poll it from an event loop, kill it on timeout or
+    cancellation. {!map} with [~backend:Fork] is a batch driver over
+    this; the serve daemon ([Fastsim_serve]) is an incremental one. *)
+module Async : sig
+  type 'a task
+
+  val spawn : scratch_dir:string -> tag:string -> (unit -> 'a) -> 'a task
+  (** Forks a child that evaluates the thunk, marshals the result to
+      [scratch_dir/tag.res] (atomically: temp name + rename) and exits.
+      [tag] must be unique among concurrently-live tasks sharing a
+      scratch dir. As with {!map}, ['a] crosses the process boundary via
+      [Marshal] and must be closure-free plain data. *)
+
+  val poll : 'a task -> 'a outcome option
+  (** [None] while the child runs. The first [Some] settles the task:
+      the child is reaped (only this task's pid is waited on), the
+      result file is read and {e consumed}. Subsequent polls return the
+      same outcome. A killed task whose result file nevertheless parses
+      settles [Done] (the kill raced its exit); otherwise it settles
+      {!Timed_out}. *)
+
+  val kill : 'a task -> unit
+  (** SIGKILLs a running child (no-op once settled). The task stays
+      un-settled until the next {!poll} reaps it. *)
+
+  val stop : 'a task -> unit
+  (** {!kill} + blocking reap: for shutdown paths. No-op once settled. *)
+
+  val pid : 'a task -> int
+  val elapsed : 'a task -> float
+  (** Seconds since {!spawn}. *)
+end

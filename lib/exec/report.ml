@@ -85,11 +85,11 @@ let rollups_json t =
     let speedup = slow.Runner.wall_s /. fast.Runner.wall_s in
     J.Obj
       [ ("key", J.Str key);
-        ("cycles", J.Int slow.Runner.summary.Runner.cycles);
+        ("cycles", J.Int slow.Runner.summary.Fastsim.Sim.cycles);
         ( "cycle_agreement",
           J.Bool
-            (slow.Runner.summary.Runner.cycles
-            = fast.Runner.summary.Runner.cycles) );
+            (slow.Runner.summary.Fastsim.Sim.cycles
+            = fast.Runner.summary.Fastsim.Sim.cycles) );
         ("slow_wall_s", J.Float slow.Runner.wall_s);
         ("fast_wall_s", J.Float fast.Runner.wall_s);
         ("speedup", J.Float speedup) ]
@@ -103,7 +103,7 @@ let rollups_json t =
   let agreement =
     List.for_all
       (fun (_, (f : Runner.run_result), (s : Runner.run_result)) ->
-        f.Runner.summary.Runner.cycles = s.Runner.summary.Runner.cycles)
+        f.Runner.summary.Fastsim.Sim.cycles = s.Runner.summary.Fastsim.Sim.cycles)
       entries_pairs
   in
   let total_wall =

@@ -1,33 +1,11 @@
-module J = Fastsim_obs.Json
 module Spec = Fastsim.Sim.Spec
 
-type summary = {
-  cycles : int;
-  retired : int;
-  emulated_insts : int;
-  wrong_path_insts : int;
-  retired_by_class : int array;
-  branches : Fastsim.Sim.branch_stats;
-  cache : Cachesim.Hierarchy.stats;
-  memo : Memo.Stats.t option;
-  pcache : Memo.Pcache.counters option;
-}
+type summary = Fastsim.Sim.result
 
 type run_result = {
   summary : summary;
   wall_s : float;
 }
-
-let summary_of_result (r : Fastsim.Sim.result) =
-  { cycles = r.Fastsim.Sim.cycles;
-    retired = r.Fastsim.Sim.retired;
-    emulated_insts = r.Fastsim.Sim.emulated_insts;
-    wrong_path_insts = r.Fastsim.Sim.wrong_path_insts;
-    retired_by_class = r.Fastsim.Sim.retired_by_class;
-    branches = r.Fastsim.Sim.branches;
-    cache = r.Fastsim.Sim.cache;
-    memo = r.Fastsim.Sim.memo;
-    pcache = r.Fastsim.Sim.pcache }
 
 let touch path =
   let oc = open_out_gen [ Open_creat; Open_wronly ] 0o644 path in
@@ -65,67 +43,7 @@ let run_sim (job : Job.t) =
   (r, Unix.gettimeofday () -. t0)
 
 let run_job job =
-  let r, wall_s = run_sim job in
-  { summary = summary_of_result r; wall_s }
+  let summary, wall_s = run_sim job in
+  { summary; wall_s }
 
-let summary_to_json s =
-  let branch_json (b : Fastsim.Sim.branch_stats) =
-    J.Obj
-      [ ("conditionals", J.Int b.Fastsim.Sim.conditionals);
-        ("mispredicted", J.Int b.Fastsim.Sim.mispredicted);
-        ("indirects", J.Int b.Fastsim.Sim.indirects);
-        ("misfetched", J.Int b.Fastsim.Sim.misfetched) ]
-  in
-  let cache_json (c : Cachesim.Hierarchy.stats) =
-    J.Obj
-      [ ("loads", J.Int c.Cachesim.Hierarchy.loads);
-        ("stores", J.Int c.Cachesim.Hierarchy.stores);
-        ("l1_hits", J.Int c.Cachesim.Hierarchy.l1_hits);
-        ("l1_misses", J.Int c.Cachesim.Hierarchy.l1_misses);
-        ("l2_hits", J.Int c.Cachesim.Hierarchy.l2_hits);
-        ("l2_misses", J.Int c.Cachesim.Hierarchy.l2_misses);
-        ("writebacks", J.Int c.Cachesim.Hierarchy.writebacks);
-        ("merged_misses", J.Int c.Cachesim.Hierarchy.merged_misses) ]
-  in
-  let memo_json (m : Memo.Stats.t) =
-    J.Obj
-      [ ("detailed_retired", J.Int m.Memo.Stats.detailed_retired);
-        ("replayed_retired", J.Int m.Memo.Stats.replayed_retired);
-        ("detailed_cycles", J.Int m.Memo.Stats.detailed_cycles);
-        ("replayed_cycles", J.Int m.Memo.Stats.replayed_cycles);
-        ("detailed_fraction", J.Float (Memo.Stats.detailed_fraction m));
-        ("actions_replayed", J.Int m.Memo.Stats.actions_replayed);
-        ("groups_replayed", J.Int m.Memo.Stats.groups_replayed);
-        ("episodes", J.Int m.Memo.Stats.episodes);
-        ("avg_chain", J.Float (Memo.Stats.avg_chain m));
-        ("max_chain", J.Int m.Memo.Stats.chain_max);
-        ("detailed_entries", J.Int m.Memo.Stats.detailed_entries) ]
-  in
-  let pcache_json (p : Memo.Pcache.counters) =
-    J.Obj
-      [ ("static_configs", J.Int p.Memo.Pcache.static_configs);
-        ("static_actions", J.Int p.Memo.Pcache.static_actions);
-        ("live_configs", J.Int p.Memo.Pcache.live_configs);
-        ("modeled_bytes", J.Int p.Memo.Pcache.modeled_bytes);
-        ("peak_modeled_bytes", J.Int p.Memo.Pcache.peak_modeled_bytes);
-        ("flushes", J.Int p.Memo.Pcache.flushes);
-        ("minor_collections", J.Int p.Memo.Pcache.minor_collections);
-        ("full_collections", J.Int p.Memo.Pcache.full_collections) ]
-  in
-  J.Obj
-    ([ ("cycles", J.Int s.cycles);
-       ("retired", J.Int s.retired);
-       ( "ipc",
-         J.Float (float_of_int s.retired /. float_of_int (max 1 s.cycles)) );
-       ("emulated_insts", J.Int s.emulated_insts);
-       ("wrong_path_insts", J.Int s.wrong_path_insts);
-       ( "retired_by_class",
-         J.List (Array.to_list (Array.map (fun n -> J.Int n) s.retired_by_class))
-       );
-       ("branches", branch_json s.branches);
-       ("cache", cache_json s.cache) ]
-    @ (match s.memo with None -> [] | Some m -> [ ("memo", memo_json m) ])
-    @
-    match s.pcache with
-    | None -> []
-    | Some p -> [ ("pcache", pcache_json p) ])
+let summary_to_json = Fastsim.Sim.result_to_json

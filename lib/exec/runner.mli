@@ -2,21 +2,15 @@
 
     This is the piece of the sweep driver that workers run: it resolves
     the workload, builds the program, warm-starts the p-action cache when
-    the job carries one, runs the requested engine and reduces the result
-    to a plain, process-boundary-safe summary (no closures, no simulator
-    state), so the fork backend can ship it back to the parent. *)
+    the job carries one and runs the requested engine. The result is
+    plain, process-boundary-safe data (no closures, no simulator state),
+    so the fork backend can ship it back to the parent. *)
 
-type summary = {
-  cycles : int;
-  retired : int;
-  emulated_insts : int;
-  wrong_path_insts : int;
-  retired_by_class : int array;
-  branches : Fastsim.Sim.branch_stats;
-  cache : Cachesim.Hierarchy.stats;
-  memo : Memo.Stats.t option;           (** fast engine only. *)
-  pcache : Memo.Pcache.counters option; (** fast engine only. *)
-}
+type summary = Fastsim.Sim.result
+(** Historically a reduced projection of {!Fastsim.Sim.result}; since the
+    result type became fully serialisable ({!Fastsim.Sim.result_to_json})
+    the "summary" {e is} the result, and report/serve consumers share one
+    codec. *)
 
 type run_result = {
   summary : summary;
@@ -25,8 +19,6 @@ type run_result = {
           warm-cache loading are excluded. *)
 }
 
-val summary_of_result : Fastsim.Sim.result -> summary
-
 val run_sim : Job.t -> Fastsim.Sim.result * float
 (** Runs the job and returns the full simulation result plus the wall
     clock of the simulation proper. Injected faults fire first (see
@@ -34,6 +26,7 @@ val run_sim : Job.t -> Fastsim.Sim.result * float
     bench harness, which wants the unreduced result. *)
 
 val run_job : Job.t -> run_result
-(** [run_sim] followed by {!summary_of_result}. *)
+(** {!run_sim} repackaged with the wall clock. *)
 
 val summary_to_json : summary -> Fastsim_obs.Json.t
+(** Alias of {!Fastsim.Sim.result_to_json}. *)

@@ -147,7 +147,7 @@ let run ?(config = default_config) manifest =
             match s.Pool.outcome with
             | Pool.Done r ->
               progress cfg "[%d/%d] %s: %d cycles in %.2fs%s" !n_settled
-                (Array.length jobs) label r.Runner.summary.Runner.cycles
+                (Array.length jobs) label r.Runner.summary.Fastsim.Sim.cycles
                 r.Runner.wall_s
                 (if s.Pool.attempts > 1 then
                    Printf.sprintf " (attempt %d)" s.Pool.attempts

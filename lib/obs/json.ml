@@ -28,7 +28,22 @@ let rec to_buffer buf = function
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int i -> Buffer.add_string buf (string_of_int i)
   | Float f ->
-    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.12g" f)
+    if Float.is_finite f then begin
+      (* Shortest representation that parses back to the same double:
+         %.12g suffices for almost every value the simulator emits (and
+         keeps existing outputs stable); values that genuinely need more
+         precision fall back to %.17g, which is always exact. The wire
+         result codec (Sim.result_of_json) relies on this. *)
+      let s = Printf.sprintf "%.12g" f in
+      let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+      (* Keep a marker of floatness so the parser reads the value back as
+         a Float (and "-0" keeps its sign instead of collapsing to Int 0). *)
+      let s =
+        if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+        else s ^ ".0"
+      in
+      Buffer.add_string buf s
+    end
     else Buffer.add_string buf "null"
   | Str s -> escape_to buf s
   | List l ->

@@ -6,7 +6,9 @@
     specs) without pulling a JSON dependency into the core libraries;
     this is a complete, escaping implementation of both directions.
     Non-finite floats serialise as [null] (JSON has no representation
-    for them). *)
+    for them); finite floats print with enough digits to parse back to
+    the identical double, so a print/parse round-trip is exact — the
+    wire result codec depends on this. *)
 
 type t =
   | Null

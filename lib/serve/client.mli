@@ -1,0 +1,42 @@
+(** Blocking client for the serve protocol (docs/SERVE.md).
+
+    Thin by design: {!connect} performs the hello exchange, {!send} /
+    {!recv} move single frames, and the convenience wrappers implement
+    the common request/response conversations. One connection is one
+    ordered frame stream; this client does not interleave concurrent
+    requests (the protocol allows it — tag requests with distinct ids
+    and match responses by id). *)
+
+type t
+
+val connect :
+  ?retries:int -> ?retry_delay_s:float -> Proto.address -> (t, string) result
+(** Connects and exchanges [hello]. [retries] (default 0) re-attempts
+    the connection — for clients racing a daemon that is still binding
+    its socket — sleeping [retry_delay_s] (default 0.1) between tries. *)
+
+val close : t -> unit
+
+val send : t -> Proto.request -> (unit, string) result
+val recv : t -> (Proto.response, string) result
+(** [recv] blocks for the next frame; a closed connection or malformed
+    frame is [Error]. *)
+
+val run :
+  t ->
+  id:string ->
+  engine:Fastsim.Sim.engine ->
+  spec:Fastsim.Sim.Spec.t ->
+  ?fault:string ->
+  Proto.program_ref ->
+  (Proto.response, string) result
+(** Sends a [run] request and reads frames until its terminal response:
+    the [result] frame, or an [error] frame carrying this request's id
+    (or no id). Intervening frames for other ids are an error (this
+    client never multiplexes). The [accepted] frame is consumed
+    silently. *)
+
+val stats : t -> id:string -> (Fastsim_obs.Json.t, string) result
+val ping : t -> id:string -> (unit, string) result
+val shutdown : t -> id:string -> (unit, string) result
+(** Requests a graceful drain; returns once the server acknowledges. *)

@@ -1,0 +1,202 @@
+module J = Fastsim_obs.Json
+
+type entry = {
+  e_digest : string;
+  e_spec_key : string;
+  e_file : string;  (* fixed path in the registry dir; may not exist yet *)
+  mutable e_hot : Memo.Pcache.t option;
+  mutable e_has_file : bool;
+  mutable e_bytes : int;     (* modeled bytes of the hot form *)
+  mutable e_last_use : int;
+  mutable e_hits : int;
+}
+
+type t = {
+  dir : string;
+  budget : int option;
+  program_of : string -> Isa.Program.t option;
+  tbl : (string * string, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable reloads : int;
+  mutable spills : int;
+  mutable evictions : int;
+}
+
+let create ~dir ?budget_bytes ?(program_of = fun _ -> None) () =
+  (match Unix.mkdir dir 0o700 with
+   | () -> ()
+   | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  { dir; budget = budget_bytes; program_of; tbl = Hashtbl.create 16;
+    tick = 0; hits = 0; misses = 0; reloads = 0; spills = 0; evictions = 0 }
+
+let spec_key spec = J.to_string (Fastsim.Sim.Spec.to_json spec)
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.e_last_use <- t.tick
+
+let file_for t ~digest ~spec_key =
+  Filename.concat t.dir
+    (Printf.sprintf "%s-%s.pcache" digest
+       (Digest.to_hex (Digest.string spec_key)))
+
+let entry t ~digest ~spec_key =
+  let key = (digest, spec_key) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some e -> e
+  | None ->
+    let e =
+      { e_digest = digest; e_spec_key = spec_key;
+        e_file = file_for t ~digest ~spec_key; e_hot = None;
+        e_has_file = false; e_bytes = 0; e_last_use = 0; e_hits = 0 }
+    in
+    Hashtbl.add t.tbl key e;
+    e
+
+let hot_bytes t =
+  Hashtbl.fold
+    (fun _ e acc -> if e.e_hot <> None then acc + e.e_bytes else acc)
+    t.tbl 0
+
+(* Drop hot forms, least recently used first, until the hot footprint
+   fits the budget. A hot cache with no up-to-date file is saved first
+   (a spill); recorded work is never discarded. [keep] protects the
+   entry being served right now. *)
+let enforce_budget t ~keep =
+  match t.budget with
+  | None -> ()
+  | Some budget ->
+    let over () = hot_bytes t > budget in
+    while
+      over ()
+      &&
+      let victim =
+        Hashtbl.fold
+          (fun _ e best ->
+            let kept =
+              match keep with Some k -> k == e | None -> false
+            in
+            if e.e_hot = None || kept then best
+            else
+              match best with
+              | Some b when b.e_last_use <= e.e_last_use -> best
+              | _ -> Some e)
+          t.tbl None
+      in
+      match victim with
+      | None -> false
+      | Some e ->
+        (match e.e_hot with
+         | Some pc when not e.e_has_file -> (
+           match t.program_of e.e_digest with
+           | Some program ->
+             Memo.Persist.save_file pc ~program e.e_file;
+             e.e_has_file <- true;
+             t.spills <- t.spills + 1
+           | None -> () (* no program to save against: drop the work *))
+         | _ -> ());
+        e.e_hot <- None;
+        t.evictions <- t.evictions + 1;
+        true
+    do
+      ()
+    done
+
+let acquire t ~digest ~spec_key ~policy ~program =
+  match Hashtbl.find_opt t.tbl (digest, spec_key) with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some e -> (
+    touch t e;
+    match e.e_hot with
+    | Some pc ->
+      t.hits <- t.hits + 1;
+      e.e_hits <- e.e_hits + 1;
+      Some pc
+    | None ->
+      if not e.e_has_file then begin
+        t.misses <- t.misses + 1;
+        None
+      end
+      else
+        match Memo.Persist.load_file ~policy ~program e.e_file with
+        | pc ->
+          t.hits <- t.hits + 1;
+          t.reloads <- t.reloads + 1;
+          e.e_hits <- e.e_hits + 1;
+          e.e_hot <- Some pc;
+          e.e_bytes <- (Memo.Pcache.counters pc).Memo.Pcache.modeled_bytes;
+          enforce_budget t ~keep:(Some e);
+          Some pc
+        | exception _ ->
+          (* corrupt or vanished spill: forget it and start cold *)
+          (try Sys.remove e.e_file with Sys_error _ -> ());
+          Hashtbl.remove t.tbl (digest, spec_key);
+          t.misses <- t.misses + 1;
+          None)
+
+let commit_mem t ~digest ~spec_key pc =
+  let e = entry t ~digest ~spec_key in
+  touch t e;
+  e.e_hot <- Some pc;
+  e.e_bytes <- (Memo.Pcache.counters pc).Memo.Pcache.modeled_bytes;
+  (* the live cache has moved past any previous spill *)
+  if e.e_has_file then begin
+    (try Sys.remove e.e_file with Sys_error _ -> ());
+    e.e_has_file <- false
+  end;
+  enforce_budget t ~keep:(Some e)
+
+let commit_file t ~digest ~spec_key ~src ~bytes =
+  let e = entry t ~digest ~spec_key in
+  touch t e;
+  (match Sys.rename src e.e_file with
+   | () -> ()
+   | exception Sys_error _ -> (
+     (* cross-filesystem: copy then remove *)
+     try
+       let ic = open_in_bin src in
+       let oc = open_out_bin e.e_file in
+       let buf = Bytes.create 65536 in
+       let rec pump () =
+         let n = input ic buf 0 (Bytes.length buf) in
+         if n > 0 then begin
+           output oc buf 0 n;
+           pump ()
+         end
+       in
+       pump ();
+       close_in_noerr ic;
+       close_out oc;
+       Sys.remove src
+     with _ -> ()));
+  if Sys.file_exists e.e_file then begin
+    e.e_has_file <- true;
+    e.e_bytes <- bytes;
+    (* the file is newer than any hot copy the parent kept *)
+    e.e_hot <- None
+  end
+
+let entry_count t = Hashtbl.length t.tbl
+
+let hot_count t =
+  Hashtbl.fold (fun _ e n -> if e.e_hot <> None then n + 1 else n) t.tbl 0
+
+let hits t = t.hits
+let misses t = t.misses
+let spills t = t.spills
+let reloads t = t.reloads
+
+let stats_json t =
+  J.Obj
+    [ ("entries", J.Int (entry_count t));
+      ("hot_entries", J.Int (hot_count t));
+      ("hot_bytes", J.Int (hot_bytes t));
+      ("hits", J.Int t.hits);
+      ("misses", J.Int t.misses);
+      ("reloads", J.Int t.reloads);
+      ("spills", J.Int t.spills);
+      ("evictions", J.Int t.evictions) ]

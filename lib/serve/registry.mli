@@ -1,0 +1,73 @@
+(** The warm p-action-cache registry.
+
+    The daemon's reason to exist: cross-request reuse of memoization
+    state. Entries are keyed by [(program digest, serialisable spec)] —
+    the exact pair under which a p-action cache's recorded timings are
+    valid — and hold the cache in one or both of two forms: {e hot} (a
+    live {!Memo.Pcache.t} in the server process, ready to hand to an
+    in-process run or to share with a forked worker by copy-on-write)
+    and {e spilled} (a {!Memo.Persist} file in the registry directory).
+
+    A byte budget bounds the {e hot} footprint, measured in the caches'
+    own modeled bytes. When the budget overflows, least-recently-used
+    entries are spilled: the hot cache is dropped (saved to its file
+    first if no up-to-date file exists), and a later {!acquire} reloads
+    it — so eviction costs a reload, never recorded work. *)
+
+type t
+
+val create :
+  dir:string ->
+  ?budget_bytes:int ->
+  ?program_of:(string -> Isa.Program.t option) ->
+  unit ->
+  t
+(** [dir] holds the registry's persist files (created if missing).
+    [budget_bytes] bounds the summed modeled bytes of hot entries;
+    omitted = unbounded. [program_of] resolves a hex digest back to its
+    program so an evicted hot cache can be spilled ({!Memo.Persist}
+    saves are program-tied); without it (default), eviction of a
+    file-less hot entry discards the cache instead of spilling. *)
+
+val spec_key : Fastsim.Sim.Spec.t -> string
+(** Canonical registry key for a spec: the serialised form of its
+    configuration part. Runtime-only fields do not participate. *)
+
+val acquire :
+  t ->
+  digest:string ->
+  spec_key:string ->
+  policy:Memo.Pcache.policy ->
+  program:Isa.Program.t ->
+  Memo.Pcache.t option
+(** Warm cache for this (program, spec), or [None] on a miss. A spilled
+    entry is reloaded from its file (counted in [reloads]); a reload
+    failure (corrupt/missing file) drops the entry and reports a miss.
+    The returned cache is the registry's hot copy: an in-process caller
+    may mutate it (and should {!commit_mem} afterwards); a forking
+    caller shares it with the child for free via copy-on-write. *)
+
+val commit_mem :
+  t -> digest:string -> spec_key:string -> Memo.Pcache.t -> unit
+(** After an in-process run: (re)install the live cache as the entry's
+    hot form, refresh its LRU position and byte accounting, and drop any
+    stale spill file. *)
+
+val commit_file :
+  t -> digest:string -> spec_key:string -> src:string -> bytes:int -> unit
+(** After a forked run: adopt the persist file the worker wrote at
+    [src] (renamed into the registry dir, falling back to copy across
+    filesystems). [bytes] is the cache's modeled size as reported by the
+    worker. The entry's hot form, if any, is dropped as stale — the next
+    {!acquire} reloads the newer file. *)
+
+val stats_json : t -> Fastsim_obs.Json.t
+(** [{entries, hot_entries, hot_bytes, hits, misses, reloads, spills,
+    evictions}] — surfaced in the daemon's [stats] frames. *)
+
+val entry_count : t -> int
+val hot_count : t -> int
+val hits : t -> int
+val misses : t -> int
+val spills : t -> int
+val reloads : t -> int

@@ -1,0 +1,692 @@
+module J = Fastsim_obs.Json
+module Spec = Fastsim.Sim.Spec
+module Async = Fastsim_exec.Pool.Async
+
+type backend = [ `Fork | `Inline ]
+
+type config = {
+  address : Proto.address;
+  backend : backend;
+  jobs : int;
+  queue_max : int;
+  timeout_s : float;
+  registry_budget : int option;
+  scratch_dir : string option;
+  allow_fault : bool;
+  quiet : bool;
+}
+
+let default_config address =
+  { address; backend = `Fork; jobs = 2; queue_max = 64; timeout_s = 0.;
+    registry_budget = None; scratch_dir = None; allow_fault = false;
+    quiet = false }
+
+(* ---------------------------------------------------------------- *)
+(* Connections. *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_id : int;
+  c_dec : Proto.Decoder.t;
+  c_out : Buffer.t;
+  mutable c_out_pos : int;
+  mutable c_greeted : bool;
+  mutable c_closing : bool;  (* close once the out buffer drains *)
+  mutable c_dead : bool;
+}
+
+let send conn resp =
+  Buffer.add_bytes conn.c_out
+    (Proto.encode_frame (Proto.response_to_json resp))
+
+(* A run waiting for a worker slot. *)
+type pending = {
+  p_conn : int;
+  p_id : string;
+  p_engine : Fastsim.Sim.engine;
+  p_spec : Spec.t;
+  p_prog : Isa.Program.t;
+  p_digest : string;
+  p_spec_key : string;
+  p_fault : string option;
+}
+
+(* What a worker ships back: the full result, the wall clock, and the
+   post-run modeled byte size of the pcache (fast engine only; the
+   pcache itself travels as a Persist file written by the child). *)
+type payload = Fastsim.Sim.result * float * int option
+
+type active = {
+  a_req : pending;
+  a_task : payload Async.task;
+  a_warm : bool;
+  a_pcache_file : string;
+  mutable a_cancelled : bool;
+  mutable a_dropped : bool;  (* client went away; discard the outcome *)
+}
+
+type state = {
+  cfg : config;
+  scratch : string;
+  registry : Registry.t;
+  programs : (string, Isa.Program.t) Hashtbl.t;  (* hex digest -> program *)
+  metrics : Fastsim_obs.Metrics.t;
+  m_requests : Fastsim_obs.Metrics.counter;
+  m_runs_ok : Fastsim_obs.Metrics.counter;
+  m_runs_failed : Fastsim_obs.Metrics.counter;
+  m_connections : Fastsim_obs.Metrics.counter;
+  g_queue : Fastsim_obs.Metrics.gauge;
+  g_running : Fastsim_obs.Metrics.gauge;
+  g_replay : Fastsim_obs.Metrics.gauge;
+  queue : pending Queue.t;
+  mutable actives : active list;
+  mutable conns : conn list;
+  mutable draining : bool;
+  mutable next_seq : int;
+  started : float;
+}
+
+let conn_by_id t id = List.find_opt (fun c -> c.c_id = id) t.conns
+
+let send_to t conn_id resp =
+  match conn_by_id t conn_id with
+  | Some c when not c.c_dead -> send c resp
+  | _ -> ()
+
+let err ?id code message = Proto.Error { id; code; message }
+
+(* ---------------------------------------------------------------- *)
+(* Program resolution (parent side, before any dispatch). *)
+
+let digest_hex prog = Digest.to_hex (Memo.Persist.program_digest prog)
+
+let resolve_program t (r : Proto.program_ref) :
+    (Isa.Program.t * string, Proto.error_code * string) result =
+  match r with
+  | Proto.Workload { name; scale } -> (
+    match Workloads.Suite.find name with
+    | w ->
+      let scale =
+        match scale with
+        | Some s -> s
+        | None -> w.Workloads.Workload.default_scale
+      in
+      (match w.Workloads.Workload.build scale with
+       | prog ->
+         let d = digest_hex prog in
+         Hashtbl.replace t.programs d prog;
+         Ok (prog, d)
+       | exception e ->
+         Error
+           ( Proto.Bad_request,
+             Printf.sprintf "building %s at scale %d failed: %s" name scale
+               (Printexc.to_string e) ))
+    | exception Not_found ->
+      Error (Proto.Unknown_workload, Printf.sprintf "unknown workload %S" name)
+    )
+  | Proto.Asm source -> (
+    match Isa.Parse.program source with
+    | prog ->
+      let d = digest_hex prog in
+      Hashtbl.replace t.programs d prog;
+      Ok (prog, d)
+    | exception Isa.Parse.Error { line; message } ->
+      Error
+        (Proto.Bad_request, Printf.sprintf "asm line %d: %s" line message)
+    | exception Isa.Asm.Error m -> Error (Proto.Bad_request, "asm: " ^ m))
+  | Proto.By_digest d -> (
+    match Hashtbl.find_opt t.programs d with
+    | Some prog -> Ok (prog, d)
+    | None ->
+      Error
+        ( Proto.Unknown_digest,
+          Printf.sprintf "no program with digest %s on this server" d ))
+
+(* ---------------------------------------------------------------- *)
+(* Running simulations. *)
+
+let apply_fault = function
+  | None -> ()
+  | Some "crash" -> failwith "injected fault: crash"
+  | Some "exit" -> Unix._exit 9
+  | Some "hang" -> Unix.sleepf 3600.
+  | Some f -> failwith ("unknown injected fault: " ^ f)
+
+(* The worker body. [warm] is the registry's hot pcache (shared with a
+   forked child by copy-on-write); [save_to] is where a fast worker
+   persists the post-run cache for the parent to adopt. *)
+let simulate ~engine ~(spec : Spec.t) ~prog ~warm ~fault ~save_to () :
+    payload =
+  apply_fault fault;
+  match engine with
+  | `Fast ->
+    let pc =
+      match warm with
+      | Some pc -> pc
+      | None -> Memo.Pcache.create ~policy:spec.Spec.policy ()
+    in
+    let spec = Spec.with_pcache pc spec in
+    let t0 = Unix.gettimeofday () in
+    let r = Fastsim.Sim.run ~engine spec prog in
+    let wall = Unix.gettimeofday () -. t0 in
+    (match save_to with
+     | Some file -> Memo.Persist.save_file pc ~program:prog file
+     | None -> ());
+    (r, wall, Some (Memo.Pcache.counters pc).Memo.Pcache.modeled_bytes)
+  | (`Slow | `Baseline) as engine ->
+    let t0 = Unix.gettimeofday () in
+    let r = Fastsim.Sim.run ~engine spec prog in
+    (r, Unix.gettimeofday () -. t0, None)
+
+let note_result t (r : Fastsim.Sim.result) =
+  Fastsim_obs.Metrics.incr t.m_runs_ok;
+  match r.Fastsim.Sim.memo with
+  | Some m ->
+    let retired =
+      m.Memo.Stats.detailed_retired + m.Memo.Stats.replayed_retired
+    in
+    Fastsim_obs.Metrics.set t.g_replay
+      (float_of_int m.Memo.Stats.replayed_retired
+      /. float_of_int (max 1 retired))
+  | None -> ()
+
+let deliver_result t (p : pending) ~warm ~result ~wall_s =
+  note_result t result;
+  send_to t p.p_conn
+    (Proto.Result
+       { id = p.p_id; result; wall_s; warm; digest = p.p_digest })
+
+(* Inline backend: the run happens right here, synchronously, against
+   the registry's live caches. The pcache is created up front (not
+   inside [simulate]) so it can be committed back to the registry even
+   though the run is in-process. *)
+let run_inline t (p : pending) =
+  let warm_pc, warm_hit =
+    match p.p_engine with
+    | `Fast -> (
+      match
+        Registry.acquire t.registry ~digest:p.p_digest
+          ~spec_key:p.p_spec_key ~policy:p.p_spec.Spec.policy
+          ~program:p.p_prog
+      with
+      | Some pc -> (Some pc, true)
+      | None ->
+        (Some (Memo.Pcache.create ~policy:p.p_spec.Spec.policy ()), false))
+    | _ -> (None, false)
+  in
+  match
+    simulate ~engine:p.p_engine ~spec:p.p_spec ~prog:p.p_prog ~warm:warm_pc
+      ~fault:p.p_fault ~save_to:None ()
+  with
+  | result, wall_s, _ ->
+    (match (p.p_engine, warm_pc) with
+     | `Fast, Some pc ->
+       Registry.commit_mem t.registry ~digest:p.p_digest
+         ~spec_key:p.p_spec_key pc
+     | _ -> ());
+    deliver_result t p ~warm:warm_hit ~result ~wall_s
+  | exception e ->
+    Fastsim_obs.Metrics.incr t.m_runs_failed;
+    send_to t p.p_conn
+      (err ~id:p.p_id Proto.Worker_crashed (Printexc.to_string e))
+
+(* Fork backend: spawn an Async task; the event loop polls it. *)
+let dispatch_fork t (p : pending) =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let warm =
+    match p.p_engine with
+    | `Fast ->
+      Registry.acquire t.registry ~digest:p.p_digest ~spec_key:p.p_spec_key
+        ~policy:p.p_spec.Spec.policy ~program:p.p_prog
+    | _ -> None
+  in
+  let pcache_file =
+    Filename.concat t.scratch (Printf.sprintf "req-%d.pcache" seq)
+  in
+  let save_to = match p.p_engine with `Fast -> Some pcache_file | _ -> None in
+  let task =
+    Async.spawn ~scratch_dir:t.scratch ~tag:(Printf.sprintf "req-%d" seq)
+      (simulate ~engine:p.p_engine ~spec:p.p_spec ~prog:p.p_prog ~warm
+         ~fault:p.p_fault ~save_to)
+  in
+  t.actives <-
+    { a_req = p; a_task = task; a_warm = warm <> None;
+      a_pcache_file = pcache_file; a_cancelled = false; a_dropped = false }
+    :: t.actives
+
+let settle_active t (a : active) outcome =
+  let p = a.a_req in
+  (match outcome with
+   | Fastsim_exec.Pool.Done ((result, wall_s, bytes_opt) : payload) ->
+     (match (p.p_engine, bytes_opt) with
+      | `Fast, Some bytes when Sys.file_exists a.a_pcache_file ->
+        Registry.commit_file t.registry ~digest:p.p_digest
+          ~spec_key:p.p_spec_key ~src:a.a_pcache_file ~bytes
+      | _ -> ());
+     if not a.a_dropped then
+       deliver_result t p ~warm:a.a_warm ~result ~wall_s
+   | Fastsim_exec.Pool.Crashed m ->
+     Fastsim_obs.Metrics.incr t.m_runs_failed;
+     if not a.a_dropped then
+       send_to t p.p_conn (err ~id:p.p_id Proto.Worker_crashed m)
+   | Fastsim_exec.Pool.Timed_out ->
+     Fastsim_obs.Metrics.incr t.m_runs_failed;
+     if not a.a_dropped then
+       if a.a_cancelled then
+         send_to t p.p_conn
+           (err ~id:p.p_id Proto.Cancelled "run cancelled")
+       else
+         send_to t p.p_conn
+           (err ~id:p.p_id Proto.Timeout
+              (Printf.sprintf "run exceeded %.1fs" t.cfg.timeout_s)));
+  (* the worker's pcache handoff file, if it survived, is either adopted
+     above or stale — never leave it behind *)
+  try Sys.remove a.a_pcache_file with Sys_error _ -> ()
+
+(* ---------------------------------------------------------------- *)
+(* Stats. *)
+
+let stats_json t =
+  let server =
+    J.Obj
+      [ ("uptime_s", J.Float (Unix.gettimeofday () -. t.started));
+        ("draining", J.Bool t.draining);
+        ("backend",
+         J.Str (match t.cfg.backend with `Fork -> "fork" | `Inline -> "inline"));
+        ("jobs", J.Int t.cfg.jobs);
+        ("queue_depth", J.Int (Queue.length t.queue));
+        ("running", J.Int (List.length t.actives));
+        ( "requests_served",
+          J.Int (Fastsim_obs.Metrics.counter_value t.m_requests) );
+        ("runs_ok", J.Int (Fastsim_obs.Metrics.counter_value t.m_runs_ok));
+        ( "runs_failed",
+          J.Int (Fastsim_obs.Metrics.counter_value t.m_runs_failed) );
+        ( "last_replay_fraction",
+          J.Float (Fastsim_obs.Metrics.gauge_value t.g_replay) );
+        ("programs_known", J.Int (Hashtbl.length t.programs)) ]
+  in
+  J.Obj
+    [ ("server", server);
+      ("registry", Registry.stats_json t.registry);
+      ("metrics", Fastsim_obs.Metrics.to_json t.metrics) ]
+
+(* ---------------------------------------------------------------- *)
+(* Request handling. *)
+
+let handle_request t conn req =
+  Fastsim_obs.Metrics.incr t.m_requests;
+  match req with
+  | Proto.Hello { proto } ->
+    if proto <> Proto.version then begin
+      send conn
+        (err Proto.Unsupported_proto
+           (Printf.sprintf "server speaks proto %d, client sent %d"
+              Proto.version proto));
+      conn.c_closing <- true
+    end
+    else begin
+      conn.c_greeted <- true;
+      send conn (Proto.R_hello { proto = Proto.version })
+    end
+  | _ when not conn.c_greeted ->
+    send conn (err Proto.Bad_request "expected hello first");
+    conn.c_closing <- true
+  | Proto.Ping { id } -> send conn (Proto.Pong { id })
+  | Proto.Stats { id } ->
+    send conn (Proto.R_stats { id; stats = stats_json t })
+  | Proto.Shutdown { id } ->
+    t.draining <- true;
+    send conn (Proto.Accepted { id })
+  | Proto.Cancel { id } -> (
+    (* queued first: cheap and race-free *)
+    let found = ref false in
+    let keep = Queue.create () in
+    Queue.iter
+      (fun (p : pending) ->
+        if (not !found) && p.p_id = id && p.p_conn = conn.c_id then begin
+          found := true;
+          send conn (err ~id Proto.Cancelled "run cancelled")
+        end
+        else Queue.add p keep)
+      t.queue;
+    Queue.clear t.queue;
+    Queue.transfer keep t.queue;
+    if not !found then
+      match
+        List.find_opt
+          (fun a ->
+            a.a_req.p_id = id && a.a_req.p_conn = conn.c_id
+            && not a.a_cancelled)
+          t.actives
+      with
+      | Some a ->
+        a.a_cancelled <- true;
+        Async.kill a.a_task
+      | None ->
+        send conn
+          (err ~id Proto.Bad_request
+             (Printf.sprintf "no cancellable run with id %S" id)))
+  | Proto.Run { id; engine; spec; program; fault } ->
+    if t.draining then
+      send conn (err ~id Proto.Shutting_down "server is draining")
+    else if fault <> None && not t.cfg.allow_fault then
+      send conn
+        (err ~id Proto.Bad_request "fault injection disabled on this server")
+    else if Queue.length t.queue >= t.cfg.queue_max then
+      send conn
+        (err ~id Proto.Overloaded
+           (Printf.sprintf "queue full (%d requests)" t.cfg.queue_max))
+    else (
+      match resolve_program t program with
+      | Error (code, m) -> send conn (err ~id code m)
+      | Ok (prog, digest) ->
+        let p =
+          { p_conn = conn.c_id; p_id = id; p_engine = engine;
+            p_spec = spec; p_prog = prog; p_digest = digest;
+            p_spec_key = Registry.spec_key spec; p_fault = fault }
+        in
+        Queue.add p t.queue;
+        send conn (Proto.Accepted { id }))
+
+let handle_frame t conn j =
+  match Proto.request_of_json j with
+  | Ok req -> handle_request t conn req
+  | Error m -> send conn (err Proto.Bad_request m)
+
+(* ---------------------------------------------------------------- *)
+(* Socket plumbing. *)
+
+let make_listener = function
+  | `Unix_path path ->
+    (match Unix.lstat path with
+     | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+     | _ -> ()
+     | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    Unix.set_nonblock fd;
+    fd
+  | `Tcp (host, port) ->
+    let addr =
+      if host = "" || host = "localhost" then Unix.inet_addr_loopback
+      else Unix.inet_addr_of_string host
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (addr, port));
+    Unix.listen fd 64;
+    Unix.set_nonblock fd;
+    fd
+
+let close_conn t conn =
+  if not conn.c_dead then begin
+    conn.c_dead <- true;
+    (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+    (* orphan this connection's work: dequeue what hasn't started, let
+       what has run to completion but drop the delivery *)
+    let keep = Queue.create () in
+    Queue.iter
+      (fun (p : pending) ->
+        if p.p_conn <> conn.c_id then Queue.add p keep)
+      t.queue;
+    Queue.clear t.queue;
+    Queue.transfer keep t.queue;
+    List.iter
+      (fun a -> if a.a_req.p_conn = conn.c_id then a.a_dropped <- true)
+      t.actives;
+    t.conns <- List.filter (fun c -> c.c_id <> conn.c_id) t.conns
+  end
+
+let read_chunk = Bytes.create 65536
+
+let pump_reads t conn =
+  match Unix.read conn.c_fd read_chunk 0 (Bytes.length read_chunk) with
+  | 0 -> close_conn t conn
+  | n ->
+    Proto.Decoder.feed conn.c_dec read_chunk n;
+    let rec drain () =
+      if not (conn.c_dead || conn.c_closing) then
+        match Proto.Decoder.next conn.c_dec with
+        | Ok (Some j) ->
+          handle_frame t conn j;
+          drain ()
+        | Ok None -> ()
+        | Error m ->
+          send conn (err Proto.Bad_request m);
+          conn.c_closing <- true
+    in
+    drain ()
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> close_conn t conn
+
+let pump_writes t conn =
+  let len = Buffer.length conn.c_out - conn.c_out_pos in
+  if len > 0 then begin
+    let data = Buffer.to_bytes conn.c_out in
+    match Unix.write conn.c_fd data conn.c_out_pos len with
+    | n ->
+      conn.c_out_pos <- conn.c_out_pos + n;
+      if conn.c_out_pos >= Buffer.length conn.c_out then begin
+        Buffer.clear conn.c_out;
+        conn.c_out_pos <- 0
+      end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> close_conn t conn
+  end;
+  if
+    conn.c_closing && (not conn.c_dead)
+    && Buffer.length conn.c_out = conn.c_out_pos
+  then close_conn t conn
+
+(* ---------------------------------------------------------------- *)
+
+let run cfg =
+  let owns_scratch = cfg.scratch_dir = None in
+  let scratch =
+    match cfg.scratch_dir with
+    | Some d ->
+      (match Unix.mkdir d 0o700 with
+       | () -> ()
+       | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      d
+    | None ->
+      let base = Filename.get_temp_dir_name () in
+      let rec make tries =
+        let path =
+          Filename.concat base
+            (Printf.sprintf "fastsim-serve-%d-%06x" (Unix.getpid ())
+               (Random.int 0x1000000))
+        in
+        match Unix.mkdir path 0o700 with
+        | () -> path
+        | exception Unix.Unix_error (Unix.EEXIST, _, _) when tries < 100 ->
+          make (tries + 1)
+      in
+      make 0
+  in
+  let programs = Hashtbl.create 16 in
+  let registry =
+    Registry.create
+      ~dir:(Filename.concat scratch "registry")
+      ?budget_bytes:cfg.registry_budget
+      ~program_of:(fun d -> Hashtbl.find_opt programs d)
+      ()
+  in
+  let metrics = Fastsim_obs.Metrics.create () in
+  let t =
+    { cfg; scratch; registry; programs; metrics;
+      m_requests = Fastsim_obs.Metrics.counter metrics "serve.requests";
+      m_runs_ok = Fastsim_obs.Metrics.counter metrics "serve.runs_ok";
+      m_runs_failed = Fastsim_obs.Metrics.counter metrics "serve.runs_failed";
+      m_connections = Fastsim_obs.Metrics.counter metrics "serve.connections";
+      g_queue = Fastsim_obs.Metrics.gauge metrics "serve.queue_depth";
+      g_running = Fastsim_obs.Metrics.gauge metrics "serve.running";
+      g_replay =
+        Fastsim_obs.Metrics.gauge metrics "serve.last_replay_fraction";
+      queue = Queue.create (); actives = []; conns = []; draining = false;
+      next_seq = 0; started = Unix.gettimeofday () }
+  in
+  let listener = make_listener cfg.address in
+  (* a client that disappears mid-write must not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let previous_term =
+    try
+      Some
+        (Sys.signal Sys.sigterm
+           (Sys.Signal_handle (fun _ -> t.draining <- true)))
+    with Invalid_argument _ -> None
+  in
+  let previous_int =
+    try
+      Some
+        (Sys.signal Sys.sigint
+           (Sys.Signal_handle (fun _ -> t.draining <- true)))
+    with Invalid_argument _ -> None
+  in
+  if not cfg.quiet then begin
+    Printf.printf "fastsim-serve: listening on %s (backend %s, jobs %d)\n"
+      (Proto.address_to_string cfg.address)
+      (match cfg.backend with `Fork -> "fork" | `Inline -> "inline")
+      cfg.jobs;
+    flush stdout
+  end;
+  let next_conn_id = ref 0 in
+  let accept_new () =
+    let rec go () =
+      match Unix.accept listener with
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        incr next_conn_id;
+        Fastsim_obs.Metrics.incr t.m_connections;
+        t.conns <-
+          { c_fd = fd; c_id = !next_conn_id; c_dec = Proto.Decoder.create ();
+            c_out = Buffer.create 1024; c_out_pos = 0; c_greeted = false;
+            c_closing = false; c_dead = false }
+          :: t.conns;
+        go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    in
+    go ()
+  in
+  let finished = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun a -> Async.stop a.a_task) t.actives;
+      List.iter (fun c -> try Unix.close c.c_fd with _ -> ()) t.conns;
+      (try Unix.close listener with _ -> ());
+      (match cfg.address with
+       | `Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+       | `Tcp _ -> ());
+      (match previous_term with
+       | Some b -> ( try Sys.set_signal Sys.sigterm b with _ -> ())
+       | None -> ());
+      (match previous_int with
+       | Some b -> ( try Sys.set_signal Sys.sigint b with _ -> ())
+       | None -> ());
+      if owns_scratch then
+        try
+          let rec rm path =
+            match Unix.lstat path with
+            | { Unix.st_kind = Unix.S_DIR; _ } ->
+              Array.iter
+                (fun e -> rm (Filename.concat path e))
+                (Sys.readdir path);
+              Unix.rmdir path
+            | _ -> Unix.unlink path
+            | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+          in
+          rm scratch
+        with _ -> ())
+    (fun () ->
+      while not !finished do
+        (* dispatch while worker slots are free *)
+        while
+          (not (Queue.is_empty t.queue))
+          && List.length t.actives < max 1 t.cfg.jobs
+        do
+          let p = Queue.pop t.queue in
+          match conn_by_id t p.p_conn with
+          | None -> () (* client vanished while queued *)
+          | Some _ -> (
+            match t.cfg.backend with
+            | `Inline -> run_inline t p
+            | `Fork -> dispatch_fork t p)
+        done;
+        Fastsim_obs.Metrics.set t.g_queue
+          (float_of_int (Queue.length t.queue));
+        Fastsim_obs.Metrics.set t.g_running
+          (float_of_int (List.length t.actives));
+        (* poll workers *)
+        let still = ref [] in
+        List.iter
+          (fun a ->
+            match Async.poll a.a_task with
+            | Some outcome -> settle_active t a outcome
+            | None -> still := a :: !still)
+          t.actives;
+        t.actives <- List.rev !still;
+        (* enforce per-run timeouts *)
+        if t.cfg.timeout_s > 0. then
+          List.iter
+            (fun a ->
+              if Async.elapsed a.a_task > t.cfg.timeout_s then
+                Async.kill a.a_task)
+            t.actives;
+        (* multiplex the sockets *)
+        let reads =
+          (if t.draining then [] else [ listener ])
+          @ List.filter_map
+              (fun c -> if c.c_dead then None else Some c.c_fd)
+              t.conns
+        in
+        let writes =
+          List.filter_map
+            (fun c ->
+              if
+                (not c.c_dead)
+                && Buffer.length c.c_out > c.c_out_pos
+              then Some c.c_fd
+              else None)
+            t.conns
+        in
+        let timeout = if t.actives <> [] then 0.01 else 0.2 in
+        let readable, writable, _ =
+          match Unix.select reads writes [] timeout with
+          | r -> r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        if List.mem listener readable then accept_new ();
+        List.iter
+          (fun c ->
+            if (not c.c_dead) && List.mem c.c_fd readable then
+              pump_reads t c)
+          t.conns;
+        List.iter
+          (fun c ->
+            if
+              (not c.c_dead)
+              && (List.mem c.c_fd writable
+                 || (c.c_closing && Buffer.length c.c_out = c.c_out_pos))
+            then pump_writes t c)
+          t.conns;
+        (* drain complete? flush remaining output first *)
+        if
+          t.draining
+          && Queue.is_empty t.queue
+          && t.actives = []
+          && List.for_all
+               (fun c -> Buffer.length c.c_out = c.c_out_pos)
+               t.conns
+        then finished := true
+      done);
+  if not cfg.quiet then begin
+    Printf.printf "fastsim-serve: drained, exiting\n";
+    flush stdout
+  end

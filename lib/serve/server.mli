@@ -1,0 +1,55 @@
+(** The simulation daemon (docs/SERVE.md).
+
+    A single-threaded event loop over a listening socket: nonblocking
+    accept/read/write multiplexed with [select], framed requests decoded
+    incrementally ({!Proto.Decoder}), simulations dispatched to a bounded
+    worker pool, responses streamed back as frames. One process owns one
+    {!Registry.t}, so every request for a (program, spec) it has seen
+    before starts from a warm p-action cache.
+
+    Operational behaviour:
+    - the request queue is bounded ([queue_max]); an overfull queue
+      answers [overloaded] immediately — requests are never silently
+      dropped;
+    - per-request wall-clock timeouts ([timeout_s], Fork backend) kill
+      the worker and answer [timeout];
+    - [cancel] kills or dequeues a run and answers [cancelled];
+    - SIGTERM/SIGINT (or a [shutdown] request) drain gracefully: running
+      and queued work completes and is delivered, new work is refused
+      with [shutting_down], then the daemon exits. *)
+
+type backend = [ `Fork | `Inline ]
+(** [`Fork] (production): one worker process per run — crash isolation,
+    timeouts, [jobs]-way parallelism; warm caches reach workers by
+    fork-time copy-on-write and updated caches return as
+    {!Memo.Persist} files. [`Inline] (tests, debugging): runs execute
+    synchronously inside the server process — deterministic, no
+    parallelism, no timeout enforcement; the registry stays live
+    in-process. *)
+
+type config = {
+  address : Proto.address;
+  backend : backend;
+  jobs : int;               (** concurrent workers (Fork). *)
+  queue_max : int;          (** queued (not yet running) request bound. *)
+  timeout_s : float;        (** per-run wall clock; 0 = unlimited. *)
+  registry_budget : int option;
+      (** hot-cache byte budget ({!Registry.create}). *)
+  scratch_dir : string option;
+      (** working directory for worker result files, registry persist
+          files and the pcache handoff; default: a fresh private temp
+          dir, removed at exit. *)
+  allow_fault : bool;
+      (** accept the test-only [fault] request field (crash/hang
+          injection); keep [false] outside tests. *)
+  quiet : bool;             (** suppress the startup/shutdown banner. *)
+}
+
+val default_config : Proto.address -> config
+(** Fork backend, [jobs = 2], [queue_max = 64], no timeout, unbounded
+    registry, temp scratch, faults refused. *)
+
+val run : config -> unit
+(** Binds, listens, serves; returns after a graceful drain (signal or
+    [shutdown] request). Raises [Unix.Unix_error] if the address cannot
+    be bound. A pre-existing Unix socket path is replaced. *)

@@ -23,5 +23,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("equivalence", Test_equivalence.suite);
       ("exec", Test_exec.suite);
+      ("serve", Test_serve.suite);
       ("check", Test_check.suite);
       ("golden", Test_golden.suite) ]

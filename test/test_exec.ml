@@ -46,6 +46,92 @@ let test_spec_of_json_rejects_unknown () =
   | Ok _ -> Alcotest.fail "expected Error"
   | Error _ -> ()
 
+(* The Result-form decoders reject bad input without raising — and a
+   repeated key is an error, never silently last-wins. *)
+let test_spec_of_json_result () =
+  (match Spec.of_json_result (J.of_string {|{"politics": "unbounded"}|}) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unknown key accepted");
+  (match
+     Spec.of_json_result
+       (J.of_string {|{"policy": "unbounded", "policy": "copy:64"}|})
+   with
+   | Error m ->
+     let contains_duplicate =
+       let m = String.lowercase_ascii m in
+       let n = String.length m in
+       let rec scan i =
+         i + 9 <= n && (String.sub m i 9 = "duplicate" || scan (i + 1))
+       in
+       scan 0
+     in
+     Alcotest.(check bool) "error names the duplicate" true
+       contains_duplicate
+   | Ok _ -> Alcotest.fail "duplicate key accepted");
+  (match
+     Spec.params_of_json_result
+       (J.of_string {|{"fetch_width": 4, "fetch_width": 8}|})
+   with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "duplicate params key accepted");
+  (match
+     Spec.cache_config_of_json_result
+       (J.of_string {|{"l1_size": 1024, "l1_size": 2048}|})
+   with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "duplicate cache key accepted");
+  match Spec.of_json_result (Spec.to_json Spec.default) with
+  | Ok s -> Alcotest.(check bool) "well-formed spec decodes" true (s = Spec.default)
+  | Error m -> Alcotest.failf "default spec rejected: %s" m
+
+(* result_to_json / result_of_json: full fidelity both with and without
+   the fast-engine-only sections. *)
+let test_result_json_roundtrip () =
+  let w = Workloads.Suite.find "li" in
+  let prog = w.Workloads.Workload.build w.Workloads.Workload.test_scale in
+  List.iter
+    (fun engine ->
+      let spec =
+        match engine with
+        | `Fast -> Spec.with_pcache (Memo.Pcache.create ()) Spec.default
+        | _ -> Spec.default
+      in
+      let r = Fastsim.Sim.run ~engine spec prog in
+      let j = Fastsim.Sim.result_to_json r in
+      match Fastsim.Sim.result_of_json (J.of_string (J.to_string j)) with
+      | Error m -> Alcotest.failf "result decode: %s" m
+      | Ok r' ->
+        check Alcotest.string "result JSON round-trip"
+          (J.to_string j)
+          (J.to_string (Fastsim.Sim.result_to_json r')))
+    [ `Fast; `Slow; `Baseline ];
+  (* FP registers holding values JSON cannot spell must still
+     round-trip bit-exactly (FP workloads produce NaN/inf) *)
+  let r = Fastsim.Sim.run ~engine:`Baseline Spec.default prog in
+  r.Fastsim.Sim.final_state.Emu.Arch_state.fregs.(0) <- Float.nan;
+  r.Fastsim.Sim.final_state.Emu.Arch_state.fregs.(1) <- Float.infinity;
+  r.Fastsim.Sim.final_state.Emu.Arch_state.fregs.(2) <- Float.neg_infinity;
+  let j = Fastsim.Sim.result_to_json r in
+  (match Fastsim.Sim.result_of_json (J.of_string (J.to_string j)) with
+   | Error m -> Alcotest.failf "non-finite fregs: %s" m
+   | Ok r' ->
+     let bits i =
+       Int64.bits_of_float
+         r'.Fastsim.Sim.final_state.Emu.Arch_state.fregs.(i)
+     in
+     Alcotest.(check bool) "nan bits preserved" true
+       (bits 0 = Int64.bits_of_float Float.nan);
+     Alcotest.(check bool) "inf preserved" true
+       (r'.Fastsim.Sim.final_state.Emu.Arch_state.fregs.(1) = Float.infinity);
+     Alcotest.(check bool) "-inf preserved" true
+       (r'.Fastsim.Sim.final_state.Emu.Arch_state.fregs.(2)
+       = Float.neg_infinity));
+  match
+    Fastsim.Sim.result_of_json (J.of_string {|{"cycles": 1, "cycles": 2}|})
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate result key accepted"
+
 let test_manifest_roundtrip () =
   let m =
     { (Exec.Manifest.make ~workloads:[ "099.go"; "129.compress" ] ()) with
@@ -188,9 +274,9 @@ let test_report_cycles_match_direct_runs () =
         let direct, _ = Exec.Runner.run_sim e.Exec.Report.job in
         let label = Exec.Job.label e.Exec.Report.job in
         check Alcotest.int (label ^ " cycles") direct.Fastsim.Sim.cycles
-          rr.Exec.Runner.summary.Exec.Runner.cycles;
+          rr.Exec.Runner.summary.Fastsim.Sim.cycles;
         check Alcotest.int (label ^ " retired") direct.Fastsim.Sim.retired
-          rr.Exec.Runner.summary.Exec.Runner.retired)
+          rr.Exec.Runner.summary.Fastsim.Sim.retired)
     r.Exec.Report.entries
 
 (* Warm-started fast jobs report the same cycles as cold ones. *)
@@ -208,8 +294,8 @@ let test_warm_stage_preserves_results () =
     (fun (a : Exec.Report.entry) (b : Exec.Report.entry) ->
       match (a.Exec.Report.outcome, b.Exec.Report.outcome) with
       | `Ok ra, `Ok rb ->
-        check Alcotest.int "cycles" ra.Exec.Runner.summary.Exec.Runner.cycles
-          rb.Exec.Runner.summary.Exec.Runner.cycles
+        check Alcotest.int "cycles" ra.Exec.Runner.summary.Fastsim.Sim.cycles
+          rb.Exec.Runner.summary.Fastsim.Sim.cycles
       | _ -> Alcotest.fail "warm sweep failed")
     cold.Exec.Report.entries warm.Exec.Report.entries
 
@@ -279,6 +365,10 @@ let suite =
   [ QCheck_alcotest.to_alcotest spec_roundtrip_prop;
     Alcotest.test_case "Spec.of_json rejects unknown keys" `Quick
       test_spec_of_json_rejects_unknown;
+    Alcotest.test_case "Result-form decoders and duplicate keys" `Quick
+      test_spec_of_json_result;
+    Alcotest.test_case "Sim.result JSON round-trip" `Quick
+      test_result_json_roundtrip;
     Alcotest.test_case "manifest JSON round-trip" `Quick
       test_manifest_roundtrip;
     Alcotest.test_case "expansion is deterministic" `Quick

@@ -1,0 +1,477 @@
+(* Fastsim_serve: the persistent daemon. Wire-protocol codecs and
+   framing, the warm p-action-cache registry (LRU spill and reload),
+   and a live daemon forked per test — bit-identity against direct
+   Sim.run over every engine, warm-registry replay on repeat requests,
+   concurrent clients, and injected worker faults. *)
+
+module J = Fastsim_obs.Json
+module Sim = Fastsim.Sim
+module Spec = Fastsim.Sim.Spec
+module Proto = Fastsim_serve.Proto
+module Registry = Fastsim_serve.Registry
+module Server = Fastsim_serve.Server
+module Client = Fastsim_serve.Client
+
+let check = Alcotest.check
+
+let workload name =
+  let w = Workloads.Suite.find name in
+  (w, w.Workloads.Workload.build w.Workloads.Workload.test_scale)
+
+let wref name =
+  let w = Workloads.Suite.find name in
+  Proto.Workload { name; scale = Some w.Workloads.Workload.test_scale }
+
+(* Direct (no daemon) reference run with the same cold-start the server
+   performs: a fresh pcache at the spec's policy for the fast engine. *)
+let direct engine spec prog =
+  let spec =
+    match engine with
+    | `Fast -> Spec.with_pcache (Memo.Pcache.create ~policy:spec.Spec.policy ()) spec
+    | `Slow | `Baseline -> spec
+  in
+  Sim.run ~engine spec prog
+
+let result_str r = J.to_string (Sim.result_to_json r)
+
+(* Warm and cold runs agree on everything architectural and on timing;
+   the memo/pcache introspection counters necessarily differ (a warm
+   run replays more). This is the comparable part. *)
+let arch_str r =
+  match Sim.result_to_json r with
+  | J.Obj fields ->
+    J.to_string
+      (J.Obj
+         (List.filter (fun (k, _) -> k <> "memo" && k <> "pcache") fields))
+  | j -> J.to_string j
+
+(* ---------------------------------------------------------------- *)
+(* Protocol codecs: every frame type round-trips through its JSON
+   encoding, byte-for-byte. *)
+
+let rt_request r =
+  let j = Proto.request_to_json r in
+  match Proto.request_of_json (J.of_string (J.to_string j)) with
+  | Error m -> Alcotest.failf "request decode: %s" m
+  | Ok r' ->
+    check Alcotest.string "request round-trip" (J.to_string j)
+      (J.to_string (Proto.request_to_json r'))
+
+let rt_response r =
+  let j = Proto.response_to_json r in
+  match Proto.response_of_json (J.of_string (J.to_string j)) with
+  | Error m -> Alcotest.failf "response decode: %s" m
+  | Ok r' ->
+    check Alcotest.string "response round-trip" (J.to_string j)
+      (J.to_string (Proto.response_to_json r'))
+
+let test_proto_roundtrip () =
+  let spec = Spec.with_predictor Sim.Taken Spec.default in
+  List.iter rt_request
+    [ Proto.Hello { proto = Proto.version };
+      Proto.Run
+        { id = "r1"; engine = `Fast; spec; program = wref "li";
+          fault = None };
+      Proto.Run
+        { id = "r2"; engine = `Slow; spec = Spec.default;
+          program = Proto.Asm "  halt\n"; fault = Some "crash" };
+      Proto.Run
+        { id = "r3"; engine = `Baseline; spec = Spec.default;
+          program = Proto.By_digest (String.make 32 'a'); fault = None };
+      Proto.Stats { id = "s" };
+      Proto.Cancel { id = "r1" };
+      Proto.Ping { id = "p" };
+      Proto.Shutdown { id = "q" } ];
+  let _, prog = workload "li" in
+  let result = direct `Fast Spec.default prog in
+  List.iter rt_response
+    [ Proto.R_hello { proto = Proto.version };
+      Proto.Accepted { id = "r1" };
+      Proto.Result
+        { id = "r1"; result; wall_s = 0.125; warm = true;
+          digest = String.make 32 'b' };
+      Proto.Error
+        { id = Some "r1"; code = Proto.Timeout; message = "too slow" };
+      Proto.Error { id = None; code = Proto.Bad_request; message = "what" };
+      Proto.R_stats { id = "s"; stats = J.Obj [ ("x", J.Int 1) ] };
+      Proto.Pong { id = "p" } ]
+
+let test_proto_rejects_junk () =
+  let expect_err s =
+    match Proto.request_of_json (J.of_string s) with
+    | Ok _ -> Alcotest.failf "accepted %s" s
+    | Error _ -> ()
+  in
+  expect_err {|{"type":"warp"}|};
+  expect_err {|{"type":"ping"}|} (* missing id *);
+  expect_err {|{"type":"ping","id":"a","volume":11}|};
+  (* duplicate keys are an error, not last-wins *)
+  expect_err {|{"type":"ping","id":"a","id":"b"}|};
+  match
+    Proto.response_of_json (J.of_string {|{"type":"error","code":"nope","message":"m"}|})
+  with
+  | Ok _ -> Alcotest.fail "accepted bad error code"
+  | Error _ -> ()
+
+(* The incremental decoder reassembles frames from arbitrarily ragged
+   chunks — here, one byte at a time — and preserves order. *)
+let test_decoder_reassembly () =
+  let frames =
+    [ Proto.request_to_json (Proto.Ping { id = "a" });
+      Proto.request_to_json (Proto.Stats { id = "b" });
+      Proto.request_to_json (Proto.Shutdown { id = "c" }) ]
+  in
+  let wire = Buffer.create 256 in
+  List.iter (fun j -> Buffer.add_bytes wire (Proto.encode_frame j)) frames;
+  let d = Proto.Decoder.create () in
+  let got = ref [] in
+  String.iter
+    (fun ch ->
+      Proto.Decoder.feed d (Bytes.make 1 ch) 1;
+      match Proto.Decoder.next d with
+      | Ok (Some j) -> got := j :: !got
+      | Ok None -> ()
+      | Error m -> Alcotest.failf "decoder: %s" m)
+    (Buffer.contents wire);
+  check (Alcotest.list Alcotest.string) "frames in order"
+    (List.map J.to_string frames)
+    (List.rev_map J.to_string !got)
+
+let test_decoder_oversize () =
+  let d = Proto.Decoder.create () in
+  let hdr = Bytes.create 4 in
+  Bytes.set hdr 0 '\x7f';
+  Bytes.set hdr 1 '\xff';
+  Bytes.set hdr 2 '\xff';
+  Bytes.set hdr 3 '\xff';
+  Proto.Decoder.feed d hdr 4;
+  match Proto.Decoder.next d with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized frame accepted"
+
+let test_address_parse () =
+  let ok s a =
+    match Proto.address_of_string s with
+    | Ok a' -> check Alcotest.string s (Proto.address_to_string a)
+                 (Proto.address_to_string a')
+    | Error m -> Alcotest.failf "%s: %s" s m
+  in
+  ok "unix:/tmp/x.sock" (`Unix_path "/tmp/x.sock");
+  ok "/tmp/x.sock" (`Unix_path "/tmp/x.sock");
+  ok "tcp:localhost:7000" (`Tcp ("localhost", 7000));
+  match Proto.address_of_string "tcp:nope" with
+  | Ok _ -> Alcotest.fail "bad tcp address accepted"
+  | Error _ -> ()
+
+(* ---------------------------------------------------------------- *)
+(* Registry: LRU spill under a byte budget, reload on re-acquire, and
+   the reloaded cache actually replays. *)
+
+let test_registry_lru () =
+  Fastsim_exec.Pool.with_temp_dir ~prefix:"fastsim-reg" (fun dir ->
+      let _, prog = workload "li" in
+      let digest = Digest.to_hex (Memo.Persist.program_digest prog) in
+      let spec1 = Spec.default in
+      let spec2 = Spec.with_predictor Sim.Taken Spec.default in
+      let run spec pc = Sim.run ~engine:`Fast (Spec.with_pcache pc spec) prog in
+      (* size one warm cache so the budget fits exactly one of the two *)
+      let probe = Memo.Pcache.create () in
+      let cold1 = run spec1 probe in
+      let bytes = (Memo.Pcache.counters probe).Memo.Pcache.modeled_bytes in
+      Alcotest.(check bool) "probe cache is non-trivial" true (bytes > 0);
+      let reg =
+        Registry.create ~dir:(Filename.concat dir "reg")
+          ~budget_bytes:(bytes + (bytes / 2))
+          ~program_of:(fun d -> if d = digest then Some prog else None)
+          ()
+      in
+      let key1 = Registry.spec_key spec1
+      and key2 = Registry.spec_key spec2 in
+      let warm_run spec key =
+        let pc =
+          match
+            Registry.acquire reg ~digest ~spec_key:key
+              ~policy:Memo.Pcache.Unbounded ~program:prog
+          with
+          | Some pc -> pc
+          | None -> Memo.Pcache.create ()
+        in
+        let r = run spec pc in
+        Registry.commit_mem reg ~digest ~spec_key:key pc;
+        r
+      in
+      let r1 = warm_run spec1 key1 in
+      check Alcotest.string "registry run matches direct" (result_str cold1)
+        (result_str r1);
+      ignore (warm_run spec2 key2 : Sim.result);
+      (* two hot entries exceed the budget: the LRU one (spec1) was
+         spilled to disk and dropped from memory *)
+      check Alcotest.int "both entries present" 2 (Registry.entry_count reg);
+      check Alcotest.int "one survives hot" 1 (Registry.hot_count reg);
+      check Alcotest.int "the loser was spilled, not discarded" 1
+        (Registry.spills reg);
+      (* re-acquiring the spilled entry reloads it from its file... *)
+      let r1' = warm_run spec1 key1 in
+      check Alcotest.int "reload happened" 1 (Registry.reloads reg);
+      check Alcotest.string "reloaded result identical" (arch_str cold1)
+        (arch_str r1');
+      (* ...and the reloaded cache replays rather than re-simulating *)
+      (match r1'.Sim.memo with
+       | Some m ->
+         Alcotest.(check bool) "warm reload replays" true
+           (m.Memo.Stats.replayed_retired > 0)
+       | None -> Alcotest.fail "fast run without memo stats"))
+
+(* ---------------------------------------------------------------- *)
+(* Live daemon tests: fork a server per test, talk to it over its
+   socket, reap it afterwards. *)
+
+let with_server ?(backend = `Inline) ?(jobs = 2) ?(timeout_s = 0.)
+    ?registry_budget ?(allow_fault = false) f =
+  Fastsim_exec.Pool.with_temp_dir ~prefix:"fastsim-serve" (fun dir ->
+      let sock = Filename.concat dir "d.sock" in
+      let cfg =
+        { (Server.default_config (`Unix_path sock)) with
+          Server.backend; jobs; timeout_s; registry_budget; allow_fault;
+          scratch_dir = Some (Filename.concat dir "scratch");
+          quiet = true }
+      in
+      flush stdout;
+      flush stderr;
+      match Unix.fork () with
+      | 0 ->
+        (try
+           Server.run cfg;
+           Unix._exit 0
+         with _ -> Unix._exit 1)
+      | pid ->
+        let finish () =
+          (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+          let rec reap tries =
+            match Unix.waitpid [ Unix.WNOHANG ] pid with
+            | 0, _ when tries > 0 ->
+              Unix.sleepf 0.05;
+              reap (tries - 1)
+            | 0, _ ->
+              Unix.kill pid Sys.sigkill;
+              ignore (Unix.waitpid [] pid)
+            | _ -> ()
+          in
+          reap 200
+        in
+        Fun.protect ~finally:finish (fun () ->
+            match
+              Client.connect ~retries:100 ~retry_delay_s:0.05
+                (`Unix_path sock)
+            with
+            | Error m -> Alcotest.failf "connect: %s" m
+            | Ok c ->
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () -> f (`Unix_path sock) c)))
+
+let run_ok c ~id ~engine ?fault program =
+  match Client.run c ~id ~engine ~spec:Spec.default ?fault program with
+  | Error m -> Alcotest.failf "run %s: %s" id m
+  | Ok (Proto.Result _ as r) -> r
+  | Ok (Proto.Error { code; message; _ }) ->
+    Alcotest.failf "run %s: server error [%s] %s" id
+      (Proto.error_code_to_string code)
+      message
+  | Ok _ -> Alcotest.failf "run %s: unexpected frame" id
+
+(* The paper's claim, through the wire: for every engine, a daemon
+   response is bit-identical to a direct Sim.run of the same spec. *)
+let test_daemon_bit_identity () =
+  with_server ~backend:`Inline (fun _ c ->
+      let _, prog = workload "li" in
+      List.iter
+        (fun engine ->
+          let expect = result_str (direct engine Spec.default prog) in
+          match run_ok c ~id:"bit" ~engine (wref "li") with
+          | Proto.Result { result; _ } ->
+            check Alcotest.string "daemon = direct" expect
+              (result_str result)
+          | _ -> assert false)
+        [ `Fast; `Slow; `Baseline ])
+
+(* A repeated fast request is served from the warm registry: the result
+   is still bit-identical, the frame says warm, the memo stats show
+   replay, and the stats frame shows the registry hit. *)
+let test_daemon_warm_repeat () =
+  with_server ~backend:`Inline (fun _ c ->
+      let first = run_ok c ~id:"a" ~engine:`Fast (wref "li") in
+      let second = run_ok c ~id:"b" ~engine:`Fast (wref "li") in
+      (match (first, second) with
+       | ( Proto.Result { result = r1; warm = w1; _ },
+           Proto.Result { result = r2; warm = w2; _ } ) ->
+         Alcotest.(check bool) "first is cold" false w1;
+         Alcotest.(check bool) "second is warm" true w2;
+         check Alcotest.string "warm result identical" (arch_str r1)
+           (arch_str r2);
+         (match r2.Sim.memo with
+          | Some m ->
+            Alcotest.(check bool) "replay fraction > 0" true
+              (m.Memo.Stats.replayed_retired > 0)
+          | None -> Alcotest.fail "no memo stats")
+       | _ -> assert false);
+      match Client.stats c ~id:"s" with
+      | Error m -> Alcotest.failf "stats: %s" m
+      | Ok j -> (
+        match j with
+        | J.Obj fields -> (
+          match List.assoc_opt "registry" fields with
+          | Some (J.Obj reg) ->
+            (match List.assoc_opt "hits" reg with
+             | Some (J.Int h) ->
+               Alcotest.(check bool) "registry hit counted" true (h >= 1)
+             | _ -> Alcotest.fail "stats.registry.hits missing")
+          | _ -> Alcotest.fail "stats.registry missing")
+        | _ -> Alcotest.fail "stats frame is not an object"))
+
+(* By_digest: re-run a program the server already built without
+   re-naming it; unknown digests are a clean error. *)
+let test_daemon_by_digest () =
+  with_server ~backend:`Inline (fun _ c ->
+      let d =
+        match run_ok c ~id:"a" ~engine:`Fast (wref "li") with
+        | Proto.Result { digest; _ } -> digest
+        | _ -> assert false
+      in
+      (match run_ok c ~id:"b" ~engine:`Fast (Proto.By_digest d) with
+       | Proto.Result { warm; _ } ->
+         Alcotest.(check bool) "digest re-run is warm" true warm
+       | _ -> assert false);
+      match
+        Client.run c ~id:"c" ~engine:`Fast ~spec:Spec.default
+          (Proto.By_digest (String.make 32 '0'))
+      with
+      | Ok (Proto.Error { code = Proto.Unknown_digest; _ }) -> ()
+      | Ok _ -> Alcotest.fail "unknown digest not rejected"
+      | Error m -> Alcotest.failf "unknown digest: %s" m)
+
+let test_daemon_unknown_workload () =
+  with_server ~backend:`Inline (fun _ c ->
+      match
+        Client.run c ~id:"x" ~engine:`Fast ~spec:Spec.default
+          (Proto.Workload { name = "190.vaporware"; scale = None })
+      with
+      | Ok (Proto.Error { code = Proto.Unknown_workload; _ }) -> ()
+      | Ok _ -> Alcotest.fail "unknown workload not rejected"
+      | Error m -> Alcotest.failf "unexpected transport error: %s" m)
+
+(* Concurrent clients against the fork backend: submissions overlap on
+   the server; every response still matches a direct run. *)
+let test_daemon_concurrent_clients () =
+  with_server ~backend:`Fork ~jobs:2 (fun addr c0 ->
+      let names = [ "li"; "compress"; "li" ] in
+      let conns =
+        c0
+        :: List.map
+             (fun _ ->
+               match Client.connect ~retries:20 addr with
+               | Ok c -> c
+               | Error m -> Alcotest.failf "connect: %s" m)
+             (List.tl names)
+      in
+      Fun.protect
+        ~finally:(fun () -> List.iter Client.close (List.tl conns))
+        (fun () ->
+          (* fire all requests before reading any response *)
+          List.iteri
+            (fun i (c, name) ->
+              match
+                Client.send c
+                  (Proto.Run
+                     { id = Printf.sprintf "c%d" i; engine = `Fast;
+                       spec = Spec.default; program = wref name;
+                       fault = None })
+              with
+              | Ok () -> ()
+              | Error m -> Alcotest.failf "send: %s" m)
+            (List.combine conns names);
+          List.iteri
+            (fun i (c, name) ->
+              let _, prog = workload name in
+              (* a duplicate workload may be served warm once the first
+                 finishes, so compare the warm-invariant part *)
+              let expect = arch_str (direct `Fast Spec.default prog) in
+              let rec await () =
+                match Client.recv c with
+                | Error m -> Alcotest.failf "recv: %s" m
+                | Ok (Proto.Accepted _) -> await ()
+                | Ok (Proto.Result { result; _ }) ->
+                  check Alcotest.string
+                    (Printf.sprintf "client %d (%s) = direct" i name)
+                    expect (arch_str result)
+                | Ok (Proto.Error { message; _ }) ->
+                  Alcotest.failf "client %d: %s" i message
+                | Ok _ -> Alcotest.failf "client %d: unexpected frame" i
+              in
+              await ())
+            (List.combine conns names)))
+
+(* An injected worker crash surfaces as a worker_crashed error frame —
+   and the daemon survives to serve the next request. *)
+let test_daemon_worker_crash () =
+  with_server ~backend:`Fork ~allow_fault:true (fun _ c ->
+      (match
+         Client.run c ~id:"boom" ~engine:`Fast ~spec:Spec.default
+           ~fault:"crash" (wref "li")
+       with
+       | Ok (Proto.Error { code = Proto.Worker_crashed; _ }) -> ()
+       | Ok _ -> Alcotest.fail "crash did not produce worker_crashed"
+       | Error m -> Alcotest.failf "crash request: %s" m);
+      match run_ok c ~id:"after" ~engine:`Fast (wref "li") with
+      | Proto.Result _ -> ()
+      | _ -> assert false)
+
+(* A hung worker is killed at the timeout and answered with an error. *)
+let test_daemon_timeout () =
+  with_server ~backend:`Fork ~allow_fault:true ~timeout_s:0.3 (fun _ c ->
+      match
+        Client.run c ~id:"hang" ~engine:`Fast ~spec:Spec.default
+          ~fault:"hang" (wref "li")
+      with
+      | Ok (Proto.Error { code = Proto.Timeout; _ }) -> ()
+      | Ok _ -> Alcotest.fail "hang did not time out"
+      | Error m -> Alcotest.failf "hang request: %s" m)
+
+(* Faults are refused unless the server opted in. *)
+let test_daemon_fault_gate () =
+  with_server ~backend:`Inline (fun _ c ->
+      match
+        Client.run c ~id:"x" ~engine:`Fast ~spec:Spec.default
+          ~fault:"crash" (wref "li")
+      with
+      | Ok (Proto.Error { code = Proto.Bad_request; _ }) -> ()
+      | Ok _ -> Alcotest.fail "fault accepted without allow_fault"
+      | Error m -> Alcotest.failf "unexpected transport error: %s" m)
+
+let suite =
+  [ Alcotest.test_case "protocol frames round-trip" `Quick
+      test_proto_roundtrip;
+    Alcotest.test_case "protocol rejects malformed frames" `Quick
+      test_proto_rejects_junk;
+    Alcotest.test_case "decoder reassembles ragged chunks" `Quick
+      test_decoder_reassembly;
+    Alcotest.test_case "decoder rejects oversized frames" `Quick
+      test_decoder_oversize;
+    Alcotest.test_case "address strings parse" `Quick test_address_parse;
+    Alcotest.test_case "registry LRU spill and reload" `Quick
+      test_registry_lru;
+    Alcotest.test_case "daemon matches direct run on every engine" `Quick
+      test_daemon_bit_identity;
+    Alcotest.test_case "repeat request is served warm" `Quick
+      test_daemon_warm_repeat;
+    Alcotest.test_case "by-digest re-run" `Quick test_daemon_by_digest;
+    Alcotest.test_case "unknown workload is a clean error" `Quick
+      test_daemon_unknown_workload;
+    Alcotest.test_case "concurrent clients, fork backend" `Quick
+      test_daemon_concurrent_clients;
+    Alcotest.test_case "worker crash becomes an error frame" `Quick
+      test_daemon_worker_crash;
+    Alcotest.test_case "hung worker is timed out" `Quick
+      test_daemon_timeout;
+    Alcotest.test_case "fault injection is gated" `Quick
+      test_daemon_fault_gate ]

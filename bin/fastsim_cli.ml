@@ -906,25 +906,47 @@ let address_arg =
 
 let serve_cmd =
   let serve address jobs queue_max timeout_s budget inline scratch
-      allow_fault quiet =
-    let cfg = Fastsim_serve.Server.default_config address in
-    let cfg =
-      { cfg with
-        Fastsim_serve.Server.backend = (if inline then `Inline else `Fork);
-        jobs;
-        queue_max;
-        timeout_s;
-        registry_budget = budget;
-        scratch_dir = scratch;
-        allow_fault;
-        quiet }
+      allow_fault quiet log_level log_out slow_trace trace_dir =
+    let level_or k =
+      match log_level with
+      | None -> Ok k
+      | Some s -> Fastsim_obs.Log.level_of_string s
     in
-    match Fastsim_serve.Server.run cfg with
-    | () -> 0
-    | exception Unix.Unix_error (e, fn, arg) ->
-      Printf.eprintf "fastsim serve: %s %s: %s\n" fn arg
-        (Unix.error_message e);
-      1
+    match level_or Fastsim_obs.Log.Info with
+    | Error m ->
+      Printf.eprintf "fastsim serve: %s\n" m;
+      124
+    | Ok level ->
+      let log =
+        match log_out with
+        | Some path -> Fastsim_obs.Log.open_file ~level path
+        | None ->
+          (* --log-level alone logs to stderr; neither flag = silent *)
+          if log_level = None then Fastsim_obs.Log.null
+          else Fastsim_obs.Log.to_channel ~level stderr
+      in
+      let cfg = Fastsim_serve.Server.default_config address in
+      let cfg =
+        { cfg with
+          Fastsim_serve.Server.backend = (if inline then `Inline else `Fork);
+          jobs;
+          queue_max;
+          timeout_s;
+          registry_budget = budget;
+          scratch_dir = scratch;
+          allow_fault;
+          quiet;
+          log;
+          slow_trace_s = slow_trace;
+          trace_dir }
+      in
+      Fun.protect ~finally:(fun () -> Fastsim_obs.Log.close log) (fun () ->
+          match Fastsim_serve.Server.run cfg with
+          | () -> 0
+          | exception Unix.Unix_error (e, fn, arg) ->
+            Printf.eprintf "fastsim serve: %s %s: %s\n" fn arg
+              (Unix.error_message e);
+            1)
   in
   let jobs_arg =
     Arg.(
@@ -978,6 +1000,39 @@ let serve_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No startup banner.")
   in
+  let log_level_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Structured-log threshold: $(b,debug), $(b,info), $(b,warn) \
+             or $(b,error). Without $(b,--log-out), log lines (JSONL) go \
+             to stderr.")
+  in
+  let log_out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "log-out" ] ~docv:"FILE"
+          ~doc:
+            "Append structured JSONL log lines to $(i,FILE) (level \
+             defaults to $(b,info)).")
+  in
+  let slow_trace_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "slow-trace" ] ~docv:"SECONDS"
+          ~doc:
+            "Dump a per-request Chrome trace for any run at least this \
+             slow (see $(b,--trace-dir)). 0 disables.")
+  in
+  let trace_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:
+            "Where slow-request traces are written (default: the scratch \
+             dir, which vanishes at exit unless $(b,--scratch) is set).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"run the persistent simulation daemon"
@@ -992,7 +1047,8 @@ let serve_cmd =
               request drains gracefully." ])
     Term.(
       const serve $ address_arg $ jobs_arg $ queue_arg $ timeout_arg
-      $ budget_arg $ inline_arg $ scratch_arg $ allow_fault_arg $ quiet_arg)
+      $ budget_arg $ inline_arg $ scratch_arg $ allow_fault_arg $ quiet_arg
+      $ log_level_arg $ log_out_arg $ slow_trace_arg $ trace_dir_arg)
 
 let client_retries_arg =
   Arg.(
@@ -1083,19 +1139,165 @@ let client_run_cmd =
       $ json_arg)
 
 let client_stats_cmd =
-  let stats address retries =
+  let stats address retries json =
     with_client address retries (fun c ->
         match Fastsim_serve.Client.stats c ~id:"cli" with
         | Ok j ->
-          print_endline (Fastsim_obs.Json.to_string j);
+          if json then print_endline (Fastsim_obs.Json.to_string j)
+          else print_string (Fastsim_serve.View.stats_table j);
           0
         | Error m ->
           Printf.eprintf "fastsim client: %s\n" m;
           1)
   in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the raw stats frame as JSON.")
+  in
   Cmd.v
-    (Cmd.info "stats" ~doc:"print the daemon's stats frame as JSON")
-    Term.(const stats $ address_arg $ client_retries_arg)
+    (Cmd.info "stats" ~doc:"show the daemon's server and registry stats")
+    Term.(const stats $ address_arg $ client_retries_arg $ json_arg)
+
+let client_metrics_cmd =
+  let metrics address retries json =
+    with_client address retries (fun c ->
+        match Fastsim_serve.Client.telemetry c ~id:"cli" () with
+        | Error m ->
+          Printf.eprintf "fastsim client: %s\n" m;
+          1
+        | Ok tel ->
+          if json then begin
+            print_endline (Fastsim_obs.Json.to_string tel);
+            0
+          end
+          else (
+            match
+              Fastsim_obs.Metrics.snapshot_of_json
+                (Fastsim_obs.Json.member "metrics" tel)
+            with
+            | Ok snap ->
+              print_string (Fastsim_obs.Export.prometheus_of_snapshot snap);
+              0
+            | Error m | (exception Fastsim_obs.Json.Parse_error m) ->
+              Printf.eprintf "fastsim client: %s\n" m;
+              1))
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the raw telemetry frame as JSON instead.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"scrape the daemon's metrics (Prometheus text exposition)")
+    Term.(const metrics $ address_arg $ client_retries_arg $ json_arg)
+
+let client_trace_cmd =
+  let trace address retries out =
+    with_client address retries (fun c ->
+        match
+          Fastsim_serve.Client.telemetry c ~id:"cli" ~include_trace:true ()
+        with
+        | Error m ->
+          Printf.eprintf "fastsim client: %s\n" m;
+          1
+        | Ok tel ->
+          if not (Fastsim_obs.Json.mem "trace" tel) then begin
+            Printf.eprintf "fastsim client: no trace in telemetry frame\n";
+            1
+          end
+          else begin
+            let oc = open_out out in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                Fastsim_obs.Json.to_channel oc
+                  (Fastsim_obs.Json.member "trace" tel));
+            let spans =
+              if Fastsim_obs.Json.mem "trace_spans" tel then
+                Fastsim_obs.Json.to_int
+                  (Fastsim_obs.Json.member "trace_spans" tel)
+              else 0
+            in
+            Printf.printf "wrote %s (%d spans)\n" out spans;
+            0
+          end)
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Output file for the Chrome trace JSON.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "download the daemon's buffered request spans as a stitched \
+          Chrome trace (load in Perfetto or chrome://tracing)")
+    Term.(const trace $ address_arg $ client_retries_arg $ out_arg)
+
+let top_cmd =
+  let top address retries interval count no_clear =
+    with_client address retries (fun c ->
+        let rec loop i prev =
+          match Fastsim_serve.Client.telemetry c ~id:"cli" () with
+          | Error m ->
+            Printf.eprintf "fastsim top: %s\n" m;
+            1
+          | Ok tel -> (
+            match Fastsim_serve.View.sample_of_json tel with
+            | Error m ->
+              Printf.eprintf "fastsim top: %s\n" m;
+              1
+            | Ok sample ->
+              if not no_clear then print_string "\027[2J\027[H";
+              print_string (Fastsim_serve.View.top_view ?prev sample);
+              flush stdout;
+              if count > 0 && i + 1 >= count then 0
+              else begin
+                Unix.sleepf interval;
+                loop (i + 1) (Some sample)
+              end)
+        in
+        loop 0 None)
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 2.
+      & info [ "interval"; "i" ] ~docv:"SECONDS"
+          ~doc:"Seconds between telemetry polls.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "count"; "n" ] ~docv:"N"
+          ~doc:"Stop after N frames (0 = run until interrupted).")
+  in
+  let no_clear_arg =
+    Arg.(
+      value & flag
+      & info [ "no-clear" ]
+          ~doc:
+            "Do not clear the screen between frames (append them — \
+             useful for logs and CI).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"live view of a fastsim daemon"
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Polls the daemon's $(b,telemetry) frame and redraws a \
+              summary: in-flight runs, queue depth, p50/p99 latency and \
+              queue wait, warm-hit rate and replay fraction. Rates and \
+              percentiles are computed per polling interval after the \
+              first frame." ])
+    Term.(
+      const top $ address_arg $ client_retries_arg $ interval_arg $ count_arg
+      $ no_clear_arg)
 
 let client_ping_cmd =
   let ping address retries =
@@ -1135,8 +1337,8 @@ let client_cmd =
              "Submits requests to a daemon started with $(b,fastsim \
               serve). Every subcommand takes the daemon $(i,ADDRESS) as \
               its first argument." ])
-    [ client_run_cmd; client_stats_cmd; client_ping_cmd;
-      client_shutdown_cmd ]
+    [ client_run_cmd; client_stats_cmd; client_metrics_cmd;
+      client_trace_cmd; top_cmd; client_ping_cmd; client_shutdown_cmd ]
 
 let () =
   let doc = "FastSim: out-of-order processor simulation with memoization" in
@@ -1144,4 +1346,4 @@ let () =
     (Cmd.eval'
        (Cmd.group (Cmd.info "fastsim" ~doc)
           [ run_cmd; list_cmd; disasm_cmd; asm_cmd; trace_cmd; profile_cmd;
-            sweep_cmd; fuzz_cmd; serve_cmd; client_cmd ]))
+            sweep_cmd; fuzz_cmd; serve_cmd; client_cmd; top_cmd ]))

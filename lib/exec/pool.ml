@@ -163,14 +163,27 @@ module Async = struct
     mutable state : 'a state;
   }
 
-  let spawn ~scratch_dir ~tag f =
+  let spawn ?spans ~scratch_dir ~tag f =
     let result_file = Filename.concat scratch_dir (tag ^ ".res") in
+    let fork_start = Fastsim_obs.Span.now_us () in
     (* Flush so the child does not replay the parent's buffered output. *)
     flush stdout;
     flush stderr;
     match Unix.fork () with
     | 0 -> child_run f () result_file
     | pid ->
+      (match spans with
+       | Some c ->
+         Fastsim_obs.Span.record c ~name:"pool.fork" ~cat:"pool"
+           ~args:[ ("tag", Fastsim_obs.Json.Str tag);
+                   ("pid", Fastsim_obs.Json.Int pid) ]
+           ~start_us:fork_start ~end_us:(Fastsim_obs.Span.now_us ()) ()
+       | None -> ());
+      let log = Fastsim_obs.Log.default () in
+      if Fastsim_obs.Log.enabled log Fastsim_obs.Log.Debug then
+        Fastsim_obs.Log.debug log ~event:"pool.spawn"
+          [ ("tag", Fastsim_obs.Json.Str tag);
+            ("pid", Fastsim_obs.Json.Int pid) ];
       { pid; result_file; started = Unix.gettimeofday (); killed = false;
         state = Running }
 
@@ -201,6 +214,16 @@ module Async = struct
     (try Sys.remove t.result_file with Sys_error _ -> ());
     (try Sys.remove (t.result_file ^ ".tmp") with Sys_error _ -> ());
     t.state <- Settled outcome;
+    let log = Fastsim_obs.Log.default () in
+    if Fastsim_obs.Log.enabled log Fastsim_obs.Log.Debug then
+      Fastsim_obs.Log.debug log ~event:"pool.settle"
+        [ ("pid", Fastsim_obs.Json.Int t.pid);
+          ( "outcome",
+            Fastsim_obs.Json.Str
+              (match outcome with
+               | Done _ -> "done"
+               | Crashed m -> "crashed: " ^ m
+               | Timed_out -> "timed_out") ) ];
     outcome
 
   (* Poll only this task's pid: waitpid(-1) would also reap — and
@@ -222,6 +245,10 @@ module Async = struct
     | Settled _ -> ()
     | Running ->
       t.killed <- true;
+      let log = Fastsim_obs.Log.default () in
+      if Fastsim_obs.Log.enabled log Fastsim_obs.Log.Debug then
+        Fastsim_obs.Log.debug log ~event:"pool.kill"
+          [ ("pid", Fastsim_obs.Json.Int t.pid) ];
       (try Unix.kill t.pid Sys.sigkill with _ -> ())
 
   let stop t =

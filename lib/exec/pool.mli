@@ -68,12 +68,18 @@ val with_temp_dir : prefix:string -> (string -> 'a) -> 'a
 module Async : sig
   type 'a task
 
-  val spawn : scratch_dir:string -> tag:string -> (unit -> 'a) -> 'a task
+  val spawn :
+    ?spans:Fastsim_obs.Span.collector ->
+    scratch_dir:string -> tag:string -> (unit -> 'a) -> 'a task
   (** Forks a child that evaluates the thunk, marshals the result to
       [scratch_dir/tag.res] (atomically: temp name + rename) and exits.
       [tag] must be unique among concurrently-live tasks sharing a
       scratch dir. As with {!map}, ['a] crosses the process boundary via
-      [Marshal] and must be closure-free plain data. *)
+      [Marshal] and must be closure-free plain data.
+
+      [spans] receives a ["pool.fork"] span (cat ["pool"], args [tag]
+      and child [pid]) timing the fork itself. Spawn/kill/settle debug
+      events go to {!Fastsim_obs.Log.default}. *)
 
   val poll : 'a task -> 'a outcome option
   (** [None] while the child runs. The first [Some] settles the task:

@@ -60,3 +60,62 @@ let write_jsonl oc tr =
 let write_jsonl_file path tr = with_file path (fun oc -> write_jsonl oc tr)
 let write_metrics oc m = Json.to_channel oc (Metrics.to_json m)
 let write_metrics_file path m = with_file path (fun oc -> write_metrics oc m)
+
+(* Prometheus text exposition. Metric names mangle '.' (our namespace
+   separator) and any other invalid character to '_', with a "fastsim_"
+   prefix. Histogram buckets become cumulative le-bucketed series: the
+   log2 bucket [lo, 2*lo-1] exports as le="2*lo-1" (bucket 0, holding
+   <= 0 samples, as le="0"), plus the mandatory le="+Inf", _sum and
+   _count. The snapshot's sorted order makes output deterministic. *)
+
+let prom_name name =
+  let b = Bytes.of_string ("fastsim_" ^ name) in
+  Bytes.iteri
+    (fun i ch ->
+      let ok =
+        (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z')
+        || (ch >= '0' && ch <= '9') || ch = '_' || ch = ':'
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  Bytes.to_string b
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let prometheus_of_snapshot (s : Metrics.snapshot) =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf l;
+                                   Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      line "# TYPE %s counter" n;
+      line "%s %d" n v)
+    s.Metrics.s_counters;
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      line "# TYPE %s gauge" n;
+      line "%s %s" n (prom_float v))
+    s.Metrics.s_gauges;
+  List.iter
+    (fun (name, h) ->
+      let n = prom_name name in
+      line "# TYPE %s histogram" n;
+      let cum = ref 0 in
+      List.iter
+        (fun (lo, count) ->
+          cum := !cum + count;
+          let le = if lo = 0 then 0 else (2 * lo) - 1 in
+          line "%s_bucket{le=\"%d\"} %d" n le !cum)
+        h.Metrics.s_buckets;
+      line "%s_bucket{le=\"+Inf\"} %d" n h.Metrics.s_count;
+      line "%s_sum %d" n h.Metrics.s_sum;
+      line "%s_count %d" n h.Metrics.s_count)
+    s.Metrics.s_histograms;
+  Buffer.contents buf
+
+let prometheus m = prometheus_of_snapshot (Metrics.snapshot m)

@@ -19,4 +19,16 @@ val write_jsonl : out_channel -> Trace.t -> unit
 val write_jsonl_file : string -> Trace.t -> unit
 
 val write_metrics : out_channel -> Metrics.t -> unit
+(** JSON dump ({!Metrics.to_json}); names in deterministic sorted order. *)
+
 val write_metrics_file : string -> Metrics.t -> unit
+
+val prometheus_of_snapshot : Metrics.snapshot -> string
+(** Prometheus text exposition. Names are prefixed ["fastsim_"] with
+    invalid characters (notably ['.']) mangled to ['_']. Histograms
+    export cumulative [le]-buckets — the log2 bucket starting at [lo]
+    as [le="2*lo-1"] (the [<= 0] bucket as [le="0"]), plus [le="+Inf"],
+    [_sum] and [_count]. Deterministic: follows the snapshot's sorted
+    order. *)
+
+val prometheus : Metrics.t -> string

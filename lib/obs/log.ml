@@ -1,0 +1,78 @@
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Ok Debug
+  | "info" -> Ok Info
+  | "warn" -> Ok Warn
+  | "error" -> Ok Error
+  | s ->
+    Stdlib.Error
+      (Printf.sprintf "unknown log level %S (want debug, info, warn or error)"
+         s)
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+type t = {
+  min_level : level;
+  oc : out_channel option;  (* None: every call is a cheap no-op *)
+  owns_channel : bool;
+  mutable closed : bool;
+}
+
+let null = { min_level = Error; oc = None; owns_channel = false; closed = false }
+
+let to_channel ?(level = Info) oc =
+  { min_level = level; oc = Some oc; owns_channel = false; closed = false }
+
+let open_file ?(level = Info) path =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  in
+  { min_level = level; oc = Some oc; owns_channel = true; closed = false }
+
+let close t =
+  if t.owns_channel && not t.closed then begin
+    t.closed <- true;
+    match t.oc with Some oc -> close_out_noerr oc | None -> ()
+  end
+
+let enabled t level =
+  (not t.closed) && t.oc <> None && severity level >= severity t.min_level
+
+(* One line per record, flushed immediately so concurrent processes
+   appending to the same file interleave whole lines, never fragments.
+   Key order is fixed (ts, level, event, req?, then caller fields in
+   call order) so lines diff cleanly. *)
+let log t level ?req ~event fields =
+  if enabled t level then
+    match t.oc with
+    | None -> ()
+    | Some oc ->
+      let members =
+        [ ("ts", Json.Float (Unix.gettimeofday ()));
+          ("level", Json.Str (level_to_string level));
+          ("event", Json.Str event) ]
+        @ (match req with None -> [] | Some r -> [ ("req", Json.Str r) ])
+        @ fields
+      in
+      Json.to_channel oc (Json.Obj members);
+      output_char oc '\n';
+      flush oc
+
+let debug t ?req ~event fields = log t Debug ?req ~event fields
+let info t ?req ~event fields = log t Info ?req ~event fields
+let warn t ?req ~event fields = log t Warn ?req ~event fields
+let error t ?req ~event fields = log t Error ?req ~event fields
+
+(* A process-wide default, for subsystems (the worker pool, registries)
+   that should emit into whatever sink the application configured
+   without threading a logger through every call. Starts as {!null}. *)
+let default_logger = ref null
+let set_default l = default_logger := l
+let default () = !default_logger

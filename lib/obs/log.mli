@@ -1,0 +1,56 @@
+(** Leveled structured logging: one JSON object per line (JSONL).
+
+    Every record carries a fixed prefix — [ts] (Unix epoch seconds),
+    [level], [event] — an optional [req] correlation id linking the line
+    to a request-scoped trace ({!Span.Ctx}), then the caller's fields in
+    call order. The fixed ordering makes log lines diff cleanly and
+    [jq]-friendly:
+
+    {v
+    {"ts":1754700000.123,"level":"info","event":"serve.dispatch",
+     "req":"r42","engine":"fast","digest":"5ab5421d"}
+    v}
+
+    Lines are flushed per record, so multiple processes appending to the
+    same file (a daemon and its forked workers) interleave whole lines.
+
+    A disabled logger ({!null}, or a level below the threshold) costs a
+    couple of comparisons per call site — cheap enough to leave log
+    statements on hot-ish control paths. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+val level_of_string : string -> (level, string) result
+
+type t
+
+val null : t
+(** Drops everything. The default everywhere a logger is optional. *)
+
+val to_channel : ?level:level -> out_channel -> t
+(** Logger writing to an existing channel (not closed by {!close}).
+    [level] (default [Info]) is the minimum severity emitted. *)
+
+val open_file : ?level:level -> string -> t
+(** Opens [path] in append mode. {!close} closes it. *)
+
+val close : t -> unit
+(** Closes a file-backed logger (no-op otherwise, idempotent). *)
+
+val enabled : t -> level -> bool
+(** [true] iff a record at [level] would be written — guard expensive
+    field construction with this. *)
+
+val log : t -> level -> ?req:string -> event:string -> (string * Json.t) list -> unit
+val debug : t -> ?req:string -> event:string -> (string * Json.t) list -> unit
+val info : t -> ?req:string -> event:string -> (string * Json.t) list -> unit
+val warn : t -> ?req:string -> event:string -> (string * Json.t) list -> unit
+val error : t -> ?req:string -> event:string -> (string * Json.t) list -> unit
+
+val set_default : t -> unit
+(** Installs the process-wide default logger used by subsystems that are
+    not handed one explicitly (e.g. {!Fastsim_exec.Pool.Async} spawn and
+    kill events). Starts as {!null}. *)
+
+val default : unit -> t

@@ -104,7 +104,11 @@ let h_buckets h =
 let h_mean h =
   if h.count = 0 then 0. else float_of_int h.sum /. float_of_int h.count
 
-let names_in_order t = List.rev t.order
+(* Lexicographic, not registration, order: two registries that acquired
+   the same instruments in different orders (a server and its forked
+   worker, two CI runs with shuffled tests) must export byte-identical
+   JSON so snapshots diff cleanly. *)
+let names_in_order t = List.sort compare (List.rev t.order)
 
 let iter_counters f t =
   List.iter
@@ -130,29 +134,210 @@ let iter_histograms f t =
       | _ -> ())
     (names_in_order t)
 
-let to_json t =
+(* ---------------------------------------------------------------- *)
+(* Snapshots: immutable copies of a registry's state, so scrapers can
+   diff two points in time (cheap per-interval deltas) and stitchers
+   can merge registries from several processes. min/max are already
+   normalised (0 when empty) — same convention as the JSON export. *)
+
+type hsnap = {
+  s_count : int;
+  s_sum : int;
+  s_min : int;
+  s_max : int;
+  s_buckets : (int * int) list;  (* (lower_bound, count), ascending *)
+}
+
+type snapshot = {
+  s_counters : (string * int) list;
+  s_gauges : (string * float) list;
+  s_histograms : (string * hsnap) list;
+}
+
+let hsnap_of h =
+  { s_count = h.count;
+    s_sum = h.sum;
+    s_min = (if h.count = 0 then 0 else h.min);
+    s_max = (if h.count = 0 then 0 else h.max);
+    s_buckets = h_buckets h }
+
+let snapshot t =
   let counters = ref [] and gauges = ref [] and histos = ref [] in
-  iter_counters (fun name v -> counters := (name, Json.Int v) :: !counters) t;
-  iter_gauges (fun name v -> gauges := (name, Json.Float v) :: !gauges) t;
-  iter_histograms
-    (fun name h ->
-      let buckets =
-        List.map
-          (fun (lo, n) -> Json.List [ Json.Int lo; Json.Int n ])
-          (h_buckets h)
-      in
-      histos :=
-        ( name,
-          Json.Obj
-            [ ("count", Json.Int h.count);
-              ("sum", Json.Int h.sum);
-              ("min", Json.Int (if h.count = 0 then 0 else h.min));
-              ("max", Json.Int (if h.count = 0 then 0 else h.max));
-              ("mean", Json.Float (h_mean h));
-              ("buckets", Json.List buckets) ] )
-        :: !histos)
-    t;
+  iter_counters (fun name v -> counters := (name, v) :: !counters) t;
+  iter_gauges (fun name v -> gauges := (name, v) :: !gauges) t;
+  iter_histograms (fun name h -> histos := (name, hsnap_of h) :: !histos) t;
+  { s_counters = List.rev !counters;
+    s_gauges = List.rev !gauges;
+    s_histograms = List.rev !histos }
+
+(* Outer-join two sorted assoc lists; [combine name left right] sees
+   [None] for a side missing the name. Result stays sorted. *)
+let join_assoc combine xs ys =
+  let rec go acc xs ys =
+    match (xs, ys) with
+    | [], [] -> List.rev acc
+    | (n, x) :: xs', [] -> go ((n, combine (Some x) None) :: acc) xs' []
+    | [], (n, y) :: ys' -> go ((n, combine None (Some y)) :: acc) [] ys'
+    | (nx, x) :: xs', (ny, y) :: ys' ->
+      if nx = ny then go ((nx, combine (Some x) (Some y)) :: acc) xs' ys'
+      else if nx < ny then go ((nx, combine (Some x) None) :: acc) xs' ys
+      else go ((ny, combine None (Some y)) :: acc) xs ys'
+  in
+  go [] xs ys
+
+let hsnap_empty =
+  { s_count = 0; s_sum = 0; s_min = 0; s_max = 0; s_buckets = [] }
+
+let bucket_join f xs ys =
+  List.filter
+    (fun (_, n) -> n <> 0)
+    (join_assoc
+       (fun a b ->
+         f (Option.value a ~default:0) (Option.value b ~default:0))
+       xs ys)
+
+let hsnap_diff ~after ~before =
+  let s_count = after.s_count - before.s_count in
+  { s_count;
+    s_sum = after.s_sum - before.s_sum;
+    (* Per-interval extrema aren't recoverable from cumulative state;
+       after's values are the least-surprising approximation. *)
+    s_min = (if s_count > 0 then after.s_min else 0);
+    s_max = (if s_count > 0 then after.s_max else 0);
+    s_buckets = bucket_join (fun a b -> a - b) after.s_buckets before.s_buckets }
+
+let hsnap_merge a b =
+  let s_count = a.s_count + b.s_count in
+  { s_count;
+    s_sum = a.s_sum + b.s_sum;
+    s_min =
+      (if a.s_count = 0 then b.s_min
+       else if b.s_count = 0 then a.s_min
+       else min a.s_min b.s_min);
+    s_max =
+      (if a.s_count = 0 then b.s_max
+       else if b.s_count = 0 then a.s_max
+       else max a.s_max b.s_max);
+    s_buckets = bucket_join ( + ) a.s_buckets b.s_buckets }
+
+let snapshot_diff ~after ~before =
+  { s_counters =
+      join_assoc
+        (fun a b -> Option.value a ~default:0 - Option.value b ~default:0)
+        after.s_counters before.s_counters;
+    (* Gauges are levels, not accumulators: the newer reading wins. *)
+    s_gauges =
+      join_assoc
+        (fun a b ->
+          match a with Some v -> v | None -> Option.value b ~default:0.)
+        after.s_gauges before.s_gauges;
+    s_histograms =
+      join_assoc
+        (fun a b ->
+          hsnap_diff
+            ~after:(Option.value a ~default:hsnap_empty)
+            ~before:(Option.value b ~default:hsnap_empty))
+        after.s_histograms before.s_histograms }
+
+let snapshot_merge a b =
+  { s_counters =
+      join_assoc
+        (fun a b -> Option.value a ~default:0 + Option.value b ~default:0)
+        a.s_counters b.s_counters;
+    s_gauges =
+      join_assoc
+        (fun a b ->
+          Option.value a ~default:0. +. Option.value b ~default:0.)
+        a.s_gauges b.s_gauges;
+    s_histograms =
+      join_assoc
+        (fun a b ->
+          hsnap_merge
+            (Option.value a ~default:hsnap_empty)
+            (Option.value b ~default:hsnap_empty))
+        a.s_histograms b.s_histograms }
+
+let hsnap_mean s =
+  if s.s_count = 0 then 0. else float_of_int s.s_sum /. float_of_int s.s_count
+
+(* Smallest sample value v such that at least [q * count] samples are
+   <= v's bucket; reported as the bucket midpoint (1.5x the lower
+   bound), clamped into [min, max] so tight distributions don't read
+   above their own maximum. Exact enough for p50/p99 dashboards. *)
+let hsnap_quantile s q =
+  if s.s_count = 0 then 0.
+  else begin
+    let target =
+      let t = int_of_float (ceil (q *. float_of_int s.s_count)) in
+      if t < 1 then 1 else if t > s.s_count then s.s_count else t
+    in
+    let rec go seen = function
+      | [] -> float_of_int s.s_max
+      | (lo, n) :: rest ->
+        if seen + n >= target then
+          let mid = if lo = 0 then 0. else 1.5 *. float_of_int lo in
+          Float.min (float_of_int s.s_max) (Float.max (float_of_int s.s_min) mid)
+        else go (seen + n) rest
+    in
+    go 0 s.s_buckets
+  end
+
+let snapshot_to_json s =
+  let buckets bs =
+    Json.List
+      (List.map (fun (lo, n) -> Json.List [ Json.Int lo; Json.Int n ]) bs)
+  in
   Json.Obj
-    [ ("counters", Json.Obj (List.rev !counters));
-      ("gauges", Json.Obj (List.rev !gauges));
-      ("histograms", Json.Obj (List.rev !histos)) ]
+    [ ("counters",
+       Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.s_counters));
+      ("gauges",
+       Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) s.s_gauges));
+      ("histograms",
+       Json.Obj
+         (List.map
+            (fun (n, h) ->
+              ( n,
+                Json.Obj
+                  [ ("count", Json.Int h.s_count);
+                    ("sum", Json.Int h.s_sum);
+                    ("min", Json.Int h.s_min);
+                    ("max", Json.Int h.s_max);
+                    ("mean", Json.Float (hsnap_mean h));
+                    ("buckets", buckets h.s_buckets) ] ))
+            s.s_histograms)) ]
+
+let snapshot_of_json j =
+  try
+    let assoc what k =
+      match Json.member k j with
+      | Json.Obj kvs -> kvs
+      | _ -> failwith (what ^ " must be an object")
+    in
+    let hist (name, hj) =
+      let b =
+        match Json.member "buckets" hj with
+        | Json.List bs ->
+          List.map
+            (function
+              | Json.List [ lo; n ] -> (Json.to_int lo, Json.to_int n)
+              | _ -> failwith "bucket must be a [lower, count] pair")
+            bs
+        | _ -> failwith "buckets must be an array"
+      in
+      ( name,
+        { s_count = Json.to_int (Json.member "count" hj);
+          s_sum = Json.to_int (Json.member "sum" hj);
+          s_min = Json.to_int (Json.member "min" hj);
+          s_max = Json.to_int (Json.member "max" hj);
+          s_buckets = b } )
+    in
+    Ok
+      { s_counters =
+          List.map (fun (n, v) -> (n, Json.to_int v)) (assoc "counters" "counters");
+        s_gauges =
+          List.map (fun (n, v) -> (n, Json.to_float v)) (assoc "gauges" "gauges");
+        s_histograms = List.map hist (assoc "histograms" "histograms") }
+  with
+  | Json.Parse_error m | Failure m -> Error ("metrics snapshot: " ^ m)
+
+let to_json t = snapshot_to_json (snapshot t)

@@ -65,8 +65,64 @@ val to_json : t -> Json.t
       "histograms": { name: { "count", "sum", "min", "max", "mean",
                               "buckets": [[lower, count], ...] }, ... } }
     v}
-    Names appear in registration order. *)
+    Names appear in lexicographic order (see {!names_in_order}), so two
+    registries holding the same state export byte-identical JSON. *)
+
+val names_in_order : t -> string list
+(** All registered names, sorted lexicographically. Every iterator and
+    export uses this order — deterministic across processes regardless
+    of registration order. *)
 
 val iter_counters : (string -> int -> unit) -> t -> unit
 val iter_gauges : (string -> float -> unit) -> t -> unit
 val iter_histograms : (string -> histogram -> unit) -> t -> unit
+
+(** {1 Snapshots}
+
+    Immutable copies of a registry's state. Scrapers take one per
+    interval and {!snapshot_diff} consecutive pairs for cheap deltas;
+    {!snapshot_merge} combines registries from several processes. *)
+
+type hsnap = {
+  s_count : int;
+  s_sum : int;
+  s_min : int;   (** 0 when empty (unlike {!h_min}). *)
+  s_max : int;   (** 0 when empty (unlike {!h_max}). *)
+  s_buckets : (int * int) list;  (** [(lower_bound, count)], ascending. *)
+}
+
+type snapshot = {
+  s_counters : (string * int) list;
+  s_gauges : (string * float) list;
+  s_histograms : (string * hsnap) list;
+}
+(** All three lists are sorted by name. *)
+
+val snapshot : t -> snapshot
+
+val snapshot_diff : after:snapshot -> before:snapshot -> snapshot
+(** Counters and histogram counts/sums/buckets subtract; gauges are
+    levels, so [after]'s reading is kept. Histogram [s_min]/[s_max] of
+    an interval aren't recoverable from cumulative state — the diff
+    carries [after]'s values when the interval saw samples, else 0.
+    Names missing on one side are treated as empty. *)
+
+val snapshot_merge : snapshot -> snapshot -> snapshot
+(** Counters, gauges, histogram counts/sums/buckets add; min/max
+    combine honouring empty sides. *)
+
+val hsnap_mean : hsnap -> float
+(** 0 when empty. *)
+
+val hsnap_quantile : hsnap -> float -> float
+(** [hsnap_quantile h q] estimates the [q]-quantile ([0 <= q <= 1])
+    from the log2 buckets: the midpoint of the first bucket where the
+    cumulative count reaches [q * count], clamped to [[s_min, s_max]].
+    0 when empty. Accurate to a factor of 2 — fine for p50/p99 views. *)
+
+val snapshot_to_json : snapshot -> Json.t
+(** Same shape as {!to_json} (which is [snapshot_to_json ∘ snapshot]). *)
+
+val snapshot_of_json : Json.t -> (snapshot, string) result
+(** Inverse of {!snapshot_to_json} (the [mean] field is recomputed, not
+    read). Used by clients parsing telemetry frames. *)

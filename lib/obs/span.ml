@@ -1,0 +1,167 @@
+(* Wall-clock spans for request-scoped tracing across processes.
+
+   Unlike Trace/Event (simulated-cycle timestamps inside one engine
+   run), a span is host wall-clock time with the recording process's
+   pid attached, so spans recorded in a server and in its forked
+   workers stitch into one Chrome trace on a shared timeline: fork
+   inherits the clock, and gettimeofday is the same clock in both. *)
+
+type t = {
+  name : string;
+  cat : string;
+  pid : int;
+  start_us : int;  (* absolute wall-clock microseconds (needs 64-bit int) *)
+  dur_us : int;
+  args : (string * Json.t) list;
+}
+
+type span = t
+
+let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+
+type collector = { mutable acc : t list (* newest first *) }
+
+let create () = { acc = [] }
+let add c s = c.acc <- s :: c.acc
+
+let record c ~name ?(cat = "serve") ?(args = []) ~start_us ~end_us () =
+  add c
+    { name; cat; pid = Unix.getpid (); start_us;
+      dur_us = max 0 (end_us - start_us); args }
+
+let with_span c ~name ?cat ?args f =
+  let start_us = now_us () in
+  Fun.protect
+    ~finally:(fun () -> record c ~name ?cat ?args ~start_us ~end_us:(now_us ()) ())
+    f
+
+let spans c = List.rev c.acc
+let length c = List.length c.acc
+let absorb c others = List.iter (add c) others
+
+let with_arg s kv = { s with args = s.args @ [ kv ] }
+
+(* ---------------------------------------------------------------- *)
+(* JSON codec — for dumping span sets and for the telemetry frame.   *)
+
+let to_json s =
+  Json.Obj
+    ([ ("name", Json.Str s.name);
+       ("cat", Json.Str s.cat);
+       ("pid", Json.Int s.pid);
+       ("start_us", Json.Int s.start_us);
+       ("dur_us", Json.Int s.dur_us) ]
+    @ match s.args with [] -> [] | args -> [ ("args", Json.Obj args) ])
+
+let of_json j =
+  match j with
+  | Json.Obj _ ->
+    (try
+       Ok
+         { name = Json.to_str (Json.member "name" j);
+           cat = Json.to_str (Json.member "cat" j);
+           pid = Json.to_int (Json.member "pid" j);
+           start_us = Json.to_int (Json.member "start_us" j);
+           dur_us = Json.to_int (Json.member "dur_us" j);
+           args =
+             (if Json.mem "args" j then
+                match Json.member "args" j with
+                | Json.Obj kvs -> kvs
+                | _ -> failwith "span args must be an object"
+              else []) }
+     with
+     | Json.Parse_error m | Failure m -> Error ("span: " ^ m))
+  | _ -> Error "span must be an object"
+
+let list_to_json ss = Json.List (List.map to_json ss)
+
+let list_of_json = function
+  | Json.List js ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | j :: rest -> (
+        match of_json j with
+        | Ok s -> go (s :: acc) rest
+        | Error _ as e -> e)
+    in
+    go [] js
+  | _ -> Error "span list must be an array"
+
+(* ---------------------------------------------------------------- *)
+(* Chrome trace_event stitching. Every distinct pid becomes one
+   Perfetto process lane; timestamps are normalised to the earliest
+   span so the trace opens at t=0 regardless of the absolute clock. *)
+
+let chrome_json ?(process_names = []) ss =
+  let t0 =
+    List.fold_left (fun acc s -> min acc s.start_us) max_int ss
+  in
+  let t0 = if t0 = max_int then 0 else t0 in
+  let pids =
+    List.sort_uniq compare (List.map (fun s -> s.pid) ss)
+  in
+  let meta =
+    List.map
+      (fun pid ->
+        let name =
+          match List.assoc_opt pid process_names with
+          | Some n -> n
+          | None -> Printf.sprintf "pid-%d" pid
+        in
+        Json.Obj
+          [ ("name", Json.Str "process_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Int pid);
+            ("args", Json.Obj [ ("name", Json.Str name) ]) ])
+      pids
+  in
+  let events =
+    List.map
+      (fun s ->
+        Json.Obj
+          ([ ("name", Json.Str s.name);
+             ("cat", Json.Str s.cat);
+             ("ph", Json.Str "X");
+             ("ts", Json.Int (s.start_us - t0));
+             ("dur", Json.Int s.dur_us);
+             ("pid", Json.Int s.pid);
+             ("tid", Json.Int 1) ]
+          @ match s.args with
+            | [] -> []
+            | args -> [ ("args", Json.Obj args) ]))
+      (List.sort (fun a b -> compare a.start_us b.start_us) ss)
+  in
+  Json.Obj
+    [ ("traceEvents", Json.List (meta @ events));
+      ("displayTimeUnit", Json.Str "ms") ]
+
+let write_chrome_file path ?process_names ss =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Json.to_channel oc (chrome_json ?process_names ss))
+
+(* ---------------------------------------------------------------- *)
+(* Request-scoped context: a server-minted id plus the collector its
+   spans accumulate into. [finish] tags every span with the id so
+   traces from many requests can share one stitched file. *)
+
+let mint_counter = ref 0
+
+let mint_id () =
+  incr mint_counter;
+  Printf.sprintf "r%d-%d" (Unix.getpid ()) !mint_counter
+
+module Ctx = struct
+  type nonrec t = { id : string; collector : collector }
+
+  let create ?id () =
+    { id = (match id with Some i -> i | None -> mint_id ());
+      collector = create () }
+
+  let id t = t.id
+  let collector t = t.collector
+
+  let finish t =
+    List.map (fun s -> with_arg s ("req", Json.Str t.id)) (spans t.collector)
+end

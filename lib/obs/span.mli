@@ -1,0 +1,93 @@
+(** Wall-clock spans for request-scoped tracing across processes.
+
+    {!Trace}/{!Event} timestamp in {e simulated cycles} inside one
+    engine run; a span timestamps in {e host wall-clock microseconds}
+    and carries the recording process's pid. Because a forked worker
+    shares its parent's clock, spans recorded server-side (queue wait,
+    fork, ship-back) and worker-side (engine run, pcache save) stitch
+    into one Chrome trace with a per-process lane each.
+
+    Everything here is passive bookkeeping: recording a span never
+    touches simulation state. *)
+
+type t = {
+  name : string;
+  cat : string;
+  pid : int;
+  start_us : int;  (** absolute wall-clock µs (63-bit int is plenty). *)
+  dur_us : int;
+  args : (string * Json.t) list;
+}
+
+type span = t
+(** Alias so {!Ctx}'s signature can name the span type. *)
+
+val now_us : unit -> int
+(** [gettimeofday] in microseconds. *)
+
+type collector
+(** A mutable bag of spans; one per request on the server, one per
+    forked worker (marshalled back with the result). *)
+
+val create : unit -> collector
+val add : collector -> t -> unit
+
+val record :
+  collector -> name:string -> ?cat:string -> ?args:(string * Json.t) list ->
+  start_us:int -> end_us:int -> unit -> unit
+(** Records a closed span ([cat] defaults to ["serve"]; the pid is the
+    calling process's). Negative durations clamp to 0. *)
+
+val with_span :
+  collector -> name:string -> ?cat:string -> ?args:(string * Json.t) list ->
+  (unit -> 'a) -> 'a
+(** Times [f], recording the span even when [f] raises. *)
+
+val spans : collector -> t list
+(** In recording order. *)
+
+val length : collector -> int
+val absorb : collector -> t list -> unit
+(** Folds spans from another process (e.g. a worker's shipped-back
+    list) into this collector. *)
+
+val with_arg : t -> string * Json.t -> t
+
+(** {1 JSON codec} — for telemetry frames and worker ship-back. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+val list_to_json : t list -> Json.t
+val list_of_json : Json.t -> (t list, string) result
+
+(** {1 Chrome stitching} *)
+
+val chrome_json : ?process_names:(int * string) list -> t list -> Json.t
+(** Chrome [trace_event] JSON: one ["M"] [process_name] record per
+    distinct pid (named from [process_names], default ["pid-N"]) and
+    one ["X"] complete event per span, timestamps normalised so the
+    earliest span starts at 0. Load in Perfetto or [chrome://tracing]. *)
+
+val write_chrome_file :
+  string -> ?process_names:(int * string) list -> t list -> unit
+
+(** {1 Request-scoped context} *)
+
+val mint_id : unit -> string
+(** A fresh id unique within this process ("r<pid>-<seq>"). *)
+
+module Ctx : sig
+  type t
+  (** A request id plus the collector its spans accumulate into. *)
+
+  val create : ?id:string -> unit -> t
+  (** Mints an id with {!mint_id} unless one is supplied (workers reuse
+      the server-minted id that arrived in the frame). *)
+
+  val id : t -> string
+  val collector : t -> collector
+
+  val finish : t -> span list
+  (** The recorded spans, each tagged with an ["req" = id] arg so many
+      requests can share one stitched trace file. *)
+end

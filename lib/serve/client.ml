@@ -93,6 +93,14 @@ let stats t ~id =
   | Proto.Error { message; _ } -> Error message
   | _ -> Error "unexpected response to stats"
 
+let telemetry t ~id ?(include_trace = false) () =
+  let* () = send t (Proto.Telemetry { id; include_trace }) in
+  let* resp = recv t in
+  match resp with
+  | Proto.R_telemetry { id = rid; telemetry } when rid = id -> Ok telemetry
+  | Proto.Error { message; _ } -> Error message
+  | _ -> Error "unexpected response to telemetry"
+
 let ping t ~id =
   let* () = send t (Proto.Ping { id }) in
   let* resp = recv t in

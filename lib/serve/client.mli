@@ -37,6 +37,15 @@ val run :
     silently. *)
 
 val stats : t -> id:string -> (Fastsim_obs.Json.t, string) result
+
+val telemetry :
+  t -> id:string -> ?include_trace:bool -> unit ->
+  (Fastsim_obs.Json.t, string) result
+(** One telemetry snapshot (the [telemetry] member of the response
+    frame): [{at, server, registry, metrics, trace?}]. [include_trace]
+    (default false) asks for the buffered request spans as a Chrome
+    trace object — large; leave it off for periodic scrapes. *)
+
 val ping : t -> id:string -> (unit, string) result
 val shutdown : t -> id:string -> (unit, string) result
 (** Requests a graceful drain; returns once the server acknowledges. *)

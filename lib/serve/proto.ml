@@ -19,6 +19,7 @@ type request =
       fault : string option;
     }
   | Stats of { id : string }
+  | Telemetry of { id : string; include_trace : bool }
   | Cancel of { id : string }
   | Ping of { id : string }
   | Shutdown of { id : string }
@@ -72,6 +73,7 @@ type response =
     }
   | Error of { id : string option; code : error_code; message : string }
   | R_stats of { id : string; stats : J.t }
+  | R_telemetry of { id : string; telemetry : J.t }
   | Pong of { id : string }
 
 (* ---------------------------------------------------------------- *)
@@ -145,6 +147,10 @@ let request_to_json = function
          ("program", program_ref_to_json program) ]
       @ match fault with None -> [] | Some f -> [ ("fault", J.Str f) ])
   | Stats { id } -> J.Obj [ ("type", J.Str "stats"); ("id", J.Str id) ]
+  | Telemetry { id; include_trace } ->
+    J.Obj
+      ([ ("type", J.Str "telemetry"); ("id", J.Str id) ]
+      @ if include_trace then [ ("trace", J.Bool true) ] else [])
   | Cancel { id } -> J.Obj [ ("type", J.Str "cancel"); ("id", J.Str id) ]
   | Ping { id } -> J.Obj [ ("type", J.Str "ping"); ("id", J.Str id) ]
   | Shutdown { id } -> J.Obj [ ("type", J.Str "shutdown"); ("id", J.Str id) ]
@@ -154,12 +160,13 @@ let ok_or_fail = function Ok v -> v | Error m -> fail "%s" m
 let request_decode j =
   let typ = ref None and id = ref None and proto = ref None in
   let engine = ref None and spec = ref None and program = ref None in
-  let fault = ref None in
+  let fault = ref None and trace = ref None in
   strict ~what:"request" j ~field:(fun k v ->
       match k with
       | "type" -> typ := Some (J.to_str v); true
       | "id" -> id := Some (J.to_str v); true
       | "proto" -> proto := Some (J.to_int v); true
+      | "trace" -> trace := Some (J.to_bool v); true
       | "engine" ->
         engine := Some (ok_or_fail (Spec.engine_of_string (J.to_str v)));
         true
@@ -178,6 +185,10 @@ let request_decode j =
         program = need "program" !program;
         fault = !fault }
   | "stats" -> Stats { id = id () }
+  | "telemetry" ->
+    Telemetry
+      { id = id ();
+        include_trace = (match !trace with Some b -> b | None -> false) }
   | "cancel" -> Cancel { id = id () }
   | "ping" -> Ping { id = id () }
   | "shutdown" -> Shutdown { id = id () }
@@ -208,13 +219,17 @@ let response_to_json = function
           ("message", J.Str message) ])
   | R_stats { id; stats } ->
     J.Obj [ ("type", J.Str "stats"); ("id", J.Str id); ("stats", stats) ]
+  | R_telemetry { id; telemetry } ->
+    J.Obj
+      [ ("type", J.Str "telemetry"); ("id", J.Str id);
+        ("telemetry", telemetry) ]
   | Pong { id } -> J.Obj [ ("type", J.Str "pong"); ("id", J.Str id) ]
 
 let response_decode j =
   let typ = ref None and id = ref None and proto = ref None in
   let result = ref None and wall_s = ref None and warm = ref None in
   let digest = ref None and code = ref None and message = ref None in
-  let stats = ref None in
+  let stats = ref None and telemetry = ref None in
   strict ~what:"response" j ~field:(fun k v ->
       match k with
       | "type" -> typ := Some (J.to_str v); true
@@ -233,6 +248,7 @@ let response_decode j =
         true
       | "message" -> message := Some (J.to_str v); true
       | "stats" -> stats := Some v; true
+      | "telemetry" -> telemetry := Some v; true
       | _ -> false);
   let rid () = need "id" !id in
   match need "type" !typ with
@@ -251,6 +267,8 @@ let response_decode j =
         code = need "code" !code;
         message = need "message" !message }
   | "stats" -> R_stats { id = rid (); stats = need "stats" !stats }
+  | "telemetry" ->
+    R_telemetry { id = rid (); telemetry = need "telemetry" !telemetry }
   | "pong" -> Pong { id = rid () }
   | t -> fail "unknown response type %S" t
 

@@ -43,6 +43,12 @@ type request =
               started with [allow_fault]. *)
     }
   | Stats of { id : string }
+  | Telemetry of { id : string; include_trace : bool }
+      (** live telemetry scrape: a {!Fastsim_obs.Metrics.snapshot} of
+          every server instrument plus server/registry sections; with
+          [include_trace], also the buffered request spans as JSON (see
+          docs/OBSERVABILITY.md for the schema). Wire form:
+          [{"type":"telemetry","id":...,"trace":true?}]. *)
   | Cancel of { id : string }  (** [id] of an in-flight [run]. *)
   | Ping of { id : string }
   | Shutdown of { id : string }
@@ -78,6 +84,7 @@ type response =
     }
   | Error of { id : string option; code : error_code; message : string }
   | R_stats of { id : string; stats : Fastsim_obs.Json.t }
+  | R_telemetry of { id : string; telemetry : Fastsim_obs.Json.t }
   | Pong of { id : string }
 
 val request_to_json : request -> Fastsim_obs.Json.t

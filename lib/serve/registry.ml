@@ -1,4 +1,6 @@
 module J = Fastsim_obs.Json
+module Metrics = Fastsim_obs.Metrics
+module Log = Fastsim_obs.Log
 
 type entry = {
   e_digest : string;
@@ -6,9 +8,27 @@ type entry = {
   e_file : string;  (* fixed path in the registry dir; may not exist yet *)
   mutable e_hot : Memo.Pcache.t option;
   mutable e_has_file : bool;
-  mutable e_bytes : int;     (* modeled bytes of the hot form *)
+  mutable e_bytes : int;       (* modeled bytes of the hot form *)
+  mutable e_file_bytes : int;  (* on-disk size of the spill file, if any *)
   mutable e_last_use : int;
   mutable e_hits : int;
+}
+
+(* Instruments mirrored into a shared Metrics registry when the caller
+   provides one (the daemon does; library users usually don't). The
+   counters double the plain int fields below so [stats_json] keeps
+   working without a registry. *)
+type instruments = {
+  i_metrics : Metrics.t;
+  c_hits : Metrics.counter;
+  c_misses : Metrics.counter;
+  c_reloads : Metrics.counter;
+  c_spills : Metrics.counter;
+  c_evictions : Metrics.counter;
+  g_entries : Metrics.gauge;
+  g_hot_entries : Metrics.gauge;
+  g_hot_bytes : Metrics.gauge;
+  g_spilled_bytes : Metrics.gauge;
 }
 
 type t = {
@@ -16,6 +36,8 @@ type t = {
   budget : int option;
   program_of : string -> Isa.Program.t option;
   tbl : (string * string, entry) Hashtbl.t;
+  inst : instruments option;
+  log : Log.t;
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
@@ -24,11 +46,25 @@ type t = {
   mutable evictions : int;
 }
 
-let create ~dir ?budget_bytes ?(program_of = fun _ -> None) () =
+let make_instruments m =
+  { i_metrics = m;
+    c_hits = Metrics.counter m "registry.hits";
+    c_misses = Metrics.counter m "registry.misses";
+    c_reloads = Metrics.counter m "registry.reloads";
+    c_spills = Metrics.counter m "registry.spills";
+    c_evictions = Metrics.counter m "registry.evictions";
+    g_entries = Metrics.gauge m "registry.entries";
+    g_hot_entries = Metrics.gauge m "registry.hot_entries";
+    g_hot_bytes = Metrics.gauge m "registry.hot_bytes";
+    g_spilled_bytes = Metrics.gauge m "registry.spilled_bytes" }
+
+let create ~dir ?budget_bytes ?(program_of = fun _ -> None) ?metrics
+    ?(log = Log.null) () =
   (match Unix.mkdir dir 0o700 with
    | () -> ()
    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   { dir; budget = budget_bytes; program_of; tbl = Hashtbl.create 16;
+    inst = Option.map make_instruments metrics; log;
     tick = 0; hits = 0; misses = 0; reloads = 0; spills = 0; evictions = 0 }
 
 let spec_key spec = J.to_string (Fastsim.Sim.Spec.to_json spec)
@@ -50,7 +86,8 @@ let entry t ~digest ~spec_key =
     let e =
       { e_digest = digest; e_spec_key = spec_key;
         e_file = file_for t ~digest ~spec_key; e_hot = None;
-        e_has_file = false; e_bytes = 0; e_last_use = 0; e_hits = 0 }
+        e_has_file = false; e_bytes = 0; e_file_bytes = 0; e_last_use = 0;
+        e_hits = 0 }
     in
     Hashtbl.add t.tbl key e;
     e
@@ -59,6 +96,50 @@ let hot_bytes t =
   Hashtbl.fold
     (fun _ e acc -> if e.e_hot <> None then acc + e.e_bytes else acc)
     t.tbl 0
+
+let spilled_bytes t =
+  Hashtbl.fold
+    (fun _ e acc -> if e.e_has_file then acc + e.e_file_bytes else acc)
+    t.tbl 0
+
+let hot_count t =
+  Hashtbl.fold (fun _ e n -> if e.e_hot <> None then n + 1 else n) t.tbl 0
+
+let file_size path = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0
+
+(* Mirror the registry's state into the shared metrics registry (when
+   one was supplied) after any mutation. Cheap: four gauge writes. *)
+let sync_gauges t =
+  match t.inst with
+  | None -> ()
+  | Some i ->
+    Metrics.set i.g_entries (float_of_int (Hashtbl.length t.tbl));
+    Metrics.set i.g_hot_entries (float_of_int (hot_count t));
+    Metrics.set i.g_hot_bytes (float_of_int (hot_bytes t));
+    Metrics.set i.g_spilled_bytes (float_of_int (spilled_bytes t))
+
+let digest_short d = if String.length d > 12 then String.sub d 0 12 else d
+
+(* Per-digest hit/miss counters let a dashboard see which programs are
+   actually enjoying warm caches; find-or-create is safe here because
+   acquire/commit paths are not hot relative to a simulation run. *)
+let bump_digest t ~digest what =
+  match t.inst with
+  | None -> ()
+  | Some i ->
+    Metrics.incr
+      (Metrics.counter i.i_metrics
+         (Printf.sprintf "registry.digest.%s.%s" (digest_short digest) what))
+
+let count_hit t ~digest =
+  t.hits <- t.hits + 1;
+  (match t.inst with Some i -> Metrics.incr i.c_hits | None -> ());
+  bump_digest t ~digest "hits"
+
+let count_miss t ~digest =
+  t.misses <- t.misses + 1;
+  (match t.inst with Some i -> Metrics.incr i.c_misses | None -> ());
+  bump_digest t ~digest "misses"
 
 (* Drop hot forms, least recently used first, until the hot footprint
    fits the budget. A hot cache with no up-to-date file is saved first
@@ -94,48 +175,68 @@ let enforce_budget t ~keep =
            | Some program ->
              Memo.Persist.save_file pc ~program e.e_file;
              e.e_has_file <- true;
-             t.spills <- t.spills + 1
+             e.e_file_bytes <- file_size e.e_file;
+             t.spills <- t.spills + 1;
+             (match t.inst with Some i -> Metrics.incr i.c_spills | None -> ());
+             Log.debug t.log ~event:"registry.spill"
+               [ ("digest", J.Str (digest_short e.e_digest));
+                 ("file_bytes", J.Int e.e_file_bytes) ]
            | None -> () (* no program to save against: drop the work *))
          | _ -> ());
         e.e_hot <- None;
         t.evictions <- t.evictions + 1;
+        (match t.inst with Some i -> Metrics.incr i.c_evictions | None -> ());
+        Log.debug t.log ~event:"registry.evict"
+          [ ("digest", J.Str (digest_short e.e_digest));
+            ("modeled_bytes", J.Int e.e_bytes);
+            ("spilled", J.Bool e.e_has_file) ];
         true
     do
       ()
-    done
+    done;
+    sync_gauges t
 
 let acquire t ~digest ~spec_key ~policy ~program =
   match Hashtbl.find_opt t.tbl (digest, spec_key) with
   | None ->
-    t.misses <- t.misses + 1;
+    count_miss t ~digest;
     None
   | Some e -> (
     touch t e;
     match e.e_hot with
     | Some pc ->
-      t.hits <- t.hits + 1;
+      count_hit t ~digest;
       e.e_hits <- e.e_hits + 1;
       Some pc
     | None ->
       if not e.e_has_file then begin
-        t.misses <- t.misses + 1;
+        count_miss t ~digest;
         None
       end
       else
         match Memo.Persist.load_file ~policy ~program e.e_file with
         | pc ->
-          t.hits <- t.hits + 1;
+          count_hit t ~digest;
           t.reloads <- t.reloads + 1;
+          (match t.inst with Some i -> Metrics.incr i.c_reloads | None -> ());
           e.e_hits <- e.e_hits + 1;
           e.e_hot <- Some pc;
           e.e_bytes <- (Memo.Pcache.counters pc).Memo.Pcache.modeled_bytes;
+          Log.debug t.log ~event:"registry.reload"
+            [ ("digest", J.Str (digest_short digest));
+              ("modeled_bytes", J.Int e.e_bytes) ];
           enforce_budget t ~keep:(Some e);
+          sync_gauges t;
           Some pc
         | exception _ ->
           (* corrupt or vanished spill: forget it and start cold *)
           (try Sys.remove e.e_file with Sys_error _ -> ());
           Hashtbl.remove t.tbl (digest, spec_key);
-          t.misses <- t.misses + 1;
+          Log.warn t.log ~event:"registry.corrupt_spill"
+            [ ("digest", J.Str (digest_short digest));
+              ("file", J.Str e.e_file) ];
+          count_miss t ~digest;
+          sync_gauges t;
           None)
 
 let commit_mem t ~digest ~spec_key pc =
@@ -146,9 +247,11 @@ let commit_mem t ~digest ~spec_key pc =
   (* the live cache has moved past any previous spill *)
   if e.e_has_file then begin
     (try Sys.remove e.e_file with Sys_error _ -> ());
-    e.e_has_file <- false
+    e.e_has_file <- false;
+    e.e_file_bytes <- 0
   end;
-  enforce_budget t ~keep:(Some e)
+  enforce_budget t ~keep:(Some e);
+  sync_gauges t
 
 let commit_file t ~digest ~spec_key ~src ~bytes =
   let e = entry t ~digest ~spec_key in
@@ -176,25 +279,30 @@ let commit_file t ~digest ~spec_key ~src ~bytes =
   if Sys.file_exists e.e_file then begin
     e.e_has_file <- true;
     e.e_bytes <- bytes;
+    e.e_file_bytes <- file_size e.e_file;
     (* the file is newer than any hot copy the parent kept *)
-    e.e_hot <- None
-  end
+    e.e_hot <- None;
+    Log.debug t.log ~event:"registry.commit_file"
+      [ ("digest", J.Str (digest_short digest));
+        ("modeled_bytes", J.Int bytes);
+        ("file_bytes", J.Int e.e_file_bytes) ]
+  end;
+  sync_gauges t
 
 let entry_count t = Hashtbl.length t.tbl
-
-let hot_count t =
-  Hashtbl.fold (fun _ e n -> if e.e_hot <> None then n + 1 else n) t.tbl 0
 
 let hits t = t.hits
 let misses t = t.misses
 let spills t = t.spills
 let reloads t = t.reloads
+let evictions t = t.evictions
 
 let stats_json t =
   J.Obj
     [ ("entries", J.Int (entry_count t));
       ("hot_entries", J.Int (hot_count t));
       ("hot_bytes", J.Int (hot_bytes t));
+      ("spilled_bytes", J.Int (spilled_bytes t));
       ("hits", J.Int t.hits);
       ("misses", J.Int t.misses);
       ("reloads", J.Int t.reloads);

@@ -20,6 +20,8 @@ val create :
   dir:string ->
   ?budget_bytes:int ->
   ?program_of:(string -> Isa.Program.t option) ->
+  ?metrics:Fastsim_obs.Metrics.t ->
+  ?log:Fastsim_obs.Log.t ->
   unit ->
   t
 (** [dir] holds the registry's persist files (created if missing).
@@ -27,7 +29,15 @@ val create :
     omitted = unbounded. [program_of] resolves a hex digest back to its
     program so an evicted hot cache can be spilled ({!Memo.Persist}
     saves are program-tied); without it (default), eviction of a
-    file-less hot entry discards the cache instead of spilling. *)
+    file-less hot entry discards the cache instead of spilling.
+
+    [metrics] mirrors the registry's state into a shared instrument
+    registry: counters [registry.{hits,misses,reloads,spills,evictions}]
+    and per-digest [registry.digest.<12-hex>.{hits,misses}], gauges
+    [registry.{entries,hot_entries,hot_bytes,spilled_bytes}] (gauges are
+    refreshed after every mutation). [log] (default {!Fastsim_obs.Log.null})
+    receives [registry.{spill,evict,reload,commit_file,corrupt_spill}]
+    events. Both are strictly passive. *)
 
 val spec_key : Fastsim.Sim.Spec.t -> string
 (** Canonical registry key for a spec: the serialised form of its
@@ -62,12 +72,18 @@ val commit_file :
     {!acquire} reloads the newer file. *)
 
 val stats_json : t -> Fastsim_obs.Json.t
-(** [{entries, hot_entries, hot_bytes, hits, misses, reloads, spills,
-    evictions}] — surfaced in the daemon's [stats] frames. *)
+(** [{entries, hot_entries, hot_bytes, spilled_bytes, hits, misses,
+    reloads, spills, evictions}] — surfaced in the daemon's [stats] and
+    [telemetry] frames. *)
 
 val entry_count : t -> int
 val hot_count : t -> int
+val hot_bytes : t -> int
+val spilled_bytes : t -> int
+(** Summed on-disk size of live spill files. *)
+
 val hits : t -> int
 val misses : t -> int
 val spills : t -> int
 val reloads : t -> int
+val evictions : t -> int

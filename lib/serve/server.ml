@@ -1,6 +1,9 @@
 module J = Fastsim_obs.Json
 module Spec = Fastsim.Sim.Spec
 module Async = Fastsim_exec.Pool.Async
+module Metrics = Fastsim_obs.Metrics
+module Log = Fastsim_obs.Log
+module Span = Fastsim_obs.Span
 
 type backend = [ `Fork | `Inline ]
 
@@ -14,12 +17,17 @@ type config = {
   scratch_dir : string option;
   allow_fault : bool;
   quiet : bool;
+  log : Log.t;
+  slow_trace_s : float;        (* 0 = never dump per-request traces *)
+  trace_dir : string option;   (* where slow-request traces land *)
+  span_keep : int;             (* per-request span sets buffered for telemetry *)
 }
 
 let default_config address =
   { address; backend = `Fork; jobs = 2; queue_max = 64; timeout_s = 0.;
     registry_budget = None; scratch_dir = None; allow_fault = false;
-    quiet = false }
+    quiet = false; log = Log.null; slow_trace_s = 0.; trace_dir = None;
+    span_keep = 2048 }
 
 (* ---------------------------------------------------------------- *)
 (* Connections. *)
@@ -43,24 +51,29 @@ let send conn resp =
 type pending = {
   p_conn : int;
   p_id : string;
+  p_rid : string;  (* server-minted request id; correlates spans + logs *)
   p_engine : Fastsim.Sim.engine;
   p_spec : Spec.t;
   p_prog : Isa.Program.t;
   p_digest : string;
   p_spec_key : string;
   p_fault : string option;
+  p_enq_us : int;             (* when the run entered the queue *)
+  p_ctx : Span.Ctx.t;         (* server-side spans for this request *)
 }
 
-(* What a worker ships back: the full result, the wall clock, and the
+(* What a worker ships back: the full result, the wall clock, the
    post-run modeled byte size of the pcache (fast engine only; the
-   pcache itself travels as a Persist file written by the child). *)
-type payload = Fastsim.Sim.result * float * int option
+   pcache itself travels as a Persist file written by the child), and
+   the spans the worker recorded (engine run, pcache save). *)
+type payload = Fastsim.Sim.result * float * int option * Span.span list
 
 type active = {
   a_req : pending;
   a_task : payload Async.task;
   a_warm : bool;
   a_pcache_file : string;
+  a_start_us : int;  (* dispatch time: queue-wait ends, run latency starts *)
   mutable a_cancelled : bool;
   mutable a_dropped : bool;  (* client went away; discard the outcome *)
 }
@@ -75,9 +88,17 @@ type state = {
   m_runs_ok : Fastsim_obs.Metrics.counter;
   m_runs_failed : Fastsim_obs.Metrics.counter;
   m_connections : Fastsim_obs.Metrics.counter;
+  m_warm_hits : Fastsim_obs.Metrics.counter;
+  m_replayed : Fastsim_obs.Metrics.counter;
+  m_detailed : Fastsim_obs.Metrics.counter;
   g_queue : Fastsim_obs.Metrics.gauge;
   g_running : Fastsim_obs.Metrics.gauge;
   g_replay : Fastsim_obs.Metrics.gauge;
+  h_queue_wait : Fastsim_obs.Metrics.histogram;    (* µs *)
+  h_run_latency : Fastsim_obs.Metrics.histogram;   (* µs, dispatch→settle *)
+  h_frame_decode : Fastsim_obs.Metrics.histogram;  (* µs per drained frame *)
+  h_replay_pct : Fastsim_obs.Metrics.histogram;    (* percent, per fast run *)
+  span_ring : Span.span Fastsim_obs.Ring.t;  (* recent request spans *)
   queue : pending Queue.t;
   mutable actives : active list;
   mutable conns : conn list;
@@ -85,6 +106,8 @@ type state = {
   mutable next_seq : int;
   started : float;
 }
+
+let log_of t = t.cfg.log
 
 let conn_by_id t id = List.find_opt (fun c -> c.c_id = id) t.conns
 
@@ -154,10 +177,14 @@ let apply_fault = function
 
 (* The worker body. [warm] is the registry's hot pcache (shared with a
    forked child by copy-on-write); [save_to] is where a fast worker
-   persists the post-run cache for the parent to adopt. *)
+   persists the post-run cache for the parent to adopt. The spans in
+   the payload carry the worker's pid, so the parent can stitch them
+   into the request's cross-process trace. *)
 let simulate ~engine ~(spec : Spec.t) ~prog ~warm ~fault ~save_to () :
     payload =
   apply_fault fault;
+  let sc = Span.create () in
+  let engine_name = Spec.engine_to_string engine in
   match engine with
   | `Fast ->
     let pc =
@@ -167,40 +194,105 @@ let simulate ~engine ~(spec : Spec.t) ~prog ~warm ~fault ~save_to () :
     in
     let spec = Spec.with_pcache pc spec in
     let t0 = Unix.gettimeofday () in
-    let r = Fastsim.Sim.run ~engine spec prog in
+    let r =
+      Span.with_span sc ~name:"engine.run" ~cat:"worker"
+        ~args:[ ("engine", J.Str engine_name) ]
+        (fun () -> Fastsim.Sim.run ~engine spec prog)
+    in
     let wall = Unix.gettimeofday () -. t0 in
     (match save_to with
-     | Some file -> Memo.Persist.save_file pc ~program:prog file
+     | Some file ->
+       Span.with_span sc ~name:"pcache.save" ~cat:"worker" (fun () ->
+           Memo.Persist.save_file pc ~program:prog file)
      | None -> ());
-    (r, wall, Some (Memo.Pcache.counters pc).Memo.Pcache.modeled_bytes)
+    ( r, wall,
+      Some (Memo.Pcache.counters pc).Memo.Pcache.modeled_bytes,
+      Span.spans sc )
   | (`Slow | `Baseline) as engine ->
     let t0 = Unix.gettimeofday () in
-    let r = Fastsim.Sim.run ~engine spec prog in
-    (r, Unix.gettimeofday () -. t0, None)
+    let r =
+      Span.with_span sc ~name:"engine.run" ~cat:"worker"
+        ~args:[ ("engine", J.Str engine_name) ]
+        (fun () -> Fastsim.Sim.run ~engine spec prog)
+    in
+    (r, Unix.gettimeofday () -. t0, None, Span.spans sc)
 
 let note_result t (r : Fastsim.Sim.result) =
   Fastsim_obs.Metrics.incr t.m_runs_ok;
   match r.Fastsim.Sim.memo with
   | Some m ->
-    let retired =
-      m.Memo.Stats.detailed_retired + m.Memo.Stats.replayed_retired
-    in
-    Fastsim_obs.Metrics.set t.g_replay
-      (float_of_int m.Memo.Stats.replayed_retired
-      /. float_of_int (max 1 retired))
+    let replayed = m.Memo.Stats.replayed_retired in
+    let detailed = m.Memo.Stats.detailed_retired in
+    let retired = detailed + replayed in
+    Metrics.add t.m_replayed replayed;
+    Metrics.add t.m_detailed detailed;
+    let frac = float_of_int replayed /. float_of_int (max 1 retired) in
+    Fastsim_obs.Metrics.set t.g_replay frac;
+    Metrics.observe t.h_replay_pct (int_of_float (frac *. 100.))
   | None -> ()
+
+(* Stitch a finished request's spans into the telemetry ring and, when
+   it crossed the slow-request threshold, dump its own Chrome trace. *)
+let retire_spans t (p : pending) ~wall_s =
+  let spans = Span.Ctx.finish p.p_ctx in
+  List.iter (Fastsim_obs.Ring.push t.span_ring) spans;
+  if t.cfg.slow_trace_s > 0. && wall_s >= t.cfg.slow_trace_s then begin
+    let dir = match t.cfg.trace_dir with Some d -> d | None -> t.scratch in
+    (match Unix.mkdir dir 0o700 with
+     | () -> ()
+     | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+     | exception Unix.Unix_error _ -> ());
+    let file = Filename.concat dir ("trace-" ^ p.p_rid ^ ".json") in
+    (match
+       Span.write_chrome_file file
+         ~process_names:[ (Unix.getpid (), "fastsim-serve") ]
+         spans
+     with
+     | () ->
+       Log.info (log_of t) ~req:p.p_rid ~event:"serve.slow_trace"
+         [ ("wall_s", J.Float wall_s); ("file", J.Str file) ]
+     | exception Sys_error m ->
+       Log.warn (log_of t) ~req:p.p_rid ~event:"serve.slow_trace_failed"
+         [ ("error", J.Str m) ])
+  end
 
 let deliver_result t (p : pending) ~warm ~result ~wall_s =
   note_result t result;
+  if warm then Metrics.incr t.m_warm_hits;
   send_to t p.p_conn
     (Proto.Result
        { id = p.p_id; result; wall_s; warm; digest = p.p_digest })
+
+(* Record the dispatch-side bookkeeping every backend shares: the
+   queue-wait span and histogram sample. Returns the dispatch time. *)
+let note_dispatch t (p : pending) =
+  let now = Span.now_us () in
+  Span.record (Span.Ctx.collector p.p_ctx) ~name:"queue.wait"
+    ~start_us:p.p_enq_us ~end_us:now ();
+  Metrics.observe t.h_queue_wait (now - p.p_enq_us);
+  Log.debug (log_of t) ~req:p.p_rid ~event:"serve.dispatch"
+    [ ("id", J.Str p.p_id);
+      ("engine", J.Str (Spec.engine_to_string p.p_engine));
+      ("digest", J.Str p.p_digest);
+      ("queue_wait_us", J.Int (now - p.p_enq_us)) ];
+  now
+
+let note_settled t (p : pending) ~start_us ~ok =
+  let now = Span.now_us () in
+  Span.record (Span.Ctx.collector p.p_ctx) ~name:"request.run"
+    ~args:[ ("id", J.Str p.p_id) ] ~start_us ~end_us:now ();
+  Metrics.observe t.h_run_latency (now - start_us);
+  Log.info (log_of t) ~req:p.p_rid ~event:"serve.settled"
+    [ ("id", J.Str p.p_id);
+      ("ok", J.Bool ok);
+      ("latency_us", J.Int (now - start_us)) ]
 
 (* Inline backend: the run happens right here, synchronously, against
    the registry's live caches. The pcache is created up front (not
    inside [simulate]) so it can be committed back to the registry even
    though the run is in-process. *)
 let run_inline t (p : pending) =
+  let start_us = note_dispatch t p in
   let warm_pc, warm_hit =
     match p.p_engine with
     | `Fast -> (
@@ -214,24 +306,32 @@ let run_inline t (p : pending) =
         (Some (Memo.Pcache.create ~policy:p.p_spec.Spec.policy ()), false))
     | _ -> (None, false)
   in
-  match
-    simulate ~engine:p.p_engine ~spec:p.p_spec ~prog:p.p_prog ~warm:warm_pc
-      ~fault:p.p_fault ~save_to:None ()
-  with
-  | result, wall_s, _ ->
-    (match (p.p_engine, warm_pc) with
-     | `Fast, Some pc ->
-       Registry.commit_mem t.registry ~digest:p.p_digest
-         ~spec_key:p.p_spec_key pc
-     | _ -> ());
-    deliver_result t p ~warm:warm_hit ~result ~wall_s
-  | exception e ->
-    Fastsim_obs.Metrics.incr t.m_runs_failed;
-    send_to t p.p_conn
-      (err ~id:p.p_id Proto.Worker_crashed (Printexc.to_string e))
+  (match
+     simulate ~engine:p.p_engine ~spec:p.p_spec ~prog:p.p_prog ~warm:warm_pc
+       ~fault:p.p_fault ~save_to:None ()
+   with
+   | result, wall_s, _, run_spans ->
+     Span.absorb (Span.Ctx.collector p.p_ctx) run_spans;
+     (match (p.p_engine, warm_pc) with
+      | `Fast, Some pc ->
+        Span.with_span (Span.Ctx.collector p.p_ctx) ~name:"pcache.commit"
+          (fun () ->
+            Registry.commit_mem t.registry ~digest:p.p_digest
+              ~spec_key:p.p_spec_key pc)
+      | _ -> ());
+     note_settled t p ~start_us ~ok:true;
+     deliver_result t p ~warm:warm_hit ~result ~wall_s;
+     retire_spans t p ~wall_s
+   | exception e ->
+     Fastsim_obs.Metrics.incr t.m_runs_failed;
+     note_settled t p ~start_us ~ok:false;
+     send_to t p.p_conn
+       (err ~id:p.p_id Proto.Worker_crashed (Printexc.to_string e));
+     retire_spans t p ~wall_s:0.)
 
 (* Fork backend: spawn an Async task; the event loop polls it. *)
 let dispatch_fork t (p : pending) =
+  let start_us = note_dispatch t p in
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   let warm =
@@ -246,32 +346,47 @@ let dispatch_fork t (p : pending) =
   in
   let save_to = match p.p_engine with `Fast -> Some pcache_file | _ -> None in
   let task =
-    Async.spawn ~scratch_dir:t.scratch ~tag:(Printf.sprintf "req-%d" seq)
+    Async.spawn ~spans:(Span.Ctx.collector p.p_ctx) ~scratch_dir:t.scratch
+      ~tag:(Printf.sprintf "req-%d" seq)
       (simulate ~engine:p.p_engine ~spec:p.p_spec ~prog:p.p_prog ~warm
          ~fault:p.p_fault ~save_to)
   in
   t.actives <-
     { a_req = p; a_task = task; a_warm = warm <> None;
-      a_pcache_file = pcache_file; a_cancelled = false; a_dropped = false }
+      a_pcache_file = pcache_file; a_start_us = start_us;
+      a_cancelled = false; a_dropped = false }
     :: t.actives
 
 let settle_active t (a : active) outcome =
   let p = a.a_req in
+  let wall_s = ref 0. in
   (match outcome with
-   | Fastsim_exec.Pool.Done ((result, wall_s, bytes_opt) : payload) ->
+   | Fastsim_exec.Pool.Done ((result, run_wall_s, bytes_opt, run_spans) :
+                               payload) ->
+     wall_s := run_wall_s;
+     Span.absorb (Span.Ctx.collector p.p_ctx) run_spans;
      (match (p.p_engine, bytes_opt) with
       | `Fast, Some bytes when Sys.file_exists a.a_pcache_file ->
-        Registry.commit_file t.registry ~digest:p.p_digest
-          ~spec_key:p.p_spec_key ~src:a.a_pcache_file ~bytes
+        Span.with_span (Span.Ctx.collector p.p_ctx) ~name:"pcache.commit"
+          (fun () ->
+            Registry.commit_file t.registry ~digest:p.p_digest
+              ~spec_key:p.p_spec_key ~src:a.a_pcache_file ~bytes)
       | _ -> ());
+     note_settled t p ~start_us:a.a_start_us ~ok:true;
      if not a.a_dropped then
-       deliver_result t p ~warm:a.a_warm ~result ~wall_s
+       deliver_result t p ~warm:a.a_warm ~result ~wall_s:run_wall_s
    | Fastsim_exec.Pool.Crashed m ->
      Fastsim_obs.Metrics.incr t.m_runs_failed;
+     note_settled t p ~start_us:a.a_start_us ~ok:false;
+     Log.warn (log_of t) ~req:p.p_rid ~event:"serve.worker_crashed"
+       [ ("id", J.Str p.p_id); ("error", J.Str m) ];
      if not a.a_dropped then
        send_to t p.p_conn (err ~id:p.p_id Proto.Worker_crashed m)
    | Fastsim_exec.Pool.Timed_out ->
      Fastsim_obs.Metrics.incr t.m_runs_failed;
+     note_settled t p ~start_us:a.a_start_us ~ok:false;
+     Log.warn (log_of t) ~req:p.p_rid ~event:"serve.timeout"
+       [ ("id", J.Str p.p_id); ("cancelled", J.Bool a.a_cancelled) ];
      if not a.a_dropped then
        if a.a_cancelled then
          send_to t p.p_conn
@@ -280,6 +395,7 @@ let settle_active t (a : active) outcome =
          send_to t p.p_conn
            (err ~id:p.p_id Proto.Timeout
               (Printf.sprintf "run exceeded %.1fs" t.cfg.timeout_s)));
+  retire_spans t p ~wall_s:!wall_s;
   (* the worker's pcache handoff file, if it survived, is either adopted
      above or stale — never leave it behind *)
   try Sys.remove a.a_pcache_file with Sys_error _ -> ()
@@ -287,29 +403,55 @@ let settle_active t (a : active) outcome =
 (* ---------------------------------------------------------------- *)
 (* Stats. *)
 
-let stats_json t =
-  let server =
-    J.Obj
-      [ ("uptime_s", J.Float (Unix.gettimeofday () -. t.started));
-        ("draining", J.Bool t.draining);
-        ("backend",
-         J.Str (match t.cfg.backend with `Fork -> "fork" | `Inline -> "inline"));
-        ("jobs", J.Int t.cfg.jobs);
-        ("queue_depth", J.Int (Queue.length t.queue));
-        ("running", J.Int (List.length t.actives));
-        ( "requests_served",
-          J.Int (Fastsim_obs.Metrics.counter_value t.m_requests) );
-        ("runs_ok", J.Int (Fastsim_obs.Metrics.counter_value t.m_runs_ok));
-        ( "runs_failed",
-          J.Int (Fastsim_obs.Metrics.counter_value t.m_runs_failed) );
-        ( "last_replay_fraction",
-          J.Float (Fastsim_obs.Metrics.gauge_value t.g_replay) );
-        ("programs_known", J.Int (Hashtbl.length t.programs)) ]
-  in
+let server_json t =
   J.Obj
-    [ ("server", server);
+    [ ("uptime_s", J.Float (Unix.gettimeofday () -. t.started));
+      ("draining", J.Bool t.draining);
+      ("backend",
+       J.Str (match t.cfg.backend with `Fork -> "fork" | `Inline -> "inline"));
+      ("jobs", J.Int t.cfg.jobs);
+      ("queue_depth", J.Int (Queue.length t.queue));
+      ("running", J.Int (List.length t.actives));
+      ( "requests_served",
+        J.Int (Fastsim_obs.Metrics.counter_value t.m_requests) );
+      ("runs_ok", J.Int (Fastsim_obs.Metrics.counter_value t.m_runs_ok));
+      ( "runs_failed",
+        J.Int (Fastsim_obs.Metrics.counter_value t.m_runs_failed) );
+      ("warm_hits", J.Int (Metrics.counter_value t.m_warm_hits));
+      ( "last_replay_fraction",
+        J.Float (Fastsim_obs.Metrics.gauge_value t.g_replay) );
+      ("programs_known", J.Int (Hashtbl.length t.programs)) ]
+
+let stats_json t =
+  J.Obj
+    [ ("server", server_json t);
       ("registry", Registry.stats_json t.registry);
       ("metrics", Fastsim_obs.Metrics.to_json t.metrics) ]
+
+(* The telemetry frame: everything a scraper needs in one snapshot.
+   [at] lets a poller compute interval rates without trusting its own
+   clock skew; [trace] (opt-in — it is the big one) is the buffered
+   request spans, already in Chrome trace_event form. *)
+let telemetry_json t ~include_trace =
+  let base =
+    [ ("at", J.Float (Unix.gettimeofday ()));
+      ("server", server_json t);
+      ("registry", Registry.stats_json t.registry);
+      ("metrics",
+       Metrics.snapshot_to_json (Metrics.snapshot t.metrics)) ]
+  in
+  let trace =
+    if not include_trace then []
+    else
+      let spans = Fastsim_obs.Ring.to_list t.span_ring in
+      [ ("trace",
+         Span.chrome_json
+           ~process_names:[ (Unix.getpid (), "fastsim-serve") ]
+           spans);
+        ("trace_spans", J.Int (List.length spans));
+        ("trace_dropped", J.Int (Fastsim_obs.Ring.dropped t.span_ring)) ]
+  in
+  J.Obj (base @ trace)
 
 (* ---------------------------------------------------------------- *)
 (* Request handling. *)
@@ -335,8 +477,12 @@ let handle_request t conn req =
   | Proto.Ping { id } -> send conn (Proto.Pong { id })
   | Proto.Stats { id } ->
     send conn (Proto.R_stats { id; stats = stats_json t })
+  | Proto.Telemetry { id; include_trace } ->
+    send conn
+      (Proto.R_telemetry { id; telemetry = telemetry_json t ~include_trace })
   | Proto.Shutdown { id } ->
     t.draining <- true;
+    Log.info (log_of t) ~event:"serve.drain" [ ("conn", J.Int conn.c_id) ];
     send conn (Proto.Accepted { id })
   | Proto.Cancel { id } -> (
     (* queued first: cheap and race-free *)
@@ -379,13 +525,25 @@ let handle_request t conn req =
            (Printf.sprintf "queue full (%d requests)" t.cfg.queue_max))
     else (
       match resolve_program t program with
-      | Error (code, m) -> send conn (err ~id code m)
+      | Error (code, m) ->
+        Log.warn (log_of t) ~event:"serve.rejected"
+          [ ("id", J.Str id);
+            ("code", J.Str (Proto.error_code_to_string code));
+            ("message", J.Str m) ];
+        send conn (err ~id code m)
       | Ok (prog, digest) ->
+        let rid = Span.mint_id () in
         let p =
-          { p_conn = conn.c_id; p_id = id; p_engine = engine;
+          { p_conn = conn.c_id; p_id = id; p_rid = rid; p_engine = engine;
             p_spec = spec; p_prog = prog; p_digest = digest;
-            p_spec_key = Registry.spec_key spec; p_fault = fault }
+            p_spec_key = Registry.spec_key spec; p_fault = fault;
+            p_enq_us = Span.now_us (); p_ctx = Span.Ctx.create ~id:rid () }
         in
+        Log.info (log_of t) ~req:rid ~event:"serve.accepted"
+          [ ("id", J.Str id);
+            ("engine", J.Str (Spec.engine_to_string engine));
+            ("digest", J.Str digest);
+            ("queue_depth", J.Int (Queue.length t.queue)) ];
         Queue.add p t.queue;
         send conn (Proto.Accepted { id }))
 
@@ -423,6 +581,8 @@ let make_listener = function
 let close_conn t conn =
   if not conn.c_dead then begin
     conn.c_dead <- true;
+    Log.debug (log_of t) ~event:"serve.conn_closed"
+      [ ("conn", J.Int conn.c_id) ];
     (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
     (* orphan this connection's work: dequeue what hasn't started, let
        what has run to completion but drop the delivery *)
@@ -447,15 +607,20 @@ let pump_reads t conn =
   | n ->
     Proto.Decoder.feed conn.c_dec read_chunk n;
     let rec drain () =
-      if not (conn.c_dead || conn.c_closing) then
+      if not (conn.c_dead || conn.c_closing) then begin
+        let t0 = Span.now_us () in
         match Proto.Decoder.next conn.c_dec with
         | Ok (Some j) ->
+          Metrics.observe t.h_frame_decode (Span.now_us () - t0);
           handle_frame t conn j;
           drain ()
         | Ok None -> ()
         | Error m ->
+          Log.warn (log_of t) ~event:"serve.bad_frame"
+            [ ("conn", J.Int conn.c_id); ("error", J.Str m) ];
           send conn (err Proto.Bad_request m);
           conn.c_closing <- true
+      end
     in
     drain ()
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
@@ -510,27 +675,48 @@ let run cfg =
       make 0
   in
   let programs = Hashtbl.create 16 in
+  let metrics = Fastsim_obs.Metrics.create () in
   let registry =
     Registry.create
       ~dir:(Filename.concat scratch "registry")
       ?budget_bytes:cfg.registry_budget
       ~program_of:(fun d -> Hashtbl.find_opt programs d)
-      ()
+      ~metrics ~log:cfg.log ()
   in
-  let metrics = Fastsim_obs.Metrics.create () in
+  (* Subsystems without an explicit logger (Pool.Async) follow ours. *)
+  Log.set_default cfg.log;
   let t =
     { cfg; scratch; registry; programs; metrics;
       m_requests = Fastsim_obs.Metrics.counter metrics "serve.requests";
       m_runs_ok = Fastsim_obs.Metrics.counter metrics "serve.runs_ok";
       m_runs_failed = Fastsim_obs.Metrics.counter metrics "serve.runs_failed";
       m_connections = Fastsim_obs.Metrics.counter metrics "serve.connections";
+      m_warm_hits = Fastsim_obs.Metrics.counter metrics "serve.warm_hits";
+      m_replayed =
+        Fastsim_obs.Metrics.counter metrics "serve.replayed_retired";
+      m_detailed =
+        Fastsim_obs.Metrics.counter metrics "serve.detailed_retired";
       g_queue = Fastsim_obs.Metrics.gauge metrics "serve.queue_depth";
       g_running = Fastsim_obs.Metrics.gauge metrics "serve.running";
       g_replay =
         Fastsim_obs.Metrics.gauge metrics "serve.last_replay_fraction";
+      h_queue_wait =
+        Fastsim_obs.Metrics.histogram metrics "serve.queue_wait_us";
+      h_run_latency =
+        Fastsim_obs.Metrics.histogram metrics "serve.run_latency_us";
+      h_frame_decode =
+        Fastsim_obs.Metrics.histogram metrics "serve.frame_decode_us";
+      h_replay_pct =
+        Fastsim_obs.Metrics.histogram metrics "serve.replay_fraction_pct";
+      span_ring = Fastsim_obs.Ring.create ~capacity:(max 1 cfg.span_keep);
       queue = Queue.create (); actives = []; conns = []; draining = false;
       next_seq = 0; started = Unix.gettimeofday () }
   in
+  Log.info cfg.log ~event:"serve.start"
+    [ ("address", J.Str (Proto.address_to_string cfg.address));
+      ("backend",
+       J.Str (match cfg.backend with `Fork -> "fork" | `Inline -> "inline"));
+      ("jobs", J.Int cfg.jobs) ];
   let listener = make_listener cfg.address in
   (* a client that disappears mid-write must not kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -563,6 +749,8 @@ let run cfg =
         Unix.set_nonblock fd;
         incr next_conn_id;
         Fastsim_obs.Metrics.incr t.m_connections;
+        Log.debug cfg.log ~event:"serve.conn_accepted"
+          [ ("conn", J.Int !next_conn_id) ];
         t.conns <-
           { c_fd = fd; c_id = !next_conn_id; c_dec = Proto.Decoder.create ();
             c_out = Buffer.create 1024; c_out_pos = 0; c_greeted = false;
@@ -686,6 +874,7 @@ let run cfg =
                t.conns
         then finished := true
       done);
+  Log.info cfg.log ~event:"serve.exit" [];
   if not cfg.quiet then begin
     Printf.printf "fastsim-serve: drained, exiting\n";
     flush stdout

@@ -43,11 +43,37 @@ type config = {
       (** accept the test-only [fault] request field (crash/hang
           injection); keep [false] outside tests. *)
   quiet : bool;             (** suppress the startup/shutdown banner. *)
+  log : Fastsim_obs.Log.t;
+      (** structured JSONL log sink (default {!Fastsim_obs.Log.null});
+          also installed as {!Fastsim_obs.Log.set_default} so worker-pool
+          events land in the same stream. *)
+  slow_trace_s : float;
+      (** requests whose run wall clock reaches this many seconds dump
+          their stitched Chrome trace to [trace_dir]; 0 (default)
+          disables the dump. *)
+  trace_dir : string option;
+      (** where slow-request traces land (created if missing); default:
+          the scratch dir. *)
+  span_keep : int;
+      (** how many recent request spans the telemetry ring buffers for
+          [telemetry] frames with [trace=true] (default 2048). *)
 }
 
 val default_config : Proto.address -> config
 (** Fork backend, [jobs = 2], [queue_max = 64], no timeout, unbounded
-    registry, temp scratch, faults refused. *)
+    registry, temp scratch, faults refused, no logging, no slow-trace
+    dumps.
+
+    Observability (all strictly passive — simulation results are
+    bit-identical with everything enabled): every accepted run gets a
+    server-minted request id correlating its log lines and spans;
+    spans cover queue wait, fork, worker-side engine run and pcache
+    save, and the parent-side pcache commit; the shared metrics
+    registry carries [serve.*] counters/gauges plus histograms
+    [serve.{queue_wait_us,run_latency_us,frame_decode_us,
+    replay_fraction_pct}] and the [registry.*] instruments
+    ({!Registry.create}); the v1 [telemetry] frame exports all of it
+    as one snapshot. *)
 
 val run : config -> unit
 (** Binds, listens, serves; returns after a graceful drain (signal or

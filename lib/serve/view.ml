@@ -1,0 +1,216 @@
+(* Terminal renderers shared by `fastsim client stats` and
+   `fastsim top`: aligned key/value tables built from the JSON the
+   daemon already exports, so the human view can never drift from the
+   machine view. Pure string builders — no terminal control here
+   except what the caller asks for. *)
+
+module J = Fastsim_obs.Json
+module Metrics = Fastsim_obs.Metrics
+
+(* ---------------------------------------------------------------- *)
+(* Formatting helpers. *)
+
+let fmt_bytes n =
+  let f = float_of_int n in
+  if n < 1024 then Printf.sprintf "%d B" n
+  else if f < 1024. *. 1024. then Printf.sprintf "%.1f KiB" (f /. 1024.)
+  else if f < 1024. *. 1024. *. 1024. then
+    Printf.sprintf "%.1f MiB" (f /. (1024. *. 1024.))
+  else Printf.sprintf "%.2f GiB" (f /. (1024. *. 1024. *. 1024.))
+
+let fmt_us us =
+  if us < 1000. then Printf.sprintf "%.0fµs" us
+  else if us < 1_000_000. then Printf.sprintf "%.1fms" (us /. 1000.)
+  else Printf.sprintf "%.2fs" (us /. 1_000_000.)
+
+let fmt_pct num den =
+  if den <= 0 then "n/a"
+  else Printf.sprintf "%.1f%%" (100. *. float_of_int num /. float_of_int den)
+
+let fmt_uptime s =
+  if s < 120. then Printf.sprintf "%.0fs" s
+  else if s < 7200. then Printf.sprintf "%.1fm" (s /. 60.)
+  else Printf.sprintf "%.1fh" (s /. 3600.)
+
+(* Two-column aligned table; rows of [("", "")] render as blank
+   separator lines. *)
+let kv_table rows =
+  let width =
+    List.fold_left
+      (fun w (k, _) -> max w (String.length k))
+      0 rows
+  in
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (k, v) ->
+      if k = "" && v = "" then Buffer.add_char buf '\n'
+      else begin
+        Buffer.add_string buf k;
+        Buffer.add_string buf (String.make (width - String.length k + 2) ' ');
+        Buffer.add_string buf v;
+        Buffer.add_char buf '\n'
+      end)
+    rows;
+  Buffer.contents buf
+
+(* Tolerant member access: the daemon we are talking to may be newer or
+   older than this client, so a missing field renders as a default
+   rather than failing the whole view. *)
+let geti j k = if J.mem k j then (try J.to_int (J.member k j) with _ -> 0) else 0
+
+let getf j k =
+  if J.mem k j then (try J.to_float (J.member k j) with _ -> 0.) else 0.
+
+let getb j k =
+  if J.mem k j then (try J.to_bool (J.member k j) with _ -> false) else false
+
+let gets j k =
+  if J.mem k j then (try J.to_str (J.member k j) with _ -> "?") else "?"
+
+(* ---------------------------------------------------------------- *)
+(* `client stats` table. *)
+
+let stats_table j =
+  let server = if J.mem "server" j then J.member "server" j else J.Obj [] in
+  let reg = if J.mem "registry" j then J.member "registry" j else J.Obj [] in
+  let runs_ok = geti server "runs_ok" in
+  kv_table
+    [ ("uptime", fmt_uptime (getf server "uptime_s"));
+      ( "backend",
+        Printf.sprintf "%s ×%d%s" (gets server "backend") (geti server "jobs")
+          (if getb server "draining" then "  (draining)" else "") );
+      ("requests", string_of_int (geti server "requests_served"));
+      ( "runs",
+        Printf.sprintf "%d ok, %d failed" runs_ok
+          (geti server "runs_failed") );
+      ( "in flight",
+        Printf.sprintf "%d running, %d queued" (geti server "running")
+          (geti server "queue_depth") );
+      ( "warm hits",
+        Printf.sprintf "%d/%d (%s)" (geti server "warm_hits") runs_ok
+          (fmt_pct (geti server "warm_hits") runs_ok) );
+      ( "last replay",
+        Printf.sprintf "%.1f%%" (100. *. getf server "last_replay_fraction")
+      );
+      ("programs", string_of_int (geti server "programs_known"));
+      ("", "");
+      ( "registry",
+        Printf.sprintf "%d entries (%d hot)" (geti reg "entries")
+          (geti reg "hot_entries") );
+      ( "cache bytes",
+        Printf.sprintf "%s hot, %s spilled"
+          (fmt_bytes (geti reg "hot_bytes"))
+          (fmt_bytes (geti reg "spilled_bytes")) );
+      ( "cache hits",
+        Printf.sprintf "%d hits, %d misses (%s)" (geti reg "hits")
+          (geti reg "misses")
+          (fmt_pct (geti reg "hits") (geti reg "hits" + geti reg "misses")) );
+      ( "churn",
+        Printf.sprintf "%d reloads, %d spills, %d evictions"
+          (geti reg "reloads") (geti reg "spills") (geti reg "evictions") ) ]
+
+(* ---------------------------------------------------------------- *)
+(* `fastsim top`. *)
+
+type sample = {
+  at : float;
+  server : J.t;
+  registry : J.t;
+  snap : Metrics.snapshot;
+}
+
+let sample_of_json j =
+  match
+    ( (if J.mem "at" j then J.to_float (J.member "at" j)
+       else Unix.gettimeofday ()),
+      J.member "server" j,
+      J.member "registry" j,
+      Metrics.snapshot_of_json (J.member "metrics" j) )
+  with
+  | at, server, registry, Ok snap -> Ok { at; server; registry; snap }
+  | _, _, _, (Error _ as e) -> e
+  | exception J.Parse_error m -> Error ("telemetry: " ^ m)
+
+let find_hist snap name = List.assoc_opt name snap.Metrics.s_histograms
+
+let quantiles_line snap name =
+  match find_hist snap name with
+  | None -> "n/a"
+  | Some h when h.Metrics.s_count = 0 -> "—"
+  | Some h ->
+    Printf.sprintf "p50 %s  p99 %s  max %s  (%d samples)"
+      (fmt_us (Metrics.hsnap_quantile h 0.5))
+      (fmt_us (Metrics.hsnap_quantile h 0.99))
+      (fmt_us (float_of_int h.Metrics.s_max))
+      h.Metrics.s_count
+
+let counter_of snap name =
+  match List.assoc_opt name snap.Metrics.s_counters with
+  | Some v -> v
+  | None -> 0
+
+(* One refresh frame. With [prev], histogram quantiles and rates are
+   per-interval (snapshot diff); without it they are since-boot. *)
+let top_view ?prev sample =
+  let interval, snap =
+    match prev with
+    | Some p when sample.at > p.at ->
+      ( Some (sample.at -. p.at),
+        Metrics.snapshot_diff ~after:sample.snap ~before:p.snap )
+    | _ -> (None, sample.snap)
+  in
+  let scoped = { sample with snap } in
+  let server = sample.server in
+  let rate name =
+    match interval with
+    | Some dt when dt > 0. ->
+      Printf.sprintf "%+d (%.1f/s)" (counter_of snap name)
+        (float_of_int (counter_of snap name) /. dt)
+    | _ -> ""
+  in
+  let replayed = counter_of snap "serve.replayed_retired" in
+  let detailed = counter_of snap "serve.detailed_retired" in
+  let reg = sample.registry in
+  let header =
+    Printf.sprintf "fastsim top — %s backend ×%d — uptime %s%s%s\n"
+      (gets server "backend") (geti server "jobs")
+      (fmt_uptime (getf server "uptime_s"))
+      (match interval with
+       | Some dt -> Printf.sprintf " — interval %.1fs" dt
+       | None -> " — since boot")
+      (if getb server "draining" then " — DRAINING" else "")
+  in
+  header ^ "\n"
+  ^ kv_table
+      [ ( "in flight",
+          Printf.sprintf "%d running, %d queued" (geti server "running")
+            (geti server "queue_depth") );
+        ( "requests",
+          Printf.sprintf "%d %s" (geti server "requests_served")
+            (rate "serve.requests") );
+        ( "runs",
+          Printf.sprintf "%d ok, %d failed %s" (geti server "runs_ok")
+            (geti server "runs_failed") (rate "serve.runs_ok") );
+        ( "warm hits",
+          Printf.sprintf "%d/%d (%s)" (geti server "warm_hits")
+            (geti server "runs_ok")
+            (fmt_pct (geti server "warm_hits") (geti server "runs_ok")) );
+        ("", "");
+        ("run latency", quantiles_line scoped.snap "serve.run_latency_us");
+        ("queue wait", quantiles_line scoped.snap "serve.queue_wait_us");
+        ("frame decode", quantiles_line scoped.snap "serve.frame_decode_us");
+        ("", "");
+        ( "replay",
+          Printf.sprintf "%d replayed / %d retired (%s)  last %.1f%%"
+            replayed (replayed + detailed)
+            (fmt_pct replayed (replayed + detailed))
+            (100. *. getf server "last_replay_fraction") );
+        ( "registry",
+          Printf.sprintf "%d entries (%d hot, %s hot, %s spilled)"
+            (geti reg "entries") (geti reg "hot_entries")
+            (fmt_bytes (geti reg "hot_bytes"))
+            (fmt_bytes (geti reg "spilled_bytes")) );
+        ( "reg traffic",
+          Printf.sprintf "%d hits, %d misses, %d reloads, %d evictions"
+            (geti reg "hits") (geti reg "misses") (geti reg "reloads")
+            (geti reg "evictions") ) ]

@@ -1,0 +1,36 @@
+(** Terminal renderers shared by [fastsim client stats] and
+    [fastsim top].
+
+    Both views are built from the daemon's own JSON exports (a [stats]
+    frame, a [telemetry] frame), so the human-readable tables can never
+    drift from the machine-readable schema. Pure string builders;
+    screen clearing and refresh pacing belong to the CLI. *)
+
+val kv_table : (string * string) list -> string
+(** Two-column table with keys padded to a common width; a [("", "")]
+    row renders as a blank separator line. *)
+
+val fmt_bytes : int -> string
+val fmt_us : float -> string
+(** Human units: ["512 B"]/["1.2 MiB"]; ["340µs"]/["1.2ms"]/["2.50s"]. *)
+
+val stats_table : Fastsim_obs.Json.t -> string
+(** Renders a [stats] frame's payload ([{server, registry, metrics}])
+    as an aligned table. Tolerant of missing fields (an older or newer
+    daemon): absent values render as 0 / ["?"]. *)
+
+type sample = {
+  at : float;                       (** server clock at snapshot time. *)
+  server : Fastsim_obs.Json.t;      (** the [server] section. *)
+  registry : Fastsim_obs.Json.t;    (** the [registry] section. *)
+  snap : Fastsim_obs.Metrics.snapshot;  (** the [metrics] section. *)
+}
+
+val sample_of_json : Fastsim_obs.Json.t -> (sample, string) result
+(** Parses a [telemetry] frame's payload into a {!sample}. *)
+
+val top_view : ?prev:sample -> sample -> string
+(** One [fastsim top] refresh frame. With [prev] (the previous poll),
+    counter rates and histogram quantiles are computed over the
+    interval via {!Fastsim_obs.Metrics.snapshot_diff}; without it they
+    are cumulative since server boot. *)

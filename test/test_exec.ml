@@ -217,6 +217,42 @@ let test_pool_stale_results_not_reused () =
       | Exec.Pool.Done "ok" -> ()
       | _ -> Alcotest.fail "healthy sibling failed")
 
+(* Spawning an async worker with a span collector records the fork as
+   a "pool.fork" span carrying the tag and the child's pid — the hook
+   the daemon uses to put fork latency into request traces. *)
+let test_async_spawn_records_span () =
+  let module Span = Fastsim_obs.Span in
+  Exec.Pool.with_temp_dir ~prefix:"fastsim-test-span" (fun scratch ->
+      let spans = Span.create () in
+      let task =
+        Exec.Pool.Async.spawn ~spans ~scratch_dir:scratch ~tag:"t0"
+          (fun () -> 41 + 1)
+      in
+      let rec settle () =
+        match Exec.Pool.Async.poll task with
+        | Some o -> o
+        | None ->
+          Unix.sleepf 0.01;
+          settle ()
+      in
+      (match settle () with
+       | Exec.Pool.Done 42 -> ()
+       | _ -> Alcotest.fail "async task failed");
+      match Span.spans spans with
+      | [ s ] ->
+        check Alcotest.string "span name" "pool.fork" s.Span.name;
+        check Alcotest.string "span cat" "pool" s.Span.cat;
+        check Alcotest.int "recorded by the parent" (Unix.getpid ())
+          s.Span.pid;
+        (match List.assoc_opt "tag" s.Span.args with
+         | Some (J.Str "t0") -> ()
+         | _ -> Alcotest.fail "tag arg missing");
+        (match List.assoc_opt "pid" s.Span.args with
+         | Some (J.Int p) ->
+           check Alcotest.int "child pid arg" (Exec.Pool.Async.pid task) p
+         | _ -> Alcotest.fail "pid arg missing")
+      | ss -> Alcotest.failf "expected 1 span, got %d" (List.length ss))
+
 (* ---------------------------------------------------------------- *)
 (* Determinism: two runs of the same manifest produce byte-identical
    reports once host-time values are stripped. *)
@@ -377,6 +413,8 @@ let suite =
       test_expand_collapses_baseline_axes;
     Alcotest.test_case "stale pool results are never reused" `Quick
       test_pool_stale_results_not_reused;
+    Alcotest.test_case "async spawn records a fork span" `Quick
+      test_async_spawn_records_span;
     Alcotest.test_case "sweep report deterministic modulo timing" `Quick
       test_sweep_deterministic;
     Alcotest.test_case "fork backend matches inline" `Quick

@@ -79,6 +79,8 @@ let test_proto_roundtrip () =
         { id = "r3"; engine = `Baseline; spec = Spec.default;
           program = Proto.By_digest (String.make 32 'a'); fault = None };
       Proto.Stats { id = "s" };
+      Proto.Telemetry { id = "t"; include_trace = false };
+      Proto.Telemetry { id = "t2"; include_trace = true };
       Proto.Cancel { id = "r1" };
       Proto.Ping { id = "p" };
       Proto.Shutdown { id = "q" } ];
@@ -94,6 +96,10 @@ let test_proto_roundtrip () =
         { id = Some "r1"; code = Proto.Timeout; message = "too slow" };
       Proto.Error { id = None; code = Proto.Bad_request; message = "what" };
       Proto.R_stats { id = "s"; stats = J.Obj [ ("x", J.Int 1) ] };
+      Proto.R_telemetry
+        { id = "t";
+          telemetry =
+            J.Obj [ ("at", J.Float 1.5); ("metrics", J.Obj []) ] };
       Proto.Pong { id = "p" } ]
 
 let test_proto_rejects_junk () =
@@ -107,6 +113,9 @@ let test_proto_rejects_junk () =
   expect_err {|{"type":"ping","id":"a","volume":11}|};
   (* duplicate keys are an error, not last-wins *)
   expect_err {|{"type":"ping","id":"a","id":"b"}|};
+  expect_err {|{"type":"telemetry"}|} (* missing id *);
+  expect_err {|{"type":"telemetry","id":"a","trace":"yes"}|};
+  expect_err {|{"type":"telemetry","id":"a","verbose":true}|};
   match
     Proto.response_of_json (J.of_string {|{"type":"error","code":"nope","message":"m"}|})
   with
@@ -222,19 +231,105 @@ let test_registry_lru () =
            (m.Memo.Stats.replayed_retired > 0)
        | None -> Alcotest.fail "fast run without memo stats"))
 
+(* The registry's telemetry instruments: under a starvation budget
+   every commit spills its entry to disk and evicts it from memory,
+   and the shared metrics registry sees each transition — counters for
+   hit/miss/spill/evict/reload traffic, gauges tracking the hot and
+   spilled footprint byte-for-byte. *)
+let test_registry_eviction_telemetry () =
+  let module M = Fastsim_obs.Metrics in
+  Fastsim_exec.Pool.with_temp_dir ~prefix:"fastsim-regtel" (fun dir ->
+      let _, prog = workload "li" in
+      let digest = Digest.to_hex (Memo.Persist.program_digest prog) in
+      let pc = Memo.Pcache.create () in
+      ignore (Sim.run ~engine:`Fast (Spec.with_pcache pc Spec.default) prog
+              : Sim.result);
+      let metrics = M.create () in
+      let counter n = M.counter_value (M.counter metrics n) in
+      let gauge n = M.gauge_value (M.gauge metrics n) in
+      let reg =
+        Registry.create ~dir:(Filename.concat dir "reg") ~budget_bytes:1
+          ~program_of:(fun d -> if d = digest then Some prog else None)
+          ~metrics ()
+      in
+      let key1 = Registry.spec_key Spec.default in
+      let key2 =
+        Registry.spec_key (Spec.with_predictor Sim.Taken Spec.default)
+      in
+      (match
+         Registry.acquire reg ~digest ~spec_key:key1
+           ~policy:Memo.Pcache.Unbounded ~program:prog
+       with
+       | Some _ -> Alcotest.fail "empty registry returned a cache"
+       | None -> ());
+      check Alcotest.int "miss counted" 1 (counter "registry.misses");
+      (* the freshest commit is always kept hot, so the first commit
+         survives even a 1-byte budget... *)
+      Registry.commit_mem reg ~digest ~spec_key:key1 pc;
+      check Alcotest.int "lone entry not spilled" 0
+        (counter "registry.spills");
+      Alcotest.(check bool) "hot gauge tracks the commit" true
+        (gauge "registry.hot_bytes" > 0.);
+      (* ...and the second commit forces the first out: spilled to a
+         file, evicted from memory, every gauge adjusted *)
+      Registry.commit_mem reg ~digest ~spec_key:key2 pc;
+      check Alcotest.int "spill counted" 1 (counter "registry.spills");
+      check Alcotest.int "eviction counted" 1 (counter "registry.evictions");
+      check (Alcotest.float 0.) "one entry still hot" 1.
+        (gauge "registry.hot_entries");
+      check (Alcotest.float 0.) "both entries tracked" 2.
+        (gauge "registry.entries");
+      check (Alcotest.float 0.) "hot gauge = hot bytes"
+        (float_of_int (Registry.hot_bytes reg))
+        (gauge "registry.hot_bytes");
+      check (Alcotest.float 0.) "spilled gauge tracks the file"
+        (float_of_int (Registry.spilled_bytes reg))
+        (gauge "registry.spilled_bytes");
+      Alcotest.(check bool) "spilled bytes non-trivial" true
+        (Registry.spilled_bytes reg > 0);
+      (* re-acquire the spilled entry: a hit that reloads from disk —
+         and evicts the other entry in turn *)
+      (match
+         Registry.acquire reg ~digest ~spec_key:key1
+           ~policy:Memo.Pcache.Unbounded ~program:prog
+       with
+       | Some _ -> ()
+       | None -> Alcotest.fail "spilled entry did not reload");
+      check Alcotest.int "hit counted" 1 (counter "registry.hits");
+      check Alcotest.int "reload counted" 1 (counter "registry.reloads");
+      check Alcotest.int "displaced sibling evicted" 2
+        (counter "registry.evictions");
+      (* per-digest traffic counters exist under the digest's prefix *)
+      let short = String.sub digest 0 12 in
+      check Alcotest.int "per-digest miss" 1
+        (counter (Printf.sprintf "registry.digest.%s.misses" short));
+      check Alcotest.int "per-digest hit" 1
+        (counter (Printf.sprintf "registry.digest.%s.hits" short));
+      (* counters agree with the registry's own accounting *)
+      check Alcotest.int "spills accessor agrees" (Registry.spills reg)
+        (counter "registry.spills");
+      check Alcotest.int "evictions accessor agrees"
+        (Registry.evictions reg)
+        (counter "registry.evictions"))
+
 (* ---------------------------------------------------------------- *)
 (* Live daemon tests: fork a server per test, talk to it over its
-   socket, reap it afterwards. *)
+   socket, reap it afterwards. [tweak] lets a test adjust the config
+   (and learn the temp dir) before the daemon forks — used by the
+   observability acceptance test to enable logging and trace dumps. *)
 
 let with_server ?(backend = `Inline) ?(jobs = 2) ?(timeout_s = 0.)
-    ?registry_budget ?(allow_fault = false) f =
+    ?registry_budget ?(allow_fault = false)
+    ?(tweak = fun cfg (_ : string) -> cfg) f =
   Fastsim_exec.Pool.with_temp_dir ~prefix:"fastsim-serve" (fun dir ->
       let sock = Filename.concat dir "d.sock" in
       let cfg =
-        { (Server.default_config (`Unix_path sock)) with
-          Server.backend; jobs; timeout_s; registry_budget; allow_fault;
-          scratch_dir = Some (Filename.concat dir "scratch");
-          quiet = true }
+        tweak
+          { (Server.default_config (`Unix_path sock)) with
+            Server.backend; jobs; timeout_s; registry_budget; allow_fault;
+            scratch_dir = Some (Filename.concat dir "scratch");
+            quiet = true }
+          dir
       in
       flush stdout;
       flush stderr;
@@ -448,6 +543,186 @@ let test_daemon_fault_gate () =
       | Ok _ -> Alcotest.fail "fault accepted without allow_fault"
       | Error m -> Alcotest.failf "unexpected transport error: %s" m)
 
+(* ---------------------------------------------------------------- *)
+(* The observability acceptance test: a forked daemon with every
+   telemetry feature enabled — structured logging, slow-trace dumps,
+   span buffering — serves concurrent runs, and we assert
+   (a) the telemetry frame's stitched Chrome trace holds server- and
+       worker-side spans from distinct pids sharing one request id,
+   (b) the queue-wait/run-latency histograms and registry gauges are
+       populated,
+   (c) results are bit-identical to a direct Sim.run — telemetry is
+       strictly passive. *)
+let test_daemon_telemetry_acceptance () =
+  let module M = Fastsim_obs.Metrics in
+  let module Log = Fastsim_obs.Log in
+  let tmp_dir = ref "" in
+  let tweak cfg dir =
+    tmp_dir := dir;
+    { cfg with
+      Server.log =
+        Log.open_file ~level:Log.Debug (Filename.concat dir "server.log");
+      slow_trace_s = 0.000001 (* every request dumps its trace *);
+      trace_dir = Some (Filename.concat dir "traces") }
+  in
+  with_server ~backend:`Fork ~jobs:2 ~tweak (fun addr c0 ->
+      let c1 =
+        match Client.connect ~retries:20 addr with
+        | Ok c -> c
+        | Error m -> Alcotest.failf "connect: %s" m
+      in
+      Fun.protect
+        ~finally:(fun () -> Client.close c1)
+        (fun () ->
+          (* two overlapping runs, then a warm repeat *)
+          List.iter
+            (fun (c, id, name) ->
+              match
+                Client.send c
+                  (Proto.Run
+                     { id; engine = `Fast; spec = Spec.default;
+                       program = wref name; fault = None })
+              with
+              | Ok () -> ()
+              | Error m -> Alcotest.failf "send: %s" m)
+            [ (c0, "li0", "li"); (c1, "cp0", "compress") ];
+          let await c id =
+            let rec go () =
+              match Client.recv c with
+              | Error m -> Alcotest.failf "recv %s: %s" id m
+              | Ok (Proto.Accepted _) -> go ()
+              | Ok (Proto.Result { result; _ }) -> result
+              | Ok (Proto.Error { message; _ }) ->
+                Alcotest.failf "%s: %s" id message
+              | Ok _ -> Alcotest.failf "%s: unexpected frame" id
+            in
+            go ()
+          in
+          let r_li = await c0 "li0" in
+          let _ = await c1 "cp0" in
+          (* (c) bit-identity with telemetry fully enabled *)
+          let _, prog = workload "li" in
+          check Alcotest.string "telemetry-on result = direct"
+            (result_str (direct `Fast Spec.default prog))
+            (result_str r_li);
+          (match run_ok c0 ~id:"li1" ~engine:`Fast (wref "li") with
+           | Proto.Result { warm; _ } ->
+             Alcotest.(check bool) "repeat is warm" true warm
+           | _ -> assert false);
+          (* scrape one full telemetry frame with the span trace *)
+          let tel =
+            match Client.telemetry c0 ~id:"t" ~include_trace:true () with
+            | Ok j -> j
+            | Error m -> Alcotest.failf "telemetry: %s" m
+          in
+          List.iter
+            (fun k ->
+              Alcotest.(check bool) (k ^ " member present") true
+                (J.mem k tel))
+            [ "at"; "server"; "registry"; "metrics"; "trace" ];
+          (* (b) histograms and gauges are populated *)
+          let snap =
+            match M.snapshot_of_json (J.member "metrics" tel) with
+            | Ok s -> s
+            | Error m -> Alcotest.failf "metrics decode: %s" m
+          in
+          let hist n =
+            match List.assoc_opt n snap.M.s_histograms with
+            | Some h -> h
+            | None -> Alcotest.failf "histogram %s missing" n
+          in
+          Alcotest.(check bool) "queue wait observed" true
+            ((hist "serve.queue_wait_us").M.s_count >= 3);
+          Alcotest.(check bool) "run latency observed" true
+            ((hist "serve.run_latency_us").M.s_count >= 3);
+          Alcotest.(check bool) "frame decode observed" true
+            ((hist "serve.frame_decode_us").M.s_count >= 3);
+          Alcotest.(check bool) "replay fraction observed" true
+            ((hist "serve.replay_fraction_pct").M.s_count >= 3);
+          let counter n =
+            Option.value ~default:0 (List.assoc_opt n snap.M.s_counters)
+          in
+          Alcotest.(check bool) "warm hit counted" true
+            (counter "serve.warm_hits" >= 1);
+          Alcotest.(check bool) "replayed instructions counted" true
+            (counter "serve.replayed_retired" > 0);
+          Alcotest.(check bool) "registry gauges exported" true
+            (List.mem_assoc "registry.hot_bytes" snap.M.s_gauges
+             && List.mem_assoc "registry.entries" snap.M.s_gauges);
+          (* (a) the stitched trace spans at least two processes, and
+             one request id appears on spans from both sides *)
+          let events =
+            match J.member "traceEvents" (J.member "trace" tel) with
+            | J.List es -> es
+            | _ -> Alcotest.fail "trace has no traceEvents"
+          in
+          let xs =
+            List.filter (fun e -> J.to_str (J.member "ph" e) = "X") events
+          in
+          let pid_req =
+            List.filter_map
+              (fun e ->
+                let args = J.member "args" e in
+                if J.mem "req" args then
+                  Some (J.to_int (J.member "pid" e),
+                        J.to_str (J.member "req" args))
+                else None)
+              xs
+          in
+          let pids = List.sort_uniq compare (List.map fst pid_req) in
+          Alcotest.(check bool) "spans from >= 2 processes" true
+            (List.length pids >= 2);
+          let stitched_req =
+            List.exists
+              (fun (_, req) ->
+                List.length
+                  (List.sort_uniq compare
+                     (List.filter_map
+                        (fun (p, r) -> if r = req then Some p else None)
+                        pid_req))
+                >= 2)
+              pid_req
+          in
+          Alcotest.(check bool)
+            "a request id spans server and worker pids" true stitched_req;
+          let span_names = List.map (fun e -> J.to_str (J.member "name" e)) xs in
+          List.iter
+            (fun n ->
+              Alcotest.(check bool) (n ^ " span present") true
+                (List.mem n span_names))
+            [ "queue.wait"; "request.run"; "pool.fork"; "engine.run" ];
+          (* every request crossed the slow-trace threshold: stitched
+             per-request dumps landed in trace_dir *)
+          let traces = Sys.readdir (Filename.concat !tmp_dir "traces") in
+          Alcotest.(check bool) "slow-request traces dumped" true
+            (Array.length traces >= 3);
+          (* the structured log carries correlated request lines *)
+          let log_lines =
+            let ic = open_in (Filename.concat !tmp_dir "server.log") in
+            let ls = ref [] in
+            (try
+               while true do
+                 ls := input_line ic :: !ls
+               done
+             with End_of_file -> close_in ic);
+            !ls
+          in
+          let has ev =
+            List.exists
+              (fun l ->
+                match J.of_string l with
+                | J.Obj fields ->
+                  List.assoc_opt "event" fields = Some (J.Str ev)
+                | _ | exception J.Parse_error _ -> false)
+              log_lines
+          in
+          Alcotest.(check bool) "serve.start logged" true (has "serve.start");
+          Alcotest.(check bool) "accepted lines logged" true
+            (has "serve.accepted");
+          Alcotest.(check bool) "settled lines logged" true
+            (has "serve.settled");
+          Alcotest.(check bool) "pool spawns logged" true (has "pool.spawn")))
+
 let suite =
   [ Alcotest.test_case "protocol frames round-trip" `Quick
       test_proto_roundtrip;
@@ -460,6 +735,8 @@ let suite =
     Alcotest.test_case "address strings parse" `Quick test_address_parse;
     Alcotest.test_case "registry LRU spill and reload" `Quick
       test_registry_lru;
+    Alcotest.test_case "registry eviction telemetry" `Quick
+      test_registry_eviction_telemetry;
     Alcotest.test_case "daemon matches direct run on every engine" `Quick
       test_daemon_bit_identity;
     Alcotest.test_case "repeat request is served warm" `Quick
@@ -474,4 +751,6 @@ let suite =
     Alcotest.test_case "hung worker is timed out" `Quick
       test_daemon_timeout;
     Alcotest.test_case "fault injection is gated" `Quick
-      test_daemon_fault_gate ]
+      test_daemon_fault_gate;
+    Alcotest.test_case "telemetry acceptance: trace, histograms, identity"
+      `Quick test_daemon_telemetry_acceptance ]

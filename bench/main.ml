@@ -121,6 +121,7 @@ let job ?(spec = Spec.default) engine (w : Workloads.Workload.t) =
     engine;
     spec;
     cache_name = "default";
+    params_name = "default";
     warm = None;
     fault = None }
 

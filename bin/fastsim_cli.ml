@@ -524,10 +524,111 @@ let timestamp () =
     (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
     t.Unix.tm_sec
 
+(* ---------------------------------------------------------------- *)
+(* fastsim spec: the machine-description schema and document checking.  *)
+
+let print_schema_table () =
+  Printf.printf "spec schema version %d\n\n" Spec.version;
+  let width =
+    List.fold_left
+      (fun acc (f : Spec.schema_field) ->
+        max acc (String.length f.Spec.sf_path))
+      0 Spec.schema
+  in
+  List.iter
+    (fun (f : Spec.schema_field) ->
+      Printf.printf "%-*s  %s\n%*s  default %s — %s\n" width f.Spec.sf_path
+        f.Spec.sf_type width "" f.Spec.sf_default f.Spec.sf_doc)
+    Spec.schema
+
+let spec_schema_cmd =
+  let schema json =
+    if json then begin
+      Fastsim_obs.Json.to_channel stdout (Spec.schema_to_json ());
+      print_newline ()
+    end
+    else print_schema_table ();
+    0
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the schema as one JSON object instead of a table.")
+  in
+  Cmd.v
+    (Cmd.info "schema"
+       ~doc:"print every spec field with its type, default and meaning"
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Lists the versioned machine-description schema: every JSON \
+              path a spec document may set (processor parameters, cache \
+              geometry, predictor, p-action cache policy, cycle budget), \
+              the type the decoder expects, the default the field \
+              overlays, and a one-line description. $(b,docs/CONFIG.md) \
+              is the prose companion." ])
+    Term.(const schema $ json_arg)
+
+let spec_check_cmd =
+  let check files quiet =
+    let bad = ref 0 in
+    List.iter
+      (fun path ->
+        match Fastsim_obs.Json.of_file path with
+        | exception Fastsim_obs.Json.Parse_error m ->
+          incr bad;
+          Printf.eprintf "%s: %s\n" path m
+        | exception Sys_error m ->
+          incr bad;
+          Printf.eprintf "%s\n" m
+        | j -> (
+          match Spec.of_json_result j with
+          | Ok _ -> if not quiet then Printf.printf "%s: ok\n" path
+          | Error m ->
+            incr bad;
+            Printf.eprintf "%s: %s\n" path m))
+      files;
+    if !bad > 0 then 1 else 0
+  in
+  let files_arg =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"SPEC.json" ~doc:"Spec document(s) to validate.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only report failures.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"validate spec JSON documents against the current decoder"
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Decodes each document with the strict spec decoder and \
+              reports the first problem in each (unknown or duplicate \
+              key, ill-typed value, unsupported version), naming the \
+              offending JSON path. Exit status is 0 when every document \
+              decodes, 1 otherwise. CI runs this over the v1 fixture \
+              corpus to keep old documents decodable." ])
+    Term.(const check $ files_arg $ quiet_arg)
+
+let spec_cmd =
+  Cmd.group
+    (Cmd.info "spec"
+       ~doc:"inspect and validate the machine-description format")
+    [ spec_schema_cmd; spec_check_cmd ]
+
 let sweep_cmd =
   let module Exec = Fastsim_exec in
-  let sweep manifest_file workloads engines scales policies predictors warm
-      backend jobs timeout retries out quiet =
+  let sweep list_params manifest_file workloads engines scales policies
+      predictors warm backend jobs timeout retries out quiet =
+    if list_params then begin
+      print_schema_table ();
+      0
+    end
+    else
     let ( let* ) r f = match r with Error m -> Error m | Ok v -> f v in
     let result =
       let* manifest =
@@ -722,6 +823,14 @@ let sweep_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress progress lines.")
   in
+  let list_params_arg =
+    Arg.(
+      value & flag
+      & info [ "list-params" ]
+          ~doc:
+            "List every sweepable spec field (path, type, default, \
+             meaning) and exit; same table as $(b,fastsim spec schema).")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
@@ -741,9 +850,10 @@ let sweep_cmd =
              "Exit status is 0 when every job succeeded, 1 when any job \
               failed, 2 on a bad manifest." ])
     Term.(
-      const sweep $ manifest_arg $ workloads_arg $ engines_arg $ scales_arg
-      $ policies_arg $ predictors_arg $ warm_arg $ backend_arg $ jobs_arg
-      $ timeout_arg $ retries_arg $ out_arg $ quiet_arg)
+      const sweep $ list_params_arg $ manifest_arg $ workloads_arg
+      $ engines_arg $ scales_arg $ policies_arg $ predictors_arg $ warm_arg
+      $ backend_arg $ jobs_arg $ timeout_arg $ retries_arg $ out_arg
+      $ quiet_arg)
 
 (* ---------------------------------------------------------------- *)
 (* fastsim fuzz *)
@@ -1346,4 +1456,4 @@ let () =
     (Cmd.eval'
        (Cmd.group (Cmd.info "fastsim" ~doc)
           [ run_cmd; list_cmd; disasm_cmd; asm_cmd; trace_cmd; profile_cmd;
-            sweep_cmd; fuzz_cmd; serve_cmd; client_cmd; top_cmd ]))
+            spec_cmd; sweep_cmd; fuzz_cmd; serve_cmd; client_cmd; top_cmd ]))

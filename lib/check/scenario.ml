@@ -43,21 +43,68 @@ let sample_cache st =
       mem_latency = 20 + (30 * Random.State.int st 6) }
 
 let sample_params st =
-  match Random.State.int st 3 with
-  | 0 -> Uarch.Params.default
+  let d = Uarch.Params.default in
+  match Random.State.int st 8 with
+  | 0 -> d
   | 1 ->
     (* narrow machine: single-issue exposes different group boundaries *)
-    { Uarch.Params.default with
+    { d with
       Uarch.Params.fetch_width = 1;
       decode_width = 1;
       retire_width = 1;
       int_units = 1;
       mem_units = 1 }
-  | _ ->
-    { Uarch.Params.default with
+  | 2 ->
+    { d with
       Uarch.Params.active_list = 16;
       int_queue = 8;
       max_spec_branches = 2 }
+  | 3 ->
+    (* starved rename stage: freelists of 1–8 registers per class, so
+       decode stalls on physical registers rather than queue slots *)
+    { d with
+      Uarch.Params.phys_int_regs = 33 + Random.State.int st 8;
+      phys_fp_regs = 33 + Random.State.int st 8 }
+  | 4 ->
+    (* issue-bandwidth cap tighter than the per-port unit counts *)
+    { d with Uarch.Params.issue_width = 1 + Random.State.int st 3 }
+  | 5 ->
+    (* remapped issue ports: pile classes onto one port so its queue and
+       unit count become the bottleneck for foreign classes *)
+    let ports = Array.copy d.Uarch.Params.issue_ports in
+    let idx c = Isa.Instr.fu_index c in
+    (match Random.State.int st 3 with
+     | 0 ->
+       (* long-latency integer ops contend with FP *)
+       ports.(idx Isa.Instr.Fu_int_mul) <- Uarch.Params.P_fp;
+       ports.(idx Isa.Instr.Fu_int_div) <- Uarch.Params.P_fp
+     | 1 ->
+       (* branches resolve through the memory port *)
+       ports.(idx Isa.Instr.Fu_branch) <- Uarch.Params.P_mem
+     | _ ->
+       (* everything on the integer port: one queue, one unit pool *)
+       Array.fill ports 0 (Array.length ports) Uarch.Params.P_int);
+    { d with Uarch.Params.issue_ports = ports }
+  | 6 ->
+    (* perturbed latencies, including 1-cycle divides and slow ALUs *)
+    let lat = Array.copy d.Uarch.Params.fu_latency in
+    let n = 1 + Random.State.int st 3 in
+    for _ = 1 to n do
+      lat.(Random.State.int st (Array.length lat)) <-
+        1 + Random.State.int st 40
+    done;
+    { d with Uarch.Params.fu_latency = lat }
+  | _ ->
+    (* wide machine with a capped issue width and a deep window *)
+    { d with
+      Uarch.Params.fetch_width = 8;
+      decode_width = 8;
+      retire_width = 8;
+      issue_width = 4 + Random.State.int st 5;
+      active_list = 64;
+      int_units = 4;
+      fp_units = 4;
+      mem_units = 2 }
 
 let sample st : Spec.t =
   Spec.default

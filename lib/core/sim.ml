@@ -470,24 +470,26 @@ module J = Fastsim_obs.Json
 (* Shared strict JSON-object decoder: one pass over the members, rejecting
    unknown AND duplicate keys, so a typo'd or doubled field in a manifest,
    fuzz artifact or wire request fails loudly instead of silently applying
-   last-wins. [error : string -> unit] must raise. *)
-let strict_obj ~error ~what ~field init j =
+   last-wins. [path] is the JSON path of the object being decoded (e.g.
+   ["$.params"]) so every error names the offending location.
+   [error : string -> unit] must raise. *)
+let strict_obj ~error ~path ~field init j =
   match j with
   | J.Obj members ->
     let seen = Hashtbl.create 16 in
     List.fold_left
       (fun acc (k, v) ->
         if Hashtbl.mem seen k then
-          error (Printf.sprintf "duplicate %s field %S" what k);
+          error (Printf.sprintf "duplicate field %S at %s" k path);
         Hashtbl.add seen k ();
         match field acc k v with
         | Some acc -> acc
         | None ->
-          error (Printf.sprintf "unknown %s field %S" what k);
+          error (Printf.sprintf "unknown field %S at %s" k path);
           assert false)
       init members
   | _ ->
-    error (Printf.sprintf "%s must be an object" what);
+    error (Printf.sprintf "%s must be an object" path);
     assert false
 
 module Spec = struct
@@ -583,12 +585,30 @@ module Spec = struct
      typo in a manifest fails loudly rather than silently running the
      default. The [Result]-returning decoders are the primary forms (the
      serve daemon, manifests and fuzz artifacts all decode untrusted
-     input); the raising versions are thin wrappers. *)
+     input); the raising versions are deprecated thin wrappers.
+
+     Versioning: documents carry a "version" field. Version 1 (or an
+     absent field — every pre-versioning document) is the original wire
+     format; version 2 added [issue_width], [fu_latency] and
+     [issue_ports]. Decoding is strictly backward compatible: every new
+     field is an optional overlay onto the same defaults the old engine
+     hard-coded, so a v1 document decodes to a spec with identical
+     behaviour. Unknown future versions are rejected. *)
+
+  let version = 2
+
+  let fu_table_to_json value_of : J.t =
+    Obj
+      (Array.to_list
+         (Array.map
+            (fun c -> (Isa.Instr.fu_name c, value_of c))
+            Isa.Instr.fu_classes))
 
   let params_to_json (p : Uarch.Params.t) : J.t =
     Obj
       [ ("fetch_width", Int p.fetch_width);
         ("decode_width", Int p.decode_width);
+        ("issue_width", Int p.issue_width);
         ("retire_width", Int p.retire_width);
         ("active_list", Int p.active_list);
         ("int_queue", Int p.int_queue);
@@ -597,6 +617,14 @@ module Spec = struct
         ("int_units", Int p.int_units);
         ("fp_units", Int p.fp_units);
         ("mem_units", Int p.mem_units);
+        ( "fu_latency",
+          fu_table_to_json (fun c ->
+              J.Int p.fu_latency.(Isa.Instr.fu_index c)) );
+        ( "issue_ports",
+          fu_table_to_json (fun c ->
+              J.Str
+                (Uarch.Params.port_name
+                   p.issue_ports.(Isa.Instr.fu_index c))) );
         ("phys_int_regs", Int p.phys_int_regs);
         ("phys_fp_regs", Int p.phys_fp_regs);
         ("max_spec_branches", Int p.max_spec_branches) ]
@@ -619,7 +647,8 @@ module Spec = struct
 
   let to_json t : J.t =
     let fields =
-      [ ("params", params_to_json t.params);
+      [ ("version", J.Int version);
+        ("params", params_to_json t.params);
         ("cache_config", cache_config_to_json t.cache_config);
         ("predictor", J.Str (predictor_to_string t.predictor));
         ("policy", J.Str (policy_to_string t.policy)) ]
@@ -632,8 +661,19 @@ module Spec = struct
 
   let spec_error fmt = Printf.ksprintf (fun m -> failwith ("spec: " ^ m)) fmt
 
-  let fold_obj ~what ~field init j =
-    strict_obj ~error:(fun m -> failwith ("spec: " ^ m)) ~what ~field init j
+  let fold_obj ~path ~field init j =
+    strict_obj ~error:(fun m -> failwith ("spec: " ^ m)) ~path ~field init j
+
+  (* Typed accessors that blame the offending JSON path on a mismatch. *)
+  let int_at path v =
+    match J.to_int v with
+    | n -> n
+    | exception J.Parse_error m -> spec_error "%s: %s" path m
+
+  let str_at path v =
+    match J.to_str v with
+    | s -> s
+    | exception J.Parse_error m -> spec_error "%s: %s" path m
 
   (* Runs a raising decoder and reflects its failures — including
      ill-typed values, which surface as [Json.Parse_error] from the
@@ -644,13 +684,35 @@ module Spec = struct
     | exception Failure m -> Error m
     | exception J.Parse_error m -> Error ("spec: " ^ m)
 
-  let params_decode j : Uarch.Params.t =
-    fold_obj ~what:"params" Uarch.Params.default j
+  let fu_index_of_name path k =
+    let rec find i =
+      if i >= Isa.Instr.fu_count then
+        spec_error "%s: unknown fu class %S" path k
+      else if String.equal (Isa.Instr.fu_name Isa.Instr.fu_classes.(i)) k
+      then i
+      else find (i + 1)
+    in
+    find 0
+
+  (* Per-fu-class table ({"int-alu": v, ...}): overlays present entries
+     onto a copy of [base] (never onto [base] itself — records derived
+     from [default] share its arrays). *)
+  let fu_table_decode ~path ~value base j =
+    let a = Array.copy base in
+    fold_obj ~path () j ~field:(fun () k v ->
+        let idx = fu_index_of_name path k in
+        a.(idx) <- value (path ^ "." ^ k) v;
+        Some ());
+    a
+
+  let params_decode ?(path = "$.params") j : Uarch.Params.t =
+    fold_obj ~path Uarch.Params.default j
       ~field:(fun (p : Uarch.Params.t) k v ->
-        let i () = J.to_int v in
+        let i () = int_at (path ^ "." ^ k) v in
         match k with
         | "fetch_width" -> Some { p with fetch_width = i () }
         | "decode_width" -> Some { p with decode_width = i () }
+        | "issue_width" -> Some { p with issue_width = i () }
         | "retire_width" -> Some { p with retire_width = i () }
         | "active_list" -> Some { p with active_list = i () }
         | "int_queue" -> Some { p with int_queue = i () }
@@ -659,15 +721,31 @@ module Spec = struct
         | "int_units" -> Some { p with int_units = i () }
         | "fp_units" -> Some { p with fp_units = i () }
         | "mem_units" -> Some { p with mem_units = i () }
+        | "fu_latency" ->
+          Some
+            { p with
+              fu_latency =
+                fu_table_decode ~path:(path ^ ".fu_latency") ~value:int_at
+                  p.fu_latency v }
+        | "issue_ports" ->
+          Some
+            { p with
+              issue_ports =
+                fu_table_decode ~path:(path ^ ".issue_ports")
+                  ~value:(fun path v ->
+                    match Uarch.Params.port_of_string (str_at path v) with
+                    | Ok port -> port
+                    | Error m -> spec_error "%s: %s" path m)
+                  p.issue_ports v }
         | "phys_int_regs" -> Some { p with phys_int_regs = i () }
         | "phys_fp_regs" -> Some { p with phys_fp_regs = i () }
         | "max_spec_branches" -> Some { p with max_spec_branches = i () }
         | _ -> None)
 
-  let cache_config_decode j : Cachesim.Config.t =
-    fold_obj ~what:"cache_config" Cachesim.Config.default j
+  let cache_config_decode ?(path = "$.cache_config") j : Cachesim.Config.t =
+    fold_obj ~path Cachesim.Config.default j
       ~field:(fun (c : Cachesim.Config.t) k v ->
-        let i () = J.to_int v in
+        let i () = int_at (path ^ "." ^ k) v in
         match k with
         | "l1_size" -> Some { c with l1_size = i () }
         | "l1_ways" -> Some { c with l1_ways = i () }
@@ -685,24 +763,147 @@ module Spec = struct
         | _ -> None)
 
   let decode j : t =
-    let ok_or_fail = function Ok v -> v | Error m -> spec_error "%s" m in
-    fold_obj ~what:"spec" default j ~field:(fun t k v ->
+    let ok_or_fail path = function
+      | Ok v -> v
+      | Error m -> spec_error "%s: %s" path m
+    in
+    fold_obj ~path:"$" default j ~field:(fun t k v ->
         match k with
+        | "version" ->
+          let n = int_at "$.version" v in
+          if n < 1 || n > version then
+            spec_error
+              "$.version: unsupported spec version %d (this decoder knows \
+               1..%d)" n version;
+          Some t
         | "params" -> Some { t with params = params_decode v }
         | "cache_config" ->
           Some { t with cache_config = cache_config_decode v }
         | "predictor" ->
           Some
             { t with
-              predictor = ok_or_fail (predictor_of_string (J.to_str v)) }
+              predictor =
+                ok_or_fail "$.predictor"
+                  (predictor_of_string (str_at "$.predictor" v)) }
         | "policy" ->
-          Some { t with policy = ok_or_fail (policy_of_string (J.to_str v)) }
-        | "max_cycles" -> Some { t with max_cycles = J.to_int v }
+          Some
+            { t with
+              policy =
+                ok_or_fail "$.policy"
+                  (policy_of_string (str_at "$.policy" v)) }
+        | "max_cycles" -> Some { t with max_cycles = int_at "$.max_cycles" v }
         | _ -> None)
 
   let params_of_json_result j = decode_result params_decode j
   let cache_config_of_json_result j = decode_result cache_config_decode j
   let of_json_result j = decode_result decode j
+
+  (* ---- self-describing schema --------------------------------------- *)
+  (* One entry per accepted JSON path, with the type the decoder expects,
+     the default the field overlays, and a one-line doc. This is the
+     source for [fastsim spec schema] and [fastsim sweep --list-params];
+     docs/CONFIG.md is the prose companion. The table is written by hand
+     next to the decoders above — a new decoder case and its schema row
+     belong in the same change. *)
+
+  type schema_field = {
+    sf_path : string;     (* e.g. "$.params.fetch_width" *)
+    sf_type : string;     (* human-readable type *)
+    sf_default : string;  (* rendered default value *)
+    sf_doc : string;
+  }
+
+  let schema : schema_field list =
+    let p = Uarch.Params.default in
+    let c = Cachesim.Config.default in
+    let f sf_path sf_type sf_default sf_doc =
+      { sf_path; sf_type; sf_default; sf_doc }
+    in
+    let pi name v doc = f ("$.params." ^ name) "int" (string_of_int v) doc in
+    let ci name v doc =
+      f ("$.cache_config." ^ name) "int" (string_of_int v) doc
+    in
+    [ f "$.version" "int" (string_of_int version)
+        "wire-format version; absent means 1 (pre-versioning documents); \
+         versions 1 through the current one decode, later are rejected";
+      pi "fetch_width" p.fetch_width "instructions fetched per cycle";
+      pi "decode_width" p.decode_width
+        "instructions decoded and renamed per cycle";
+      pi "issue_width" p.issue_width
+        "total instructions issued per cycle across all ports; 0 means \
+         uncapped (per-port unit counts still limit issue)";
+      pi "retire_width" p.retire_width "instructions retired per cycle";
+      pi "active_list" p.active_list
+        "active-list (reorder buffer) entries; bounds in-flight \
+         instructions and the snapshot entry count, so at most 255";
+      pi "int_queue" p.int_queue "integer issue-queue entries";
+      pi "fp_queue" p.fp_queue "floating-point issue-queue entries";
+      pi "addr_queue" p.addr_queue "address (memory) issue-queue entries";
+      pi "int_units" p.int_units "functional units on the int port";
+      pi "fp_units" p.fp_units "functional units on the fp port";
+      pi "mem_units" p.mem_units "functional units on the mem port";
+      f "$.params.fu_latency" "{fu-class: int}"
+        (J.to_string
+           (fu_table_to_json (fun cl ->
+                J.Int p.fu_latency.(Isa.Instr.fu_index cl))))
+        "execution latency in cycles per functional-unit class; a partial \
+         object overlays the defaults; every latency must be >= 1";
+      f "$.params.issue_ports" "{fu-class: \"int\"|\"fp\"|\"mem\"}"
+        (J.to_string
+           (fu_table_to_json (fun cl ->
+                J.Str
+                  (Uarch.Params.port_name
+                     p.issue_ports.(Isa.Instr.fu_index cl)))))
+        "issue port — and therefore issue queue — per functional-unit \
+         class; a partial object overlays the defaults";
+      pi "phys_int_regs" p.phys_int_regs
+        "integer physical registers; the rename freelist holds this minus \
+         the 32 architectural registers, so it must exceed 32";
+      pi "phys_fp_regs" p.phys_fp_regs
+        "floating-point physical registers; must exceed 32, as above";
+      pi "max_spec_branches" p.max_spec_branches
+        "unresolved conditional branches fetch may speculate past \
+         (= branch shadow-map slots)";
+      ci "l1_size" c.l1_size "L1 data cache size in bytes";
+      ci "l1_ways" c.l1_ways "L1 associativity";
+      ci "l1_line" c.l1_line "L1 line size in bytes";
+      ci "l1_hit_latency" c.l1_hit_latency "cycles to data on an L1 hit";
+      ci "l1_miss_penalty" c.l1_miss_penalty
+        "cycles to reach L2 after an L1 miss";
+      ci "l1_mshrs" c.l1_mshrs "L1 outstanding-miss registers";
+      ci "l2_size" c.l2_size "L2 cache size in bytes";
+      ci "l2_ways" c.l2_ways "L2 associativity";
+      ci "l2_line" c.l2_line "L2 line size in bytes";
+      ci "l2_hit_latency" c.l2_hit_latency "L2 array access time in cycles";
+      ci "l2_mshrs" c.l2_mshrs "L2 outstanding-miss registers";
+      ci "mem_latency" c.mem_latency
+        "cycles from bus grant to the first data beat";
+      ci "bus_width" c.bus_width "bytes per bus cycle";
+      f "$.predictor" "string"
+        (Printf.sprintf "%S" (predictor_to_string default.predictor))
+        "branch predictor: \"standard\" (BHT + BTB + RAS), \"not-taken\" \
+         or \"taken\"";
+      f "$.policy" "string"
+        (Printf.sprintf "%S" (policy_to_string default.policy))
+        "p-action cache policy (fast engine only): \"unbounded\", \
+         \"flush:BYTES\", \"copy:BYTES\" or \"gen:NURSERY:TOTAL\"";
+      f "$.max_cycles" "int" "(absent: unlimited)"
+        "cycle budget; the run stops and reports truncated = true when it \
+         is reached" ]
+
+  let schema_to_json () : J.t =
+    Obj
+      [ ("version", Int version);
+        ( "fields",
+          List
+            (Stdlib.List.map
+               (fun s ->
+                 J.Obj
+                   [ ("path", J.Str s.sf_path);
+                     ("type", J.Str s.sf_type);
+                     ("default", J.Str s.sf_default);
+                     ("doc", J.Str s.sf_doc) ])
+               schema) ) ]
 
   let unwrap = function Ok v -> v | Error m -> failwith m
   let params_of_json j = unwrap (params_of_json_result j)
@@ -723,8 +924,8 @@ let result_error fmt = Printf.ksprintf (fun m -> failwith ("result: " ^ m)) fmt
 
 (* Imperative flavour of [strict_obj]: [field] returns whether it
    recognised the key and stashes the value in a ref. *)
-let result_obj ~what ~field j =
-  strict_obj ~error:(fun m -> failwith ("result: " ^ m)) ~what () j
+let result_obj ~path ~field j =
+  strict_obj ~error:(fun m -> failwith ("result: " ^ m)) ~path () j
     ~field:(fun () k v -> if field k v then Some () else None)
 
 let result_need what = function
@@ -740,7 +941,7 @@ let branch_stats_to_json (b : branch_stats) : J.t =
 
 let branch_stats_decode j : branch_stats =
   let c = ref None and m = ref None and i = ref None and f = ref None in
-  result_obj ~what:"branches" j ~field:(fun k v ->
+  result_obj ~path:"$.branches" j ~field:(fun k v ->
       match k with
       | "conditionals" -> c := Some (J.to_int v); true
       | "mispredicted" -> m := Some (J.to_int v); true
@@ -765,7 +966,7 @@ let cache_stats_to_json (c : Cachesim.Hierarchy.stats) : J.t =
 
 let cache_stats_decode j : Cachesim.Hierarchy.stats =
   let got = Hashtbl.create 8 in
-  result_obj ~what:"cache" j ~field:(fun k v ->
+  result_obj ~path:"$.cache" j ~field:(fun k v ->
       match k with
       | "loads" | "stores" | "l1_hits" | "l1_misses" | "l2_hits" | "l2_misses"
       | "writebacks" | "merged_misses" ->
@@ -803,7 +1004,7 @@ let memo_stats_to_json (m : Memo.Stats.t) : J.t =
 
 let memo_stats_decode j : Memo.Stats.t =
   let s = Memo.Stats.create () in
-  result_obj ~what:"memo" j ~field:(fun k v ->
+  result_obj ~path:"$.memo" j ~field:(fun k v ->
       match k with
       | "detailed_retired" -> s.Memo.Stats.detailed_retired <- J.to_int v; true
       | "replayed_retired" -> s.Memo.Stats.replayed_retired <- J.to_int v; true
@@ -836,7 +1037,7 @@ let pcache_counters_to_json (p : Memo.Pcache.counters) : J.t =
 
 let pcache_counters_decode j : Memo.Pcache.counters =
   let got = Hashtbl.create 16 in
-  result_obj ~what:"pcache" j ~field:(fun k v ->
+  result_obj ~path:"$.pcache" j ~field:(fun k v ->
       match k with
       | "static_configs" | "static_actions" | "live_configs" | "modeled_bytes"
       | "peak_modeled_bytes" | "flushes" | "minor_collections"
@@ -894,7 +1095,7 @@ let final_state_to_json (s : Emu.Arch_state.t) : J.t =
 
 let final_state_decode j : Emu.Arch_state.t =
   let pc = ref None and iregs = ref None and fregs = ref None in
-  result_obj ~what:"final_state" j ~field:(fun k v ->
+  result_obj ~path:"$.final_state" j ~field:(fun k v ->
       match k with
       | "pc" -> pc := Some (J.to_int v); true
       | "iregs" ->
@@ -938,7 +1139,7 @@ let result_of_json j : (result, string) Stdlib.result =
     let classes = ref None and branches = ref None and cache = ref None in
     let memo = ref None and pcache = ref None in
     let final_state = ref None and truncated = ref None in
-    result_obj ~what:"result" j ~field:(fun k v ->
+    result_obj ~path:"$" j ~field:(fun k v ->
         match k with
         | "cycles" -> cycles := Some (J.to_int v); true
         | "retired" -> retired := Some (J.to_int v); true

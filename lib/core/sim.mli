@@ -127,6 +127,15 @@ module Spec : sig
   val engine_to_string : engine -> string
   val engine_of_string : string -> (engine, string) Stdlib.result
 
+  val version : int
+  (** Current spec wire-format version, emitted by {!to_json}. Version 1
+      is the pre-versioning format (a document without a ["version"]
+      field); version 2 added [params.issue_width], [params.fu_latency]
+      and [params.issue_ports]. {!of_json_result} accepts versions
+      [1..version] — every new field overlays the default the older
+      engine hard-coded, so old documents decode to identical behaviour —
+      and rejects later versions. *)
+
   val params_to_json : Uarch.Params.t -> Fastsim_obs.Json.t
   val cache_config_to_json : Cachesim.Config.t -> Fastsim_obs.Json.t
 
@@ -141,9 +150,10 @@ module Spec : sig
       partial. Unknown keys, {e duplicate} keys and ill-typed values are
       errors, so a manifest typo — or a malformed wire request — fails
       loudly instead of silently running the default (or last-wins)
-      configuration. This is the primary decoder; the serve daemon,
-      manifest reader and fuzz loaders all consume untrusted input
-      through it. *)
+      configuration, and every error message names the JSON path of the
+      offending value (e.g. [$.params.fu_latency.mem]). This is the
+      primary decoder; the serve daemon, manifest reader and fuzz
+      loaders all consume untrusted input through it. *)
 
   val params_of_json_result :
     Fastsim_obs.Json.t -> (Uarch.Params.t, string) Stdlib.result
@@ -152,11 +162,34 @@ module Spec : sig
     Fastsim_obs.Json.t -> (Cachesim.Config.t, string) Stdlib.result
 
   val of_json : Fastsim_obs.Json.t -> t
+    [@@deprecated "use of_json_result"]
   (** Raising wrapper over {!of_json_result}: raises [Failure] with the
-      same message. *)
+      same message. Deprecated — new code should handle the [Result]. *)
 
   val params_of_json : Fastsim_obs.Json.t -> Uarch.Params.t
+    [@@deprecated "use params_of_json_result"]
+
   val cache_config_of_json : Fastsim_obs.Json.t -> Cachesim.Config.t
+    [@@deprecated "use cache_config_of_json_result"]
+
+  (** {2 Self-describing schema}
+
+      One {!schema_field} per JSON path the decoders accept, used by
+      [fastsim spec schema] and [fastsim sweep --list-params] (and kept
+      in lock-step with the decoders; [docs/CONFIG.md] is the prose
+      companion). *)
+
+  type schema_field = {
+    sf_path : string;     (** JSON path, e.g. ["$.params.fetch_width"]. *)
+    sf_type : string;     (** human-readable expected type. *)
+    sf_default : string;  (** rendered default value. *)
+    sf_doc : string;      (** one-line description. *)
+  }
+
+  val schema : schema_field list
+
+  val schema_to_json : unit -> Fastsim_obs.Json.t
+  (** [{"version": v, "fields": [{"path", "type", "default", "doc"}...]}] *)
 end
 
 val result_to_json : result -> Fastsim_obs.Json.t

@@ -13,15 +13,16 @@ type t = {
   engine : Fastsim.Sim.engine;
   spec : Fastsim.Sim.Spec.t;
   cache_name : string;
+  params_name : string;
   warm : string option;
   fault : fault option;
 }
 
 let label t =
-  Printf.sprintf "%s@%d/%s/%s/%s/%s" t.workload t.scale
+  Printf.sprintf "%s@%d/%s/%s/%s/%s/%s" t.workload t.scale
     (Spec.engine_to_string t.engine)
     (Spec.predictor_to_string t.spec.Spec.predictor)
-    t.cache_name
+    t.cache_name t.params_name
     (Spec.policy_to_string t.spec.Spec.policy)
 
 let fault_to_json = function
@@ -52,6 +53,7 @@ let to_json t =
        ("scale", J.Int t.scale);
        ("engine", J.Str (Spec.engine_to_string t.engine));
        ("cache_name", J.Str t.cache_name);
+       ("params_name", J.Str t.params_name);
        ("warm", J.Bool (t.warm <> None));
        ("spec", Spec.to_json t.spec) ]
     @

@@ -2,8 +2,8 @@
     stable identity.
 
     Jobs are produced by {!Manifest.expand} in a deterministic order —
-    workload-major, then scale, engine, predictor, cache configuration and
-    policy — and [id] is the position in that order. The report lists
+    workload-major, then scale, engine, predictor, cache configuration,
+    processor params and policy — and [id] is the position in that order. The report lists
     results by [id] regardless of the order workers complete them, so two
     runs of the same manifest produce identically-ordered reports. *)
 
@@ -23,6 +23,8 @@ type t = {
   engine : Fastsim.Sim.engine;
   spec : Fastsim.Sim.Spec.t;
   cache_name : string;       (** manifest label, e.g. ["default"]. *)
+  params_name : string;      (** processor-params axis label,
+                                 e.g. ["default"]. *)
   warm : string option;      (** path to a persisted p-action cache to
                                  warm-start from (fast engine only). *)
   fault : fault option;      (** test-only fault injection. *)
@@ -30,7 +32,8 @@ type t = {
 
 val label : t -> string
 (** Human-readable identity, e.g.
-    ["099.go@5/fast/standard/default/unbounded"]. *)
+    ["099.go@5/fast/standard/default/default/unbounded"]
+    (workload\@scale/engine/predictor/cache/params/policy). *)
 
 val to_json : t -> Fastsim_obs.Json.t
 (** The job's identity and full spec, embedded in the sweep report so

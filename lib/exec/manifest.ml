@@ -6,6 +6,11 @@ type cache_axis = {
   c_config : Cachesim.Config.t;
 }
 
+type params_axis = {
+  p_name : string;
+  p_params : Uarch.Params.t;
+}
+
 type t = {
   workloads : string list;
   scales : int list option;
@@ -13,13 +18,16 @@ type t = {
   predictors : Fastsim.Sim.predictor_kind list;
   cache_configs : cache_axis list;
   policies : Memo.Pcache.policy list;
-  params : Uarch.Params.t;
+  params_configs : params_axis list;
   max_cycles : int option;
   warm : bool;
   fault : (string option * Job.fault) option;
 }
 
 let err fmt = Printf.ksprintf (fun m -> failwith ("manifest: " ^ m)) fmt
+
+let default_params_axis =
+  { p_name = "default"; p_params = Uarch.Params.default }
 
 let make ~workloads () =
   { workloads;
@@ -28,7 +36,7 @@ let make ~workloads () =
     predictors = [ Fastsim.Sim.Standard ];
     cache_configs = [ { c_name = "default"; c_config = Cachesim.Config.default } ];
     policies = [ Memo.Pcache.Unbounded ];
-    params = Uarch.Params.default;
+    params_configs = [ default_params_axis ];
     max_cycles = None;
     warm = false;
     fault = None }
@@ -61,6 +69,32 @@ let cache_axis_to_json { c_name; c_config } =
     match Spec.cache_config_to_json c_config with
     | J.Obj fields -> J.Obj (("name", J.Str c_name) :: fields)
     | j -> j)
+
+(* A named point on the processor-parameter axis: "default", or an
+   object of {!Spec.params_to_json} overrides with an optional "name"
+   label (mirrors the cache axis). *)
+let params_axis_of_json = function
+  | J.Str "default" -> default_params_axis
+  | J.Str s -> err "unknown params config %S (want default or an object)" s
+  | J.Obj fields ->
+    let name =
+      match List.assoc_opt "name" fields with
+      | Some (J.Str n) -> n
+      | Some _ -> err "params config name must be a string"
+      | None -> "custom"
+    in
+    let overrides = J.Obj (List.remove_assoc "name" fields) in
+    { p_name = name;
+      p_params = ok_or_err (Spec.params_of_json_result overrides) }
+  | j -> err "bad params config %s" (J.to_string j)
+
+let params_axis_to_json { p_name; p_params } =
+  if p_name = "default" && p_params = Uarch.Params.default then
+    J.Str "default"
+  else
+    match Spec.params_to_json p_params with
+    | J.Obj fields -> J.Obj (("name", J.Str p_name) :: fields)
+    | j -> j
 
 let strings what = function
   | J.List l ->
@@ -107,7 +141,19 @@ let of_json j =
                   (fun s -> ok_or_err (Spec.policy_of_string s))
                   (strings "policies" v) }
           | "params" ->
-            { m with params = ok_or_err (Spec.params_of_json_result v) }
+            (* Legacy single-configuration form (pre-axis manifests):
+               decodes as a one-point axis named "custom". *)
+            if Hashtbl.mem seen "params_configs" then
+              err "params and params_configs are mutually exclusive";
+            { m with
+              params_configs =
+                [ { p_name = "custom";
+                    p_params = ok_or_err (Spec.params_of_json_result v) } ] }
+          | "params_configs" ->
+            if Hashtbl.mem seen "params" then
+              err "params and params_configs are mutually exclusive";
+            { m with
+              params_configs = List.map params_axis_of_json (J.to_list v) }
           | "max_cycles" -> { m with max_cycles = Some (J.to_int v) }
           | "warm" -> { m with warm = J.to_bool v }
           | "fault" ->
@@ -125,6 +171,7 @@ let of_json j =
     if m.predictors = [] then err "predictors must be non-empty";
     if m.cache_configs = [] then err "cache_configs must be non-empty";
     if m.policies = [] then err "policies must be non-empty";
+    if m.params_configs = [] then err "params_configs must be non-empty";
     (match m.scales with
      | Some [] -> err "scales must be non-empty when given"
      | _ -> ());
@@ -156,8 +203,13 @@ let to_json m =
           J.List
             (List.map (fun p -> J.Str (Spec.policy_to_string p)) m.policies) )
       ]
-    @ (if m.params = Uarch.Params.default then []
-       else [ ("params", Spec.params_to_json m.params) ])
+    @ (match m.params_configs with
+       | [ axis ] when axis = default_params_axis -> []
+       | [ { p_name = "custom"; p_params } ] ->
+         (* Echo the legacy decode shape back in the legacy key. *)
+         [ ("params", Spec.params_to_json p_params) ]
+       | axes ->
+         [ ("params_configs", J.List (List.map params_axis_to_json axes)) ])
     @ (match m.max_cycles with None -> [] | Some n -> [ ("max_cycles", J.Int n) ])
     @ (if m.warm then [ ("warm", J.Bool true) ] else [])
     @
@@ -200,43 +252,52 @@ let expand m =
         (fun scale ->
           List.iter
             (fun engine ->
-              (* [`Baseline] ignores the predictor and the pcache policy
-                 (Sim.run only forwards the cache config), so crossing it
-                 with those axes would emit duplicate jobs whose labels
-                 pretend the axis mattered; collapse each to one
-                 representative value. *)
-              let predictors, policies =
+              (* [`Baseline] ignores the predictor, the processor params
+                 and the pcache policy (Sim.run only forwards the cache
+                 config), so crossing it with those axes would emit
+                 duplicate jobs whose labels pretend the axis mattered;
+                 collapse each to one representative value. *)
+              let predictors, params_configs, policies =
                 match engine with
-                | `Baseline -> ([ List.hd m.predictors ], [ List.hd m.policies ])
-                | `Fast | `Slow -> (m.predictors, m.policies)
+                | `Baseline ->
+                  ( [ List.hd m.predictors ],
+                    [ List.hd m.params_configs ],
+                    [ List.hd m.policies ] )
+                | `Fast | `Slow ->
+                  (m.predictors, m.params_configs, m.policies)
               in
               List.iter
                 (fun predictor ->
                   List.iter
                     (fun cache ->
                       List.iter
-                        (fun policy ->
-                          let spec =
-                            { Spec.default with
-                              Spec.params = m.params;
-                              cache_config = cache.c_config;
-                              predictor;
-                              policy;
-                              max_cycles =
-                                Option.value m.max_cycles ~default:max_int }
-                          in
-                          jobs :=
-                            { Job.id = !next_id;
-                              workload = w.Workloads.Workload.name;
-                              scale;
-                              engine;
-                              spec;
-                              cache_name = cache.c_name;
-                              warm = None;
-                              fault = fault_here }
-                            :: !jobs;
-                          incr next_id)
-                        policies)
+                        (fun paxis ->
+                          List.iter
+                            (fun policy ->
+                              let spec =
+                                { Spec.default with
+                                  Spec.params = paxis.p_params;
+                                  cache_config = cache.c_config;
+                                  predictor;
+                                  policy;
+                                  max_cycles =
+                                    Option.value m.max_cycles
+                                      ~default:max_int }
+                              in
+                              jobs :=
+                                { Job.id = !next_id;
+                                  workload = w.Workloads.Workload.name;
+                                  scale;
+                                  engine;
+                                  spec;
+                                  cache_name = cache.c_name;
+                                  params_name = paxis.p_name;
+                                  warm = None;
+                                  fault = fault_here }
+                                :: !jobs;
+                              incr next_id)
+                            policies)
+                        params_configs)
                     m.cache_configs)
                 predictors)
             m.engines)

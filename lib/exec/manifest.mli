@@ -1,30 +1,43 @@
 (** A sweep manifest: the axes of a batch experiment.
 
     {!expand} takes the cartesian product
-    workloads × scales × engines × predictors × cache configs × policies
-    and yields one {!Job.t} per point, in that nesting order (outermost
-    varies slowest). The order is deterministic, so job ids — and the
-    report — are stable across runs of the same manifest. [`Baseline]
-    ignores the predictor and policy, so for baseline jobs those two axes
-    collapse to their first value instead of producing duplicates.
+    workloads × scales × engines × predictors × cache configs ×
+    processor params × policies and yields one {!Job.t} per point, in
+    that nesting order (outermost varies slowest). The order is
+    deterministic, so job ids — and the report — are stable across runs
+    of the same manifest. [`Baseline] ignores the predictor, the
+    processor params and the policy, so for baseline jobs those three
+    axes collapse to their first value instead of producing duplicates.
 
-    JSON form (only ["workloads"] is required; see [docs/SWEEP.md]):
+    JSON form (only ["workloads"] is required; see [docs/SWEEP.md] and
+    [docs/CONFIG.md]):
 
     {v
-    { "workloads":     ["go", "129.compress"],
-      "scales":        [5],
-      "engines":       ["fast", "slow"],
-      "predictors":    ["standard"],
-      "cache_configs": ["default", {"name": "small-l1", "l1_size": 4096}],
-      "policies":      ["unbounded", "flush:16384"],
-      "params":        {"fetch_width": 2},
-      "max_cycles":    20000000,
-      "warm":          true }
-    v} *)
+    { "workloads":      ["go", "129.compress"],
+      "scales":         [5],
+      "engines":        ["fast", "slow"],
+      "predictors":     ["standard"],
+      "cache_configs":  ["default", {"name": "small-l1", "l1_size": 4096}],
+      "policies":       ["unbounded", "flush:16384"],
+      "params_configs": ["default",
+                         {"name": "narrow", "fetch_width": 2},
+                         {"name": "tiny-prf", "phys_int_regs": 40}],
+      "max_cycles":     20000000,
+      "warm":           true }
+    v}
+
+    The legacy ["params"] key (one override object applied to every job)
+    is still accepted and decodes as a one-point axis named ["custom"];
+    giving both ["params"] and ["params_configs"] is an error. *)
 
 type cache_axis = {
   c_name : string;  (** label used in job identities and the report. *)
   c_config : Cachesim.Config.t;
+}
+
+type params_axis = {
+  p_name : string;  (** label used in job identities and the report. *)
+  p_params : Uarch.Params.t;
 }
 
 type t = {
@@ -35,7 +48,8 @@ type t = {
   predictors : Fastsim.Sim.predictor_kind list;
   cache_configs : cache_axis list;
   policies : Memo.Pcache.policy list;
-  params : Uarch.Params.t;  (** applied to every job (not an axis). *)
+  params_configs : params_axis list;
+      (** processor-parameter axis (machine descriptions to sweep). *)
   max_cycles : int option;
   warm : bool;
       (** run a pcache-warming stage and fan the caches out to the fast

@@ -31,9 +31,9 @@ let failed t =
    speedup. *)
 
 let pair_key (j : Job.t) =
-  Printf.sprintf "%s@%d/%s/%s/%s" j.Job.workload j.Job.scale
+  Printf.sprintf "%s@%d/%s/%s/%s/%s" j.Job.workload j.Job.scale
     (Spec.predictor_to_string j.Job.spec.Spec.predictor)
-    j.Job.cache_name
+    j.Job.cache_name j.Job.params_name
     (Spec.policy_to_string j.Job.spec.Spec.policy)
 
 let pairs t =

@@ -74,6 +74,10 @@ let fu_index = function
   | Fu_branch -> 8
   | Fu_none -> 9
 
+let fu_classes =
+  [| Fu_int_alu; Fu_int_mul; Fu_int_div; Fu_fp_add; Fu_fp_mul; Fu_fp_div;
+     Fu_fp_sqrt; Fu_mem; Fu_branch; Fu_none |]
+
 let fu_name = function
   | Fu_int_alu -> "int-alu"
   | Fu_int_mul -> "int-mul"

@@ -92,6 +92,10 @@ val fu_index : fu_class -> int
 
 val fu_name : fu_class -> string
 
+val fu_classes : fu_class array
+(** All classes in {!fu_index} order ([fu_classes.(fu_index c) = c]), for
+    building per-class tables. Callers must not mutate it. *)
+
 val latency : fu_class -> int
 (** Execution latency in cycles once issued to a functional unit. For
     [Fu_mem] this is the address-generation latency; cache access time is

@@ -4,8 +4,12 @@ type t = {
   iq : Pipeline.t;
   mutable fetch : Pipeline.fetch_state;
   mutable halted_f : bool;
-  (* Scratch register-renaming maps, rebuilt every cycle (paper §4.1): the
-     entry index of the youngest in-flight writer of each architectural
+  (* The explicit rename stage: bounded freelists + branch shadow maps.
+     A deterministic function of the iQ (Rename.rebuild), so it is not
+     part of the snapshot. *)
+  rename : Rename.t;
+  (* Scratch wakeup maps, rebuilt every cycle (paper §4.1): the entry
+     index of the youngest in-flight writer of each architectural
      register, or -1 when the architectural value is current. *)
   int_writer : int array;
   fp_writer : int array;
@@ -26,6 +30,7 @@ let create ?(params = Params.default) prog =
     iq = Pipeline.create ~capacity:params.active_list;
     fetch = Pipeline.F_run prog.Isa.Program.entry;
     halted_f = false;
+    rename = Rename.create params;
     int_writer = Array.make Isa.Reg.count (-1);
     fp_writer = Array.make Isa.Reg.count (-1);
     cls = Array.make Isa.Instr.fu_count 0;
@@ -34,20 +39,25 @@ let create ?(params = Params.default) prog =
 let restore ?(params = Params.default) prog key =
   Params.validate params;
   let fetch, iq = Snapshot.decode prog ~capacity:params.active_list key in
+  let rename = Rename.create params in
+  Rename.rebuild rename iq;
   { params;
     prog;
     iq;
     fetch;
     halted_f = false;
+    rename;
     int_writer = Array.make Isa.Reg.count (-1);
     fp_writer = Array.make Isa.Reg.count (-1);
     cls = Array.make Isa.Instr.fu_count 0;
     arena = Snapshot.Arena.create () }
 
-let snapshot t = Snapshot.encode ~fetch:t.fetch t.iq
+let snapshot t =
+  Snapshot.encode ~limit:t.params.Params.active_list ~fetch:t.fetch t.iq
 
 let snapshot_arena t =
-  Snapshot.encode_into t.arena ~fetch:t.fetch t.iq;
+  Snapshot.encode_into ~limit:t.params.Params.active_list t.arena
+    ~fetch:t.fetch t.iq;
   t.arena
 
 let dump ppf t =
@@ -58,7 +68,8 @@ let dump ppf t =
     | Pipeline.F_stall_wedged -> "wedged"
     | Pipeline.F_halted -> "halted"
   in
-  Format.fprintf ppf "fetch=%s@." fs;
+  Format.fprintf ppf "fetch=%s free-phys=%d/%d@." fs
+    (Rename.free_int t.rename) (Rename.free_fp t.rename);
   Pipeline.iteri
     (fun i e ->
       let st =
@@ -81,16 +92,7 @@ let halted t = t.halted_f
 let retired_by_class t = Array.copy t.cls
 let in_flight t = Pipeline.length t.iq
 let fetch_state t = t.fetch
-
-let is_int_q = function
-  | Isa.Instr.Fu_int_alu | Fu_int_mul | Fu_int_div | Fu_branch -> true
-  | Fu_fp_add | Fu_fp_mul | Fu_fp_div | Fu_fp_sqrt | Fu_mem | Fu_none ->
-    false
-
-let is_fp_q = function
-  | Isa.Instr.Fu_fp_add | Fu_fp_mul | Fu_fp_div | Fu_fp_sqrt -> true
-  | Fu_int_alu | Fu_int_mul | Fu_int_div | Fu_branch | Fu_mem | Fu_none ->
-    false
+let free_phys t = (Rename.free_int t.rename, Rename.free_fp t.rename)
 
 let is_cond e =
   match Isa.Instr.control e.Pipeline.insn with
@@ -107,6 +109,7 @@ let retire t =
     match Pipeline.peek t.iq with
     | Some e when e.Pipeline.st = Pipeline.st_done ->
       ignore (Pipeline.pop t.iq : Pipeline.entry);
+      Rename.retire t.rename e;
       incr retired;
       t.cls.(Isa.Instr.fu_index e.Pipeline.fu) <-
         t.cls.(Isa.Instr.fu_index e.Pipeline.fu) + 1;
@@ -122,8 +125,6 @@ let retire t =
 (* Scratch per-cycle occupancy counters, filled by the merged
    execute/issue pass and consumed by decode and fetch. *)
 type counts = {
-  mutable c_int_renames : int;
-  mutable c_fp_renames : int;
   mutable c_intq : int;
   mutable c_fpq : int;
   mutable c_memq : int;
@@ -132,13 +133,26 @@ type counts = {
 }
 
 let fresh_counts () =
-  { c_int_renames = 0;
-    c_fp_renames = 0;
-    c_intq = 0;
+  { c_intq = 0;
     c_fpq = 0;
     c_memq = 0;
     c_first_fetched = -1;
     c_unresolved_cond = 0 }
+
+(* Issue-queue occupancy follows the port map: a class competing for the
+   integer ports sits in the integer queue, and so on. At the default map
+   this reproduces the historical int/fp/addr queue split. *)
+let bump_queue (p : Params.t) (c : counts) fu =
+  match Params.port p fu with
+  | Params.P_int -> c.c_intq <- c.c_intq + 1
+  | Params.P_fp -> c.c_fpq <- c.c_fpq + 1
+  | Params.P_mem -> c.c_memq <- c.c_memq + 1
+
+let queue_free (p : Params.t) (c : counts) fu =
+  match Params.port p fu with
+  | Params.P_int -> c.c_intq < p.Params.int_queue
+  | Params.P_fp -> c.c_fpq < p.Params.fp_queue
+  | Params.P_mem -> c.c_memq < p.Params.addr_queue
 
 (* Phases 2+3 merged into a single oldest-to-newest scan: advance executing
    instructions (completions issue loads/stores to the cache, resolve
@@ -151,6 +165,7 @@ let execute_and_issue t ~now (o : Oracle.t) interactions (c : counts) =
   Array.fill t.int_writer 0 Isa.Reg.count (-1);
   Array.fill t.fp_writer 0 Isa.Reg.count (-1);
   let int_issued = ref 0 and fp_issued = ref 0 and mem_issued = ref 0 in
+  let total_issued = ref 0 in
   let div_busy = ref false and fpdiv_busy = ref false in
   (* Non-pipelined units busy with instructions issued in earlier cycles. *)
   Pipeline.iteri
@@ -187,33 +202,40 @@ let execute_and_issue t ~now (o : Oracle.t) interactions (c : counts) =
       else begin
         e.Pipeline.st <- Pipeline.st_done;
         match Isa.Instr.control e.Pipeline.insn with
-        | Isa.Instr.Ctl_cond when e.Pipeline.mispredicted ->
-          (* Resolve the misprediction: index is this branch's position
-             among outstanding mispredictions, oldest first. *)
-          let index = ref 0 in
-          for j = 0 to !i - 1 do
-            if (Pipeline.unsafe_get t.iq j).Pipeline.mispredicted then
-              incr index
-          done;
-          e.Pipeline.mispredicted <- false;
-          o.rollback ~index:!index;
-          incr interactions;
-          Pipeline.truncate t.iq (!i + 1);
-          (* Squashed entries may have been counted already; recount from
-             scratch is unnecessary — younger entries only added to the
-             counters below, and this loop stops at the new length. The
-             first_fetched marker can only have pointed at squashed
-             entries. *)
-          c.c_first_fetched <- -1;
-          let fall, target =
-            match
-              Isa.Instr.branch_targets e.Pipeline.insn ~pc:e.Pipeline.addr
-            with
-            | Some x -> x
-            | None -> assert false
-          in
-          t.fetch <-
-            Pipeline.F_run (if e.Pipeline.taken then target else fall)
+        | Isa.Instr.Ctl_cond ->
+          if e.Pipeline.mispredicted then begin
+            (* Resolve the misprediction: index is this branch's position
+               among outstanding mispredictions, oldest first. *)
+            let index = ref 0 in
+            for j = 0 to !i - 1 do
+              if (Pipeline.unsafe_get t.iq j).Pipeline.mispredicted then
+                incr index
+            done;
+            e.Pipeline.mispredicted <- false;
+            o.rollback ~index:!index;
+            incr interactions;
+            (* Undo the squashed suffix's renames and restore this
+               branch's shadow map before the entries disappear. *)
+            Rename.rollback t.rename t.iq ~keep:(!i + 1) e;
+            Pipeline.truncate t.iq (!i + 1);
+            (* Squashed entries may have been counted already; recount from
+               scratch is unnecessary — younger entries only added to the
+               counters below, and this loop stops at the new length. The
+               first_fetched marker can only have pointed at squashed
+               entries. *)
+            c.c_first_fetched <- -1;
+            let fall, target =
+              match
+                Isa.Instr.branch_targets e.Pipeline.insn ~pc:e.Pipeline.addr
+              with
+              | Some x -> x
+              | None -> assert false
+            in
+            t.fetch <-
+              Pipeline.F_run (if e.Pipeline.taken then target else fall)
+          end;
+          (* Resolved either way: the checkpoint is dead. *)
+          Rename.release_shadow t.rename e
         | Isa.Instr.Ctl_indirect when e.Pipeline.ind_stall ->
           e.Pipeline.ind_stall <- false;
           t.fetch <- Pipeline.F_run e.Pipeline.ind_target
@@ -245,35 +267,44 @@ let execute_and_issue t ~now (o : Oracle.t) interactions (c : counts) =
            then ready := false)
       done;
       if !ready then begin
-        let unit_free =
-          match e.Pipeline.fu with
-          | Isa.Instr.Fu_int_alu | Fu_branch | Fu_int_mul ->
-            !int_issued < p.int_units
-          | Fu_int_div -> !int_issued < p.int_units && not !div_busy
-          | Fu_fp_add | Fu_fp_mul -> !fp_issued < p.fp_units
-          | Fu_fp_div | Fu_fp_sqrt ->
-            !fp_issued < p.fp_units && not !fpdiv_busy
-          | Fu_mem ->
-            (* Address generation proceeds strictly in program order
-               (R10000 address queue); this also serialises cache calls
-               into lQ/sQ order. *)
-            !mem_issued < p.mem_units && not !saw_unissued_mem
+        let fu = e.Pipeline.fu in
+        (* A port is free when its group has an unclaimed unit this cycle
+           and the global issue width (0 = uncapped) is not exhausted.
+           Non-pipelined semantics stay class-based regardless of the
+           port map: the divider and the FP divide/sqrt unit each accept
+           one instruction at a time, and address generation proceeds
+           strictly in program order (R10000 address queue — this also
+           serialises cache calls into lQ/sQ order). *)
+        let port_issued =
+          match Params.port p fu with
+          | Params.P_int -> int_issued
+          | Params.P_fp -> fp_issued
+          | Params.P_mem -> mem_issued
+        in
+        let class_free =
+          match fu with
+          | Isa.Instr.Fu_int_div -> not !div_busy
+          | Fu_fp_div | Fu_fp_sqrt -> not !fpdiv_busy
+          | Fu_mem -> not !saw_unissued_mem
           | Fu_none -> false
+          | Fu_int_alu | Fu_int_mul | Fu_fp_add | Fu_fp_mul | Fu_branch ->
+            true
+        in
+        let unit_free =
+          class_free
+          && !port_issued < Params.port_units p (Params.port p fu)
+          && (p.Params.issue_width = 0
+             || !total_issued < p.Params.issue_width)
         in
         if unit_free then begin
           e.Pipeline.st <- Pipeline.st_exec;
-          e.Pipeline.counter <- Isa.Instr.latency e.Pipeline.fu;
-          match e.Pipeline.fu with
-          | Isa.Instr.Fu_int_alu | Fu_branch | Fu_int_mul -> incr int_issued
-          | Fu_int_div ->
-            incr int_issued;
-            div_busy := true
-          | Fu_fp_add | Fu_fp_mul -> incr fp_issued
-          | Fu_fp_div | Fu_fp_sqrt ->
-            incr fp_issued;
-            fpdiv_busy := true
-          | Fu_mem -> incr mem_issued
-          | Fu_none -> ()
+          e.Pipeline.counter <- Params.latency p fu;
+          incr port_issued;
+          incr total_issued;
+          match fu with
+          | Isa.Instr.Fu_int_div -> div_busy := true
+          | Fu_fp_div | Fu_fp_sqrt -> fpdiv_busy := true
+          | _ -> ()
         end
       end
     end;
@@ -286,17 +317,7 @@ let execute_and_issue t ~now (o : Oracle.t) interactions (c : counts) =
     if st = Pipeline.st_fetched then begin
       if c.c_first_fetched = -1 then c.c_first_fetched <- !i
     end
-    else begin
-      (match e.Pipeline.dst with
-       | Some (Isa.Instr.Dint _) -> c.c_int_renames <- c.c_int_renames + 1
-       | Some (Isa.Instr.Dfloat _) -> c.c_fp_renames <- c.c_fp_renames + 1
-       | None -> ());
-      if st = Pipeline.st_queued then
-        if is_int_q fu then c.c_intq <- c.c_intq + 1
-        else if is_fp_q fu then c.c_fpq <- c.c_fpq + 1
-        else if fu = Isa.Instr.Fu_mem then c.c_memq <- c.c_memq + 1;
-      (match e.Pipeline.dst with Some _ | None -> ())
-    end;
+    else if st = Pipeline.st_queued then bump_queue p c fu;
     if st <> Pipeline.st_done && is_cond e then
       c.c_unresolved_cond <- c.c_unresolved_cond + 1;
     (match e.Pipeline.dst with
@@ -333,26 +354,17 @@ let decode t (c : counts) =
            | None -> (0, 0)
          in
          if
-           c.c_int_renames + need_int > Params.rename_int_budget p
-           || c.c_fp_renames + need_fp > Params.rename_fp_budget p
+           Rename.free_int t.rename < need_int
+           || Rename.free_fp t.rename < need_fp
          then stop := true
-         else begin
-           let queue_free =
-             if is_int_q fu then c.c_intq < p.int_queue
-             else if is_fp_q fu then c.c_fpq < p.fp_queue
-             else c.c_memq < p.addr_queue
-           in
-           if queue_free then begin
-             e.Pipeline.st <- Pipeline.st_queued;
-             c.c_int_renames <- c.c_int_renames + need_int;
-             c.c_fp_renames <- c.c_fp_renames + need_fp;
-             if is_int_q fu then c.c_intq <- c.c_intq + 1
-             else if is_fp_q fu then c.c_fpq <- c.c_fpq + 1
-             else c.c_memq <- c.c_memq + 1;
-             incr k
-           end
-           else stop := true
-         end)
+         else if queue_free p c fu then begin
+           e.Pipeline.st <- Pipeline.st_queued;
+           Rename.alloc t.rename e;
+           if is_cond e then Rename.save_shadow t.rename e;
+           bump_queue p c fu;
+           incr k
+         end
+         else stop := true)
     done
   end
 

@@ -1,11 +1,14 @@
 (** The detailed (cycle-by-cycle) out-of-order pipeline simulator.
 
-    Models the paper's R10000-like processor (Figure 1 / Table 1): 4-wide
-    fetch/decode/retire, 16-entry integer/FP/address queues, 2 integer
-    ALUs + 2 FPUs + 1 address adder, 64+64 physical registers, speculation
-    through up to 4 conditional branches, with register renaming and all
-    structural constraints {e recomputed every cycle} from the iQ so that
-    the iQ + fetch state is the complete inter-cycle state.
+    Models an R10000-like processor (the paper's Figure 1 / Table 1 at
+    the default {!Params}): configurable fetch/decode/issue/retire
+    widths, per-port issue queues and unit counts, per-class latencies,
+    a bounded physical register file behind an explicit rename stage
+    ({!Rename}: freelist + branch shadow maps), and speculation through
+    a bounded number of conditional branches. Structural occupancies are
+    recomputed every cycle from the iQ, and the rename state is a
+    deterministic function of the iQ (rebuilt on {!restore}), so the
+    iQ + fetch state remains the complete inter-cycle state.
 
     The simulator is timing-only: it never sees program data. Addresses
     reach the cache simulator through the {!Oracle.t}, control-flow
@@ -53,6 +56,10 @@ val retired_by_class : t -> int array
 
 val in_flight : t -> int
 (** Number of iQ entries (for tests and diagnostics). *)
+
+val free_phys : t -> int * int
+(** Free (integer, FP) physical registers on the rename stage's freelists
+    (for tests and diagnostics). *)
 
 val fetch_state : t -> Pipeline.fetch_state
 

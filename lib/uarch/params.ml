@@ -1,6 +1,17 @@
+type port = P_int | P_fp | P_mem
+
+let port_name = function P_int -> "int" | P_fp -> "fp" | P_mem -> "mem"
+
+let port_of_string = function
+  | "int" -> Ok P_int
+  | "fp" -> Ok P_fp
+  | "mem" -> Ok P_mem
+  | s -> Error (Printf.sprintf "unknown issue port %S (want int, fp or mem)" s)
+
 type t = {
   fetch_width : int;
   decode_width : int;
+  issue_width : int;
   retire_width : int;
   active_list : int;
   int_queue : int;
@@ -9,14 +20,34 @@ type t = {
   int_units : int;
   fp_units : int;
   mem_units : int;
+  fu_latency : int array;
+  issue_ports : port array;
   phys_int_regs : int;
   phys_fp_regs : int;
   max_spec_branches : int;
 }
 
+(* The default port map reproduces the R10000 grouping the simulator
+   historically hard-coded: integer ops, divides and control transfers
+   share the integer ports, every FP class shares the FP ports, and
+   address generation has its own port. [Fu_none] never issues; its port
+   assignment is inert. *)
+let default_issue_ports =
+  Array.map
+    (fun c ->
+      match c with
+      | Isa.Instr.Fu_int_alu | Fu_int_mul | Fu_int_div | Fu_branch | Fu_none
+        -> P_int
+      | Fu_fp_add | Fu_fp_mul | Fu_fp_div | Fu_fp_sqrt -> P_fp
+      | Fu_mem -> P_mem)
+    Isa.Instr.fu_classes
+
+let default_fu_latency = Array.map Isa.Instr.latency Isa.Instr.fu_classes
+
 let default =
   { fetch_width = 4;
     decode_width = 4;
+    issue_width = 0;
     retire_width = 4;
     active_list = 32;
     int_queue = 16;
@@ -25,12 +56,25 @@ let default =
     int_units = 2;
     fp_units = 2;
     mem_units = 1;
+    fu_latency = default_fu_latency;
+    issue_ports = default_issue_ports;
     phys_int_regs = 64;
     phys_fp_regs = 64;
     max_spec_branches = 4 }
 
 let rename_int_budget t = t.phys_int_regs - Isa.Reg.count
 let rename_fp_budget t = t.phys_fp_regs - Isa.Reg.count
+
+let port t fu = t.issue_ports.(Isa.Instr.fu_index fu)
+let latency t fu = t.fu_latency.(Isa.Instr.fu_index fu)
+
+let port_units t = function
+  | P_int -> t.int_units
+  | P_fp -> t.fp_units
+  | P_mem -> t.mem_units
+
+(* One-byte entry count in the snapshot wire format (Snapshot.encode). *)
+let snapshot_entry_limit = 255
 
 let validate t =
   let check name v = if v <= 0 then invalid_arg ("Params: " ^ name) in
@@ -45,5 +89,22 @@ let validate t =
   check "fp_units" t.fp_units;
   check "mem_units" t.mem_units;
   check "max_spec_branches" t.max_spec_branches;
+  if t.issue_width < 0 then invalid_arg "Params: issue_width";
+  if t.active_list > snapshot_entry_limit then
+    invalid_arg
+      (Printf.sprintf
+         "Params: active_list %d exceeds the snapshot entry limit %d"
+         t.active_list snapshot_entry_limit);
+  if Array.length t.fu_latency <> Isa.Instr.fu_count then
+    invalid_arg "Params: fu_latency must have one entry per fu class";
+  Array.iteri
+    (fun i l ->
+      if l <= 0 then
+        invalid_arg
+          (Printf.sprintf "Params: fu_latency.%s must be >= 1"
+             (Isa.Instr.fu_name Isa.Instr.fu_classes.(i))))
+    t.fu_latency;
+  if Array.length t.issue_ports <> Isa.Instr.fu_count then
+    invalid_arg "Params: issue_ports must have one entry per fu class";
   if rename_int_budget t <= 0 then invalid_arg "Params: phys_int_regs";
   if rename_fp_budget t <= 0 then invalid_arg "Params: phys_fp_regs"

@@ -1,30 +1,79 @@
-(** Processor model parameters (the paper's Table 1, MIPS R10000-like). *)
+(** The machine description: every structural knob of the modeled
+    out-of-order processor, defaulting to the paper's Table 1 (MIPS
+    R10000-like) settings. All of {!Detailed}'s structural constraints —
+    widths, queue and register-file capacities, per-class unit counts,
+    latencies and the issue-port map — come from here, so a sweep over
+    [t] values is a sweep over the design space. *)
+
+type port =
+  | P_int   (** competes for the {!t.int_units} integer ports. *)
+  | P_fp    (** competes for the {!t.fp_units} floating-point ports. *)
+  | P_mem   (** competes for the {!t.mem_units} address-generation ports. *)
+
+val port_name : port -> string
+(** ["int"], ["fp"] or ["mem"] (the JSON wire names). *)
+
+val port_of_string : string -> (port, string) result
 
 type t = {
   fetch_width : int;        (** instructions fetched per cycle (4). *)
-  decode_width : int;       (** instructions decoded per cycle (4). *)
+  decode_width : int;       (** instructions decoded/renamed per cycle (4). *)
+  issue_width : int;        (** max instructions issued to functional units
+                                per cycle across all ports; 0 means no
+                                global cap beyond the per-port unit counts
+                                (0 — the R10000 issues per-queue). *)
   retire_width : int;       (** instructions retired per cycle (4). *)
   active_list : int;        (** max instructions in flight — iQ capacity (32,
-                                the R10000 active list). *)
+                                the R10000 active list). At most 255: the
+                                snapshot wire format stores the entry count
+                                in one byte. *)
   int_queue : int;          (** integer queue entries (16). *)
   fp_queue : int;           (** FP queue entries (16). *)
   addr_queue : int;         (** address queue entries (16). *)
-  int_units : int;          (** integer ALUs (2). *)
-  fp_units : int;           (** FPUs (2). *)
+  int_units : int;          (** integer ALU ports (2). *)
+  fp_units : int;           (** FP ports (2). *)
   mem_units : int;          (** load/store address adders (1). *)
+  fu_latency : int array;   (** execution latency per functional-unit class,
+                                indexed by {!Isa.Instr.fu_index}; each >= 1.
+                                Defaults to {!Isa.Instr.latency}. For
+                                [Fu_mem] this is address generation; cache
+                                access time is added by the cache model. *)
+  issue_ports : port array; (** which port group each functional-unit class
+                                competes for (and, equivalently, which issue
+                                queue it occupies), indexed by
+                                {!Isa.Instr.fu_index}. *)
   phys_int_regs : int;      (** physical integer registers (64). *)
   phys_fp_regs : int;       (** physical FP registers (64). *)
   max_spec_branches : int;  (** conditional branches speculated through (4). *)
 }
 
 val default : t
+(** Table 1. [fu_latency] and [issue_ports] are physically shared between
+    all records derived from [default] via [{ default with ... }]; treat
+    them as immutable (copy before modifying). *)
+
+val default_fu_latency : int array
+val default_issue_ports : port array
 
 val rename_int_budget : t -> int
-(** In-flight instructions with an integer destination the rename stage can
-    sustain: physical minus architectural registers. *)
+(** Size of the integer physical-register freelist when the pipeline is
+    empty: physical minus architectural registers. This bounds the
+    in-flight instructions with an integer destination the rename stage
+    can sustain (see {!Rename}). *)
 
 val rename_fp_budget : t -> int
 
+val port : t -> Isa.Instr.fu_class -> port
+val latency : t -> Isa.Instr.fu_class -> int
+val port_units : t -> port -> int
+(** Number of issue ports in a port group. *)
+
+val snapshot_entry_limit : int
+(** Hard ceiling on [active_list] (255) imposed by the one-byte entry
+    count in {!Snapshot}'s wire format. *)
+
 val validate : t -> unit
 (** Raises [Invalid_argument] on nonsensical parameters (zero widths,
-    fewer physical than architectural registers, ...). *)
+    fewer physical than architectural registers, zero latencies,
+    mis-sized per-class tables, [active_list] beyond
+    {!snapshot_entry_limit}, ...). *)

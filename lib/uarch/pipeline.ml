@@ -23,6 +23,11 @@ type entry = {
   mutable mispredicted : bool;
   mutable ind_target : int;
   mutable ind_stall : bool;
+  (* Rename-stage bookkeeping (Rename). Derived deterministically from the
+     rest of the iQ on restore, so it is NOT part of the snapshot. *)
+  mutable new_phys : int;
+  mutable old_phys : int;
+  mutable shadow_slot : int;
 }
 
 let stage e =
@@ -99,7 +104,10 @@ let entry_of_addr prog addr =
     taken = false;
     mispredicted = false;
     ind_target = -1;
-    ind_stall = false }
+    ind_stall = false;
+    new_phys = -1;
+    old_phys = -1;
+    shadow_slot = -1 }
 
 let slot t i = (t.head + i) land t.mask
 

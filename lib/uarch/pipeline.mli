@@ -3,9 +3,11 @@
     One entry per instruction in flight, from fetch to retirement, in
     program order. Between cycles, the iQ entries plus the fetch state are
     the {e entire} µ-architecture simulator state — everything else
-    (register renaming, queue occupancy, functional-unit availability,
-    speculation depth) is recomputed every cycle, exactly as the paper
-    prescribes, so that configurations stay small and memoizable.
+    (queue occupancy, functional-unit availability, speculation depth) is
+    recomputed every cycle, exactly as the paper prescribes, and the
+    explicit rename-stage state ({!Rename}) is a deterministic function of
+    the iQ, rebuilt on restore — so configurations stay small and
+    memoizable.
 
     For speed, an entry's pipeline stage is stored unboxed as a tag plus a
     cycle counter ([st]/[counter]); the {!stage} view reconstructs the
@@ -40,6 +42,19 @@ type entry = {
   mutable ind_target : int;    (** indirect jumps: actual target; -1 else. *)
   mutable ind_stall : bool;    (** indirect jumps: fetch stalled on this
                                    entry until it resolves. *)
+  mutable new_phys : int;      (** physical register allocated to [dst] at
+                                   rename; -1 before decode / no dest. *)
+  mutable old_phys : int;      (** previous mapping of [dst]'s architectural
+                                   register, freed at retirement; -1 as
+                                   above. *)
+  mutable shadow_slot : int;   (** conditional branches: index of the shadow
+                                   map saved at rename; -1 otherwise.
+                                   These three fields are {!Rename} state
+                                   riding on the entry. They are rebuilt
+                                   deterministically from the iQ on restore
+                                   and are deliberately {e not} part of the
+                                   snapshot: physical-register identities
+                                   never influence timing. *)
 }
 
 val stage : entry -> stage

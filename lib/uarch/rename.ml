@@ -1,0 +1,170 @@
+(* Explicit register-rename stage: a speculative map from architectural to
+   physical registers per class, a bounded freelist, and per-branch shadow
+   maps (R10000-style checkpoints) restored on misprediction rollback.
+
+   Timing only ever depends on the freelist occupancies, which are pure
+   functions of the iQ (committed registers + one allocation per decoded
+   in-flight destination). Physical-register identities are invisible to
+   the rest of the simulator, which is what lets [rebuild] reconstruct an
+   equivalent state from a snapshot-decoded iQ in canonical order without
+   perturbing determinism. *)
+
+type t = {
+  imap : int array;               (* arch int reg -> speculative phys *)
+  fmap : int array;
+  ifree : int array;              (* freelist stacks; pop at [*_top - 1] *)
+  mutable ifree_top : int;
+  ffree : int array;
+  mutable ffree_top : int;
+  ishadow : int array array;      (* shadow_slot -> saved imap / fmap *)
+  fshadow : int array array;
+  shadow_used : bool array;
+}
+
+let reset t =
+  for r = 0 to Isa.Reg.count - 1 do
+    t.imap.(r) <- r;
+    t.fmap.(r) <- r
+  done;
+  (* Stack the free registers so allocation proceeds in ascending
+     canonical order: Reg.count first. *)
+  let fill free =
+    let n = Array.length free in
+    for i = 0 to n - 1 do
+      free.(i) <- Isa.Reg.count + n - 1 - i
+    done;
+    n
+  in
+  t.ifree_top <- fill t.ifree;
+  t.ffree_top <- fill t.ffree;
+  Array.fill t.shadow_used 0 (Array.length t.shadow_used) false
+
+let create (p : Params.t) =
+  let t =
+    { imap = Array.make Isa.Reg.count 0;
+      fmap = Array.make Isa.Reg.count 0;
+      ifree = Array.make (Params.rename_int_budget p) 0;
+      ifree_top = 0;
+      ffree = Array.make (Params.rename_fp_budget p) 0;
+      ffree_top = 0;
+      ishadow =
+        Array.init p.Params.max_spec_branches (fun _ ->
+            Array.make Isa.Reg.count 0);
+      fshadow =
+        Array.init p.Params.max_spec_branches (fun _ ->
+            Array.make Isa.Reg.count 0);
+      shadow_used = Array.make p.Params.max_spec_branches false }
+  in
+  reset t;
+  t
+
+let free_int t = t.ifree_top
+let free_fp t = t.ffree_top
+
+(* Allocates a physical register for [e]'s destination (if any), recording
+   the allocation and the displaced mapping on the entry. *)
+let alloc t (e : Pipeline.entry) =
+  match e.Pipeline.dst with
+  | None -> ()
+  | Some (Isa.Instr.Dint r) ->
+    if t.ifree_top = 0 then invalid_arg "Rename.alloc: int freelist empty";
+    t.ifree_top <- t.ifree_top - 1;
+    let p = t.ifree.(t.ifree_top) in
+    e.Pipeline.old_phys <- t.imap.(r);
+    e.Pipeline.new_phys <- p;
+    t.imap.(r) <- p
+  | Some (Isa.Instr.Dfloat r) ->
+    if t.ffree_top = 0 then invalid_arg "Rename.alloc: fp freelist empty";
+    t.ffree_top <- t.ffree_top - 1;
+    let p = t.ffree.(t.ffree_top) in
+    e.Pipeline.old_phys <- t.fmap.(r);
+    e.Pipeline.new_phys <- p;
+    t.fmap.(r) <- p
+
+(* Checkpoints the speculative maps into a free shadow slot for a
+   conditional branch being renamed. The fetch stage admits at most
+   [max_spec_branches] unresolved conditionals, so a slot is always
+   available. *)
+let save_shadow t (e : Pipeline.entry) =
+  let slot = ref (-1) in
+  (try
+     for s = 0 to Array.length t.shadow_used - 1 do
+       if not t.shadow_used.(s) then begin
+         slot := s;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !slot < 0 then invalid_arg "Rename.save_shadow: no free shadow slot";
+  t.shadow_used.(!slot) <- true;
+  Array.blit t.imap 0 t.ishadow.(!slot) 0 Isa.Reg.count;
+  Array.blit t.fmap 0 t.fshadow.(!slot) 0 Isa.Reg.count;
+  e.Pipeline.shadow_slot <- !slot
+
+(* Releases a branch's shadow slot once it resolves (or is squashed). *)
+let release_shadow t (e : Pipeline.entry) =
+  if e.Pipeline.shadow_slot >= 0 then begin
+    t.shadow_used.(e.Pipeline.shadow_slot) <- false;
+    e.Pipeline.shadow_slot <- -1
+  end
+
+let free_entry t (e : Pipeline.entry) phys =
+  match e.Pipeline.dst with
+  | None -> ()
+  | Some (Isa.Instr.Dint _) ->
+    t.ifree.(t.ifree_top) <- phys;
+    t.ifree_top <- t.ifree_top + 1
+  | Some (Isa.Instr.Dfloat _) ->
+    t.ffree.(t.ffree_top) <- phys;
+    t.ffree_top <- t.ffree_top + 1
+
+(* Retirement commits [e]'s rename: the previous mapping of its
+   destination can no longer be referenced and returns to the freelist. *)
+let retire t (e : Pipeline.entry) =
+  if e.Pipeline.new_phys >= 0 then free_entry t e e.Pipeline.old_phys
+
+(* Misprediction rollback for branch [e]: every entry at index >= [keep]
+   is about to be squashed — return their allocations to the freelist
+   (youngest first, the canonical undo order) and release any shadow
+   slots held by squashed branches — then restore the maps from [e]'s
+   checkpoint. The caller truncates the iQ afterwards. *)
+let rollback t iq ~keep (e : Pipeline.entry) =
+  for i = Pipeline.length iq - 1 downto keep do
+    let s = Pipeline.get iq i in
+    if s.Pipeline.new_phys >= 0 then begin
+      free_entry t s s.Pipeline.new_phys;
+      s.Pipeline.new_phys <- -1;
+      s.Pipeline.old_phys <- -1
+    end;
+    release_shadow t s
+  done;
+  let slot = e.Pipeline.shadow_slot in
+  if slot < 0 then invalid_arg "Rename.rollback: branch has no shadow";
+  Array.blit t.ishadow.(slot) 0 t.imap 0 Isa.Reg.count;
+  Array.blit t.fshadow.(slot) 0 t.fmap 0 Isa.Reg.count
+
+let is_cond (e : Pipeline.entry) =
+  match Isa.Instr.control e.Pipeline.insn with
+  | Isa.Instr.Ctl_cond -> true
+  | _ -> false
+
+(* Reconstructs rename state for a snapshot-decoded iQ: re-performs the
+   in-order decode-time effects (allocation per decoded destination, a
+   shadow checkpoint per decoded unresolved conditional branch) on a
+   freshly reset state. Decode is in-order, so the decoded entries form a
+   prefix of the iQ and oldest-to-youngest replay is exactly the original
+   allocation order; physical identities come out canonical rather than
+   historical, which is invisible to timing. *)
+let rebuild t iq =
+  reset t;
+  Pipeline.iteri
+    (fun _ e ->
+      e.Pipeline.new_phys <- -1;
+      e.Pipeline.old_phys <- -1;
+      e.Pipeline.shadow_slot <- -1;
+      if e.Pipeline.st <> Pipeline.st_fetched then begin
+        alloc t e;
+        if is_cond e && e.Pipeline.st <> Pipeline.st_done then
+          save_shadow t e
+      end)
+    iq

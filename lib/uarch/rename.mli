@@ -1,0 +1,62 @@
+(** The explicit register-rename stage.
+
+    An R10000-style renamer: one speculative architectural-to-physical map
+    per register class, a bounded freelist sized by
+    {!Params.rename_int_budget}/{!Params.rename_fp_budget}, and up to
+    [max_spec_branches] shadow-map checkpoints, one per in-flight renamed
+    conditional branch, restored wholesale on misprediction rollback.
+
+    Lifecycle, driven by {!Detailed}:
+    - decode allocates ({!alloc}) for each renamed destination and
+      checkpoints ({!save_shadow}) at each conditional branch;
+    - retirement frees the displaced previous mapping ({!retire});
+    - branch resolution releases the checkpoint ({!release_shadow}),
+      after restoring it ({!rollback}) when the branch mispredicted.
+
+    Determinism: simulator timing depends only on the freelist
+    occupancies {!free_int}/{!free_fp}, which are pure functions of the
+    iQ contents. Physical-register identities are never observable, so
+    {!rebuild} can reconstruct an equivalent state from a
+    snapshot-decoded iQ (allocating in canonical order) without breaking
+    the configuration-determinism contract memoization rests on. *)
+
+type t
+
+val create : Params.t -> t
+(** Empty-pipeline state: identity maps, full freelists, no shadows. *)
+
+val reset : t -> unit
+
+val free_int : t -> int
+(** Free integer physical registers; decode stalls when an instruction
+    needs more than are available. *)
+
+val free_fp : t -> int
+
+val alloc : t -> Pipeline.entry -> unit
+(** Allocates a physical register for the entry's destination (no-op when
+    it has none), sets the entry's [new_phys]/[old_phys], and updates the
+    speculative map. Raises [Invalid_argument] when the freelist is empty
+    — callers must check {!free_int}/{!free_fp} first. *)
+
+val save_shadow : t -> Pipeline.entry -> unit
+(** Checkpoints the speculative maps for a conditional branch being
+    renamed, recording the slot in the entry's [shadow_slot]. *)
+
+val release_shadow : t -> Pipeline.entry -> unit
+(** Frees the entry's shadow slot, if it holds one. *)
+
+val retire : t -> Pipeline.entry -> unit
+(** Returns the entry's displaced previous mapping to the freelist. *)
+
+val rollback : t -> Pipeline.t -> keep:int -> Pipeline.entry -> unit
+(** [rollback t iq ~keep branch]: undoes the rename effects of every
+    entry at index [>= keep] (all about to be squashed) — freeing their
+    allocations and shadow slots — and restores the maps from [branch]'s
+    checkpoint. Call {e before} truncating the iQ; the branch's own slot
+    stays live until {!release_shadow}. *)
+
+val rebuild : t -> Pipeline.t -> unit
+(** Reconstructs the state implied by a snapshot-decoded iQ by replaying
+    decode-time effects oldest to youngest on a {!reset} state. Also
+    (re)initialises the per-entry rename fields. *)

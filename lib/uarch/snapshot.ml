@@ -62,11 +62,13 @@ module Arena = struct
     end
 end
 
-let encode_into (a : Arena.t) ~fetch iq =
+let encode_into ?(limit = 255) (a : Arena.t) ~fetch iq =
+  let limit = min limit 255 in
   let n = Pipeline.length iq in
-  if n > 255 then
+  if n > limit then
     invalid_arg
-      (Printf.sprintf "Snapshot.encode: iQ has %d entries (max 255)" n);
+      (Printf.sprintf
+         "Snapshot.encode: iQ has %d entries (configured limit %d)" n limit);
   let n_ind = ref 0 in
   Pipeline.iteri (fun _ e -> if e.Pipeline.ind_target >= 0 then incr n_ind) iq;
   let size = header_size + (4 * n) + (4 * !n_ind) in
@@ -102,9 +104,9 @@ let encode_into (a : Arena.t) ~fetch iq =
   a.Arena.len <- size;
   a.Arena.hash <- hash_sub b size
 
-let encode ~fetch iq =
+let encode ?limit ~fetch iq =
   let a = Arena.create () in
-  encode_into a ~fetch iq;
+  encode_into ?limit a ~fetch iq;
   Arena.key a
 
 let entry_count (k : key) = Char.code k.[5]

@@ -38,13 +38,17 @@ module Arena : sig
   (** Materialises the key string (allocates). *)
 end
 
-val encode_into : Arena.t -> fetch:Pipeline.fetch_state -> Pipeline.t -> unit
+val encode_into :
+  ?limit:int -> Arena.t -> fetch:Pipeline.fetch_state -> Pipeline.t -> unit
 (** Encodes into the arena's scratch buffer (growing it if needed),
     computing the configuration hash in the same pass. Raises
-    [Invalid_argument] — before writing anything — if the iQ holds more
-    than 255 entries (the entry count is stored in one byte). *)
+    [Invalid_argument] — before writing anything, naming the configured
+    limit — if the iQ holds more than [limit] entries. [limit] defaults
+    to, and is clamped at, {!Params.snapshot_entry_limit} (255): the
+    entry count is stored in one byte. {!Detailed} passes its
+    params-derived active-list size. *)
 
-val encode : fetch:Pipeline.fetch_state -> Pipeline.t -> key
+val encode : ?limit:int -> fetch:Pipeline.fetch_state -> Pipeline.t -> key
 (** [encode_into] a fresh arena; convenience for cold paths and tests. *)
 
 val hash_key : key -> int

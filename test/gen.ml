@@ -239,14 +239,35 @@ let random_predictor st =
 let random_params st =
   let p = Uarch.Params.default in
   let w = 1 lsl Random.State.int st 3 in
+  let fu_latency =
+    let a = Array.copy p.Uarch.Params.fu_latency in
+    for _ = 1 to Random.State.int st 3 do
+      a.(Random.State.int st (Array.length a)) <- 1 + Random.State.int st 40
+    done;
+    a
+  in
+  let issue_ports =
+    let a = Array.copy p.Uarch.Params.issue_ports in
+    for _ = 1 to Random.State.int st 3 do
+      a.(Random.State.int st (Array.length a)) <-
+        (match Random.State.int st 3 with
+         | 0 -> Uarch.Params.P_int
+         | 1 -> Uarch.Params.P_fp
+         | _ -> Uarch.Params.P_mem)
+    done;
+    a
+  in
   { p with
     Uarch.Params.fetch_width = w;
     decode_width = w;
+    issue_width = Random.State.int st 5;
     retire_width = w;
     int_units = 1 + Random.State.int st 4;
     fp_units = 1 + Random.State.int st 4;
     active_list = 16 lsl Random.State.int st 3;
     int_queue = 8 lsl Random.State.int st 3;
+    fu_latency;
+    issue_ports;
     phys_int_regs = 48 + 16 * Random.State.int st 4 }
 
 let random_cache_config st =

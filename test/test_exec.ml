@@ -36,12 +36,12 @@ let spec_roundtrip_prop =
       let spec = Gen.random_spec st in
       let json = Spec.to_json spec in
       let reparsed = J.of_string (J.to_string json) in
-      reparsed = json && Spec.of_json reparsed = spec)
+      reparsed = json && Spec.of_json_result reparsed = Ok spec)
 
 let test_spec_of_json_rejects_unknown () =
-  (match Spec.of_json (J.of_string {|{"politics": "unbounded"}|}) with
-   | _ -> Alcotest.fail "expected Failure on unknown key"
-   | exception Failure _ -> ());
+  (match Spec.of_json_result (J.of_string {|{"politics": "unbounded"}|}) with
+   | Ok _ -> Alcotest.fail "expected Error on unknown key"
+   | Error _ -> ());
   match Spec.policy_of_string "flush" with
   | Ok _ -> Alcotest.fail "expected Error"
   | Error _ -> ()
@@ -83,6 +83,61 @@ let test_spec_of_json_result () =
   match Spec.of_json_result (Spec.to_json Spec.default) with
   | Ok s -> Alcotest.(check bool) "well-formed spec decodes" true (s = Spec.default)
   | Error m -> Alcotest.failf "default spec rejected: %s" m
+
+(* v1 wire-format compatibility: documents written before the versioned
+   format (no "version" field, no issue_width / fu_latency / issue_ports)
+   must keep decoding, and must mean the same machine they meant when
+   written. The corpus under test/fixtures/spec_v1/ is frozen: new fields
+   get new fixtures, existing files never change. *)
+let test_spec_v1_fixtures () =
+  let dir = "fixtures/spec_v1" in
+  let files = List.sort compare (Array.to_list (Sys.readdir dir)) in
+  Alcotest.(check bool) "fixture corpus present" true (files <> []);
+  let decode f =
+    match Spec.of_json_result (J.of_file (Filename.concat dir f)) with
+    | Ok spec -> spec
+    | Error m -> Alcotest.failf "%s: %s" f m
+  in
+  List.iter
+    (fun f ->
+      let spec = decode f in
+      (* the canonical (v2) re-encoding decodes back to the same spec *)
+      match Spec.of_json_result (Spec.to_json spec) with
+      | Ok spec' ->
+        Alcotest.(check bool) (f ^ ": canonicalisation stable") true
+          (spec = spec')
+      | Error m -> Alcotest.failf "%s: re-encode rejected: %s" f m)
+    files;
+  (* spot-check decoded meaning against the values frozen in the files *)
+  Alcotest.(check bool) "full.json spells out the default machine" true
+    (decode "full.json" = Spec.default);
+  Alcotest.(check bool) "empty.json is the default spec" true
+    (decode "empty.json" = Spec.default);
+  let partial = decode "partial-params.json" in
+  Alcotest.(check int) "partial fetch_width" 2
+    partial.Spec.params.Uarch.Params.fetch_width;
+  Alcotest.(check int) "partial active_list" 16
+    partial.Spec.params.Uarch.Params.active_list;
+  Alcotest.(check int) "partial leaves decode_width alone"
+    Uarch.Params.default.Uarch.Params.decode_width
+    partial.Spec.params.Uarch.Params.decode_width;
+  let pp = decode "policy-predictor.json" in
+  Alcotest.(check bool) "predictor taken" true
+    (pp.Spec.predictor = Fastsim.Sim.Taken);
+  Alcotest.(check bool) "generational policy" true
+    (pp.Spec.policy
+    = Memo.Pcache.Generational_gc { nursery = 4096; total = 16384 });
+  Alcotest.(check int) "max_cycles" 2_000_000 pp.Spec.max_cycles;
+  let ev = decode "explicit-version.json" in
+  Alcotest.(check int) "explicit v1 phys_int_regs" 48
+    ev.Spec.params.Uarch.Params.phys_int_regs;
+  (* and a document from the future is refused, naming the version *)
+  match Spec.of_json_result (J.of_string {|{"version": 99}|}) with
+  | Ok _ -> Alcotest.fail "future version accepted"
+  | Error m ->
+    Alcotest.(check bool) "error names $.version" true
+      (String.length m >= 9
+      && String.sub m (String.length "spec: ") 9 = "$.version")
 
 (* result_to_json / result_of_json: full fidelity both with and without
    the fast-engine-only sections. *)
@@ -401,6 +456,8 @@ let suite =
   [ QCheck_alcotest.to_alcotest spec_roundtrip_prop;
     Alcotest.test_case "Spec.of_json rejects unknown keys" `Quick
       test_spec_of_json_rejects_unknown;
+    Alcotest.test_case "v1 spec fixtures stay decodable" `Quick
+      test_spec_v1_fixtures;
     Alcotest.test_case "Result-form decoders and duplicate keys" `Quick
       test_spec_of_json_result;
     Alcotest.test_case "Sim.result JSON round-trip" `Quick

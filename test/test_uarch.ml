@@ -3,6 +3,11 @@
 
 let check = Alcotest.check
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+  scan 0
+
 (* A recording oracle over live components; replays verbatim from a log. *)
 type logged =
   | L_load of int
@@ -176,13 +181,95 @@ let test_cycles_exceed_ipc_bound () =
   check Alcotest.bool "IPC <= 4" true (retired <= 4 * cycles)
 
 let test_params_validation () =
+  (match
+     Uarch.Detailed.create
+       ~params:{ Uarch.Params.default with fetch_width = 0 }
+       demo_prog
+   with
+   | _ -> Alcotest.fail "expected Invalid_argument"
+   | exception Invalid_argument _ -> ());
+  (* an active list beyond the one-byte snapshot entry limit is rejected
+     up front, not at the first full-pipeline snapshot *)
+  (match
+     Uarch.Detailed.create
+       ~params:{ Uarch.Params.default with active_list = 300 }
+       demo_prog
+   with
+   | _ -> Alcotest.fail "expected Invalid_argument for active_list 300"
+   | exception Invalid_argument m ->
+     check Alcotest.bool "message names the limit" true
+       (contains m "snapshot entry limit"));
+  (* zero-latency functional units are rejected by name *)
+  let lat = Array.copy Uarch.Params.default.Uarch.Params.fu_latency in
+  lat.(Isa.Instr.fu_index Isa.Instr.Fu_mem) <- 0;
   match
     Uarch.Detailed.create
-      ~params:{ Uarch.Params.default with fetch_width = 0 }
+      ~params:{ Uarch.Params.default with fu_latency = lat }
       demo_prog
   with
+  | _ -> Alcotest.fail "expected Invalid_argument for zero latency"
+  | exception Invalid_argument m ->
+    check Alcotest.bool "message names the class" true (contains m "mem")
+
+(* Snapshot.encode enforces the configured (params-derived) entry limit,
+   naming that limit — not a hard-coded 255 — in the error. *)
+let test_snapshot_entry_limit () =
+  let snaps, _, _, _ = run_detailed demo_prog in
+  let fullest =
+    List.fold_left
+      (fun best k ->
+        if Uarch.Snapshot.entry_count k > Uarch.Snapshot.entry_count best
+        then k
+        else best)
+      (List.hd snaps) snaps
+  in
+  let n = Uarch.Snapshot.entry_count fullest in
+  check Alcotest.bool "run filled the pipeline" true (n >= 2);
+  let fetch, iq = Uarch.Snapshot.decode demo_prog ~capacity:32 fullest in
+  (* the same iQ re-encodes fine at its own size... *)
+  check Alcotest.string "re-encode at own size" fullest
+    (Uarch.Snapshot.encode ~limit:n ~fetch iq);
+  (* ...and is rejected under a tighter configured limit *)
+  match Uarch.Snapshot.encode ~limit:(n - 1) ~fetch iq with
   | _ -> Alcotest.fail "expected Invalid_argument"
-  | exception Invalid_argument _ -> ()
+  | exception Invalid_argument m ->
+    check Alcotest.bool "message names the configured limit" true
+      (contains m (Printf.sprintf "configured limit %d" (n - 1)))
+
+(* The rename stage is a pure function of the iQ: restoring from any
+   mid-run snapshot rebuilds freelists with exactly the occupancy the
+   live simulator had, under a starved PRF where it matters most. *)
+let test_rename_rebuilt_on_restore () =
+  let params =
+    { Uarch.Params.default with
+      Uarch.Params.phys_int_regs = 40;
+      phys_fp_regs = 40 }
+  in
+  let int_budget = 40 - Isa.Reg.count and fp_budget = 40 - Isa.Reg.count in
+  let oracle, _ = live_logging_oracle demo_prog in
+  let uarch = Uarch.Detailed.create ~params demo_prog in
+  let cycle = ref 0 and checked = ref 0 in
+  while not (Uarch.Detailed.halted uarch) do
+    ignore (Uarch.Detailed.step_cycle uarch ~now:!cycle oracle
+            : Uarch.Detailed.cycle_result);
+    incr cycle;
+    let free_i, free_f = Uarch.Detailed.free_phys uarch in
+    check Alcotest.bool "int freelist within budget" true
+      (free_i >= 0 && free_i <= int_budget);
+    check Alcotest.bool "fp freelist within budget" true
+      (free_f >= 0 && free_f <= fp_budget);
+    if !cycle mod 37 = 0 then begin
+      let key = Uarch.Detailed.snapshot uarch in
+      let uarch' = Uarch.Detailed.restore ~params demo_prog key in
+      check
+        Alcotest.(pair int int)
+        "restore rebuilds identical freelists" (free_i, free_f)
+        (Uarch.Detailed.free_phys uarch');
+      incr checked
+    end;
+    if !cycle > 1_000_000 then Alcotest.fail "runaway simulation"
+  done;
+  check Alcotest.bool "exercised some restores" true (!checked > 0)
 
 let test_dump_smoke () =
   let uarch = Uarch.Detailed.create demo_prog in
@@ -236,6 +323,10 @@ let suite =
     Alcotest.test_case "retire bound" `Quick test_retire_bound;
     Alcotest.test_case "IPC bound" `Quick test_cycles_exceed_ipc_bound;
     Alcotest.test_case "params validation" `Quick test_params_validation;
+    Alcotest.test_case "snapshot entry limit is configured" `Quick
+      test_snapshot_entry_limit;
+    Alcotest.test_case "rename state rebuilt on restore" `Quick
+      test_rename_rebuilt_on_restore;
     Alcotest.test_case "dump smoke" `Quick test_dump_smoke;
     QCheck_alcotest.to_alcotest snapshot_roundtrip_prop;
     Alcotest.test_case "observer hook" `Quick test_observer_hook ]

@@ -23,6 +23,9 @@ let min_measure = ref 0.25
 (* filled by the hotpath section; lands in the JSON artifact *)
 let hotpath_stats : (string * float) list ref = ref []
 
+(* filled by the loadtest section; lands in the JSON artifact *)
+let loadtest_reports : (string * Fastsim_obs.Json.t) list ref = ref []
+
 let add_section s () = sections := s :: !sections
 
 let speclist =
@@ -48,6 +51,10 @@ let speclist =
     ( "--hotpath",
       Arg.Unit (add_section "hotpath"),
       " hot-path throughput: encode+lookup ops/s, replay groups/s" );
+    ( "--loadtest",
+      Arg.Unit (add_section "loadtest"),
+      " daemon under concurrent load: fleet vs fork, cold vs warm \
+       (req/s, p50/p99)" );
     ( "--require-speedup",
       Arg.Set_float require_speedup,
       "X exit 1 if any workload's fast-vs-slow speedup is below X (CI \
@@ -562,6 +569,8 @@ let write_json path =
           match !hotpath_stats with
           | [] -> Null
           | stats -> Obj (List.map (fun (k, v) -> (k, Float v)) stats) );
+        ( "loadtest",
+          match !loadtest_reports with [] -> Null | l -> Obj l );
         ("workloads", List (List.map row_json rows)) ]
   in
   let oc = open_out path in
@@ -722,6 +731,50 @@ let hotpath () =
       ("string_intern_ops_per_sec", string_intern);
       ("replay_groups_per_sec", replay_rate) ]
 
+(* ---------------------------------------------------------------- *)
+(* Daemon under load: the fleet backend against the fork-per-request
+   baseline, cold registry vs warm, at high client concurrency. The
+   interesting ratios are warm-vs-cold (memoization through the wire)
+   and fleet-vs-fork (persistent shard workers vs per-request forks). *)
+
+let loadtest () =
+  header
+    "Loadtest: daemon throughput/latency under concurrent clients (fleet \
+     vs fork, cold vs warm)";
+  let clients = if !quick then 24 else 100 in
+  let requests = 2 in
+  let jobs = 4 in
+  let print_phase tag (p : Fastsim_serve.Loadtest.phase) =
+    Printf.printf
+      "  %-6s %5d req in %6.2fs  %8.1f req/s  p50 %8.1fms  p99 %8.1fms  \
+       (%d warm, %d errors)\n"
+      tag p.Fastsim_serve.Loadtest.ph_requests p.ph_wall_s p.ph_rps
+      p.ph_p50_ms p.ph_p99_ms p.ph_warm_hits p.ph_errors
+  in
+  List.iter
+    (fun (label, backend) ->
+      let cfg =
+        { Fastsim_serve.Loadtest.default with
+          Fastsim_serve.Loadtest.backend;
+          jobs;
+          clients;
+          requests_per_client = requests }
+      in
+      match Fastsim_serve.Loadtest.run cfg with
+      | Error m -> Printf.printf "%-8s FAILED: %s\n" label m
+      | Ok r ->
+        Printf.printf "%s (%d clients, %d jobs):\n" label clients jobs;
+        print_phase "cold" r.Fastsim_serve.Loadtest.lt_cold;
+        print_phase "warm" r.Fastsim_serve.Loadtest.lt_warm;
+        if r.Fastsim_serve.Loadtest.lt_divergent > 0 then
+          Printf.printf "  DIVERGENCE: %d workload(s) disagreed with \
+                         direct runs\n"
+            r.Fastsim_serve.Loadtest.lt_divergent;
+        loadtest_reports :=
+          !loadtest_reports
+          @ [ (label, Fastsim_serve.Loadtest.report_to_json r) ])
+    [ ("fleet", `Fleet); ("fork", `Fork) ]
+
 (* The CI gate: with --require-speedup X, any workload whose fast-vs-slow
    speedup falls below X fails the run (after the JSON artifact is
    written, so the evidence is always archived). *)
@@ -765,11 +818,14 @@ let () =
   if wanted "ablation-inputs" then ablation_inputs ();
   if wanted "micro" then micro ();
   if wanted "hotpath" then hotpath ();
+  if List.mem "loadtest" !sections then loadtest ();
   let failures = speedup_failures () in
   (* Only when the shared rows were actually measured: a --micro-only or
      --table 1 invocation should not trigger the full suite. *)
-  if !json_out <> "" && (Lazy.is_val rows || !hotpath_stats <> []) then
-    write_json !json_out;
+  if
+    !json_out <> ""
+    && (Lazy.is_val rows || !hotpath_stats <> [] || !loadtest_reports <> [])
+  then write_json !json_out;
   if failures <> [] then begin
     List.iter
       (fun r ->

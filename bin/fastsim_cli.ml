@@ -1014,8 +1014,14 @@ let address_arg =
            Unix-domain socket, $(b,tcp:)$(i,HOST):$(i,PORT) for loopback \
            TCP.")
 
+let backend_enum =
+  [ ("fleet", (`Fleet, `Process));
+    ("fleet-domains", (`Fleet, `Domain));
+    ("fork", (`Fork, `Process));
+    ("inline", (`Inline, `Process)) ]
+
 let serve_cmd =
-  let serve address jobs queue_max timeout_s budget inline scratch
+  let serve address backend jobs queue_max timeout_s budget inline scratch
       allow_fault quiet log_level log_out slow_trace trace_dir =
     let level_or k =
       match log_level with
@@ -1036,9 +1042,11 @@ let serve_cmd =
           else Fastsim_obs.Log.to_channel ~level stderr
       in
       let cfg = Fastsim_serve.Server.default_config address in
+      let be, transport = if inline then (`Inline, `Process) else backend in
       let cfg =
         { cfg with
-          Fastsim_serve.Server.backend = (if inline then `Inline else `Fork);
+          Fastsim_serve.Server.backend = be;
+          fleet_transport = transport;
           jobs;
           queue_max;
           timeout_s;
@@ -1058,10 +1066,23 @@ let serve_cmd =
               (Unix.error_message e);
             1)
   in
+  let backend_arg =
+    Arg.(
+      value
+      & opt (enum backend_enum) (`Fleet, `Process)
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "Dispatch backend: $(b,fleet) (default; persistent shard \
+             workers with digest-affinity warm caches), \
+             $(b,fleet-domains) (same, on OCaml 5 domains — no crash \
+             isolation or timeouts), $(b,fork) (one worker process per \
+             run), or $(b,inline) (in-process, tests only).")
+  in
   let jobs_arg =
     Arg.(
       value & opt int 2
-      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Concurrent worker processes.")
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Shard workers (fleet) / concurrent worker processes (fork).")
   in
   let queue_arg =
     Arg.(
@@ -1089,9 +1110,7 @@ let serve_cmd =
     Arg.(
       value & flag
       & info [ "inline" ]
-          ~doc:
-            "Run simulations inside the server process instead of forked \
-             workers (no parallelism or timeouts; mainly for tests).")
+          ~doc:"Deprecated alias for $(b,--backend inline).")
   in
   let scratch_arg =
     Arg.(
@@ -1156,9 +1175,10 @@ let serve_cmd =
               instead of re-simulating it. SIGTERM or a $(b,shutdown) \
               request drains gracefully." ])
     Term.(
-      const serve $ address_arg $ jobs_arg $ queue_arg $ timeout_arg
-      $ budget_arg $ inline_arg $ scratch_arg $ allow_fault_arg $ quiet_arg
-      $ log_level_arg $ log_out_arg $ slow_trace_arg $ trace_dir_arg)
+      const serve $ address_arg $ backend_arg $ jobs_arg $ queue_arg
+      $ timeout_arg $ budget_arg $ inline_arg $ scratch_arg $ allow_fault_arg
+      $ quiet_arg $ log_level_arg $ log_out_arg $ slow_trace_arg
+      $ trace_dir_arg)
 
 let client_retries_arg =
   Arg.(
@@ -1450,10 +1470,140 @@ let client_cmd =
     [ client_run_cmd; client_stats_cmd; client_metrics_cmd;
       client_trace_cmd; top_cmd; client_ping_cmd; client_shutdown_cmd ]
 
+let loadtest_cmd =
+  let loadtest backend jobs clients requests workloads scale budget json
+      quiet =
+    let be, transport = backend in
+    let cfg =
+      { Fastsim_serve.Loadtest.default with
+        Fastsim_serve.Loadtest.backend = be;
+        transport;
+        jobs;
+        clients;
+        requests_per_client = requests;
+        workloads =
+          (match workloads with
+           | [] -> Fastsim_serve.Loadtest.default.Fastsim_serve.Loadtest.workloads
+           | l -> l);
+        scale;
+        registry_budget = budget }
+    in
+    let progress m = if not quiet then Printf.eprintf "loadtest: %s\n%!" m in
+    match Fastsim_serve.Loadtest.run ~progress cfg with
+    | Error m ->
+      Printf.eprintf "fastsim loadtest: %s\n" m;
+      1
+    | Ok r ->
+      let j = Fastsim_serve.Loadtest.report_to_json r in
+      (match json with
+       | None -> print_endline (Fastsim_obs.Json.to_string j)
+       | Some path ->
+         let oc = open_out path in
+         Fun.protect
+           ~finally:(fun () -> close_out oc)
+           (fun () ->
+             Fastsim_obs.Json.to_channel oc j;
+             output_char oc '\n');
+         if not quiet then
+           Printf.eprintf "loadtest: report written to %s\n%!" path);
+      if r.Fastsim_serve.Loadtest.lt_divergent > 0 then begin
+        Printf.eprintf
+          "fastsim loadtest: %d workload(s) diverged from direct runs\n"
+          r.Fastsim_serve.Loadtest.lt_divergent;
+        1
+      end
+      else if
+        r.Fastsim_serve.Loadtest.lt_cold.Fastsim_serve.Loadtest.ph_errors > 0
+        || r.Fastsim_serve.Loadtest.lt_warm.Fastsim_serve.Loadtest.ph_errors
+           > 0
+      then begin
+        Printf.eprintf "fastsim loadtest: request errors during the run\n";
+        1
+      end
+      else 0
+  in
+  let backend_arg =
+    Arg.(
+      value
+      & opt (enum backend_enum) (`Fleet, `Process)
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "Daemon backend under test: $(b,fleet) (default), \
+             $(b,fleet-domains), $(b,fork) or $(b,inline).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Daemon worker count.")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "clients"; "c" ] ~docv:"N"
+          ~doc:"Concurrent client connections.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "requests"; "n" ] ~docv:"N"
+          ~doc:"Requests per client per phase (cold and warm).")
+  in
+  let workloads_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "workloads"; "w" ] ~docv:"W,W,..."
+          ~doc:
+            "Workloads to request, assigned to clients round-robin \
+             (default li,compress,go).")
+  in
+  let scale_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "scale" ] ~docv:"N"
+          ~doc:"Workload scale (default: each workload's test scale).")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "registry-budget" ] ~docv:"BYTES"
+          ~doc:"Daemon warm-cache byte budget (exercises LRU spill).")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the report JSON to $(i,FILE) instead of stdout \
+             (progress always goes to stderr).")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No progress lines.")
+  in
+  Cmd.v
+    (Cmd.info "loadtest"
+       ~doc:"benchmark a daemon backend under concurrent load"
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Forks a private daemon, opens $(b,--clients) concurrent \
+              connections and drives two measured phases of \
+              $(b,--requests) fast-engine runs each: cold (fresh \
+              daemon), then warm (repeat requests against the warm \
+              p-action-cache registry). Reports req/s and latency \
+              percentiles per phase, and verifies every response is \
+              bit-identical to a direct in-process run with zero \
+              fast/slow cycle divergence (non-zero exits the command \
+              with status 1)." ])
+    Term.(
+      const loadtest $ backend_arg $ jobs_arg $ clients_arg $ requests_arg
+      $ workloads_arg $ scale_arg $ budget_arg $ json_arg $ quiet_arg)
+
 let () =
   let doc = "FastSim: out-of-order processor simulation with memoization" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "fastsim" ~doc)
           [ run_cmd; list_cmd; disasm_cmd; asm_cmd; trace_cmd; profile_cmd;
-            spec_cmd; sweep_cmd; fuzz_cmd; serve_cmd; client_cmd; top_cmd ]))
+            spec_cmd; sweep_cmd; fuzz_cmd; serve_cmd; client_cmd; top_cmd;
+            loadtest_cmd ]))

@@ -20,3 +20,31 @@ val run : jobs:int -> (unit -> unit) array -> unit
     share mutable state; each thunk is responsible for storing its own
     result and catching its own exceptions. On 4.14, thunks run
     sequentially in the calling process. *)
+
+type handle
+(** A spawned long-lived domain (the serve fleet's domain transport). *)
+
+val spawn : (unit -> unit) -> handle
+(** [Domain.spawn] on 5.x. Raises [Invalid_argument] on 4.14 — callers
+    must gate on {!available}. *)
+
+val join : handle -> unit
+
+(** A blocking multi-producer/multi-consumer queue for handing work to
+    spawned domains. On 5.x it is mutex+condition synchronised; on 4.14
+    it is a plain queue usable only within one thread of control
+    ({!Mailbox.take} on an empty mailbox raises there, since no other
+    domain could ever fill it). *)
+module Mailbox : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val put : 'a t -> 'a -> unit
+
+  val take_opt : 'a t -> 'a option
+  (** Non-blocking. *)
+
+  val take : 'a t -> 'a
+  (** Blocks until a value arrives (5.x). On 4.14, raises
+      [Invalid_argument] when empty instead of deadlocking. *)
+end

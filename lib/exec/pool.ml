@@ -266,6 +266,225 @@ module Async = struct
       wait ()
 end
 
+(* ---------------------------------------------------------------- *)
+(* Persistent workers: long-lived forked children that serve many
+   requests over a pipe pair instead of paying one fork per task. The
+   serve fleet ([Fastsim_serve.Fleet]) keeps one per registry shard so
+   warm in-memory state survives across requests. Protocol: the parent
+   marshals one ['req] at a time (a worker holds at most one in-flight
+   request), the child replies with a marshalled [('resp, string)
+   result]; closing the request pipe is the graceful-shutdown signal
+   (the child exits 0 on EOF). *)
+
+module Worker = struct
+  type ('req, 'resp) t = {
+    w_pid : int;
+    w_tag : string;
+    w_req_fd : Unix.file_descr;
+    w_resp_fd : Unix.file_descr;
+    w_buf : Buffer.t;
+    w_chunk : Bytes.t;
+    mutable w_busy : bool;
+    mutable w_submitted : float;
+    mutable w_killed : bool;
+    mutable w_dead : bool;
+    mutable w_req_closed : bool;
+  }
+
+  let child_loop handler req_fd resp_fd =
+    let ic = Unix.in_channel_of_descr req_fd in
+    let oc = Unix.out_channel_of_descr resp_fd in
+    (* The handler thunk runs once per worker lifetime, so a respawned
+       worker starts from fresh state; a raising request only poisons
+       its own reply, never the worker. *)
+    let f = try handler () with _ -> Unix._exit 3 in
+    let rec loop () =
+      match (Marshal.from_channel ic : 'req) with
+      | exception (End_of_file | Sys_error _ | Failure _) -> Unix._exit 0
+      | req ->
+        let resp : ('resp, string) result =
+          match f req with
+          | v -> Ok v
+          | exception e -> Error (Printexc.to_string e)
+        in
+        (try
+           Marshal.to_channel oc resp [ Marshal.Closures ];
+           flush oc
+         with _ -> Unix._exit 0 (* parent is gone *));
+        loop ()
+    in
+    loop ()
+
+  let spawn ?spans ~tag (handler : unit -> 'req -> 'resp) : ('req, 'resp) t =
+    let req_r, req_w = Unix.pipe () in
+    let resp_r, resp_w = Unix.pipe () in
+    let fork_start = Fastsim_obs.Span.now_us () in
+    (* Flush so the child does not replay the parent's buffered output. *)
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      Unix.close req_w;
+      Unix.close resp_r;
+      child_loop handler req_r resp_w
+    | pid ->
+      Unix.close req_r;
+      Unix.close resp_w;
+      Unix.set_nonblock resp_r;
+      (match spans with
+       | Some c ->
+         Fastsim_obs.Span.record c ~name:"pool.fork" ~cat:"pool"
+           ~args:
+             [ ("tag", Fastsim_obs.Json.Str tag);
+               ("pid", Fastsim_obs.Json.Int pid) ]
+           ~start_us:fork_start ~end_us:(Fastsim_obs.Span.now_us ()) ()
+       | None -> ());
+      let log = Fastsim_obs.Log.default () in
+      if Fastsim_obs.Log.enabled log Fastsim_obs.Log.Debug then
+        Fastsim_obs.Log.debug log ~event:"pool.spawn"
+          [ ("tag", Fastsim_obs.Json.Str tag);
+            ("pid", Fastsim_obs.Json.Int pid);
+            ("persistent", Fastsim_obs.Json.Bool true) ];
+      { w_pid = pid; w_tag = tag; w_req_fd = req_w; w_resp_fd = resp_r;
+        w_buf = Buffer.create 4096; w_chunk = Bytes.create 65536;
+        w_busy = false; w_submitted = 0.; w_killed = false; w_dead = false;
+        w_req_closed = false }
+
+  let pid t = t.w_pid
+  let tag t = t.w_tag
+  let fd t = t.w_resp_fd
+  let busy t = t.w_busy
+  let alive t = not t.w_dead
+  let elapsed t = if t.w_busy then Unix.gettimeofday () -. t.w_submitted else 0.
+
+  let write_all fd b =
+    let len = Bytes.length b in
+    let pos = ref 0 in
+    while !pos < len do
+      match Unix.write fd b !pos (len - !pos) with
+      | n -> pos := !pos + n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+
+  let submit t req =
+    if t.w_dead || t.w_busy || t.w_req_closed then
+      invalid_arg "Pool.Worker.submit: worker dead or busy";
+    t.w_busy <- true;
+    t.w_submitted <- Unix.gettimeofday ();
+    (* The child sits in a blocking read between requests, so a large
+       request drains through the pipe without deadlock. EPIPE (child
+       died under us) is left for [poll] to discover as EOF, keeping
+       the caller's failure handling single-path. *)
+    try write_all t.w_req_fd (Marshal.to_bytes req [ Marshal.Closures ])
+    with Unix.Unix_error _ | Sys_error _ -> ()
+
+  let rec drain t =
+    match Unix.read t.w_resp_fd t.w_chunk 0 (Bytes.length t.w_chunk) with
+    | 0 -> `Eof
+    | n ->
+      Buffer.add_subbytes t.w_buf t.w_chunk 0 n;
+      drain t
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      `Blocked
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain t
+    | exception Unix.Unix_error _ -> `Eof
+
+  (* At most one reply can be buffered (one in-flight request), so the
+     buffer is cleared whole once a complete marshalled value arrives. *)
+  let parse_ready t : ('resp, string) result option =
+    let len = Buffer.length t.w_buf in
+    if len < Marshal.header_size then None
+    else begin
+      let b = Buffer.to_bytes t.w_buf in
+      let need = Marshal.header_size + Marshal.data_size b 0 in
+      if len < need then None
+      else begin
+        Buffer.clear t.w_buf;
+        match (Marshal.from_bytes b 0 : ('resp, string) result) with
+        | r -> Some r
+        | exception _ -> Some (Error "unmarshalable worker reply")
+      end
+    end
+
+  let rec reap_blocking t =
+    match Unix.waitpid [] t.w_pid with
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap_blocking t
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+
+  let poll t : 'resp outcome option =
+    if t.w_dead then None
+    else begin
+      let status = drain t in
+      match parse_ready t with
+      | Some (Ok v) ->
+        t.w_busy <- false;
+        Some (Done v)
+      | Some (Error msg) ->
+        (* The request raised but the worker caught it and lives on. *)
+        t.w_busy <- false;
+        Some (Crashed msg)
+      | None -> (
+        match status with
+        | `Blocked -> None
+        | `Eof ->
+          (* Child closed its pipe: it has exited or is about to. *)
+          t.w_dead <- true;
+          reap_blocking t;
+          let was_busy = t.w_busy in
+          t.w_busy <- false;
+          let log = Fastsim_obs.Log.default () in
+          if Fastsim_obs.Log.enabled log Fastsim_obs.Log.Debug then
+            Fastsim_obs.Log.debug log ~event:"pool.worker_exit"
+              [ ("tag", Fastsim_obs.Json.Str t.w_tag);
+                ("pid", Fastsim_obs.Json.Int t.w_pid);
+                ("killed", Fastsim_obs.Json.Bool t.w_killed) ];
+          if t.w_killed then Some Timed_out
+          else if was_busy then Some (Crashed "worker exited mid-request")
+          else None)
+    end
+
+  let kill t =
+    if not t.w_dead then begin
+      t.w_killed <- true;
+      let log = Fastsim_obs.Log.default () in
+      if Fastsim_obs.Log.enabled log Fastsim_obs.Log.Debug then
+        Fastsim_obs.Log.debug log ~event:"pool.kill"
+          [ ("pid", Fastsim_obs.Json.Int t.w_pid) ];
+      try Unix.kill t.w_pid Sys.sigkill with Unix.Unix_error _ -> ()
+    end
+
+  let close_req t =
+    if not t.w_req_closed then begin
+      t.w_req_closed <- true;
+      try Unix.close t.w_req_fd with Unix.Unix_error _ -> ()
+    end
+
+  let stop ?(grace_s = 1.0) t =
+    close_req t;
+    if not t.w_dead then begin
+      let deadline = Unix.gettimeofday () +. grace_s in
+      let rec wait () =
+        match Unix.waitpid [ Unix.WNOHANG ] t.w_pid with
+        | 0, _ ->
+          if Unix.gettimeofday () > deadline then begin
+            (try Unix.kill t.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+            reap_blocking t
+          end
+          else begin
+            Unix.sleepf 0.005;
+            wait ()
+          end
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+      in
+      wait ();
+      t.w_dead <- true
+    end;
+    try Unix.close t.w_resp_fd with Unix.Unix_error _ -> ()
+end
+
 let map_fork ?on_outcome ~jobs ~timeout_s ~retries ~scratch_dir f n =
   let results = Array.make n None in
   let pending = Queue.create () in

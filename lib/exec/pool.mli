@@ -100,3 +100,70 @@ module Async : sig
   val elapsed : 'a task -> float
   (** Seconds since {!spawn}. *)
 end
+
+(** Persistent workers: long-lived forked children serving many requests
+    over a pipe pair, instead of paying a fork (and, for the serve
+    daemon, a p-action-cache serialization round-trip) per task. The
+    serve fleet keeps one per registry shard so warm in-memory state
+    survives across requests.
+
+    Wire discipline: the parent marshals one ['req] at a time — a worker
+    holds at most one in-flight request — and the child replies with a
+    marshalled [('resp, string) result]. Values cross the process
+    boundary via [Marshal] with closure sharing enabled (both sides are
+    the same binary image), but plain closure-free data is still the
+    safe default. *)
+module Worker : sig
+  type ('req, 'resp) t
+
+  val spawn :
+    ?spans:Fastsim_obs.Span.collector ->
+    tag:string ->
+    (unit -> 'req -> 'resp) ->
+    ('req, 'resp) t
+  (** Forks a child that evaluates [handler ()] once (its chance to build
+      per-worker state — a respawned worker starts fresh) and then loops:
+      read a request, apply, reply. A request that raises is reported as
+      {!Crashed} for that request only; the worker stays alive. The child
+      exits 0 when the request pipe reaches EOF ({!stop}), 3 if the
+      handler thunk itself raises.
+
+      [spans] receives a ["pool.fork"] span as for {!Async.spawn}; a
+      ["pool.spawn"] debug event (with [persistent: true]) goes to
+      {!Fastsim_obs.Log.default}. *)
+
+  val submit : ('req, 'resp) t -> 'req -> unit
+  (** Sends the next request. Raises [Invalid_argument] if the worker is
+      dead, stopped, or already has a request in flight. If the child
+      died unnoticed, the failure surfaces on the next {!poll} (as with a
+      crash), not here. *)
+
+  val poll : ('req, 'resp) t -> 'resp outcome option
+  (** Drains the response pipe (non-blocking). [Some] settles the
+      in-flight request: [Done] on a reply, [Crashed] if the request
+      raised in the worker {e or} the worker died mid-request, and
+      [Timed_out] if the death followed {!kill}. After a worker-death
+      outcome, {!alive} is [false] and the caller must {!spawn} a
+      replacement. An idle worker's death is absorbed silently ([None] —
+      nothing was in flight). *)
+
+  val kill : ('req, 'resp) t -> unit
+  (** SIGKILL — for timeouts and orphaned-work cancellation. The next
+      {!poll} settles the in-flight request as {!Timed_out}. *)
+
+  val stop : ?grace_s:float -> ('req, 'resp) t -> unit
+  (** Graceful shutdown: closes the request pipe (EOF tells the child to
+      exit), waits up to [grace_s] (default 1s), then SIGKILLs; reaps
+      either way and closes the remaining descriptor. *)
+
+  val fd : ('req, 'resp) t -> Unix.file_descr
+  (** Response-pipe descriptor, for [select] in an event loop. *)
+
+  val pid : ('req, 'resp) t -> int
+  val tag : ('req, 'resp) t -> string
+  val busy : ('req, 'resp) t -> bool
+  val alive : ('req, 'resp) t -> bool
+
+  val elapsed : ('req, 'resp) t -> float
+  (** Seconds since the in-flight request was submitted; [0.] if idle. *)
+end

@@ -144,42 +144,100 @@ let save pc ~program oc =
 
 (* ---- reading ---- *)
 
-let read_string ic =
-  let n = input_binary_int ic in
-  if n < 0 || n > 1 lsl 24 then raise (Format_error "bad string length");
-  really_input_string ic n
+(* All loads go through one positional cursor over an in-memory source:
+   either the raw bytes of an mmap'd file ([load_file]) or a string (the
+   channel API, which slurps its input once). Compared with the old
+   [in_channel] reader this removes the per-byte channel machinery from
+   the hot reload path and — for spilled registry shards — lets the
+   kernel page the file in lazily instead of copying it through stdio
+   buffers: the only per-node copies left are the interned [cfg_key]
+   strings themselves. *)
 
-let read_bool ic =
-  match input_char ic with
+type mapped =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type src = S_string of string | S_map of mapped
+
+type reader = { src : src; len : int; mutable pos : int }
+
+let reader_of_string s =
+  { src = S_string s; len = String.length s; pos = 0 }
+
+let truncated () = raise (Format_error "truncated p-action cache stream")
+
+let read_char r =
+  if r.pos >= r.len then truncated ();
+  let c =
+    match r.src with
+    | S_string s -> String.unsafe_get s r.pos
+    | S_map m -> Bigarray.Array1.unsafe_get m r.pos
+  in
+  r.pos <- r.pos + 1;
+  c
+
+let take_string r n =
+  if n < 0 || r.len - r.pos < n then truncated ();
+  let s =
+    match r.src with
+    | S_string s -> String.sub s r.pos n
+    | S_map m ->
+      let pos = r.pos in
+      String.init n (fun i -> Bigarray.Array1.unsafe_get m (pos + i))
+  in
+  r.pos <- r.pos + n;
+  s
+
+(* Big-endian 32-bit, sign-extended: the same value [input_binary_int]
+   would have produced, so the existing [< 0] sanity checks keep
+   rejecting corrupt high-bit counts. *)
+let read_int r =
+  if r.len - r.pos < 4 then truncated ();
+  let b i =
+    Char.code
+      (match r.src with
+       | S_string s -> String.unsafe_get s (r.pos + i)
+       | S_map m -> Bigarray.Array1.unsafe_get m (r.pos + i))
+  in
+  let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  r.pos <- r.pos + 4;
+  (v lxor 0x80000000) - 0x80000000
+
+let read_string r =
+  let n = read_int r in
+  if n < 0 || n > 1 lsl 24 then raise (Format_error "bad string length");
+  take_string r n
+
+let read_bool r =
+  match read_char r with
   | '\000' -> false
   | '\001' -> true
   | _ -> raise (Format_error "bad boolean")
 
-let read_ctl ic : Action.ctl =
-  match input_char ic with
+let read_ctl r : Action.ctl =
+  match read_char r with
   | 'c' ->
-    let taken = read_bool ic in
-    let mispredicted = read_bool ic in
+    let taken = read_bool r in
+    let mispredicted = read_bool r in
     Uarch.Oracle.C_cond { taken; mispredicted }
   | 'i' ->
-    let target = input_binary_int ic in
-    let hit = read_bool ic in
+    let target = read_int r in
+    let hit = read_bool r in
     Uarch.Oracle.C_indirect { target; hit }
   | 's' -> Uarch.Oracle.C_stalled
   | _ -> raise (Format_error "bad control outcome")
 
-let read_item ic : Action.item =
-  match input_char ic with
-  | 'l' -> Action.I_load (input_binary_int ic)
+let read_item r : Action.item =
+  match read_char r with
+  | 'l' -> Action.I_load (read_int r)
   | 's' -> Action.I_store
-  | 'c' -> Action.I_ctl (read_ctl ic)
-  | 'r' -> Action.I_rollback (input_binary_int ic)
+  | 'c' -> Action.I_ctl (read_ctl r)
+  | 'r' -> Action.I_rollback (read_int r)
   | _ -> raise (Format_error "bad item tag")
 
-let read_items ic =
-  let n = input_binary_int ic in
+let read_items r =
+  let n = read_int r in
   if n < 0 || n > 1 lsl 24 then raise (Format_error "bad item count");
-  Array.init n (fun _ -> read_item ic)
+  Array.init n (fun _ -> read_item r)
 
 (* The reader mirrors the writer's worklist: a frame per node whose
    children are still being parsed, and an iterative [reduce] that folds a
@@ -205,7 +263,7 @@ and ctl_frame = {
   mutable c_cur : Action.ctl;
 }
 
-let read_node pc ic : Action.node =
+let read_node pc r : Action.node =
   let frames = ref [] in
   let finished = ref None in
   (* Fold [node0] into the enclosing frames until one still needs more
@@ -232,7 +290,7 @@ let read_node pc ic : Action.node =
           node := Action.N_load { l_edges = List.rev f.l_acc }
         end
         else begin
-          f.l_cur <- input_binary_int ic;
+          f.l_cur <- read_int r;
           reducing := false
         end
       | R_stride (ops, segs) :: rest ->
@@ -248,23 +306,23 @@ let read_node pc ic : Action.node =
           node := Action.N_ctl { c_edges = List.rev f.c_acc }
         end
         else begin
-          f.c_cur <- read_ctl ic;
+          f.c_cur <- read_ctl r;
           reducing := false
         end
     done
   in
   let read_count () =
-    let n = input_binary_int ic in
+    let n = read_int r in
     if n < 0 || n > 1 lsl 24 then raise (Format_error "bad edge count");
     n
   in
   while !finished = None do
-    match input_char ic with
+    match read_char r with
     | 'L' ->
       let n = read_count () in
       if n = 0 then reduce (Action.N_load { l_edges = [] })
       else begin
-        let lat = input_binary_int ic in
+        let lat = read_int r in
         frames :=
           R_load { l_remaining = n; l_acc = []; l_cur = lat } :: !frames
       end
@@ -273,32 +331,32 @@ let read_node pc ic : Action.node =
       let n = read_count () in
       if n = 0 then reduce (Action.N_ctl { c_edges = [] })
       else begin
-        let out = read_ctl ic in
+        let out = read_ctl r in
         frames :=
           R_ctl { c_remaining = n; c_acc = []; c_cur = out } :: !frames
       end
     | 'R' ->
-      let i = input_binary_int ic in
+      let i = read_int r in
       frames := R_rollback i :: !frames
     | 'H' -> reduce Action.N_halt
     | 'G' ->
-      let key = read_string ic in
+      let key = read_string r in
       reduce (Action.N_goto { target = Pcache.intern pc key })
     | 'T' ->
-      let ops = read_items ic in
-      let nseg = input_binary_int ic in
+      let ops = read_items r in
+      let nseg = read_int r in
       if nseg < 0 || nseg > 1 lsl 16 then
         raise (Format_error "bad stride segment count");
       let segs =
         Array.init nseg (fun _ ->
-            let sg_cfg = Pcache.intern pc (read_string ic) in
-            let sg_silent = input_binary_int ic in
-            let sg_retired = input_binary_int ic in
-            let ncls = input_binary_int ic in
+            let sg_cfg = Pcache.intern pc (read_string r) in
+            let sg_silent = read_int r in
+            let sg_retired = read_int r in
+            let ncls = read_int r in
             if ncls < 0 || ncls > 64 then
               raise (Format_error "bad class count");
-            let sg_classes = Array.init ncls (fun _ -> input_binary_int ic) in
-            let sg_ops = read_items ic in
+            let sg_classes = Array.init ncls (fun _ -> read_int r) in
+            let sg_ops = read_items r in
             { Action.sg_cfg; sg_silent; sg_retired; sg_classes; sg_ops })
       in
       frames := R_stride (ops, segs) :: !frames
@@ -306,35 +364,49 @@ let read_node pc ic : Action.node =
   done;
   match !finished with Some n -> n | None -> assert false
 
+let load_reader ?policy ~program r =
+  let m = take_string r (String.length magic) in
+  if not (String.equal m magic || String.equal m magic_v2) then
+    raise (Format_error "bad magic");
+  let digest = read_string r in
+  if not (String.equal digest (program_digest program)) then
+    raise (Format_error "p-action cache was saved for a different program");
+  let pc = Pcache.create ?policy () in
+  let n = read_int r in
+  if n < 0 then raise (Format_error "bad config count");
+  for _ = 1 to n do
+    let key = read_string r in
+    let cfg = Pcache.intern pc key in
+    if read_bool r then begin
+      let silent = read_int r in
+      let retired = read_int r in
+      let ncls = read_int r in
+      if ncls < 0 || ncls > 64 then raise (Format_error "bad class count");
+      let classes = Array.init ncls (fun _ -> read_int r) in
+      let first = read_node pc r in
+      Pcache.install_group pc cfg ~silent ~retired ~classes ~first
+    end
+  done;
+  pc
+
+let load_string ?policy ~program s =
+  load_reader ?policy ~program (reader_of_string s)
+
 let load ?policy ~program ic =
-  (* [input_binary_int] / [input_char] raise raw [End_of_file] on a
-     truncated stream; callers only handle [Format_error], so map EOF
-     anywhere in the payload to it. *)
-  try
-    let m = really_input_string ic (String.length magic) in
-    if not (String.equal m magic || String.equal m magic_v2) then
-      raise (Format_error "bad magic");
-    let digest = read_string ic in
-    if not (String.equal digest (program_digest program)) then
-      raise (Format_error "p-action cache was saved for a different program");
-    let pc = Pcache.create ?policy () in
-    let n = input_binary_int ic in
-    if n < 0 then raise (Format_error "bad config count");
-    for _ = 1 to n do
-      let key = read_string ic in
-      let cfg = Pcache.intern pc key in
-      if read_bool ic then begin
-        let silent = input_binary_int ic in
-        let retired = input_binary_int ic in
-        let ncls = input_binary_int ic in
-        if ncls < 0 || ncls > 64 then raise (Format_error "bad class count");
-        let classes = Array.init ncls (fun _ -> input_binary_int ic) in
-        let first = read_node pc ic in
-        Pcache.install_group pc cfg ~silent ~retired ~classes ~first
-      end
-    done;
-    pc
-  with End_of_file -> raise (Format_error "truncated p-action cache stream")
+  (* The channel API slurps its input and parses in memory — channels
+     may not be seekable (pipes), and the positional reader wants random
+     access for sign-free bounds checks. *)
+  let buf = Buffer.create 65536 in
+  let chunk = Bytes.create 65536 in
+  let rec slurp () =
+    let n = input ic chunk 0 (Bytes.length chunk) in
+    if n > 0 then begin
+      Buffer.add_subbytes buf chunk 0 n;
+      slurp ()
+    end
+  in
+  slurp ();
+  load_string ?policy ~program (Buffer.contents buf)
 
 let save_file pc ~program path =
   let oc = open_out_bin path in
@@ -342,6 +414,26 @@ let save_file pc ~program path =
       save pc ~program oc)
 
 let load_file ?policy ~program path =
-  let ic = open_in_bin path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
-      load ?policy ~program ic)
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let len = (Unix.fstat fd).Unix.st_size in
+      let mapped =
+        if len <= 0 then None
+        else
+          (* Map read-only and let the kernel page the shard in lazily;
+             fall back to a plain read where mmap is unavailable (some
+             filesystems, zero-length corner cases). *)
+          match
+            Unix.map_file fd Bigarray.char Bigarray.c_layout false [| len |]
+          with
+          | g -> Some (Bigarray.array1_of_genarray g)
+          | exception Unix.Unix_error _ -> None
+          | exception Sys_error _ -> None
+      in
+      match mapped with
+      | Some m -> load_reader ?policy ~program { src = S_map m; len; pos = 0 }
+      | None ->
+        let ic = Unix.in_channel_of_descr fd in
+        load ?policy ~program ic)

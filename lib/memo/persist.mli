@@ -26,9 +26,18 @@ val load : ?policy:Pcache.policy -> program:Isa.Program.t -> in_channel ->
     chains with explicit worklists, so arbitrarily deep chains round-trip
     without exhausting the call stack. *)
 
+val load_string : ?policy:Pcache.policy -> program:Isa.Program.t -> string ->
+  Pcache.t
+(** [load] over an in-memory stream; same error behaviour. *)
+
 val save_file : Pcache.t -> program:Isa.Program.t -> string -> unit
+
 val load_file : ?policy:Pcache.policy -> program:Isa.Program.t -> string ->
   Pcache.t
+(** Loads a saved cache by [mmap]ing the file and parsing in place, so
+    spilled registry shards reload without copying the stream through
+    stdio buffers (the kernel pages the file in lazily). Falls back to a
+    plain read where [mmap] is unavailable. *)
 
 val program_digest : Isa.Program.t -> string
 (** Digest used for the program check (exposed for tests).

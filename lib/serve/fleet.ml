@@ -1,0 +1,414 @@
+module J = Fastsim_obs.Json
+module Log = Fastsim_obs.Log
+module Metrics = Fastsim_obs.Metrics
+module Span = Fastsim_obs.Span
+module Spec = Fastsim.Sim.Spec
+module Pool = Fastsim_exec.Pool
+module Worker = Fastsim_exec.Pool.Worker
+module Shim = Fastsim_exec.Domain_shim
+
+type transport = [ `Process | `Domain ]
+
+let transport_to_string = function
+  | `Process -> "process"
+  | `Domain -> "domain"
+
+type req = {
+  q_rid : string;
+  q_engine : Fastsim.Sim.engine;
+  q_spec : Spec.t;
+  q_prog : Isa.Program.t;
+  q_digest : string;
+  q_spec_key : string;
+  q_fault : string option;
+}
+
+type reg_stats = {
+  rs_entries : int;
+  rs_hot_entries : int;
+  rs_hot_bytes : int;
+  rs_spilled_bytes : int;
+  rs_hits : int;
+  rs_misses : int;
+  rs_reloads : int;
+  rs_spills : int;
+  rs_evictions : int;
+}
+
+let zero_stats =
+  { rs_entries = 0; rs_hot_entries = 0; rs_hot_bytes = 0;
+    rs_spilled_bytes = 0; rs_hits = 0; rs_misses = 0; rs_reloads = 0;
+    rs_spills = 0; rs_evictions = 0 }
+
+type resp = {
+  r_result : Fastsim.Sim.result;
+  r_wall_s : float;
+  r_warm : bool;
+  r_spans : Span.span list;
+  r_reg : reg_stats;
+}
+
+(* ---------------------------------------------------------------- *)
+(* The shard body — runs inside the worker (forked process or spawned
+   domain). It owns this shard's registry, so the warm pcache never
+   crosses a process boundary on the hot path: acquire and commit_mem
+   are pointer operations. Persistence happens only when the shard's
+   own LRU budget spills an entry. *)
+
+let apply_fault = function
+  | None -> ()
+  | Some "crash" -> failwith "injected fault: crash"
+  | Some "exit" -> Unix._exit 9
+  | Some "hang" -> Unix.sleepf 3600.
+  | Some f -> failwith ("unknown injected fault: " ^ f)
+
+let reg_snapshot reg =
+  { rs_entries = Registry.entry_count reg;
+    rs_hot_entries = Registry.hot_count reg;
+    rs_hot_bytes = Registry.hot_bytes reg;
+    rs_spilled_bytes = Registry.spilled_bytes reg;
+    rs_hits = Registry.hits reg;
+    rs_misses = Registry.misses reg;
+    rs_reloads = Registry.reloads reg;
+    rs_spills = Registry.spills reg;
+    rs_evictions = Registry.evictions reg }
+
+let shard_handler ~dir ~budget_bytes () =
+  (match Unix.mkdir dir 0o700 with
+   | () -> ()
+   | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let programs : (string, Isa.Program.t) Hashtbl.t = Hashtbl.create 16 in
+  let registry =
+    Registry.create ~dir ?budget_bytes
+      ~program_of:(fun d -> Hashtbl.find_opt programs d)
+      ()
+  in
+  fun (rq : req) ->
+    apply_fault rq.q_fault;
+    Hashtbl.replace programs rq.q_digest rq.q_prog;
+    let sc = Span.create () in
+    let engine_name = Spec.engine_to_string rq.q_engine in
+    let run spec =
+      let t0 = Unix.gettimeofday () in
+      let result =
+        Span.with_span sc ~name:"engine.run" ~cat:"worker"
+          ~args:[ ("engine", J.Str engine_name) ]
+          (fun () -> Fastsim.Sim.run ~engine:rq.q_engine spec rq.q_prog)
+      in
+      (result, Unix.gettimeofday () -. t0)
+    in
+    match rq.q_engine with
+    | `Fast ->
+      let warm =
+        Registry.acquire registry ~digest:rq.q_digest ~spec_key:rq.q_spec_key
+          ~policy:rq.q_spec.Spec.policy ~program:rq.q_prog
+      in
+      let pc =
+        match warm with
+        | Some pc -> pc
+        | None -> Memo.Pcache.create ~policy:rq.q_spec.Spec.policy ()
+      in
+      let result, wall = run (Spec.with_pcache pc rq.q_spec) in
+      Span.with_span sc ~name:"pcache.commit" ~cat:"worker" (fun () ->
+          Registry.commit_mem registry ~digest:rq.q_digest
+            ~spec_key:rq.q_spec_key pc);
+      { r_result = result; r_wall_s = wall; r_warm = warm <> None;
+        r_spans = Span.spans sc; r_reg = reg_snapshot registry }
+    | `Slow | `Baseline ->
+      let result, wall = run rq.q_spec in
+      { r_result = result; r_wall_s = wall; r_warm = false;
+        r_spans = Span.spans sc; r_reg = reg_snapshot registry }
+
+(* ---------------------------------------------------------------- *)
+(* Parent side. *)
+
+(* Domain slots move through: Idle -> Busy -> Idle, with a detour for
+   cancellation — a domain cannot be killed, so Cancelled reports
+   Timed_out to the caller immediately (becoming Abandoned) and the
+   slot stays occupied until the domain's late result arrives and is
+   discarded. *)
+type dom_state = D_idle | D_busy | D_cancelled | D_abandoned
+
+type dom_slot = {
+  d_inbox : req option Shim.Mailbox.t;  (* None = shut down *)
+  d_outbox : (resp, string) result Shim.Mailbox.t;
+  d_handle : Shim.handle;
+  mutable d_state : dom_state;
+  mutable d_submitted : float;
+}
+
+type slot_impl = Proc of (req, resp) Worker.t | Dom of dom_slot
+
+type slot = {
+  s_index : int;
+  s_dir : string;
+  mutable s_impl : slot_impl;
+  mutable s_last : reg_stats;  (* shard registry at its last reply *)
+  mutable s_requests : int;
+  mutable s_respawns : int;
+}
+
+type t = {
+  f_budget : int option;  (* per shard *)
+  f_transport : transport;
+  f_log : Log.t;
+  f_metrics : Metrics.t option;
+  f_slots : slot array;
+}
+
+let dom_body ~dir ~budget_bytes inbox outbox () =
+  let handle = shard_handler ~dir ~budget_bytes () in
+  let rec loop () =
+    match Shim.Mailbox.take inbox with
+    | None -> ()
+    | Some rq ->
+      let r =
+        match handle rq with
+        | v -> Ok v
+        | exception e -> Error (Printexc.to_string e)
+      in
+      Shim.Mailbox.put outbox r;
+      loop ()
+  in
+  loop ()
+
+let spawn_impl ~transport ~budget_bytes ~dir index =
+  match transport with
+  | `Process ->
+    Proc
+      (Worker.spawn
+         ~tag:(Printf.sprintf "shard-%d" index)
+         (shard_handler ~dir ~budget_bytes))
+  | `Domain ->
+    let inbox = Shim.Mailbox.create () in
+    let outbox = Shim.Mailbox.create () in
+    let handle = Shim.spawn (dom_body ~dir ~budget_bytes inbox outbox) in
+    Dom
+      { d_inbox = inbox; d_outbox = outbox; d_handle = handle;
+        d_state = D_idle; d_submitted = 0. }
+
+let create ~dir ~jobs ?budget_bytes ?(transport = `Process) ?metrics
+    ?(log = Log.null) () =
+  let jobs = max 1 jobs in
+  if transport = `Domain && not Shim.available then
+    invalid_arg "Fleet.create: domain transport needs a multicore runtime";
+  (match Unix.mkdir dir 0o700 with
+   | () -> ()
+   | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  (* The hot-footprint budget is split evenly across shards: each worker
+     enforces its own slice, so the fleet-wide footprint stays bounded
+     without cross-process coordination. *)
+  let budget_bytes = Option.map (fun b -> max 1 (b / jobs)) budget_bytes in
+  let slots =
+    Array.init jobs (fun i ->
+        let sdir = Filename.concat dir (Printf.sprintf "shard-%d" i) in
+        { s_index = i; s_dir = sdir;
+          s_impl = spawn_impl ~transport ~budget_bytes ~dir:sdir i;
+          s_last = zero_stats; s_requests = 0; s_respawns = 0 })
+  in
+  let t =
+    { f_budget = budget_bytes; f_transport = transport; f_log = log;
+      f_metrics = metrics; f_slots = slots }
+  in
+  Array.iter
+    (fun s ->
+      Log.debug log ~event:"fleet.spawn"
+        [ ("shard", J.Int s.s_index);
+          ("transport", J.Str (transport_to_string transport));
+          ( "pid",
+            match s.s_impl with
+            | Proc w -> J.Int (Worker.pid w)
+            | Dom _ -> J.Null ) ])
+    slots;
+  t
+
+let jobs t = Array.length t.f_slots
+let transport t = t.f_transport
+
+let shard_of t ~digest = Hashtbl.hash digest mod Array.length t.f_slots
+
+(* A respawned worker starts with a fresh, cold registry: the shard's
+   hot caches died with the process, and its spill files — though still
+   on disk — are keyed by a (digest, spec key) mapping only the dead
+   worker knew. Subsequent requests simply re-record. *)
+let respawn t slot =
+  slot.s_respawns <- slot.s_respawns + 1;
+  slot.s_last <- zero_stats;
+  slot.s_impl <-
+    spawn_impl ~transport:t.f_transport ~budget_bytes:t.f_budget
+      ~dir:slot.s_dir slot.s_index;
+  Log.warn t.f_log ~event:"fleet.respawn"
+    [ ("shard", J.Int slot.s_index);
+      ( "pid",
+        match slot.s_impl with
+        | Proc w -> J.Int (Worker.pid w)
+        | Dom _ -> J.Null ) ]
+
+let idle t ~shard =
+  let slot = t.f_slots.(shard) in
+  match slot.s_impl with
+  | Proc w ->
+    if Worker.busy w then false
+    else begin
+      (* Notice (and absorb) an idle worker's death before claiming the
+         slot. *)
+      (match Worker.poll w with Some _ | None -> ());
+      if not (Worker.alive w) then respawn t slot;
+      true
+    end
+  | Dom d -> d.d_state = D_idle
+
+let submit t ~shard rq =
+  let slot = t.f_slots.(shard) in
+  slot.s_requests <- slot.s_requests + 1;
+  match slot.s_impl with
+  | Proc w -> Worker.submit w rq
+  | Dom d ->
+    if d.d_state <> D_idle then invalid_arg "Fleet.submit: shard busy";
+    d.d_state <- D_busy;
+    d.d_submitted <- Unix.gettimeofday ();
+    Shim.Mailbox.put d.d_inbox (Some rq)
+
+(* Fold a completed request's shard-registry snapshot into the parent's
+   shared metrics: counter deltas accumulate under the same
+   [registry.*] names the parent-side registry would use, gauges are
+   refreshed as sums over every shard's latest snapshot — so scrapers
+   see one coherent fleet-wide registry. *)
+let note_reply t slot (r : resp) =
+  let last = slot.s_last in
+  slot.s_last <- r.r_reg;
+  match t.f_metrics with
+  | None -> ()
+  | Some m ->
+    let add name now prev =
+      if now > prev then Metrics.add (Metrics.counter m name) (now - prev)
+    in
+    add "registry.hits" r.r_reg.rs_hits last.rs_hits;
+    add "registry.misses" r.r_reg.rs_misses last.rs_misses;
+    add "registry.reloads" r.r_reg.rs_reloads last.rs_reloads;
+    add "registry.spills" r.r_reg.rs_spills last.rs_spills;
+    add "registry.evictions" r.r_reg.rs_evictions last.rs_evictions;
+    let sum f =
+      Array.fold_left (fun acc s -> acc + f s.s_last) 0 t.f_slots
+    in
+    let set name v = Metrics.set (Metrics.gauge m name) (float_of_int v) in
+    set "registry.entries" (sum (fun s -> s.rs_entries));
+    set "registry.hot_entries" (sum (fun s -> s.rs_hot_entries));
+    set "registry.hot_bytes" (sum (fun s -> s.rs_hot_bytes));
+    set "registry.spilled_bytes" (sum (fun s -> s.rs_spilled_bytes))
+
+let poll t ~shard : resp Pool.outcome option =
+  let slot = t.f_slots.(shard) in
+  match slot.s_impl with
+  | Proc w -> (
+    match Worker.poll w with
+    | None -> None
+    | Some outcome ->
+      (match outcome with Pool.Done r -> note_reply t slot r | _ -> ());
+      if not (Worker.alive w) then respawn t slot;
+      Some outcome)
+  | Dom d -> (
+    match d.d_state with
+    | D_idle -> None
+    | D_cancelled ->
+      d.d_state <- D_abandoned;
+      Some Pool.Timed_out
+    | D_busy | D_abandoned -> (
+      match Shim.Mailbox.take_opt d.d_outbox with
+      | None -> None
+      | Some r ->
+        let abandoned = d.d_state = D_abandoned in
+        d.d_state <- D_idle;
+        if abandoned then None (* late result of a cancelled run *)
+        else (
+          match r with
+          | Ok v ->
+            note_reply t slot v;
+            Some (Pool.Done v)
+          | Error m -> Some (Pool.Crashed m))))
+
+let cancel t ~shard =
+  let slot = t.f_slots.(shard) in
+  match slot.s_impl with
+  | Proc w -> if Worker.busy w then Worker.kill w
+  | Dom d -> if d.d_state = D_busy then d.d_state <- D_cancelled
+
+let elapsed t ~shard =
+  let slot = t.f_slots.(shard) in
+  match slot.s_impl with
+  | Proc w -> Worker.elapsed w
+  | Dom d ->
+    if d.d_state = D_busy then Unix.gettimeofday () -. d.d_submitted else 0.
+
+let fds t =
+  Array.fold_left
+    (fun acc s ->
+      match s.s_impl with
+      | Proc w when Worker.alive w && Worker.busy w -> Worker.fd w :: acc
+      | _ -> acc)
+    [] t.f_slots
+
+let stop t =
+  Array.iter
+    (fun s ->
+      match s.s_impl with
+      | Proc w -> Worker.stop w
+      | Dom d -> (
+        Shim.Mailbox.put d.d_inbox None;
+        (* A busy domain finishes its current run before seeing the
+           poison pill; joining here bounds shutdown by one run. *)
+        try Shim.join d.d_handle with _ -> ()))
+    t.f_slots
+
+(* ---------------------------------------------------------------- *)
+(* Introspection — shapes match Registry.stats_json so stats consumers
+   need not care whether they are looking at one registry or a fleet. *)
+
+let reg_totals t =
+  Array.fold_left
+    (fun acc s ->
+      let l = s.s_last in
+      { rs_entries = acc.rs_entries + l.rs_entries;
+        rs_hot_entries = acc.rs_hot_entries + l.rs_hot_entries;
+        rs_hot_bytes = acc.rs_hot_bytes + l.rs_hot_bytes;
+        rs_spilled_bytes = acc.rs_spilled_bytes + l.rs_spilled_bytes;
+        rs_hits = acc.rs_hits + l.rs_hits;
+        rs_misses = acc.rs_misses + l.rs_misses;
+        rs_reloads = acc.rs_reloads + l.rs_reloads;
+        rs_spills = acc.rs_spills + l.rs_spills;
+        rs_evictions = acc.rs_evictions + l.rs_evictions })
+    zero_stats t.f_slots
+
+let reg_stats_json (r : reg_stats) =
+  J.Obj
+    [ ("entries", J.Int r.rs_entries);
+      ("hot_entries", J.Int r.rs_hot_entries);
+      ("hot_bytes", J.Int r.rs_hot_bytes);
+      ("spilled_bytes", J.Int r.rs_spilled_bytes);
+      ("hits", J.Int r.rs_hits);
+      ("misses", J.Int r.rs_misses);
+      ("reloads", J.Int r.rs_reloads);
+      ("spills", J.Int r.rs_spills);
+      ("evictions", J.Int r.rs_evictions) ]
+
+let registry_json t = reg_stats_json (reg_totals t)
+
+let shards_json t =
+  J.List
+    (Array.to_list
+       (Array.map
+          (fun s ->
+            let busy, pid =
+              match s.s_impl with
+              | Proc w -> (Worker.busy w, Some (Worker.pid w))
+              | Dom d -> (d.d_state <> D_idle, None)
+            in
+            J.Obj
+              [ ("shard", J.Int s.s_index);
+                ("transport", J.Str (transport_to_string t.f_transport));
+                ("pid", match pid with Some p -> J.Int p | None -> J.Null);
+                ("busy", J.Bool busy);
+                ("requests", J.Int s.s_requests);
+                ("respawns", J.Int s.s_respawns);
+                ("registry", reg_stats_json s.s_last) ])
+          t.f_slots))

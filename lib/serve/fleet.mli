@@ -1,0 +1,132 @@
+(** The persistent-worker fleet.
+
+    Replaces fork-per-request dispatch: a fixed pool of long-lived
+    workers, each owning one {e shard} of the warm p-action-cache
+    registry. Requests are routed by program-digest affinity
+    ({!shard_of}), so a given program's warm cache lives in exactly one
+    worker and is reused across requests as a live pointer —
+    {!Registry.acquire}/[commit_mem] inside the worker — instead of
+    being round-tripped through a {!Memo.Persist} file on every run.
+    Serialization happens only when a shard's own LRU budget spills an
+    entry (and spilled shards reload via mmap; see {!Memo.Persist}).
+
+    Two transports: [`Process] (default) forks one
+    {!Fastsim_exec.Pool.Worker} per shard — crash-isolated, killable
+    (timeouts, orphan cancellation), portable to 4.14; [`Domain] runs
+    each shard on an OCaml 5 domain (no fork, no marshalling) — but a
+    domain cannot be killed, so a cancelled run merely {e abandons} the
+    slot until the run finishes, and a crashing C stub or injected
+    [exit] fault takes the whole daemon down. The serve daemon defaults
+    to [`Process]; [`Domain] is opt-in and gated on
+    {!Fastsim_exec.Domain_shim.available}.
+
+    Failure/restart semantics: a dead process worker is respawned on the
+    next {!poll}/{!idle} that notices; the replacement starts with a
+    cold registry (the shard's hot caches died with the process, and its
+    on-disk spills are keyed by a mapping only the dead worker held), so
+    warmth is rebuilt by re-recording. The in-flight request, if any, is
+    reported [Crashed] (or [Timed_out] after {!cancel}). *)
+
+type t
+
+type transport = [ `Process | `Domain ]
+
+val transport_to_string : transport -> string
+
+(** One simulation request, as shipped to a shard worker. [q_spec]'s
+    runtime-only fields must be unset (wire-decoded specs qualify). *)
+type req = {
+  q_rid : string;  (** server-minted request id, for worker-side logs *)
+  q_engine : Fastsim.Sim.engine;
+  q_spec : Fastsim.Sim.Spec.t;
+  q_prog : Isa.Program.t;
+  q_digest : string;
+  q_spec_key : string;
+  q_fault : string option;
+}
+
+(** A shard registry's counters, snapshot after each run and shipped
+    back so the parent can aggregate fleet-wide stats. *)
+type reg_stats = {
+  rs_entries : int;
+  rs_hot_entries : int;
+  rs_hot_bytes : int;
+  rs_spilled_bytes : int;
+  rs_hits : int;
+  rs_misses : int;
+  rs_reloads : int;
+  rs_spills : int;
+  rs_evictions : int;
+}
+
+type resp = {
+  r_result : Fastsim.Sim.result;
+  r_wall_s : float;
+  r_warm : bool;  (** the shard registry had a warm cache for this run *)
+  r_spans : Fastsim_obs.Span.span list;
+      (** worker-side spans (engine.run, pcache.commit), carrying the
+          worker's pid for cross-process trace stitching *)
+  r_reg : reg_stats;
+}
+
+val create :
+  dir:string ->
+  jobs:int ->
+  ?budget_bytes:int ->
+  ?transport:transport ->
+  ?metrics:Fastsim_obs.Metrics.t ->
+  ?log:Fastsim_obs.Log.t ->
+  unit ->
+  t
+(** Spawns [jobs] shard workers. [dir] holds per-shard registry
+    directories ([shard-N/]). [budget_bytes] is the {e fleet-wide} hot
+    budget, split evenly across shards. [metrics] receives aggregated
+    [registry.*] counters/gauges (deltas folded in as replies arrive),
+    so Prometheus/telemetry surfaces keep working unchanged. Raises
+    [Invalid_argument] for [`Domain] on a single-domain runtime. *)
+
+val shard_of : t -> digest:string -> int
+(** Digest-affinity routing: all requests for one program hit the same
+    shard, so its warm cache is never duplicated or serialized. *)
+
+val idle : t -> shard:int -> bool
+(** The shard can accept {!submit} now. Quietly respawns a process
+    worker that died between requests. *)
+
+val submit : t -> shard:int -> req -> unit
+(** One in-flight request per shard; raises [Invalid_argument] if the
+    shard is busy (callers gate on {!idle}). *)
+
+val poll : t -> shard:int -> resp Fastsim_exec.Pool.outcome option
+(** Non-blocking. [Done]/[Crashed] settle normally; [Timed_out] follows
+    {!cancel}. A worker death settles the in-flight request and respawns
+    the worker before returning. *)
+
+val cancel : t -> shard:int -> unit
+(** Kill the in-flight run (timeout, client cancel, orphaned work on
+    disconnect). Process transport SIGKILLs the worker — the next
+    {!poll} reports [Timed_out] and respawns. Domain transport cannot
+    kill: {!poll} reports [Timed_out] immediately and the slot stays
+    occupied until the run's late result is discarded. *)
+
+val elapsed : t -> shard:int -> float
+(** Seconds the in-flight request has been running; [0.] if idle. *)
+
+val fds : t -> Unix.file_descr list
+(** Response descriptors of busy process workers, for [select]. (Domain
+    slots have no descriptor; poll them on a timeout tick.) *)
+
+val stop : t -> unit
+(** Graceful shutdown of every worker (EOF / poison pill, then kill
+    after a grace period for processes). *)
+
+val jobs : t -> int
+val transport : t -> transport
+
+val registry_json : t -> Fastsim_obs.Json.t
+(** Fleet-wide registry stats, summed over shards' latest snapshots —
+    same shape as {!Registry.stats_json}. *)
+
+val shards_json : t -> Fastsim_obs.Json.t
+(** Per-shard detail: pid, busy, request/respawn counts, registry
+    snapshot. *)

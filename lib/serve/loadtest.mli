@@ -1,0 +1,69 @@
+(** Load generator for the daemon (docs/SERVE.md, "fastsim loadtest").
+
+    Forks a private daemon on a Unix socket, opens [clients] concurrent
+    connections from a single nonblocking event loop, and drives each
+    through two measured phases of [requests_per_client] fast-engine
+    runs each: a {e cold} phase against a fresh daemon, then a {e warm}
+    phase repeating the identical requests against the now-warm
+    registry. Each phase reports throughput and latency percentiles, so
+    a backend change shows up as cold-vs-warm and backend-vs-backend
+    deltas in one artifact.
+
+    Correctness is measured alongside performance: every result frame's
+    architectural payload (cycles, retired, cache and branch counters —
+    everything except the memo/pcache introspection, which legitimately
+    differs between cold and warm runs) must be byte-identical to a
+    direct in-process [Sim.run] of the same (engine, spec, program),
+    and the fast engine's cycle count must equal the slow engine's
+    ({!report.lt_divergent} counts workloads where either check fails —
+    the gate is that it stays 0). *)
+
+type config = {
+  backend : Server.backend;
+  transport : Fleet.transport;  (** fleet backend only *)
+  jobs : int;
+  clients : int;                (** concurrent connections *)
+  requests_per_client : int;    (** per phase *)
+  workloads : string list;
+      (** workload names, assigned to clients round-robin *)
+  scale : int option;           (** default: each workload's test scale *)
+  registry_budget : int option;
+  phase_timeout_s : float;      (** abort a phase that wedges *)
+}
+
+val default : config
+(** Fleet backend over process workers, [jobs = 2], [clients = 100],
+    [requests_per_client = 2], workloads [li]/[compress]/[go] at test
+    scale, 300 s phase timeout. *)
+
+type phase = {
+  ph_requests : int;
+  ph_errors : int;
+  ph_warm_hits : int;   (** result frames flagged warm *)
+  ph_wall_s : float;
+  ph_rps : float;
+  ph_p50_ms : float;
+  ph_p90_ms : float;
+  ph_p99_ms : float;
+  ph_mean_ms : float;
+}
+
+type report = {
+  lt_backend : string;
+  lt_transport : string;
+  lt_jobs : int;
+  lt_clients : int;
+  lt_requests_per_client : int;
+  lt_workloads : string list;
+  lt_cold : phase;
+  lt_warm : phase;
+  lt_divergent : int;
+      (** workloads whose daemon results diverged from direct runs or
+          whose fast/slow cycle counts disagree; 0 = bit-identical *)
+}
+
+val run : ?progress:(string -> unit) -> config -> (report, string) result
+(** [progress] (default silent) receives one human line per milestone
+    (daemon up, phase done, verification done). *)
+
+val report_to_json : report -> Fastsim_obs.Json.t

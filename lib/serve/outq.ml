@@ -1,0 +1,54 @@
+(* Offset-windowed output queue: encoded frames are queued as chunks and
+   written head-first, each chunk tracking how much of it has already
+   reached the socket. Replaces the previous per-connection [Buffer.t],
+   whose pump did [Buffer.to_bytes] — an O(total) copy of everything
+   still buffered — on every partial write, and which could grow without
+   bound under a consumer slower than the simulator. *)
+
+type chunk = { data : Bytes.t; mutable off : int }
+
+type t = {
+  q : chunk Queue.t;
+  mutable pending : int;  (* unsent bytes across all chunks *)
+}
+
+let create () = { q = Queue.create (); pending = 0 }
+
+let pending t = t.pending
+let is_empty t = t.pending = 0
+
+let push t data =
+  if Bytes.length data > 0 then begin
+    Queue.add { data; off = 0 } t.q;
+    t.pending <- t.pending + Bytes.length data
+  end
+
+let clear t =
+  Queue.clear t.q;
+  t.pending <- 0
+
+(* Write as much as the socket will take right now. [`Closed] means the
+   peer is gone (any fatal write error); EAGAIN/EINTR just end the
+   round. Each [Unix.write] sends only the head chunk's remaining
+   window — no re-copy of queued data, ever. *)
+let pump t fd =
+  let rec go () =
+    match Queue.peek_opt t.q with
+    | None -> `Ok
+    | Some c -> (
+      let len = Bytes.length c.data - c.off in
+      match Unix.write fd c.data c.off len with
+      | n ->
+        c.off <- c.off + n;
+        t.pending <- t.pending - n;
+        if c.off = Bytes.length c.data then begin
+          ignore (Queue.pop t.q : chunk);
+          go ()
+        end
+        else `Ok (* partial write: the socket is full *)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        `Ok
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (_, _, _) -> `Closed)
+  in
+  go ()

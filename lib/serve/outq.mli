@@ -1,0 +1,27 @@
+(** Per-connection output queue for the serve event loop.
+
+    Encoded frames are queued as byte chunks; {!pump} writes them
+    head-first, remembering the offset already sent within the head
+    chunk. Cost per pump is proportional to the bytes actually written —
+    unlike a flat buffer, nothing already queued is ever copied again —
+    and {!pending} gives the loop a cheap backpressure measure for
+    closing consumers that fall too far behind. *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> Bytes.t -> unit
+(** Queue one encoded frame. The queue takes ownership of the bytes
+    (callers must not mutate them afterwards). *)
+
+val pump : t -> Unix.file_descr -> [ `Ok | `Closed ]
+(** Write as much queued data as the (non-blocking) descriptor accepts.
+    [`Ok] covers both progress and EAGAIN; [`Closed] reports a fatal
+    write error — the caller should drop the connection. *)
+
+val pending : t -> int
+(** Bytes queued but not yet written. *)
+
+val is_empty : t -> bool
+val clear : t -> unit

@@ -253,36 +253,47 @@ let commit_mem t ~digest ~spec_key pc =
   enforce_budget t ~keep:(Some e);
   sync_gauges t
 
-let commit_file t ~digest ~spec_key ~src ~bytes =
+let adopt t ~digest ~spec_key ~src ~bytes =
   let e = entry t ~digest ~spec_key in
   touch t e;
   (match Sys.rename src e.e_file with
    | () -> ()
    | exception Sys_error _ -> (
-     (* cross-filesystem: copy then remove *)
+     (* Cross-filesystem (EXDEV): copy — but through a temp name in the
+        registry dir, renamed only once complete, so a failure mid-copy
+        can never leave a truncated file that [e_has_file] would then
+        vouch for. *)
+     let tmp = e.e_file ^ ".adopt" in
      try
        let ic = open_in_bin src in
-       let oc = open_out_bin e.e_file in
-       let buf = Bytes.create 65536 in
-       let rec pump () =
-         let n = input ic buf 0 (Bytes.length buf) in
-         if n > 0 then begin
-           output oc buf 0 n;
-           pump ()
-         end
-       in
-       pump ();
-       close_in_noerr ic;
-       close_out oc;
-       Sys.remove src
-     with _ -> ()));
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () ->
+           let oc = open_out_bin tmp in
+           (try
+              let buf = Bytes.create 65536 in
+              let rec pump () =
+                let n = input ic buf 0 (Bytes.length buf) in
+                if n > 0 then begin
+                  output oc buf 0 n;
+                  pump ()
+                end
+              in
+              pump ();
+              close_out oc
+            with exn ->
+              close_out_noerr oc;
+              raise exn);
+           Sys.rename tmp e.e_file);
+       (try Sys.remove src with Sys_error _ -> ())
+     with _ -> ( try Sys.remove tmp with Sys_error _ -> ())));
   if Sys.file_exists e.e_file then begin
     e.e_has_file <- true;
     e.e_bytes <- bytes;
     e.e_file_bytes <- file_size e.e_file;
     (* the file is newer than any hot copy the parent kept *)
     e.e_hot <- None;
-    Log.debug t.log ~event:"registry.commit_file"
+    Log.debug t.log ~event:"registry.adopt"
       [ ("digest", J.Str (digest_short digest));
         ("modeled_bytes", J.Int bytes);
         ("file_bytes", J.Int e.e_file_bytes) ]

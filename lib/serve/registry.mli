@@ -36,7 +36,7 @@ val create :
     and per-digest [registry.digest.<12-hex>.{hits,misses}], gauges
     [registry.{entries,hot_entries,hot_bytes,spilled_bytes}] (gauges are
     refreshed after every mutation). [log] (default {!Fastsim_obs.Log.null})
-    receives [registry.{spill,evict,reload,commit_file,corrupt_spill}]
+    receives [registry.{spill,evict,reload,adopt,corrupt_spill}]
     events. Both are strictly passive. *)
 
 val spec_key : Fastsim.Sim.Spec.t -> string
@@ -63,13 +63,15 @@ val commit_mem :
     hot form, refresh its LRU position and byte accounting, and drop any
     stale spill file. *)
 
-val commit_file :
+val adopt :
   t -> digest:string -> spec_key:string -> src:string -> bytes:int -> unit
 (** After a forked run: adopt the persist file the worker wrote at
-    [src] (renamed into the registry dir, falling back to copy across
-    filesystems). [bytes] is the cache's modeled size as reported by the
-    worker. The entry's hot form, if any, is dropped as stale — the next
-    {!acquire} reloads the newer file. *)
+    [src] (renamed into the registry dir; across filesystems it is
+    copied via a temp name and renamed only once complete, so a failed
+    copy never installs a truncated file). [bytes] is the cache's
+    modeled size as reported by the worker. The entry's hot form, if
+    any, is dropped as stale — the next {!acquire} reloads the newer
+    file. *)
 
 val stats_json : t -> Fastsim_obs.Json.t
 (** [{entries, hot_entries, hot_bytes, spilled_bytes, hits, misses,

@@ -5,11 +5,17 @@ module Metrics = Fastsim_obs.Metrics
 module Log = Fastsim_obs.Log
 module Span = Fastsim_obs.Span
 
-type backend = [ `Fork | `Inline ]
+type backend = [ `Fleet | `Fork | `Inline ]
+
+let backend_name = function
+  | `Fleet -> "fleet"
+  | `Fork -> "fork"
+  | `Inline -> "inline"
 
 type config = {
   address : Proto.address;
   backend : backend;
+  fleet_transport : Fleet.transport;  (* `Fleet only *)
   jobs : int;
   queue_max : int;
   timeout_s : float;
@@ -21,13 +27,15 @@ type config = {
   slow_trace_s : float;        (* 0 = never dump per-request traces *)
   trace_dir : string option;   (* where slow-request traces land *)
   span_keep : int;             (* per-request span sets buffered for telemetry *)
+  max_out_bytes : int;         (* per-connection output backlog budget *)
 }
 
 let default_config address =
-  { address; backend = `Fork; jobs = 2; queue_max = 64; timeout_s = 0.;
+  { address; backend = `Fleet; fleet_transport = `Process; jobs = 2;
+    queue_max = 64; timeout_s = 0.;
     registry_budget = None; scratch_dir = None; allow_fault = false;
     quiet = false; log = Log.null; slow_trace_s = 0.; trace_dir = None;
-    span_keep = 2048 }
+    span_keep = 2048; max_out_bytes = 64 * 1024 * 1024 }
 
 (* ---------------------------------------------------------------- *)
 (* Connections. *)
@@ -36,16 +44,12 @@ type conn = {
   c_fd : Unix.file_descr;
   c_id : int;
   c_dec : Proto.Decoder.t;
-  c_out : Buffer.t;
-  mutable c_out_pos : int;
+  c_out : Outq.t;
+  c_read_buf : Bytes.t;  (* per-connection, so the loop is domain-safe *)
   mutable c_greeted : bool;
-  mutable c_closing : bool;  (* close once the out buffer drains *)
+  mutable c_closing : bool;  (* close once the out queue drains *)
   mutable c_dead : bool;
 }
-
-let send conn resp =
-  Buffer.add_bytes conn.c_out
-    (Proto.encode_frame (Proto.response_to_json resp))
 
 (* A run waiting for a worker slot. *)
 type pending = {
@@ -68,14 +72,21 @@ type pending = {
    the spans the worker recorded (engine run, pcache save). *)
 type payload = Fastsim.Sim.result * float * int option * Span.span list
 
+(* Where a dispatched run lives: a forked one-shot child, or an
+   in-flight request on a fleet shard. *)
+type task_handle =
+  | H_fork of payload Async.task
+  | H_fleet of int  (* shard index *)
+
 type active = {
   a_req : pending;
-  a_task : payload Async.task;
-  a_warm : bool;
-  a_pcache_file : string;
+  a_task : task_handle;
+  mutable a_warm : bool;  (* fleet backend learns this from the reply *)
+  a_pcache_file : string option;  (* fork backend's handoff file *)
   a_start_us : int;  (* dispatch time: queue-wait ends, run latency starts *)
   mutable a_cancelled : bool;
-  mutable a_dropped : bool;  (* client went away; discard the outcome *)
+  mutable a_dropped : bool;   (* client went away; discard the outcome *)
+  mutable a_orphaned : bool;  (* dropped AND the run itself was cancelled *)
 }
 
 type state = {
@@ -100,6 +111,7 @@ type state = {
   h_replay_pct : Fastsim_obs.Metrics.histogram;    (* percent, per fast run *)
   span_ring : Span.span Fastsim_obs.Ring.t;  (* recent request spans *)
   queue : pending Queue.t;
+  mutable fleet : Fleet.t option;  (* Some iff backend = `Fleet *)
   mutable actives : active list;
   mutable conns : conn list;
   mutable draining : bool;
@@ -111,9 +123,61 @@ let log_of t = t.cfg.log
 
 let conn_by_id t id = List.find_opt (fun c -> c.c_id = id) t.conns
 
+let close_conn t conn =
+  if not conn.c_dead then begin
+    conn.c_dead <- true;
+    Log.debug (log_of t) ~event:"serve.conn_closed"
+      [ ("conn", J.Int conn.c_id) ];
+    (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+    Outq.clear conn.c_out;
+    (* Orphan this connection's work: dequeue what hasn't started, and
+       cancel what has — a worker grinding on for a client nobody can
+       deliver to would hold its slot (and, in the fleet, its shard)
+       hostage for the whole run. *)
+    let keep = Queue.create () in
+    Queue.iter
+      (fun (p : pending) ->
+        if p.p_conn <> conn.c_id then Queue.add p keep)
+      t.queue;
+    Queue.clear t.queue;
+    Queue.transfer keep t.queue;
+    List.iter
+      (fun a ->
+        if a.a_req.p_conn = conn.c_id && not a.a_dropped then begin
+          a.a_dropped <- true;
+          a.a_orphaned <- true;
+          Log.debug (log_of t) ~req:a.a_req.p_rid ~event:"serve.orphan_cancel"
+            [ ("id", J.Str a.a_req.p_id); ("conn", J.Int conn.c_id) ];
+          match a.a_task with
+          | H_fork task -> Async.kill task
+          | H_fleet shard -> (
+            match t.fleet with
+            | Some f -> Fleet.cancel f ~shard
+            | None -> ())
+        end)
+      t.actives;
+    t.conns <- List.filter (fun c -> c.c_id <> conn.c_id) t.conns
+  end
+
+(* Queue an encoded frame on the connection; a consumer whose backlog
+   exceeds the output budget is cut loose — unlike the old unbounded
+   buffer, a stalled reader can no longer grow the daemon's heap without
+   limit. *)
+let send t conn resp =
+  if not conn.c_dead then begin
+    Outq.push conn.c_out (Proto.encode_frame (Proto.response_to_json resp));
+    if Outq.pending conn.c_out > t.cfg.max_out_bytes then begin
+      Log.warn (log_of t) ~event:"serve.slow_consumer"
+        [ ("conn", J.Int conn.c_id);
+          ("pending_bytes", J.Int (Outq.pending conn.c_out));
+          ("budget_bytes", J.Int t.cfg.max_out_bytes) ];
+      close_conn t conn
+    end
+  end
+
 let send_to t conn_id resp =
   match conn_by_id t conn_id with
-  | Some c when not c.c_dead -> send c resp
+  | Some c when not c.c_dead -> send t c resp
   | _ -> ()
 
 let err ?id code message = Proto.Error { id; code; message }
@@ -352,37 +416,82 @@ let dispatch_fork t (p : pending) =
          ~fault:p.p_fault ~save_to)
   in
   t.actives <-
-    { a_req = p; a_task = task; a_warm = warm <> None;
-      a_pcache_file = pcache_file; a_start_us = start_us;
-      a_cancelled = false; a_dropped = false }
+    { a_req = p; a_task = H_fork task; a_warm = warm <> None;
+      a_pcache_file = Some pcache_file; a_start_us = start_us;
+      a_cancelled = false; a_dropped = false; a_orphaned = false }
     :: t.actives
 
-let settle_active t (a : active) outcome =
+(* Fleet backend: hand the request to its digest's shard. The warm
+   pcache stays inside the worker; only the result comes back. *)
+let dispatch_fleet t fleet (p : pending) ~shard =
+  let start_us = note_dispatch t p in
+  Fleet.submit fleet ~shard
+    { Fleet.q_rid = p.p_rid; q_engine = p.p_engine; q_spec = p.p_spec;
+      q_prog = p.p_prog; q_digest = p.p_digest; q_spec_key = p.p_spec_key;
+      q_fault = p.p_fault };
+  t.actives <-
+    { a_req = p; a_task = H_fleet shard; a_warm = false;
+      a_pcache_file = None; a_start_us = start_us; a_cancelled = false;
+      a_dropped = false; a_orphaned = false }
+    :: t.actives
+
+(* One pass over the queue, dispatching every request whose shard is
+   free. Strict digest affinity: a request whose shard is busy waits
+   even if other shards idle — that is the price of never moving a warm
+   cache between workers. *)
+let dispatch_fleet_round t fleet =
+  if not (Queue.is_empty t.queue) then begin
+    let keep = Queue.create () in
+    Queue.iter
+      (fun (p : pending) ->
+        match conn_by_id t p.p_conn with
+        | None -> () (* client vanished while queued *)
+        | Some _ ->
+          let shard = Fleet.shard_of fleet ~digest:p.p_digest in
+          if Fleet.idle fleet ~shard then dispatch_fleet t fleet p ~shard
+          else Queue.add p keep)
+      t.queue;
+    Queue.clear t.queue;
+    Queue.transfer keep t.queue
+  end
+
+(* The backend-independent tail of a run's life. *)
+type settled_run =
+  | S_ok of {
+      result : Fastsim.Sim.result;
+      wall_s : float;
+      warm : bool;
+      spans : Span.span list;
+      commit : unit -> unit;  (* backend-specific registry handoff *)
+    }
+  | S_crashed of string
+  | S_timed_out
+
+let settle_active t (a : active) (s : settled_run) =
   let p = a.a_req in
   let wall_s = ref 0. in
-  (match outcome with
-   | Fastsim_exec.Pool.Done ((result, run_wall_s, bytes_opt, run_spans) :
-                               payload) ->
+  (match s with
+   | S_ok { result; wall_s = run_wall_s; warm; spans; commit } ->
      wall_s := run_wall_s;
-     Span.absorb (Span.Ctx.collector p.p_ctx) run_spans;
-     (match (p.p_engine, bytes_opt) with
-      | `Fast, Some bytes when Sys.file_exists a.a_pcache_file ->
-        Span.with_span (Span.Ctx.collector p.p_ctx) ~name:"pcache.commit"
-          (fun () ->
-            Registry.commit_file t.registry ~digest:p.p_digest
-              ~spec_key:p.p_spec_key ~src:a.a_pcache_file ~bytes)
-      | _ -> ());
+     a.a_warm <- warm;
+     Span.absorb (Span.Ctx.collector p.p_ctx) spans;
+     commit ();
      note_settled t p ~start_us:a.a_start_us ~ok:true;
      if not a.a_dropped then
-       deliver_result t p ~warm:a.a_warm ~result ~wall_s:run_wall_s
-   | Fastsim_exec.Pool.Crashed m ->
+       deliver_result t p ~warm ~result ~wall_s:run_wall_s
+   | S_crashed m ->
      Fastsim_obs.Metrics.incr t.m_runs_failed;
      note_settled t p ~start_us:a.a_start_us ~ok:false;
      Log.warn (log_of t) ~req:p.p_rid ~event:"serve.worker_crashed"
        [ ("id", J.Str p.p_id); ("error", J.Str m) ];
      if not a.a_dropped then
        send_to t p.p_conn (err ~id:p.p_id Proto.Worker_crashed m)
-   | Fastsim_exec.Pool.Timed_out ->
+   | S_timed_out when a.a_orphaned ->
+     (* Not a failure: the client vanished and we reclaimed the slot. *)
+     note_settled t p ~start_us:a.a_start_us ~ok:false;
+     Log.debug (log_of t) ~req:p.p_rid ~event:"serve.orphan_reaped"
+       [ ("id", J.Str p.p_id) ]
+   | S_timed_out ->
      Fastsim_obs.Metrics.incr t.m_runs_failed;
      note_settled t p ~start_us:a.a_start_us ~ok:false;
      Log.warn (log_of t) ~req:p.p_rid ~event:"serve.timeout"
@@ -398,7 +507,39 @@ let settle_active t (a : active) outcome =
   retire_spans t p ~wall_s:!wall_s;
   (* the worker's pcache handoff file, if it survived, is either adopted
      above or stale — never leave it behind *)
-  try Sys.remove a.a_pcache_file with Sys_error _ -> ()
+  match a.a_pcache_file with
+  | Some f -> ( try Sys.remove f with Sys_error _ -> ())
+  | None -> ()
+
+let settle_fork t (a : active) (outcome : payload Fastsim_exec.Pool.outcome) =
+  let p = a.a_req in
+  match outcome with
+  | Fastsim_exec.Pool.Done (result, wall_s, bytes_opt, spans) ->
+    let commit () =
+      match (p.p_engine, bytes_opt, a.a_pcache_file) with
+      | `Fast, Some bytes, Some file when Sys.file_exists file ->
+        Span.with_span (Span.Ctx.collector p.p_ctx) ~name:"pcache.commit"
+          (fun () ->
+            Registry.adopt t.registry ~digest:p.p_digest
+              ~spec_key:p.p_spec_key ~src:file ~bytes)
+      | _ -> ()
+    in
+    settle_active t a
+      (S_ok { result; wall_s; warm = a.a_warm; spans; commit })
+  | Fastsim_exec.Pool.Crashed m -> settle_active t a (S_crashed m)
+  | Fastsim_exec.Pool.Timed_out -> settle_active t a S_timed_out
+
+let settle_fleet t (a : active) (outcome : Fleet.resp Fastsim_exec.Pool.outcome)
+    =
+  match outcome with
+  | Fastsim_exec.Pool.Done r ->
+    settle_active t a
+      (S_ok
+         { result = r.Fleet.r_result; wall_s = r.Fleet.r_wall_s;
+           warm = r.Fleet.r_warm; spans = r.Fleet.r_spans;
+           commit = (fun () -> ()) })
+  | Fastsim_exec.Pool.Crashed m -> settle_active t a (S_crashed m)
+  | Fastsim_exec.Pool.Timed_out -> settle_active t a S_timed_out
 
 (* ---------------------------------------------------------------- *)
 (* Stats. *)
@@ -407,8 +548,7 @@ let server_json t =
   J.Obj
     [ ("uptime_s", J.Float (Unix.gettimeofday () -. t.started));
       ("draining", J.Bool t.draining);
-      ("backend",
-       J.Str (match t.cfg.backend with `Fork -> "fork" | `Inline -> "inline"));
+      ("backend", J.Str (backend_name t.cfg.backend));
       ("jobs", J.Int t.cfg.jobs);
       ("queue_depth", J.Int (Queue.length t.queue));
       ("running", J.Int (List.length t.actives));
@@ -422,11 +562,22 @@ let server_json t =
         J.Float (Fastsim_obs.Metrics.gauge_value t.g_replay) );
       ("programs_known", J.Int (Hashtbl.length t.programs)) ]
 
+(* With the fleet backend, the registry lives sharded inside the
+   workers; the parent presents the aggregate (same shape), so stats
+   consumers need not care which backend is running. *)
+let registry_json t =
+  match t.fleet with
+  | Some f -> Fleet.registry_json f
+  | None -> Registry.stats_json t.registry
+
 let stats_json t =
   J.Obj
-    [ ("server", server_json t);
-      ("registry", Registry.stats_json t.registry);
-      ("metrics", Fastsim_obs.Metrics.to_json t.metrics) ]
+    ([ ("server", server_json t);
+       ("registry", registry_json t) ]
+    @ (match t.fleet with
+       | Some f -> [ ("fleet", Fleet.shards_json f) ]
+       | None -> [])
+    @ [ ("metrics", Fastsim_obs.Metrics.to_json t.metrics) ])
 
 (* The telemetry frame: everything a scraper needs in one snapshot.
    [at] lets a poller compute interval rates without trusting its own
@@ -436,7 +587,7 @@ let telemetry_json t ~include_trace =
   let base =
     [ ("at", J.Float (Unix.gettimeofday ()));
       ("server", server_json t);
-      ("registry", Registry.stats_json t.registry);
+      ("registry", registry_json t);
       ("metrics",
        Metrics.snapshot_to_json (Metrics.snapshot t.metrics)) ]
   in
@@ -461,7 +612,7 @@ let handle_request t conn req =
   match req with
   | Proto.Hello { proto } ->
     if proto <> Proto.version then begin
-      send conn
+      send t conn
         (err Proto.Unsupported_proto
            (Printf.sprintf "server speaks proto %d, client sent %d"
               Proto.version proto));
@@ -469,21 +620,21 @@ let handle_request t conn req =
     end
     else begin
       conn.c_greeted <- true;
-      send conn (Proto.R_hello { proto = Proto.version })
+      send t conn (Proto.R_hello { proto = Proto.version })
     end
   | _ when not conn.c_greeted ->
-    send conn (err Proto.Bad_request "expected hello first");
+    send t conn (err Proto.Bad_request "expected hello first");
     conn.c_closing <- true
-  | Proto.Ping { id } -> send conn (Proto.Pong { id })
+  | Proto.Ping { id } -> send t conn (Proto.Pong { id })
   | Proto.Stats { id } ->
-    send conn (Proto.R_stats { id; stats = stats_json t })
+    send t conn (Proto.R_stats { id; stats = stats_json t })
   | Proto.Telemetry { id; include_trace } ->
-    send conn
+    send t conn
       (Proto.R_telemetry { id; telemetry = telemetry_json t ~include_trace })
   | Proto.Shutdown { id } ->
     t.draining <- true;
     Log.info (log_of t) ~event:"serve.drain" [ ("conn", J.Int conn.c_id) ];
-    send conn (Proto.Accepted { id })
+    send t conn (Proto.Accepted { id })
   | Proto.Cancel { id } -> (
     (* queued first: cheap and race-free *)
     let found = ref false in
@@ -492,7 +643,7 @@ let handle_request t conn req =
       (fun (p : pending) ->
         if (not !found) && p.p_id = id && p.p_conn = conn.c_id then begin
           found := true;
-          send conn (err ~id Proto.Cancelled "run cancelled")
+          send t conn (err ~id Proto.Cancelled "run cancelled")
         end
         else Queue.add p keep)
       t.queue;
@@ -506,21 +657,26 @@ let handle_request t conn req =
             && not a.a_cancelled)
           t.actives
       with
-      | Some a ->
+      | Some a -> (
         a.a_cancelled <- true;
-        Async.kill a.a_task
+        match a.a_task with
+        | H_fork task -> Async.kill task
+        | H_fleet shard -> (
+          match t.fleet with
+          | Some f -> Fleet.cancel f ~shard
+          | None -> ()))
       | None ->
-        send conn
+        send t conn
           (err ~id Proto.Bad_request
              (Printf.sprintf "no cancellable run with id %S" id)))
   | Proto.Run { id; engine; spec; program; fault } ->
     if t.draining then
-      send conn (err ~id Proto.Shutting_down "server is draining")
+      send t conn (err ~id Proto.Shutting_down "server is draining")
     else if fault <> None && not t.cfg.allow_fault then
-      send conn
+      send t conn
         (err ~id Proto.Bad_request "fault injection disabled on this server")
     else if Queue.length t.queue >= t.cfg.queue_max then
-      send conn
+      send t conn
         (err ~id Proto.Overloaded
            (Printf.sprintf "queue full (%d requests)" t.cfg.queue_max))
     else (
@@ -530,7 +686,7 @@ let handle_request t conn req =
           [ ("id", J.Str id);
             ("code", J.Str (Proto.error_code_to_string code));
             ("message", J.Str m) ];
-        send conn (err ~id code m)
+        send t conn (err ~id code m)
       | Ok (prog, digest) ->
         let rid = Span.mint_id () in
         let p =
@@ -545,12 +701,12 @@ let handle_request t conn req =
             ("digest", J.Str digest);
             ("queue_depth", J.Int (Queue.length t.queue)) ];
         Queue.add p t.queue;
-        send conn (Proto.Accepted { id }))
+        send t conn (Proto.Accepted { id }))
 
 let handle_frame t conn j =
   match Proto.request_of_json j with
   | Ok req -> handle_request t conn req
-  | Error m -> send conn (err Proto.Bad_request m)
+  | Error m -> send t conn (err Proto.Bad_request m)
 
 (* ---------------------------------------------------------------- *)
 (* Socket plumbing. *)
@@ -578,34 +734,12 @@ let make_listener = function
     Unix.set_nonblock fd;
     fd
 
-let close_conn t conn =
-  if not conn.c_dead then begin
-    conn.c_dead <- true;
-    Log.debug (log_of t) ~event:"serve.conn_closed"
-      [ ("conn", J.Int conn.c_id) ];
-    (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
-    (* orphan this connection's work: dequeue what hasn't started, let
-       what has run to completion but drop the delivery *)
-    let keep = Queue.create () in
-    Queue.iter
-      (fun (p : pending) ->
-        if p.p_conn <> conn.c_id then Queue.add p keep)
-      t.queue;
-    Queue.clear t.queue;
-    Queue.transfer keep t.queue;
-    List.iter
-      (fun a -> if a.a_req.p_conn = conn.c_id then a.a_dropped <- true)
-      t.actives;
-    t.conns <- List.filter (fun c -> c.c_id <> conn.c_id) t.conns
-  end
-
-let read_chunk = Bytes.create 65536
-
 let pump_reads t conn =
-  match Unix.read conn.c_fd read_chunk 0 (Bytes.length read_chunk) with
+  match Unix.read conn.c_fd conn.c_read_buf 0 (Bytes.length conn.c_read_buf)
+  with
   | 0 -> close_conn t conn
   | n ->
-    Proto.Decoder.feed conn.c_dec read_chunk n;
+    Proto.Decoder.feed conn.c_dec conn.c_read_buf n;
     let rec drain () =
       if not (conn.c_dead || conn.c_closing) then begin
         let t0 = Span.now_us () in
@@ -618,7 +752,7 @@ let pump_reads t conn =
         | Error m ->
           Log.warn (log_of t) ~event:"serve.bad_frame"
             [ ("conn", J.Int conn.c_id); ("error", J.Str m) ];
-          send conn (err Proto.Bad_request m);
+          send t conn (err Proto.Bad_request m);
           conn.c_closing <- true
       end
     in
@@ -628,25 +762,11 @@ let pump_reads t conn =
   | exception Unix.Unix_error (_, _, _) -> close_conn t conn
 
 let pump_writes t conn =
-  let len = Buffer.length conn.c_out - conn.c_out_pos in
-  if len > 0 then begin
-    let data = Buffer.to_bytes conn.c_out in
-    match Unix.write conn.c_fd data conn.c_out_pos len with
-    | n ->
-      conn.c_out_pos <- conn.c_out_pos + n;
-      if conn.c_out_pos >= Buffer.length conn.c_out then begin
-        Buffer.clear conn.c_out;
-        conn.c_out_pos <- 0
-      end
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-      ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | exception Unix.Unix_error (_, _, _) -> close_conn t conn
-  end;
-  if
-    conn.c_closing && (not conn.c_dead)
-    && Buffer.length conn.c_out = conn.c_out_pos
-  then close_conn t conn
+  (match Outq.pump conn.c_out conn.c_fd with
+   | `Ok -> ()
+   | `Closed -> close_conn t conn);
+  if conn.c_closing && (not conn.c_dead) && Outq.is_empty conn.c_out then
+    close_conn t conn
 
 (* ---------------------------------------------------------------- *)
 
@@ -709,17 +829,26 @@ let run cfg =
       h_replay_pct =
         Fastsim_obs.Metrics.histogram metrics "serve.replay_fraction_pct";
       span_ring = Fastsim_obs.Ring.create ~capacity:(max 1 cfg.span_keep);
-      queue = Queue.create (); actives = []; conns = []; draining = false;
-      next_seq = 0; started = Unix.gettimeofday () }
+      queue = Queue.create (); fleet = None; actives = []; conns = [];
+      draining = false; next_seq = 0; started = Unix.gettimeofday () }
   in
   Log.info cfg.log ~event:"serve.start"
     [ ("address", J.Str (Proto.address_to_string cfg.address));
-      ("backend",
-       J.Str (match cfg.backend with `Fork -> "fork" | `Inline -> "inline"));
+      ("backend", J.Str (backend_name cfg.backend));
       ("jobs", J.Int cfg.jobs) ];
   let listener = make_listener cfg.address in
-  (* a client that disappears mid-write must not kill the daemon *)
+  (* a client that disappears mid-write must not kill the daemon; the
+     fleet also relies on this when a shard worker dies under a write *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (match cfg.backend with
+   | `Fleet ->
+     t.fleet <-
+       Some
+         (Fleet.create
+            ~dir:(Filename.concat scratch "fleet")
+            ~jobs:(max 1 cfg.jobs) ?budget_bytes:cfg.registry_budget
+            ~transport:cfg.fleet_transport ~metrics ~log:cfg.log ())
+   | `Fork | `Inline -> ());
   let previous_term =
     try
       Some
@@ -737,8 +866,7 @@ let run cfg =
   if not cfg.quiet then begin
     Printf.printf "fastsim-serve: listening on %s (backend %s, jobs %d)\n"
       (Proto.address_to_string cfg.address)
-      (match cfg.backend with `Fork -> "fork" | `Inline -> "inline")
-      cfg.jobs;
+      (backend_name cfg.backend) cfg.jobs;
     flush stdout
   end;
   let next_conn_id = ref 0 in
@@ -753,8 +881,8 @@ let run cfg =
           [ ("conn", J.Int !next_conn_id) ];
         t.conns <-
           { c_fd = fd; c_id = !next_conn_id; c_dec = Proto.Decoder.create ();
-            c_out = Buffer.create 1024; c_out_pos = 0; c_greeted = false;
-            c_closing = false; c_dead = false }
+            c_out = Outq.create (); c_read_buf = Bytes.create 65536;
+            c_greeted = false; c_closing = false; c_dead = false }
           :: t.conns;
         go ()
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
@@ -766,7 +894,13 @@ let run cfg =
   let finished = ref false in
   Fun.protect
     ~finally:(fun () ->
-      List.iter (fun a -> Async.stop a.a_task) t.actives;
+      List.iter
+        (fun a ->
+          match a.a_task with
+          | H_fork task -> Async.stop task
+          | H_fleet _ -> ())
+        t.actives;
+      (match t.fleet with Some f -> Fleet.stop f | None -> ());
       List.iter (fun c -> try Unix.close c.c_fd with _ -> ()) t.conns;
       (try Unix.close listener with _ -> ());
       (match cfg.address with
@@ -795,18 +929,22 @@ let run cfg =
     (fun () ->
       while not !finished do
         (* dispatch while worker slots are free *)
-        while
-          (not (Queue.is_empty t.queue))
-          && List.length t.actives < max 1 t.cfg.jobs
-        do
-          let p = Queue.pop t.queue in
-          match conn_by_id t p.p_conn with
-          | None -> () (* client vanished while queued *)
-          | Some _ -> (
-            match t.cfg.backend with
-            | `Inline -> run_inline t p
-            | `Fork -> dispatch_fork t p)
-        done;
+        (match t.fleet with
+         | Some fleet -> dispatch_fleet_round t fleet
+         | None ->
+           while
+             (not (Queue.is_empty t.queue))
+             && List.length t.actives < max 1 t.cfg.jobs
+           do
+             let p = Queue.pop t.queue in
+             match conn_by_id t p.p_conn with
+             | None -> () (* client vanished while queued *)
+             | Some _ -> (
+               match t.cfg.backend with
+               | `Inline -> run_inline t p
+               | `Fork -> dispatch_fork t p
+               | `Fleet -> assert false (* fleet is Some above *))
+           done);
         Fastsim_obs.Metrics.set t.g_queue
           (float_of_int (Queue.length t.queue));
         Fastsim_obs.Metrics.set t.g_running
@@ -815,32 +953,47 @@ let run cfg =
         let still = ref [] in
         List.iter
           (fun a ->
-            match Async.poll a.a_task with
-            | Some outcome -> settle_active t a outcome
-            | None -> still := a :: !still)
+            match a.a_task with
+            | H_fork task -> (
+              match Async.poll task with
+              | Some outcome -> settle_fork t a outcome
+              | None -> still := a :: !still)
+            | H_fleet shard -> (
+              match t.fleet with
+              | None -> () (* unreachable: fleet actives imply a fleet *)
+              | Some fleet -> (
+                match Fleet.poll fleet ~shard with
+                | Some outcome -> settle_fleet t a outcome
+                | None -> still := a :: !still)))
           t.actives;
         t.actives <- List.rev !still;
         (* enforce per-run timeouts *)
         if t.cfg.timeout_s > 0. then
           List.iter
             (fun a ->
-              if Async.elapsed a.a_task > t.cfg.timeout_s then
-                Async.kill a.a_task)
+              match a.a_task with
+              | H_fork task ->
+                if Async.elapsed task > t.cfg.timeout_s then Async.kill task
+              | H_fleet shard -> (
+                match t.fleet with
+                | None -> ()
+                | Some fleet ->
+                  if Fleet.elapsed fleet ~shard > t.cfg.timeout_s then
+                    Fleet.cancel fleet ~shard))
             t.actives;
-        (* multiplex the sockets *)
+        (* multiplex the sockets (and the fleet's response pipes) *)
         let reads =
           (if t.draining then [] else [ listener ])
           @ List.filter_map
               (fun c -> if c.c_dead then None else Some c.c_fd)
               t.conns
+          @ (match t.fleet with Some f -> Fleet.fds f | None -> [])
         in
         let writes =
           List.filter_map
             (fun c ->
-              if
-                (not c.c_dead)
-                && Buffer.length c.c_out > c.c_out_pos
-              then Some c.c_fd
+              if (not c.c_dead) && Outq.pending c.c_out > 0 then
+                Some c.c_fd
               else None)
             t.conns
         in
@@ -861,7 +1014,7 @@ let run cfg =
             if
               (not c.c_dead)
               && (List.mem c.c_fd writable
-                 || (c.c_closing && Buffer.length c.c_out = c.c_out_pos))
+                 || (c.c_closing && Outq.is_empty c.c_out))
             then pump_writes t c)
           t.conns;
         (* drain complete? flush remaining output first *)
@@ -869,9 +1022,7 @@ let run cfg =
           t.draining
           && Queue.is_empty t.queue
           && t.actives = []
-          && List.for_all
-               (fun c -> Buffer.length c.c_out = c.c_out_pos)
-               t.conns
+          && List.for_all (fun c -> Outq.is_empty c.c_out) t.conns
         then finished := true
       done);
   Log.info cfg.log ~event:"serve.exit" [];

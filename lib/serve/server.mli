@@ -18,19 +18,28 @@
       and queued work completes and is delivered, new work is refused
       with [shutting_down], then the daemon exits. *)
 
-type backend = [ `Fork | `Inline ]
-(** [`Fork] (production): one worker process per run — crash isolation,
-    timeouts, [jobs]-way parallelism; warm caches reach workers by
-    fork-time copy-on-write and updated caches return as
-    {!Memo.Persist} files. [`Inline] (tests, debugging): runs execute
-    synchronously inside the server process — deterministic, no
-    parallelism, no timeout enforcement; the registry stays live
-    in-process. *)
+type backend = [ `Fleet | `Fork | `Inline ]
+(** [`Fleet] (production, default): a fixed pool of [jobs] long-lived
+    shard workers ({!Fleet}); requests route by program-digest affinity
+    and warm caches stay inside their shard as live pointers — no
+    per-request fork, no cache serialization on the hot path.
+    [`Fork] (legacy baseline): one worker process per run — warm caches
+    reach workers by fork-time copy-on-write and updated caches return
+    as {!Memo.Persist} files adopted into the parent registry.
+    [`Inline] (tests, debugging): runs execute synchronously inside the
+    server process — deterministic, no parallelism, no timeout
+    enforcement; the registry stays live in-process. *)
+
+val backend_name : backend -> string
 
 type config = {
   address : Proto.address;
   backend : backend;
-  jobs : int;               (** concurrent workers (Fork). *)
+  fleet_transport : Fleet.transport;
+      (** [`Process] (default) or [`Domain] (OCaml 5 only; see
+          {!Fleet}); ignored by the other backends. *)
+  jobs : int;               (** shard workers (Fleet) / concurrent
+                                worker processes (Fork). *)
   queue_max : int;          (** queued (not yet running) request bound. *)
   timeout_s : float;        (** per-run wall clock; 0 = unlimited. *)
   registry_budget : int option;
@@ -57,12 +66,17 @@ type config = {
   span_keep : int;
       (** how many recent request spans the telemetry ring buffers for
           [telemetry] frames with [trace=true] (default 2048). *)
+  max_out_bytes : int;
+      (** per-connection output backlog bound: a client that stops
+          reading while this many bytes queue is a slow consumer and is
+          closed (its backlog discarded) rather than allowed to grow the
+          daemon's heap without bound. Default 64 MiB; [0] = unbounded. *)
 }
 
 val default_config : Proto.address -> config
-(** Fork backend, [jobs = 2], [queue_max = 64], no timeout, unbounded
-    registry, temp scratch, faults refused, no logging, no slow-trace
-    dumps.
+(** Fleet backend over process workers, [jobs = 2], [queue_max = 64],
+    no timeout, unbounded registry, temp scratch, faults refused, no
+    logging, no slow-trace dumps.
 
     Observability (all strictly passive — simulation results are
     bit-identical with everything enabled): every accepted run gets a

@@ -723,6 +723,526 @@ let test_daemon_telemetry_acceptance () =
             (has "serve.settled");
           Alcotest.(check bool) "pool spawns logged" true (has "pool.spawn")))
 
+(* ---------------------------------------------------------------- *)
+(* Outq: the offset-windowed output queue behind pump_writes. Chunks
+   drain across partial writes without recopying, pending tracks unsent
+   bytes exactly, and a vanished peer surfaces as [`Closed]. *)
+
+let test_outq_windowed_writes () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let module Outq = Fastsim_serve.Outq in
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock a;
+  Unix.set_nonblock b;
+  (* a small send buffer forces several partial writes per chunk *)
+  (try Unix.setsockopt_int a Unix.SO_SNDBUF 4096 with Unix.Unix_error _ -> ());
+  let q = Outq.create () in
+  check Alcotest.bool "fresh queue empty" true (Outq.is_empty q);
+  let chunk n = Bytes.init 65536 (fun i -> Char.chr ((i + n) land 0xff)) in
+  Outq.push q (chunk 0);
+  Outq.push q (chunk 1);
+  check Alcotest.int "pending counts both chunks" (2 * 65536)
+    (Outq.pending q);
+  let got = Buffer.create (2 * 65536) in
+  let rbuf = Bytes.create 8192 in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while
+    ((not (Outq.is_empty q)) || Buffer.length got < 2 * 65536)
+    && Unix.gettimeofday () < deadline
+  do
+    (match Outq.pump q a with
+     | `Ok -> ()
+     | `Closed -> Alcotest.fail "pump reported closed on a live peer");
+    let rec drain () =
+      match Unix.read b rbuf 0 (Bytes.length rbuf) with
+      | n when n > 0 ->
+        Buffer.add_subbytes got rbuf 0 n;
+        drain ()
+      | _ -> ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+    in
+    drain ()
+  done;
+  check Alcotest.bool "queue drained" true (Outq.is_empty q);
+  check Alcotest.int "pending back to zero" 0 (Outq.pending q);
+  let expect = Bytes.cat (chunk 0) (chunk 1) in
+  check Alcotest.string "bytes arrive in order, uncorrupted"
+    (Digest.to_hex (Digest.bytes expect))
+    (Digest.to_hex (Digest.string (Buffer.contents got)));
+  (* a closed consumer: pump reports `Closed once the kernel notices *)
+  Unix.close b;
+  Outq.push q (Bytes.make 4096 'x');
+  let rec until_closed tries =
+    if tries = 0 then Alcotest.fail "pump never reported closed peer"
+    else
+      match Outq.pump q a with
+      | `Closed -> ()
+      | `Ok ->
+        Outq.push q (Bytes.make 4096 'x');
+        until_closed (tries - 1)
+  in
+  until_closed 100;
+  Outq.clear q;
+  check Alcotest.bool "clear empties" true (Outq.is_empty q);
+  Unix.close a
+
+(* A consumer that stops reading while responses pile up is closed once
+   its backlog exceeds the output budget — the daemon's heap no longer
+   grows with the slowest client, and other connections are unaffected. *)
+let test_daemon_slow_consumer () =
+  let tweak cfg (_ : string) = { cfg with Server.max_out_bytes = 8192 } in
+  with_server ~backend:`Inline ~tweak (fun addr c0 ->
+      let flood =
+        match Client.connect ~retries:20 addr with
+        | Ok c -> c
+        | Error m -> Alcotest.failf "connect: %s" m
+      in
+      (* fire stats requests without reading any replies: the server
+         queues responses until the budget trips and cuts us loose *)
+      let sent = ref 0 in
+      (try
+         for i = 1 to 200 do
+           match Client.send flood (Proto.Stats { id = string_of_int i }) with
+           | Ok () -> incr sent
+           | Error _ -> raise Exit
+         done
+       with Exit -> ());
+      Alcotest.(check bool) "some requests went out" true (!sent > 10);
+      (* now try to read them all back: the server closed us early, so
+         we must hit EOF before the full set arrives *)
+      let received = ref 0 in
+      (try
+         while !received < !sent do
+           match Client.recv flood with
+           | Ok _ -> incr received
+           | Error _ -> raise Exit
+         done
+       with Exit -> ());
+      Client.close flood;
+      Alcotest.(check bool)
+        (Printf.sprintf "connection cut before all replies (%d/%d)"
+           !received !sent)
+        true
+        (!received < !sent);
+      (* the well-behaved connection still works *)
+      match run_ok c0 ~id:"after" ~engine:`Fast (wref "li") with
+      | Proto.Result _ -> ()
+      | _ -> assert false)
+
+(* ---------------------------------------------------------------- *)
+(* Registry.adopt: the rename path, the cross-filesystem copy fallback,
+   and a missing source never installing a phantom entry. *)
+
+let test_adopt_fallback () =
+  Fastsim_exec.Pool.with_temp_dir ~prefix:"fastsim-adopt" (fun dir ->
+      let _, prog = workload "li" in
+      let digest = Digest.to_hex (Memo.Persist.program_digest prog) in
+      let reg = Registry.create ~dir:(Filename.concat dir "reg") () in
+      let key = Registry.spec_key Spec.default in
+      let acquire () =
+        Registry.acquire reg ~digest ~spec_key:key
+          ~policy:Memo.Pcache.Unbounded ~program:prog
+      in
+      (* a worker-made cache, saved where a worker would leave it *)
+      let pc = Memo.Pcache.create () in
+      let cold =
+        Sim.run ~engine:`Fast (Spec.with_pcache pc Spec.default) prog
+      in
+      let save_src path =
+        Memo.Persist.save_file pc ~program:prog path;
+        path
+      in
+      (* cross-filesystem source when the host offers one (/dev/shm is
+         usually a different mount than the temp dir): rename fails
+         EXDEV and adopt must fall back to copy-then-rename. On hosts
+         where both land on one filesystem this degrades to the plain
+         rename path — still a valid adoption. *)
+      let src =
+        let shm = "/dev/shm" in
+        let usable =
+          Sys.file_exists shm && Sys.is_directory shm
+          && (try
+                let probe = Filename.concat shm
+                    (Printf.sprintf "fastsim-adopt-%d" (Unix.getpid ())) in
+                let oc = open_out probe in
+                close_out oc;
+                Sys.remove probe;
+                true
+              with Sys_error _ -> false)
+        in
+        if usable then
+          save_src
+            (Filename.concat shm
+               (Printf.sprintf "fastsim-adopt-%d.pcache" (Unix.getpid ())))
+        else save_src (Filename.concat dir "handoff.pcache")
+      in
+      Registry.adopt reg ~digest ~spec_key:key ~src ~bytes:1;
+      Alcotest.(check bool) "source consumed" false (Sys.file_exists src);
+      Alcotest.(check bool) "no temp copy left behind" true
+        (Array.for_all
+           (fun f -> not (Filename.check_suffix f ".adopt"))
+           (Sys.readdir (Filename.concat dir "reg")));
+      (* the adopted file reloads and actually replays *)
+      (match acquire () with
+       | None -> Alcotest.fail "adopted entry did not reload"
+       | Some pc' ->
+         let r =
+           Sim.run ~engine:`Fast (Spec.with_pcache pc' Spec.default) prog
+         in
+         check Alcotest.string "adopted cache replays identically"
+           (arch_str cold) (arch_str r);
+         (match r.Sim.memo with
+          | Some m ->
+            Alcotest.(check bool) "adopted cache replays" true
+              (m.Memo.Stats.replayed_retired > 0)
+          | None -> Alcotest.fail "no memo stats"));
+      (* a vanished source must not install an entry that acquire would
+         then vouch for *)
+      let key2 = Registry.spec_key (Spec.with_predictor Sim.Taken Spec.default) in
+      Registry.adopt reg ~digest ~spec_key:key2
+        ~src:(Filename.concat dir "nonexistent.pcache") ~bytes:1;
+      match
+        Registry.acquire reg ~digest ~spec_key:key2
+          ~policy:Memo.Pcache.Unbounded ~program:prog
+      with
+      | Some _ -> Alcotest.fail "phantom adoption produced a cache"
+      | None -> ())
+
+(* Several forked workers produce persist files concurrently; the
+   parent adopts them all under a budget that fits only one hot cache,
+   then reloads each — adoption, reload and LRU eviction interleave
+   without losing an entry. *)
+let test_adopt_concurrent_workers () =
+  Fastsim_exec.Pool.with_temp_dir ~prefix:"fastsim-adoptc" (fun dir ->
+      let _, prog = workload "li" in
+      let digest = Digest.to_hex (Memo.Persist.program_digest prog) in
+      let specs =
+        [ Spec.default;
+          Spec.with_predictor Sim.Taken Spec.default;
+          Spec.with_predictor Sim.Not_taken Spec.default ]
+      in
+      (* a 1-byte budget: every commit evicts all other hot entries, so
+         adoption, reload and LRU eviction interleave maximally *)
+      let reg =
+        Registry.create ~dir:(Filename.concat dir "reg") ~budget_bytes:1
+          ~program_of:(fun d -> if d = digest then Some prog else None)
+          ()
+      in
+      let srcs =
+        List.mapi
+          (fun i _ -> Filename.concat dir (Printf.sprintf "w%d.pcache" i))
+          specs
+      in
+      flush stdout;
+      flush stderr;
+      let pids =
+        List.map2
+          (fun spec src ->
+            match Unix.fork () with
+            | 0 ->
+              (try
+                 let pc = Memo.Pcache.create () in
+                 ignore
+                   (Sim.run ~engine:`Fast (Spec.with_pcache pc spec) prog
+                     : Sim.result);
+                 Memo.Persist.save_file pc ~program:prog src;
+                 Unix._exit 0
+               with _ -> Unix._exit 1)
+            | pid -> pid)
+          specs srcs
+      in
+      List.iter
+        (fun pid ->
+          match Unix.waitpid [] pid with
+          | _, Unix.WEXITED 0 -> ()
+          | _ -> Alcotest.fail "worker child failed")
+        pids;
+      List.iter2
+        (fun spec src ->
+          Registry.adopt reg ~digest ~spec_key:(Registry.spec_key spec) ~src
+            ~bytes:1)
+        specs srcs;
+      check Alcotest.int "every adoption landed" (List.length specs)
+        (Registry.entry_count reg);
+      (* reload each under the tight budget: every acquire succeeds and
+         replays, while LRU eviction keeps the hot footprint at one *)
+      List.iter
+        (fun spec ->
+          match
+            Registry.acquire reg ~digest ~spec_key:(Registry.spec_key spec)
+              ~policy:spec.Spec.policy ~program:prog
+          with
+          | None -> Alcotest.fail "adopted entry lost"
+          | Some pc ->
+            let r = Sim.run ~engine:`Fast (Spec.with_pcache pc spec) prog in
+            (match r.Sim.memo with
+             | Some m ->
+               Alcotest.(check bool) "reloaded adoption replays" true
+                 (m.Memo.Stats.replayed_retired > 0)
+             | None -> Alcotest.fail "no memo stats");
+            Registry.commit_mem reg ~digest ~spec_key:(Registry.spec_key spec)
+              pc)
+        specs;
+      check Alcotest.int "all reloads counted" (List.length specs)
+        (Registry.reloads reg);
+      Alcotest.(check bool) "budget forced evictions" true
+        (Registry.evictions reg >= List.length specs - 1);
+      check Alcotest.int "one cache hot at the end" 1 (Registry.hot_count reg))
+
+(* ---------------------------------------------------------------- *)
+(* The fleet backend: persistent shard workers with digest-affinity
+   warm caches. *)
+
+(* stats helpers: descend ["server"; "running"] style paths *)
+let stats_get c keys =
+  match Client.stats c ~id:"poll" with
+  | Error m -> Alcotest.failf "stats: %s" m
+  | Ok j ->
+    let rec get j = function
+      | [] -> j
+      | k :: rest -> (
+        match j with
+        | J.Obj fs -> (
+          match List.assoc_opt k fs with
+          | Some v -> get v rest
+          | None -> Alcotest.failf "stats field %s missing" k)
+        | _ -> Alcotest.failf "stats field %s is not an object" k)
+    in
+    get j keys
+
+let stats_int c keys =
+  match stats_get c keys with
+  | J.Int n -> n
+  | _ -> Alcotest.failf "stats field %s not an int" (String.concat "." keys)
+
+let wait_until ~desc ?(timeout = 15.) f =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if f () then ()
+    else if Unix.gettimeofday () -. t0 > timeout then
+      Alcotest.failf "timed out waiting for %s" desc
+    else begin
+      Unix.sleepf 0.05;
+      go ()
+    end
+  in
+  go ()
+
+(* Bit-identity through the fleet: for every engine, a cold daemon
+   response equals a direct Sim.run byte-for-byte. *)
+let test_fleet_bit_identity () =
+  with_server ~backend:`Fleet ~jobs:2 (fun _ c ->
+      let _, prog = workload "li" in
+      List.iter
+        (fun engine ->
+          let expect = result_str (direct engine Spec.default prog) in
+          match run_ok c ~id:"bit" ~engine (wref "li") with
+          | Proto.Result { result; _ } ->
+            check Alcotest.string "fleet daemon = direct" expect
+              (result_str result)
+          | _ -> assert false)
+        [ `Fast; `Slow; `Baseline ])
+
+(* The tentpole's point: a repeat request hits the shard's live warm
+   cache — no acquire-time reload, no persist round-trip — and the
+   aggregated stats present the sharded registries as one. *)
+let test_fleet_warm_repeat () =
+  with_server ~backend:`Fleet ~jobs:2 (fun _ c ->
+      let first = run_ok c ~id:"a" ~engine:`Fast (wref "li") in
+      let second = run_ok c ~id:"b" ~engine:`Fast (wref "li") in
+      (match (first, second) with
+       | ( Proto.Result { result = r1; warm = w1; _ },
+           Proto.Result { result = r2; warm = w2; _ } ) ->
+         Alcotest.(check bool) "first is cold" false w1;
+         Alcotest.(check bool) "second is warm" true w2;
+         check Alcotest.string "warm result identical" (arch_str r1)
+           (arch_str r2);
+         (match r2.Sim.memo with
+          | Some m ->
+            Alcotest.(check bool) "warm run replays" true
+              (m.Memo.Stats.replayed_retired > 0)
+          | None -> Alcotest.fail "no memo stats")
+       | _ -> assert false);
+      (* aggregated registry stats count the shard-side hit *)
+      Alcotest.(check bool) "fleet-wide registry hit" true
+        (stats_int c [ "registry"; "hits" ] >= 1);
+      (* per-shard detail is exported; one shard took both requests
+         (digest affinity), no respawns happened *)
+      match stats_get c [ "fleet" ] with
+      | J.List shards ->
+        check Alcotest.int "one shard entry per job" 2 (List.length shards);
+        let requests =
+          List.map
+            (fun s ->
+              match s with
+              | J.Obj fs -> (
+                match List.assoc_opt "requests" fs with
+                | Some (J.Int n) -> n
+                | _ -> 0)
+              | _ -> 0)
+            shards
+        in
+        Alcotest.(check bool) "affinity kept both runs on one shard" true
+          (List.mem 2 requests)
+      | _ -> Alcotest.fail "stats.fleet missing")
+
+(* The serve acceptance test at higher concurrency: 8 clients firing at
+   4 shard workers, mixed workloads — every response architectural-
+   identical to a direct run. *)
+let test_fleet_concurrent_clients () =
+  with_server ~backend:`Fleet ~jobs:4 (fun addr c0 ->
+      let names =
+        [ "li"; "compress"; "li"; "compress"; "li"; "go"; "compress"; "li" ]
+      in
+      let conns =
+        c0
+        :: List.map
+             (fun _ ->
+               match Client.connect ~retries:20 addr with
+               | Ok c -> c
+               | Error m -> Alcotest.failf "connect: %s" m)
+             (List.tl names)
+      in
+      Fun.protect
+        ~finally:(fun () -> List.iter Client.close (List.tl conns))
+        (fun () ->
+          List.iteri
+            (fun i (c, name) ->
+              match
+                Client.send c
+                  (Proto.Run
+                     { id = Printf.sprintf "c%d" i; engine = `Fast;
+                       spec = Spec.default; program = wref name;
+                       fault = None })
+              with
+              | Ok () -> ()
+              | Error m -> Alcotest.failf "send: %s" m)
+            (List.combine conns names);
+          List.iteri
+            (fun i (c, name) ->
+              let _, prog = workload name in
+              let expect = arch_str (direct `Fast Spec.default prog) in
+              let rec await () =
+                match Client.recv c with
+                | Error m -> Alcotest.failf "recv: %s" m
+                | Ok (Proto.Accepted _) -> await ()
+                | Ok (Proto.Result { result; _ }) ->
+                  check Alcotest.string
+                    (Printf.sprintf "client %d (%s) = direct" i name)
+                    expect (arch_str result)
+                | Ok (Proto.Error { message; _ }) ->
+                  Alcotest.failf "client %d: %s" i message
+                | Ok _ -> Alcotest.failf "client %d: unexpected frame" i
+              in
+              await ())
+            (List.combine conns names)))
+
+(* A shard worker that crashes (exception) or dies (exit) surfaces as a
+   worker_crashed frame, the worker is respawned, and the shard serves
+   the next request — cold, since its warm caches died with it. *)
+let test_fleet_crash_respawn () =
+  with_server ~backend:`Fleet ~jobs:1 ~allow_fault:true (fun _ c ->
+      (match
+         Client.run c ~id:"boom" ~engine:`Fast ~spec:Spec.default
+           ~fault:"crash" (wref "li")
+       with
+       | Ok (Proto.Error { code = Proto.Worker_crashed; _ }) -> ()
+       | Ok _ -> Alcotest.fail "crash did not produce worker_crashed"
+       | Error m -> Alcotest.failf "crash request: %s" m);
+      (match run_ok c ~id:"after1" ~engine:`Fast (wref "li") with
+       | Proto.Result _ -> ()
+       | _ -> assert false);
+      (* a hard exit kills the worker process mid-request *)
+      (match
+         Client.run c ~id:"gone" ~engine:`Fast ~spec:Spec.default
+           ~fault:"exit" (wref "li")
+       with
+       | Ok (Proto.Error { code = Proto.Worker_crashed; _ }) -> ()
+       | Ok _ -> Alcotest.fail "exit did not produce worker_crashed"
+       | Error m -> Alcotest.failf "exit request: %s" m);
+      (match run_ok c ~id:"after2" ~engine:`Fast (wref "li") with
+       | Proto.Result _ -> ()
+       | _ -> assert false);
+      (* the exit respawned the lone shard at least once *)
+      match stats_get c [ "fleet" ] with
+      | J.List [ J.Obj fs ] -> (
+        match List.assoc_opt "respawns" fs with
+        | Some (J.Int n) -> Alcotest.(check bool) "respawn counted" true (n >= 1)
+        | _ -> Alcotest.fail "shard respawns missing")
+      | _ -> Alcotest.fail "stats.fleet missing")
+
+(* A hung shard worker is killed at the timeout; the shard respawns and
+   keeps serving. *)
+let test_fleet_timeout () =
+  with_server ~backend:`Fleet ~jobs:1 ~allow_fault:true ~timeout_s:0.3
+    (fun _ c ->
+      (match
+         Client.run c ~id:"hang" ~engine:`Fast ~spec:Spec.default
+           ~fault:"hang" (wref "li")
+       with
+       | Ok (Proto.Error { code = Proto.Timeout; _ }) -> ()
+       | Ok _ -> Alcotest.fail "hang did not time out"
+       | Error m -> Alcotest.failf "hang request: %s" m);
+      match run_ok c ~id:"after" ~engine:`Fast (wref "li") with
+      | Proto.Result _ -> ()
+      | _ -> assert false)
+
+(* Regression: a client that disconnects mid-run must not leave a worker
+   simulating for nobody. The run is cancelled, the slot freed, and the
+   next request proceeds — with jobs=1 the test deadlocks without the
+   orphan cancellation. *)
+let orphan_cancel_regression backend =
+  with_server ~backend ~jobs:1 ~allow_fault:true (fun addr c0 ->
+      let c1 =
+        match Client.connect ~retries:20 addr with
+        | Ok c -> c
+        | Error m -> Alcotest.failf "connect: %s" m
+      in
+      (match
+         Client.send c1
+           (Proto.Run
+              { id = "orphan"; engine = `Fast; spec = Spec.default;
+                program = wref "li"; fault = Some "hang" })
+       with
+       | Ok () -> ()
+       | Error m -> Alcotest.failf "send: %s" m);
+      wait_until ~desc:"hung run dispatched" (fun () ->
+          stats_int c0 [ "server"; "running" ] = 1);
+      (* the client vanishes; the daemon must reclaim the slot *)
+      Client.close c1;
+      wait_until ~desc:"orphaned run reaped" (fun () ->
+          stats_int c0 [ "server"; "running" ] = 0);
+      (* the lone slot is usable again *)
+      match run_ok c0 ~id:"next" ~engine:`Fast (wref "li") with
+      | Proto.Result _ -> ()
+      | _ -> assert false)
+
+let test_orphan_cancel_fork () = orphan_cancel_regression `Fork
+let test_orphan_cancel_fleet () = orphan_cancel_regression `Fleet
+
+(* The domain transport (OCaml 5 only): same identity and warmth
+   guarantees, no marshalling or fork anywhere. *)
+let test_fleet_domain_transport () =
+  if not Fastsim_exec.Domain_shim.available then ()
+  else
+    let tweak cfg (_ : string) =
+      { cfg with Server.fleet_transport = `Domain }
+    in
+    with_server ~backend:`Fleet ~jobs:2 ~tweak (fun _ c ->
+        let _, prog = workload "li" in
+        let expect = result_str (direct `Fast Spec.default prog) in
+        (match run_ok c ~id:"a" ~engine:`Fast (wref "li") with
+         | Proto.Result { result; _ } ->
+           check Alcotest.string "domain fleet = direct" expect
+             (result_str result)
+         | _ -> assert false);
+        match run_ok c ~id:"b" ~engine:`Fast (wref "li") with
+        | Proto.Result { warm; _ } ->
+          Alcotest.(check bool) "repeat is warm" true warm
+        | _ -> assert false)
+
 let suite =
   [ Alcotest.test_case "protocol frames round-trip" `Quick
       test_proto_roundtrip;
@@ -753,4 +1273,28 @@ let suite =
     Alcotest.test_case "fault injection is gated" `Quick
       test_daemon_fault_gate;
     Alcotest.test_case "telemetry acceptance: trace, histograms, identity"
-      `Quick test_daemon_telemetry_acceptance ]
+      `Quick test_daemon_telemetry_acceptance;
+    Alcotest.test_case "outq drains partial writes without copying" `Quick
+      test_outq_windowed_writes;
+    Alcotest.test_case "slow consumer is closed at the output budget" `Quick
+      test_daemon_slow_consumer;
+    Alcotest.test_case "registry adopt: rename, copy fallback, missing src"
+      `Quick test_adopt_fallback;
+    Alcotest.test_case "concurrent adoption under a tight budget" `Quick
+      test_adopt_concurrent_workers;
+    Alcotest.test_case "fleet matches direct run on every engine" `Quick
+      test_fleet_bit_identity;
+    Alcotest.test_case "fleet repeat request hits the shard warm cache"
+      `Quick test_fleet_warm_repeat;
+    Alcotest.test_case "fleet serves concurrent clients" `Quick
+      test_fleet_concurrent_clients;
+    Alcotest.test_case "fleet worker crash and exit respawn the shard"
+      `Quick test_fleet_crash_respawn;
+    Alcotest.test_case "fleet hung worker is timed out" `Quick
+      test_fleet_timeout;
+    Alcotest.test_case "disconnect cancels the orphaned run (fork)" `Quick
+      test_orphan_cancel_fork;
+    Alcotest.test_case "disconnect cancels the orphaned run (fleet)" `Quick
+      test_orphan_cancel_fleet;
+    Alcotest.test_case "fleet over domains (OCaml 5)" `Quick
+      test_fleet_domain_transport ]

@@ -26,6 +26,9 @@ let hotpath_stats : (string * float) list ref = ref []
 (* filled by the loadtest section; lands in the JSON artifact *)
 let loadtest_reports : (string * Fastsim_obs.Json.t) list ref = ref []
 
+(* filled by the strategy section; lands in the JSON artifact *)
+let strategy_report : Fastsim_obs.Json.t option ref = ref None
+
 let add_section s () = sections := s :: !sections
 
 let speclist =
@@ -55,6 +58,10 @@ let speclist =
       Arg.Unit (add_section "loadtest"),
       " daemon under concurrent load: fleet vs fork, cold vs warm \
        (req/s, p50/p99)" );
+    ( "--strategy",
+      Arg.Unit (add_section "strategy"),
+      " strategy engines: interval-parallel wall-clock vs serial, \
+       sampled estimation error (always full scale)" );
     ( "--require-speedup",
       Arg.Set_float require_speedup,
       "X exit 1 if any workload's fast-vs-slow speedup is below X (CI \
@@ -571,6 +578,8 @@ let write_json path =
           | stats -> Obj (List.map (fun (k, v) -> (k, Float v)) stats) );
         ( "loadtest",
           match !loadtest_reports with [] -> Null | l -> Obj l );
+        ( "strategy",
+          match !strategy_report with None -> Null | Some j -> j );
         ("workloads", List (List.map row_json rows)) ]
   in
   let oc = open_out path in
@@ -775,6 +784,98 @@ let loadtest () =
           @ [ (label, Fastsim_serve.Loadtest.report_to_json r) ])
     [ ("fleet", `Fleet); ("fork", `Fork) ]
 
+(* ---------------------------------------------------------------- *)
+(* Strategy engines (docs/STRATEGY.md): interval-parallel wall-clock
+   against the serial reference it must reproduce bit-for-bit, and the
+   sampled engine's estimation error against the exact run. Always at
+   full scale, even under --quick: the timing ratio is meaningless on
+   millisecond-long runs where fork/marshal overhead dominates. *)
+
+let strategy_section () =
+  header
+    "Strategy engines: interval-parallel stitching and periodic sampling";
+  let cores = Fastsim_exec.Domain_shim.recommended_jobs () in
+  let jobs = max 2 cores in
+  let once f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let w = Workloads.Suite.find name in
+        let prog = w.Workloads.Workload.build w.default_scale in
+        let slow, t_slow =
+          once (fun () -> Fastsim.Sim.run ~engine:`Slow Spec.default prog)
+        in
+        let t = slow.Fastsim.Sim.retired in
+        let parallel =
+          Fastsim.Sim.Parallel
+            { interval_insns = max 1 (t / 3);
+              warmup_insns = max 1 (t / 64);
+              fanout = Some (Fastsim_exec.Strategy_pool.fanout ~jobs ()) }
+        in
+        let par, t_par =
+          once (fun () ->
+              Fastsim.Sim.run ~strategy:parallel ~engine:`Slow Spec.default
+                prog)
+        in
+        let prov r =
+          match r.Fastsim.Sim.provenance with
+          | Some p -> p
+          | None -> failwith "strategy run without provenance"
+        in
+        let pp = prov par in
+        let agreement = par.Fastsim.Sim.cycles = slow.Fastsim.Sim.cycles in
+        let fast, _ =
+          once (fun () -> Fastsim.Sim.run ~engine:`Fast Spec.default prog)
+        in
+        let sampled =
+          Fastsim.Sim.Sampled
+            { sample_insns = max 1 (t / 40);
+              sample_period = max 1 (t / 20);
+              warmup_insns = max 1 (t / 80) }
+        in
+        let sam, t_sam =
+          once (fun () ->
+              Fastsim.Sim.run ~strategy:sampled ~engine:`Fast Spec.default
+                prog)
+        in
+        let err =
+          abs_float
+            (float_of_int (sam.Fastsim.Sim.cycles - fast.Fastsim.Sim.cycles))
+          /. float_of_int (max 1 fast.Fastsim.Sim.cycles)
+        in
+        Printf.printf
+          "%-12s serial %6.2fs  parallel %6.2fs (%4.2fx, %d/%d stitched%s)  \
+           sampled %5.2fs err %5.2f%%\n%!"
+          w.Workloads.Workload.name t_slow t_par (t_slow /. t_par)
+          pp.Fastsim.Sim.prov_accepted pp.Fastsim.Sim.prov_intervals
+          (if agreement then "" else ", CYCLE MISMATCH")
+          t_sam (100. *. err);
+        let open Fastsim_obs.Json in
+        Obj
+          [ ("name", Str w.Workloads.Workload.name);
+            ("retired", Int t);
+            ("serial_slow_s", Float t_slow);
+            ("parallel_s", Float t_par);
+            ("parallel_speedup", Float (t_slow /. t_par));
+            ("intervals", Int pp.Fastsim.Sim.prov_intervals);
+            ("accepted", Int pp.Fastsim.Sim.prov_accepted);
+            ("repaired", Int pp.Fastsim.Sim.prov_repaired);
+            ("cycle_agreement", Bool agreement);
+            ("sampled_s", Float t_sam);
+            ("sampled_windows", Int (prov sam).Fastsim.Sim.prov_intervals);
+            ("sampled_rel_err", Float err) ])
+      [ "go"; "m88ksim"; "ijpeg"; "perl" ]
+  in
+  strategy_report :=
+    Some
+      Fastsim_obs.Json.(
+        Obj [ ("jobs", Int jobs); ("cores", Int cores);
+              ("kernels", List rows) ])
+
 (* The CI gate: with --require-speedup X, any workload whose fast-vs-slow
    speedup falls below X fails the run (after the JSON artifact is
    written, so the evidence is always archived). *)
@@ -819,12 +920,14 @@ let () =
   if wanted "micro" then micro ();
   if wanted "hotpath" then hotpath ();
   if List.mem "loadtest" !sections then loadtest ();
+  if List.mem "strategy" !sections then strategy_section ();
   let failures = speedup_failures () in
   (* Only when the shared rows were actually measured: a --micro-only or
      --table 1 invocation should not trigger the full suite. *)
   if
     !json_out <> ""
-    && (Lazy.is_val rows || !hotpath_stats <> [] || !loadtest_reports <> [])
+    && (Lazy.is_val rows || !hotpath_stats <> [] || !loadtest_reports <> []
+        || !strategy_report <> None)
   then write_json !json_out;
   if failures <> [] then begin
     List.iter

@@ -131,6 +131,101 @@ let memo_report_arg =
           "After a fast run, print a detailed memoization report \
            (replay-episode statistics and p-action cache counters).")
 
+(* --strategy and its knobs (docs/STRATEGY.md) *)
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt (enum [ ("serial", `Serial); ("parallel", `Parallel);
+                  ("sampled", `Sampled) ])
+        `Serial
+    & info [ "strategy" ] ~docv:"STRATEGY"
+        ~doc:
+          "Simulation strategy: $(b,serial) (the default single pass), \
+           $(b,parallel) (interval-parallel with stitching; bit-identical \
+           to serial), or $(b,sampled) (SMARTS-style periodic sampling; \
+           exact architectural results, estimated timing).")
+
+let interval_insns_arg =
+  Arg.(
+    value
+    & opt int 50_000
+    & info [ "interval-insns" ] ~docv:"N"
+        ~doc:
+          "($(b,parallel)) Interval length in retired instructions; one \
+           worker simulates each interval.")
+
+let warmup_insns_arg =
+  Arg.(
+    value
+    & opt int 5_000
+    & info [ "warmup-insns" ] ~docv:"N"
+        ~doc:
+          "($(b,parallel)/$(b,sampled)) Detailed warmup run before each \
+           interval or sample window and discarded from its statistics.")
+
+let sample_insns_arg =
+  Arg.(
+    value
+    & opt int 2_000
+    & info [ "sample-insns" ] ~docv:"N"
+        ~doc:"($(b,sampled)) Measured window length, in retired instructions.")
+
+let sample_period_arg =
+  Arg.(
+    value
+    & opt int 50_000
+    & info [ "sample-period" ] ~docv:"N"
+        ~doc:
+          "($(b,sampled)) Distance between successive window starts, in \
+           retired instructions.")
+
+let strategy_jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"JOBS"
+        ~doc:
+          "($(b,parallel)) Worker processes for interval simulation \
+           (default: one per core).")
+
+let strategy_backend_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("fork", Fastsim_exec.Pool.Fork); ("domains", Fastsim_exec.Pool.Domains);
+             ("inline", Fastsim_exec.Pool.Inline) ])
+        Fastsim_exec.Pool.Fork
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "($(b,parallel)) Worker pool backend: $(b,fork), $(b,domains) \
+           or $(b,inline).")
+
+let print_provenance (r : Fastsim.Sim.result) =
+  match r.Fastsim.Sim.provenance with
+  | None -> ()
+  | Some p ->
+    (match p.Fastsim.Sim.prov_fallback with
+     | Some reason ->
+       Printf.printf "  strategy %s: fell back to serial (%s)\n"
+         p.prov_strategy reason
+     | None when p.prov_strategy = "parallel" ->
+       Printf.printf
+         "  strategy parallel: %d intervals, %d stitched, %d repaired\n"
+         p.prov_intervals p.prov_accepted p.prov_repaired
+     | None ->
+       Printf.printf "  strategy %s: %d intervals\n" p.prov_strategy
+         p.prov_intervals);
+    match p.Fastsim.Sim.prov_errors with
+    | [] -> ()
+    | errors ->
+      Printf.printf "  est. relative error:%s\n"
+        (String.concat ""
+           (List.map
+              (fun (k, e) -> Printf.sprintf " %s ±%.1f%%" k (100. *. e))
+              errors))
+
 let time f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
@@ -222,10 +317,24 @@ let print_memo_report (r : Fastsim.Sim.result) =
 
 let run_cmd =
   let run (w : Workloads.Workload.t) scale engine policy predictor tiny
-      save_pcache load_pcache trace_out trace_format metrics_out memo_report =
+      save_pcache load_pcache trace_out trace_format metrics_out memo_report
+      strategy_kind interval_insns warmup_insns sample_insns sample_period
+      jobs backend =
     let scale = Option.value scale ~default:w.default_scale in
     let prog = w.build scale in
     Printf.printf "%s (scale %d): %s\n" w.name scale w.description;
+    let strategy =
+      match strategy_kind with
+      | `Serial -> Fastsim.Sim.Serial
+      | `Parallel ->
+        Fastsim.Sim.Parallel
+          { interval_insns;
+            warmup_insns;
+            fanout =
+              Some (Fastsim_exec.Strategy_pool.fanout ~backend ?jobs ()) }
+      | `Sampled ->
+        Fastsim.Sim.Sampled { sample_insns; sample_period; warmup_insns }
+    in
     (* Observability is attached only when an output was requested, so a
        plain run pays nothing. With --engine all the instruments are
        shared: the trace then contains both engines' runs back to back. *)
@@ -290,8 +399,11 @@ let run_cmd =
         | None -> Memo.Pcache.create ~policy ()
       in
       let spec = Spec.with_pcache pcache spec in
-      let r, t = time (fun () -> Fastsim.Sim.run ~engine:`Fast spec prog) in
+      let r, t =
+        time (fun () -> Fastsim.Sim.run ~strategy ~engine:`Fast spec prog)
+      in
       print_result "FastSim" r t;
+      print_provenance r;
       if memo_report then print_memo_report r;
       (match save_pcache with
        | Some path ->
@@ -301,8 +413,11 @@ let run_cmd =
       r
     in
     let run_slow () =
-      let r, t = time (fun () -> Fastsim.Sim.run ~engine:`Slow spec prog) in
+      let r, t =
+        time (fun () -> Fastsim.Sim.run ~strategy ~engine:`Slow spec prog)
+      in
       print_result "SlowSim" r t;
+      print_provenance r;
       (r, t)
     in
     let run_base () =
@@ -342,7 +457,10 @@ let run_cmd =
     Term.(
       const run $ workload_arg $ scale_arg $ engine_arg $ policy_arg
       $ predictor_arg $ tiny_cache_arg $ save_pcache_arg $ load_pcache_arg
-      $ trace_out_arg $ trace_format_arg $ metrics_out_arg $ memo_report_arg)
+      $ trace_out_arg $ trace_format_arg $ metrics_out_arg $ memo_report_arg
+      $ strategy_arg $ interval_insns_arg $ warmup_insns_arg
+      $ sample_insns_arg $ sample_period_arg $ strategy_jobs_arg
+      $ strategy_backend_arg)
 
 let list_cmd =
   let list () =

@@ -71,10 +71,7 @@ let is_return prog pc =
     | Some (Isa.Instr.Jr rs) -> rs = Isa.Reg.link
     | Some _ | None -> false)
 
-let standard ?prog ?metrics () : Emu.Predictor.t =
-  let bht = Twobit.create () in
-  let btb = Btb.create () in
-  let ras = Ras.create () in
+let standard_over ?prog ?metrics bht btb ras : Emu.Predictor.t =
   (* Observability counters (find-or-create; absent registry = no-ops).
      Strictly passive: predictions are unaffected. *)
   let m name =
@@ -118,7 +115,71 @@ let standard ?prog ?metrics () : Emu.Predictor.t =
         if not (is_return prog pc) then Btb.train btb ~pc ~target);
     note_call = (fun ~pc:_ ~return_to -> Ras.push ras return_to) }
 
+let standard ?prog ?metrics () : Emu.Predictor.t =
+  standard_over ?prog ?metrics (Twobit.create ()) (Btb.create ())
+    (Ras.create ())
+
 let static_not_taken () = Emu.Predictor.always_not_taken
 
 let static_taken () : Emu.Predictor.t =
   { Emu.Predictor.always_not_taken with predict_cond = (fun ~pc:_ -> true) }
+
+(* ---- state capture (strategy engines, docs/STRATEGY.md) ------------ *)
+(* The predictor interface is a record of closures, so checkpointing a
+   run means capturing the tables those closures close over. A [handle]
+   pairs a predictor with save/load over its private tables. The saved
+   form is normalised plain data: RAS rotation is removed (only the live
+   entries, oldest first, are observable through push/pop), so byte
+   comparison of two saved states is a sound behavioural comparison. *)
+
+type state = {
+  s_bht : int array;
+  s_btb_tags : int array;
+  s_btb_targets : int array;
+  s_ras : int array;  (** live entries, oldest first. *)
+}
+
+type handle = {
+  h_pred : Emu.Predictor.t;
+  h_save : unit -> state;
+  h_load : state -> unit;
+}
+
+let empty_state =
+  { s_bht = [||]; s_btb_tags = [||]; s_btb_targets = [||]; s_ras = [||] }
+
+let static_handle pred =
+  { h_pred = pred;
+    h_save = (fun () -> empty_state);
+    h_load = (fun _ -> ()) }
+
+let standard_handle ?prog ?metrics () =
+  let bht = Twobit.create () in
+  let btb = Btb.create () in
+  let ras = Ras.create () in
+  let pred = standard_over ?prog ?metrics bht btb ras in
+  let save () =
+    let depth = Array.length ras.Ras.stack in
+    { s_bht = Array.copy bht.Twobit.counters;
+      s_btb_tags = Array.copy btb.Btb.tags;
+      s_btb_targets = Array.copy btb.Btb.targets;
+      s_ras =
+        Array.init ras.Ras.size (fun i ->
+            ras.Ras.stack.((ras.Ras.top - ras.Ras.size + i) land (depth - 1)))
+    }
+  in
+  let load (s : state) =
+    Array.blit s.s_bht 0 bht.Twobit.counters 0 (Array.length s.s_bht);
+    Array.blit s.s_btb_tags 0 btb.Btb.tags 0 (Array.length s.s_btb_tags);
+    Array.blit s.s_btb_targets 0 btb.Btb.targets 0
+      (Array.length s.s_btb_targets);
+    let depth = Array.length ras.Ras.stack in
+    Array.fill ras.Ras.stack 0 depth 0;
+    Array.blit s.s_ras 0 ras.Ras.stack 0 (Array.length s.s_ras);
+    ras.Ras.top <- Array.length s.s_ras land (depth - 1);
+    ras.Ras.size <- Array.length s.s_ras
+  in
+  { h_pred = pred; h_save = save; h_load = load }
+
+let not_taken_handle () = static_handle (static_not_taken ())
+let taken_handle () = static_handle (static_taken ())

@@ -64,3 +64,39 @@ val static_not_taken : unit -> Emu.Predictor.t
 
 val static_taken : unit -> Emu.Predictor.t
 (** Ablation predictor: always predicts taken. *)
+
+(** {1 State capture}
+
+    The strategy engines (interval-parallel and sampled simulation,
+    [docs/STRATEGY.md]) checkpoint a run's predictor tables at instruction
+    boundaries. Because {!Emu.Predictor.t} is a record of closures, capture
+    goes through a {!handle} that pairs a predictor with save/load over the
+    tables it closes over. *)
+
+type state = {
+  s_bht : int array;          (** 2-bit counter table. *)
+  s_btb_tags : int array;
+  s_btb_targets : int array;
+  s_ras : int array;
+      (** live RAS entries, oldest first — rotation is normalised away,
+          so byte-equal states are behaviourally equal. *)
+}
+(** Plain, closure-free predictor state: safe to [Marshal] across a
+    process boundary and to compare for behavioural equality. *)
+
+type handle = {
+  h_pred : Emu.Predictor.t;
+  h_save : unit -> state;     (** copies the live tables out. *)
+  h_load : state -> unit;     (** overwrites the live tables. *)
+}
+
+val standard_handle :
+  ?prog:Isa.Program.t -> ?metrics:Fastsim_obs.Metrics.t -> unit -> handle
+(** {!standard} with capture: a fresh BHT/BTB/RAS instance whose state can
+    be saved and restored. *)
+
+val not_taken_handle : unit -> handle
+(** {!static_not_taken} wrapped with empty (stateless) capture. *)
+
+val taken_handle : unit -> handle
+(** {!static_taken} wrapped with empty capture. *)

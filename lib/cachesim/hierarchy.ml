@@ -190,3 +190,71 @@ let reset_stats t =
   t.l2_misses <- 0;
   t.writebacks <- 0;
   t.merged_misses <- 0
+
+(* ---- capture / restore (strategy engines, docs/STRATEGY.md) -------- *)
+(* All of the hierarchy's temporal state (MSHR free times, outstanding
+   fill completions, the bus) is compared only against [now] or against
+   other timestamps, so shifting every timestamp by the same delta is
+   behaviour-preserving. A capture therefore stores times RELATIVE to the
+   capture cycle, clamped at 0 (a resource that freed in the past behaves
+   exactly like one that is free now), with MSHR arrays sorted (only the
+   multiset of free times is observable) and dead fill entries dropped
+   (a fill whose data already arrived behaves exactly like no entry).
+   The result is canonical: byte-equal states are behaviourally equal. *)
+
+type state = {
+  h_l1 : Setassoc.state;
+  h_l2 : Setassoc.state;
+  h_l1_mshr : int array;        (* relative, clamped, sorted *)
+  h_l2_mshr : int array;
+  h_fills : (int * int) array;  (* (line, relative ready > 0), by line *)
+  h_bus_free : int;             (* relative, clamped *)
+  h_stats : stats;              (* absolute counters; not behavioural *)
+}
+
+let capture t ~now : state =
+  let rel arr =
+    let a = Array.map (fun v -> max 0 (v - now)) arr in
+    Array.sort compare a;
+    a
+  in
+  let fills = ref [] in
+  Hashtbl.iter
+    (fun line ready -> if ready > now then fills := (line, ready - now) :: !fills)
+    t.fills;
+  let fills = Array.of_list !fills in
+  Array.sort (fun (a, _) (b, _) -> compare (a : int) b) fills;
+  { h_l1 = Setassoc.save t.l1;
+    h_l2 = Setassoc.save t.l2;
+    h_l1_mshr = rel t.l1_mshr;
+    h_l2_mshr = rel t.l2_mshr;
+    h_fills = fills;
+    h_bus_free = max 0 (t.bus_free - now);
+    h_stats = stats t }
+
+let restore t ~now (s : state) =
+  Setassoc.load t.l1 s.h_l1;
+  Setassoc.load t.l2 s.h_l2;
+  let abs dst src =
+    if Array.length src <> Array.length dst then
+      invalid_arg "Hierarchy.load: geometry";
+    Array.iteri (fun i v -> dst.(i) <- now + v) src
+  in
+  abs t.l1_mshr s.h_l1_mshr;
+  abs t.l2_mshr s.h_l2_mshr;
+  Hashtbl.reset t.fills;
+  Array.iter (fun (line, r) -> Hashtbl.replace t.fills line (now + r)) s.h_fills;
+  t.bus_free <- now + s.h_bus_free;
+  t.loads <- s.h_stats.loads;
+  t.stores <- s.h_stats.stores;
+  t.l1_hits <- s.h_stats.l1_hits;
+  t.l1_misses <- s.h_stats.l1_misses;
+  t.l2_hits <- s.h_stats.l2_hits;
+  t.l2_misses <- s.h_stats.l2_misses;
+  t.writebacks <- s.h_stats.writebacks;
+  t.merged_misses <- s.h_stats.merged_misses
+
+let state_canonical (s : state) : string =
+  Marshal.to_string
+    (s.h_l1, s.h_l2, s.h_l1_mshr, s.h_l2_mshr, s.h_fills, s.h_bus_free)
+    [ Marshal.No_sharing ]

@@ -58,3 +58,34 @@ type stats = {
 
 val stats : t -> stats
 val reset_stats : t -> unit
+
+(** {1 Capture / restore}
+
+    Checkpoint support for the strategy engines (docs/STRATEGY.md). All
+    temporal state (MSHR free times, outstanding fills, the bus) is saved
+    {e relative} to the capture cycle, clamped at 0, with MSHR arrays
+    sorted and already-completed fill entries dropped — a normal form in
+    which byte equality (via {!state_canonical}) implies behavioural
+    equality. Counters are carried along for stat stitching but excluded
+    from the canonical form. *)
+
+type state = {
+  h_l1 : Setassoc.state;
+  h_l2 : Setassoc.state;
+  h_l1_mshr : int array;
+  h_l2_mshr : int array;
+  h_fills : (int * int) array;
+  h_bus_free : int;
+  h_stats : stats;
+}
+
+val capture : t -> now:int -> state
+
+val restore : t -> now:int -> state -> unit
+(** Overwrites [t]'s timing state and counters, rebasing saved relative
+    times onto [now]. The saved geometry must match [t]'s configuration
+    ([Invalid_argument] otherwise). *)
+
+val state_canonical : state -> string
+(** Deterministic bytes of the behavioural part of [state] (counters
+    excluded); equal bytes imply behaviourally equal cache state. *)

@@ -84,3 +84,44 @@ let set_dirty t addr =
 let invalidate_all t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.fill t.dirty 0 (Array.length t.dirty) false
+
+(* ---- capture / restore (strategy engines, docs/STRATEGY.md) -------- *)
+(* Only the within-set recency ORDER of the LRU stamps is observable:
+   victim selection compares stamps inside one set, and every new stamp
+   exceeds all existing ones. Saving ranks instead of raw stamps makes
+   the saved form canonical — byte-equal states are behaviourally equal
+   regardless of how many ticks each cache had consumed. *)
+
+type state = {
+  st_tags : int array;
+  st_dirty : bool array;
+  st_rank : int array;  (* per-set recency rank (0 = LRU); -1 = invalid *)
+}
+
+let save t : state =
+  let n = Array.length t.tags in
+  let rank = Array.make n (-1) in
+  for s = 0 to t.set_mask do
+    let base = s * t.ways in
+    let valid = ref [] in
+    for w = t.ways - 1 downto 0 do
+      if t.tags.(base + w) <> -1 then valid := (base + w) :: !valid
+    done;
+    let sorted =
+      List.sort (fun a b -> compare t.stamp.(a) t.stamp.(b)) !valid
+    in
+    List.iteri (fun r i -> rank.(i) <- r) sorted
+  done;
+  { st_tags = Array.copy t.tags;
+    st_dirty = Array.copy t.dirty;
+    st_rank = rank }
+
+let load t (s : state) =
+  let n = Array.length t.tags in
+  if Array.length s.st_tags <> n then invalid_arg "Setassoc.load: geometry";
+  Array.blit s.st_tags 0 t.tags 0 n;
+  Array.blit s.st_dirty 0 t.dirty 0 n;
+  for i = 0 to n - 1 do
+    t.stamp.(i) <- s.st_rank.(i) + 1
+  done;
+  t.tick <- t.ways + 1

@@ -32,3 +32,23 @@ val line_addr : t -> int -> int
 
 val sets : t -> int
 val invalidate_all : t -> unit
+
+(** {1 Capture / restore}
+
+    Checkpoint support for the strategy engines (docs/STRATEGY.md). A
+    saved state stores the within-set LRU order as {e ranks} rather than
+    raw stamps, which makes it canonical: two byte-equal states are
+    behaviourally indistinguishable, regardless of how many LRU ticks
+    each source cache had consumed. *)
+
+type state = {
+  st_tags : int array;
+  st_dirty : bool array;
+  st_rank : int array;  (** per-set recency rank (0 = LRU); -1 = invalid *)
+}
+
+val save : t -> state
+
+val load : t -> state -> unit
+(** Overwrites [t]'s replacement state. The saved geometry must match
+    [t]'s ([Invalid_argument] otherwise). *)

@@ -116,6 +116,97 @@ let run_engine ~stage engine spec prog k =
   | exception e ->
     Engine_error { stage; exn = Printexc.to_string e }
 
+(* Strategy oracles (docs/STRATEGY.md). The parallel engine promises
+   bit-identity with the serial run under any interval/warmup choice —
+   including the pathological ones the scenario sampler emits — so it goes
+   through [compare_results] unchanged. The sampled engine only promises
+   exact architectural results (its timing is an estimate), so it is held
+   to the architectural subset; when it reports a fallback it ran the
+   serial path and must match bit-for-bit again. *)
+let check_strategies ~(slow : Sim.result) ~spec prog plans :
+    verdict option =
+  let rec go = function
+    | [] -> None
+    | plan :: rest -> (
+      let stage =
+        Printf.sprintf "strategy:%s" (Scenario.strategy_plan_to_string plan)
+      in
+      let strategy =
+        Scenario.materialize_strategy ~retired:slow.Sim.retired plan
+      in
+      let verdict =
+        match strategy with
+        | Sim.Serial | Sim.Parallel _ -> (
+          (* same budgeted spec as the reference: stitching must be exact
+             even across a mid-interval truncation *)
+          match Sim.run ~strategy ~engine:`Fast spec prog with
+          | exception e ->
+            Some (Engine_error { stage; exn = Printexc.to_string e })
+          | r -> (
+            match compare_results ~stage slow r with
+            | Some m -> Some (Diverged m)
+            | None -> None))
+        | Sim.Sampled _ ->
+          if slow.Sim.truncated then None
+            (* a non-halting candidate: the sampled functional pass would
+               run to its own cap; nothing to check *)
+          else (
+            let uspec = Sim.Spec.with_max_cycles max_int spec in
+            match Sim.run ~strategy ~engine:`Fast uspec prog with
+            | exception e ->
+              Some (Engine_error { stage; exn = Printexc.to_string e })
+            | r -> (
+              let prov =
+                match r.Sim.provenance with
+                | Some p -> p
+                | None ->
+                  (* the strategy engines always attach provenance *)
+                  { Sim.prov_strategy = "sampled"; prov_intervals = 0;
+                    prov_accepted = 0; prov_repaired = 0;
+                    prov_fallback = None; prov_errors = [] }
+              in
+              match prov.Sim.prov_fallback with
+              | Some _ -> (
+                (* fell back to the serial path: exact again *)
+                match compare_results ~stage slow r with
+                | Some m -> Some (Diverged m)
+                | None -> None)
+              | None ->
+                let mk field expected actual =
+                  Some (Diverged { stage; field; expected; actual })
+                in
+                if r.Sim.retired <> slow.Sim.retired then
+                  mk "retired"
+                    (string_of_int slow.Sim.retired)
+                    (string_of_int r.Sim.retired)
+                else if r.Sim.emulated_insts <> slow.Sim.emulated_insts then
+                  mk "emulated_insts"
+                    (string_of_int slow.Sim.emulated_insts)
+                    (string_of_int r.Sim.emulated_insts)
+                else if r.Sim.retired_by_class <> slow.Sim.retired_by_class
+                then
+                  mk "retired_by_class"
+                    (string_of_classes slow.Sim.retired_by_class)
+                    (string_of_classes r.Sim.retired_by_class)
+                else if
+                  not
+                    (Emu.Arch_state.equal slow.Sim.final_state
+                       r.Sim.final_state)
+                then
+                  mk "final_state" "<slow architectural state>" "<differs>"
+                else if r.Sim.cycles < 0 then
+                  mk "cycles" ">= 0" (string_of_int r.Sim.cycles)
+                else if
+                  List.exists
+                    (fun (_, e) -> Float.is_nan e || e < 0.)
+                    prov.Sim.prov_errors
+                then mk "prov_errors" "finite non-negative" "nan or negative"
+                else None))
+      in
+      match verdict with Some v -> Some v | None -> go rest)
+  in
+  go plans
+
 (* Truncation points derived from the full run: early, middle, late, and
    two consecutive late points (a pair straddles a group boundary often
    enough to catch off-by-one budget handling). *)
@@ -128,8 +219,8 @@ let truncation_points cycles =
          [ cycles / 7; cycles / 3; cycles / 2; (2 * cycles) / 3;
            cycles - 2; cycles - 1 ])
 
-let check ?(scratch_dir = Filename.get_temp_dir_name ()) ~spec prog : verdict
-    =
+let check ?(scratch_dir = Filename.get_temp_dir_name ())
+    ?(strategy_plans = []) ~spec prog : verdict =
   let spec = Sim.Spec.with_max_cycles safety_cycles spec in
   run_engine ~stage:"slow" `Slow spec prog @@ fun slow ->
   run_engine ~stage:"full" `Fast spec prog @@ fun fast ->
@@ -157,6 +248,9 @@ let check ?(scratch_dir = Filename.get_temp_dir_name ()) ~spec prog : verdict
     (match trunc (truncation_points slow.Sim.cycles) with
      | Error v -> v
      | Ok () -> (
+     match check_strategies ~slow ~spec prog strategy_plans with
+     | Some v -> v
+     | None -> (
        (* pcache save/load round-trip: truncated cold run, persist,
           reload, warm full run — must still equal the slow full run *)
        let roundtrip () =
@@ -207,4 +301,4 @@ let check ?(scratch_dir = Filename.get_temp_dir_name ()) ~spec prog : verdict
                  field = "final_state";
                  expected = "<slow architectural state>";
                  actual = "<differs>" }
-           else Agree { cycles = slow.Sim.cycles }))))
+           else Agree { cycles = slow.Sim.cycles })))))

@@ -50,11 +50,12 @@ let materialize config case =
   let st = Random.State.make [| config.seed; case |] in
   let prog = Generate.program ~bias:config.bias st in
   let spec = Scenario.sample st in
-  (prog, spec)
+  let plans = Scenario.sample_strategy_plans st in
+  (prog, spec, plans)
 
 let run_case config case : Diff.verdict =
-  let prog, spec = materialize config case in
-  Diff.check ~spec (Prog.assemble prog)
+  let prog, spec, plans = materialize config case in
+  Diff.check ~spec ~strategy_plans:plans (Prog.assemble prog)
 
 let ensure_dir dir =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
@@ -70,22 +71,31 @@ let write_file path contents =
 let emit_failure config ~log case ~cls ~detail =
   ensure_dir config.out_dir;
   let stem = Filename.concat config.out_dir (Printf.sprintf "case-%06d" case) in
-  let prog, spec = materialize config case in
+  let prog, spec, plans = materialize config case in
   let source = stem ^ ".s" in
   write_file source (Prog.render prog);
   write_file (stem ^ ".json")
     (Printf.sprintf
        "{\"case\": %d, \"seed\": %d, \"class\": %s, \"detail\": %s, \
-        \"spec\": %s}\n"
+        \"strategies\": %s, \"spec\": %s}\n"
        case config.seed
        (Fastsim_obs.Json.to_string (Fastsim_obs.Json.Str cls))
        (Fastsim_obs.Json.to_string (Fastsim_obs.Json.Str detail))
+       (Fastsim_obs.Json.to_string
+          (Fastsim_obs.Json.List
+             (List.map
+                (fun p ->
+                  Fastsim_obs.Json.Str (Scenario.strategy_plan_to_string p))
+                plans)))
        (Scenario.to_json_string spec));
   let min_source, min_insns =
     if not config.shrink then (None, None)
     else begin
       let still_fails p =
-        match Diff.classify (Diff.check ~spec (Prog.assemble p)) with
+        match
+          Diff.classify
+            (Diff.check ~spec ~strategy_plans:plans (Prog.assemble p))
+        with
         | Some c -> String.equal c cls
         | None -> false
       in

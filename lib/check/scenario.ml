@@ -113,6 +113,62 @@ let sample st : Spec.t =
   |> Spec.with_cache_config (sample_cache st)
   |> Spec.with_params (sample_params st)
 
+(* Strategy plans for the differential oracle. A plan is sized relative
+   to the program (divisors of the retired-instruction count) because the
+   generator's programs vary by two orders of magnitude; the oracle
+   materializes it once the exact run has measured the program. The
+   pathological plans — 1-instruction intervals with no warmup, a warmup
+   longer than the interval — deliberately force the stitcher onto its
+   repair path at nearly every boundary. *)
+type strategy_plan =
+  | Plan_parallel of { interval_div : int; warmup_div : int }
+  | Plan_parallel_one_insn
+  | Plan_sampled of { len_div : int; period_div : int; warmup_div : int }
+
+let strategy_plan_to_string = function
+  | Plan_parallel { interval_div; warmup_div } ->
+    Printf.sprintf "parallel[t/%d,warm t/%d]" interval_div warmup_div
+  | Plan_parallel_one_insn -> "parallel[1-insn]"
+  | Plan_sampled { len_div; period_div; warmup_div } ->
+    Printf.sprintf "sampled[t/%d every t/%d,warm t/%d]" len_div period_div
+      warmup_div
+
+(* [retired] is the exact run's instruction count. *)
+let materialize_strategy ~retired = function
+  | Plan_parallel { interval_div; warmup_div } ->
+    Fastsim.Sim.Parallel
+      { interval_insns = max 1 (retired / interval_div);
+        warmup_insns = retired / warmup_div;
+        fanout = None }
+  | Plan_parallel_one_insn ->
+    Fastsim.Sim.Parallel
+      { interval_insns = 1; warmup_insns = 0; fanout = None }
+  | Plan_sampled { len_div; period_div; warmup_div } ->
+    Fastsim.Sim.Sampled
+      { sample_insns = max 1 (retired / len_div);
+        sample_period = max 1 (retired / period_div);
+        warmup_insns = retired / warmup_div }
+
+let sample_strategy_plans st : strategy_plan list =
+  let parallel =
+    match Random.State.int st 4 with
+    | 0 -> Plan_parallel_one_insn
+    | 1 ->
+      (* warmup longer than the interval: workers overlap heavily *)
+      Plan_parallel { interval_div = 11; warmup_div = 5 }
+    | 2 -> Plan_parallel { interval_div = 3 + Random.State.int st 10;
+                           warmup_div = 1000 (* effectively no warmup *) }
+    | _ -> Plan_parallel { interval_div = 4 + Random.State.int st 8;
+                           warmup_div = 10 + Random.State.int st 30 }
+  in
+  let sampled =
+    Plan_sampled
+      { len_div = 10 + Random.State.int st 40;
+        period_div = 4 + Random.State.int st 8;
+        warmup_div = 20 + Random.State.int st 60 }
+  in
+  [ parallel; sampled ]
+
 let to_json_string spec = Fastsim_obs.Json.to_string (Spec.to_json spec)
 
 (* Reloads a saved fuzz artifact's spec. Artifacts are external input

@@ -7,6 +7,41 @@ type branch_stats = {
   misfetched : int;
 }
 
+(* ---- strategy types (docs/STRATEGY.md) ---------------------------- *)
+
+type fanout = {
+  f_map : 'a. (int -> 'a) -> int -> 'a option array;
+  f_pcache_mode : [ `Inherit | `Isolate ];
+}
+
+let inline_fanout =
+  { f_map =
+      (fun f n ->
+        Array.init n (fun i -> try Some (f i) with _ -> None));
+    f_pcache_mode = `Inherit }
+
+type strategy =
+  | Serial
+  | Parallel of {
+      interval_insns : int;
+      warmup_insns : int;
+      fanout : fanout option;
+    }
+  | Sampled of {
+      sample_insns : int;
+      sample_period : int;
+      warmup_insns : int;
+    }
+
+type provenance = {
+  prov_strategy : string;
+  prov_intervals : int;
+  prov_accepted : int;
+  prov_repaired : int;
+  prov_fallback : string option;
+  prov_errors : (string * float) list;
+}
+
 type result = {
   cycles : int;
   retired : int;
@@ -19,6 +54,7 @@ type result = {
   pcache : Memo.Pcache.counters option;
   final_state : Emu.Arch_state.t;
   truncated : bool;
+  provenance : provenance option;
 }
 
 type predictor_kind = Standard | Not_taken | Taken
@@ -165,7 +201,8 @@ let finish ~cycles ~retired ~classes ~emu ~cache ~counters ~memo ~pcache
     memo;
     pcache;
     final_state = Emu.Emulator.state emu;
-    truncated }
+    truncated;
+    provenance = None }
 
 let fresh_counters () =
   { n_cond = 0; n_mispred = 0; n_ind = 0; n_misfetch = 0 }
@@ -459,6 +496,981 @@ let fast_sim ?params ?cache_config ?(predictor = Standard)
     ~counters ~memo:(Some mstats)
     ~pcache:(Some (Memo.Pcache.counters pc))
     ~truncated:!truncated
+
+(* ================================================================== *)
+(* Strategy engines (docs/STRATEGY.md): time-parallel interval
+   simulation and SMARTS-style sampling layered over the serial engines.
+
+   The parallel engine is speculative-but-exact: workers cold-start at a
+   functional checkpoint a warmup distance before their interval, and the
+   stitcher accepts a worker's steady-state stats only when the worker's
+   machine state at the interval boundary is byte-identical (in a
+   canonical normal form) to the exact boundary state carried along from
+   the previous interval. Any mismatch is repaired by re-simulating that
+   interval serially from the exact boundary, so the stitched result is
+   bit-identical to the serial run by induction — the worst case
+   degenerates to the serial run, never to a wrong answer.
+
+   Strategy runs do not support [Spec.obs]/[Spec.observer] (segments run
+   without instrumentation) and report [memo = None]/[pcache = None]
+   (per-worker memoization statistics are not meaningfully stitchable). *)
+
+let strategy_to_string = function
+  | Serial -> "serial"
+  | Parallel { interval_insns; warmup_insns; _ } ->
+    Printf.sprintf "parallel:%d:%d" interval_insns warmup_insns
+  | Sampled { sample_insns; sample_period; warmup_insns } ->
+    Printf.sprintf "sampled:%d:%d:%d" sample_insns sample_period warmup_insns
+
+let strategy_of_string s =
+  let num what v =
+    match int_of_string_opt v with
+    | Some i when i >= 0 -> Ok i
+    | _ -> Error (Printf.sprintf "bad %s %S in strategy %S" what v s)
+  in
+  match String.split_on_char ':' s with
+  | [ "serial" ] -> Ok Serial
+  | [ "parallel"; k; w ] ->
+    Result.bind (num "interval" k) (fun interval_insns ->
+        Result.map
+          (fun warmup_insns ->
+            Parallel { interval_insns; warmup_insns; fanout = None })
+          (num "warmup" w))
+  | [ "sampled"; l; p; w ] ->
+    Result.bind (num "sample length" l) (fun sample_insns ->
+        Result.bind (num "period" p) (fun sample_period ->
+            Result.map
+              (fun warmup_insns ->
+                Sampled { sample_insns; sample_period; warmup_insns })
+              (num "warmup" w)))
+  | _ ->
+    Error
+      (Printf.sprintf
+         "bad strategy %S (want serial, parallel:INSNS:WARMUP or \
+          sampled:INSNS:PERIOD:WARMUP)" s)
+
+let make_handle kind prog =
+  match kind with
+  | Standard -> Bpred.standard_handle ~prog ()
+  | Not_taken -> Bpred.not_taken_handle ()
+  | Taken -> Bpred.taken_handle ()
+
+(* Absolute statistic totals at one instant of one simulation rig. Frames
+   (per-interval deltas) reuse the same record; they telescope, so
+   stitching sums of exact deltas onto the exact initial totals yields
+   exactly the serial run's totals. *)
+type abs_totals = {
+  a_cycles : int;
+  a_retired : int;
+  a_classes : int array;
+  a_emulated : int;
+  a_wrong_path : int;
+  a_cond : int;
+  a_mispred : int;
+  a_ind : int;
+  a_misfetch : int;
+  a_cache : Cachesim.Hierarchy.stats;
+}
+
+let cache_sub (b : Cachesim.Hierarchy.stats) (a : Cachesim.Hierarchy.stats) :
+    Cachesim.Hierarchy.stats =
+  { loads = b.loads - a.loads;
+    stores = b.stores - a.stores;
+    l1_hits = b.l1_hits - a.l1_hits;
+    l1_misses = b.l1_misses - a.l1_misses;
+    l2_hits = b.l2_hits - a.l2_hits;
+    l2_misses = b.l2_misses - a.l2_misses;
+    writebacks = b.writebacks - a.writebacks;
+    merged_misses = b.merged_misses - a.merged_misses }
+
+let cache_add (a : Cachesim.Hierarchy.stats) (d : Cachesim.Hierarchy.stats) :
+    Cachesim.Hierarchy.stats =
+  { loads = a.loads + d.loads;
+    stores = a.stores + d.stores;
+    l1_hits = a.l1_hits + d.l1_hits;
+    l1_misses = a.l1_misses + d.l1_misses;
+    l2_hits = a.l2_hits + d.l2_hits;
+    l2_misses = a.l2_misses + d.l2_misses;
+    writebacks = a.writebacks + d.writebacks;
+    merged_misses = a.merged_misses + d.merged_misses }
+
+let abs_sub b a =
+  { a_cycles = b.a_cycles - a.a_cycles;
+    a_retired = b.a_retired - a.a_retired;
+    a_classes = Array.mapi (fun i v -> v - a.a_classes.(i)) b.a_classes;
+    a_emulated = b.a_emulated - a.a_emulated;
+    a_wrong_path = b.a_wrong_path - a.a_wrong_path;
+    a_cond = b.a_cond - a.a_cond;
+    a_mispred = b.a_mispred - a.a_mispred;
+    a_ind = b.a_ind - a.a_ind;
+    a_misfetch = b.a_misfetch - a.a_misfetch;
+    a_cache = cache_sub b.a_cache a.a_cache }
+
+let abs_add a d =
+  { a_cycles = a.a_cycles + d.a_cycles;
+    a_retired = a.a_retired + d.a_retired;
+    a_classes = Array.mapi (fun i v -> v + d.a_classes.(i)) a.a_classes;
+    a_emulated = a.a_emulated + d.a_emulated;
+    a_wrong_path = a.a_wrong_path + d.a_wrong_path;
+    a_cond = a.a_cond + d.a_cond;
+    a_mispred = a.a_mispred + d.a_mispred;
+    a_ind = a.a_ind + d.a_ind;
+    a_misfetch = a.a_misfetch + d.a_misfetch;
+    a_cache = cache_add a.a_cache d.a_cache }
+
+(* Complete machine state at an interval boundary: restorable (for serial
+   repair) and canonically comparable (for acceptance). [m_prefix] carries
+   replay-divergence outcomes already pulled from the live oracle but not
+   yet consumed by the detailed simulator (fast engine only); it is
+   behavioural state and participates in the canonical form, as does the
+   boundary overshoot (how far past the retirement target the crossing
+   cycle ran) because it fixes how statistics partition at the boundary. *)
+type machine = {
+  m_pipe : Uarch.Snapshot.key;
+  m_emu : Emu.Emulator.Capture.t;
+  m_pred : Bpred.state;
+  m_cache : Cachesim.Hierarchy.state;
+  m_prefix : Memo.Action.item list;
+  m_overshoot : int;
+}
+
+let machine_canonical (m : machine) : string =
+  Marshal.to_string
+    ( m.m_pipe,
+      Emu.Emulator.Capture.canonical m.m_emu,
+      m.m_pred,
+      Cachesim.Hierarchy.state_canonical m.m_cache,
+      m.m_prefix,
+      m.m_overshoot )
+    [ Marshal.No_sharing ]
+
+(* A simulation rig: the live components one segment runs on. The cycle
+   counter is local to the rig; all cross-boundary time state is relative
+   (see Cachesim.Hierarchy.capture), so segments stitch regardless of
+   where each rig's clock started. *)
+type rig = {
+  r_emu : Emu.Emulator.t;
+  r_cache : Cachesim.Hierarchy.t;
+  r_handle : Bpred.handle;
+  r_counters : branch_counters;
+  r_cycle : int ref;
+  r_oracle : Uarch.Oracle.t;
+}
+
+let make_rig ~cache_config ~handle emu =
+  let cache = Cachesim.Hierarchy.create ~config:cache_config () in
+  let counters = fresh_counters () in
+  { r_emu = emu;
+    r_cache = cache;
+    r_handle = handle;
+    r_counters = counters;
+    r_cycle = ref 0;
+    r_oracle = live_oracle emu cache counters }
+
+let rig_fresh ~cache_config ~predictor prog =
+  let h = make_handle predictor prog in
+  make_rig ~cache_config ~handle:h
+    (Emu.Emulator.create ~predictor:h.Bpred.h_pred prog)
+
+let rig_at ~cache_config ~predictor prog (ck : Emu.Emulator.functional_ck) =
+  let h = make_handle predictor prog in
+  let emu =
+    Emu.Emulator.create_at ~predictor:h.Bpred.h_pred prog
+      ~state:ck.Emu.Emulator.f_state
+      ~mem:(Emu.Memory.copy ck.Emu.Emulator.f_mem)
+      ~insts:ck.Emu.Emulator.f_insts
+  in
+  make_rig ~cache_config ~handle:h emu
+
+let rig_restore ~cache_config ~predictor prog (m : machine) =
+  let h = make_handle predictor prog in
+  h.Bpred.h_load m.m_pred;
+  let emu = Emu.Emulator.restore ~predictor:h.Bpred.h_pred prog m.m_emu in
+  let rig = make_rig ~cache_config ~handle:h emu in
+  Cachesim.Hierarchy.restore rig.r_cache ~now:0 m.m_cache;
+  rig
+
+let capture_machine rig uarch ~prefix ~overshoot =
+  { m_pipe = Uarch.Detailed.snapshot uarch;
+    m_emu = Emu.Emulator.capture rig.r_emu;
+    m_pred = rig.r_handle.Bpred.h_save ();
+    m_cache = Cachesim.Hierarchy.capture rig.r_cache ~now:!(rig.r_cycle);
+    m_prefix = prefix;
+    m_overshoot = overshoot }
+
+let abs_now rig ~retired ~classes =
+  { a_cycles = !(rig.r_cycle);
+    a_retired = retired;
+    a_classes = classes;
+    a_emulated = Emu.Emulator.insts_executed rig.r_emu;
+    a_wrong_path = Emu.Emulator.wrong_path_insts rig.r_emu;
+    a_cond = rig.r_counters.n_cond;
+    a_mispred = rig.r_counters.n_mispred;
+    a_ind = rig.r_counters.n_ind;
+    a_misfetch = rig.r_counters.n_misfetch;
+    a_cache = Cachesim.Hierarchy.stats rig.r_cache }
+
+(* One segment run: simulate on [rig] until every retirement mark in
+   [marks] (ascending, in the rig's local retirement count) has been
+   captured, the cycle [budget] (local) is hit, or the program halts.
+   Marks are captured at the end of the first cycle where the local
+   retired count reaches the mark — checked at the loop top, so a halt
+   cycle that crosses the final mark still captures it. *)
+type seg_out = {
+  so_caps : (machine * abs_totals) array;
+  so_end : [ `Done | `Halted | `Truncated ];
+  so_final : abs_totals;
+}
+
+let slow_segment rig uarch ~budget ~marks : seg_out =
+  let nmarks = Array.length marks in
+  let caps = ref [] in
+  let mi = ref 0 in
+  let retired = ref 0 in
+  let halted = ref false in
+  let last_progress = ref !(rig.r_cycle) in
+  let stop = ref None in
+  while !stop = None do
+    if !mi < nmarks && !retired >= marks.(!mi) then begin
+      let m =
+        capture_machine rig uarch ~prefix:[]
+          ~overshoot:(!retired - marks.(!mi))
+      in
+      let a =
+        abs_now rig ~retired:!retired
+          ~classes:(Uarch.Detailed.retired_by_class uarch)
+      in
+      caps := (m, a) :: !caps;
+      incr mi
+    end
+    else if !mi >= nmarks then stop := Some `Done
+    else if !halted then stop := Some `Halted
+    else if !(rig.r_cycle) >= budget then stop := Some `Truncated
+    else begin
+      let r = Uarch.Detailed.step_cycle uarch ~now:!(rig.r_cycle) rig.r_oracle in
+      incr rig.r_cycle;
+      retired := !retired + r.Uarch.Detailed.retired;
+      if r.Uarch.Detailed.retired > 0 then last_progress := !(rig.r_cycle);
+      if !(rig.r_cycle) - !last_progress > watchdog then
+        raise (Deadlock "no retirement progress");
+      if r.Uarch.Detailed.halted then halted := true
+    end
+  done;
+  { so_caps = Array.of_list (List.rev !caps);
+    so_end = (match !stop with Some s -> s | None -> assert false);
+    so_final =
+      abs_now rig ~retired:!retired
+        ~classes:(Uarch.Detailed.retired_by_class uarch) }
+
+(* Memoizing segment runner: the fast engine restructured around
+   retirement marks. Replay is bounded by [max_retired] so it stops
+   before any group that would cross the next mark; the detailed
+   simulator then steps cycle-by-cycle to the exact crossing. Captures
+   mid-group flush nothing into the p-action cache (the group continues
+   and merges normally later); the captured statistics peek at the live
+   per-class deltas without disturbing group accounting. *)
+let fast_segment ~params rig pc ~uarch0 ~cfg0 ~prefix0 ~budget ~marks prog :
+    seg_out =
+  let nmarks = Array.length marks in
+  let caps = ref [] in
+  let mi = ref 0 in
+  let mstats = Memo.Stats.create () in
+  let total_classes = Array.make Isa.Instr.fu_count 0 in
+  let retired_now () =
+    mstats.Memo.Stats.detailed_retired + mstats.Memo.Stats.replayed_retired
+  in
+  let oracle = rig.r_oracle and cycle = rig.r_cycle in
+  let prefix_mismatch what item =
+    raise
+      (Memo.Pcache.Determinism_violation
+         (Format.asprintf
+            "detailed re-run requested a %s but the replay prefix holds %a"
+            what Memo.Action.pp_item item))
+  in
+  let detailed_episode uarch cfg0 prefix0 =
+    mstats.Memo.Stats.detailed_entries <-
+      mstats.Memo.Stats.detailed_entries + 1;
+    let items_rev = ref [] in
+    let pending = ref prefix0 in
+    let record item = items_rev := item :: !items_rev in
+    let wrapped : Uarch.Oracle.t =
+      { cache_load =
+          (fun ~now ->
+            let lat =
+              match !pending with
+              | Memo.Action.I_load lat :: rest ->
+                pending := rest;
+                lat
+              | [] -> oracle.Uarch.Oracle.cache_load ~now
+              | item :: _ -> prefix_mismatch "load" item
+            in
+            record (Memo.Action.I_load lat);
+            lat);
+        cache_store =
+          (fun ~now ->
+            (match !pending with
+             | Memo.Action.I_store :: rest -> pending := rest
+             | [] -> oracle.Uarch.Oracle.cache_store ~now
+             | item :: _ -> prefix_mismatch "store" item);
+            record Memo.Action.I_store);
+        fetch_control =
+          (fun () ->
+            let out =
+              match !pending with
+              | Memo.Action.I_ctl c :: rest ->
+                pending := rest;
+                c
+              | [] -> oracle.Uarch.Oracle.fetch_control ()
+              | item :: _ -> prefix_mismatch "fetch_control" item
+            in
+            record (Memo.Action.I_ctl out);
+            out);
+        rollback =
+          (fun ~index ->
+            (match !pending with
+             | Memo.Action.I_rollback j :: rest ->
+               if j <> index then prefix_mismatch "rollback" (I_rollback j);
+               pending := rest
+             | [] -> oracle.Uarch.Oracle.rollback ~index
+             | item :: _ -> prefix_mismatch "rollback" item);
+            record (Memo.Action.I_rollback index)) }
+    in
+    let cfg = ref cfg0 in
+    let silent = ref 0 and group_retired = ref 0 in
+    let class_base = ref (Uarch.Detailed.retired_by_class uarch) in
+    let group_classes uarch =
+      let cur = Uarch.Detailed.retired_by_class uarch in
+      let delta = Array.mapi (fun i v -> v - !class_base.(i)) cur in
+      Array.iteri
+        (fun i v -> total_classes.(i) <- total_classes.(i) + v)
+        delta;
+      class_base := cur;
+      delta
+    in
+    (* Per-class totals through the current cycle, including the open
+       group's partial retirement, WITHOUT flushing it (a flushed base
+       would make the eventual merge_group record wrong class counts). *)
+    let live_classes () =
+      let cur = Uarch.Detailed.retired_by_class uarch in
+      Array.mapi (fun i c -> total_classes.(i) + c - !class_base.(i)) cur
+    in
+    let last_progress = ref !cycle in
+    let result = ref None in
+    while !result = None do
+      if !mi < nmarks && retired_now () >= marks.(!mi) then begin
+        let m =
+          capture_machine rig uarch ~prefix:!pending
+            ~overshoot:(retired_now () - marks.(!mi))
+        in
+        let a =
+          abs_now rig ~retired:(retired_now ()) ~classes:(live_classes ())
+        in
+        caps := (m, a) :: !caps;
+        incr mi
+      end
+      else if !mi >= nmarks then result := Some `Done
+      else if !cycle >= budget then begin
+        (* Truncated mid-group: flush the partial group's per-class
+           retirement into the totals but never merge the partial group
+           (same contract as the serial fast engine). *)
+        ignore (group_classes uarch : int array);
+        result := Some `Truncated
+      end
+      else begin
+        let r = Uarch.Detailed.step_cycle uarch ~now:!cycle wrapped in
+        incr cycle;
+        mstats.Memo.Stats.detailed_cycles <-
+          mstats.Memo.Stats.detailed_cycles + 1;
+        mstats.Memo.Stats.detailed_retired <-
+          mstats.Memo.Stats.detailed_retired + r.Uarch.Detailed.retired;
+        group_retired := !group_retired + r.Uarch.Detailed.retired;
+        if r.Uarch.Detailed.retired > 0 then last_progress := !cycle;
+        if !cycle - !last_progress > watchdog then
+          raise (Deadlock "no retirement progress");
+        if r.Uarch.Detailed.halted then begin
+          ignore
+            (Memo.Pcache.merge_group pc !cfg ~silent:!silent
+               ~retired:!group_retired
+               ~classes:(group_classes uarch)
+               ~items:(List.rev !items_rev)
+               ~terminal:Memo.Action.T_halt
+              : Memo.Action.config option);
+          result := Some `Halted
+        end
+        else if r.Uarch.Detailed.interactions > 0 then begin
+          let next0 =
+            Memo.Pcache.intern_arena pc (Uarch.Detailed.snapshot_arena uarch)
+          in
+          ignore
+            (Memo.Pcache.merge_group pc !cfg ~silent:!silent
+               ~retired:!group_retired
+               ~classes:(group_classes uarch)
+               ~items:(List.rev !items_rev)
+               ~terminal:(Memo.Action.T_goto next0)
+              : Memo.Action.config option);
+          assert (!pending = []);
+          items_rev := [];
+          silent := 0;
+          group_retired := 0;
+          let next =
+            match Memo.Pcache.check_budget pc with
+            | `Kept -> next0
+            | `Flushed | `Collected ->
+              Memo.Pcache.intern pc next0.Memo.Action.cfg_key
+          in
+          if next.Memo.Action.cfg_group <> None then
+            result := Some (`Replay next)
+          else cfg := next
+        end
+        else incr silent
+      end
+    done;
+    match !result with Some r -> r | None -> assert false
+  in
+  let state =
+    if prefix0 = [] && cfg0.Memo.Action.cfg_group <> None then
+      ref (`Replay cfg0)
+    else ref (`Detailed (uarch0, cfg0, prefix0))
+  in
+  let finish = ref None in
+  while !finish = None do
+    match !state with
+    | `Detailed (uarch, cfg, prefix) -> (
+      match detailed_episode uarch cfg prefix with
+      | `Done -> finish := Some `Done
+      | `Truncated -> finish := Some `Truncated
+      | `Halted ->
+        (* Serve marks crossed by the halt cycle (the episode exits before
+           its next loop-top check). All groups are flushed at a halt, so
+           the totals are current. *)
+        while !mi < nmarks && retired_now () >= marks.(!mi) do
+          let m =
+            capture_machine rig uarch ~prefix:[]
+              ~overshoot:(retired_now () - marks.(!mi))
+          in
+          let a =
+            abs_now rig ~retired:(retired_now ())
+              ~classes:(Array.copy total_classes)
+          in
+          caps := (m, a) :: !caps;
+          incr mi
+        done;
+        finish := Some (if !mi >= nmarks then `Done else `Halted)
+      | `Replay cfg' -> state := `Replay cfg')
+    | `Replay cfg ->
+      if !mi >= nmarks then finish := Some `Done
+      else begin
+        let max_retired = marks.(!mi) - retired_now () in
+        match
+          Memo.Replay.run ~max_cycles:budget ~max_retired pc mstats ~oracle
+            ~cycle ~classes:total_classes ~start:cfg
+        with
+        | Memo.Replay.Replay_halted ->
+          (* Marks remain but the chain halted: only reachable when a mark
+             exceeds the program's total retirement. Report short. *)
+          finish := Some `Halted
+        | Memo.Replay.Replay_budget config ->
+          let uarch =
+            Uarch.Detailed.restore ~params prog config.Memo.Action.cfg_key
+          in
+          state := `Detailed (uarch, config, [])
+        | Memo.Replay.Diverged { config; prefix } ->
+          let uarch =
+            Uarch.Detailed.restore ~params prog config.Memo.Action.cfg_key
+          in
+          state := `Detailed (uarch, config, prefix)
+      end
+  done;
+  let so_end = match !finish with Some s -> s | None -> assert false in
+  let so_final =
+    match (so_end, !caps) with
+    | `Done, (_, a) :: _ -> a
+    | _ ->
+      abs_now rig ~retired:(retired_now ()) ~classes:(Array.copy total_classes)
+  in
+  { so_caps = Array.of_list (List.rev !caps); so_end; so_final }
+
+type seg_start =
+  | Start_cold
+  | Start_at of Emu.Emulator.functional_ck
+  | Start_warm of Emu.Emulator.functional_ck * Bpred.state * Cachesim.Hierarchy.state
+      (** functional checkpoint plus functionally-warmed predictor and
+          cache states (sampled engine, docs/STRATEGY.md). *)
+  | Start_machine of machine
+
+(* Builds a rig for [start] and runs one segment on it. Returns the
+   absolute totals at the start instant (for delta framing), the segment
+   outcome, and the rig (for the architectural state at a truncation). *)
+let run_segment ~engine ~params ~cache_config ~predictor ~policy ~pcache prog
+    start ~budget ~marks : abs_totals * seg_out * rig =
+  let rig, uarch, prefix =
+    match start with
+    | Start_cold ->
+      (rig_fresh ~cache_config ~predictor prog,
+       Uarch.Detailed.create ~params prog,
+       [])
+    | Start_at ck ->
+      (rig_at ~cache_config ~predictor prog ck,
+       Uarch.Detailed.create_at ~params prog
+         ~pc:ck.Emu.Emulator.f_state.Emu.Arch_state.pc,
+       [])
+    | Start_warm (ck, pred, cache) ->
+      (* Load the warmed predictor tables BEFORE building the emulator:
+         its read-ahead produces (and trains on) the first control event
+         at construction time, which must see the warm state. *)
+      let h = make_handle predictor prog in
+      h.Bpred.h_load pred;
+      let emu =
+        Emu.Emulator.create_at ~predictor:h.Bpred.h_pred prog
+          ~state:ck.Emu.Emulator.f_state
+          ~mem:(Emu.Memory.copy ck.Emu.Emulator.f_mem)
+          ~insts:ck.Emu.Emulator.f_insts
+      in
+      let rig = make_rig ~cache_config ~handle:h emu in
+      Cachesim.Hierarchy.restore rig.r_cache ~now:0 cache;
+      (rig,
+       Uarch.Detailed.create_at ~params prog
+         ~pc:ck.Emu.Emulator.f_state.Emu.Arch_state.pc,
+       [])
+    | Start_machine m ->
+      (rig_restore ~cache_config ~predictor prog m,
+       Uarch.Detailed.restore ~params prog m.m_pipe,
+       m.m_prefix)
+  in
+  let abs0 =
+    abs_now rig ~retired:0 ~classes:(Array.make Isa.Instr.fu_count 0)
+  in
+  let out =
+    match engine with
+    | `Slow ->
+      assert (prefix = []);
+      slow_segment rig uarch ~budget ~marks
+    | `Fast ->
+      let pc =
+        match pcache with
+        | Some pc -> pc
+        | None -> Memo.Pcache.create ~policy ()
+      in
+      let cfg0 = Memo.Pcache.intern pc (Uarch.Detailed.snapshot uarch) in
+      fast_segment ~params rig pc ~uarch0:uarch ~cfg0 ~prefix0:prefix ~budget
+        ~marks prog
+  in
+  (abs0, out, rig)
+
+let max_parallel_intervals = 4096
+let functional_insn_cap = 200_000_000
+
+let no_provenance ~strategy reason =
+  { prov_strategy = strategy;
+    prov_intervals = 0;
+    prov_accepted = 0;
+    prov_repaired = 0;
+    prov_fallback = Some reason;
+    prov_errors = [] }
+
+(* ---- interval-parallel engine -------------------------------------- *)
+
+let run_parallel ~engine ~params ~cache_config ~predictor ~max_cycles ~policy
+    ~pcache ~serial prog ~interval_insns ~warmup_insns ~fanout =
+  if interval_insns <= 0 then
+    invalid_arg "Sim.run: interval_insns must be positive";
+  if warmup_insns < 0 then
+    invalid_arg "Sim.run: warmup_insns must be non-negative";
+  let fb reason =
+    let r : result = serial () in
+    { r with provenance = Some (no_provenance ~strategy:"parallel" reason) }
+  in
+  let insn_cap =
+    if max_cycles >= 100_000_000 then functional_insn_cap
+    else (max_cycles * max 1 params.Uarch.Params.retire_width) + 64
+  in
+  let _, _, total_insts, halted_f =
+    Emu.Emulator.run_functional_checkpoints ~max_insts:insn_cap prog ~at:[]
+  in
+  if not halted_f then fb "functional-overrun"
+  else begin
+    let total_retired = total_insts + 1 in
+    if total_retired <= interval_insns then fb "single-interval"
+    else begin
+      let k =
+        let n0 = (total_retired + interval_insns - 1) / interval_insns in
+        if n0 <= max_parallel_intervals then interval_insns
+        else (total_retired + max_parallel_intervals - 1)
+             / max_parallel_intervals
+      in
+      let n = (total_retired + k - 1) / k in
+      let bound i = if i >= n then total_retired else min (i * k) total_retired in
+      let warm_start i = max 0 (bound i - warmup_insns) in
+      let starts = List.init (n - 1) (fun j -> warm_start (j + 1)) in
+      let cks, _, _, _ =
+        Emu.Emulator.run_functional_checkpoints ~max_insts:insn_cap prog
+          ~at:starts
+      in
+      let ck_at insts =
+        List.find
+          (fun c -> c.Emu.Emulator.f_insts = insts)
+          cks
+      in
+      let fan = match fanout with Some f -> f | None -> inline_fanout in
+      let worker_pcache =
+        match (fan.f_pcache_mode, pcache) with
+        | `Inherit, (Some _ as pc) -> pc
+        | _ -> None
+      in
+      let worker i : seg_out =
+        let start, s =
+          if i = 0 then (Start_cold, 0)
+          else
+            let s = warm_start i in
+            (Start_at (ck_at s), s)
+        in
+        let marks = [| bound i - s; bound (i + 1) - s |] in
+        let _, out, _ =
+          run_segment ~engine ~params ~cache_config ~predictor ~policy
+            ~pcache:worker_pcache prog start ~budget:max_int ~marks
+        in
+        out
+      in
+      let results = fan.f_map worker n in
+      (* ---- stitch ---------------------------------------------------- *)
+      let init_machine, init_abs =
+        let rig = rig_fresh ~cache_config ~predictor prog in
+        let uarch = Uarch.Detailed.create ~params prog in
+        ( capture_machine rig uarch ~prefix:[] ~overshoot:0,
+          abs_now rig ~retired:0 ~classes:(Array.make Isa.Instr.fu_count 0) )
+      in
+      let boundary = ref init_machine in
+      let cum = ref init_abs in
+      let accepted = ref 0 and repaired = ref 0 in
+      let truncated = ref false in
+      let stopped = ref false in
+      let final_override = ref None in
+      (* Repairs share one warm p-action cache (fast engine). *)
+      let repair_pc =
+        lazy
+          (match pcache with
+           | Some pc -> pc
+           | None -> Memo.Pcache.create ~policy ())
+      in
+      let repair i =
+        let c = !cum in
+        let budget =
+          if max_cycles = max_int then max_int else max_cycles - c.a_cycles
+        in
+        let mark = max 0 (bound (i + 1) - c.a_retired) in
+        let seg_pc =
+          match engine with `Fast -> Some (Lazy.force repair_pc) | `Slow -> None
+        in
+        let abs0, out, rig =
+          run_segment ~engine ~params ~cache_config ~predictor ~policy
+            ~pcache:seg_pc prog (Start_machine !boundary) ~budget
+            ~marks:[| mark |]
+        in
+        incr repaired;
+        match (out.so_end, out.so_caps) with
+        | `Done, [| (m, a) |] ->
+          cum := abs_add c (abs_sub a abs0);
+          boundary := m
+        | `Truncated, _ ->
+          cum := abs_add c (abs_sub out.so_final abs0);
+          truncated := true;
+          stopped := true;
+          final_override :=
+            Some (Emu.Arch_state.snapshot (Emu.Emulator.state rig.r_emu))
+        | _ ->
+          (* Halted before the repair mark: the functional instruction
+             count and the timing engines disagree — impossible unless a
+             component is broken. Stop with what we have so the
+             differential harness reports the divergence loudly. *)
+          cum := abs_add c (abs_sub out.so_final abs0);
+          stopped := true;
+          final_override :=
+            Some (Emu.Arch_state.snapshot (Emu.Emulator.state rig.r_emu))
+      in
+      let i = ref 0 in
+      while (not !stopped) && !i < n do
+        let c = !cum in
+        if max_cycles <> max_int && c.a_cycles >= max_cycles then begin
+          truncated := true;
+          stopped := true
+        end
+        else begin
+          let acceptable =
+            match results.(!i) with
+            | Some w when w.so_end = `Done && Array.length w.so_caps = 2 ->
+              let ms, _ = w.so_caps.(0) in
+              if
+                String.equal (machine_canonical ms)
+                  (machine_canonical !boundary)
+              then Some w
+              else None
+            | _ -> None
+          in
+          (match acceptable with
+           | Some w ->
+             let _, a0 = w.so_caps.(0) in
+             let m1, a1 = w.so_caps.(1) in
+             let fr = abs_sub a1 a0 in
+             if max_cycles <> max_int && c.a_cycles + fr.a_cycles > max_cycles
+             then repair !i
+             else begin
+               cum := abs_add c fr;
+               boundary := m1;
+               incr accepted
+             end
+           | None -> repair !i);
+          incr i
+        end
+      done;
+      let c = !cum in
+      let final_state =
+        match !final_override with
+        | Some st -> st
+        | None -> (!boundary).m_emu.Emu.Emulator.Capture.c_state
+      in
+      { cycles = c.a_cycles;
+        retired = c.a_retired;
+        retired_by_class = c.a_classes;
+        emulated_insts = c.a_emulated;
+        wrong_path_insts = c.a_wrong_path;
+        branches =
+          { conditionals = c.a_cond;
+            mispredicted = c.a_mispred;
+            indirects = c.a_ind;
+            misfetched = c.a_misfetch };
+        cache = c.a_cache;
+        memo = None;
+        pcache = None;
+        final_state;
+        truncated = !truncated;
+        provenance =
+          Some
+            { prov_strategy = "parallel";
+              prov_intervals = n;
+              prov_accepted = !accepted;
+              prov_repaired = !repaired;
+              prov_fallback = None;
+              prov_errors = [] } }
+    end
+  end
+
+(* ---- sampled engine ------------------------------------------------- *)
+
+let max_samples = 512
+
+let run_sampled ~engine ~params ~cache_config ~predictor ~max_cycles ~policy
+    ~pcache ~serial prog ~sample_insns ~sample_period ~warmup_insns =
+  if sample_insns <= 0 then
+    invalid_arg "Sim.run: sample_insns must be positive";
+  if warmup_insns < 0 then
+    invalid_arg "Sim.run: warmup_insns must be non-negative";
+  let fb reason =
+    let r : result = serial () in
+    { r with provenance = Some (no_provenance ~strategy:"sampled" reason) }
+  in
+  if max_cycles <> max_int then fb "max-cycles"
+  else begin
+    let period = max sample_period (warmup_insns + sample_insns) in
+    let classes = Array.make Isa.Instr.fu_count 0 in
+    let count_class ~pc =
+      match Isa.Program.fetch_opt prog pc with
+      | Some ins ->
+        let i = Isa.Instr.fu_index (Isa.Instr.fu_class ins) in
+        classes.(i) <- classes.(i) + 1
+      | None -> ()
+    in
+    let _, final_state, total_insts, halted_f =
+      Emu.Emulator.run_functional_checkpoints ~max_insts:functional_insn_cap
+        ~on_inst:count_class prog ~at:[]
+    in
+    if not halted_f then fb "functional-overrun"
+    else begin
+      let total_retired = total_insts + 1 in
+      let all_windows =
+        let rec go j acc =
+          let u = j * period in
+          if u + warmup_insns + sample_insns <= total_retired then
+            go (j + 1) (u :: acc)
+          else List.rev acc
+        in
+        go 0 []
+      in
+      if all_windows = [] then fb "program-too-short"
+      else begin
+        let windows =
+          let total = List.length all_windows in
+          if total <= max_samples then all_windows
+          else
+            let stride = (total + max_samples - 1) / max_samples in
+            List.filteri (fun j _ -> j mod stride = 0) all_windows
+        in
+        (* Functional warming pass (the SMARTS insight): while
+           fast-forwarding between samples, keep a cache model and a
+           branch predictor trained on the architectural stream, and
+           photograph both at each window start. Without this, every
+           window starts cache-cold and over-estimates cycles by tens of
+           percent; with it, the short detailed warmup only has to fill
+           the pipeline. Warming pseudo-time advances one tick per
+           instruction so in-flight miss state ages realistically; the
+           capture slack lets every fill land before the state is
+           photographed. *)
+        let warm_handle = make_handle predictor prog in
+        let warm_cache = Cachesim.Hierarchy.create ~config:cache_config () in
+        let tick = ref 0 in
+        let hooks =
+          { Emu.Emulator.wh_load =
+              (fun ~addr ~width:_ ->
+                ignore
+                  (Cachesim.Hierarchy.load warm_cache ~now:!tick ~addr : int));
+            wh_store =
+              (fun ~addr ~width:_ ->
+                Cachesim.Hierarchy.store warm_cache ~now:!tick ~addr);
+            wh_cond =
+              (fun ~pc ~taken ->
+                ignore
+                  (warm_handle.Bpred.h_pred.Emu.Predictor.predict_cond ~pc
+                    : bool);
+                warm_handle.Bpred.h_pred.Emu.Predictor.train_cond ~pc ~taken);
+            wh_indirect =
+              (fun ~pc ~target ->
+                ignore
+                  (warm_handle.Bpred.h_pred.Emu.Predictor.predict_indirect ~pc
+                    : int option);
+                warm_handle.Bpred.h_pred.Emu.Predictor.train_indirect ~pc
+                  ~target);
+            wh_call =
+              (fun ~pc ~return_to ->
+                warm_handle.Bpred.h_pred.Emu.Predictor.note_call ~pc
+                  ~return_to) }
+        in
+        let wstates = ref [] in
+        let next_windows = ref windows in
+        let executed = ref 0 in
+        let on_inst ~pc:_ =
+          (match !next_windows with
+          | u :: rest when !executed >= u ->
+            next_windows := rest;
+            wstates :=
+              ( u,
+                warm_handle.Bpred.h_save (),
+                Cachesim.Hierarchy.capture warm_cache ~now:(!tick + 100_000) )
+              :: !wstates
+          | _ -> ());
+          incr executed;
+          incr tick
+        in
+        let cks, _, _, _ =
+          Emu.Emulator.run_functional_checkpoints
+            ~max_insts:functional_insn_cap ~on_inst ~hooks prog ~at:windows
+        in
+        let seg_pc =
+          match engine with
+          | `Fast -> (
+            match pcache with
+            | Some _ as pc -> pc
+            | None -> Some (Memo.Pcache.create ~policy ()))
+          | `Slow -> None
+        in
+        let frames =
+          List.filter_map
+            (fun u ->
+              match
+                ( List.find_opt (fun c -> c.Emu.Emulator.f_insts = u) cks,
+                  List.find_opt (fun (v, _, _) -> v = u) !wstates )
+              with
+              | Some ck, Some (_, pred, cache) -> (
+                let marks =
+                  [| warmup_insns; warmup_insns + sample_insns |]
+                in
+                let _, out, _ =
+                  run_segment ~engine ~params ~cache_config ~predictor
+                    ~policy ~pcache:seg_pc prog
+                    (Start_warm (ck, pred, cache))
+                    ~budget:max_int ~marks
+                in
+                match (out.so_end, out.so_caps) with
+                | `Done, [| (_, a0); (_, a1) |] -> Some (abs_sub a1 a0)
+                | _ -> None)
+              | _ -> None)
+            windows
+        in
+        let n = List.length frames in
+        let sum f = List.fold_left (fun s fr -> s + f fr) 0 frames in
+        let measured_retired = sum (fun fr -> fr.a_retired) in
+        if n = 0 || measured_retired = 0 then fb "no-samples"
+        else begin
+          let scale = float_of_int total_retired /. float_of_int measured_retired in
+          let est v = int_of_float (Float.round (scale *. float_of_int v)) in
+          let est_of f = est (sum f) in
+          (* Deterministic per-statistic relative-error estimate: a 95%
+             CLT half-width on the mean per-retirement rate across the
+             sampled windows, relative to that mean. 1.0 (i.e. "no
+             confidence") when only one sample exists. *)
+          let rel_error f =
+            if n < 2 then 1.0
+            else begin
+              let rates =
+                List.map
+                  (fun fr ->
+                    float_of_int (f fr) /. float_of_int (max 1 fr.a_retired))
+                  frames
+              in
+              let fn = float_of_int n in
+              let mean = List.fold_left ( +. ) 0. rates /. fn in
+              if mean = 0. then 0.
+              else begin
+                let var =
+                  List.fold_left
+                    (fun s r -> s +. ((r -. mean) *. (r -. mean)))
+                    0. rates
+                  /. (fn -. 1.)
+                in
+                1.96 *. sqrt var /. (sqrt fn *. mean)
+              end
+            end
+          in
+          let errors =
+            [ ("cycles", rel_error (fun fr -> fr.a_cycles));
+              ("mispredicted", rel_error (fun fr -> fr.a_mispred));
+              ("loads", rel_error (fun fr -> fr.a_cache.loads));
+              ("l1_misses", rel_error (fun fr -> fr.a_cache.l1_misses));
+              ("l2_misses", rel_error (fun fr -> fr.a_cache.l2_misses)) ]
+          in
+          { cycles = est_of (fun fr -> fr.a_cycles);
+            retired = total_retired;
+            retired_by_class = classes;
+            emulated_insts = total_insts;
+            wrong_path_insts = est_of (fun fr -> fr.a_wrong_path);
+            branches =
+              { conditionals = est_of (fun fr -> fr.a_cond);
+                mispredicted = est_of (fun fr -> fr.a_mispred);
+                indirects = est_of (fun fr -> fr.a_ind);
+                misfetched = est_of (fun fr -> fr.a_misfetch) };
+            cache =
+              { loads = est_of (fun fr -> fr.a_cache.loads);
+                stores = est_of (fun fr -> fr.a_cache.stores);
+                l1_hits = est_of (fun fr -> fr.a_cache.l1_hits);
+                l1_misses = est_of (fun fr -> fr.a_cache.l1_misses);
+                l2_hits = est_of (fun fr -> fr.a_cache.l2_hits);
+                l2_misses = est_of (fun fr -> fr.a_cache.l2_misses);
+                writebacks = est_of (fun fr -> fr.a_cache.writebacks);
+                merged_misses = est_of (fun fr -> fr.a_cache.merged_misses) };
+            memo = None;
+            pcache = None;
+            final_state;
+            truncated = false;
+            provenance =
+              Some
+                { prov_strategy = "sampled";
+                  prov_intervals = n;
+                  prov_accepted = 0;
+                  prov_repaired = 0;
+                  prov_fallback = None;
+                  prov_errors = errors } }
+        end
+      end
+    end
+  end
 
 (* ---------------------------------------------------------------- *)
 (* The unified engine front end: one configuration record instead of a
@@ -1109,6 +2121,45 @@ let final_state_decode j : Emu.Arch_state.t =
     iregs = result_need "final_state.iregs" !iregs;
     fregs = result_need "final_state.fregs" !fregs }
 
+let provenance_to_json (p : provenance) : J.t =
+  Obj
+    ([ ("strategy", J.Str p.prov_strategy);
+       ("intervals", J.Int p.prov_intervals);
+       ("accepted", J.Int p.prov_accepted);
+       ("repaired", J.Int p.prov_repaired) ]
+    @ (match p.prov_fallback with
+       | None -> []
+       | Some f -> [ ("fallback", J.Str f) ])
+    @
+    match p.prov_errors with
+    | [] -> []
+    | errs ->
+      [ ("errors", J.Obj (List.map (fun (k, v) -> (k, J.Float v)) errs)) ])
+
+let provenance_decode j : provenance =
+  let strat = ref None and n = ref None and acc = ref None and rep = ref None in
+  let fb = ref None and errs = ref [] in
+  result_obj ~path:"$.provenance" j ~field:(fun k v ->
+      match k with
+      | "strategy" -> strat := Some (J.to_str v); true
+      | "intervals" -> n := Some (J.to_int v); true
+      | "accepted" -> acc := Some (J.to_int v); true
+      | "repaired" -> rep := Some (J.to_int v); true
+      | "fallback" -> fb := Some (J.to_str v); true
+      | "errors" ->
+        (match v with
+         | J.Obj members ->
+           errs := List.map (fun (k, v) -> (k, J.to_float v)) members
+         | _ -> result_error "provenance.errors must be an object");
+        true
+      | _ -> false);
+  { prov_strategy = result_need "provenance.strategy" !strat;
+    prov_intervals = result_need "provenance.intervals" !n;
+    prov_accepted = result_need "provenance.accepted" !acc;
+    prov_repaired = result_need "provenance.repaired" !rep;
+    prov_fallback = !fb;
+    prov_errors = !errs }
+
 let result_to_json (r : result) : J.t =
   Obj
     ([ ("cycles", J.Int r.cycles);
@@ -1129,6 +2180,9 @@ let result_to_json (r : result) : J.t =
     @ (match r.pcache with
        | None -> []
        | Some p -> [ ("pcache", pcache_counters_to_json p) ])
+    @ (match r.provenance with
+       | None -> []
+       | Some p -> [ ("provenance", provenance_to_json p) ])
     @ [ ("final_state", final_state_to_json r.final_state);
         ("truncated", J.Bool r.truncated) ])
 
@@ -1137,7 +2191,7 @@ let result_of_json j : (result, string) Stdlib.result =
     let cycles = ref None and retired = ref None in
     let emulated = ref None and wrong_path = ref None in
     let classes = ref None and branches = ref None and cache = ref None in
-    let memo = ref None and pcache = ref None in
+    let memo = ref None and pcache = ref None and provenance = ref None in
     let final_state = ref None and truncated = ref None in
     result_obj ~path:"$" j ~field:(fun k v ->
         match k with
@@ -1153,6 +2207,7 @@ let result_of_json j : (result, string) Stdlib.result =
         | "cache" -> cache := Some (cache_stats_decode v); true
         | "memo" -> memo := Some (memo_stats_decode v); true
         | "pcache" -> pcache := Some (pcache_counters_decode v); true
+        | "provenance" -> provenance := Some (provenance_decode v); true
         | "final_state" -> final_state := Some (final_state_decode v); true
         | "truncated" -> truncated := Some (J.to_bool v); true
         | _ -> false);
@@ -1166,7 +2221,8 @@ let result_of_json j : (result, string) Stdlib.result =
       memo = !memo;
       pcache = !pcache;
       final_state = result_need "final_state" !final_state;
-      truncated = result_need "truncated" !truncated }
+      truncated = result_need "truncated" !truncated;
+      provenance = !provenance }
   in
   match decode j with
   | v -> Ok v
@@ -1193,23 +2249,50 @@ let baseline_result (b : Baseline.result) : result =
     memo = None;
     pcache = None;
     final_state = b.Baseline.final_state;
-    truncated = b.Baseline.truncated }
+    truncated = b.Baseline.truncated;
+    provenance = None }
 
-let run ~engine (spec : Spec.t) prog =
-  match engine with
-  | `Slow ->
-    slow_sim ~params:spec.Spec.params ~cache_config:spec.Spec.cache_config
-      ~predictor:spec.Spec.predictor ~max_cycles:spec.Spec.max_cycles
-      ?observer:spec.Spec.observer ?obs:spec.Spec.obs prog
-  | `Fast ->
-    fast_sim ~params:spec.Spec.params ~cache_config:spec.Spec.cache_config
-      ~predictor:spec.Spec.predictor ~max_cycles:spec.Spec.max_cycles
-      ~policy:spec.Spec.policy ?pcache:spec.Spec.pcache ?obs:spec.Spec.obs
-      prog
-  | `Baseline ->
-    let max_cycles =
-      if spec.Spec.max_cycles = max_int then None
-      else Some spec.Spec.max_cycles
-    in
-    baseline_result
-      (Baseline.run ~cache_config:spec.Spec.cache_config ?max_cycles prog)
+let run ?(strategy = Serial) ~engine (spec : Spec.t) prog =
+  let serial () =
+    match engine with
+    | `Slow ->
+      slow_sim ~params:spec.Spec.params ~cache_config:spec.Spec.cache_config
+        ~predictor:spec.Spec.predictor ~max_cycles:spec.Spec.max_cycles
+        ?observer:spec.Spec.observer ?obs:spec.Spec.obs prog
+    | `Fast ->
+      fast_sim ~params:spec.Spec.params ~cache_config:spec.Spec.cache_config
+        ~predictor:spec.Spec.predictor ~max_cycles:spec.Spec.max_cycles
+        ~policy:spec.Spec.policy ?pcache:spec.Spec.pcache ?obs:spec.Spec.obs
+        prog
+    | `Baseline ->
+      let max_cycles =
+        if spec.Spec.max_cycles = max_int then None
+        else Some spec.Spec.max_cycles
+      in
+      baseline_result
+        (Baseline.run ~cache_config:spec.Spec.cache_config ?max_cycles prog)
+  in
+  match (strategy, engine) with
+  | Serial, _ -> serial ()
+  | Parallel _, `Baseline ->
+    let r = serial () in
+    { r with
+      provenance = Some (no_provenance ~strategy:"parallel" "baseline-engine") }
+  | Sampled _, `Baseline ->
+    let r = serial () in
+    { r with
+      provenance = Some (no_provenance ~strategy:"sampled" "baseline-engine") }
+  | Parallel { interval_insns; warmup_insns; fanout }, ((`Fast | `Slow) as e)
+    ->
+    run_parallel ~engine:e ~params:spec.Spec.params
+      ~cache_config:spec.Spec.cache_config ~predictor:spec.Spec.predictor
+      ~max_cycles:spec.Spec.max_cycles ~policy:spec.Spec.policy
+      ~pcache:spec.Spec.pcache ~serial prog ~interval_insns ~warmup_insns
+      ~fanout
+  | Sampled { sample_insns; sample_period; warmup_insns }, ((`Fast | `Slow) as e)
+    ->
+    run_sampled ~engine:e ~params:spec.Spec.params
+      ~cache_config:spec.Spec.cache_config ~predictor:spec.Spec.predictor
+      ~max_cycles:spec.Spec.max_cycles ~policy:spec.Spec.policy
+      ~pcache:spec.Spec.pcache ~serial prog ~sample_insns ~sample_period
+      ~warmup_insns

@@ -32,6 +32,72 @@ type branch_stats = {
   misfetched : int;    (** indirect jumps the front end could not predict. *)
 }
 
+(** How to spread a strategy engine's interval work over workers. [f_map]
+    evaluates [f 0 .. f (n-1)] (in any order, possibly concurrently) and
+    returns the results in index order, [None] for a worker that crashed
+    or was skipped — the stitcher repairs such intervals serially.
+    [f_pcache_mode] says whether workers may share the caller's p-action
+    cache ([`Inherit]: same process or fork-with-COW) or must build their
+    own ([`Isolate]: e.g. domains, where sharing would race).
+    {!Fastsim_exec.Strategy_pool.fanout} builds one over the process
+    pool; {!inline_fanout} runs workers sequentially in-process. *)
+type fanout = {
+  f_map : 'a. (int -> 'a) -> int -> 'a option array;
+  f_pcache_mode : [ `Inherit | `Isolate ];
+}
+
+val inline_fanout : fanout
+
+(** Simulation strategy (docs/STRATEGY.md):
+
+    - [Serial] — the plain engines; exact.
+    - [Parallel] — time-parallel simulation: the program is split at
+      functional checkpoints every [interval_insns] retired instructions;
+      each interval is simulated independently (cold microarchitectural
+      start [warmup_insns] earlier), and intervals whose boundary state
+      matches the exact boundary are stitched, the rest re-simulated
+      serially. The result is {e bit-identical} to the serial run.
+    - [Sampled] — SMARTS-style sampling: every [sample_period] retired
+      instructions, a window of [warmup_insns] (detailed, discarded) +
+      [sample_insns] (measured) runs from a functional checkpoint; timing
+      statistics are scaled estimates with per-statistic relative-error
+      bounds in [provenance.prov_errors]; architectural results
+      ([retired], [retired_by_class], [emulated_insts], [final_state])
+      stay exact. *)
+type strategy =
+  | Serial
+  | Parallel of {
+      interval_insns : int;
+      warmup_insns : int;
+      fanout : fanout option;  (** [None] = {!inline_fanout}. *)
+    }
+  | Sampled of {
+      sample_insns : int;
+      sample_period : int;
+      warmup_insns : int;
+    }
+
+(** How a non-serial strategy produced its result. *)
+type provenance = {
+  prov_strategy : string;  (** ["parallel"] or ["sampled"]. *)
+  prov_intervals : int;    (** intervals simulated / windows sampled. *)
+  prov_accepted : int;     (** parallel: intervals stitched speculatively. *)
+  prov_repaired : int;     (** parallel: intervals re-simulated serially. *)
+  prov_fallback : string option;
+      (** set when the strategy fell back to a plain serial run (e.g.
+          ["single-interval"], ["baseline-engine"], ["max-cycles"]). *)
+  prov_errors : (string * float) list;
+      (** sampled: relative 95%-confidence error per statistic. *)
+}
+
+val strategy_to_string : strategy -> string
+(** ["serial"], ["parallel:INSNS:WARMUP"] or
+    ["sampled:INSNS:PERIOD:WARMUP"] — the CLI/fuzz syntax. *)
+
+val strategy_of_string : string -> (strategy, string) Stdlib.result
+(** Inverse of {!strategy_to_string} (modulo [fanout], which is
+    runtime-only and decodes to [None]). *)
+
 type result = {
   cycles : int;             (** simulated cycles to program completion. *)
   retired : int;            (** instructions retired (includes [Halt]). *)
@@ -58,6 +124,10 @@ type result = {
           simulation up to that point, identically for the fast and slow
           engines at {e every} truncation point (enforced by a property
           test sweeping budgets across replay-group boundaries). *)
+  provenance : provenance option;
+      (** [None] for serial runs (so serialised serial results are
+          byte-identical to pre-strategy versions); [Some] whenever {!run}
+          was given a non-serial strategy, including fallbacks. *)
 }
 
 type predictor_kind = Standard | Not_taken | Taken
@@ -207,8 +277,18 @@ val result_of_json : Fastsim_obs.Json.t -> (result, string) Stdlib.result
     duplicate keys, ill-typed values and missing required fields are
     errors. *)
 
-val run : engine:engine -> Spec.t -> Isa.Program.t -> result
-(** Runs one simulation. [`Fast] and [`Slow] produce identical cycle
+val run : ?strategy:strategy -> engine:engine -> Spec.t -> Isa.Program.t -> result
+(** Runs one simulation under [strategy] (default [Serial]). Non-serial
+    strategies apply to [`Fast] and [`Slow] only ([`Baseline] falls back
+    to a plain serial run, recorded in [provenance]); they ignore
+    [Spec.obs]/[Spec.observer] (segments run uninstrumented) and report
+    [memo = None]/[pcache = None]. [Parallel] results are bit-identical
+    to the serial run of the same spec and engine (including truncation
+    at [max_cycles]); [Sampled] results are estimates (exact
+    architectural fields, scaled timing statistics with error bounds in
+    [provenance]) and fall back to serial when [max_cycles] is bounded.
+
+    [`Fast] and [`Slow] produce identical cycle
     counts and statistics (the paper's central claim); [`Baseline] runs
     the SimpleScalar-style model, which ignores [params], [predictor]
     (it has its own fixed front end matching the default configuration),

@@ -38,6 +38,18 @@ type checkpoint = {
   ck_insts : int;
 }
 
+(* Architectural observation hooks for functional warming (the sampled
+   strategy engine, docs/STRATEGY.md): fired by [step] as instructions
+   execute, so a fast-forwarding pass can keep cache and branch-predictor
+   models warm without any timing simulation. *)
+type warm_hooks = {
+  wh_load : addr:int -> width:int -> unit;
+  wh_store : addr:int -> width:int -> unit;
+  wh_cond : pc:int -> taken:bool -> unit;
+  wh_indirect : pc:int -> target:int -> unit;
+  wh_call : pc:int -> return_to:int -> unit;
+}
+
 type t = {
   prog : Isa.Program.t;
   mem : Memory.t;
@@ -59,6 +71,7 @@ type t = {
      per-instruction (step_one) clients. *)
   mutable read_ahead : bool;
   mutable pending : control option;
+  mutable hooks : warm_hooks option;
 }
 
 let create_gen ~recording ?(predictor = Predictor.always_not_taken) prog =
@@ -79,7 +92,8 @@ let create_gen ~recording ?(predictor = Predictor.always_not_taken) prog =
     halted_f = false;
     wedged_f = false;
     read_ahead = false;
-    pending = None }
+    pending = None;
+    hooks = None }
 
 let speculative t = t.checkpoints <> []
 
@@ -154,6 +168,9 @@ let step t : control option =
       match loader addr with
       | v ->
         if t.recording then Seq_queue.push t.lq { l_addr = addr; l_width = width };
+        (match t.hooks with
+         | Some h -> h.wh_load ~addr ~width
+         | None -> ());
         rd_set v
       | exception Memory.Unaligned _ ->
         if speculative t then mem_fault := true
@@ -168,7 +185,10 @@ let step t : control option =
       else begin
         if speculative t then push_undo t addr width (pre_value t addr width);
         storer addr;
-        if t.recording then Seq_queue.push t.sq { s_addr = addr; s_width = width }
+        if t.recording then Seq_queue.push t.sq { s_addr = addr; s_width = width };
+        (match t.hooks with
+         | Some h -> h.wh_store ~addr ~width
+         | None -> ())
       end
     in
     let event = ref None in
@@ -276,6 +296,7 @@ let step t : control option =
        let taken = eval_cond c (gi rs1) (gi rs2) in
        let fall_through = next and taken_target = next + (4 * off) in
        let actual = if taken then taken_target else fall_through in
+       (match t.hooks with Some h -> h.wh_cond ~pc ~taken | None -> ());
        if t.recording then begin
          let predicted_taken = t.pred.predict_cond ~pc in
          t.pred.train_cond ~pc ~taken;
@@ -301,10 +322,16 @@ let step t : control option =
      | Jal (rd, target) ->
        si rd next;
        if t.recording then t.pred.note_call ~pc ~return_to:next;
+       (match t.hooks with
+        | Some h -> h.wh_call ~pc ~return_to:next
+        | None -> ());
        st.pc <- target * 4
      | Jr rs ->
        let target = u32 (gi rs) in
        st.pc <- target;
+       (match t.hooks with
+        | Some h -> h.wh_indirect ~pc ~target
+        | None -> ());
        if t.recording then begin
          let predicted = t.pred.predict_indirect ~pc in
          t.pred.train_indirect ~pc ~target;
@@ -314,6 +341,11 @@ let step t : control option =
        let target = u32 (gi rs) in
        si rd next;
        st.pc <- target;
+       (match t.hooks with
+        | Some h ->
+          h.wh_indirect ~pc ~target;
+          h.wh_call ~pc ~return_to:next
+        | None -> ());
        if t.recording then begin
          let predicted = t.pred.predict_indirect ~pc in
          t.pred.train_indirect ~pc ~target;
@@ -461,3 +493,162 @@ let run_functional ?(max_insts = max_int) prog =
   in
   loop ();
   (t.st, t.mem, t.insts)
+
+(* ---- capture / restore (strategy engines, docs/STRATEGY.md) -------- *)
+
+module Capture = struct
+  type cap_ck = {
+    k_regs : Arch_state.t;
+    k_undo : int;
+    k_lq : int;
+    k_sq : int;
+    k_insts : int;
+  }
+
+  type t = {
+    c_state : Arch_state.t;
+    c_pages : (int * string) array;
+    c_undo : (int * int * int64) array;
+    c_checkpoints : cap_ck list;
+    c_lq : load_rec array;
+    c_sq : store_rec array;
+    c_halted : bool;
+    c_wedged : bool;
+    c_pending : control option;
+    c_insts : int;
+    c_wp_insts : int;
+  }
+
+  let canonical (c : t) : string =
+    Marshal.to_string
+      ( c.c_state,
+        c.c_pages,
+        c.c_undo,
+        c.c_checkpoints,
+        c.c_lq,
+        c.c_sq,
+        c.c_halted,
+        c.c_wedged,
+        c.c_pending )
+      [ Marshal.No_sharing ]
+end
+
+let capture t : Capture.t =
+  let q_to_array q =
+    let acc = ref [] in
+    Seq_queue.iter (fun x -> acc := x :: !acc) q;
+    Array.of_list (List.rev !acc)
+  in
+  let lq_head = Seq_queue.head_seq t.lq in
+  let sq_head = Seq_queue.head_seq t.sq in
+  { Capture.c_state = Arch_state.snapshot t.st;
+    c_pages = Memory.to_pages t.mem;
+    c_undo = Array.sub t.undo 0 t.undo_len;
+    c_checkpoints =
+      List.map
+        (fun ck ->
+          { Capture.k_regs = Arch_state.snapshot ck.ck_regs;
+            k_undo = ck.ck_undo;
+            k_lq = ck.ck_lq - lq_head;
+            k_sq = ck.ck_sq - sq_head;
+            k_insts = ck.ck_insts - t.insts })
+        t.checkpoints;
+    c_lq = q_to_array t.lq;
+    c_sq = q_to_array t.sq;
+    c_halted = t.halted_f;
+    c_wedged = t.wedged_f;
+    c_pending = t.pending;
+    c_insts = t.insts;
+    c_wp_insts = t.wp_insts }
+
+let restore ?(predictor = Predictor.always_not_taken) prog (c : Capture.t) =
+  let lq = Seq_queue.create () in
+  let sq = Seq_queue.create () in
+  Array.iter (fun x -> Seq_queue.push lq x) c.Capture.c_lq;
+  Array.iter (fun x -> Seq_queue.push sq x) c.Capture.c_sq;
+  let undo_cap =
+    let n = max 256 (Array.length c.Capture.c_undo) in
+    let rec pow2 k = if k >= n then k else pow2 (2 * k) in
+    pow2 256
+  in
+  let undo = Array.make undo_cap (0, 0, 0L) in
+  Array.blit c.Capture.c_undo 0 undo 0 (Array.length c.Capture.c_undo);
+  { prog;
+    mem = Memory.of_pages c.Capture.c_pages;
+    st = Arch_state.snapshot c.Capture.c_state;
+    pred = predictor;
+    recording = true;
+    lq;
+    sq;
+    undo;
+    undo_len = Array.length c.Capture.c_undo;
+    checkpoints =
+      List.map
+        (fun (k : Capture.cap_ck) ->
+          { ck_regs = Arch_state.snapshot k.Capture.k_regs;
+            ck_undo = k.Capture.k_undo;
+            (* captured seqs are relative to the consumed head, which a
+               rebuilt queue restarts at 0 *)
+            ck_lq = k.Capture.k_lq;
+            ck_sq = k.Capture.k_sq;
+            ck_insts = c.Capture.c_insts + k.Capture.k_insts })
+        c.Capture.c_checkpoints;
+    insts = c.Capture.c_insts;
+    wp_insts = c.Capture.c_wp_insts;
+    halted_f = c.Capture.c_halted;
+    wedged_f = c.Capture.c_wedged;
+    read_ahead = true;
+    (* The pending read-ahead event is restored VERBATIM — never
+       re-produced. Producing it again would re-execute instructions the
+       capture already executed and re-train the branch predictor on
+       outcomes it was already trained on, silently corrupting later
+       predictions (pinned by a regression test in test_strategy.ml). *)
+    pending = c.Capture.c_pending;
+    hooks = None }
+
+let create_at ?predictor prog ~(state : Arch_state.t) ~(mem : Memory.t)
+    ~insts =
+  let t = create_gen ~recording:true ?predictor prog in
+  let t = { t with mem; st = Arch_state.snapshot state } in
+  t.insts <- insts;
+  t.read_ahead <- true;
+  t.pending <- Some (produce t);
+  t
+
+(* ---- functional checkpointing --------------------------------------- *)
+
+type functional_ck = {
+  f_state : Arch_state.t;
+  f_mem : Memory.t;
+  f_insts : int;
+}
+
+let run_functional_checkpoints ?(max_insts = max_int) ?on_inst ?hooks prog
+    ~at =
+  let t = create_gen ~recording:false prog in
+  t.hooks <- hooks;
+  let cks = ref [] in
+  let remaining = ref (List.sort_uniq compare at) in
+  let take () =
+    match !remaining with
+    | n :: rest when t.insts >= n ->
+      remaining := rest;
+      cks :=
+        { f_state = Arch_state.snapshot t.st;
+          f_mem = Memory.copy t.mem;
+          f_insts = t.insts }
+        :: !cks
+    | _ -> ()
+  in
+  take ();
+  let rec loop () =
+    if t.halted_f || t.insts >= max_insts then ()
+    else begin
+      (match on_inst with Some f -> f ~pc:t.st.pc | None -> ());
+      ignore (step t : control option);
+      take ();
+      loop ()
+    end
+  in
+  loop ();
+  (List.rev !cks, Arch_state.snapshot t.st, t.insts, t.halted_f)

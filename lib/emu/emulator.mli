@@ -127,3 +127,103 @@ val run_functional :
   ?max_insts:int -> Isa.Program.t -> Arch_state.t * Memory.t * int
 (** [run_functional p] executes [p] to completion (or [max_insts]) and
     returns the final state, memory, and instruction count. *)
+
+(** {1 Capture / restore}
+
+    Full-state checkpointing at instruction boundaries, for the strategy
+    engines (interval-parallel simulation, [docs/STRATEGY.md]). A capture
+    is plain, closure-free data: safe to [Marshal] across a process
+    boundary and safe to compare for behavioural equality via
+    {!Capture.canonical}. *)
+
+module Capture : sig
+  type cap_ck = {
+    k_regs : Arch_state.t;
+    k_undo : int;
+    k_lq : int;   (** relative to the consumed lQ head at capture. *)
+    k_sq : int;
+    k_insts : int;  (** relative to the captured instruction count. *)
+  }
+
+  type t = {
+    c_state : Arch_state.t;
+    c_pages : (int * string) array;   (** canonical memory image. *)
+    c_undo : (int * int * int64) array;
+    c_checkpoints : cap_ck list;      (** youngest first. *)
+    c_lq : load_rec array;            (** unconsumed entries, oldest first. *)
+    c_sq : store_rec array;
+    c_halted : bool;
+    c_wedged : bool;
+    c_pending : control option;
+        (** the one-event read-ahead, carried verbatim. Restoring a blank
+            here and re-producing the event would re-train the predictor
+            on outcomes it already saw — the latent checkpoint hazard
+            pinned by test_strategy.ml. *)
+    c_insts : int;     (** non-behavioural: statistics continuation. *)
+    c_wp_insts : int;  (** non-behavioural: statistics continuation. *)
+  }
+
+  val canonical : t -> string
+  (** Byte encoding of the {e behavioural} part of the capture (the
+      counters [c_insts]/[c_wp_insts] are excluded): two captures with
+      equal canonical strings produce identical future behaviour. *)
+end
+
+val capture : t -> Capture.t
+(** Copies the complete emulator state out, including mid-speculation
+    state: undo log, outstanding misprediction checkpoints (queue
+    references re-based to the consumed head), unconsumed lQ/sQ entries
+    and the pending read-ahead event. *)
+
+val restore : ?predictor:Predictor.t -> Isa.Program.t -> Capture.t -> t
+(** Rebuilds an emulator from a capture. The caller supplies the predictor
+    (restore it separately via {!Bpred.handle}); the pending read-ahead
+    event is restored verbatim, never re-produced. *)
+
+val create_at :
+  ?predictor:Predictor.t -> Isa.Program.t -> state:Arch_state.t ->
+  mem:Memory.t -> insts:int -> t
+(** Fresh (non-speculative, cold) emulator positioned at an architectural
+    checkpoint: registers from [state] (copied), memory [mem] (owned by
+    the new emulator — pass a {!Memory.copy} to keep the original), and
+    the instruction counter at [insts]. Read-ahead is primed, so the
+    predictor sees exactly what a cold start at this boundary would. *)
+
+(** {1 Functional checkpointing} *)
+
+type functional_ck = {
+  f_state : Arch_state.t;
+  f_mem : Memory.t;   (** private copy. *)
+  f_insts : int;
+}
+
+(** Architectural observation hooks for {e functional warming} (the
+    sampled strategy engine, docs/STRATEGY.md): while a functional pass
+    fast-forwards between samples, these callbacks let the caller keep a
+    cache model and a branch predictor trained on the architectural
+    stream — the SMARTS insight that makes short detailed samples
+    unbiased. Fired by {!run_functional_checkpoints} as each instruction
+    executes: loads/stores with their effective address, conditional
+    branches with their outcome, indirect jumps with their target, calls
+    with their return address. *)
+type warm_hooks = {
+  wh_load : addr:int -> width:int -> unit;
+  wh_store : addr:int -> width:int -> unit;
+  wh_cond : pc:int -> taken:bool -> unit;
+  wh_indirect : pc:int -> target:int -> unit;
+  wh_call : pc:int -> return_to:int -> unit;
+}
+
+val run_functional_checkpoints :
+  ?max_insts:int ->
+  ?on_inst:(pc:int -> unit) ->
+  ?hooks:warm_hooks ->
+  Isa.Program.t ->
+  at:int list ->
+  functional_ck list * Arch_state.t * int * bool
+(** Pure functional execution that snapshots the architectural state at
+    each instruction count in [at] (deduplicated; 0 means the initial
+    state). [on_inst] is called with the PC before each executed
+    instruction (including the final [Halt]). Returns the checkpoints in
+    ascending order, the final state, the instruction count, and whether
+    the program halted (as opposed to hitting [max_insts]). *)

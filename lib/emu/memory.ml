@@ -85,3 +85,35 @@ let load_program t (p : Isa.Program.t) =
   List.iter (fun (addr, bytes) -> init_segment t addr bytes) p.data
 
 let pages_allocated t = Hashtbl.length t.pages
+
+(* ---- capture / restore (strategy engines, docs/STRATEGY.md) ---- *)
+
+let is_zero_page p =
+  let n = Bytes.length p in
+  let rec go i = i >= n || (Bytes.unsafe_get p i = '\000' && go (i + 1)) in
+  go 0
+
+let copy t =
+  let pages = Hashtbl.create (max 16 (Hashtbl.length t.pages)) in
+  Hashtbl.iter (fun k p -> Hashtbl.add pages k (Bytes.copy p)) t.pages;
+  { pages }
+
+(* Canonical page image: sorted by page index, with all-zero pages dropped
+   (a demand-created zero page is indistinguishable from an untouched
+   one), so two behaviourally identical memories always produce equal
+   arrays — this doubles as the restorable form and the comparable form. *)
+let to_pages t =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun k p -> if not (is_zero_page p) then acc := (k, Bytes.to_string p) :: !acc)
+    t.pages;
+  let a = Array.of_list !acc in
+  Array.sort (fun (a, _) (b, _) -> compare (a : int) b) a;
+  a
+
+let of_pages pages =
+  let t = create () in
+  Array.iter
+    (fun (k, img) -> Hashtbl.replace t.pages k (Bytes.of_string img))
+    pages;
+  t

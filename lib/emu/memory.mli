@@ -46,3 +46,21 @@ val load_program : t -> Isa.Program.t -> unit
 
 val pages_allocated : t -> int
 (** Number of 4 KiB pages touched so far (for tests/diagnostics). *)
+
+(** {1 Capture / restore}
+
+    Used by the strategy engines (interval-parallel simulation,
+    [docs/STRATEGY.md]) to checkpoint functional memory at instruction
+    boundaries. *)
+
+val copy : t -> t
+(** Deep copy (pages are duplicated). *)
+
+val to_pages : t -> (int * string) array
+(** Canonical page image: (page index, 4 KiB contents) sorted by index,
+    with all-zero pages dropped — a demand-created zero page is
+    indistinguishable from an untouched one, so behaviourally identical
+    memories always produce byte-equal arrays. *)
+
+val of_pages : (int * string) array -> t
+(** Rebuilds a memory from {!to_pages} output. *)

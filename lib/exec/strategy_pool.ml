@@ -1,0 +1,22 @@
+let fanout ?(backend = Pool.Fork) ?jobs () : Fastsim.Sim.fanout =
+  let jobs =
+    match jobs with
+    | Some j when j > 0 -> j
+    | Some j -> invalid_arg (Printf.sprintf "Strategy_pool.fanout: jobs %d" j)
+    | None -> max 1 (Domain_shim.recommended_jobs ())
+  in
+  let f_map : 'a. (int -> 'a) -> int -> 'a option array =
+   fun f n ->
+    Pool.with_temp_dir ~prefix:"fastsim-strategy" (fun dir ->
+        Pool.map ~backend ~jobs ~scratch_dir:dir f n)
+    |> Array.map (fun (s : _ Pool.settled) ->
+           match s.Pool.outcome with
+           | Pool.Done v -> Some v
+           | Pool.Crashed _ | Pool.Timed_out -> None)
+  in
+  let f_pcache_mode =
+    match backend with
+    | Pool.Fork | Pool.Inline -> `Inherit
+    | Pool.Domains -> `Isolate
+  in
+  { Fastsim.Sim.f_map; f_pcache_mode }

@@ -1,0 +1,15 @@
+(** Process-pool fan-out for the time-parallel simulation strategy
+    ([Fastsim.Sim.Parallel], docs/STRATEGY.md): adapts {!Pool.map} to the
+    {!Fastsim.Sim.fanout} interface the stitcher consumes.
+
+    A worker that crashes or times out becomes [None] in the fan-out
+    result; the stitcher repairs that interval serially, so pool failures
+    cost time, never correctness. *)
+
+val fanout : ?backend:Pool.backend -> ?jobs:int -> unit -> Fastsim.Sim.fanout
+(** [fanout ()] spreads interval workers over a {!Pool.Fork} pool with
+    {!Domain_shim.recommended_jobs} workers. [Fork] and [Inline] workers
+    may share ([`Inherit]) the caller's warm p-action cache — same
+    address space, or copy-on-write after the fork — while [Domains]
+    workers build their own ([`Isolate]): the p-action cache is not
+    thread-safe, and sharing it across domains would race. *)

@@ -20,8 +20,8 @@ let fault_period () =
   | None | Some "" -> 0
   | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 0)
 
-let run ?(max_cycles = max_int) ?trace ?metrics pc (stats : Stats.t)
-    ~(oracle : Uarch.Oracle.t) ~cycle ~classes ~start =
+let run ?(max_cycles = max_int) ?(max_retired = max_int) ?trace ?metrics pc
+    (stats : Stats.t) ~(oracle : Uarch.Oracle.t) ~cycle ~classes ~start =
   (* Observability (docs/OBSERVABILITY.md): one [engine]-category replay
      span per run, synthetic per-group events reconstructed from the action
      chains as they are walked, and chain/episode-length histograms.
@@ -39,6 +39,17 @@ let run ?(max_cycles = max_int) ?trace ?metrics pc (stats : Stats.t)
   let cycle0 = !cycle in
   let actions0 = stats.Stats.actions_replayed in
   let groups0 = stats.Stats.groups_replayed in
+  let retired0 = stats.Stats.replayed_retired in
+  (* Retirement budget (strategy engines, docs/STRATEGY.md): replaying a
+     group that would bring this run's retirement tally to [max_retired]
+     or past it would overshoot a boundary whose exact crossing cycle is
+     recorded only as a whole-group aggregate. Same contract as the
+     [max_cycles] guard: stop {e before} such a group, hand its
+     configuration back, and let the caller re-simulate in detail up to
+     the exact crossing point. *)
+  let retire_budget_hit g_retired =
+    stats.Stats.replayed_retired - retired0 + g_retired >= max_retired
+  in
   (match trace with
    | None -> ()
    | Some tr ->
@@ -148,7 +159,10 @@ let run ?(max_cycles = max_int) ?trace ?metrics pc (stats : Stats.t)
       while (not !stopped) && !i < nseg do
         let seg = s.Action.s_segs.(!i) in
         Pcache.touch pc seg.Action.sg_cfg;
-        if !cycle + seg.Action.sg_silent >= max_cycles then begin
+        if
+          !cycle + seg.Action.sg_silent >= max_cycles
+          || retire_budget_hit seg.Action.sg_retired
+        then begin
           (* Same contract as the plain [Replay_budget]: stop before the
              segment, nothing performed, nothing charged; the caller
              re-simulates the truncated tail in detail from this
@@ -195,7 +209,9 @@ let run ?(max_cycles = max_int) ?trace ?metrics pc (stats : Stats.t)
     | None ->
       end_episode ();
       result := Some (Diverged { config = cfg; prefix = [] })
-    | Some g when !cycle + g.Action.g_silent >= max_cycles ->
+    | Some g
+      when !cycle + g.Action.g_silent >= max_cycles
+           || retire_budget_hit g.Action.g_retired ->
       (* The cycle budget falls inside this group: its interaction cycle
          would land at or past [max_cycles]. Replaying it would overshoot
          the budget mid-group — performing interactions a detailed run

@@ -24,16 +24,18 @@ type result =
   | Replay_halted
       (** the recorded chain reached [Halt]: simulation is complete. *)
   | Replay_budget of Action.config
-      (** the caller's cycle bound falls inside [config]'s group: replaying
-          it would overshoot [max_cycles] mid-group. Replay stops {e before}
-          touching the group — no interactions performed, no cycles or
-          retirement charged — and hands the configuration back so the
-          caller can re-simulate the truncated tail in detail, stopping
-          exactly at the budget. This keeps Fast ≡ Slow (identical cycles
-          and statistics) at every truncation point. *)
+      (** the caller's cycle or retirement bound falls inside [config]'s
+          group: replaying it would overshoot [max_cycles] (or
+          [max_retired]) mid-group. Replay stops {e before} touching the
+          group — no interactions performed, no cycles or retirement
+          charged — and hands the configuration back so the caller can
+          re-simulate the truncated tail in detail, stopping exactly at
+          the budget. This keeps Fast ≡ Slow (identical cycles and
+          statistics) at every truncation point. *)
 
 val run :
   ?max_cycles:int ->
+  ?max_retired:int ->
   ?trace:Fastsim_obs.Trace.t ->
   ?metrics:Fastsim_obs.Metrics.t ->
   Pcache.t ->
@@ -43,7 +45,10 @@ val run :
   classes:int array ->
   start:Action.config ->
   result
-(** Fast-forwards from [start] until the graph runs out. [cycle] is
+(** Fast-forwards from [start] until the graph runs out. [max_retired]
+    bounds the number of instructions this call may retire via replay
+    (strategy-engine interval boundaries, docs/STRATEGY.md); a group that
+    would reach or cross it is handed back as [Replay_budget]. [cycle] is
     advanced for fully replayed groups, and [classes] accumulates their
     per-FU-class retirement counts (indexed by [Isa.Instr.fu_index]); on
     divergence the cycle counter is left at the start of the diverging

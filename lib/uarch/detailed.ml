@@ -36,6 +36,11 @@ let create ?(params = Params.default) prog =
     cls = Array.make Isa.Instr.fu_count 0;
     arena = Snapshot.Arena.create () }
 
+let create_at ?params prog ~pc =
+  let t = create ?params prog in
+  t.fetch <- Pipeline.F_run pc;
+  t
+
 let restore ?(params = Params.default) prog key =
   Params.validate params;
   let fetch, iq = Snapshot.decode prog ~capacity:params.active_list key in

@@ -24,6 +24,11 @@ type t
 val create : ?params:Params.t -> Isa.Program.t -> t
 (** Pipeline empty, fetch starting at the program entry point. *)
 
+val create_at : ?params:Params.t -> Isa.Program.t -> pc:int -> t
+(** Like {!create} but fetching from [pc] instead of the entry point:
+    the cold-start state of a strategy-engine interval whose functional
+    checkpoint resumes mid-program (docs/STRATEGY.md). *)
+
 val restore : ?params:Params.t -> Isa.Program.t -> Snapshot.key -> t
 (** Rebuilds a simulator from a configuration snapshot. *)
 

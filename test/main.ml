@@ -25,4 +25,5 @@ let () =
       ("exec", Test_exec.suite);
       ("serve", Test_serve.suite);
       ("check", Test_check.suite);
+      ("strategy", Test_strategy.suite);
       ("golden", Test_golden.suite) ]

@@ -195,8 +195,115 @@ let test_kernel (w : Workloads.Workload.t) () =
   end;
   check Alcotest.bool "done" true true
 
+(* ---- strategy coverage (docs/STRATEGY.md) ---- *)
+
+(* The interval-parallel engine promises bit-identity with the serial
+   run, so its statistics must be byte-identical to the pinned serial
+   golden — not merely to a fresh serial run. [result_json] never
+   serialises provenance (and parallel runs report no memo/pcache
+   introspection), so the comparison is exact on the shared shape. *)
+let member k = function
+  | J.Obj kvs -> (
+    match List.assoc_opt k kvs with
+    | Some v -> v
+    | None -> Alcotest.failf "golden file lacks %S member" k)
+  | _ -> Alcotest.failf "golden file is not an object"
+
+let test_parallel_golden (w : Workloads.Workload.t) () =
+  if not (update_requested ()) then begin
+    let name = w.Workloads.Workload.name in
+    let path = golden_file name in
+    if not (Sys.file_exists path) then
+      Alcotest.failf "no golden stats for %s" name;
+    let golden_slow = member "slow" (J.of_file path) in
+    let retired =
+      match member "retired" golden_slow with
+      | J.Int n -> n
+      | _ -> Alcotest.fail "golden retired is not an int"
+    in
+    let strategy =
+      Sim.Parallel
+        { interval_insns = max 1 (retired / 3);
+          warmup_insns = max 1 (retired / 24);
+          fanout = None }
+    in
+    let prog = w.Workloads.Workload.build w.Workloads.Workload.test_scale in
+    let r = Sim.run ~strategy ~engine:`Fast Sim.Spec.default prog in
+    check Alcotest.string "parallel == pinned serial golden"
+      (J.to_string golden_slow)
+      (J.to_string (result_json r))
+  end;
+  check Alcotest.bool "done" true true
+
+(* The sampled engine is an estimator, so its output cannot be compared
+   to the serial golden — instead the estimates themselves (including the
+   per-statistic error bars) are pinned as their own fixture: sampling is
+   deterministic, so any drift in window placement, functional warming or
+   the error computation shows up as a field diff here. *)
+let sampled_kernels = [ "099.go"; "102.swim"; "129.compress" ]
+
+let sampled_fixture () =
+  J.Obj
+    (List.map
+       (fun name ->
+         let w = Workloads.Suite.find name in
+         let prog =
+           w.Workloads.Workload.build w.Workloads.Workload.test_scale
+         in
+         let serial = Sim.run ~engine:`Fast Sim.Spec.default prog in
+         let t = serial.Sim.retired in
+         let strategy =
+           Sim.Sampled
+             { sample_insns = max 1 (t / 40);
+               sample_period = max 1 (t / 20);
+               warmup_insns = max 1 (t / 80) }
+         in
+         let r = Sim.run ~strategy ~engine:`Fast Sim.Spec.default prog in
+         let p =
+           match r.Sim.provenance with
+           | Some p -> p
+           | None -> Alcotest.fail "sampled run without provenance"
+         in
+         ( name,
+           J.Obj
+             [ ("windows", J.Int p.Sim.prov_intervals);
+               ("estimates", result_json r);
+               ( "rel_errors",
+                 J.Obj
+                   (List.map
+                      (fun (k, e) -> (k, J.Float e))
+                      p.Sim.prov_errors) ) ] ))
+       sampled_kernels)
+
+let test_sampled_fixture () =
+  let got = sampled_fixture () in
+  if update_requested () then promote "sampled_estimates" got
+  else begin
+    let path = golden_file "sampled_estimates" in
+    if not (Sys.file_exists path) then
+      Alcotest.fail
+        "no sampled-estimate fixture — generate with UPDATE_GOLDEN=1 dune \
+         runtest, then review the diff";
+    match diff_fields (J.of_file path) got with
+    | [] -> ()
+    | diffs ->
+      Alcotest.fail
+        (Printf.sprintf "%d field(s) drifted from the sampled fixture:\n  %s"
+           (List.length diffs)
+           (String.concat "\n  " diffs))
+  end;
+  check Alcotest.bool "done" true true
+
 let suite =
   List.map
     (fun (w : Workloads.Workload.t) ->
       Alcotest.test_case w.Workloads.Workload.name `Quick (test_kernel w))
     Workloads.Suite.all
+  @ List.map
+      (fun (w : Workloads.Workload.t) ->
+        Alcotest.test_case
+          ("parallel:" ^ w.Workloads.Workload.name)
+          `Quick (test_parallel_golden w))
+      Workloads.Suite.all
+  @ [ Alcotest.test_case "sampled estimate fixture" `Quick
+        test_sampled_fixture ]

@@ -1,0 +1,444 @@
+(* The differential harness for the strategy engines (docs/STRATEGY.md).
+
+   The tentpole claim mirrors the paper's Fast ≡ Slow equivalence one
+   level up: the time-parallel engine must produce results bit-identical
+   to the serial engine it decomposes — every cycle count, every
+   statistic, every final register — on every kernel, under both timing
+   engines, over every fan-out backend, including truncation budgets that
+   land mid-interval. The sampled engine is held to a different contract:
+   exact architectural results, estimated timing statistics with
+   deterministic error bounds. *)
+
+let check = Alcotest.check
+
+module Sim = Fastsim.Sim
+module Spec = Sim.Spec
+module Workload = Workloads.Workload
+
+let spec = Spec.with_max_cycles 20_000_000 Spec.default
+
+(* the sampled engine cannot bound cycles, so its tests run unbudgeted *)
+let uspec = Spec.default
+
+let build name =
+  let w = Workloads.Suite.find name in
+  w.Workload.build w.Workload.test_scale
+
+(* Full bit-identity between a strategy result and its serial reference:
+   every statistic the serial engines agree on, plus the architectural
+   state. [memo]/[pcache] are engine diagnostics (None under strategies)
+   and [provenance] is the strategy's own audit trail; both excluded. *)
+let assert_identical ~ctx (serial : Sim.result) (r : Sim.result) =
+  let ck name = check Alcotest.int (ctx ^ ": " ^ name) in
+  ck "cycles" serial.cycles r.cycles;
+  ck "retired" serial.retired r.retired;
+  check
+    Alcotest.(array int)
+    (ctx ^ ": retired_by_class") serial.retired_by_class r.retired_by_class;
+  ck "emulated_insts" serial.emulated_insts r.emulated_insts;
+  ck "wrong_path_insts" serial.wrong_path_insts r.wrong_path_insts;
+  ck "conditionals" serial.branches.conditionals r.branches.conditionals;
+  ck "mispredicted" serial.branches.mispredicted r.branches.mispredicted;
+  ck "indirects" serial.branches.indirects r.branches.indirects;
+  ck "misfetched" serial.branches.misfetched r.branches.misfetched;
+  ck "loads" serial.cache.loads r.cache.loads;
+  ck "stores" serial.cache.stores r.cache.stores;
+  ck "l1_hits" serial.cache.l1_hits r.cache.l1_hits;
+  ck "l1_misses" serial.cache.l1_misses r.cache.l1_misses;
+  ck "l2_hits" serial.cache.l2_hits r.cache.l2_hits;
+  ck "l2_misses" serial.cache.l2_misses r.cache.l2_misses;
+  ck "writebacks" serial.cache.writebacks r.cache.writebacks;
+  ck "merged_misses" serial.cache.merged_misses r.cache.merged_misses;
+  check Alcotest.bool (ctx ^ ": truncated") serial.truncated r.truncated;
+  check Alcotest.bool (ctx ^ ": final_state") true
+    (Emu.Arch_state.equal serial.final_state r.final_state)
+
+let parallel ?fanout ~interval ~warmup () =
+  Sim.Parallel
+    { interval_insns = interval; warmup_insns = warmup; fanout }
+
+let provenance ~ctx (r : Sim.result) =
+  match r.Sim.provenance with
+  | Some p -> p
+  | None -> Alcotest.failf "%s: strategy result carries no provenance" ctx
+
+(* ---- tentpole: stitched ≡ serial, all kernels × both engines -------- *)
+
+let test_stitch_identity engine name () =
+  let prog = build name in
+  let serial = Sim.run ~engine spec prog in
+  let interval = max 1 (serial.Sim.retired / 7) in
+  let r =
+    Sim.run ~strategy:(parallel ~interval ~warmup:(interval / 2) ())
+      ~engine spec prog
+  in
+  let ctx = name in
+  assert_identical ~ctx serial r;
+  let p = provenance ~ctx r in
+  check Alcotest.string (ctx ^ ": strategy") "parallel" p.Sim.prov_strategy;
+  check Alcotest.(option string) (ctx ^ ": no fallback") None p.Sim.prov_fallback;
+  check Alcotest.bool (ctx ^ ": split happened") true (p.Sim.prov_intervals >= 2);
+  check Alcotest.int
+    (ctx ^ ": intervals all settled")
+    p.Sim.prov_intervals
+    (p.Sim.prov_accepted + p.Sim.prov_repaired)
+
+(* ---- pathological split: 1-instruction intervals -------------------- *)
+
+let test_one_insn_intervals engine () =
+  let prog = build "compress" in
+  let serial = Sim.run ~engine spec prog in
+  let r =
+    Sim.run ~strategy:(parallel ~interval:1 ~warmup:0 ()) ~engine spec prog
+  in
+  assert_identical ~ctx:"K=1" serial r
+
+(* ---- truncation budgets landing mid-interval ------------------------ *)
+
+let test_truncation engine () =
+  let prog = build "go" in
+  let full = Sim.run ~engine spec prog in
+  let interval = max 1 (full.Sim.retired / 5) in
+  (* budgets straddling interval boundaries, including cycle 1 and a
+     budget beyond completion *)
+  let budgets =
+    [ 1; full.Sim.cycles / 10; full.Sim.cycles / 2;
+      (full.Sim.cycles * 9 / 10) + 1; full.Sim.cycles - 1; full.Sim.cycles;
+      full.Sim.cycles + 1000 ]
+  in
+  List.iter
+    (fun b ->
+      let bspec = Spec.with_max_cycles b spec in
+      let serial = Sim.run ~engine bspec prog in
+      let r =
+        Sim.run
+          ~strategy:(parallel ~interval ~warmup:(interval / 2) ())
+          ~engine bspec prog
+      in
+      assert_identical ~ctx:(Printf.sprintf "budget=%d" b) serial r)
+    budgets
+
+(* ---- pool-backed fan-outs ------------------------------------------- *)
+
+let test_pool_fanout backend engine () =
+  let prog = build "li" in
+  let serial = Sim.run ~engine spec prog in
+  let interval = max 1 (serial.Sim.retired / 5) in
+  let fanout = Fastsim_exec.Strategy_pool.fanout ~backend ~jobs:3 () in
+  let r =
+    Sim.run
+      ~strategy:(parallel ~fanout ~interval ~warmup:(interval / 2) ())
+      ~engine spec prog
+  in
+  assert_identical ~ctx:(Fastsim_exec.Pool.backend_to_string backend) serial r
+
+(* A fan-out whose workers all "crash" (return None): every interval is
+   repaired serially, and the result is still exact. *)
+let test_all_workers_lost () =
+  let prog = build "ijpeg" in
+  let serial = Sim.run ~engine:`Fast spec prog in
+  let fanout =
+    { Sim.f_map = (fun _f n -> Array.make n None);
+      f_pcache_mode = `Inherit }
+  in
+  let interval = max 1 (serial.Sim.retired / 4) in
+  let r =
+    Sim.run
+      ~strategy:(parallel ~fanout ~interval ~warmup:0 ())
+      ~engine:`Fast spec prog
+  in
+  assert_identical ~ctx:"workers-lost" serial r;
+  let p = provenance ~ctx:"workers-lost" r in
+  check Alcotest.int "all repaired" p.Sim.prov_intervals p.Sim.prov_repaired
+
+(* ---- emulator capture/restore round-trip ---------------------------- *)
+
+(* Drains the emulator's event stream with an in-order consumer: every
+   misprediction is repaired immediately (no pipeline is attached to do
+   it with a delay), every event is logged. *)
+let events_to_halt emu =
+  let rec go acc n =
+    if n > 500_000 then Alcotest.fail "event stream did not halt";
+    match Emu.Emulator.next_event emu with
+    | Emu.Emulator.Halted _ as e -> List.rev (e :: acc)
+    | Emu.Emulator.Cond { taken; predicted_taken; _ } as e ->
+      if taken <> predicted_taken then
+        ignore (Emu.Emulator.rollback_to emu ~index:0 : int);
+      go (e :: acc) (n + 1)
+    | Emu.Emulator.Wedged _ as e ->
+      ignore (Emu.Emulator.rollback_to emu ~index:0 : int);
+      go (e :: acc) (n + 1)
+    | e -> go (e :: acc) (n + 1)
+  in
+  go [] 0
+
+let consume_events emu n =
+  for _ = 1 to n do
+    match Emu.Emulator.next_event emu with
+    | Emu.Emulator.Cond { taken; predicted_taken; _ }
+      when taken <> predicted_taken ->
+      ignore (Emu.Emulator.rollback_to emu ~index:0 : int)
+    | Emu.Emulator.Wedged _ ->
+      ignore (Emu.Emulator.rollback_to emu ~index:0 : int)
+    | _ -> ()
+  done
+
+let test_capture_restore_roundtrip () =
+  let prog = build "m88ksim" in
+  let h = Bpred.standard_handle ~prog () in
+  let emu = Emu.Emulator.create ~predictor:h.Bpred.h_pred prog in
+  (* advance into the middle of the run, with speculation under way *)
+  consume_events emu 40;
+  let cap = Emu.Emulator.capture emu in
+  let pred = h.Bpred.h_save () in
+  (* restore must be canonical-identical to the capture, immediately *)
+  let h2 = Bpred.standard_handle ~prog () in
+  h2.Bpred.h_load pred;
+  let emu2 = Emu.Emulator.restore ~predictor:h2.Bpred.h_pred prog cap in
+  check Alcotest.bool "re-capture is canonically identical" true
+    (Emu.Emulator.Capture.canonical (Emu.Emulator.capture emu2)
+    = Emu.Emulator.Capture.canonical cap);
+  (* and the two continuations must produce the same event stream *)
+  let original = events_to_halt emu in
+  let restored = events_to_halt emu2 in
+  check Alcotest.bool "continuations produce identical event streams" true
+    (original = restored);
+  check Alcotest.bool "continuations end in identical states" true
+    (Emu.Arch_state.equal (Emu.Emulator.state emu) (Emu.Emulator.state emu2))
+
+(* ---- the latent checkpoint hazard (regression) ----------------------
+
+   Direct execution runs one control event ahead of the pipeline, so at
+   almost any capture point a produced-but-unconsumed control event is
+   pending — and the branch predictor was already trained when it was
+   produced. A capture that drops that event (the "obvious" slimming of
+   the checkpoint record) silently loses one control event: the restored
+   continuation hands the pipeline a shifted event stream. The event must
+   ride the capture verbatim. *)
+
+let test_pending_event_hazard () =
+  let prog = build "go" in
+  let h = Bpred.standard_handle ~prog () in
+  let emu = Emu.Emulator.create ~predictor:h.Bpred.h_pred prog in
+  consume_events emu 25;
+  let cap = Emu.Emulator.capture emu in
+  let pred = h.Bpred.h_save () in
+  (match cap.Emu.Emulator.Capture.c_pending with
+  | Some _ -> ()
+  | None ->
+    Alcotest.fail "expected a pending read-ahead event at the capture point");
+  let restore_and_run c =
+    let h' = Bpred.standard_handle ~prog () in
+    h'.Bpred.h_load pred;
+    let emu' = Emu.Emulator.restore ~predictor:h'.Bpred.h_pred prog c in
+    events_to_halt emu'
+  in
+  let exact = restore_and_run cap in
+  let naive =
+    restore_and_run { cap with Emu.Emulator.Capture.c_pending = None }
+  in
+  let reference = events_to_halt emu in
+  check Alcotest.bool "verbatim pending: continuation is exact" true
+    (exact = reference);
+  check Alcotest.bool "dropped pending: continuation loses an event" false
+    (naive = reference)
+
+(* ---- sampled engine -------------------------------------------------- *)
+
+let sampled_strategy serial =
+  let t = serial.Sim.retired in
+  Sim.Sampled
+    { sample_insns = max 1 (t / 40);
+      sample_period = max 1 (t / 10);
+      warmup_insns = max 1 (t / 80) }
+
+let test_sampled_exact_arch () =
+  let prog = build "vortex" in
+  let serial = Sim.run ~engine:`Fast uspec prog in
+  let r = Sim.run ~strategy:(sampled_strategy serial) ~engine:`Fast uspec prog in
+  check Alcotest.int "retired exact" serial.Sim.retired r.Sim.retired;
+  check Alcotest.int "emulated exact" serial.Sim.emulated_insts
+    r.Sim.emulated_insts;
+  check
+    Alcotest.(array int)
+    "retired_by_class exact" serial.Sim.retired_by_class
+    r.Sim.retired_by_class;
+  check Alcotest.bool "final state exact" true
+    (Emu.Arch_state.equal serial.Sim.final_state r.Sim.final_state);
+  check Alcotest.bool "not truncated" false r.Sim.truncated;
+  let p = provenance ~ctx:"sampled" r in
+  check Alcotest.string "strategy" "sampled" p.Sim.prov_strategy;
+  check Alcotest.(option string) "no fallback" None p.Sim.prov_fallback;
+  check Alcotest.bool "several windows" true (p.Sim.prov_intervals >= 2);
+  check Alcotest.bool "errors reported" true (p.Sim.prov_errors <> []);
+  List.iter
+    (fun (name, e) ->
+      if not (e >= 0. && e <= 10.) then
+        Alcotest.failf "error estimate %s = %g out of range" name e)
+    p.Sim.prov_errors
+
+let test_sampled_deterministic () =
+  let prog = build "swim" in
+  let serial = Sim.run ~engine:`Fast uspec prog in
+  let strategy = sampled_strategy serial in
+  let r1 = Sim.run ~strategy ~engine:`Fast uspec prog in
+  let r2 = Sim.run ~strategy ~engine:`Fast uspec prog in
+  check Alcotest.int "cycles deterministic" r1.Sim.cycles r2.Sim.cycles;
+  let p1 = provenance ~ctx:"det1" r1 and p2 = provenance ~ctx:"det2" r2 in
+  check Alcotest.bool "error estimates deterministic" true
+    (p1.Sim.prov_errors = p2.Sim.prov_errors);
+  (* fast and slow timing engines sample identically, so even the
+     estimates agree between them *)
+  let rs = Sim.run ~strategy ~engine:`Slow uspec prog in
+  check Alcotest.int "fast/slow sampled agree" r1.Sim.cycles rs.Sim.cycles
+
+let rel_err exact v =
+  abs_float (float_of_int v -. float_of_int exact) /. float_of_int (max 1 exact)
+
+let test_sampled_accuracy () =
+  (* steady loop kernels: periodic sampling must land within a few percent
+     of the exact cycle count *)
+  List.iter
+    (fun name ->
+      let prog = build name in
+      let serial = Sim.run ~engine:`Fast uspec prog in
+      let r =
+        Sim.run ~strategy:(sampled_strategy serial) ~engine:`Fast uspec prog
+      in
+      let e = rel_err serial.Sim.cycles r.Sim.cycles in
+      if e > 0.05 then
+        Alcotest.failf "%s: sampled cycle error %.1f%% exceeds 5%%" name
+          (100. *. e))
+    [ "tomcatv"; "swim"; "mgrid" ]
+
+(* ---- warmup reduces cold-start bias --------------------------------- *)
+
+let test_warmup_monotonicity () =
+  (* a cache-sensitive kernel: sampling with no warmup sees cold-miss
+     inflated cycle counts; a generous detailed warmup must not make the
+     estimate worse *)
+  let prog = build "su2cor" in
+  let serial = Sim.run ~engine:`Fast uspec prog in
+  let t = serial.Sim.retired in
+  let run_with warmup =
+    let r =
+      Sim.run
+        ~strategy:
+          (Sim.Sampled
+             { sample_insns = max 1 (t / 50);
+               sample_period = max 1 (t / 12);
+               warmup_insns = warmup })
+        ~engine:`Fast uspec prog
+    in
+    rel_err serial.Sim.cycles r.Sim.cycles
+  in
+  let cold = run_with 0 in
+  let warm = run_with (max 1 (t / 25)) in
+  check Alcotest.bool
+    (Printf.sprintf "warmup does not hurt (cold %.4f, warm %.4f)" cold warm)
+    true
+    (warm <= cold +. 0.002)
+
+(* ---- fallbacks ------------------------------------------------------- *)
+
+let test_fallbacks () =
+  let prog = build "go" in
+  let serial = Sim.run ~engine:`Fast spec prog in
+  (* single interval: program shorter than the interval length *)
+  let r =
+    Sim.run
+      ~strategy:(parallel ~interval:(serial.Sim.retired * 2) ~warmup:0 ())
+      ~engine:`Fast spec prog
+  in
+  assert_identical ~ctx:"single-interval" serial r;
+  check
+    Alcotest.(option string)
+    "single-interval fallback"
+    (Some "single-interval")
+    (provenance ~ctx:"single-interval" r).Sim.prov_fallback;
+  (* baseline engine: strategies do not apply *)
+  let sb = Sim.run ~engine:`Baseline spec prog in
+  let rb =
+    Sim.run ~strategy:(parallel ~interval:1000 ~warmup:0 ()) ~engine:`Baseline
+      spec prog
+  in
+  check Alcotest.int "baseline cycles" sb.Sim.cycles rb.Sim.cycles;
+  check
+    Alcotest.(option string)
+    "baseline fallback" (Some "baseline-engine")
+    (provenance ~ctx:"baseline" rb).Sim.prov_fallback;
+  (* sampled refuses bounded cycle budgets (it cannot bound them) *)
+  let bspec = Spec.with_max_cycles (serial.Sim.cycles / 2) spec in
+  let rs =
+    Sim.run
+      ~strategy:(Sim.Sampled
+                   { sample_insns = 100; sample_period = 1000; warmup_insns = 0 })
+      ~engine:`Fast bspec prog
+  in
+  check
+    Alcotest.(option string)
+    "sampled max-cycles fallback" (Some "max-cycles")
+    (provenance ~ctx:"sampled-budget" rs).Sim.prov_fallback;
+  assert_identical ~ctx:"sampled-budget" (Sim.run ~engine:`Fast bspec prog) rs
+
+(* ---- strategy string syntax ----------------------------------------- *)
+
+let test_strategy_strings () =
+  let roundtrip s =
+    match Sim.strategy_of_string s with
+    | Ok v -> check Alcotest.string s s (Sim.strategy_to_string v)
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  List.iter roundtrip [ "serial"; "parallel:5000:1000"; "sampled:100:1000:50" ];
+  List.iter
+    (fun s ->
+      match Sim.strategy_of_string s with
+      | Ok _ -> Alcotest.failf "%S should not parse" s
+      | Error _ -> ())
+    [ ""; "parallel"; "parallel:x:1"; "sampled:1:2"; "parallel:-1:0"; "turbo" ]
+
+let kernels () = Workloads.Suite.names ()
+
+let suite =
+  let stitch engine tag =
+    List.map
+      (fun name ->
+        Alcotest.test_case
+          (Printf.sprintf "stitch %s %s" tag name)
+          `Quick
+          (test_stitch_identity engine name))
+      (kernels ())
+  in
+  stitch `Fast "fast"
+  @ stitch `Slow "slow"
+  @ [ Alcotest.test_case "1-insn intervals (fast)" `Quick
+        (test_one_insn_intervals `Fast);
+      Alcotest.test_case "1-insn intervals (slow)" `Quick
+        (test_one_insn_intervals `Slow);
+      Alcotest.test_case "truncation mid-interval (fast)" `Quick
+        (test_truncation `Fast);
+      Alcotest.test_case "truncation mid-interval (slow)" `Quick
+        (test_truncation `Slow);
+      Alcotest.test_case "fork fan-out" `Quick
+        (test_pool_fanout Fastsim_exec.Pool.Fork `Fast);
+      Alcotest.test_case "domains fan-out" `Quick
+        (test_pool_fanout Fastsim_exec.Pool.Domains `Fast);
+      Alcotest.test_case "inline pool fan-out (slow)" `Quick
+        (test_pool_fanout Fastsim_exec.Pool.Inline `Slow);
+      Alcotest.test_case "crashed workers all repaired" `Quick
+        test_all_workers_lost;
+      Alcotest.test_case "capture/restore round-trip" `Quick
+        test_capture_restore_roundtrip;
+      Alcotest.test_case "pending-event hazard (regression)" `Quick
+        test_pending_event_hazard;
+      Alcotest.test_case "sampled: exact architectural results" `Quick
+        test_sampled_exact_arch;
+      Alcotest.test_case "sampled: deterministic" `Quick
+        test_sampled_deterministic;
+      Alcotest.test_case "sampled: steady kernels within 5%" `Quick
+        test_sampled_accuracy;
+      Alcotest.test_case "sampled: warmup monotonicity" `Quick
+        test_warmup_monotonicity;
+      Alcotest.test_case "fallbacks stay exact and audited" `Quick
+        test_fallbacks;
+      Alcotest.test_case "strategy string syntax" `Quick test_strategy_strings ]

@@ -731,14 +731,61 @@ let hotpath () =
     | None -> 0
   in
   let replay_rate = float_of_int groups /. dt in
+  (* the same replay after an FSPC0004 save/load round trip: strides come
+     back rule-backed from the chain store, and the rate must hold up
+     against the freshly compacted in-memory cache above (CI gates on
+     this ratio — grammar compression is not allowed to tax replay) *)
+  let path = Filename.temp_file "fastsim_bench" ".fspc" in
+  Memo.Persist.Codec.save_file pc ~program:wprog path;
+  let pc' = Memo.Persist.Codec.load_file ~program:wprog path in
+  Sys.remove path;
+  let r', dt' =
+    time_best (fun () ->
+        Fastsim.Sim.run ~engine:`Fast Spec.(with_pcache pc' default) wprog)
+  in
+  let groups' =
+    match r'.Fastsim.Sim.memo with
+    | Some m -> m.Memo.Stats.groups_replayed
+    | None -> 0
+  in
+  let warm_replay_rate = float_of_int groups' /. dt' in
+  (* persist footprint over the whole kernel suite, current codec vs the
+     inline-segment FSPC0003 stream (always at test scale: the ratio is
+     what matters, and CI gates v4 <= v3) *)
+  let v4_bytes = ref 0 and v3_bytes = ref 0 in
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let prog = w.build w.test_scale in
+      let pc = Memo.Pcache.create () in
+      ignore
+        (Fastsim.Sim.run ~engine:`Fast Spec.(with_pcache pc default) prog
+          : Fastsim.Sim.result);
+      let size codec =
+        let p = Filename.temp_file "fastsim_bench_sz" ".fspc" in
+        Memo.Persist.Codec.save_file ~codec pc ~program:prog p;
+        let n = (Unix.stat p).Unix.st_size in
+        Sys.remove p;
+        n
+      in
+      v4_bytes := !v4_bytes + size Memo.Persist.Codec.current;
+      v3_bytes := !v3_bytes + size Memo.Persist.Codec.v3)
+    Workloads.Suite.all;
   Printf.printf "encode+lookup (arena):  %14.0f ops/s\n" encode_lookup;
   Printf.printf "encode+intern (string): %14.0f ops/s\n" string_intern;
   Printf.printf "warm replay:            %14.0f groups/s  (%d groups, %.3f s)\n"
     replay_rate groups dt;
+  Printf.printf "warm replay (reloaded): %14.0f groups/s  (%d groups, %.3f s)\n"
+    warm_replay_rate groups' dt';
+  Printf.printf "persist bytes (suite):  %14d FSPC0004 / %d FSPC0003 (%.2fx)\n"
+    !v4_bytes !v3_bytes
+    (float_of_int !v4_bytes /. float_of_int (max 1 !v3_bytes));
   hotpath_stats :=
     [ ("encode_lookup_ops_per_sec", encode_lookup);
       ("string_intern_ops_per_sec", string_intern);
-      ("replay_groups_per_sec", replay_rate) ]
+      ("replay_groups_per_sec", replay_rate);
+      ("warm_replay_groups_per_s", warm_replay_rate);
+      ("persist_bytes_fspc0004", float_of_int !v4_bytes);
+      ("persist_bytes_fspc0003", float_of_int !v3_bytes) ]
 
 (* ---------------------------------------------------------------- *)
 (* Daemon under load: the fleet backend against the fork-per-request

@@ -387,7 +387,7 @@ let run_cmd =
         match load_pcache with
         | Some path -> (
           Printf.printf "warm-starting from %s\n" path;
-          match Memo.Persist.load_file ~program:prog path with
+          match Memo.Persist.Codec.load_file ~program:prog path with
           | pc -> pc
           | exception Memo.Persist.Format_error m ->
             Printf.eprintf
@@ -407,7 +407,7 @@ let run_cmd =
       if memo_report then print_memo_report r;
       (match save_pcache with
        | Some path ->
-         Memo.Persist.save_file pcache ~program:prog path;
+         Memo.Persist.Codec.save_file pcache ~program:prog path;
          Printf.printf "p-action cache saved to %s\n" path
        | None -> ());
       r

@@ -27,7 +27,7 @@ let () =
   in
   let pc = Memo.Pcache.create () in
   let cold, t_cold = time (fun () -> run_fast pc) in
-  Memo.Persist.save_file pc ~program:prog path;
+  Memo.Persist.Codec.save_file pc ~program:prog path;
   Printf.printf "cold run:  %d cycles in %.3fs; p-action cache saved (%d \
                  configs, %d bytes on disk)\n"
     cold.cycles t_cold
@@ -39,7 +39,7 @@ let () =
        (100. *. Memo.Stats.detailed_fraction m)
    | None -> ());
 
-  let warm_pc = Memo.Persist.load_file ~program:prog path in
+  let warm_pc = Memo.Persist.Codec.load_file ~program:prog path in
   let warm, t_warm = time (fun () -> run_fast warm_pc) in
   Printf.printf "\nwarm run:  %d cycles in %.3fs (%.2fx the cold run)\n"
     warm.cycles t_warm (t_cold /. t_warm);

@@ -268,8 +268,8 @@ let check ?(scratch_dir = Filename.get_temp_dir_name ())
          Fun.protect
            ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
            (fun () ->
-             Memo.Persist.save_file pc ~program:prog path;
-             let pc' = Memo.Persist.load_file ~program:prog path in
+             Memo.Persist.Codec.save_file pc ~program:prog path;
+             let pc' = Memo.Persist.Codec.load_file ~program:prog path in
              Sim.run ~engine:`Fast (Sim.Spec.with_pcache pc' spec) prog)
        in
        match roundtrip () with

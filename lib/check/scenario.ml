@@ -106,12 +106,43 @@ let sample_params st =
       fp_units = 4;
       mem_units = 2 }
 
+(* Chain-store pathology: most cases run with the default store (fresh,
+   unbounded, rep depth 8), but a quarter get a deliberately hostile one —
+   a byte budget so tiny that [Pcache.compact] refuses on the first
+   over-budget check (chains stay plain, which must be observationally
+   invisible), or a rule-nesting depth of 0/1 that disables or nearly
+   disables repeat folding. Equivalence and replay identity must hold
+   whether chains are grammar-compressed, flat, or absent. *)
+let sample_store st =
+  match Random.State.int st 8 with
+  | 0 ->
+    (* budget below any rule's modeled size: compaction always refused *)
+    Some (Memo.Store.create ~budget_bytes:(Random.State.int st 8) ())
+  | 1 ->
+    (* budget around one or two rules: compaction stops mid-run *)
+    Some
+      (Memo.Store.create
+         ~budget_bytes:(1 lsl (4 + Random.State.int st 8))
+         ())
+  | 2 ->
+    (* repeat folding disabled or capped at trivial depth *)
+    Some (Memo.Store.create ~max_rep_depth:(Random.State.int st 2) ())
+  | 3 ->
+    (* pathologically deep nesting allowed *)
+    Some (Memo.Store.create ~max_rep_depth:(8 + Random.State.int st 56) ())
+  | _ -> None
+
 let sample st : Spec.t =
-  Spec.default
-  |> Spec.with_policy (sample_policy st)
-  |> Spec.with_predictor (sample_predictor st)
-  |> Spec.with_cache_config (sample_cache st)
-  |> Spec.with_params (sample_params st)
+  let base =
+    Spec.default
+    |> Spec.with_policy (sample_policy st)
+    |> Spec.with_predictor (sample_predictor st)
+    |> Spec.with_cache_config (sample_cache st)
+    |> Spec.with_params (sample_params st)
+  in
+  match sample_store st with
+  | None -> base
+  | Some store -> Spec.with_store store base
 
 (* Strategy plans for the differential oracle. A plan is sized relative
    to the program (divisors of the retired-instruction count) because the

@@ -262,8 +262,8 @@ let slow_sim ?params ?cache_config ?(predictor = Standard)
    an unseen outcome, resume detailed simulation from the configuration
    with the already-obtained outcomes as a prefix. *)
 let fast_sim ?params ?cache_config ?(predictor = Standard)
-    ?(max_cycles = max_int) ?(policy = Memo.Pcache.Unbounded) ?pcache ?obs
-    prog =
+    ?(max_cycles = max_int) ?(policy = Memo.Pcache.Unbounded) ?pcache ?store
+    ?obs prog =
   let trace = Fastsim_obs.Ctx.trace obs in
   let metrics = Fastsim_obs.Ctx.metrics obs in
   let profile = Fastsim_obs.Ctx.profile obs in
@@ -279,7 +279,7 @@ let fast_sim ?params ?cache_config ?(predictor = Standard)
   let pc =
     match pcache with
     | Some pc -> pc
-    | None -> Memo.Pcache.create ~policy ()
+    | None -> Memo.Pcache.create ~policy ?store ()
   in
   if Option.is_some obs then
     Memo.Pcache.attach_obs pc ?trace ?metrics ~now:(fun () -> !cycle) ();
@@ -1001,7 +1001,8 @@ type seg_start =
 (* Builds a rig for [start] and runs one segment on it. Returns the
    absolute totals at the start instant (for delta framing), the segment
    outcome, and the rig (for the architectural state at a truncation). *)
-let run_segment ~engine ~params ~cache_config ~predictor ~policy ~pcache prog
+let run_segment ~engine ~params ~cache_config ~predictor ~policy ?store
+    ~pcache prog
     start ~budget ~marks : abs_totals * seg_out * rig =
   let rig, uarch, prefix =
     match start with
@@ -1049,7 +1050,7 @@ let run_segment ~engine ~params ~cache_config ~predictor ~policy ~pcache prog
       let pc =
         match pcache with
         | Some pc -> pc
-        | None -> Memo.Pcache.create ~policy ()
+        | None -> Memo.Pcache.create ~policy ?store ()
       in
       let cfg0 = Memo.Pcache.intern pc (Uarch.Detailed.snapshot uarch) in
       fast_segment ~params rig pc ~uarch0:uarch ~cfg0 ~prefix0:prefix ~budget
@@ -1071,7 +1072,7 @@ let no_provenance ~strategy reason =
 (* ---- interval-parallel engine -------------------------------------- *)
 
 let run_parallel ~engine ~params ~cache_config ~predictor ~max_cycles ~policy
-    ~pcache ~serial prog ~interval_insns ~warmup_insns ~fanout =
+    ?store ~pcache ~serial prog ~interval_insns ~warmup_insns ~fanout =
   if interval_insns <= 0 then
     invalid_arg "Sim.run: interval_insns must be positive";
   if warmup_insns < 0 then
@@ -1127,7 +1128,7 @@ let run_parallel ~engine ~params ~cache_config ~predictor ~max_cycles ~policy
         let marks = [| bound i - s; bound (i + 1) - s |] in
         let _, out, _ =
           run_segment ~engine ~params ~cache_config ~predictor ~policy
-            ~pcache:worker_pcache prog start ~budget:max_int ~marks
+            ?store ~pcache:worker_pcache prog start ~budget:max_int ~marks
         in
         out
       in
@@ -1150,7 +1151,7 @@ let run_parallel ~engine ~params ~cache_config ~predictor ~max_cycles ~policy
         lazy
           (match pcache with
            | Some pc -> pc
-           | None -> Memo.Pcache.create ~policy ())
+           | None -> Memo.Pcache.create ~policy ?store ())
       in
       let repair i =
         let c = !cum in
@@ -1163,7 +1164,7 @@ let run_parallel ~engine ~params ~cache_config ~predictor ~max_cycles ~policy
         in
         let abs0, out, rig =
           run_segment ~engine ~params ~cache_config ~predictor ~policy
-            ~pcache:seg_pc prog (Start_machine !boundary) ~budget
+            ?store ~pcache:seg_pc prog (Start_machine !boundary) ~budget
             ~marks:[| mark |]
         in
         incr repaired;
@@ -1259,7 +1260,7 @@ let run_parallel ~engine ~params ~cache_config ~predictor ~max_cycles ~policy
 let max_samples = 512
 
 let run_sampled ~engine ~params ~cache_config ~predictor ~max_cycles ~policy
-    ~pcache ~serial prog ~sample_insns ~sample_period ~warmup_insns =
+    ?store ~pcache ~serial prog ~sample_insns ~sample_period ~warmup_insns =
   if sample_insns <= 0 then
     invalid_arg "Sim.run: sample_insns must be positive";
   if warmup_insns < 0 then
@@ -1368,7 +1369,7 @@ let run_sampled ~engine ~params ~cache_config ~predictor ~max_cycles ~policy
           | `Fast -> (
             match pcache with
             | Some _ as pc -> pc
-            | None -> Some (Memo.Pcache.create ~policy ()))
+            | None -> Some (Memo.Pcache.create ~policy ?store ()))
           | `Slow -> None
         in
         let frames =
@@ -1384,7 +1385,7 @@ let run_sampled ~engine ~params ~cache_config ~predictor ~max_cycles ~policy
                 in
                 let _, out, _ =
                   run_segment ~engine ~params ~cache_config ~predictor
-                    ~policy ~pcache:seg_pc prog
+                    ~policy ?store ~pcache:seg_pc prog
                     (Start_warm (ck, pred, cache))
                     ~budget:max_int ~marks
                 in
@@ -1514,6 +1515,7 @@ module Spec = struct
     max_cycles : int;
     policy : Memo.Pcache.policy;
     pcache : Memo.Pcache.t option;
+    store : Memo.Store.t option;
     obs : Fastsim_obs.Ctx.t option;
     observer : observer option;
   }
@@ -1525,6 +1527,7 @@ module Spec = struct
       max_cycles = max_int;
       policy = Memo.Pcache.Unbounded;
       pcache = None;
+      store = None;
       obs = None;
       observer = None }
 
@@ -1534,6 +1537,7 @@ module Spec = struct
   let with_max_cycles max_cycles t = { t with max_cycles }
   let with_policy policy t = { t with policy }
   let with_pcache pc t = { t with pcache = Some pc }
+  let with_store store t = { t with store = Some store }
   let with_obs obs t = { t with obs = Some obs }
   let with_observer f t = { t with observer = Some f }
 
@@ -2262,8 +2266,8 @@ let run ?(strategy = Serial) ~engine (spec : Spec.t) prog =
     | `Fast ->
       fast_sim ~params:spec.Spec.params ~cache_config:spec.Spec.cache_config
         ~predictor:spec.Spec.predictor ~max_cycles:spec.Spec.max_cycles
-        ~policy:spec.Spec.policy ?pcache:spec.Spec.pcache ?obs:spec.Spec.obs
-        prog
+        ~policy:spec.Spec.policy ?pcache:spec.Spec.pcache
+        ?store:spec.Spec.store ?obs:spec.Spec.obs prog
     | `Baseline ->
       let max_cycles =
         if spec.Spec.max_cycles = max_int then None
@@ -2287,12 +2291,12 @@ let run ?(strategy = Serial) ~engine (spec : Spec.t) prog =
     run_parallel ~engine:e ~params:spec.Spec.params
       ~cache_config:spec.Spec.cache_config ~predictor:spec.Spec.predictor
       ~max_cycles:spec.Spec.max_cycles ~policy:spec.Spec.policy
-      ~pcache:spec.Spec.pcache ~serial prog ~interval_insns ~warmup_insns
-      ~fanout
+      ?store:spec.Spec.store ~pcache:spec.Spec.pcache ~serial prog
+      ~interval_insns ~warmup_insns ~fanout
   | Sampled { sample_insns; sample_period; warmup_insns }, ((`Fast | `Slow) as e)
     ->
     run_sampled ~engine:e ~params:spec.Spec.params
       ~cache_config:spec.Spec.cache_config ~predictor:spec.Spec.predictor
       ~max_cycles:spec.Spec.max_cycles ~policy:spec.Spec.policy
-      ~pcache:spec.Spec.pcache ~serial prog ~sample_insns ~sample_period
-      ~warmup_insns
+      ?store:spec.Spec.store ~pcache:spec.Spec.pcache ~serial prog
+      ~sample_insns ~sample_period ~warmup_insns

@@ -168,6 +168,13 @@ module Spec : sig
     policy : Memo.Pcache.policy;   (** fast engine only. *)
     pcache : Memo.Pcache.t option;
         (** warm p-action cache (fast engine only); overrides [policy]. *)
+    store : Memo.Store.t option;
+        (** chain store freshly created p-action caches intern stride
+            rules into (fast engine only; ignored when [pcache] is set —
+            a warm cache brings its own). The serve registry passes one
+            shared store per program so every spec's cache dedupes its
+            compressed chains against the others'. Runtime-only, never
+            serialised. *)
     obs : Fastsim_obs.Ctx.t option;
     observer : observer option;
   }
@@ -182,6 +189,7 @@ module Spec : sig
   val with_max_cycles : int -> t -> t
   val with_policy : Memo.Pcache.policy -> t -> t
   val with_pcache : Memo.Pcache.t -> t -> t
+  val with_store : Memo.Store.t -> t -> t
   val with_obs : Fastsim_obs.Ctx.t -> t -> t
   val with_observer : observer -> t -> t
 

@@ -33,7 +33,7 @@ let run_sim (job : Job.t) =
     match (job.Job.engine, job.Job.warm) with
     | `Fast, Some path ->
       Spec.with_pcache
-        (Memo.Persist.load_file ~policy:job.Job.spec.Spec.policy
+        (Memo.Persist.Codec.load_file ~policy:job.Job.spec.Spec.policy
            ~program:prog path)
         job.Job.spec
     | _ -> job.Job.spec

@@ -52,7 +52,7 @@ let warm_run (job : Job.t) path =
   let t0 = Unix.gettimeofday () in
   ignore (Fastsim.Sim.run ~engine:`Fast spec prog : Fastsim.Sim.result);
   let wall = Unix.gettimeofday () -. t0 in
-  Memo.Persist.save_file pc ~program:prog path;
+  Memo.Persist.Codec.save_file pc ~program:prog path;
   wall
 
 let run ?(config = default_config) manifest =

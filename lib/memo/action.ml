@@ -30,6 +30,7 @@ and stride_node = {
   s_ops : item array;       (* the owner group's items *)
   s_segs : stride_seg array;
   s_term : node;            (* N_goto or N_halt *)
+  s_rule : rule;            (* canonical compressed form (Memo.Store) *)
 }
 
 and stride_seg = {
@@ -38,6 +39,38 @@ and stride_seg = {
   sg_retired : int;
   sg_classes : int array;
   sg_ops : item array;
+}
+
+(* Grammar-compressed chain rules (docs/INTERNALS.md "Memoization 2.0").
+   A rule is an immutable, content-addressed spine over {e portable}
+   segments ([pseg]: configuration keys, not configuration nodes, so a
+   rule is meaningful in any p-action cache of the same program): a cons
+   list whose tail sharing dedupes identical chain suffixes across
+   strides, specs and shards, plus [R_rep] nodes capturing tandem
+   repetition (loop bodies) with the body itself a rule — nesting gives
+   the grammar. Rules are owned by a {!Store}: [ru_refs] counts parent
+   rules plus external holders (strides, persist readers); construction
+   and release live in store.ml. *)
+and rule = {
+  ru_id : int;        (* creation order within the owning store *)
+  ru_digest : string; (* content address: digest over payload + children *)
+  ru_node : rule_node;
+  ru_nsegs : int;     (* segments after full expansion *)
+  ru_bytes : int;     (* modeled bytes of this node alone (not children) *)
+  mutable ru_refs : int;
+}
+
+and rule_node =
+  | R_nil
+  | R_seg of { rs_seg : pseg; rs_rest : rule }
+  | R_rep of { rp_body : rule; rp_count : int; rp_rest : rule }
+
+and pseg = {
+  pg_key : Uarch.Snapshot.key;
+  pg_silent : int;
+  pg_retired : int;
+  pg_classes : int array;
+  pg_ops : item array;
 }
 
 and config = {
@@ -87,6 +120,23 @@ let item_equal (a : item) (b : item) =
   | I_ctl c1, I_ctl c2 -> ctl_equal c1 c2
   | I_rollback i1, I_rollback i2 -> Int.equal i1 i2
   | (I_load _ | I_store | I_ctl _ | I_rollback _), _ -> false
+
+(* Portable-segment equality, used by the store's tandem-repeat detector.
+   [pg_classes] holds small non-negative counts, so structural [=] on the
+   int array is exact; items go through {!item_equal} (never polymorphic
+   equality over [ctl]). *)
+let pseg_equal (a : pseg) (b : pseg) =
+  String.equal a.pg_key b.pg_key
+  && Int.equal a.pg_silent b.pg_silent
+  && Int.equal a.pg_retired b.pg_retired
+  && a.pg_classes = b.pg_classes
+  && Array.length a.pg_ops = Array.length b.pg_ops
+  &&
+  let n = Array.length a.pg_ops in
+  let rec go i =
+    i >= n || (item_equal a.pg_ops.(i) b.pg_ops.(i) && go (i + 1))
+  in
+  go 0
 
 (* Edge lookups on the hot replay path: latency edges compare with
    [Int.equal], control edges with {!ctl_equal} — never polymorphic

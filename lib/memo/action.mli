@@ -40,8 +40,15 @@ and goto_node = { mutable target : config }
 and stride_node = {
   s_ops : item array;  (** the owner group's interaction items. *)
   s_segs : stride_seg array;
-      (** the absorbed successor groups, in chain order. *)
+      (** the absorbed successor groups, in chain order — the replay
+          engine's materialised view; always consistent with [s_rule]. *)
   s_term : node;  (** the run's final [N_goto] or [N_halt]. *)
+  s_rule : rule;
+      (** the canonical grammar-compressed form of [s_segs] in the
+          owning {!Store}: content-addressed, suffix-deduplicated across
+          strides (and, through a shared store, across specs and
+          shards). The stride holds one reference; {!Pcache} releases it
+          when the stride is expanded or discarded. *)
 }
 (** A stride: a linear run of groups — every action on the run has exactly
     one recorded outcome — collapsed into one node and replayed as one
@@ -57,6 +64,37 @@ and stride_seg = {
   sg_retired : int;
   sg_classes : int array;
   sg_ops : item array;  (** its single recorded outcome sequence. *)
+}
+
+and rule = {
+  ru_id : int;         (** creation order within the owning store. *)
+  ru_digest : string;  (** content address (digest over payload+children). *)
+  ru_node : rule_node;
+  ru_nsegs : int;      (** segments after full expansion. *)
+  ru_bytes : int;      (** modeled bytes of this node alone. *)
+  mutable ru_refs : int;
+      (** parent rules + external holders; managed by {!Store}. *)
+}
+(** A grammar-compressed chain rule (docs/INTERNALS.md "Memoization 2.0"):
+    an immutable cons spine over {e portable} segments, content-addressed
+    and hash-consed by its owning {!Store} so identical suffixes are
+    stored once, with [R_rep] capturing tandem repetition (loop bodies)
+    — the body is itself a rule, so nesting expresses loop nests. *)
+
+and rule_node =
+  | R_nil
+  | R_seg of { rs_seg : pseg; rs_rest : rule }
+  | R_rep of { rp_body : rule; rp_count : int; rp_rest : rule }
+
+and pseg = {
+  pg_key : Uarch.Snapshot.key;
+      (** the absorbed configuration's {e key} — not its node, so a rule
+          never pins a particular p-action cache's intern table and can
+          be shared across caches of the same program. *)
+  pg_silent : int;
+  pg_retired : int;
+  pg_classes : int array;
+  pg_ops : item array;
 }
 
 and config = {
@@ -95,6 +133,10 @@ val ctl_equal : ctl -> ctl -> bool
     match live outcomes against recorded edges. *)
 
 val item_equal : item -> item -> bool
+
+val pseg_equal : pseg -> pseg -> bool
+(** Structural equality on portable segments (items via {!item_equal});
+    used by the store's tandem-repeat detector. *)
 
 val load_edge : int -> (int * node) list -> node option
 (** Looks up a latency edge with [Int.equal]. *)

@@ -8,6 +8,13 @@ exception Determinism_violation of string
 
 type t = {
   pol : policy;
+  (* The chain store this cache interns stride rules into. Private by
+     default; the serve registry passes one shared store to every cache
+     of the same program ([Registry.chain_store]), so identical chain
+     suffixes across spec_keys are stored once. The cache holds rule
+     references through its strides' [s_rule]; [release_rules] drops
+     them when the cache is discarded while the store lives on. *)
+  store : Store.t;
   (* Open-addressed intern table (see ctable.mli): keyed by the FNV-1a
      hash computed during snapshot encoding plus the key bytes, so warm
      lookups through [intern_arena] allocate nothing. *)
@@ -63,8 +70,13 @@ let epoch_window = function
   | Generational_gc { nursery; _ } -> max 1024 (nursery / 2)
   | Unbounded | Flush_on_full _ -> max_int
 
-let create ?(policy = Unbounded) () =
+let create ?(policy = Unbounded) ?store () =
+  let store =
+    match store with Some s -> s | None -> Store.create ()
+  in
+  Store.addref store;
   { pol = policy;
+    store;
     table = Ctable.create ~initial:4096 ();
     epoch = 0;
     window = epoch_window policy;
@@ -89,6 +101,28 @@ let create ?(policy = Unbounded) () =
     m_bytes = None }
 
 let policy t = t.pol
+let store t = t.store
+
+(* A stride's [s_rule] is the cache's only rule reference; dropping the
+   group (expansion, flush, eviction) must return it to the store. *)
+let release_group_rules t (c : Action.config) =
+  match c.Action.cfg_group with
+  | Some { Action.g_first = Action.N_stride s; _ } ->
+    Store.release t.store s.Action.s_rule
+  | _ -> ()
+
+let release_rules t =
+  Ctable.iter
+    (fun _ (c : Action.config) ->
+      match c.Action.cfg_group with
+      | Some { Action.g_first = Action.N_stride s; _ } ->
+        Store.release t.store s.Action.s_rule;
+        (* Drop the group so a stray second call cannot double-release;
+           the cache is being discarded, not reused. *)
+        c.Action.cfg_group <- None
+      | _ -> ())
+    t.table;
+  Store.decref t.store
 
 let attach_obs t ?trace ?metrics ~now () =
   t.obs_trace <- trace;
@@ -268,6 +302,11 @@ let linear_chain first =
 let max_stride_segs = 64
 
 let compact t (owner : Action.config) =
+  (* A store over its (advisory) budget stops taking new rules; chains
+     simply stay plain — observationally neutral for replay, the run is
+     just not collapsed. Never the case without an explicit budget. *)
+  if Store.over_budget t.store then false
+  else
   match owner.Action.cfg_group with
   | None -> false
   | Some g ->
@@ -324,20 +363,38 @@ let compact t (owner : Action.config) =
            if !halt_term then Action.N_halt
            else Action.N_goto !last_goto
          in
+         let seg_arr =
+           Array.of_list
+             (List.map
+                (fun (c, (sg : Action.group), ops, _) ->
+                  { Action.sg_cfg = c;
+                    sg_silent = sg.Action.g_silent;
+                    sg_retired = sg.Action.g_retired;
+                    sg_classes = sg.Action.g_classes;
+                    sg_ops = Array.of_list ops })
+                segs)
+         in
+         (* Canonical compressed form: portable segments (keys, not
+            nodes) interned into the chain store, sharing the segment
+            arrays just built. The returned rule arrives retained; the
+            stride owns that reference until expansion/discard. *)
+         let rule =
+           Store.intern_segs t.store
+             (Array.map
+                (fun (seg : Action.stride_seg) ->
+                  { Action.pg_key = seg.Action.sg_cfg.Action.cfg_key;
+                    pg_silent = seg.Action.sg_silent;
+                    pg_retired = seg.Action.sg_retired;
+                    pg_classes = seg.Action.sg_classes;
+                    pg_ops = seg.Action.sg_ops })
+                seg_arr)
+         in
          let stride =
            Action.N_stride
              { Action.s_ops = Array.of_list owner_ops;
-               s_segs =
-                 Array.of_list
-                   (List.map
-                      (fun (c, (sg : Action.group), ops, _) ->
-                        { Action.sg_cfg = c;
-                          sg_silent = sg.Action.g_silent;
-                          sg_retired = sg.Action.g_retired;
-                          sg_classes = sg.Action.g_classes;
-                          sg_ops = Array.of_list ops })
-                      segs);
-               s_term = term_node }
+               s_segs = seg_arr;
+               s_term = term_node;
+               s_rule = rule }
          in
          t.actions_alloc <- t.actions_alloc + 1;
          owner.Action.cfg_group <-
@@ -404,6 +461,7 @@ let expand_stride t (owner : Action.config) =
     remove_bytes t owner
       (Action.node_bytes (Action.N_stride s)
       + Action.node_bytes s.Action.s_term);
+    Store.release t.store s.Action.s_rule;
     let term0 = Action.N_goto { Action.target = resolved.(0) } in
     t.actions_alloc <- t.actions_alloc + 1;
     add_bytes t owner (Action.node_bytes term0);
@@ -563,6 +621,7 @@ let flush t =
     [ ("population", Fastsim_obs.Json.Int (Ctable.length t.table)) ];
   Ctable.iter
     (fun _ (c : Action.config) ->
+      release_group_rules t c;
       c.Action.cfg_dropped <- true;
       c.Action.cfg_group <- None)
     t.table;
@@ -589,6 +648,7 @@ let collect t ~minor =
         survivors := c :: !survivors
       end
       else begin
+        release_group_rules t c;
         c.Action.cfg_dropped <- true;
         c.Action.cfg_group <- None
       end)

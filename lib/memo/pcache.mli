@@ -28,8 +28,25 @@ exception Determinism_violation of string
     sequence. This can only mean the detailed simulator is not a pure
     function of (configuration, outcomes): a memoization-soundness bug. *)
 
-val create : ?policy:policy -> unit -> t
+val create : ?policy:policy -> ?store:Store.t -> unit -> t
+(** [store] is the chain store stride rules are interned into — pass one
+    shared instance to let several caches of the same program dedupe
+    their compressed chains (the serve registry does, keyed by
+    [program_digest] only); defaults to a fresh private store. Creation
+    registers the cache as a store holder ({!Store.addref});
+    {!release_rules} deregisters it. *)
+
 val policy : t -> policy
+
+val store : t -> Store.t
+(** The chain store this cache interns into (shared or private). *)
+
+val release_rules : t -> unit
+(** Returns every rule reference this cache holds (one per stride) to
+    the store and deregisters the cache as a holder. Call exactly once,
+    when discarding the cache while its — possibly shared — store lives
+    on; the registry's eviction path does. The cache must not record or
+    replay afterwards. *)
 
 val attach_obs :
   t ->

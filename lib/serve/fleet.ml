@@ -33,12 +33,16 @@ type reg_stats = {
   rs_reloads : int;
   rs_spills : int;
   rs_evictions : int;
+  rs_stores : int;
+  rs_store_refs : int;
+  rs_store_bytes : int;
 }
 
 let zero_stats =
   { rs_entries = 0; rs_hot_entries = 0; rs_hot_bytes = 0;
     rs_spilled_bytes = 0; rs_hits = 0; rs_misses = 0; rs_reloads = 0;
-    rs_spills = 0; rs_evictions = 0 }
+    rs_spills = 0; rs_evictions = 0; rs_stores = 0; rs_store_refs = 0;
+    rs_store_bytes = 0 }
 
 type resp = {
   r_result : Fastsim.Sim.result;
@@ -71,7 +75,10 @@ let reg_snapshot reg =
     rs_misses = Registry.misses reg;
     rs_reloads = Registry.reloads reg;
     rs_spills = Registry.spills reg;
-    rs_evictions = Registry.evictions reg }
+    rs_evictions = Registry.evictions reg;
+    rs_stores = Registry.store_count reg;
+    rs_store_refs = Registry.store_refs reg;
+    rs_store_bytes = Registry.store_bytes reg }
 
 let shard_handler ~dir ~budget_bytes () =
   (match Unix.mkdir dir 0o700 with
@@ -106,7 +113,9 @@ let shard_handler ~dir ~budget_bytes () =
       let pc =
         match warm with
         | Some pc -> pc
-        | None -> Memo.Pcache.create ~policy:rq.q_spec.Spec.policy ()
+        | None ->
+          Memo.Pcache.create ~policy:rq.q_spec.Spec.policy
+            ~store:(Registry.chain_store registry ~digest:rq.q_digest) ()
       in
       let result, wall = run (Spec.with_pcache pc rq.q_spec) in
       Span.with_span sc ~name:"pcache.commit" ~cat:"worker" (fun () ->
@@ -295,7 +304,10 @@ let note_reply t slot (r : resp) =
     set "registry.entries" (sum (fun s -> s.rs_entries));
     set "registry.hot_entries" (sum (fun s -> s.rs_hot_entries));
     set "registry.hot_bytes" (sum (fun s -> s.rs_hot_bytes));
-    set "registry.spilled_bytes" (sum (fun s -> s.rs_spilled_bytes))
+    set "registry.spilled_bytes" (sum (fun s -> s.rs_spilled_bytes));
+    set "registry.stores" (sum (fun s -> s.rs_stores));
+    set "registry.store_refs" (sum (fun s -> s.rs_store_refs));
+    set "registry.store_bytes" (sum (fun s -> s.rs_store_bytes))
 
 let poll t ~shard : resp Pool.outcome option =
   let slot = t.f_slots.(shard) in
@@ -376,7 +388,10 @@ let reg_totals t =
         rs_misses = acc.rs_misses + l.rs_misses;
         rs_reloads = acc.rs_reloads + l.rs_reloads;
         rs_spills = acc.rs_spills + l.rs_spills;
-        rs_evictions = acc.rs_evictions + l.rs_evictions })
+        rs_evictions = acc.rs_evictions + l.rs_evictions;
+        rs_stores = acc.rs_stores + l.rs_stores;
+        rs_store_refs = acc.rs_store_refs + l.rs_store_refs;
+        rs_store_bytes = acc.rs_store_bytes + l.rs_store_bytes })
     zero_stats t.f_slots
 
 let reg_stats_json (r : reg_stats) =
@@ -389,7 +404,10 @@ let reg_stats_json (r : reg_stats) =
       ("misses", J.Int r.rs_misses);
       ("reloads", J.Int r.rs_reloads);
       ("spills", J.Int r.rs_spills);
-      ("evictions", J.Int r.rs_evictions) ]
+      ("evictions", J.Int r.rs_evictions);
+      ("stores", J.Int r.rs_stores);
+      ("store_refs", J.Int r.rs_store_refs);
+      ("store_bytes", J.Int r.rs_store_bytes) ]
 
 let registry_json t = reg_stats_json (reg_totals t)
 

@@ -57,6 +57,9 @@ type reg_stats = {
   rs_reloads : int;
   rs_spills : int;
   rs_evictions : int;
+  rs_stores : int;  (** per-digest shared chain stores in the shard *)
+  rs_store_refs : int;  (** hot entries bound to a shared store *)
+  rs_store_bytes : int;  (** modeled store bytes, once per digest *)
 }
 
 type resp = {

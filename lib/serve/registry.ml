@@ -12,6 +12,18 @@ type entry = {
   mutable e_file_bytes : int;  (* on-disk size of the spill file, if any *)
   mutable e_last_use : int;
   mutable e_hits : int;
+  mutable e_bound : bool;
+      (* whether this entry's hot cache interns into the registry's
+         per-digest shared chain store (and so holds one [sr_refs]) *)
+}
+
+(* The per-program shared chain store: every spec_key of one digest
+   interns stride rules into the same store, so chains identical across
+   specs are stored once. [sr_refs] counts bound hot entries; the record
+   itself lives for the registry's lifetime (an empty store is free). *)
+type store_rec = {
+  sr_store : Memo.Store.t;
+  mutable sr_refs : int;
 }
 
 (* Instruments mirrored into a shared Metrics registry when the caller
@@ -29,6 +41,9 @@ type instruments = {
   g_hot_entries : Metrics.gauge;
   g_hot_bytes : Metrics.gauge;
   g_spilled_bytes : Metrics.gauge;
+  g_stores : Metrics.gauge;
+  g_store_refs : Metrics.gauge;
+  g_store_bytes : Metrics.gauge;
 }
 
 type t = {
@@ -36,6 +51,7 @@ type t = {
   budget : int option;
   program_of : string -> Isa.Program.t option;
   tbl : (string * string, entry) Hashtbl.t;
+  stores : (string, store_rec) Hashtbl.t;  (* keyed by digest ONLY *)
   inst : instruments option;
   log : Log.t;
   mutable tick : int;
@@ -56,7 +72,10 @@ let make_instruments m =
     g_entries = Metrics.gauge m "registry.entries";
     g_hot_entries = Metrics.gauge m "registry.hot_entries";
     g_hot_bytes = Metrics.gauge m "registry.hot_bytes";
-    g_spilled_bytes = Metrics.gauge m "registry.spilled_bytes" }
+    g_spilled_bytes = Metrics.gauge m "registry.spilled_bytes";
+    g_stores = Metrics.gauge m "registry.stores";
+    g_store_refs = Metrics.gauge m "registry.store_refs";
+    g_store_bytes = Metrics.gauge m "registry.store_bytes" }
 
 let create ~dir ?budget_bytes ?(program_of = fun _ -> None) ?metrics
     ?(log = Log.null) () =
@@ -64,6 +83,7 @@ let create ~dir ?budget_bytes ?(program_of = fun _ -> None) ?metrics
    | () -> ()
    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   { dir; budget = budget_bytes; program_of; tbl = Hashtbl.create 16;
+    stores = Hashtbl.create 16;
     inst = Option.map make_instruments metrics; log;
     tick = 0; hits = 0; misses = 0; reloads = 0; spills = 0; evictions = 0 }
 
@@ -87,10 +107,59 @@ let entry t ~digest ~spec_key =
       { e_digest = digest; e_spec_key = spec_key;
         e_file = file_for t ~digest ~spec_key; e_hot = None;
         e_has_file = false; e_bytes = 0; e_file_bytes = 0; e_last_use = 0;
-        e_hits = 0 }
+        e_hits = 0; e_bound = false }
     in
     Hashtbl.add t.tbl key e;
     e
+
+let store_record t ~digest =
+  match Hashtbl.find_opt t.stores digest with
+  | Some sr -> sr
+  | None ->
+    let sr = { sr_store = Memo.Store.create (); sr_refs = 0 } in
+    Hashtbl.add t.stores digest sr;
+    sr
+
+let chain_store t ~digest = (store_record t ~digest).sr_store
+
+(* Is the same physical hot cache still being served under another key?
+   Legitimate: a caller may commit one cache under several spec_keys; its
+   rule references must be released only when the last alias goes. *)
+let aliased t (e : entry) (pc : Memo.Pcache.t) =
+  Hashtbl.fold
+    (fun _ (e' : entry) acc ->
+      acc
+      || (e' != e
+          && match e'.e_hot with Some pc' -> pc' == pc | None -> false))
+    t.tbl false
+
+(* Bind a hot cache to the digest store's refcount iff it actually
+   interns there (private-store caches committed from outside stay
+   unbound and keep their pre-sharing semantics). *)
+let bind_store t (e : entry) (pc : Memo.Pcache.t) =
+  if not e.e_bound then begin
+    let sr = store_record t ~digest:e.e_digest in
+    if Memo.Pcache.store pc == sr.sr_store then begin
+      e.e_bound <- true;
+      sr.sr_refs <- sr.sr_refs + 1
+    end
+  end
+
+(* Drop an entry's hot form, returning its rule references to the shared
+   store (unless an alias still serves the same cache) and its store
+   refcount. *)
+let drop_hot t (e : entry) =
+  match e.e_hot with
+  | None -> ()
+  | Some pc ->
+    if e.e_bound then begin
+      (match Hashtbl.find_opt t.stores e.e_digest with
+       | Some sr -> sr.sr_refs <- max 0 (sr.sr_refs - 1)
+       | None -> ());
+      e.e_bound <- false;
+      if not (aliased t e pc) then Memo.Pcache.release_rules pc
+    end;
+    e.e_hot <- None
 
 let hot_bytes t =
   Hashtbl.fold
@@ -105,6 +174,32 @@ let spilled_bytes t =
 let hot_count t =
   Hashtbl.fold (fun _ e n -> if e.e_hot <> None then n + 1 else n) t.tbl 0
 
+let store_count t = Hashtbl.length t.stores
+
+let store_refs t =
+  Hashtbl.fold (fun _ sr acc -> acc + sr.sr_refs) t.stores 0
+
+(* Chain-store footprint, counted ONCE PER DIGEST from the store map —
+   never by summing per-entry shares. Entries of one digest deliberately
+   alias a single store, so any per-entry accumulation double-counts as
+   soon as a digest is spilled and reloaded within one eviction pass;
+   the regression test in test/test_serve.ml pins this under a 1-byte
+   budget. *)
+let store_bytes t =
+  Hashtbl.fold
+    (fun _ sr acc -> acc + Memo.Store.bytes sr.sr_store)
+    t.stores 0
+
+let store_rules t =
+  Hashtbl.fold
+    (fun _ sr acc -> acc + Memo.Store.live_rules sr.sr_store)
+    t.stores 0
+
+let store_refs_for t ~digest =
+  match Hashtbl.find_opt t.stores digest with
+  | Some sr -> sr.sr_refs
+  | None -> 0
+
 let file_size path = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0
 
 (* Mirror the registry's state into the shared metrics registry (when
@@ -116,7 +211,10 @@ let sync_gauges t =
     Metrics.set i.g_entries (float_of_int (Hashtbl.length t.tbl));
     Metrics.set i.g_hot_entries (float_of_int (hot_count t));
     Metrics.set i.g_hot_bytes (float_of_int (hot_bytes t));
-    Metrics.set i.g_spilled_bytes (float_of_int (spilled_bytes t))
+    Metrics.set i.g_spilled_bytes (float_of_int (spilled_bytes t));
+    Metrics.set i.g_stores (float_of_int (store_count t));
+    Metrics.set i.g_store_refs (float_of_int (store_refs t));
+    Metrics.set i.g_store_bytes (float_of_int (store_bytes t))
 
 let digest_short d = if String.length d > 12 then String.sub d 0 12 else d
 
@@ -130,6 +228,31 @@ let bump_digest t ~digest what =
     Metrics.incr
       (Metrics.counter i.i_metrics
          (Printf.sprintf "registry.digest.%s.%s" (digest_short digest) what))
+
+(* Per-digest spilled-bytes gauge, SET from a recount over the digest's
+   live entries on every change. Deliberately not maintained
+   incrementally: a digest that is spilled, reloaded and re-spilled
+   within one eviction pass would count its file twice under
+   increment-on-spill, because the reload leaves the file (and its
+   previously counted size) in place. The 1-byte-budget regression test
+   in test/test_serve.ml pins this. *)
+let sync_digest_spilled t ~digest =
+  match t.inst with
+  | None -> ()
+  | Some i ->
+    let total =
+      Hashtbl.fold
+        (fun (d, _) e acc ->
+          if String.equal d digest && e.e_has_file then
+            acc + e.e_file_bytes
+          else acc)
+        t.tbl 0
+    in
+    Metrics.set
+      (Metrics.gauge i.i_metrics
+         (Printf.sprintf "registry.digest.%s.spilled_bytes"
+            (digest_short digest)))
+      (float_of_int total)
 
 let count_hit t ~digest =
   t.hits <- t.hits + 1;
@@ -173,17 +296,18 @@ let enforce_budget t ~keep =
          | Some pc when not e.e_has_file -> (
            match t.program_of e.e_digest with
            | Some program ->
-             Memo.Persist.save_file pc ~program e.e_file;
+             Memo.Persist.Codec.save_file pc ~program e.e_file;
              e.e_has_file <- true;
              e.e_file_bytes <- file_size e.e_file;
              t.spills <- t.spills + 1;
              (match t.inst with Some i -> Metrics.incr i.c_spills | None -> ());
+             sync_digest_spilled t ~digest:e.e_digest;
              Log.debug t.log ~event:"registry.spill"
                [ ("digest", J.Str (digest_short e.e_digest));
                  ("file_bytes", J.Int e.e_file_bytes) ]
            | None -> () (* no program to save against: drop the work *))
          | _ -> ());
-        e.e_hot <- None;
+        drop_hot t e;
         t.evictions <- t.evictions + 1;
         (match t.inst with Some i -> Metrics.incr i.c_evictions | None -> ());
         Log.debug t.log ~event:"registry.evict"
@@ -214,13 +338,20 @@ let acquire t ~digest ~spec_key ~policy ~program =
         None
       end
       else
-        match Memo.Persist.load_file ~policy ~program e.e_file with
+        match
+          (* Reload into the digest's shared chain store: rules dedupe
+             against whatever other spec_keys of this program already
+             interned. *)
+          Memo.Persist.Codec.load_file ~policy
+            ~store:(chain_store t ~digest) ~program e.e_file
+        with
         | pc ->
           count_hit t ~digest;
           t.reloads <- t.reloads + 1;
           (match t.inst with Some i -> Metrics.incr i.c_reloads | None -> ());
           e.e_hits <- e.e_hits + 1;
           e.e_hot <- Some pc;
+          bind_store t e pc;
           e.e_bytes <- (Memo.Pcache.counters pc).Memo.Pcache.modeled_bytes;
           Log.debug t.log ~event:"registry.reload"
             [ ("digest", J.Str (digest_short digest));
@@ -232,6 +363,7 @@ let acquire t ~digest ~spec_key ~policy ~program =
           (* corrupt or vanished spill: forget it and start cold *)
           (try Sys.remove e.e_file with Sys_error _ -> ());
           Hashtbl.remove t.tbl (digest, spec_key);
+          sync_digest_spilled t ~digest;
           Log.warn t.log ~event:"registry.corrupt_spill"
             [ ("digest", J.Str (digest_short digest));
               ("file", J.Str e.e_file) ];
@@ -242,13 +374,20 @@ let acquire t ~digest ~spec_key ~policy ~program =
 let commit_mem t ~digest ~spec_key pc =
   let e = entry t ~digest ~spec_key in
   touch t e;
+  (* Replacing a different hot cache returns the old one's rule
+     references first; recommitting the same cache must not. *)
+  (match e.e_hot with
+   | Some old when old == pc -> ()
+   | _ -> drop_hot t e);
   e.e_hot <- Some pc;
+  bind_store t e pc;
   e.e_bytes <- (Memo.Pcache.counters pc).Memo.Pcache.modeled_bytes;
   (* the live cache has moved past any previous spill *)
   if e.e_has_file then begin
     (try Sys.remove e.e_file with Sys_error _ -> ());
     e.e_has_file <- false;
-    e.e_file_bytes <- 0
+    e.e_file_bytes <- 0;
+    sync_digest_spilled t ~digest
   end;
   enforce_budget t ~keep:(Some e);
   sync_gauges t
@@ -292,7 +431,8 @@ let adopt t ~digest ~spec_key ~src ~bytes =
     e.e_bytes <- bytes;
     e.e_file_bytes <- file_size e.e_file;
     (* the file is newer than any hot copy the parent kept *)
-    e.e_hot <- None;
+    drop_hot t e;
+    sync_digest_spilled t ~digest;
     Log.debug t.log ~event:"registry.adopt"
       [ ("digest", J.Str (digest_short digest));
         ("modeled_bytes", J.Int bytes);
@@ -318,4 +458,8 @@ let stats_json t =
       ("misses", J.Int t.misses);
       ("reloads", J.Int t.reloads);
       ("spills", J.Int t.spills);
-      ("evictions", J.Int t.evictions) ]
+      ("evictions", J.Int t.evictions);
+      ("stores", J.Int (store_count t));
+      ("store_refs", J.Int (store_refs t));
+      ("store_rules", J.Int (store_rules t));
+      ("store_bytes", J.Int (store_bytes t)) ]

@@ -12,7 +12,19 @@
     own modeled bytes. When the budget overflows, least-recently-used
     entries are spilled: the hot cache is dropped (saved to its file
     first if no up-to-date file exists), and a later {!acquire} reloads
-    it — so eviction costs a reload, never recorded work. *)
+    it — so eviction costs a reload, never recorded work.
+
+    Orthogonally to entries, the registry keeps one {e shared chain
+    store} ({!Memo.Store.t}) per [program_digest] — keyed by digest
+    {e only}, not by spec. Every hot cache created or reloaded through
+    the registry interns its grammar-compressed stride rules there, so
+    entries whose specs differ only in non-timing-relevant fields share
+    one copy of each chain (docs/SERVE.md "Shared chain store"). Store
+    footprint is accounted once per digest from the store map —
+    {!store_bytes} — never by summing per-entry shares; eviction returns
+    an entry's rule references to the store (refcounts, with aliasing of
+    one hot cache under several keys handled) rather than freeing shared
+    rules. *)
 
 type t
 
@@ -34,14 +46,41 @@ val create :
     [metrics] mirrors the registry's state into a shared instrument
     registry: counters [registry.{hits,misses,reloads,spills,evictions}]
     and per-digest [registry.digest.<12-hex>.{hits,misses}], gauges
-    [registry.{entries,hot_entries,hot_bytes,spilled_bytes}] (gauges are
-    refreshed after every mutation). [log] (default {!Fastsim_obs.Log.null})
+    [registry.{entries,hot_entries,hot_bytes,spilled_bytes,stores,
+    store_refs,store_bytes}] and per-digest
+    [registry.digest.<12-hex>.spilled_bytes] (gauges are refreshed after
+    every mutation; the per-digest spill gauge is recounted from live
+    entries, never incremented, so spill–reload–spill cycles cannot
+    double-count). [log] (default {!Fastsim_obs.Log.null})
     receives [registry.{spill,evict,reload,adopt,corrupt_spill}]
     events. Both are strictly passive. *)
 
 val spec_key : Fastsim.Sim.Spec.t -> string
 (** Canonical registry key for a spec: the serialised form of its
     configuration part. Runtime-only fields do not participate. *)
+
+val chain_store : t -> digest:string -> Memo.Store.t
+(** The shared chain store for a program digest (created on first use).
+    Pass it to {!Memo.Pcache.create} (or [Sim.Spec.with_store]) when
+    starting a cold run whose cache will be committed here, so its
+    compressed chains dedupe against every other spec of the program. *)
+
+val store_count : t -> int
+(** Number of per-digest shared stores. *)
+
+val store_refs : t -> int
+(** Total hot entries bound to shared stores; a single digest with
+    refcount > 1 is the cross-spec-sharing proof the serve stats
+    surface. *)
+
+val store_refs_for : t -> digest:string -> int
+
+val store_bytes : t -> int
+(** Modeled bytes of all shared stores, counted once per digest from
+    the store map. *)
+
+val store_rules : t -> int
+(** Live rules across all shared stores. *)
 
 val acquire :
   t ->
@@ -75,8 +114,9 @@ val adopt :
 
 val stats_json : t -> Fastsim_obs.Json.t
 (** [{entries, hot_entries, hot_bytes, spilled_bytes, hits, misses,
-    reloads, spills, evictions}] — surfaced in the daemon's [stats] and
-    [telemetry] frames. *)
+    reloads, spills, evictions, stores, store_refs, store_rules,
+    store_bytes}] — surfaced in the daemon's [stats] and [telemetry]
+    frames. *)
 
 val entry_count : t -> int
 val hot_count : t -> int

@@ -267,7 +267,7 @@ let simulate ~engine ~(spec : Spec.t) ~prog ~warm ~fault ~save_to () :
     (match save_to with
      | Some file ->
        Span.with_span sc ~name:"pcache.save" ~cat:"worker" (fun () ->
-           Memo.Persist.save_file pc ~program:prog file)
+           Memo.Persist.Codec.save_file pc ~program:prog file)
      | None -> ());
     ( r, wall,
       Some (Memo.Pcache.counters pc).Memo.Pcache.modeled_bytes,
@@ -367,7 +367,14 @@ let run_inline t (p : pending) =
       with
       | Some pc -> (Some pc, true)
       | None ->
-        (Some (Memo.Pcache.create ~policy:p.p_spec.Spec.policy ()), false))
+        (* Cold start still interns into the digest's shared chain
+           store, so the commit below dedupes against every other
+           spec_key of this program. *)
+        ( Some
+            (Memo.Pcache.create ~policy:p.p_spec.Spec.policy
+               ~store:(Registry.chain_store t.registry ~digest:p.p_digest)
+               ()),
+          false ))
     | _ -> (None, false)
   in
   (match

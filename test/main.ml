@@ -17,6 +17,7 @@ let () =
       ("memo", Test_memo.suite);
       ("ctable", Test_ctable.suite);
       ("stride", Test_stride.suite);
+      ("rules", Test_rules.suite);
       ("persist", Test_persist.suite);
       ("baseline", Test_baseline.suite);
       ("faults", Test_faults.suite);

@@ -16,8 +16,8 @@ let test_roundtrip_counters () =
   let pc = Memo.Pcache.create () in
   let r1 = run_fast ~pcache:pc prog in
   let path = tmp "fastsim_test.fspc" in
-  Memo.Persist.save_file pc ~program:prog path;
-  let pc' = Memo.Persist.load_file ~program:prog path in
+  Memo.Persist.Codec.save_file pc ~program:prog path;
+  let pc' = Memo.Persist.Codec.load_file ~program:prog path in
   let c = Memo.Pcache.counters pc and c' = Memo.Pcache.counters pc' in
   check Alcotest.int "configs survive" c.live_configs c'.live_configs;
   (* [static_actions] counts allocations over the run, not the surviving
@@ -26,8 +26,8 @@ let test_roundtrip_counters () =
      fixpoint: saving the loaded cache and loading it again changes
      nothing, i.e. one round trip already captures the exact structure. *)
   check Alcotest.int "modeled bytes survive" c.modeled_bytes c'.modeled_bytes;
-  Memo.Persist.save_file pc' ~program:prog path;
-  let pc'' = Memo.Persist.load_file ~program:prog path in
+  Memo.Persist.Codec.save_file pc' ~program:prog path;
+  let pc'' = Memo.Persist.Codec.load_file ~program:prog path in
   let c'' = Memo.Pcache.counters pc'' in
   check Alcotest.int "reload fixpoint: configs" c'.live_configs
     c''.live_configs;
@@ -44,8 +44,8 @@ let test_warm_start_equivalent_and_faster () =
   let pc = Memo.Pcache.create () in
   let cold = run_fast ~pcache:pc prog in
   let path = tmp "fastsim_warm.fspc" in
-  Memo.Persist.save_file pc ~program:prog path;
-  let warm_pc = Memo.Persist.load_file ~program:prog path in
+  Memo.Persist.Codec.save_file pc ~program:prog path;
+  let warm_pc = Memo.Persist.Codec.load_file ~program:prog path in
   let warm = run_fast ~pcache:warm_pc prog in
   Sys.remove path;
   (* identical results... *)
@@ -66,8 +66,8 @@ let test_digest_guard () =
   let pc = Memo.Pcache.create () in
   ignore (run_fast ~pcache:pc prog : Fastsim.Sim.result);
   let path = tmp "fastsim_digest.fspc" in
-  Memo.Persist.save_file pc ~program:prog path;
-  (match Memo.Persist.load_file ~program:other path with
+  Memo.Persist.Codec.save_file pc ~program:prog path;
+  (match Memo.Persist.Codec.load_file ~program:other path with
    | _ -> Alcotest.fail "expected Format_error"
    | exception Memo.Persist.Format_error _ -> ());
   Sys.remove path
@@ -78,7 +78,7 @@ let test_corrupt_stream () =
   output_string oc "NOTAPCACHE-----";
   close_out oc;
   let prog = (Workloads.Suite.find "li").build 1 in
-  (match Memo.Persist.load_file ~program:prog path with
+  (match Memo.Persist.Codec.load_file ~program:prog path with
    | _ -> Alcotest.fail "expected Format_error"
    | exception Memo.Persist.Format_error _ -> ());
   Sys.remove path
@@ -109,8 +109,8 @@ let test_deep_chain_roundtrip () =
   Memo.Pcache.install_group pc cfg ~silent:3 ~retired:7
     ~classes:[| 1; 2; 3 |] ~first:!chain;
   let path = tmp "fastsim_deep.fspc" in
-  Memo.Persist.save_file pc ~program:prog path;
-  let pc' = Memo.Persist.load_file ~program:prog path in
+  Memo.Persist.Codec.save_file pc ~program:prog path;
+  let pc' = Memo.Persist.Codec.load_file ~program:prog path in
   Sys.remove path;
   let c = Memo.Pcache.counters pc and c' = Memo.Pcache.counters pc' in
   check Alcotest.int "all nodes survive" c.static_actions c'.static_actions;
@@ -150,7 +150,7 @@ let test_truncated_stream () =
   let pc = Memo.Pcache.create () in
   ignore (run_fast ~pcache:pc prog : Fastsim.Sim.result);
   let path = tmp "fastsim_trunc.fspc" in
-  Memo.Persist.save_file pc ~program:prog path;
+  Memo.Persist.Codec.save_file pc ~program:prog path;
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let full = really_input_string ic len in
@@ -163,7 +163,7 @@ let test_truncated_stream () =
          let oc = open_out_bin tpath in
          output_string oc (String.sub full 0 cut);
          close_out oc;
-         (match Memo.Persist.load_file ~program:prog tpath with
+         (match Memo.Persist.Codec.load_file ~program:prog tpath with
           | _ -> Alcotest.failf "cut at %d: expected Format_error" cut
           | exception Memo.Persist.Format_error _ -> ()
           | exception End_of_file ->
@@ -189,8 +189,216 @@ let test_digest_covers_code_only () =
   check Alcotest.bool "different code: different digest" true
     (Memo.Persist.program_digest p1 <> Memo.Persist.program_digest p3)
 
+(* ---------------------------------------------------------------- *)
+(* Frozen migration fixtures. The files under test/fixtures/persist/
+   are committed FSPC0002/FSPC0003 byte streams for a fixed synthetic
+   program; the current reader must keep loading them (migrating inline
+   stride segments into the chain store on the way in) even after the
+   writers are gone or deprecated. Regenerate only after a deliberate
+   format change, by running the test binary from the test/ source
+   directory with UPDATE_FIXTURES=1. *)
+
+let fixture_dir = "fixtures/persist"
+
+let fixture_program () =
+  Isa.Program.make
+    [| Isa.Instr.Alui (Isa.Instr.Add, 2, 0, 7);
+       Isa.Instr.Alui (Isa.Instr.Add, 3, 2, 5);
+       Isa.Instr.Halt |]
+
+(* Same synthetic key layout as test_stride.ml. *)
+let fx_key ?(entries = 4) ?(ind = 0) tag =
+  let b = Bytes.make (11 + (4 * entries) + (4 * ind)) '\000' in
+  Bytes.set b 5 (Char.chr entries);
+  Bytes.set b 6 (Char.chr ind);
+  Bytes.set b 7 (Char.chr (tag land 0xff));
+  Bytes.set b 8 (Char.chr ((tag lsr 8) land 0xff));
+  Bytes.unsafe_to_string b
+
+let fx_record_run pc ~first ~last =
+  for i = first to last do
+    let cfg = Memo.Pcache.intern pc (fx_key i) in
+    let terminal =
+      if i = last then Memo.Action.T_halt
+      else Memo.Action.T_goto (Memo.Pcache.intern pc (fx_key (i + 1)))
+    in
+    ignore
+      (Memo.Pcache.merge_group pc cfg ~classes:[| i |] ~silent:i ~retired:1
+         ~items:[ Memo.Action.I_load (100 + i) ]
+         ~terminal
+        : Memo.Action.config option)
+  done
+
+(* Deterministic cache exercising every chain shape the old formats can
+   carry: multi-edge loads, control edges, rollback, goto, and (for v3)
+   one compacted stride. *)
+let build_fixture_cache ~with_stride () =
+  let pc = Memo.Pcache.create () in
+  let a = Memo.Pcache.intern pc "fixture-a" in
+  let b = Memo.Pcache.intern pc "fixture-b" in
+  Memo.Pcache.install_group pc b ~silent:2 ~retired:1 ~classes:[| 1 |]
+    ~first:(Memo.Action.N_store Memo.Action.N_halt);
+  let chain_a =
+    Memo.Action.N_load
+      { Memo.Action.l_edges =
+          [ ( 2,
+              Memo.Action.N_ctl
+                { Memo.Action.c_edges =
+                    [ ( Uarch.Oracle.C_cond
+                          { taken = true; mispredicted = false },
+                        Memo.Action.N_goto { Memo.Action.target = b } );
+                      (Uarch.Oracle.C_stalled, Memo.Action.N_halt) ] } );
+            (7, Memo.Action.N_rollback (1, Memo.Action.N_halt)) ] }
+  in
+  Memo.Pcache.install_group pc a ~silent:5 ~retired:3 ~classes:[| 0; 2 |]
+    ~first:chain_a;
+  if with_stride then begin
+    fx_record_run pc ~first:1 ~last:6;
+    let head = Memo.Pcache.intern pc (fx_key 1) in
+    if not (Memo.Pcache.compact pc head) then
+      failwith "fixture generator: run failed to compact"
+  end;
+  pc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let regen_fixtures () =
+  (match Unix.mkdir fixture_dir 0o755 with
+   | () -> ()
+   | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let prog = fixture_program () in
+  (* v3: plain chains plus one stride with inline segments *)
+  let v3_path = Filename.concat fixture_dir "migrate_v3.fspc" in
+  Memo.Persist.Codec.save_file ~codec:Memo.Persist.Codec.v3
+    (build_fixture_cache ~with_stride:true ())
+    ~program:prog v3_path;
+  (* v2: the same encoding restricted to plain chains (no 'T' tag ever
+     appears), under the old magic — there is no v2 writer to call *)
+  let tmp2 = tmp "fastsim_fixture_v2.fspc" in
+  Memo.Persist.Codec.save_file ~codec:Memo.Persist.Codec.v3
+    (build_fixture_cache ~with_stride:false ())
+    ~program:prog tmp2;
+  let s = read_file tmp2 in
+  Sys.remove tmp2;
+  let patched =
+    "FSPC0002" ^ String.sub s 8 (String.length s - 8)
+  in
+  write_file (Filename.concat fixture_dir "migrate_v2.fspc") patched
+
+let count_strides pc =
+  let n = ref 0 in
+  Memo.Pcache.iter_configs
+    (fun c ->
+      match c.Memo.Action.cfg_group with
+      | Some { Memo.Action.g_first = Memo.Action.N_stride _; _ } -> incr n
+      | _ -> ())
+    pc;
+  !n
+
+let test_migration_fixture_v2 () =
+  if Sys.getenv_opt "UPDATE_FIXTURES" <> None then regen_fixtures ();
+  let prog = fixture_program () in
+  let s = read_file (Filename.concat fixture_dir "migrate_v2.fspc") in
+  check Alcotest.string "frozen magic" "FSPC0002" (String.sub s 0 8);
+  let pc = Memo.Persist.Codec.load_string ~program:prog s in
+  let c = Memo.Pcache.counters pc in
+  check Alcotest.int "both configs load" 2 c.live_configs;
+  check Alcotest.int "no strides in a v2 stream" 0 (count_strides pc);
+  (match Memo.Pcache.find pc "fixture-a" with
+   | Some { Memo.Action.cfg_group = Some g; _ } ->
+     check Alcotest.int "silent cycles" 5 g.Memo.Action.g_silent;
+     check Alcotest.int "retired" 3 g.Memo.Action.g_retired
+   | _ -> Alcotest.fail "fixture-a group lost");
+  (* migration is forward-only: re-save in the current format, reload,
+     and the structure is a fixpoint *)
+  let path = tmp "fastsim_fixture_v2_v4.fspc" in
+  Memo.Persist.Codec.save_file pc ~program:prog path;
+  let pc' = Memo.Persist.Codec.load_file ~program:prog path in
+  Sys.remove path;
+  let c' = Memo.Pcache.counters pc' in
+  check Alcotest.int "v4 fixpoint: configs" c.live_configs c'.live_configs;
+  check Alcotest.int "v4 fixpoint: actions" c.static_actions
+    c'.static_actions;
+  check Alcotest.int "v4 fixpoint: bytes" c.modeled_bytes c'.modeled_bytes
+
+let test_migration_fixture_v3 () =
+  if Sys.getenv_opt "UPDATE_FIXTURES" <> None then regen_fixtures ();
+  let prog = fixture_program () in
+  let s = read_file (Filename.concat fixture_dir "migrate_v3.fspc") in
+  check Alcotest.string "frozen magic" "FSPC0003" (String.sub s 0 8);
+  let store = Memo.Store.create () in
+  let pc = Memo.Persist.Codec.load_string ~store ~program:prog s in
+  check Alcotest.int "stride migrates" 1 (count_strides pc);
+  (* the inline segments were interned into the chain store on the way
+     in — the loaded cache is already in the compressed representation *)
+  check Alcotest.bool "store holds the migrated rules" true
+    (Memo.Store.live_rules store > 0);
+  (* re-saving in the current format must never be larger: the rule
+     table writes each shared suffix once *)
+  let path = tmp "fastsim_fixture_v3_v4.fspc" in
+  Memo.Persist.Codec.save_file pc ~program:prog path;
+  let v4 = read_file path in
+  check Alcotest.bool "v4 no larger than the v3 stream" true
+    (String.length v4 <= String.length s);
+  let store' = Memo.Store.create () in
+  let pc' = Memo.Persist.Codec.load_file ~store:store' ~program:prog path in
+  Sys.remove path;
+  check Alcotest.int "v4 reload: strides" 1 (count_strides pc');
+  check Alcotest.int "v4 reload: bytes"
+    (Memo.Pcache.counters pc).modeled_bytes
+    (Memo.Pcache.counters pc').modeled_bytes;
+  (* dropping the cache returns every rule to its store *)
+  Memo.Pcache.release_rules pc';
+  check Alcotest.int "rules released" 0 (Memo.Store.live_rules store')
+
+(* Loading two caches of the same program into one shared store keeps a
+   single copy of their common chains — the registry's cross-spec
+   sharing, exercised at the persist layer. *)
+let test_shared_store_load_dedups () =
+  let prog = fixture_program () in
+  let mk () =
+    let pc = build_fixture_cache ~with_stride:true () in
+    let path = tmp "fastsim_shared_load.fspc" in
+    Memo.Persist.Codec.save_file pc ~program:prog path;
+    let s = read_file path in
+    Sys.remove path;
+    s
+  in
+  let s = mk () in
+  let solo_store = Memo.Store.create () in
+  let _solo =
+    Memo.Persist.Codec.load_string ~store:solo_store ~program:prog s
+  in
+  let rules_one = Memo.Store.live_rules solo_store in
+  let shared = Memo.Store.create () in
+  let pc1 = Memo.Persist.Codec.load_string ~store:shared ~program:prog s in
+  let pc2 = Memo.Persist.Codec.load_string ~store:shared ~program:prog s in
+  check Alcotest.int "second load adds no rules" rules_one
+    (Memo.Store.live_rules shared);
+  Memo.Pcache.release_rules pc1;
+  check Alcotest.int "shared rules survive the first release" rules_one
+    (Memo.Store.live_rules shared);
+  Memo.Pcache.release_rules pc2;
+  check Alcotest.int "empty after the last holder" 0
+    (Memo.Store.live_rules shared)
+
 let suite =
   [ Alcotest.test_case "save/load round trip" `Quick test_roundtrip_counters;
+    Alcotest.test_case "frozen FSPC0002 fixture migrates" `Quick
+      test_migration_fixture_v2;
+    Alcotest.test_case "frozen FSPC0003 fixture migrates" `Quick
+      test_migration_fixture_v3;
+    Alcotest.test_case "shared-store loads dedup" `Quick
+      test_shared_store_load_dedups;
     Alcotest.test_case "deep action chain survives save/load without \
                         overflowing the stack"
       `Quick test_deep_chain_roundtrip;

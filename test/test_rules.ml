@@ -1,0 +1,239 @@
+(* The grammar-compressed chain store (docs/INTERNALS.md
+   "Memoization 2.0"): compress/expand must be an exact inverse over
+   arbitrarily nested loop structure, hash-consing must dedup shared
+   suffixes (the cross-chain sharing the serve registry relies on), and
+   refcounts must return every modeled byte when the last holder lets
+   go. Replay equivalence over rule-backed strides is covered by the
+   equivalence suite and the fuzz oracle. *)
+
+module Store = Memo.Store
+module Action = Memo.Action
+
+let check = Alcotest.check
+
+let seg_of_int i =
+  { Action.pg_key = Printf.sprintf "key%06d" (i land 0xfff);
+    pg_silent = i land 7;
+    pg_retired = 1 + (i land 3);
+    pg_classes = (if i land 1 = 0 then [||] else [| i land 15 |]);
+    pg_ops = [| Action.I_load (1 + (i land 31)) |] }
+
+let segs_of_ints l = Array.of_list (List.map seg_of_int l)
+
+let segs_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Action.pseg_equal x y) a b
+
+(* ---------------------------------------------------------------- *)
+(* Generator: a loop-nest AST flattened to a segment run, so the
+   interesting inputs — tandem repeats, nested repeats, repeats of
+   mixed bodies — are produced by construction rather than by luck. *)
+
+type shape = Leaf of int | Seq of shape list | Loop of shape * int
+
+let rec flatten = function
+  | Leaf i -> [ i ]
+  | Seq l -> List.concat_map flatten l
+  | Loop (s, k) ->
+    let body = flatten s in
+    List.concat (List.init k (fun _ -> body))
+
+let rec shape_to_string = function
+  | Leaf i -> string_of_int i
+  | Seq l -> "[" ^ String.concat ";" (List.map shape_to_string l) ^ "]"
+  | Loop (s, k) -> Printf.sprintf "(%s)*%d" (shape_to_string s) k
+
+let gen_shape =
+  QCheck.Gen.(
+    sized_size (int_bound 4) @@ fix (fun self n ->
+        if n = 0 then map (fun i -> Leaf i) (int_bound 40)
+        else
+          frequency
+            [ (2, map (fun i -> Leaf i) (int_bound 40));
+              ( 3,
+                map
+                  (fun l -> Seq l)
+                  (list_size (int_range 1 5) (self (n - 1))) );
+              ( 3,
+                map2
+                  (fun s k -> Loop (s, k))
+                  (self (n - 1))
+                  (int_range 2 6) ) ]))
+
+let arb_shape = QCheck.make ~print:shape_to_string gen_shape
+
+let roundtrip_prop =
+  QCheck.Test.make ~name:"intern/expand is the identity on nested loops"
+    ~count:300 arb_shape (fun shape ->
+      let segs = segs_of_ints (flatten shape) in
+      let st = Store.create () in
+      let r = Store.intern_segs st segs in
+      let back = Store.expand r in
+      let ok = segs_equal segs back in
+      (* interning the same run again is answered by hash-consing:
+         physically the same root, still exactly one copy *)
+      let r2 = Store.intern_segs st segs in
+      let consed = r == r2 in
+      Store.release st r;
+      Store.release st r2;
+      let clean = Store.live_rules st = 0 && Store.bytes st = 0 in
+      ok && consed && clean)
+
+let depth_cap_prop =
+  QCheck.Test.make
+    ~name:"rep depth 0 disables folding but preserves the inverse"
+    ~count:150 arb_shape (fun shape ->
+      let segs = segs_of_ints (flatten shape) in
+      let st = Store.create ~max_rep_depth:0 () in
+      let r = Store.intern_segs st segs in
+      let ok =
+        segs_equal segs (Store.expand r)
+        && (Store.counters st).Store.live_rep_rules = 0
+      in
+      Store.release st r;
+      ok && Store.live_rules st = 0)
+
+let test_tandem_repeat_compresses () =
+  (* [A B] * 10: the flat spine models 10 bytes/segment; the rep form
+     is one 2-segment body plus a 16-byte R_rep node. *)
+  let body = [ 2; 5 ] in
+  let segs = segs_of_ints (List.concat (List.init 10 (fun _ -> body))) in
+  let st = Store.create () in
+  let r = Store.intern_segs st segs in
+  check Alcotest.int "expands to 20 segments" 20 r.Action.ru_nsegs;
+  check Alcotest.bool "rep rule created" true
+    ((Store.counters st).Store.live_rep_rules >= 1);
+  check Alcotest.bool "modeled bytes beat the flat spine" true
+    (Store.bytes st < 100);
+  check Alcotest.bool "exact inverse" true
+    (segs_equal segs (Store.expand r));
+  Store.release st r;
+  check Alcotest.int "all rules freed" 0 (Store.live_rules st)
+
+let test_mid_rule_divergence_shares_suffix () =
+  (* Two chains identical except at one interior segment share every
+     rule of the common suffix — the store answers the second intern's
+     suffix nodes from the table instead of re-creating them. *)
+  let st = Store.create () in
+  let a = segs_of_ints [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] in
+  let b = segs_of_ints [ 1; 2; 3; 4; 105; 6; 7; 8; 9; 10 ] in
+  let ra = Store.intern_segs st a in
+  let before = (Store.counters st).Store.dedup_hits in
+  let rb = Store.intern_segs st b in
+  let shared = (Store.counters st).Store.dedup_hits - before in
+  check Alcotest.bool "divergent chain roots differ" true (ra != rb);
+  check Alcotest.bool "suffix nodes answered by the table" true
+    (shared >= 5);
+  check Alcotest.bool "fewer rules than two private spines" true
+    (Store.live_rules st < Array.length a + Array.length b);
+  check Alcotest.bool "first chain intact" true
+    (segs_equal a (Store.expand ra));
+  check Alcotest.bool "second chain intact" true
+    (segs_equal b (Store.expand rb));
+  (* dropping one chain keeps the shared suffix alive for the other *)
+  Store.release st ra;
+  check Alcotest.bool "survivor still expands" true
+    (segs_equal b (Store.expand rb));
+  Store.release st rb;
+  check Alcotest.int "empty after both release" 0 (Store.live_rules st)
+
+let test_release_cascades_and_guards () =
+  let st = Store.create () in
+  let r = Store.intern_segs st (segs_of_ints [ 1; 2; 3 ]) in
+  let released_before = (Store.counters st).Store.released_rules in
+  Store.release st r;
+  check Alcotest.int "cascade freed the spine" 3
+    ((Store.counters st).Store.released_rules - released_before);
+  check Alcotest.int "no bytes left" 0 (Store.bytes st);
+  (match Store.release st r with
+   | () -> Alcotest.fail "double release must raise"
+   | exception Invalid_argument _ -> ());
+  (* nil is pinned: releasing it is a no-op, never an error *)
+  Store.release st (Store.nil st);
+  check Alcotest.int "still empty" 0 (Store.live_rules st)
+
+(* Same synthetic key layout as test_stride.ml, for driving a real
+   p-action cache against a budgeted store. *)
+let fake_key ?(entries = 4) ?(ind = 0) tag =
+  let b = Bytes.make (11 + (4 * entries) + (4 * ind)) '\000' in
+  Bytes.set b 5 (Char.chr entries);
+  Bytes.set b 6 (Char.chr ind);
+  Bytes.set b 7 (Char.chr (tag land 0xff));
+  Bytes.set b 8 (Char.chr ((tag lsr 8) land 0xff));
+  Bytes.unsafe_to_string b
+
+let record_run pc ~first ~last =
+  for i = first to last do
+    let cfg = Memo.Pcache.intern pc (fake_key i) in
+    let terminal =
+      if i = last then Memo.Action.T_halt
+      else Memo.Action.T_goto (Memo.Pcache.intern pc (fake_key (i + 1)))
+    in
+    ignore
+      (Memo.Pcache.merge_group pc cfg ~classes:[| i |] ~silent:i ~retired:1
+         ~items:[ Memo.Action.I_load (100 + i) ]
+         ~terminal
+        : Memo.Action.config option)
+  done
+
+let test_over_budget_store_refuses_compaction () =
+  (* The budget is advisory: the first compaction goes through (the
+     store is empty), pushes the store over its 1-byte budget, and
+     every later compaction is refused — chains simply stay plain. *)
+  let st = Store.create ~budget_bytes:1 () in
+  let pc = Memo.Pcache.create ~store:st () in
+  record_run pc ~first:1 ~last:4;
+  record_run pc ~first:50 ~last:53;
+  let head1 = Memo.Pcache.intern pc (fake_key 1) in
+  let head2 = Memo.Pcache.intern pc (fake_key 50) in
+  check Alcotest.bool "first compaction admitted" true
+    (Memo.Pcache.compact pc head1);
+  check Alcotest.bool "store over budget" true (Store.over_budget st);
+  check Alcotest.bool "second compaction refused" false
+    (Memo.Pcache.compact pc head2);
+  check Alcotest.int "exactly one stride"
+    1
+    (Memo.Pcache.counters pc).stride_compactions;
+  (* the refused chain is still a perfectly good plain chain *)
+  check Alcotest.bool "refused head keeps its group" true
+    ((Memo.Pcache.intern pc (fake_key 50)).Memo.Action.cfg_group <> None);
+  Memo.Pcache.release_rules pc;
+  check Alcotest.int "rules returned on release" 0 (Store.live_rules st)
+
+let test_shared_store_across_caches () =
+  (* Two caches over the same store: identical runs compact into the
+     same rules (one copy), and each cache's release only drops its own
+     references. *)
+  let st = Store.create () in
+  let pc1 = Memo.Pcache.create ~store:st () in
+  let pc2 = Memo.Pcache.create ~store:st () in
+  check Alcotest.int "both caches registered" 2 (Store.holders st);
+  record_run pc1 ~first:1 ~last:6;
+  record_run pc2 ~first:1 ~last:6;
+  let h1 = Memo.Pcache.intern pc1 (fake_key 1) in
+  let h2 = Memo.Pcache.intern pc2 (fake_key 1) in
+  check Alcotest.bool "cache 1 compacts" true (Memo.Pcache.compact pc1 h1);
+  let rules_after_one = Store.live_rules st in
+  check Alcotest.bool "cache 2 compacts" true (Memo.Pcache.compact pc2 h2);
+  check Alcotest.int "second cache added no rules" rules_after_one
+    (Store.live_rules st);
+  Memo.Pcache.release_rules pc1;
+  check Alcotest.int "shared rules survive first release" rules_after_one
+    (Store.live_rules st);
+  Memo.Pcache.release_rules pc2;
+  check Alcotest.int "empty after last release" 0 (Store.live_rules st);
+  check Alcotest.int "holders unwound" 0 (Store.holders st)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest roundtrip_prop;
+    QCheck_alcotest.to_alcotest depth_cap_prop;
+    Alcotest.test_case "tandem repeat compresses" `Quick
+      test_tandem_repeat_compresses;
+    Alcotest.test_case "mid-rule divergence shares suffix" `Quick
+      test_mid_rule_divergence_shares_suffix;
+    Alcotest.test_case "release cascades and guards" `Quick
+      test_release_cascades_and_guards;
+    Alcotest.test_case "over-budget store refuses compaction" `Quick
+      test_over_budget_store_refuses_compaction;
+    Alcotest.test_case "shared store across caches" `Quick
+      test_shared_store_across_caches ]

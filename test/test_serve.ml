@@ -312,6 +312,115 @@ let test_registry_eviction_telemetry () =
         (Registry.evictions reg)
         (counter "registry.evictions"))
 
+(* One shared chain store per program digest: two specs of the same
+   program committed through the registry bind the same store, their
+   grammar-compressed chains dedup against each other, and the serve
+   stats expose refcount > 1 — the cross-spec-sharing proof named in
+   docs/SERVE.md. *)
+let test_registry_shared_chain_store () =
+  Fastsim_exec.Pool.with_temp_dir ~prefix:"fastsim-regshare" (fun dir ->
+      let _, prog = workload "compress" in
+      let digest = Digest.to_hex (Memo.Persist.program_digest prog) in
+      let spec1 = Spec.default in
+      let spec2 = Spec.with_predictor Sim.Taken Spec.default in
+      (* baseline: the same two runs with private stores *)
+      let private_rules spec =
+        let store = Memo.Store.create () in
+        let pc = Memo.Pcache.create ~store () in
+        ignore (Sim.run ~engine:`Fast (Spec.with_pcache pc spec) prog
+                : Sim.result);
+        Memo.Store.live_rules store
+      in
+      let solo = private_rules spec1 + private_rules spec2 in
+      let reg = Registry.create ~dir:(Filename.concat dir "reg") () in
+      let commit spec =
+        let key = Registry.spec_key spec in
+        let pc =
+          Memo.Pcache.create ~store:(Registry.chain_store reg ~digest) ()
+        in
+        ignore (Sim.run ~engine:`Fast (Spec.with_pcache pc spec) prog
+                : Sim.result);
+        Registry.commit_mem reg ~digest ~spec_key:key pc
+      in
+      commit spec1;
+      commit spec2;
+      check Alcotest.int "one store for the digest" 1
+        (Registry.store_count reg);
+      check Alcotest.int "both entries bound to it" 2
+        (Registry.store_refs_for reg ~digest);
+      Alcotest.(check bool) "shared chains stored once" true
+        (Registry.store_rules reg < solo);
+      Alcotest.(check bool) "store bytes counted once per digest" true
+        (Registry.store_bytes reg > 0);
+      (* the stats frame carries the same evidence *)
+      match Registry.stats_json reg with
+      | J.Obj fields ->
+        check Alcotest.bool "stats expose store_refs > 1" true
+          (match List.assoc_opt "store_refs" fields with
+           | Some (J.Int n) -> n > 1
+           | _ -> false)
+      | _ -> Alcotest.fail "stats_json is not an object")
+
+(* Regression: the per-digest spilled_bytes gauge used to be bumped on
+   every spill, so a spill -> reload -> re-spill cycle (routine under a
+   tight budget, where the file on disk is already up to date) counted
+   the same file again each lap. The gauge is now recounted from live
+   entries; after any number of laps it must equal the registry's own
+   on-disk accounting exactly. *)
+let test_registry_spilled_bytes_not_double_counted () =
+  let module M = Fastsim_obs.Metrics in
+  Fastsim_exec.Pool.with_temp_dir ~prefix:"fastsim-regspill" (fun dir ->
+      let _, prog = workload "li" in
+      let digest = Digest.to_hex (Memo.Persist.program_digest prog) in
+      let metrics = M.create () in
+      let gauge n = M.gauge_value (M.gauge metrics n) in
+      let reg =
+        Registry.create ~dir:(Filename.concat dir "reg") ~budget_bytes:1
+          ~program_of:(fun d -> if d = digest then Some prog else None)
+          ~metrics ()
+      in
+      let spec2 = Spec.with_predictor Sim.Taken Spec.default in
+      let commit spec =
+        let key = Registry.spec_key spec in
+        let pc =
+          Memo.Pcache.create ~store:(Registry.chain_store reg ~digest) ()
+        in
+        ignore (Sim.run ~engine:`Fast (Spec.with_pcache pc spec) prog
+                : Sim.result);
+        Registry.commit_mem reg ~digest ~spec_key:key pc
+      in
+      commit Spec.default;
+      commit spec2;
+      let spilled_gauge =
+        Printf.sprintf "registry.digest.%s.spilled_bytes"
+          (String.sub digest 0 12)
+      in
+      Alcotest.(check bool) "first spill recorded" true
+        (gauge spilled_gauge > 0.);
+      (* bounce both entries between disk and memory: each acquire
+         reloads one entry and re-spills the other against a file that
+         is already up to date *)
+      for _ = 1 to 3 do
+        List.iter
+          (fun spec ->
+            match
+              Registry.acquire reg ~digest
+                ~spec_key:(Registry.spec_key spec)
+                ~policy:Memo.Pcache.Unbounded ~program:prog
+            with
+            | Some _ -> ()
+            | None -> Alcotest.fail "spilled entry did not reload")
+          [ Spec.default; spec2 ]
+      done;
+      Alcotest.(check bool) "cycles actually spilled" true
+        (Registry.spills reg >= 2);
+      check (Alcotest.float 0.) "per-digest gauge = live file bytes"
+        (float_of_int (Registry.spilled_bytes reg))
+        (gauge spilled_gauge);
+      check (Alcotest.float 0.) "global gauge agrees"
+        (gauge "registry.spilled_bytes")
+        (gauge spilled_gauge))
+
 (* ---------------------------------------------------------------- *)
 (* Live daemon tests: fork a server per test, talk to it over its
    socket, reap it afterwards. [tweak] lets a test adjust the config
@@ -851,7 +960,7 @@ let test_adopt_fallback () =
         Sim.run ~engine:`Fast (Spec.with_pcache pc Spec.default) prog
       in
       let save_src path =
-        Memo.Persist.save_file pc ~program:prog path;
+        Memo.Persist.Codec.save_file pc ~program:prog path;
         path
       in
       (* cross-filesystem source when the host offers one (/dev/shm is
@@ -947,7 +1056,7 @@ let test_adopt_concurrent_workers () =
                  ignore
                    (Sim.run ~engine:`Fast (Spec.with_pcache pc spec) prog
                      : Sim.result);
-                 Memo.Persist.save_file pc ~program:prog src;
+                 Memo.Persist.Codec.save_file pc ~program:prog src;
                  Unix._exit 0
                with _ -> Unix._exit 1)
             | pid -> pid)
@@ -1257,6 +1366,10 @@ let suite =
       test_registry_lru;
     Alcotest.test_case "registry eviction telemetry" `Quick
       test_registry_eviction_telemetry;
+    Alcotest.test_case "shared chain store across specs" `Quick
+      test_registry_shared_chain_store;
+    Alcotest.test_case "spilled bytes survive spill/reload cycles" `Quick
+      test_registry_spilled_bytes_not_double_counted;
     Alcotest.test_case "daemon matches direct run on every engine" `Quick
       test_daemon_bit_identity;
     Alcotest.test_case "repeat request is served warm" `Quick

@@ -195,14 +195,14 @@ let test_stride_persist_roundtrip () =
   let path =
     Filename.concat (Filename.get_temp_dir_name ()) "fastsim_stride.fspc"
   in
-  Memo.Persist.save_file pc ~program:prog path;
-  let pc' = Memo.Persist.load_file ~program:prog path in
+  Memo.Persist.Codec.save_file pc ~program:prog path;
+  let pc' = Memo.Persist.Codec.load_file ~program:prog path in
   check Alcotest.int "strides survive" (strides pc) (strides pc');
   check Alcotest.int "modeled bytes survive"
     (Memo.Pcache.counters pc).modeled_bytes
     (Memo.Pcache.counters pc').modeled_bytes;
-  Memo.Persist.save_file pc' ~program:prog path;
-  let pc'' = Memo.Persist.load_file ~program:prog path in
+  Memo.Persist.Codec.save_file pc' ~program:prog path;
+  let pc'' = Memo.Persist.Codec.load_file ~program:prog path in
   check Alcotest.int "reload fixpoint: strides" (strides pc') (strides pc'');
   check Alcotest.int "reload fixpoint: actions"
     (Memo.Pcache.counters pc').static_actions
